@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Signature micro-benchmarks (paper Figure 3 / §5 design study):
+ * raw INSERT / CONFLICT / CLEAR throughput for each implementation
+ * via google-benchmark, plus a false-positive-rate sweep across
+ * signature sizes and set sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/rng.hh"
+#include "harness/table.hh"
+#include "sig/signature_factory.hh"
+
+using namespace logtm;
+
+namespace {
+
+SignatureConfig
+configFor(int kind, uint32_t bits)
+{
+    switch (kind) {
+      case 0: return sigPerfect();
+      case 1: return sigBS(bits);
+      case 2: return sigCBS(bits);
+      default: return sigDBS(bits);
+    }
+}
+
+void
+BM_SignatureInsert(benchmark::State &state)
+{
+    auto sig = makeSignature(configFor(static_cast<int>(state.range(0)),
+                                       static_cast<uint32_t>(state.range(1))));
+    Rng rng(1);
+    std::vector<PhysAddr> addrs;
+    for (int i = 0; i < 1024; ++i)
+        addrs.push_back(blockAlign(rng.below(1ull << 30)));
+    size_t i = 0;
+    for (auto _ : state) {
+        sig->insert(addrs[i++ & 1023]);
+        if ((i & 255) == 0)
+            sig->clear();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_SignatureConflict(benchmark::State &state)
+{
+    auto sig = makeSignature(configFor(static_cast<int>(state.range(0)),
+                                       static_cast<uint32_t>(state.range(1))));
+    Rng rng(2);
+    for (int i = 0; i < 64; ++i)
+        sig->insert(blockAlign(rng.below(1ull << 30)));
+    std::vector<PhysAddr> probes;
+    for (int i = 0; i < 1024; ++i)
+        probes.push_back(blockAlign(rng.below(1ull << 30)));
+    size_t i = 0;
+    bool acc = false;
+    for (auto _ : state)
+        acc ^= sig->mayContain(probes[i++ & 1023]);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_SignatureClear(benchmark::State &state)
+{
+    auto sig = makeSignature(configFor(static_cast<int>(state.range(0)),
+                                       static_cast<uint32_t>(state.range(1))));
+    Rng rng(3);
+    for (auto _ : state) {
+        sig->insert(blockAlign(rng.below(1ull << 30)));
+        sig->clear();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+SigArgs(benchmark::internal::Benchmark *b)
+{
+    for (int kind : {0, 1, 2, 3}) {
+        for (int bits : {64, 2048}) {
+            if (kind == 0 && bits != 64)
+                continue;  // perfect has no size knob
+            b->Args({kind, bits});
+        }
+    }
+}
+
+BENCHMARK(BM_SignatureInsert)->Apply(SigArgs);
+BENCHMARK(BM_SignatureConflict)->Apply(SigArgs);
+BENCHMARK(BM_SignatureClear)->Apply(SigArgs);
+
+/** Analytic FP sweep: probability a random probe false-positives
+ *  after N inserts, per kind and size (paper's birthday-paradox
+ *  discussion of Result 3). */
+void
+printFalsePositiveSweep()
+{
+    std::printf("\nFalse-positive rate vs inserted set size "
+                "(random block addresses, 40 trials)\n");
+    Table table({"Signature", "N=8", "N=32", "N=128", "N=550"});
+    struct V
+    {
+        const char *name;
+        SignatureConfig cfg;
+    };
+    const V variants[] = {
+        {"BS_64", sigBS(64)},       {"BS_2048", sigBS(2048)},
+        {"CBS_2048", sigCBS(2048)}, {"DBS_2048", sigDBS(2048)},
+    };
+    for (const V &v : variants) {
+        std::vector<std::string> row{v.name};
+        for (uint32_t n : {8u, 32u, 128u, 550u}) {
+            Rng rng(1234 + n);
+            uint64_t fp = 0, probes = 0;
+            for (int trial = 0; trial < 40; ++trial) {
+                auto sig = makeSignature(v.cfg);
+                std::vector<PhysAddr> in;
+                for (uint32_t i = 0; i < n; ++i) {
+                    const PhysAddr a = blockAlign(rng.below(1ull << 26));
+                    sig->insert(a);
+                    in.push_back(a);
+                }
+                for (int p = 0; p < 200; ++p) {
+                    const PhysAddr a = blockAlign(rng.below(1ull << 26));
+                    bool member = false;
+                    for (PhysAddr x : in)
+                        member |= blockNumber(x) == blockNumber(a);
+                    if (member)
+                        continue;
+                    ++probes;
+                    if (sig->mayContain(a))
+                        ++fp;
+                }
+            }
+            row.push_back(Table::fmt(
+                100.0 * static_cast<double>(fp) /
+                    static_cast<double>(probes), 1) + "%");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFalsePositiveSweep();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table 2 reproduction: benchmark characterization with perfect
+ * signatures -- measured transactions and read/write-set sizes in
+ * cache blocks (average and maximum).
+ *
+ * Paper values for reference: BerkeleyDB 8.1/30 read, 6.8/28 write;
+ * Cholesky 4/4, 2/2; Radiosity 2.0/25, 1.5/45; Raytrace 5.8/550,
+ * 2.0/3; Mp3d 2.2/18, 1.7/10.
+ */
+
+#include "bench_util.hh"
+
+using namespace logtm;
+
+namespace {
+
+const char *
+unitOfWork(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::BerkeleyDB: return "1 database read";
+      case Benchmark::Cholesky: return "1 supernode task";
+      case Benchmark::Radiosity: return "1 task";
+      case Benchmark::Raytrace: return "1 ray";
+      case Benchmark::Mp3d: return "1 molecule step";
+      case Benchmark::Microbench: return "1 update";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    printSystemHeader("Table 2: benchmarks and transactional footprints"
+                      " (perfect signatures)");
+
+    Table table({"Benchmark", "UnitOfWork", "Units", "Transactions",
+                 "ReadAvg", "ReadMax", "WriteAvg", "WriteMax",
+                 "UndoRecsAvg"});
+
+    for (Benchmark b : paperBenchmarks()) {
+        ExperimentConfig cfg = paperExperiment(b);
+        cfg.wl.useTm = true;
+        cfg.sys.signature = sigPerfect();
+        const ExperimentResult r = runExperiment(cfg);
+        table.addRow({toString(b), unitOfWork(b), Table::fmt(r.units),
+                      Table::fmt(r.commits), Table::fmt(r.readAvg, 1),
+                      Table::fmt(r.readMax, 0),
+                      Table::fmt(r.writeAvg, 1),
+                      Table::fmt(r.writeMax, 0),
+                      Table::fmt(r.undoRecordsAvg, 1)});
+        std::fflush(stdout);
+    }
+    table.print(std::cout);
+    std::cout << "\n(paper Table 2: read avg/max 8.1/30 4.0/4 2.0/25 "
+                 "5.8/550 2.2/18; write avg/max 6.8/28 2.0/2 1.5/45 "
+                 "2.0/3 1.7/10)\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries: the standard experiment
+ * grid (paper Table 1 system), run caching, and header printing.
+ */
+
+#ifndef LOGTM_BENCH_BENCH_UTIL_HH
+#define LOGTM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+namespace logtm {
+
+/** Paper signature variants in Figure 4 order. */
+inline std::vector<SignatureConfig>
+paperSignatureVariants()
+{
+    return {sigPerfect(), sigBS(2048), sigCBS(2048), sigDBS(2048),
+            sigBS(64)};
+}
+
+/** Default experiment for one benchmark on the Table 1 system. */
+inline ExperimentConfig
+paperExperiment(Benchmark b, uint64_t unit_scale_denom = 1)
+{
+    ExperimentConfig cfg;
+    cfg.bench = b;
+    cfg.wl.numThreads = cfg.sys.numContexts();
+    cfg.wl.totalUnits = defaultUnits(b) / unit_scale_denom;
+    return cfg;
+}
+
+/** True when the binary was invoked with --csv (tables print CSV). */
+inline bool
+csvMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--csv")
+            return true;
+    }
+    return false;
+}
+
+/** Print @p table as text or CSV per the flag. */
+inline void
+emitTable(const Table &table, bool csv)
+{
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+inline void
+printSystemHeader(const char *title)
+{
+    SystemConfig cfg;
+    std::printf("%s\n", title);
+    std::printf("System (paper Table 1): %u cores x %u-way SMT, "
+                "%u KB 4-way L1, %u MB L2 in %u banks, "
+                "MESI directory, %llu-cycle DRAM\n\n",
+                cfg.numCores, cfg.threadsPerCore, cfg.l1Bytes / 1024,
+                cfg.l2Bytes / (1024 * 1024), cfg.l2Banks,
+                static_cast<unsigned long long>(cfg.dramLatency));
+}
+
+} // namespace logtm
+
+#endif // LOGTM_BENCH_BENCH_UTIL_HH

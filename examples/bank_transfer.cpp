@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Bank-transfer example: compares transactional and lock-based
+ * versions of the classic concurrent account-transfer kernel on the
+ * same simulated machine, checking the conservation invariant and
+ * printing throughput for both.
+ *
+ *   $ ./examples/bank_transfer
+ */
+
+#include <cstdio>
+
+#include "workload/thread_api.hh"
+
+using namespace logtm;
+
+namespace {
+
+constexpr uint32_t kAccounts = 64;
+constexpr uint64_t kInitialBalance = 1000;
+constexpr int kThreads = 16;
+constexpr int kTransfersPerThread = 64;
+constexpr VirtAddr kAccountBase = 0x10'0000;
+constexpr VirtAddr kLockBase = 0x20'0000;
+
+VirtAddr
+account(uint32_t i)
+{
+    return kAccountBase + i * blockBytes;
+}
+
+struct RunResult
+{
+    Cycle cycles;
+    uint64_t total;
+    uint64_t commits;
+    uint64_t aborts;
+};
+
+Task
+transferWorker(ThreadCtx &tc, bool use_tm, Spinlock *bank_lock)
+{
+    for (int i = 0; i < kTransfersPerThread; ++i) {
+        const uint32_t from =
+            static_cast<uint32_t>(tc.rng().below(kAccounts));
+        const uint32_t to =
+            static_cast<uint32_t>(tc.rng().below(kAccounts));
+        const uint64_t amount = 1 + tc.rng().below(10);
+
+        auto body = [from, to, amount](ThreadCtx &t) -> Task {
+            uint64_t a = 0, b = 0;
+            TM_LOAD(t, a, account(from));
+            TM_LOAD(t, b, account(to));
+            if (from != to) {
+                TM_STORE(t, account(from), a - amount);
+                TM_STORE(t, account(to), b + amount);
+            }
+            co_return;
+        };
+
+        if (use_tm) {
+            co_await tc.transaction(body);
+        } else {
+            // Coarse bank lock: correct but serializes transfers.
+            co_await tc.acquire(*bank_lock);
+            co_await body(tc);
+            co_await tc.release(*bank_lock);
+        }
+        co_await tc.think(200);
+    }
+}
+
+RunResult
+run(bool use_tm)
+{
+    SystemConfig cfg;  // full paper machine
+    TmSystem sys(cfg);
+    const Asid asid = sys.os().createProcess();
+    for (uint32_t i = 0; i < kAccounts; ++i) {
+        sys.mem().data().store(sys.os().translate(asid, account(i)),
+                               kInitialBalance);
+    }
+    sys.mem().data().store(sys.os().translate(asid, kLockBase), 0);
+    Spinlock bank_lock(sys.engine(), kLockBase);
+
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    std::vector<Task> tasks;
+    uint32_t done = 0;
+    for (int i = 0; i < kThreads; ++i) {
+        const ThreadId t = sys.os().spawnThread(asid);
+        ctxs.push_back(std::make_unique<ThreadCtx>(sys, t));
+        tasks.push_back(
+            transferWorker(*ctxs.back(), use_tm, &bank_lock));
+        tasks.back().setOnDone([&done]() { ++done; });
+    }
+    for (auto &task : tasks)
+        task.start();
+    sys.sim().runUntil([&]() { return done == kThreads; });
+
+    RunResult res;
+    res.cycles = sys.now();
+    res.total = 0;
+    for (uint32_t i = 0; i < kAccounts; ++i) {
+        res.total += sys.mem().data().load(
+            sys.os().translate(asid, account(i)));
+    }
+    res.commits = sys.stats().counterValue("tm.commits");
+    res.aborts = sys.stats().counterValue("tm.aborts");
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t expected = kAccounts * kInitialBalance;
+
+    const RunResult lock = run(false);
+    const RunResult tm = run(true);
+
+    std::printf("%-12s %12s %10s %8s %8s\n", "variant", "cycles",
+                "total", "commits", "aborts");
+    std::printf("%-12s %12llu %10llu %8llu %8llu\n", "bank-lock",
+                static_cast<unsigned long long>(lock.cycles),
+                static_cast<unsigned long long>(lock.total),
+                static_cast<unsigned long long>(lock.commits),
+                static_cast<unsigned long long>(lock.aborts));
+    std::printf("%-12s %12llu %10llu %8llu %8llu\n", "logtm-se",
+                static_cast<unsigned long long>(tm.cycles),
+                static_cast<unsigned long long>(tm.total),
+                static_cast<unsigned long long>(tm.commits),
+                static_cast<unsigned long long>(tm.aborts));
+    std::printf("speedup: %.2fx; money conserved: %s\n",
+                static_cast<double>(lock.cycles) /
+                    static_cast<double>(tm.cycles),
+                (lock.total == expected && tm.total == expected)
+                    ? "yes" : "NO (bug!)");
+    return (lock.total == expected && tm.total == expected) ? 0 : 1;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Nested-transaction composition (paper §3.2): a concurrent
+ * hash-table whose insert() is itself a transaction, composed inside
+ * larger application transactions — the software-composition problem
+ * unbounded nesting exists to solve.
+ *
+ * Demonstrates:
+ *  - closed nesting: insert() called inside an application
+ *    transaction aborts/retries as a unit with partial aborts;
+ *  - open nesting: a statistics counter updated in an open-nested
+ *    transaction keeps its value even when the enclosing transaction
+ *    aborts (useful for event counters and allocators).
+ *
+ *   $ ./examples/nested_composition
+ */
+
+#include <cstdio>
+
+#include "workload/thread_api.hh"
+
+using namespace logtm;
+
+namespace {
+
+// A fixed-size open-addressing hash table in simulated memory.
+constexpr uint32_t kBuckets = 256;
+constexpr VirtAddr kTableBase = 0x10'0000;   // key per bucket block
+constexpr VirtAddr kValueBase = 0x20'0000;   // value per bucket block
+constexpr VirtAddr kStatsBase = 0x30'0000;   // attempt counter
+constexpr int kThreads = 8;
+constexpr int kInsertsPerThread = 12;
+
+VirtAddr
+bucketKey(uint32_t b)
+{
+    return kTableBase + b * blockBytes;
+}
+
+VirtAddr
+bucketValue(uint32_t b)
+{
+    return kValueBase + b * blockBytes;
+}
+
+/**
+ * Transactional insert: a CLOSED nested transaction when called
+ * inside another transaction. Linear probing; keys are nonzero.
+ */
+Task
+tableInsert(ThreadCtx &tc, uint64_t key, uint64_t value, bool *ok)
+{
+    co_await tc.transaction([key, value, ok](ThreadCtx &t) -> Task {
+        uint32_t b = static_cast<uint32_t>(key) % kBuckets;
+        for (uint32_t probe = 0; probe < kBuckets; ++probe) {
+            uint64_t existing = 0;
+            TM_LOAD(t, existing, bucketKey(b));
+            if (existing == 0 || existing == key) {
+                TM_STORE(t, bucketKey(b), key);
+                TM_STORE(t, bucketValue(b), value);
+                *ok = true;
+                co_return;
+            }
+            b = (b + 1) % kBuckets;
+        }
+        *ok = false;  // table full
+        co_return;
+    });
+}
+
+/** OPEN-nested attempt counter: survives enclosing aborts. */
+Task
+bumpAttempts(ThreadCtx &tc)
+{
+    co_await tc.transaction([](ThreadCtx &t) -> Task {
+        uint64_t n = 0;
+        TM_LOADX(t, n, kStatsBase);
+        TM_STORE(t, kStatsBase, n + 1);
+        co_return;
+    }, /*open=*/true);
+}
+
+/**
+ * Application-level operation: atomically insert TWO related entries
+ * (key and a "reverse index" entry), bumping the attempt counter in
+ * an open-nested transaction.
+ */
+Task
+worker(ThreadCtx &tc, uint32_t index, uint64_t *inserted)
+{
+    for (int i = 0; i < kInsertsPerThread; ++i) {
+        const uint64_t key = 1 + index * 1000 + i;
+        bool ok1 = false, ok2 = false;
+        co_await tc.transaction(
+            [&, key](ThreadCtx &t) -> Task {
+                // Open-nested: counted even if this transaction
+                // aborts and retries (each attempt is counted).
+                co_await bumpAttempts(t);
+                if (t.txAborted())
+                    co_return;
+                // Two closed-nested inserts compose atomically:
+                // either both entries become visible or neither.
+                co_await tableInsert(t, key, key * 2, &ok1);
+                if (t.txAborted())
+                    co_return;
+                co_await tableInsert(t, key + 500'000, key, &ok2);
+                co_return;
+            });
+        if (ok1 && ok2)
+            ++*inserted;
+        co_await tc.think(150);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    TmSystem sys(cfg);
+    const Asid asid = sys.os().createProcess();
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+        sys.mem().data().store(sys.os().translate(asid, bucketKey(b)),
+                               0);
+    }
+    sys.mem().data().store(sys.os().translate(asid, kStatsBase), 0);
+
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    std::vector<Task> tasks;
+    std::vector<uint64_t> inserted(kThreads, 0);
+    uint32_t done = 0;
+    for (uint32_t i = 0; i < kThreads; ++i) {
+        const ThreadId t = sys.os().spawnThread(asid);
+        ctxs.push_back(std::make_unique<ThreadCtx>(sys, t));
+        tasks.push_back(worker(*ctxs.back(), i, &inserted[i]));
+        tasks.back().setOnDone([&done]() { ++done; });
+    }
+    for (auto &task : tasks)
+        task.start();
+    sys.sim().runUntil([&]() { return done == kThreads; });
+
+    // Validate: every completed pair is fully visible.
+    uint64_t pairs_found = 0, entries = 0;
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+        const uint64_t key = sys.mem().data().load(
+            sys.os().translate(asid, bucketKey(b)));
+        if (key == 0)
+            continue;
+        ++entries;
+        if (key < 500'000)
+            ++pairs_found;
+    }
+    uint64_t total_inserted = 0;
+    for (uint64_t n : inserted)
+        total_inserted += n;
+    const uint64_t attempts = sys.mem().data().load(
+        sys.os().translate(asid, kStatsBase));
+    const uint64_t commits = sys.stats().counterValue("tm.commits");
+    const uint64_t aborts = sys.stats().counterValue("tm.aborts");
+
+    std::printf("pairs inserted      : %llu\n",
+                static_cast<unsigned long long>(total_inserted));
+    std::printf("table entries       : %llu (expect %llu)\n",
+                static_cast<unsigned long long>(entries),
+                static_cast<unsigned long long>(2 * total_inserted));
+    std::printf("attempts (open)     : %llu (>= %llu: counts "
+                "aborted attempts too)\n",
+                static_cast<unsigned long long>(attempts),
+                static_cast<unsigned long long>(total_inserted));
+    std::printf("commits / aborts    : %llu / %llu\n",
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(aborts));
+
+    const bool pairs_atomic = entries == 2 * total_inserted;
+    const bool attempts_monotonic = attempts >= total_inserted;
+    std::printf("composition atomic  : %s\n",
+                pairs_atomic ? "yes" : "NO (bug!)");
+    return (pairs_atomic && attempts_monotonic) ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#include "common/config.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+namespace {
+
+bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+std::string
+toString(SignatureKind k)
+{
+    switch (k) {
+      case SignatureKind::Perfect: return "Perfect";
+      case SignatureKind::BitSelect: return "BS";
+      case SignatureKind::DoubleBitSelect: return "DBS";
+      case SignatureKind::CoarseBitSelect: return "CBS";
+    }
+    return "?";
+}
+
+std::string
+toString(ConflictPolicy p)
+{
+    switch (p) {
+      case ConflictPolicy::StallRetry: return "StallRetry";
+      case ConflictPolicy::AbortAlways: return "AbortAlways";
+      case ConflictPolicy::StallThenAbort: return "StallThenAbort";
+    }
+    return "?";
+}
+
+std::string
+toString(CoherenceKind c)
+{
+    switch (c) {
+      case CoherenceKind::Directory: return "Directory";
+      case CoherenceKind::Snooping: return "Snooping";
+    }
+    return "?";
+}
+
+std::string
+SignatureConfig::name() const
+{
+    if (kind == SignatureKind::Perfect)
+        return "Perfect";
+    return toString(kind) + "_" + std::to_string(bits);
+}
+
+SignatureConfig
+sigPerfect()
+{
+    SignatureConfig c;
+    c.kind = SignatureKind::Perfect;
+    return c;
+}
+
+SignatureConfig
+sigBS(uint32_t bits)
+{
+    SignatureConfig c;
+    c.kind = SignatureKind::BitSelect;
+    c.bits = bits;
+    return c;
+}
+
+SignatureConfig
+sigCBS(uint32_t bits)
+{
+    SignatureConfig c;
+    c.kind = SignatureKind::CoarseBitSelect;
+    c.bits = bits;
+    return c;
+}
+
+SignatureConfig
+sigDBS(uint32_t bits)
+{
+    SignatureConfig c;
+    c.kind = SignatureKind::DoubleBitSelect;
+    c.bits = bits;
+    return c;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (numCores == 0 || threadsPerCore == 0)
+        logtm_fatal("need at least one core and one thread context");
+    if (!isPow2(l1Bytes) || !isPow2(l1Assoc) || !isPow2(l2Bytes) ||
+        !isPow2(l2Banks)) {
+        logtm_fatal("cache geometry must use power-of-two sizes");
+    }
+    if (l1Bytes / blockBytes / l1Assoc == 0)
+        logtm_fatal("L1 has zero sets");
+    if (signature.kind != SignatureKind::Perfect && !isPow2(signature.bits))
+        logtm_fatal("signature bit count must be a power of two");
+    if (signature.kind == SignatureKind::CoarseBitSelect &&
+        (!isPow2(signature.coarseGrainBytes) ||
+         signature.coarseGrainBytes < blockBytes)) {
+        logtm_fatal("CBS grain must be a power of two >= block size");
+    }
+    if (numChips == 0 || numCores % numChips != 0 ||
+        l2Banks % numChips != 0) {
+        logtm_fatal("cores and banks must partition evenly over chips");
+    }
+}
+
+} // namespace logtm

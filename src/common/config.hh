@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Typed configuration for the simulated system. Defaults reproduce
+ * Table 1 of the LogTM-SE paper (HPCA-13, 2007).
+ */
+
+#ifndef LOGTM_COMMON_CONFIG_HH
+#define LOGTM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+/** Which signature implementation a thread context uses (paper Fig 3). */
+enum class SignatureKind : uint8_t {
+    Perfect,        ///< exact read/write sets (unimplementable ideal)
+    BitSelect,      ///< BS: decode low block-address bits
+    DoubleBitSelect,///< DBS: decode two address fields, AND on test
+    CoarseBitSelect,///< CBS: BS at macro-block (e.g. 1 KB) granularity
+};
+
+/** How a transaction reacts when its request is NACKed. */
+enum class ConflictPolicy : uint8_t {
+    StallRetry,     ///< LogTM default: stall, retry, abort on cycle
+    AbortAlways,    ///< ablation: requester aborts on first conflict
+    /** Simple contention manager (paper §2 mentions trapping to one
+     *  as future work): stall like LogTM, but self-abort after
+     *  stallAbortThreshold consecutive NACKs of one access. */
+    StallThenAbort,
+};
+
+/** Coherence substrate (paper §5 vs §7). */
+enum class CoherenceKind : uint8_t {
+    Directory,  ///< MESI directory on a mesh, sticky states (§5)
+    Snooping,   ///< broadcast bus with a wired-OR nack signal (§7)
+};
+
+std::string toString(SignatureKind k);
+std::string toString(ConflictPolicy p);
+std::string toString(CoherenceKind c);
+
+/** Signature configuration (one instance each for read and write sets). */
+struct SignatureConfig
+{
+    SignatureKind kind = SignatureKind::Perfect;
+    /** Number of signature bits (power of two), e.g. 2048 or 64. */
+    uint32_t bits = 2048;
+    /** CBS only: bytes summarized per signature bit (paper: 1 KB). */
+    uint32_t coarseGrainBytes = 1024;
+
+    std::string name() const;
+};
+
+/** Paper signature presets used throughout the evaluation. */
+SignatureConfig sigPerfect();
+SignatureConfig sigBS(uint32_t bits = 2048);
+SignatureConfig sigCBS(uint32_t bits = 2048);
+SignatureConfig sigDBS(uint32_t bits = 2048);
+
+/** Full system configuration. Defaults mirror paper Table 1. */
+struct SystemConfig
+{
+    // --- CMP organization -------------------------------------------
+    uint32_t numCores = 16;
+    uint32_t threadsPerCore = 2;        ///< 2-way SMT
+    uint32_t meshCols = 4;              ///< 4x3 grid + memory row
+    uint32_t meshRows = 4;
+
+    // --- L1 (private, split I/D; we model D only) -------------------
+    uint32_t l1Bytes = 32 * 1024;
+    uint32_t l1Assoc = 4;
+    Cycle l1HitLatency = 1;
+
+    // --- L2 (shared, banked, inclusive) ------------------------------
+    uint32_t l2Bytes = 8 * 1024 * 1024;
+    uint32_t l2Assoc = 8;
+    uint32_t l2Banks = 16;
+    Cycle l2HitLatency = 34;
+    Cycle directoryLatency = 6;
+
+    // --- Memory -------------------------------------------------------
+    Cycle dramLatency = 500;
+
+    // --- Interconnect --------------------------------------------------
+    Cycle linkLatency = 3;
+    CoherenceKind coherence = CoherenceKind::Directory;
+
+    // --- Multiple CMPs (paper §7) ---------------------------------------
+    /** Cores/banks are partitioned across chips; crossing a chip
+     *  boundary pays interChipLatency each way (point-to-point
+     *  inter-chip links). 1 = single CMP. */
+    uint32_t numChips = 1;
+    Cycle interChipLatency = 50;
+
+    // --- TM configuration ----------------------------------------------
+    SignatureConfig signature;          ///< used for both R and W sets
+    ConflictPolicy conflictPolicy = ConflictPolicy::StallRetry;
+    uint32_t logFilterEntries = 16;     ///< 0 disables the filter
+    Cycle logWriteLatency = 1;          ///< per undo record at store time
+    Cycle abortRestoreLatency = 8;      ///< per undo record at abort time
+    Cycle commitLatency = 1;            ///< local commit cost
+    Cycle abortTrapLatency = 40;        ///< enter software abort handler
+    Cycle nackRetryBase = 20;           ///< base stall before retry
+    /** Post-abort backoff doubles per consecutive abort up to
+     *  nackRetryBase << backoffMaxShift; must be generous enough for
+     *  contention on a hot block to collapse (LogTM uses randomized
+     *  exponential backoff after aborts). */
+    uint32_t backoffMaxShift = 14;
+    /** StallThenAbort: consecutive NACKs of one access before the
+     *  requester traps to the contention manager and self-aborts. */
+    uint32_t stallAbortThreshold = 16;
+    Cycle summaryTrapLatency = 100;     ///< trap on summary-sig conflict
+    Cycle contextSwitchLatency = 2000;  ///< OS deschedule/reschedule cost
+
+    /** Number of hardware thread contexts in the system. */
+    uint32_t numContexts() const { return numCores * threadsPerCore; }
+
+    /** Seed for all deterministic randomness in a run. */
+    uint64_t seed = 1;
+
+    /** Sanity-check invariants (power-of-two sizes etc.). */
+    void validate() const;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_COMMON_CONFIG_HH

@@ -1,0 +1,33 @@
+#include "common/log.hh"
+
+namespace logtm {
+
+bool debugTraceEnabled = false;
+
+void
+setDebugTrace(bool on)
+{
+    debugTraceEnabled = on;
+}
+
+void
+logMessage(const char *severity, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", severity, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+} // namespace logtm

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal logging / assertion helpers in the spirit of gem5's
+ * logging.hh: panic() for simulator bugs, fatal() for user errors.
+ */
+
+#ifndef LOGTM_COMMON_LOG_HH
+#define LOGTM_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace logtm {
+
+/** Global debug-trace switch (off by default; cheap to test). */
+extern bool debugTraceEnabled;
+
+/** Enable or disable debug tracing at runtime. */
+void setDebugTrace(bool on);
+
+/** Internal: emit a formatted message with a severity prefix. */
+void logMessage(const char *severity, const std::string &msg);
+
+/**
+ * Abort the process: something happened that should never happen
+ * regardless of user input (a simulator bug).
+ */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/**
+ * Exit with an error: the simulation cannot continue due to a user
+ * error (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace logtm
+
+#define logtm_panic(msg) ::logtm::panicImpl(__FILE__, __LINE__, (msg))
+#define logtm_fatal(msg) ::logtm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that survives NDEBUG builds. */
+#define logtm_assert(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::logtm::panicImpl(__FILE__, __LINE__,                        \
+                std::string("assertion failed: ") + #cond + ": " + (msg));\
+    } while (0)
+
+#endif // LOGTM_COMMON_LOG_HH

@@ -1,0 +1,66 @@
+#include "common/stats.hh"
+
+namespace logtm {
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Sampler &
+StatsRegistry::sampler(const std::string &name)
+{
+    return samplers_[name];
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+uint64_t
+StatsRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+uint64_t
+StatsRegistry::sumCounters(const std::string &prefix) const
+{
+    uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second.value();
+    }
+    return total;
+}
+
+void
+StatsRegistry::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : samplers_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : samplers_) {
+        os << kv.first << " count=" << kv.second.count()
+           << " mean=" << kv.second.mean() << " min=" << kv.second.min()
+           << " max=" << kv.second.max() << "\n";
+    }
+}
+
+} // namespace logtm

@@ -1,0 +1,88 @@
+#include "common/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace logtm {
+
+namespace {
+
+constexpr size_t numCats = static_cast<size_t>(TraceCat::NumCats);
+bool enabled[numCats] = {};
+bool initialized = false;
+
+const char *
+catName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Protocol: return "protocol";
+      case TraceCat::Bus: return "bus";
+      case TraceCat::Tm: return "tm";
+      case TraceCat::Os: return "os";
+      case TraceCat::NumCats: break;
+    }
+    return "?";
+}
+
+void
+initFromEnv()
+{
+    initialized = true;
+    const char *env = std::getenv("LOGTM_TRACE");
+    if (env)
+        setTraceCategories(env);
+}
+
+} // namespace
+
+void
+setTraceCategories(const std::string &csv)
+{
+    initialized = true;
+    for (auto &e : enabled)
+        e = false;
+    size_t pos = 0;
+    while (pos <= csv.size()) {
+        size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        const std::string token = csv.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "all") {
+            for (auto &e : enabled)
+                e = true;
+            continue;
+        }
+        for (size_t c = 0; c < numCats; ++c) {
+            if (token == catName(static_cast<TraceCat>(c)))
+                enabled[c] = true;
+        }
+    }
+}
+
+bool
+traceEnabled(TraceCat cat)
+{
+    if (!initialized)
+        initFromEnv();
+    return enabled[static_cast<size_t>(cat)];
+}
+
+void
+traceMsgf(TraceCat cat, Cycle now, const char *fmt, ...)
+{
+    char buf[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%10llu: %s: %s\n",
+                 static_cast<unsigned long long>(now), catName(cat),
+                 buf);
+}
+
+} // namespace logtm

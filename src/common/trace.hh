@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Category-gated debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Categories are enabled programmatically (setTraceCategories) or via
+ * the LOGTM_TRACE environment variable, e.g.
+ *
+ *     LOGTM_TRACE=protocol,tm ./build/examples/quickstart
+ *
+ * Tracing is off by default and each call site is guarded by a cheap
+ * flag test, so instrumentation costs nothing in normal runs.
+ */
+
+#ifndef LOGTM_COMMON_TRACE_HH
+#define LOGTM_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+enum class TraceCat : uint8_t {
+    Protocol,  ///< directory/L1 coherence messages
+    Bus,       ///< snooping-bus transactions
+    Tm,        ///< transaction begin/commit/abort/conflict
+    Os,        ///< scheduling, summaries, paging
+    NumCats,
+};
+
+/** Enable exactly the categories in a comma-separated list
+ *  ("protocol,tm"); "all" enables everything; "" disables all. */
+void setTraceCategories(const std::string &csv);
+
+/** True when @p cat is enabled (env LOGTM_TRACE read on first use). */
+bool traceEnabled(TraceCat cat);
+
+/** Emit one trace line: "<cycle>: <cat>: <message>". */
+void traceMsgf(TraceCat cat, Cycle now, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace logtm
+
+/** Guarded trace call; arguments are not evaluated when disabled. */
+#define logtm_trace(cat, now, ...)                                       \
+    do {                                                                  \
+        if (::logtm::traceEnabled(cat))                                   \
+            ::logtm::traceMsgf((cat), (now), __VA_ARGS__);                \
+    } while (0)
+
+#endif // LOGTM_COMMON_TRACE_HH

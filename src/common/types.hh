@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental scalar types and address helpers used across the
+ * LogTM-SE simulator.
+ */
+
+#ifndef LOGTM_COMMON_TYPES_HH
+#define LOGTM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace logtm {
+
+/** Simulated time, measured in processor cycles. */
+using Cycle = uint64_t;
+
+/** Physical byte address. */
+using PhysAddr = uint64_t;
+
+/** Virtual byte address. */
+using VirtAddr = uint64_t;
+
+/** Hardware thread-context id (globally unique across cores). */
+using CtxId = uint32_t;
+
+/** Core id. */
+using CoreId = uint32_t;
+
+/** Software thread id. */
+using ThreadId = uint32_t;
+
+/** Address-space (process) identifier carried on coherence requests. */
+using Asid = uint32_t;
+
+/** L2 bank id. */
+using BankId = uint32_t;
+
+/** Invalid / "none" sentinels. */
+constexpr CtxId invalidCtx = std::numeric_limits<CtxId>::max();
+constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+constexpr ThreadId invalidThread = std::numeric_limits<ThreadId>::max();
+
+/** Cache-block geometry shared by the whole system (paper: 64 bytes). */
+constexpr uint32_t blockBytesLog2 = 6;
+constexpr uint32_t blockBytes = 1u << blockBytesLog2;
+
+/** Page geometry (4 KB pages). */
+constexpr uint32_t pageBytesLog2 = 12;
+constexpr uint64_t pageBytes = 1ull << pageBytesLog2;
+
+/** Return the block-aligned address containing @p a. */
+constexpr PhysAddr
+blockAlign(PhysAddr a)
+{
+    return a & ~static_cast<PhysAddr>(blockBytes - 1);
+}
+
+/** Return the block number (address / blockBytes). */
+constexpr uint64_t
+blockNumber(PhysAddr a)
+{
+    return a >> blockBytesLog2;
+}
+
+/** Return the page number of an address. */
+constexpr uint64_t
+pageNumber(uint64_t a)
+{
+    return a >> pageBytesLog2;
+}
+
+/** Return the byte offset of an address within its page. */
+constexpr uint64_t
+pageOffset(uint64_t a)
+{
+    return a & (pageBytes - 1);
+}
+
+/** Kind of memory reference, used by signatures and conflict checks. */
+enum class AccessType : uint8_t { Read, Write };
+
+} // namespace logtm
+
+#endif // LOGTM_COMMON_TYPES_HH

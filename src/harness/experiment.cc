@@ -1,0 +1,119 @@
+#include "harness/experiment.hh"
+
+#include "common/log.hh"
+#include "workload/berkeleydb.hh"
+#include "workload/cholesky.hh"
+#include "workload/microbench.hh"
+#include "workload/mp3d.hh"
+#include "workload/radiosity.hh"
+#include "workload/raytrace.hh"
+
+namespace logtm {
+
+std::string
+toString(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::BerkeleyDB: return "BerkeleyDB";
+      case Benchmark::Cholesky: return "Cholesky";
+      case Benchmark::Radiosity: return "Radiosity";
+      case Benchmark::Raytrace: return "Raytrace";
+      case Benchmark::Mp3d: return "Mp3d";
+      case Benchmark::Microbench: return "Microbench";
+    }
+    return "?";
+}
+
+std::vector<Benchmark>
+paperBenchmarks()
+{
+    return {Benchmark::BerkeleyDB, Benchmark::Cholesky,
+            Benchmark::Radiosity, Benchmark::Raytrace, Benchmark::Mp3d};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(Benchmark b, TmSystem &sys, const WorkloadParams &params)
+{
+    switch (b) {
+      case Benchmark::BerkeleyDB:
+        return std::make_unique<BerkeleyDbWorkload>(sys, params);
+      case Benchmark::Cholesky:
+        return std::make_unique<CholeskyWorkload>(sys, params);
+      case Benchmark::Radiosity:
+        return std::make_unique<RadiosityWorkload>(sys, params);
+      case Benchmark::Raytrace:
+        return std::make_unique<RaytraceWorkload>(sys, params);
+      case Benchmark::Mp3d:
+        return std::make_unique<Mp3dWorkload>(sys, params);
+      case Benchmark::Microbench:
+        return std::make_unique<MicrobenchWorkload>(sys, params);
+    }
+    logtm_panic("unknown benchmark");
+}
+
+uint64_t
+defaultUnits(Benchmark b)
+{
+    // Paper Table 2 measures 1,120 / 261 / 11,172 / 47,781 / 17,733
+    // transactions; we preserve the relative magnitudes at roughly
+    // 1/8 scale to keep simulations fast.
+    switch (b) {
+      case Benchmark::BerkeleyDB: return 512;
+      case Benchmark::Cholesky: return 128;
+      case Benchmark::Radiosity: return 1408;
+      case Benchmark::Raytrace: return 6016;
+      case Benchmark::Mp3d: return 2176;
+      case Benchmark::Microbench: return 512;
+    }
+    return 512;
+}
+
+ExperimentResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    TmSystem sys(cfg.sys);
+    auto wl = makeWorkload(cfg.bench, sys, cfg.wl);
+    const WorkloadResult run = wl->run();
+    const StatsRegistry &st = sys.stats();
+
+    ExperimentResult res;
+    res.bench = run.name;
+    res.variant = cfg.wl.useTm ? cfg.sys.signature.name() : "Lock";
+    res.cycles = run.cycles;
+    res.units = run.units;
+    res.commits = st.counterValue("tm.commits");
+    res.aborts = st.counterValue("tm.aborts");
+    res.stalls = st.counterValue("tm.stalls");
+    res.conflictsTrue = st.counterValue("tm.conflictsTrue");
+    res.conflictsFalse = st.counterValue("tm.conflictsFalse");
+    res.summaryTraps = st.counterValue("tm.summaryTraps");
+    res.l1TxVictims = st.counterValue("l1.txVictims");
+    res.l2TxVictims = st.counterValue("l2.txVictims");
+    res.l2SigBroadcasts = st.counterValue("l2.sigBroadcasts");
+
+    const auto &rd = st.samplers().find("tm.readSetBlocks");
+    if (rd != st.samplers().end()) {
+        res.readAvg = rd->second.mean();
+        res.readMax = rd->second.max();
+    }
+    const auto &wr = st.samplers().find("tm.writeSetBlocks");
+    if (wr != st.samplers().end()) {
+        res.writeAvg = wr->second.mean();
+        res.writeMax = wr->second.max();
+    }
+    const auto &un = st.samplers().find("tm.undoRecordsPerTx");
+    if (un != st.samplers().end())
+        res.undoRecordsAvg = un->second.mean();
+    return res;
+}
+
+double
+speedupVs(const ExperimentResult &tm, const ExperimentResult &lock)
+{
+    if (tm.cycles == 0)
+        return 0.0;
+    return static_cast<double>(lock.cycles) /
+        static_cast<double>(tm.cycles);
+}
+
+} // namespace logtm

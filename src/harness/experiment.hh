@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment harness: build a TmSystem + workload from a config, run
+ * it, and snapshot the statistics the paper's tables and figures
+ * report (commits, aborts, stalls, false-positive fraction,
+ * read/write-set sizes, victimizations, execution time).
+ */
+
+#ifndef LOGTM_HARNESS_EXPERIMENT_HH
+#define LOGTM_HARNESS_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace logtm {
+
+enum class Benchmark {
+    BerkeleyDB,
+    Cholesky,
+    Radiosity,
+    Raytrace,
+    Mp3d,
+    Microbench,
+};
+
+std::string toString(Benchmark b);
+
+/** The five paper benchmarks (Table 2 order). */
+std::vector<Benchmark> paperBenchmarks();
+
+/** Construct a workload instance. */
+std::unique_ptr<Workload> makeWorkload(Benchmark b, TmSystem &sys,
+                                       const WorkloadParams &params);
+
+/** Default unit count per benchmark, scaled for simulation time while
+ *  preserving the paper's relative transaction counts. */
+uint64_t defaultUnits(Benchmark b);
+
+struct ExperimentConfig
+{
+    Benchmark bench = Benchmark::Microbench;
+    SystemConfig sys;
+    WorkloadParams wl;
+};
+
+struct ExperimentResult
+{
+    std::string bench;
+    std::string variant;        ///< "Lock" or signature name
+    Cycle cycles = 0;
+    uint64_t units = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t stalls = 0;
+    uint64_t conflictsTrue = 0;
+    uint64_t conflictsFalse = 0;
+    uint64_t summaryTraps = 0;
+    uint64_t l1TxVictims = 0;
+    uint64_t l2TxVictims = 0;
+    uint64_t l2SigBroadcasts = 0;
+    double readAvg = 0, readMax = 0;
+    double writeAvg = 0, writeMax = 0;
+    double undoRecordsAvg = 0;
+
+    /** Fraction of signalled conflicts that were false positives. */
+    double
+    falsePositivePct() const
+    {
+        const uint64_t total = conflictsTrue + conflictsFalse;
+        return total ? 100.0 * static_cast<double>(conflictsFalse) /
+                static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** Run one experiment on a fresh system. */
+ExperimentResult runExperiment(const ExperimentConfig &cfg);
+
+/** Speedup of @p tm relative to @p lock (same work, lower is slower). */
+double speedupVs(const ExperimentResult &tm, const ExperimentResult &lock);
+
+} // namespace logtm
+
+#endif // LOGTM_HARNESS_EXPERIMENT_HH

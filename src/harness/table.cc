@@ -1,0 +1,77 @@
+#include "harness/table.hh"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    logtm_assert(cells.size() == headers_.size(),
+                 "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? "  " : "") << std::left
+               << std::setw(static_cast<int>(width[c])) << cells[c];
+        }
+        os << "\n";
+    };
+    line(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(width[c], '-') + (c + 1 < width.size() ? "  " : "");
+    os << rule << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << "\n";
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmt(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace logtm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Aligned-text table printer (and CSV emitter) for the benchmark
+ * harness output.
+ */
+
+#ifndef LOGTM_HARNESS_TABLE_HH
+#define LOGTM_HARNESS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace logtm {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** Formatting helpers. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt(uint64_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_HARNESS_TABLE_HH

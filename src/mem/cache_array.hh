@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Generic set-associative tag array with LRU replacement, shared by
+ * the L1 controllers and L2 banks. The per-line payload type carries
+ * controller-specific state (MESI state, directory entry, ...).
+ */
+
+#ifndef LOGTM_MEM_CACHE_ARRAY_HH
+#define LOGTM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace logtm {
+
+template <typename PayloadT>
+class CacheArray
+{
+  public:
+    struct Line
+    {
+        bool valid = false;
+        PhysAddr block = 0;  ///< block-aligned address
+        uint64_t lru = 0;    ///< larger = more recently used
+        PayloadT payload{};
+    };
+
+    /**
+     * @param bytes total capacity
+     * @param assoc ways per set
+     */
+    CacheArray(uint32_t bytes, uint32_t assoc)
+        : assoc_(assoc), numSets_(bytes / blockBytes / assoc),
+          lines_(static_cast<size_t>(numSets_) * assoc)
+    {
+        logtm_assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0,
+                     "cache set count must be a nonzero power of two");
+    }
+
+    uint32_t numSets() const { return numSets_; }
+    uint32_t assoc() const { return assoc_; }
+
+    /** Find the line holding @p block, or nullptr. Does not touch LRU. */
+    Line *
+    find(PhysAddr block)
+    {
+        Line *set = setOf(block);
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].valid && set[w].block == block)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(PhysAddr block) const
+    {
+        return const_cast<CacheArray *>(this)->find(block);
+    }
+
+    /** Mark @p line most recently used. */
+    void touch(Line &line) { line.lru = ++lruClock_; }
+
+    /**
+     * Pick a victim way in @p block's set: an invalid line if any,
+     * otherwise the LRU line for which @p evictable returns true.
+     * @return nullptr if every valid candidate is pinned.
+     */
+    Line *
+    pickVictim(PhysAddr block,
+               const std::function<bool(const Line &)> &evictable)
+    {
+        Line *set = setOf(block);
+        Line *best = nullptr;
+        for (uint32_t w = 0; w < assoc_; ++w) {
+            Line &line = set[w];
+            if (!line.valid)
+                return &line;
+            if (!evictable(line))
+                continue;
+            if (!best || line.lru < best->lru)
+                best = &line;
+        }
+        return best;
+    }
+
+    /** Install @p block into @p line (which must be invalid). */
+    void
+    install(Line &line, PhysAddr block)
+    {
+        logtm_assert(!line.valid, "installing over a valid line");
+        line.valid = true;
+        line.block = block;
+        line.payload = PayloadT{};
+        touch(line);
+    }
+
+    /** Invalidate a line. */
+    void
+    invalidate(Line &line)
+    {
+        line.valid = false;
+        line.payload = PayloadT{};
+    }
+
+    /** Apply @p fn to every valid line. */
+    void
+    forEachValid(const std::function<void(Line &)> &fn)
+    {
+        for (auto &line : lines_) {
+            if (line.valid)
+                fn(line);
+        }
+    }
+
+    /** Number of valid lines (occupancy stat). */
+    uint32_t
+    occupancy() const
+    {
+        uint32_t n = 0;
+        for (const auto &line : lines_) {
+            if (line.valid)
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    Line *
+    setOf(PhysAddr block)
+    {
+        const uint64_t set = blockNumber(block) & (numSets_ - 1);
+        return &lines_[set * assoc_];
+    }
+
+    uint32_t assoc_;
+    uint32_t numSets_;
+    uint64_t lruClock_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_CACHE_ARRAY_HH

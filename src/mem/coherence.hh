@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interfaces between the memory system and the transactional-memory
+ * layer: signature conflict checks on incoming coherence traffic, and
+ * the completion result handed back to the CPU side.
+ */
+
+#ifndef LOGTM_MEM_COHERENCE_HH
+#define LOGTM_MEM_COHERENCE_HH
+
+#include <functional>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+/** Outcome of a signature check against one core's thread contexts. */
+struct ConflictVerdict
+{
+    /** A transactional context on the core conflicts (same ASID). */
+    bool conflict = false;
+    /** Block is in some local signature (sticky directory hint). */
+    bool keepSticky = false;
+    /** Block is in some local *write* signature (sticky-M hint). */
+    bool inWriteSet = false;
+    /** Timestamp/context of the oldest conflicting transaction. */
+    uint64_t nackerTs = ~0ull;
+    CtxId nackerCtx = invalidCtx;
+};
+
+/**
+ * Implemented by the TM engine (LogTmSeEngine); consulted by L1
+ * controllers when coherence requests arrive, per paper §2 "Eager
+ * Conflict Detection". A no-TM NullConflictChecker lets the memory
+ * system run standalone.
+ */
+class ConflictChecker
+{
+  public:
+    virtual ~ConflictChecker() = default;
+
+    /**
+     * Check a remote request against every scheduled transactional
+     * context on @p core.
+     *
+     * @param core        the core receiving the probe
+     * @param block       block-aligned physical address
+     * @param remote_type Read => check write sets only;
+     *                    Write => check read and write sets
+     * @param req_asid    requester's address-space id (NACK filter)
+     * @param req_ctx     requesting context (never conflicts with self)
+     * @param req_ts      requester transaction timestamp (deadlock
+     *                    avoidance bookkeeping)
+     */
+    virtual ConflictVerdict checkRemote(CoreId core, PhysAddr block,
+                                        AccessType remote_type,
+                                        Asid req_asid, CtxId req_ctx,
+                                        uint64_t req_ts) = 0;
+
+    /** Is @p block in any scheduled context's signature on @p core? */
+    virtual bool inAnyLocalSig(CoreId core, PhysAddr block) const = 0;
+};
+
+/** Conflict checker that never conflicts (plain multiprocessor). */
+class NullConflictChecker : public ConflictChecker
+{
+  public:
+    ConflictVerdict
+    checkRemote(CoreId, PhysAddr, AccessType, Asid, CtxId,
+                uint64_t) override
+    {
+        return {};
+    }
+
+    bool inAnyLocalSig(CoreId, PhysAddr) const override { return false; }
+};
+
+/** Completion result of a CPU-side memory access. */
+struct MemAccessResult
+{
+    /** The access was NACKed (TM conflict or resource); retry later. */
+    bool nacked = false;
+    /** True when the NACK came from a conflicting transaction. */
+    bool conflictNack = false;
+    uint64_t nackerTs = ~0ull;
+    CtxId nackerCtx = invalidCtx;
+};
+
+using MemDoneFn = std::function<void(const MemAccessResult &)>;
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_COHERENCE_HH

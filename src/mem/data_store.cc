@@ -1,0 +1,36 @@
+#include "mem/data_store.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+uint64_t
+DataStore::load(PhysAddr addr) const
+{
+    logtm_assert((addr & 7) == 0, "unaligned word load");
+    auto it = words_.find(addr);
+    return it == words_.end() ? 0 : it->second;
+}
+
+void
+DataStore::store(PhysAddr addr, uint64_t value)
+{
+    logtm_assert((addr & 7) == 0, "unaligned word store");
+    words_[addr] = value;
+}
+
+void
+DataStore::copyPage(uint64_t from_page, uint64_t to_page)
+{
+    const PhysAddr from_base = from_page << pageBytesLog2;
+    const PhysAddr to_base = to_page << pageBytesLog2;
+    for (uint64_t off = 0; off < pageBytes; off += 8) {
+        auto it = words_.find(from_base + off);
+        if (it != words_.end())
+            words_[to_base + off] = it->second;
+        else
+            words_.erase(to_base + off);
+    }
+}
+
+} // namespace logtm

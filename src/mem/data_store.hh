@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Functional data values for the simulated physical memory, at 8-byte
+ * word granularity. Timing is modelled by the protocol; values are
+ * read and written here when memory operations complete, which is what
+ * lets the test suite verify undo-log roll-back, isolation and
+ * atomicity functionally (DESIGN.md §1).
+ */
+
+#ifndef LOGTM_MEM_DATA_STORE_HH
+#define LOGTM_MEM_DATA_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+class DataStore
+{
+  public:
+    /** Read the 8-byte word at @p addr (must be 8-byte aligned). */
+    uint64_t load(PhysAddr addr) const;
+
+    /** Write the 8-byte word at @p addr. */
+    void store(PhysAddr addr, uint64_t value);
+
+    /** Number of words ever written (footprint stat). */
+    size_t footprintWords() const { return words_.size(); }
+
+    /**
+     * Copy all words of physical page @p from_page to @p to_page
+     * (page relocation support, paper §4.2).
+     */
+    void copyPage(uint64_t from_page, uint64_t to_page);
+
+  private:
+    std::unordered_map<PhysAddr, uint64_t> words_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_DATA_STORE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Off-chip DRAM timing model: a fixed access latency (paper Table 1:
+ * 500 cycles) plus per-controller serialization so back-to-back
+ * requests queue.
+ */
+
+#ifndef LOGTM_MEM_DRAM_HH
+#define LOGTM_MEM_DRAM_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace logtm {
+
+class Dram
+{
+  public:
+    Dram(EventQueue &queue, StatsRegistry &stats, const SystemConfig &cfg,
+         uint32_t num_controllers = 4);
+
+    /**
+     * Issue an access through controller (bank % controllers); @p done
+     * runs when the access completes.
+     */
+    void access(BankId bank, std::function<void()> done);
+
+  private:
+    EventQueue &queue_;
+    Counter &accesses_;
+    Cycle latency_;
+    /** A controller begins a new access at most every busyInterval_. */
+    static constexpr Cycle busyInterval_ = 4;
+    std::vector<Cycle> nextFree_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_DRAM_HH

@@ -1,0 +1,377 @@
+#include "mem/l1_cache.hh"
+
+#include <memory>
+#include <string>
+
+#include "common/trace.hh"
+
+namespace logtm {
+
+L1Cache::L1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
+                 Mesh &mesh, const SystemConfig &cfg)
+    : core_(core), queue_(queue), mesh_(mesh), checker_(&nullChecker_),
+      cfg_(cfg), array_(cfg.l1Bytes, cfg.l1Assoc),
+      hits_(stats.counter("l1.hits")),
+      misses_(stats.counter("l1.misses")),
+      nacksIn_(stats.counter("l1.nacksReceived")),
+      nacksOut_(stats.counter("l1.nacksSent")),
+      evictions_(stats.counter("l1.evictions")),
+      txVictims_(stats.counter("l1.txVictims"))
+{
+}
+
+NodeId
+L1Cache::homeBankNode(PhysAddr block) const
+{
+    return cfg_.numCores +
+        static_cast<NodeId>(blockNumber(block) % cfg_.l2Banks);
+}
+
+bool
+L1Cache::holdsBlock(PhysAddr block) const
+{
+    const auto *line = array_.find(blockAlign(block));
+    return line && line->payload.state != Mesi::I;
+}
+
+bool
+L1Cache::holdsExclusive(PhysAddr block) const
+{
+    const auto *line = array_.find(blockAlign(block));
+    return line && (line->payload.state == Mesi::M ||
+                    line->payload.state == Mesi::E);
+}
+
+void
+L1Cache::access(PhysAddr addr, Request req)
+{
+    const PhysAddr block = blockAlign(addr);
+    Array::Line *line = array_.find(block);
+
+    const bool hit = line && line->payload.state != Mesi::I &&
+        (req.type == AccessType::Read ||
+         line->payload.state == Mesi::M || line->payload.state == Mesi::E);
+
+    if (hit) {
+        ++hits_;
+        array_.touch(*line);
+        // The hit commits after the hit latency. A probe (FwdGetS/
+        // Inv) processed inside that window can downgrade or steal
+        // the line BEFORE the engine records the access in the
+        // signature -- so the hit must be re-validated at completion
+        // and replayed through the coherence path if the line
+        // changed, exactly as hardware replays the memory stage.
+        auto shared_req = std::make_shared<Request>(std::move(req));
+        queue_.scheduleIn(cfg_.l1HitLatency,
+            [this, addr, block, shared_req]() {
+                Array::Line *now = array_.find(block);
+                const bool still_ok = now &&
+                    now->payload.state != Mesi::I &&
+                    (shared_req->type == AccessType::Read ||
+                     now->payload.state == Mesi::M ||
+                     now->payload.state == Mesi::E);
+                if (!still_ok) {
+                    access(addr, std::move(*shared_req));
+                    return;
+                }
+                if (shared_req->type == AccessType::Write)
+                    now->payload.state = Mesi::M;  // silent E->M
+                shared_req->done(MemAccessResult{});
+            }, EventPriority::Cpu);
+        return;
+    }
+
+    ++misses_;
+    auto it = mshrs_.find(block);
+    if (it != mshrs_.end()) {
+        // Merge into the outstanding miss; re-executed on completion.
+        it->second.secondaries.emplace_back(addr, std::move(req));
+        return;
+    }
+
+    Mshr mshr;
+    mshr.primaryAddr = addr;
+    mshr.reqType =
+        req.type == AccessType::Read ? MsgType::GetS : MsgType::GetM;
+    mshr.primary = std::move(req);
+    sendRequest(block, mshr);
+    mshrs_.emplace(block, std::move(mshr));
+}
+
+void
+L1Cache::sendRequest(PhysAddr block, const Mshr &mshr)
+{
+    Msg msg;
+    msg.type = mshr.reqType;
+    msg.src = core_;
+    msg.dst = homeBankNode(block);
+    msg.addr = block;
+    msg.requesterCtx = mshr.primary.ctx;
+    msg.asid = mshr.primary.asid;
+    msg.isTransactional = mshr.primary.transactional;
+    msg.accessType = mshr.primary.type;
+    msg.txTimestamp = mshr.primary.txTs;
+    mesh_.send(msg);
+}
+
+void
+L1Cache::handleMessage(const Msg &msg)
+{
+    logtm_trace(TraceCat::Protocol, queue_.now(), "L1[%u] rx %s",
+                core_, msg.describe().c_str());
+    switch (msg.type) {
+      case MsgType::DataS:
+      case MsgType::DataE:
+        fill(msg);
+        break;
+      case MsgType::Nack:
+        handleNack(msg);
+        break;
+      case MsgType::FwdGetS:
+      case MsgType::FwdGetM:
+        handleFwd(msg);
+        break;
+      case MsgType::Inv:
+        handleInv(msg);
+        break;
+      case MsgType::ForceInv:
+        handleForceInv(msg);
+        break;
+      case MsgType::SigCheck:
+        handleSigCheck(msg);
+        break;
+      default:
+        logtm_panic("L1 received unexpected message: " + msg.describe());
+    }
+}
+
+bool
+L1Cache::makeRoom(PhysAddr block)
+{
+    Array::Line *victim = array_.pickVictim(block,
+        [this](const Array::Line &line) {
+            // Never evict a block with an outstanding miss.
+            return mshrs_.find(line.block) == mshrs_.end();
+        });
+    if (!victim)
+        return false;
+    if (victim->valid)
+        evictLine(*victim);
+    return true;
+}
+
+void
+L1Cache::evictLine(Array::Line &line)
+{
+    ++evictions_;
+    const bool sticky = checker_->inAnyLocalSig(core_, line.block);
+    if (sticky) {
+        ++txVictims_;
+        logtm_trace(TraceCat::Protocol, queue_.now(),
+                    "L1[%u] sticky eviction of 0x%llx", core_,
+                    static_cast<unsigned long long>(line.block));
+    }
+
+    switch (line.payload.state) {
+      case Mesi::M: {
+        // Writeback; keepSticky tells the directory to retain the
+        // owner pointer (sticky-M) so probes still reach us.
+        Msg wb;
+        wb.type = MsgType::PutM;
+        wb.src = core_;
+        wb.dst = homeBankNode(line.block);
+        wb.addr = line.block;
+        wb.keepSticky = sticky;
+        wb.hasData = true;
+        mesh_.send(wb);
+        break;
+      }
+      case Mesi::E: {
+        if (!sticky) {
+            // Baseline MESI: tell the directory to clear the
+            // exclusive pointer. Transactional blocks stay silent
+            // (sticky-M/E).
+            Msg pc;
+            pc.type = MsgType::PutClean;
+            pc.src = core_;
+            pc.dst = homeBankNode(line.block);
+            pc.addr = line.block;
+            mesh_.send(pc);
+        }
+        break;
+      }
+      case Mesi::S:
+        // S replacements are always completely silent (paper §5).
+        break;
+      case Mesi::I:
+        break;
+    }
+    array_.invalidate(line);
+}
+
+void
+L1Cache::fill(const Msg &msg)
+{
+    auto it = mshrs_.find(msg.addr);
+    logtm_assert(it != mshrs_.end(), "fill without MSHR");
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    Array::Line *line = array_.find(msg.addr);
+    if (!line) {
+        if (!makeRoom(msg.addr)) {
+            // Pathological: every way pinned by outstanding misses.
+            // Complete the access without caching the block.
+            mshr.primary.done(MemAccessResult{});
+            for (auto &sec : mshr.secondaries)
+                access(sec.first, std::move(sec.second));
+            return;
+        }
+        Array::Line *slot = array_.pickVictim(msg.addr,
+            [](const Array::Line &) { return true; });
+        logtm_assert(slot && !slot->valid, "makeRoom failed to free a way");
+        array_.install(*slot, msg.addr);
+        line = slot;
+    }
+
+    if (msg.type == MsgType::DataS) {
+        line->payload.state = Mesi::S;
+    } else {
+        line->payload.state =
+            mshr.primary.type == AccessType::Write ? Mesi::M : Mesi::E;
+    }
+    array_.touch(*line);
+
+    mshr.primary.done(MemAccessResult{});
+    for (auto &sec : mshr.secondaries)
+        access(sec.first, std::move(sec.second));
+}
+
+void
+L1Cache::handleNack(const Msg &msg)
+{
+    ++nacksIn_;
+    auto it = mshrs_.find(msg.addr);
+    logtm_assert(it != mshrs_.end(), "NACK without MSHR");
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    MemAccessResult res;
+    res.nacked = true;
+    res.conflictNack = msg.conflict;
+    res.nackerTs = msg.nackerTimestamp;
+    res.nackerCtx = msg.nackerCtx;
+    mshr.primary.done(res);
+    for (auto &sec : mshr.secondaries)
+        access(sec.first, std::move(sec.second));
+}
+
+ConflictVerdict
+L1Cache::probeVerdict(const Msg &msg, AccessType type)
+{
+    return checker_->checkRemote(core_, msg.addr, type, msg.asid,
+                                 msg.requesterCtx, msg.txTimestamp);
+}
+
+void
+L1Cache::handleFwd(const Msg &msg)
+{
+    const AccessType type = msg.type == MsgType::FwdGetS
+        ? AccessType::Read : AccessType::Write;
+    const ConflictVerdict verdict = probeVerdict(msg, type);
+
+    Msg ack;
+    ack.type = MsgType::AckFwd;
+    ack.src = core_;
+    ack.dst = msg.src;  // home bank
+    ack.addr = msg.addr;
+    ack.reqId = msg.reqId;
+    ack.keepSticky = verdict.keepSticky;
+    ack.inWriteSet = verdict.inWriteSet;
+
+    if (verdict.conflict) {
+        ++nacksOut_;
+        ack.conflict = true;
+        ack.nackerCtx = verdict.nackerCtx;
+        ack.nackerTimestamp = verdict.nackerTs;
+        mesh_.send(ack);
+        return;
+    }
+
+    Array::Line *line = array_.find(msg.addr);
+    if (line && line->payload.state != Mesi::I) {
+        ack.hasData = true;
+        if (msg.type == MsgType::FwdGetS) {
+            // M/E -> S; a dirty block is written back (functionally
+            // the DataStore is already current; timing is the ack).
+            line->payload.state = Mesi::S;
+        } else {
+            array_.invalidate(*line);
+        }
+    }
+    mesh_.send(ack);
+}
+
+void
+L1Cache::handleInv(const Msg &msg)
+{
+    const ConflictVerdict verdict = probeVerdict(msg, AccessType::Write);
+
+    Msg ack;
+    ack.type = MsgType::InvAck;
+    ack.src = core_;
+    ack.dst = msg.src;
+    ack.addr = msg.addr;
+    ack.reqId = msg.reqId;
+    ack.keepSticky = verdict.keepSticky;
+    ack.inWriteSet = verdict.inWriteSet;
+
+    if (verdict.conflict) {
+        // Conflicting sharer keeps its copy and NACKs.
+        ++nacksOut_;
+        ack.conflict = true;
+        ack.nackerCtx = verdict.nackerCtx;
+        ack.nackerTimestamp = verdict.nackerTs;
+        mesh_.send(ack);
+        return;
+    }
+
+    Array::Line *line = array_.find(msg.addr);
+    if (line && line->payload.state != Mesi::I)
+        array_.invalidate(*line);
+    mesh_.send(ack);
+}
+
+void
+L1Cache::handleForceInv(const Msg &msg)
+{
+    // L2 eviction back-invalidation (inclusion). May not be NACKed;
+    // dirty data is functionally in the DataStore already.
+    Array::Line *line = array_.find(msg.addr);
+    if (line && line->payload.state != Mesi::I)
+        array_.invalidate(*line);
+}
+
+void
+L1Cache::handleSigCheck(const Msg &msg)
+{
+    const ConflictVerdict verdict = probeVerdict(msg, msg.accessType);
+
+    Msg ack;
+    ack.type = MsgType::SigCheckAck;
+    ack.src = core_;
+    ack.dst = msg.src;
+    ack.addr = msg.addr;
+    ack.reqId = msg.reqId;
+    ack.keepSticky = verdict.keepSticky;
+    ack.inWriteSet = verdict.inWriteSet;
+    if (verdict.conflict) {
+        ++nacksOut_;
+        ack.conflict = true;
+        ack.nackerCtx = verdict.nackerCtx;
+        ack.nackerTimestamp = verdict.nackerTs;
+    }
+    mesh_.send(ack);
+}
+
+} // namespace logtm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Private L1 data cache controller (MESI) with LogTM-SE extensions:
+ *
+ *  - incoming FwdGetS/FwdGetM/Inv/SigCheck probes consult the core's
+ *    signatures through the ConflictChecker and may NACK;
+ *  - the controller answers probes even for blocks it no longer holds
+ *    (sticky states: the directory deliberately keeps stale info);
+ *  - evictions of blocks covered by a local signature are silent (no
+ *    directory update), implementing sticky-S/sticky-M;
+ *  - the cache itself is completely unaware of read/write sets: no
+ *    R/W bits, no flash clear, no write buffer (the paper's point).
+ *
+ * Protocol note (DESIGN.md): all data grants are sent by the home L2
+ * bank, whose per-block serialization plus the mesh's per-(src,dst)
+ * FIFO delivery guarantees that state-changing messages reach an L1 in
+ * directory order, so the controller never defers a probe.
+ */
+
+#ifndef LOGTM_MEM_L1_CACHE_HH
+#define LOGTM_MEM_L1_CACHE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache_array.hh"
+#include "mem/coherence.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace logtm {
+
+class L1Cache
+{
+  public:
+    /** CPU-side access descriptor. */
+    struct Request
+    {
+        CtxId ctx = invalidCtx;
+        AccessType type = AccessType::Read;
+        bool transactional = false;
+        uint64_t txTs = ~0ull;
+        Asid asid = 0;
+        MemDoneFn done;
+    };
+
+    L1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
+            Mesh &mesh, const SystemConfig &cfg);
+
+    /** Install the TM conflict checker (memory system wiring). */
+    void setConflictChecker(ConflictChecker *checker)
+    { checker_ = checker; }
+
+    /**
+     * CPU-side access to the block containing @p addr. Completion
+     * (hit, fill, or NACK) invokes req.done.
+     */
+    void access(PhysAddr addr, Request req);
+
+    /** Network receive handler (attached to the mesh). */
+    void handleMessage(const Msg &msg);
+
+    /** True if the cache currently holds @p block in a valid state. */
+    bool holdsBlock(PhysAddr block) const;
+
+    /** True if the cache holds @p block in M or E. */
+    bool holdsExclusive(PhysAddr block) const;
+
+    CoreId coreId() const { return core_; }
+
+  private:
+    enum class Mesi : uint8_t { I, S, E, M };
+
+    struct LinePayload
+    {
+        Mesi state = Mesi::I;
+    };
+
+    using Array = CacheArray<LinePayload>;
+
+    struct Mshr
+    {
+        Request primary;
+        PhysAddr primaryAddr = 0;
+        MsgType reqType = MsgType::GetS;
+        /** Same-block accesses arriving while the miss is pending. */
+        std::vector<std::pair<PhysAddr, Request>> secondaries;
+    };
+
+    NodeId homeBankNode(PhysAddr block) const;
+    void sendRequest(PhysAddr block, const Mshr &mshr);
+    void fill(const Msg &msg);
+    void handleNack(const Msg &msg);
+    void handleFwd(const Msg &msg);
+    void handleInv(const Msg &msg);
+    void handleForceInv(const Msg &msg);
+    void handleSigCheck(const Msg &msg);
+    /** Evict a victim to make room in @p block's set; false if stuck. */
+    bool makeRoom(PhysAddr block);
+    void evictLine(Array::Line &line);
+    ConflictVerdict probeVerdict(const Msg &msg, AccessType type);
+
+    CoreId core_;
+    EventQueue &queue_;
+    Mesh &mesh_;
+    ConflictChecker *checker_;
+    NullConflictChecker nullChecker_;
+    const SystemConfig &cfg_;
+    Array array_;
+    std::unordered_map<PhysAddr, Mshr> mshrs_;
+
+    Counter &hits_;
+    Counter &misses_;
+    Counter &nacksIn_;
+    Counter &nacksOut_;
+    Counter &evictions_;
+    Counter &txVictims_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_L1_CACHE_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * One bank of the shared, inclusive L2 cache with an embedded MESI
+ * directory (full sharer bit-vector + exclusive owner pointer) and the
+ * LogTM-SE protocol extensions of paper §5:
+ *
+ *  - GETS/GETM trigger CONFLICT checks at the cores via forwarded
+ *    probes; conflicting responses NACK the requester;
+ *  - sticky states: responses carry keepSticky/inWriteSet hints so the
+ *    directory retains stale owner/sharer info for transactional
+ *    blocks, guaranteeing later probes still reach the right cores;
+ *  - on L2 replacement of a block with live directory info, the block
+ *    is recorded in a lost-directory set; the next request for it
+ *    broadcasts SigCheck probes to every core, rebuilds the directory
+ *    from the responses, and enters a must-check state if NACKed.
+ *
+ * The bank serializes requests per block (blocking directory): while a
+ * request transaction for a block is in flight, later requests queue.
+ */
+
+#ifndef LOGTM_MEM_L2_BANK_HH
+#define LOGTM_MEM_L2_BANK_HH
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache_array.hh"
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "net/mesh.hh"
+#include "sim/event_queue.hh"
+
+namespace logtm {
+
+class L2Bank
+{
+  public:
+    L2Bank(BankId bank, EventQueue &queue, StatsRegistry &stats,
+           Mesh &mesh, Dram &dram, const SystemConfig &cfg);
+
+    /** For victimization statistics only (never alters behaviour). */
+    void setConflictChecker(ConflictChecker *checker)
+    { checker_ = checker; }
+
+    /** Network receive handler (attached to the mesh). */
+    void handleMessage(const Msg &msg);
+
+    /** Directory introspection for tests. */
+    bool hasBlock(PhysAddr block) const;
+    bool isSharer(PhysAddr block, CoreId core) const;
+    CoreId ownerOf(PhysAddr block) const;
+    bool mustCheck(PhysAddr block) const;
+    bool inLostDir(PhysAddr block) const
+    { return lostDir_.count(blockAlign(block)) != 0; }
+
+  private:
+    /** Stable directory states. */
+    enum class DirState : uint8_t {
+        V,  ///< valid in L2, no L1 copies (modulo sticky hints)
+        S,  ///< one or more L1 sharers
+        E,  ///< one L1 owner holds E or M (possibly sticky)
+    };
+
+    struct DirEntry
+    {
+        DirState state = DirState::V;
+        uint32_t sharers = 0;          ///< core bit-vector
+        CoreId owner = invalidCore;
+        /** Signature checks required for every request (paper §5). */
+        bool mustCheckFlag = false;
+    };
+
+    using Array = CacheArray<DirEntry>;
+
+    /** In-flight request transaction for one block. */
+    struct Txn
+    {
+        Msg req;
+        uint64_t id = 0;
+        uint32_t pendingAcks = 0;
+        uint32_t invTargets = 0;       ///< cores sent Inv this txn
+        bool anyConflict = false;
+        uint64_t nackerTs = ~0ull;
+        CtxId nackerCtx = invalidCtx;
+        uint32_t stickyReaders = 0;    ///< keepSticky responders
+        uint32_t stickyWriters = 0;    ///< inWriteSet responders
+        bool probing = false;          ///< SigCheck broadcast phase
+    };
+
+    void acceptRequest(const Msg &msg);
+    void beginTxn(const Msg &msg);
+    void processTxn(PhysAddr block);
+    void serve(PhysAddr block);
+    void broadcastProbe(PhysAddr block);
+    void handlePut(const Msg &msg);
+    void handleInvAck(const Msg &msg);
+    void handleAckFwd(const Msg &msg);
+    void handleSigCheckAck(const Msg &msg);
+    void grantData(PhysAddr block, bool exclusive);
+    void nackRequester(PhysAddr block);
+    void completeTxn(PhysAddr block);
+    /** Ensure a free way exists for @p block; evict a victim if needed.
+     *  @return false if every candidate way is pinned by a txn. */
+    bool makeRoom(PhysAddr block);
+    void evictLine(Array::Line &line);
+    Array::Line *installLine(PhysAddr block);
+
+    static uint32_t bit(CoreId c) { return 1u << c; }
+    NodeId myNode() const { return cfg_.numCores + bank_; }
+    void send(Msg msg);
+
+    BankId bank_;
+    EventQueue &queue_;
+    Mesh &mesh_;
+    Dram &dram_;
+    ConflictChecker *checker_;
+    NullConflictChecker nullChecker_;
+    const SystemConfig &cfg_;
+    Array array_;
+    uint64_t nextTxnId_ = 1;
+
+    std::unordered_map<PhysAddr, Txn> active_;
+    std::unordered_map<PhysAddr, std::deque<Msg>> waiting_;
+    std::unordered_set<PhysAddr> lostDir_;
+
+    Counter &requests_;
+    Counter &nacks_;
+    Counter &dirEvictions_;
+    Counter &txVictims_;
+    Counter &broadcasts_;
+    Counter &dramFetches_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_L2_BANK_HH

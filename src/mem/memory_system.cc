@@ -1,0 +1,88 @@
+#include "mem/memory_system.hh"
+
+namespace logtm {
+
+MemorySystem::MemorySystem(Simulator &sim, const SystemConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+
+    if (snooping()) {
+        bus_ = std::make_unique<SnoopBus>(sim.queue(), sim.stats(),
+                                          cfg_);
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            snoopL1s_.push_back(std::make_unique<SnoopL1Cache>(
+                c, sim.queue(), sim.stats(), *bus_, cfg_));
+        }
+        bus_->setSnooper([this](CoreId c, const BusRequest &req) {
+            return snoopL1s_[c]->snoop(req);
+        });
+        snoopL2_ = std::make_unique<CacheArray<char>>(cfg_.l2Bytes,
+                                                      cfg_.l2Assoc);
+        bus_->setL2Lookup([this](PhysAddr block) {
+            auto *line = snoopL2_->find(block);
+            if (line) {
+                snoopL2_->touch(*line);
+                return true;
+            }
+            auto *slot = snoopL2_->pickVictim(
+                block, [](const CacheArray<char>::Line &) {
+                    return true;
+                });
+            if (slot) {
+                if (slot->valid)
+                    snoopL2_->invalidate(*slot);
+                snoopL2_->install(*slot, block);
+            }
+            return false;
+        });
+        return;
+    }
+
+    mesh_ = std::make_unique<Mesh>(sim.queue(), sim.stats(), cfg_);
+    dram_ = std::make_unique<Dram>(sim.queue(), sim.stats(), cfg_);
+
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        l1s_.push_back(std::make_unique<L1Cache>(
+            c, sim.queue(), sim.stats(), *mesh_, cfg_));
+        L1Cache *l1 = l1s_.back().get();
+        mesh_->attach(c, [l1](const Msg &msg) { l1->handleMessage(msg); });
+    }
+    for (BankId b = 0; b < cfg_.l2Banks; ++b) {
+        banks_.push_back(std::make_unique<L2Bank>(
+            b, sim.queue(), sim.stats(), *mesh_, *dram_, cfg_));
+        L2Bank *bank = banks_.back().get();
+        mesh_->attach(cfg_.numCores + b,
+                      [bank](const Msg &msg) { bank->handleMessage(msg); });
+    }
+}
+
+void
+MemorySystem::setConflictChecker(ConflictChecker *checker)
+{
+    for (auto &l1 : l1s_)
+        l1->setConflictChecker(checker);
+    for (auto &bank : banks_)
+        bank->setConflictChecker(checker);
+    for (auto &l1 : snoopL1s_)
+        l1->setConflictChecker(checker);
+}
+
+void
+MemorySystem::access(CoreId core, PhysAddr addr, L1Cache::Request req)
+{
+    if (snooping()) {
+        SnoopL1Cache::Request sreq;
+        sreq.ctx = req.ctx;
+        sreq.type = req.type;
+        sreq.transactional = req.transactional;
+        sreq.txTs = req.txTs;
+        sreq.asid = req.asid;
+        sreq.done = std::move(req.done);
+        snoopL1s_[core]->access(addr, std::move(sreq));
+        return;
+    }
+    l1s_[core]->access(addr, std::move(req));
+}
+
+} // namespace logtm

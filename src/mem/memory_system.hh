@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Facade that assembles the full memory hierarchy of paper Table 1:
+ * per-core L1 caches, banked shared L2 with directory, DRAM and the
+ * mesh interconnect, plus the functional DataStore.
+ */
+
+#ifndef LOGTM_MEM_MEMORY_SYSTEM_HH
+#define LOGTM_MEM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/data_store.hh"
+#include "mem/dram.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_bank.hh"
+#include "mem/snoop_bus.hh"
+#include "mem/snoop_l1_cache.hh"
+#include "net/mesh.hh"
+#include "sim/simulator.hh"
+
+namespace logtm {
+
+class MemorySystem
+{
+  public:
+    MemorySystem(Simulator &sim, const SystemConfig &cfg);
+
+    /** Register the TM conflict checker with every controller. */
+    void setConflictChecker(ConflictChecker *checker);
+
+    /**
+     * Issue a CPU-side access from @p core for the block containing
+     * @p addr; completion invokes req.done. Timing only: data values
+     * move through the DataStore at completion time.
+     */
+    void access(CoreId core, PhysAddr addr, L1Cache::Request req);
+
+    bool snooping() const
+    { return cfg_.coherence == CoherenceKind::Snooping; }
+
+    /** Directory-mode accessors (panic in snooping mode). */
+    L1Cache &l1(CoreId core) { return *l1s_[core]; }
+    L2Bank &l2(BankId bank) { return *banks_[bank]; }
+    L2Bank &homeBank(PhysAddr addr)
+    { return *banks_[blockNumber(addr) % cfg_.l2Banks]; }
+
+    /** Snooping-mode accessors. */
+    SnoopL1Cache &snoopL1(CoreId core) { return *snoopL1s_[core]; }
+    SnoopBus &bus() { return *bus_; }
+
+    DataStore &data() { return data_; }
+    Mesh &mesh() { return *mesh_; }
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    const SystemConfig cfg_;
+    std::unique_ptr<Mesh> mesh_;
+    std::unique_ptr<Dram> dram_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<L2Bank>> banks_;
+    // Snooping variant (paper §7).
+    std::unique_ptr<SnoopBus> bus_;
+    std::vector<std::unique_ptr<SnoopL1Cache>> snoopL1s_;
+    /** Shared-L2 hit/miss timing model for the snooping bus. */
+    std::unique_ptr<CacheArray<char>> snoopL2_;
+    DataStore data_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,117 @@
+#include "mem/snoop_bus.hh"
+
+#include "common/log.hh"
+#include "common/trace.hh"
+
+namespace logtm {
+
+SnoopBus::SnoopBus(EventQueue &queue, StatsRegistry &stats,
+                   const SystemConfig &cfg)
+    : queue_(queue), cfg_(cfg),
+      transactions_(stats.counter("bus.transactions")),
+      nacks_(stats.counter("bus.nacks")),
+      cacheToCache_(stats.counter("bus.cacheToCache"))
+{
+}
+
+void
+SnoopBus::request(const BusRequest &req, ResultFn done)
+{
+    queue2_.push_back(Pending{req, std::move(done)});
+    if (!busy_)
+        grantNext();
+}
+
+void
+SnoopBus::grantNext()
+{
+    if (busy_)
+        return;
+    // Grant the oldest request whose block has no fill in flight.
+    auto it = queue2_.begin();
+    while (it != queue2_.end() && inflight_.count(it->req.block))
+        ++it;
+    if (it == queue2_.end())
+        return;  // idle; re-kicked when a fill completes or on request
+    busy_ = true;
+    Pending pending = std::move(*it);
+    queue2_.erase(it);
+    queue_.scheduleIn(arbSnoopLatency_,
+                      [this, pending = std::move(pending)]() mutable {
+                          serve(std::move(pending));
+                      },
+                      EventPriority::Protocol);
+}
+
+void
+SnoopBus::serve(Pending pending)
+{
+    logtm_assert(static_cast<bool>(snooper_), "bus without snooper");
+    ++transactions_;
+    logtm_trace(TraceCat::Bus, queue_.now(),
+                "bus grants core %u %s 0x%llx", pending.req.requester,
+                pending.req.type == AccessType::Read ? "GetS" : "GetM",
+                static_cast<unsigned long long>(pending.req.block));
+
+    // Every other core snoops the granted request in parallel; the
+    // wired-OR signals aggregate the replies.
+    BusResult result;
+    for (CoreId c = 0; c < cfg_.numCores; ++c) {
+        if (c == pending.req.requester)
+            continue;
+        const SnoopReply reply = snooper_(c, pending.req);
+        if (reply.nack) {
+            result.nacked = true;
+            if (reply.nackerTs < result.nackerTs) {
+                result.nackerTs = reply.nackerTs;
+                result.nackerCtx = reply.nackerCtx;
+            }
+        }
+        result.anyOwner |= reply.owner;
+        result.anyShared |= reply.shared;
+    }
+
+    if (result.nacked) {
+        ++nacks_;
+        const ResultFn done = std::move(pending.done);
+        const BusResult res = result;
+        queue_.scheduleIn(1, [done, res]() { done(res); },
+                          EventPriority::Protocol);
+        busy_ = false;
+        grantNext();
+        return;
+    }
+
+    // Data source: owning cache, shared L2, or memory.
+    Cycle data_latency = transferLatency_;
+    if (result.anyOwner) {
+        ++cacheToCache_;
+    } else {
+        const bool l2_hit = l2Lookup_ && l2Lookup_(pending.req.block);
+        if (l2_hit) {
+            data_latency += cfg_.l2HitLatency;
+        } else {
+            data_latency += cfg_.dramLatency;
+            result.fromMemory = true;
+        }
+    }
+
+    const ResultFn done = std::move(pending.done);
+    const BusResult res = result;
+    const PhysAddr block = pending.req.block;
+    inflight_.insert(block);
+    queue_.scheduleIn(data_latency, [this, done, res, block]() {
+        done(res);  // fill installed + signature updated here
+        inflight_.erase(block);
+        grantNext();
+    }, EventPriority::Protocol);
+    // The bus is pipelined against the data transfer: the next
+    // request (for a DIFFERENT block) arbitrates once the
+    // address/snoop phase is over.
+    queue_.scheduleIn(transferLatency_, [this]() {
+        busy_ = false;
+        grantNext();
+    }, EventPriority::Protocol);
+}
+
+} // namespace logtm

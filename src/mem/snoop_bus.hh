@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Broadcast snooping interconnect for the alternative LogTM-SE
+ * implementation of paper §7 ("A Snooping CMP").
+ *
+ * One request occupies the bus at a time. When a request is granted,
+ * every other core snoops it in the same cycle: tag lookup plus
+ * signature CONFLICT check. Three logically-ORed signals summarize
+ * the responses -- owner (an L1 holds M/E), shared (an L1 holds S),
+ * and LogTM-SE's added nack (some signature conflicts). Because all
+ * coherence requests are broadcast, sticky directory states are
+ * unnecessary: victimized transactional blocks are still covered by
+ * the signature check on every bus transaction.
+ */
+
+#ifndef LOGTM_MEM_SNOOP_BUS_HH
+#define LOGTM_MEM_SNOOP_BUS_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/coherence.hh"
+#include "sim/event_queue.hh"
+
+namespace logtm {
+
+/** One core's combined snoop response. */
+struct SnoopReply
+{
+    bool nack = false;       ///< signature conflict (LogTM-SE signal)
+    bool owner = false;      ///< held in M or E (will supply data)
+    bool shared = false;     ///< held in S
+    uint64_t nackerTs = ~0ull;
+    CtxId nackerCtx = invalidCtx;
+};
+
+/** A bus transaction request. */
+struct BusRequest
+{
+    CoreId requester = invalidCore;
+    PhysAddr block = 0;
+    AccessType type = AccessType::Read;
+    CtxId requesterCtx = invalidCtx;
+    Asid asid = 0;
+    uint64_t txTimestamp = ~0ull;
+};
+
+/** Outcome delivered back to the requesting L1. */
+struct BusResult
+{
+    bool nacked = false;
+    uint64_t nackerTs = ~0ull;
+    CtxId nackerCtx = invalidCtx;
+    bool anyOwner = false;   ///< data came cache-to-cache
+    bool anyShared = false;  ///< other S copies remain (GetS)
+    bool fromMemory = false; ///< filled from DRAM (L2 miss)
+};
+
+class SnoopBus
+{
+  public:
+    /** Snoop hook: core @p snooper observes a granted request. */
+    using Snooper = std::function<SnoopReply(CoreId snooper,
+                                             const BusRequest &)>;
+    /** Shared-L2 lookup: returns true on hit (else DRAM latency). */
+    using L2Lookup = std::function<bool(PhysAddr block)>;
+    using ResultFn = std::function<void(const BusResult &)>;
+
+    SnoopBus(EventQueue &queue, StatsRegistry &stats,
+             const SystemConfig &cfg);
+
+    void setSnooper(Snooper snooper) { snooper_ = std::move(snooper); }
+    void setL2Lookup(L2Lookup lookup) { l2Lookup_ = std::move(lookup); }
+
+    /** Queue a request; @p done runs when the transaction completes
+     *  (data delivered or NACK observed). */
+    void request(const BusRequest &req, ResultFn done);
+
+  private:
+    struct Pending
+    {
+        BusRequest req;
+        ResultFn done;
+    };
+
+    void grantNext();
+    void serve(Pending pending);
+
+    EventQueue &queue_;
+    const SystemConfig &cfg_;
+    Snooper snooper_;
+    L2Lookup l2Lookup_;
+    bool busy_ = false;
+    std::deque<Pending> queue2_;
+    /** Blocks with a data fill (and therefore a signature insert)
+     *  still in flight: same-block requests must wait, or a request
+     *  could slip between the invalidation and the fill's signature
+     *  update and miss a conflict. */
+    std::unordered_set<PhysAddr> inflight_;
+
+    /** Bus timing: arbitration+snoop, cache-to-cache transfer,
+     *  L2 data transfer. */
+    static constexpr Cycle arbSnoopLatency_ = 4;
+    static constexpr Cycle transferLatency_ = 8;
+
+    Counter &transactions_;
+    Counter &nacks_;
+    Counter &cacheToCache_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_SNOOP_BUS_HH

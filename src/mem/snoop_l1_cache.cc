@@ -1,0 +1,204 @@
+#include "mem/snoop_l1_cache.hh"
+
+namespace logtm {
+
+SnoopL1Cache::SnoopL1Cache(CoreId core, EventQueue &queue,
+                           StatsRegistry &stats, SnoopBus &bus,
+                           const SystemConfig &cfg)
+    : core_(core), queue_(queue), bus_(bus), checker_(&nullChecker_),
+      cfg_(cfg), array_(cfg.l1Bytes, cfg.l1Assoc),
+      hits_(stats.counter("l1.hits")),
+      misses_(stats.counter("l1.misses")),
+      nacksIn_(stats.counter("l1.nacksReceived")),
+      nacksOut_(stats.counter("l1.nacksSent")),
+      writebacks_(stats.counter("l1.writebacks")),
+      txVictims_(stats.counter("l1.txVictims"))
+{
+}
+
+bool
+SnoopL1Cache::holdsBlock(PhysAddr block) const
+{
+    const auto *line = array_.find(blockAlign(block));
+    return line && line->payload.state != Mesi::I;
+}
+
+bool
+SnoopL1Cache::holdsExclusive(PhysAddr block) const
+{
+    const auto *line = array_.find(blockAlign(block));
+    return line && (line->payload.state == Mesi::M ||
+                    line->payload.state == Mesi::E);
+}
+
+void
+SnoopL1Cache::access(PhysAddr addr, Request req)
+{
+    const PhysAddr block = blockAlign(addr);
+    Array::Line *line = array_.find(block);
+
+    const bool hit = line && line->payload.state != Mesi::I &&
+        (req.type == AccessType::Read ||
+         line->payload.state == Mesi::M ||
+         line->payload.state == Mesi::E);
+
+    if (hit) {
+        ++hits_;
+        array_.touch(*line);
+        // Re-validate at completion: a snoop can steal the line
+        // inside the hit window (see the directory L1 for rationale).
+        auto shared_req = std::make_shared<Request>(std::move(req));
+        queue_.scheduleIn(cfg_.l1HitLatency,
+            [this, addr, block, shared_req]() {
+                Array::Line *now = array_.find(block);
+                const bool still_ok = now &&
+                    now->payload.state != Mesi::I &&
+                    (shared_req->type == AccessType::Read ||
+                     now->payload.state == Mesi::M ||
+                     now->payload.state == Mesi::E);
+                if (!still_ok) {
+                    access(addr, std::move(*shared_req));
+                    return;
+                }
+                if (shared_req->type == AccessType::Write)
+                    now->payload.state = Mesi::M;
+                shared_req->done(MemAccessResult{});
+            }, EventPriority::Cpu);
+        return;
+    }
+
+    ++misses_;
+    auto it = mshrs_.find(block);
+    if (it != mshrs_.end()) {
+        it->second.secondaries.emplace_back(addr, std::move(req));
+        return;
+    }
+    Mshr mshr;
+    mshr.primaryAddr = addr;
+    mshr.primary = std::move(req);
+    mshrs_.emplace(block, std::move(mshr));
+    issueBusRequest(block);
+}
+
+void
+SnoopL1Cache::issueBusRequest(PhysAddr block)
+{
+    const Mshr &mshr = mshrs_.at(block);
+    BusRequest req;
+    req.requester = core_;
+    req.block = block;
+    req.type = mshr.primary.type;
+    req.requesterCtx = mshr.primary.ctx;
+    req.asid = mshr.primary.asid;
+    req.txTimestamp = mshr.primary.txTs;
+    bus_.request(req, [this, block](const BusResult &result) {
+        onBusResult(block, result);
+    });
+}
+
+void
+SnoopL1Cache::onBusResult(PhysAddr block, const BusResult &result)
+{
+    auto it = mshrs_.find(block);
+    logtm_assert(it != mshrs_.end(), "bus result without MSHR");
+    Mshr mshr = std::move(it->second);
+    mshrs_.erase(it);
+
+    if (result.nacked) {
+        ++nacksIn_;
+        MemAccessResult res;
+        res.nacked = true;
+        res.conflictNack = true;
+        res.nackerTs = result.nackerTs;
+        res.nackerCtx = result.nackerCtx;
+        mshr.primary.done(res);
+        for (auto &sec : mshr.secondaries)
+            access(sec.first, std::move(sec.second));
+        return;
+    }
+
+    Array::Line *line = array_.find(block);
+    if (!line) {
+        if (makeRoom(block)) {
+            Array::Line *slot = array_.pickVictim(block,
+                [](const Array::Line &) { return true; });
+            array_.install(*slot, block);
+            line = slot;
+        }
+    }
+    if (line) {
+        if (mshr.primary.type == AccessType::Write)
+            line->payload.state = Mesi::M;
+        else
+            line->payload.state = (result.anyOwner || result.anyShared)
+                ? Mesi::S : Mesi::E;
+        array_.touch(*line);
+    }
+
+    mshr.primary.done(MemAccessResult{});
+    for (auto &sec : mshr.secondaries)
+        access(sec.first, std::move(sec.second));
+}
+
+SnoopReply
+SnoopL1Cache::snoop(const BusRequest &req)
+{
+    SnoopReply reply;
+    const ConflictVerdict verdict = checker_->checkRemote(
+        core_, req.block, req.type, req.asid, req.requesterCtx,
+        req.txTimestamp);
+    if (verdict.conflict) {
+        ++nacksOut_;
+        reply.nack = true;
+        reply.nackerTs = verdict.nackerTs;
+        reply.nackerCtx = verdict.nackerCtx;
+        // The conflicting core keeps its copy; the requester retries.
+        return reply;
+    }
+
+    Array::Line *line = array_.find(req.block);
+    if (line && line->payload.state != Mesi::I) {
+        reply.owner = line->payload.state == Mesi::M ||
+            line->payload.state == Mesi::E;
+        reply.shared = line->payload.state == Mesi::S;
+        if (req.type == AccessType::Write) {
+            if (line->payload.state == Mesi::M)
+                ++writebacks_;  // data functionally in the DataStore
+            array_.invalidate(*line);
+        } else if (reply.owner) {
+            if (line->payload.state == Mesi::M)
+                ++writebacks_;
+            line->payload.state = Mesi::S;
+        }
+    }
+    return reply;
+}
+
+bool
+SnoopL1Cache::makeRoom(PhysAddr block)
+{
+    Array::Line *victim = array_.pickVictim(block,
+        [this](const Array::Line &line) {
+            return mshrs_.find(line.block) == mshrs_.end();
+        });
+    if (!victim)
+        return false;
+    if (victim->valid)
+        evictLine(*victim);
+    return true;
+}
+
+void
+SnoopL1Cache::evictLine(Array::Line &line)
+{
+    // No sticky bookkeeping: a broadcast bus reaches the signatures
+    // regardless of who caches the block (paper §7). The writeback
+    // itself is timing-free here (values are functional); count it.
+    if (checker_->inAnyLocalSig(core_, line.block))
+        ++txVictims_;
+    if (line.payload.state == Mesi::M)
+        ++writebacks_;
+    array_.invalidate(line);
+}
+
+} // namespace logtm

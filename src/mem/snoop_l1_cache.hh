@@ -1,0 +1,96 @@
+/**
+ * @file
+ * L1 cache controller for the snooping-bus LogTM-SE variant
+ * (paper §7). Misses broadcast on the SnoopBus; every other core's
+ * snoop combines a tag lookup with the signature CONFLICT check and
+ * may assert the wired-OR nack signal. No sticky states are needed:
+ * broadcast reaches every signature on every transaction, so
+ * victimized transactional blocks stay protected for free.
+ */
+
+#ifndef LOGTM_MEM_SNOOP_L1_CACHE_HH
+#define LOGTM_MEM_SNOOP_L1_CACHE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache_array.hh"
+#include "mem/coherence.hh"
+#include "mem/snoop_bus.hh"
+
+namespace logtm {
+
+class SnoopL1Cache
+{
+  public:
+    using Request = struct
+    {
+        CtxId ctx = invalidCtx;
+        AccessType type = AccessType::Read;
+        bool transactional = false;
+        uint64_t txTs = ~0ull;
+        Asid asid = 0;
+        MemDoneFn done;
+    };
+
+    SnoopL1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
+                 SnoopBus &bus, const SystemConfig &cfg);
+
+    void setConflictChecker(ConflictChecker *checker)
+    { checker_ = checker; }
+
+    /** CPU-side access (same contract as the directory L1). */
+    void access(PhysAddr addr, Request req);
+
+    /** Bus-side snoop of another core's granted request. */
+    SnoopReply snoop(const BusRequest &req);
+
+    bool holdsBlock(PhysAddr block) const;
+    bool holdsExclusive(PhysAddr block) const;
+    CoreId coreId() const { return core_; }
+
+  private:
+    enum class Mesi : uint8_t { I, S, E, M };
+
+    struct LinePayload
+    {
+        Mesi state = Mesi::I;
+    };
+
+    using Array = CacheArray<LinePayload>;
+
+    struct Mshr
+    {
+        Request primary;
+        PhysAddr primaryAddr = 0;
+        std::vector<std::pair<PhysAddr, Request>> secondaries;
+    };
+
+    void issueBusRequest(PhysAddr block);
+    void onBusResult(PhysAddr block, const BusResult &result);
+    bool makeRoom(PhysAddr block);
+    void evictLine(Array::Line &line);
+
+    CoreId core_;
+    EventQueue &queue_;
+    SnoopBus &bus_;
+    ConflictChecker *checker_;
+    NullConflictChecker nullChecker_;
+    const SystemConfig &cfg_;
+    Array array_;
+    std::unordered_map<PhysAddr, Mshr> mshrs_;
+
+    Counter &hits_;
+    Counter &misses_;
+    Counter &nacksIn_;
+    Counter &nacksOut_;
+    Counter &writebacks_;
+    Counter &txVictims_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_MEM_SNOOP_L1_CACHE_HH

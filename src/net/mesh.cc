@@ -1,0 +1,85 @@
+#include "net/mesh.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+Mesh::Mesh(EventQueue &queue, StatsRegistry &stats, const SystemConfig &cfg)
+    : queue_(queue),
+      msgCount_(stats.counter("net.messages")),
+      hopCount_(stats.counter("net.hops")),
+      cols_(cfg.meshCols),
+      rows_(cfg.meshRows),
+      numCores_(cfg.numCores),
+      numNodes_(cfg.numCores + cfg.l2Banks),
+      numChips_(cfg.numChips),
+      linkLatency_(cfg.linkLatency),
+      interChipLatency_(cfg.interChipLatency),
+      handlers_(numNodes_),
+      nextFree_(numNodes_, 0)
+{
+}
+
+void
+Mesh::attach(NodeId node, Handler handler)
+{
+    logtm_assert(node < numNodes_, "mesh node id out of range");
+    handlers_[node] = std::move(handler);
+}
+
+uint32_t
+Mesh::tileOf(NodeId n) const
+{
+    // Cores and banks are both numbered from zero within their class;
+    // a core and the same-numbered bank share a tile. Ids beyond the
+    // tile count wrap around the grid.
+    const uint32_t idx = (n < numCores_) ? n : (n - numCores_);
+    return idx % (cols_ * rows_);
+}
+
+uint32_t
+Mesh::chipOf(NodeId n) const
+{
+    // Cores and banks are partitioned evenly over the chips.
+    const uint32_t idx = (n < numCores_) ? n : (n - numCores_);
+    const uint32_t per_chip = (n < numCores_)
+        ? numCores_ / numChips_
+        : (numNodes_ - numCores_) / numChips_;
+    return idx / per_chip;
+}
+
+uint32_t
+Mesh::hops(NodeId a, NodeId b) const
+{
+    const uint32_t ta = tileOf(a), tb = tileOf(b);
+    const int ax = ta % cols_, ay = ta / cols_;
+    const int bx = tb % cols_, by = tb / cols_;
+    return static_cast<uint32_t>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+void
+Mesh::send(Msg msg)
+{
+    logtm_assert(msg.dst < numNodes_, "message to unknown node");
+    logtm_assert(static_cast<bool>(handlers_[msg.dst]),
+                 "message to unattached node");
+
+    const uint32_t h = hops(msg.src, msg.dst);
+    ++msgCount_;
+    hopCount_.add(h);
+
+    Cycle arrival = queue_.now() + routerOverhead_ + h * linkLatency_;
+    // Crossing a chip boundary pays the inter-chip link (paper §7).
+    if (numChips_ > 1 && chipOf(msg.src) != chipOf(msg.dst))
+        arrival += interChipLatency_;
+    // One message per cycle per endpoint: serialize arrivals.
+    if (arrival <= nextFree_[msg.dst])
+        arrival = nextFree_[msg.dst] + 1;
+    nextFree_[msg.dst] = arrival;
+
+    Handler &handler = handlers_[msg.dst];
+    queue_.schedule(arrival, [&handler, msg]() { handler(msg); },
+                    EventPriority::Protocol);
+}
+
+} // namespace logtm

@@ -1,0 +1,43 @@
+#include "net/message.hh"
+
+#include <sstream>
+
+namespace logtm {
+
+const char *
+toString(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetM: return "GetM";
+      case MsgType::PutM: return "PutM";
+      case MsgType::PutClean: return "PutClean";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataE: return "DataE";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetM: return "FwdGetM";
+      case MsgType::Inv: return "Inv";
+      case MsgType::ForceInv: return "ForceInv";
+      case MsgType::Nack: return "Nack";
+      case MsgType::SigCheck: return "SigCheck";
+      case MsgType::AckFwd: return "AckFwd";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::SigCheckAck: return "SigCheckAck";
+    }
+    return "?";
+}
+
+std::string
+Msg::describe() const
+{
+    std::ostringstream os;
+    os << toString(type) << " src=" << src << " dst=" << dst << " addr=0x"
+       << std::hex << addr << std::dec;
+    if (conflict)
+        os << " CONFLICT";
+    if (hasData)
+        os << " +data";
+    return os.str();
+}
+
+} // namespace logtm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Coherence message definitions for the MESI directory protocol with
+ * LogTM-SE extensions (NACKs, signature-check probes, sticky hints).
+ */
+
+#ifndef LOGTM_NET_MESSAGE_HH
+#define LOGTM_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+/** Network endpoint id: cores first, then L2 banks. */
+using NodeId = uint32_t;
+
+enum class MsgType : uint8_t {
+    // L1 -> L2 requests
+    GetS,        ///< read miss: request shared copy
+    GetM,        ///< write miss / upgrade: request exclusive copy
+    PutM,        ///< writeback of dirty block (data)
+    PutClean,    ///< notify eviction of a clean exclusive block
+
+    // L2 -> L1
+    DataS,       ///< data response, shared state
+    DataE,       ///< data response, exclusive state
+    FwdGetS,     ///< forwarded read request to owner
+    FwdGetM,     ///< forwarded write request to owner
+    Inv,         ///< invalidate a shared copy
+    ForceInv,    ///< back-invalidation on L2 eviction (no NACK allowed)
+    Nack,        ///< conflict: retry later (LogTM-SE)
+    SigCheck,    ///< broadcast probe after directory-info loss
+
+    // L1 -> L2 responses
+    AckFwd,      ///< owner's reply to a forwarded request
+    InvAck,      ///< sharer's reply to Inv
+    SigCheckAck, ///< reply to SigCheck probe
+};
+
+const char *toString(MsgType t);
+
+/**
+ * A coherence message. One struct covers all message types; unused
+ * fields are zero. Payload data is modelled functionally in the
+ * DataStore, so messages carry only control information plus a
+ * "carries data" flag for timing-relevant paths.
+ */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    NodeId src = 0;
+    NodeId dst = 0;
+    PhysAddr addr = 0;          ///< block-aligned physical address
+
+    /** Originating thread context of the request (conflict resolution). */
+    CtxId requesterCtx = invalidCtx;
+    Asid asid = 0;              ///< address-space id of the requester
+    bool isTransactional = false;
+    /** Read for GetS/FwdGetS probes, Write for GetM/Inv/FwdGetM. */
+    AccessType accessType = AccessType::Read;
+    /** Requester transaction timestamp (older = smaller); ~0 if none. */
+    uint64_t txTimestamp = ~0ull;
+
+    /** Response flags. */
+    bool conflict = false;      ///< responder detected a TM conflict
+    bool keepSticky = false;    ///< responder's signature still holds addr
+    bool inWriteSet = false;    ///< addr in responder's write signature
+    bool hasData = false;       ///< responder supplied the data
+
+    /** NACK provenance for LogTM deadlock avoidance. */
+    CtxId nackerCtx = invalidCtx;
+    uint64_t nackerTimestamp = ~0ull;
+
+    /** Transaction id at the directory; echoes in responses. */
+    uint64_t reqId = 0;
+
+    std::string describe() const;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_NET_MESSAGE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Process model: address space + the software side of summary
+ * signature maintenance (paper §4.1 and footnote 1).
+ */
+
+#ifndef LOGTM_OS_PROCESS_HH
+#define LOGTM_OS_PROCESS_HH
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+#include "os/page_table.hh"
+#include "sig/counting_signature.hh"
+
+namespace logtm {
+
+struct Process
+{
+    Asid asid = 0;
+    std::unique_ptr<PageTable> pageTable;
+    std::unordered_set<ThreadId> threads;
+
+    /**
+     * Counting signature tracking, per raw element, how many
+     * descheduled mid-transaction threads contribute it (VTM-XF-style
+     * structure from paper footnote 1). Rebuilt after page
+     * relocation.
+     */
+    std::unique_ptr<CountingSignature> summaryCounts;
+
+    /** Saved per-thread contributions (read+write signature clones)
+     *  currently merged into summaryCounts; removed at commit. */
+    struct Contribution
+    {
+        std::unique_ptr<Signature> read;
+        std::unique_ptr<Signature> write;
+    };
+    std::unordered_map<ThreadId, Contribution> contributions;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OS_PROCESS_HH

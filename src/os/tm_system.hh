@@ -1,0 +1,46 @@
+/**
+ * @file
+ * TmSystem: one fully assembled simulated machine — event kernel,
+ * memory hierarchy, LogTM-SE engine and OS — constructed from a
+ * SystemConfig. This is the library's main entry point.
+ */
+
+#ifndef LOGTM_OS_TM_SYSTEM_HH
+#define LOGTM_OS_TM_SYSTEM_HH
+
+#include "common/config.hh"
+#include "mem/memory_system.hh"
+#include "os/os_kernel.hh"
+#include "sim/simulator.hh"
+#include "tm/logtm_se_engine.hh"
+
+namespace logtm {
+
+class TmSystem
+{
+  public:
+    explicit TmSystem(const SystemConfig &cfg)
+        : cfg_(cfg), sim_(cfg.seed), mem_(sim_, cfg_),
+          engine_(sim_, mem_, cfg_), os_(sim_, engine_, cfg_)
+    {
+    }
+
+    const SystemConfig &config() const { return cfg_; }
+    Simulator &sim() { return sim_; }
+    MemorySystem &mem() { return mem_; }
+    LogTmSeEngine &engine() { return engine_; }
+    OsKernel &os() { return os_; }
+    StatsRegistry &stats() { return sim_.stats(); }
+    Cycle now() const { return sim_.now(); }
+
+  private:
+    const SystemConfig cfg_;
+    Simulator sim_;
+    MemorySystem mem_;
+    LogTmSeEngine engine_;
+    OsKernel os_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OS_TM_SYSTEM_HH

@@ -1,0 +1,46 @@
+#include "sig/bit_select_signature.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+BitSelectSignature::BitSelectSignature(uint32_t bits)
+    : array_(bits), mask_(bits - 1)
+{
+    logtm_assert((bits & (bits - 1)) == 0, "BS size must be a power of 2");
+}
+
+uint32_t
+BitSelectSignature::indexOf(PhysAddr block_addr) const
+{
+    return static_cast<uint32_t>(blockNumber(block_addr)) & mask_;
+}
+
+void
+BitSelectSignature::insert(PhysAddr block_addr)
+{
+    array_.set(indexOf(block_addr));
+}
+
+bool
+BitSelectSignature::mayContain(PhysAddr block_addr) const
+{
+    return array_.test(indexOf(block_addr));
+}
+
+std::unique_ptr<Signature>
+BitSelectSignature::clone() const
+{
+    return std::make_unique<BitSelectSignature>(*this);
+}
+
+void
+BitSelectSignature::unionWith(const Signature &other)
+{
+    logtm_assert(other.kind() == kind() &&
+                 other.sizeBits() == sizeBits(),
+                 "union of mismatched signatures");
+    array_.unionWith(static_cast<const BitSelectSignature &>(other).array_);
+}
+
+} // namespace logtm

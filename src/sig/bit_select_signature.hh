@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bit-select (BS) signature, paper Figure 3(a): decode the
+ * least-significant log2(N) bits of the block address into an N-bit
+ * array and OR them in.
+ */
+
+#ifndef LOGTM_SIG_BIT_SELECT_SIGNATURE_HH
+#define LOGTM_SIG_BIT_SELECT_SIGNATURE_HH
+
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class BitSelectSignature : public Signature
+{
+  public:
+    explicit BitSelectSignature(uint32_t bits);
+
+    void insert(PhysAddr block_addr) override;
+    bool mayContain(PhysAddr block_addr) const override;
+    void clear() override { array_.clear(); }
+    bool empty() const override { return array_.empty(); }
+    std::unique_ptr<Signature> clone() const override;
+    void unionWith(const Signature &other) override;
+    std::vector<uint64_t> elements() const override
+    { return array_.setBits(); }
+    void insertRaw(uint64_t element) override
+    { array_.set(static_cast<uint32_t>(element)); }
+    SignatureKind kind() const override { return SignatureKind::BitSelect; }
+    uint32_t sizeBits() const override { return array_.size(); }
+    uint32_t population() const override { return array_.population(); }
+
+  private:
+    uint32_t indexOf(PhysAddr block_addr) const;
+
+    BitArray array_;
+    uint32_t mask_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_BIT_SELECT_SIGNATURE_HH

@@ -1,0 +1,55 @@
+#include "sig/coarse_bit_select_signature.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+CoarseBitSelectSignature::CoarseBitSelectSignature(uint32_t bits,
+                                                   uint32_t grain_bytes)
+    : array_(bits), grainBytes_(grain_bytes),
+      grainShift_(std::countr_zero(grain_bytes)), mask_(bits - 1)
+{
+    logtm_assert((bits & (bits - 1)) == 0, "CBS size must be a power of 2");
+    logtm_assert((grain_bytes & (grain_bytes - 1)) == 0 &&
+                 grain_bytes >= blockBytes,
+                 "CBS grain must be a power of 2 >= block size");
+}
+
+uint32_t
+CoarseBitSelectSignature::indexOf(PhysAddr block_addr) const
+{
+    return static_cast<uint32_t>(block_addr >> grainShift_) & mask_;
+}
+
+void
+CoarseBitSelectSignature::insert(PhysAddr block_addr)
+{
+    array_.set(indexOf(block_addr));
+}
+
+bool
+CoarseBitSelectSignature::mayContain(PhysAddr block_addr) const
+{
+    return array_.test(indexOf(block_addr));
+}
+
+std::unique_ptr<Signature>
+CoarseBitSelectSignature::clone() const
+{
+    return std::make_unique<CoarseBitSelectSignature>(*this);
+}
+
+void
+CoarseBitSelectSignature::unionWith(const Signature &other)
+{
+    logtm_assert(other.kind() == kind() && other.sizeBits() == sizeBits(),
+                 "union of mismatched signatures");
+    const auto &o = static_cast<const CoarseBitSelectSignature &>(other);
+    logtm_assert(o.grainBytes_ == grainBytes_,
+                 "union of mismatched CBS grains");
+    array_.unionWith(o.array_);
+}
+
+} // namespace logtm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Coarse-bit-select (CBS) signature, paper Figure 3(c): bit-select at
+ * macro-block granularity (default 1 KB = sixteen 64-byte blocks),
+ * targeting large transactions whose block-granular sets would fill a
+ * small signature.
+ */
+
+#ifndef LOGTM_SIG_COARSE_BIT_SELECT_SIGNATURE_HH
+#define LOGTM_SIG_COARSE_BIT_SELECT_SIGNATURE_HH
+
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class CoarseBitSelectSignature : public Signature
+{
+  public:
+    CoarseBitSelectSignature(uint32_t bits, uint32_t grain_bytes);
+
+    void insert(PhysAddr block_addr) override;
+    bool mayContain(PhysAddr block_addr) const override;
+    void clear() override { array_.clear(); }
+    bool empty() const override { return array_.empty(); }
+    std::unique_ptr<Signature> clone() const override;
+    void unionWith(const Signature &other) override;
+    std::vector<uint64_t> elements() const override
+    { return array_.setBits(); }
+    void insertRaw(uint64_t element) override
+    { array_.set(static_cast<uint32_t>(element)); }
+    SignatureKind kind() const override
+    { return SignatureKind::CoarseBitSelect; }
+    uint32_t sizeBits() const override { return array_.size(); }
+    uint32_t population() const override { return array_.population(); }
+
+    uint32_t grainBytes() const { return grainBytes_; }
+
+  private:
+    uint32_t indexOf(PhysAddr block_addr) const;
+
+    BitArray array_;
+    uint32_t grainBytes_;
+    uint32_t grainShift_;
+    uint32_t mask_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_COARSE_BIT_SELECT_SIGNATURE_HH

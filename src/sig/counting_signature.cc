@@ -1,0 +1,45 @@
+#include "sig/counting_signature.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+CountingSignature::CountingSignature(const Signature &prototype)
+    : prototype_(prototype.clone())
+{
+    prototype_->clear();
+}
+
+void
+CountingSignature::addSignature(const Signature &sig)
+{
+    logtm_assert(sig.kind() == prototype_->kind(),
+                 "counting signature kind mismatch");
+    for (uint64_t e : sig.elements())
+        ++counts_[e];
+}
+
+void
+CountingSignature::removeSignature(const Signature &sig)
+{
+    logtm_assert(sig.kind() == prototype_->kind(),
+                 "counting signature kind mismatch");
+    for (uint64_t e : sig.elements()) {
+        auto it = counts_.find(e);
+        logtm_assert(it != counts_.end() && it->second > 0,
+                     "removing signature element that was never added");
+        if (--it->second == 0)
+            counts_.erase(it);
+    }
+}
+
+std::unique_ptr<Signature>
+CountingSignature::summary() const
+{
+    auto out = prototype_->clone();
+    for (const auto &kv : counts_)
+        out->insertRaw(kv.first);
+    return out;
+}
+
+} // namespace logtm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Counting signature for OS summary-signature maintenance (paper
+ * footnote 1, after VTM's XF structure): tracks, per raw signature
+ * element, how many descheduled threads contribute it, so individual
+ * thread signatures can be added and removed without rescanning all
+ * suspended threads.
+ */
+
+#ifndef LOGTM_SIG_COUNTING_SIGNATURE_HH
+#define LOGTM_SIG_COUNTING_SIGNATURE_HH
+
+#include <unordered_map>
+
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class CountingSignature
+{
+  public:
+    /**
+     * @param prototype a signature of the kind/geometry the summary
+     *        must match; used to materialize summaries via clone().
+     */
+    explicit CountingSignature(const Signature &prototype);
+
+    /** Add one thread signature's contribution. */
+    void addSignature(const Signature &sig);
+
+    /**
+     * Remove a previously added contribution. Every element of @p sig
+     * must have been added (counts never go negative).
+     */
+    void removeSignature(const Signature &sig);
+
+    /** Materialize the current union as a Signature. */
+    std::unique_ptr<Signature> summary() const;
+
+    /** True when no contributions remain. */
+    bool empty() const { return counts_.empty(); }
+
+    /** Number of distinct raw elements currently contributed. */
+    size_t distinctElements() const { return counts_.size(); }
+
+  private:
+    std::unique_ptr<Signature> prototype_;
+    std::unordered_map<uint64_t, uint32_t> counts_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_COUNTING_SIGNATURE_HH

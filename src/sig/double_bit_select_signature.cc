@@ -1,0 +1,61 @@
+#include "sig/double_bit_select_signature.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+DoubleBitSelectSignature::DoubleBitSelectSignature(uint32_t bits)
+    : array_(bits), half_(bits / 2),
+      fieldBits_(std::countr_zero(bits / 2)),
+      mask_(bits / 2 - 1)
+{
+    logtm_assert((bits & (bits - 1)) == 0 && bits >= 4,
+                 "DBS size must be a power of 2 >= 4");
+}
+
+uint32_t
+DoubleBitSelectSignature::index1(PhysAddr block_addr) const
+{
+    return static_cast<uint32_t>(blockNumber(block_addr)) & mask_;
+}
+
+uint32_t
+DoubleBitSelectSignature::index2(PhysAddr block_addr) const
+{
+    return half_ +
+        (static_cast<uint32_t>(blockNumber(block_addr) >> fieldBits_) &
+         mask_);
+}
+
+void
+DoubleBitSelectSignature::insert(PhysAddr block_addr)
+{
+    array_.set(index1(block_addr));
+    array_.set(index2(block_addr));
+}
+
+bool
+DoubleBitSelectSignature::mayContain(PhysAddr block_addr) const
+{
+    return array_.test(index1(block_addr)) &&
+           array_.test(index2(block_addr));
+}
+
+std::unique_ptr<Signature>
+DoubleBitSelectSignature::clone() const
+{
+    return std::make_unique<DoubleBitSelectSignature>(*this);
+}
+
+void
+DoubleBitSelectSignature::unionWith(const Signature &other)
+{
+    logtm_assert(other.kind() == kind() && other.sizeBits() == sizeBits(),
+                 "union of mismatched signatures");
+    array_.unionWith(
+        static_cast<const DoubleBitSelectSignature &>(other).array_);
+}
+
+} // namespace logtm

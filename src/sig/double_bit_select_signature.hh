@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Double-bit-select (DBS) signature, paper Figure 3(b): the N-bit
+ * array is split into two N/2-bit halves; the low address field
+ * indexes the first half, the next field indexes the second. A
+ * conflict is signalled only when BOTH bits are set, as in Bulk's
+ * default signature.
+ */
+
+#ifndef LOGTM_SIG_DOUBLE_BIT_SELECT_SIGNATURE_HH
+#define LOGTM_SIG_DOUBLE_BIT_SELECT_SIGNATURE_HH
+
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class DoubleBitSelectSignature : public Signature
+{
+  public:
+    explicit DoubleBitSelectSignature(uint32_t bits);
+
+    void insert(PhysAddr block_addr) override;
+    bool mayContain(PhysAddr block_addr) const override;
+    void clear() override { array_.clear(); }
+    bool empty() const override { return array_.empty(); }
+    std::unique_ptr<Signature> clone() const override;
+    void unionWith(const Signature &other) override;
+    std::vector<uint64_t> elements() const override
+    { return array_.setBits(); }
+    void insertRaw(uint64_t element) override
+    { array_.set(static_cast<uint32_t>(element)); }
+    SignatureKind kind() const override
+    { return SignatureKind::DoubleBitSelect; }
+    uint32_t sizeBits() const override { return array_.size(); }
+    uint32_t population() const override { return array_.population(); }
+
+  private:
+    /** Index into the low half [0, half). */
+    uint32_t index1(PhysAddr block_addr) const;
+    /** Index into the high half [half, 2*half). */
+    uint32_t index2(PhysAddr block_addr) const;
+
+    BitArray array_;
+    uint32_t half_;
+    uint32_t fieldBits_;
+    uint32_t mask_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_DOUBLE_BIT_SELECT_SIGNATURE_HH

@@ -1,0 +1,16 @@
+#include "sig/perfect_signature.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+void
+PerfectSignature::unionWith(const Signature &other)
+{
+    logtm_assert(other.kind() == SignatureKind::Perfect,
+                 "union of mismatched signature kinds");
+    for (uint64_t e : other.elements())
+        blocks_.insert(e);
+}
+
+} // namespace logtm

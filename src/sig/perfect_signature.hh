@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Perfect signature: records the exact read/write set. Used as the
+ * idealized upper bound "P" in the paper's Figure 4 and Table 3.
+ */
+
+#ifndef LOGTM_SIG_PERFECT_SIGNATURE_HH
+#define LOGTM_SIG_PERFECT_SIGNATURE_HH
+
+#include <unordered_set>
+
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class PerfectSignature : public Signature
+{
+  public:
+    void insert(PhysAddr block_addr) override
+    { blocks_.insert(blockNumber(block_addr)); }
+
+    bool mayContain(PhysAddr block_addr) const override
+    { return blocks_.count(blockNumber(block_addr)) != 0; }
+
+    void clear() override { blocks_.clear(); }
+    bool empty() const override { return blocks_.empty(); }
+
+    std::unique_ptr<Signature> clone() const override
+    { return std::make_unique<PerfectSignature>(*this); }
+
+    void unionWith(const Signature &other) override;
+
+    std::vector<uint64_t> elements() const override
+    { return {blocks_.begin(), blocks_.end()}; }
+
+    void insertRaw(uint64_t element) override { blocks_.insert(element); }
+
+    SignatureKind kind() const override { return SignatureKind::Perfect; }
+
+    /**
+     * A perfect filter would need a bit per block in the address
+     * space; report the entry count instead (64 bits per entry).
+     */
+    uint32_t sizeBits() const override
+    { return static_cast<uint32_t>(blocks_.size() * 64); }
+
+    uint32_t population() const override
+    { return static_cast<uint32_t>(blocks_.size()); }
+
+  private:
+    std::unordered_set<uint64_t> blocks_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_PERFECT_SIGNATURE_HH

@@ -1,0 +1,69 @@
+#include "sig/signature.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+BitArray::BitArray(uint32_t bits)
+    : bits_(bits), words_((bits + 63) / 64, 0)
+{
+    logtm_assert(bits > 0, "zero-size bit array");
+}
+
+void
+BitArray::set(uint32_t i)
+{
+    logtm_assert(i < bits_, "bit index out of range");
+    const uint64_t mask = 1ull << (i & 63);
+    uint64_t &word = words_[i >> 6];
+    if (!(word & mask)) {
+        word |= mask;
+        ++population_;
+    }
+}
+
+bool
+BitArray::test(uint32_t i) const
+{
+    logtm_assert(i < bits_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void
+BitArray::clear()
+{
+    for (auto &w : words_)
+        w = 0;
+    population_ = 0;
+}
+
+void
+BitArray::unionWith(const BitArray &other)
+{
+    logtm_assert(bits_ == other.bits_, "union of mismatched bit arrays");
+    population_ = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        words_[i] |= other.words_[i];
+        population_ += std::popcount(words_[i]);
+    }
+}
+
+std::vector<uint64_t>
+BitArray::setBits() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(population_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+        uint64_t word = words_[w];
+        while (word) {
+            const unsigned b = std::countr_zero(word);
+            out.push_back(w * 64 + b);
+            word &= word - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace logtm

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Signature abstraction (paper §2, §5).
+ *
+ * A signature conservatively summarizes a set of block-aligned
+ * physical addresses: INSERT adds an address, CONFLICT (mayContain)
+ * may report false positives but never false negatives, and CLEAR
+ * empties the set. Signatures must also be software accessible: they
+ * can be copied (clone), merged (unionWith) and enumerated as raw
+ * elements so the OS can save/restore them and maintain summary
+ * signatures (paper §3, §4).
+ */
+
+#ifndef LOGTM_SIG_SIGNATURE_HH
+#define LOGTM_SIG_SIGNATURE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace logtm {
+
+class Signature
+{
+  public:
+    virtual ~Signature() = default;
+
+    /** Add block-aligned address @p block_addr to the set. */
+    virtual void insert(PhysAddr block_addr) = 0;
+
+    /**
+     * Conservative membership test: may return true for addresses
+     * never inserted (false positive) but never false for an inserted
+     * address that has not been cleared.
+     */
+    virtual bool mayContain(PhysAddr block_addr) const = 0;
+
+    /** Remove every element. */
+    virtual void clear() = 0;
+
+    /** True when no element has been inserted since the last clear. */
+    virtual bool empty() const = 0;
+
+    /** Deep copy (software save of the hardware register). */
+    virtual std::unique_ptr<Signature> clone() const = 0;
+
+    /**
+     * Merge another signature of the same kind/geometry into this one
+     * (used to build summary signatures). The result is a superset of
+     * both operands.
+     */
+    virtual void unionWith(const Signature &other) = 0;
+
+    /**
+     * Raw representation elements: bit indices for hashed signatures,
+     * block numbers for the perfect signature. insertRaw(e) for every
+     * e in elements() reproduces an equivalent signature.
+     */
+    virtual std::vector<uint64_t> elements() const = 0;
+
+    /** Insert a raw representation element (see elements()). */
+    virtual void insertRaw(uint64_t element) = 0;
+
+    /** Implementation kind, for compatibility checks. */
+    virtual SignatureKind kind() const = 0;
+
+    /** Storage cost in bits (stat / reporting only). */
+    virtual uint32_t sizeBits() const = 0;
+
+    /** Number of distinct raw elements currently set (density stat). */
+    virtual uint32_t population() const = 0;
+};
+
+/**
+ * Dense bit array shared by the hashed signature implementations.
+ * Not a Signature itself; a helper.
+ */
+class BitArray
+{
+  public:
+    explicit BitArray(uint32_t bits);
+
+    void set(uint32_t i);
+    bool test(uint32_t i) const;
+    void clear();
+    bool empty() const { return population_ == 0; }
+    uint32_t population() const { return population_; }
+    uint32_t size() const { return bits_; }
+    void unionWith(const BitArray &other);
+    std::vector<uint64_t> setBits() const;
+
+  private:
+    uint32_t bits_;
+    uint32_t population_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/**
+ * Exact shadow set used solely for classifying signalled conflicts as
+ * true or false positives (DESIGN.md §4.6). Never consulted by the
+ * protocol itself.
+ */
+class ExactShadow
+{
+  public:
+    void insert(PhysAddr block_addr) { blocks_.insert(blockNumber(block_addr)); }
+    bool contains(PhysAddr block_addr) const
+    { return blocks_.count(blockNumber(block_addr)) != 0; }
+    void clear() { blocks_.clear(); }
+    size_t size() const { return blocks_.size(); }
+    const std::unordered_set<uint64_t> &blocks() const { return blocks_; }
+
+  private:
+    std::unordered_set<uint64_t> blocks_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_SIGNATURE_HH

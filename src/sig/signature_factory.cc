@@ -1,0 +1,28 @@
+#include "sig/signature_factory.hh"
+
+#include "common/log.hh"
+#include "sig/bit_select_signature.hh"
+#include "sig/coarse_bit_select_signature.hh"
+#include "sig/double_bit_select_signature.hh"
+#include "sig/perfect_signature.hh"
+
+namespace logtm {
+
+std::unique_ptr<Signature>
+makeSignature(const SignatureConfig &cfg)
+{
+    switch (cfg.kind) {
+      case SignatureKind::Perfect:
+        return std::make_unique<PerfectSignature>();
+      case SignatureKind::BitSelect:
+        return std::make_unique<BitSelectSignature>(cfg.bits);
+      case SignatureKind::DoubleBitSelect:
+        return std::make_unique<DoubleBitSelectSignature>(cfg.bits);
+      case SignatureKind::CoarseBitSelect:
+        return std::make_unique<CoarseBitSelectSignature>(
+            cfg.bits, cfg.coarseGrainBytes);
+    }
+    logtm_panic("unknown signature kind");
+}
+
+} // namespace logtm

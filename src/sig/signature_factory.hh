@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Construct a Signature from a SignatureConfig.
+ */
+
+#ifndef LOGTM_SIG_SIGNATURE_FACTORY_HH
+#define LOGTM_SIG_SIGNATURE_FACTORY_HH
+
+#include <memory>
+
+#include "common/config.hh"
+#include "sig/signature.hh"
+
+namespace logtm {
+
+/** Build a signature implementation matching @p cfg. */
+std::unique_ptr<Signature> makeSignature(const SignatureConfig &cfg);
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_SIGNATURE_FACTORY_HH

@@ -1,0 +1,51 @@
+#include "sim/event_queue.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+void
+EventQueue::schedule(Cycle when, std::function<void()> action,
+                     EventPriority prio)
+{
+    logtm_assert(when >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{when, prio, nextSeq_++, std::move(action)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() follows immediately.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    logtm_assert(ev.when >= now_, "event queue time went backwards");
+    now_ = ev.when;
+    ev.action();
+    return true;
+}
+
+uint64_t
+EventQueue::run(Cycle max_cycles)
+{
+    const Cycle deadline = (max_cycles == ~0ull) ? ~0ull : now_ + max_cycles;
+    uint64_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        step();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace logtm

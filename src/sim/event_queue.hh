@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are ordered by (tick, priority, sequence number), where the
+ * sequence number breaks ties in scheduling order, making simulation
+ * results bit-for-bit reproducible.
+ */
+
+#ifndef LOGTM_SIM_EVENT_QUEUE_HH
+#define LOGTM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+/** Relative ordering of events scheduled for the same cycle. */
+enum class EventPriority : uint8_t {
+    Protocol = 0,  ///< coherence message delivery / controller work
+    Default = 1,
+    Cpu = 2,       ///< thread-context wakeups run after protocol work
+};
+
+/** A scheduled callback. */
+struct Event
+{
+    Cycle when;
+    EventPriority priority;
+    uint64_t seq;
+    std::function<void()> action;
+};
+
+/** Min-heap event queue keyed on (when, priority, seq). */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Cycle now() const { return now_; }
+
+    /** Schedule @p action to run at absolute cycle @p when. */
+    void schedule(Cycle when, std::function<void()> action,
+                  EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p action @p delta cycles from now. */
+    void
+    scheduleIn(Cycle delta, std::function<void()> action,
+               EventPriority prio = EventPriority::Default)
+    {
+        schedule(now_ + delta, std::move(action), prio);
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Execute events in order until the queue drains or @p max_cycles
+     * pass. @return number of events executed.
+     */
+    uint64_t run(Cycle max_cycles = ~0ull);
+
+    /** Execute a single event. @return false if the queue was empty. */
+    bool step();
+
+    /** Drop all pending events and reset time to zero. */
+    void clear();
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    Cycle now_ = 0;
+    uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIM_EVENT_QUEUE_HH

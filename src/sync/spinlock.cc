@@ -1,0 +1,105 @@
+#include "sync/spinlock.hh"
+
+#include <algorithm>
+
+namespace logtm {
+
+namespace {
+
+/** Backoff delay for the @p attempt-th failed acquire. */
+Cycle
+backoff(Simulator &sim, uint32_t attempt)
+{
+    const uint32_t shift = std::min(attempt, 8u);
+    const Cycle base = Cycle{8} << shift;
+    return base + sim.rng().below(8);
+}
+
+} // namespace
+
+void
+Spinlock::acquire(ThreadId t, std::function<void()> done)
+{
+    spin(t, std::move(done), 0);
+}
+
+void
+Spinlock::spin(ThreadId t, std::function<void()> done, uint32_t attempt)
+{
+    // Test: spin on a (cacheable, shared) read until the lock looks
+    // free, then attempt the atomic test-and-set.
+    engine_.load(t, addr_, [this, t, done = std::move(done), attempt](
+                              OpStatus, uint64_t value) mutable {
+        Simulator &sim = engine_.simulator();
+        if (value != 0) {
+            sim.queue().scheduleIn(backoff(sim, attempt),
+                [this, t, done = std::move(done), attempt]() mutable {
+                    spin(t, std::move(done), attempt + 1);
+                }, EventPriority::Cpu);
+            return;
+        }
+        engine_.atomicRmw(t, addr_, [](uint64_t) { return 1; },
+            [this, t, done = std::move(done), attempt](
+                OpStatus, uint64_t old) mutable {
+                if (old == 0) {
+                    done();
+                    return;
+                }
+                Simulator &sim = engine_.simulator();
+                sim.queue().scheduleIn(backoff(sim, attempt),
+                    [this, t, done = std::move(done), attempt]() mutable {
+                        spin(t, std::move(done), attempt + 1);
+                    }, EventPriority::Cpu);
+            });
+    });
+}
+
+void
+Spinlock::release(ThreadId t, std::function<void()> done)
+{
+    engine_.store(t, addr_, 0,
+                  [done = std::move(done)](OpStatus) { done(); });
+}
+
+void
+TicketLock::acquire(ThreadId t, std::function<void()> done)
+{
+    engine_.atomicRmw(t, nextAddr_, [](uint64_t v) { return v + 1; },
+        [this, t, done = std::move(done)](OpStatus,
+                                          uint64_t ticket) mutable {
+            spinUntil(t, ticket, std::move(done), 0);
+        });
+}
+
+void
+TicketLock::spinUntil(ThreadId t, uint64_t ticket,
+                      std::function<void()> done, uint32_t attempt)
+{
+    engine_.load(t, servingAddr_,
+        [this, t, ticket, done = std::move(done), attempt](
+            OpStatus, uint64_t serving) mutable {
+            if (serving == ticket) {
+                done();
+                return;
+            }
+            Simulator &sim = engine_.simulator();
+            // Proportional backoff: wait longer the further back the
+            // ticket is in line.
+            const uint64_t dist = ticket - serving;
+            sim.queue().scheduleIn(
+                8 * dist + backoff(sim, std::min<uint32_t>(attempt, 3)),
+                [this, t, ticket, done = std::move(done),
+                 attempt]() mutable {
+                    spinUntil(t, ticket, std::move(done), attempt + 1);
+                }, EventPriority::Cpu);
+        });
+}
+
+void
+TicketLock::release(ThreadId t, std::function<void()> done)
+{
+    engine_.atomicRmw(t, servingAddr_, [](uint64_t v) { return v + 1; },
+        [done = std::move(done)](OpStatus, uint64_t) { done(); });
+}
+
+} // namespace logtm

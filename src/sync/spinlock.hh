@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lock primitives implemented ON TOP of the simulated memory system,
+ * so lock-based baselines generate real coherence traffic (paper §6:
+ * original lock-based programs vs transactional versions).
+ *
+ * Callback style so both the coroutine workload layer and plain
+ * drivers can use them.
+ */
+
+#ifndef LOGTM_SYNC_SPINLOCK_HH
+#define LOGTM_SYNC_SPINLOCK_HH
+
+#include <functional>
+
+#include "tm/logtm_se_engine.hh"
+
+namespace logtm {
+
+/**
+ * Test-and-test-and-set spinlock with exponential backoff.
+ * The lock word holds 0 (free) or 1 (held).
+ */
+class Spinlock
+{
+  public:
+    Spinlock(LogTmSeEngine &engine, VirtAddr lock_addr)
+        : engine_(engine), addr_(lock_addr)
+    {
+    }
+
+    /** Acquire for thread @p t; @p done runs once the lock is held. */
+    void acquire(ThreadId t, std::function<void()> done);
+
+    /** Release (must be held by the caller). */
+    void release(ThreadId t, std::function<void()> done);
+
+    VirtAddr address() const { return addr_; }
+
+  private:
+    void spin(ThreadId t, std::function<void()> done, uint32_t attempt);
+
+    LogTmSeEngine &engine_;
+    VirtAddr addr_;
+};
+
+/**
+ * FIFO ticket lock: fetch-and-increment a next-ticket word, spin on
+ * the now-serving word. Fairer than TATAS under contention.
+ */
+class TicketLock
+{
+  public:
+    TicketLock(LogTmSeEngine &engine, VirtAddr base_addr)
+        : engine_(engine), nextAddr_(base_addr),
+          servingAddr_(base_addr + blockBytes)
+    {
+    }
+
+    void acquire(ThreadId t, std::function<void()> done);
+    void release(ThreadId t, std::function<void()> done);
+
+  private:
+    void spinUntil(ThreadId t, uint64_t ticket,
+                   std::function<void()> done, uint32_t attempt);
+
+    LogTmSeEngine &engine_;
+    VirtAddr nextAddr_;     ///< next ticket counter
+    VirtAddr servingAddr_;  ///< now-serving counter (separate block)
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SYNC_SPINLOCK_HH

@@ -1,0 +1,34 @@
+#include "tm/log_filter.hh"
+
+namespace logtm {
+
+LogFilter::LogFilter(uint32_t entries) : slots_(entries, emptySlot_)
+{
+}
+
+bool
+LogFilter::contains(VirtAddr vaddr) const
+{
+    if (slots_.empty())
+        return false;
+    const uint64_t block = blockNumber(vaddr);
+    return slots_[block % slots_.size()] == block;
+}
+
+void
+LogFilter::insert(VirtAddr vaddr)
+{
+    if (slots_.empty())
+        return;
+    const uint64_t block = blockNumber(vaddr);
+    slots_[block % slots_.size()] = block;
+}
+
+void
+LogFilter::clear()
+{
+    for (auto &s : slots_)
+        s = emptySlot_;
+}
+
+} // namespace logtm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Log filter (paper §2): a small per-thread array of recently logged
+ * block addresses that suppresses redundant undo logging. LogTM's
+ * W-bit trick is unavailable because signatures can alias, so
+ * LogTM-SE adds this TLB-like structure. It holds virtual addresses
+ * and is purely a performance optimization: clearing it at any time
+ * (context switch, nested begin) is always safe.
+ */
+
+#ifndef LOGTM_TM_LOG_FILTER_HH
+#define LOGTM_TM_LOG_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+class LogFilter
+{
+  public:
+    /** @param entries number of direct-mapped entries; 0 disables. */
+    explicit LogFilter(uint32_t entries = 16);
+
+    /** True if @p vaddr's block is definitely already logged. */
+    bool contains(VirtAddr vaddr) const;
+
+    /** Record that @p vaddr's block has been logged. */
+    void insert(VirtAddr vaddr);
+
+    /** Forget everything (always safe). */
+    void clear();
+
+    uint32_t entries() const
+    { return static_cast<uint32_t>(slots_.size()); }
+
+  private:
+    static constexpr uint64_t emptySlot_ = ~0ull;
+    std::vector<uint64_t> slots_;  ///< block numbers, direct mapped
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_LOG_FILTER_HH

@@ -1,0 +1,784 @@
+#include "tm/logtm_se_engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "sig/signature_factory.hh"
+
+namespace logtm {
+
+LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
+                             const SystemConfig &cfg)
+    : sim_(sim), mem_(mem), cfg_(cfg), translator_(&identity_),
+      commits_(sim.stats().counter("tm.commits")),
+      aborts_(sim.stats().counter("tm.aborts")),
+      stalls_(sim.stats().counter("tm.stalls")),
+      conflictsTrue_(sim.stats().counter("tm.conflictsTrue")),
+      conflictsFalse_(sim.stats().counter("tm.conflictsFalse")),
+      summaryTraps_(sim.stats().counter("tm.summaryTraps")),
+      logRecords_(sim.stats().counter("tm.logRecords")),
+      logFilterHits_(sim.stats().counter("tm.logFilterHits")),
+      beginsOuter_(sim.stats().counter("tm.beginsOuter")),
+      beginsNested_(sim.stats().counter("tm.beginsNested")),
+      openCommits_(sim.stats().counter("tm.openCommits")),
+      readSetSize_(sim.stats().sampler("tm.readSetBlocks")),
+      writeSetSize_(sim.stats().sampler("tm.writeSetBlocks")),
+      undoRecordsPerTx_(sim.stats().sampler("tm.undoRecordsPerTx"))
+{
+    const uint32_t n = cfg_.numContexts();
+    for (CtxId c = 0; c < n; ++c) {
+        auto ctx = std::make_unique<HwContext>();
+        ctx->id = c;
+        ctx->core = c / cfg_.threadsPerCore;
+        ctx->readSig = makeSignature(cfg_.signature);
+        ctx->writeSig = makeSignature(cfg_.signature);
+        contexts_.push_back(std::move(ctx));
+    }
+    mem_.setConflictChecker(this);
+}
+
+// --------------------------------------------------------------------
+// Thread and context management
+// --------------------------------------------------------------------
+
+ThreadId
+LogTmSeEngine::createThread(Asid asid)
+{
+    auto thr = std::make_unique<TxThread>();
+    thr->id = static_cast<ThreadId>(threads_.size());
+    thr->asid = asid;
+    thr->filter = LogFilter(cfg_.logFilterEntries);
+    threads_.push_back(std::move(thr));
+    return threads_.back()->id;
+}
+
+void
+LogTmSeEngine::bindThread(ThreadId t, CtxId ctx_id)
+{
+    TxThread &thr = *threads_[t];
+    HwContext &ctx = *contexts_[ctx_id];
+    logtm_assert(ctx.thread == invalidThread, "context already bound");
+    logtm_assert(thr.ctx == invalidCtx, "thread already scheduled");
+    ctx.thread = t;
+    thr.ctx = ctx_id;
+
+    if (thr.inTx()) {
+        logtm_assert(thr.savedRead && thr.savedWrite,
+                     "mid-tx thread without saved signatures");
+        ctx.readSig->clear();
+        ctx.readSig->unionWith(*thr.savedRead);
+        ctx.writeSig->clear();
+        ctx.writeSig->unionWith(*thr.savedWrite);
+        ctx.shadowRead = thr.savedShadowRead;
+        ctx.shadowWrite = thr.savedShadowWrite;
+        thr.savedRead.reset();
+        thr.savedWrite.reset();
+        thr.savedShadowRead.clear();
+        thr.savedShadowWrite.clear();
+        thr.rescheduledDuringTx = true;
+    }
+}
+
+void
+LogTmSeEngine::unbindThread(ThreadId t)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.ctx != invalidCtx, "unbinding descheduled thread");
+    HwContext &ctx = *contexts_[thr.ctx];
+
+    if (thr.inTx()) {
+        // Paper §4.1: save the signatures to the log's current
+        // header; we keep them beside the log (equivalent).
+        thr.savedRead = ctx.readSig->clone();
+        thr.savedWrite = ctx.writeSig->clone();
+        thr.savedShadowRead = ctx.shadowRead;
+        thr.savedShadowWrite = ctx.shadowWrite;
+    }
+    ctx.readSig->clear();
+    ctx.writeSig->clear();
+    ctx.shadowRead.clear();
+    ctx.shadowWrite.clear();
+    ctx.thread = invalidThread;
+    thr.ctx = invalidCtx;
+    // The log filter is an optimization; clearing is always safe.
+    thr.filter.clear();
+}
+
+void
+LogTmSeEngine::setSummary(CtxId ctx, std::unique_ptr<Signature> summary)
+{
+    contexts_[ctx]->summary = std::move(summary);
+}
+
+const Signature *
+LogTmSeEngine::savedReadSig(ThreadId t) const
+{
+    return threads_[t]->savedRead.get();
+}
+
+const Signature *
+LogTmSeEngine::savedWriteSig(ThreadId t) const
+{
+    return threads_[t]->savedWrite.get();
+}
+
+void
+LogTmSeEngine::rewritePageInSignatures(Asid asid, uint64_t old_ppage,
+                                       uint64_t new_ppage)
+{
+    const PhysAddr old_base = old_ppage << pageBytesLog2;
+    const PhysAddr new_base = new_ppage << pageBytesLog2;
+
+    auto rewrite = [&](Signature &sig) {
+        // Paper §4.2: walk the signature, testing each block of the
+        // old page; re-insert hits at the new physical address. The
+        // updated signature holds both old and new addresses.
+        for (uint64_t off = 0; off < pageBytes; off += blockBytes) {
+            if (sig.mayContain(old_base + off))
+                sig.insert(new_base + off);
+        }
+    };
+    auto rewriteShadow = [&](ExactShadow &shadow) {
+        for (uint64_t off = 0; off < pageBytes; off += blockBytes) {
+            if (shadow.contains(old_base + off))
+                shadow.insert(new_base + off);
+        }
+    };
+
+    for (auto &ctx : contexts_) {
+        if (ctx->thread == invalidThread)
+            continue;
+        if (threads_[ctx->thread]->asid != asid)
+            continue;
+        rewrite(*ctx->readSig);
+        rewrite(*ctx->writeSig);
+        rewriteShadow(ctx->shadowRead);
+        rewriteShadow(ctx->shadowWrite);
+    }
+    for (auto &thr : threads_) {
+        if (thr->asid != asid || !thr->savedRead)
+            continue;
+        rewrite(*thr->savedRead);
+        rewrite(*thr->savedWrite);
+        rewriteShadow(thr->savedShadowRead);
+        rewriteShadow(thr->savedShadowWrite);
+    }
+}
+
+// --------------------------------------------------------------------
+// Transactional control
+// --------------------------------------------------------------------
+
+void
+LogTmSeEngine::txBegin(ThreadId t, bool open)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.ctx != invalidCtx, "txBegin on descheduled thread");
+    logtm_assert(!thr.doomed, "txBegin while doomed");
+    HwContext &ctx = *contexts_[thr.ctx];
+
+    RegisterCheckpoint ckpt{sim_.now()};
+    if (!thr.inTx()) {
+        ++beginsOuter_;
+        logtm_trace(TraceCat::Tm, sim_.now(), "t%u txBegin", t);
+        // LogTM keeps the timestamp across retries of one transaction
+        // (older transactions eventually win; no starvation).
+        if (thr.timestamp == ~0ull) {
+            thr.timestamp =
+                sim_.now() * contexts_.size() + thr.ctx;
+        }
+        thr.log.pushFrame(ckpt, open);
+        thr.filter.clear();
+        return;
+    }
+
+    // Nested begin: save the current signatures into the child's
+    // frame header and clear the filter so the child re-logs blocks.
+    ++beginsNested_;
+    LogFrame &frame = thr.log.pushFrame(ckpt, open);
+    frame.savedRead = ctx.readSig->clone();
+    frame.savedWrite = ctx.writeSig->clone();
+    frame.savedShadowRead = ctx.shadowRead;
+    frame.savedShadowWrite = ctx.shadowWrite;
+    thr.filter.clear();
+}
+
+void
+LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.inTx(), "commit without transaction");
+    logtm_assert(!thr.doomed, "commit of a doomed transaction");
+    logtm_assert(thr.ctx != invalidCtx, "commit on descheduled thread");
+    HwContext &ctx = *contexts_[thr.ctx];
+
+    if (thr.log.depth() > 1) {
+        if (thr.log.top().open) {
+            // Open commit: release isolation on child-only accesses
+            // by restoring the parent's signatures; the child's undo
+            // records are discarded (its effects are permanent).
+            ++openCommits_;
+            LogFrame frame = thr.log.popFrame();
+            ctx.readSig->clear();
+            ctx.readSig->unionWith(*frame.savedRead);
+            ctx.writeSig->clear();
+            ctx.writeSig->unionWith(*frame.savedWrite);
+            ctx.shadowRead = frame.savedShadowRead;
+            ctx.shadowWrite = frame.savedShadowWrite;
+        } else {
+            // Closed commit: merge into the parent.
+            thr.log.mergeTopIntoParent();
+        }
+        sim_.queue().scheduleIn(cfg_.commitLatency, std::move(done),
+                                EventPriority::Cpu);
+        return;
+    }
+
+    // Outermost commit: a fast, local operation (paper §2).
+    ++commits_;
+    logtm_trace(TraceCat::Tm, sim_.now(),
+                "t%u commit (reads=%zu writes=%zu undo=%zu)", t,
+                ctx.shadowRead.size(), ctx.shadowWrite.size(),
+                thr.log.totalRecords());
+    readSetSize_.sample(static_cast<double>(ctx.shadowRead.size()));
+    writeSetSize_.sample(static_cast<double>(ctx.shadowWrite.size()));
+    undoRecordsPerTx_.sample(
+        static_cast<double>(thr.log.totalRecords()));
+
+    ctx.readSig->clear();
+    ctx.writeSig->clear();
+    ctx.shadowRead.clear();
+    ctx.shadowWrite.clear();
+    thr.log.reset();
+    thr.filter.clear();
+    thr.timestamp = ~0ull;
+    thr.possibleCycle = false;
+    thr.backoffLevel = 0;
+    thr.lastNackedValid = false;
+
+    Cycle latency = cfg_.commitLatency;
+    const bool migrated = thr.rescheduledDuringTx;
+    thr.rescheduledDuringTx = false;
+    if (migrated)
+        latency += cfg_.summaryTrapLatency;
+
+    auto hook = commitMigrationHook_;
+    const ThreadId tid = t;
+    sim_.queue().scheduleIn(latency, [done = std::move(done), hook,
+                                      migrated, tid]() {
+        if (migrated && hook)
+            hook(tid);
+        done();
+    }, EventPriority::Cpu);
+}
+
+void
+LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.inTx(), "abort without transaction");
+    logtm_assert(thr.ctx != invalidCtx, "abort on descheduled thread");
+    HwContext &ctx = *contexts_[thr.ctx];
+    ++aborts_;
+    logtm_trace(TraceCat::Tm, sim_.now(),
+                "t%u abort frame depth=%zu cause=%d", t,
+                thr.log.depth(), static_cast<int>(thr.abortCause));
+
+    // Software abort handler: walk the frame LIFO and restore old
+    // values through the current translation (paging-safe).
+    LogFrame frame = thr.log.popFrame();
+    for (auto it = frame.records.rbegin(); it != frame.records.rend();
+         ++it) {
+        mem_.data().store(translate(thr, it->vaddr), it->oldValue);
+    }
+    const Cycle latency = cfg_.abortTrapLatency +
+        frame.records.size() * cfg_.abortRestoreLatency;
+
+    // Release isolation: restore the parent's signatures (nested) or
+    // clear them (outermost frame).
+    if (frame.savedRead) {
+        ctx.readSig->clear();
+        ctx.readSig->unionWith(*frame.savedRead);
+        ctx.writeSig->clear();
+        ctx.writeSig->unionWith(*frame.savedWrite);
+        ctx.shadowRead = frame.savedShadowRead;
+        ctx.shadowWrite = frame.savedShadowWrite;
+    } else {
+        logtm_assert(thr.log.depth() == 0,
+                     "nested frame without signature save area");
+        ctx.readSig->clear();
+        ctx.writeSig->clear();
+        ctx.shadowRead.clear();
+        ctx.shadowWrite.clear();
+    }
+    thr.filter.clear();
+
+    // Partial abort (paper §3.2): if the conflicting address still
+    // hits the restored signatures, keep unwinding at the parent.
+    bool still_doomed = false;
+    if (thr.log.depth() > 0 && thr.doomedAddrValid) {
+        const PhysAddr block = blockAlign(thr.doomedAddr);
+        still_doomed = thr.doomedType == AccessType::Read
+            ? ctx.writeSig->mayContain(block)
+            : (ctx.readSig->mayContain(block) ||
+               ctx.writeSig->mayContain(block));
+    }
+    if (!still_doomed) {
+        thr.doomed = false;
+        thr.abortCause = AbortCause::None;
+        thr.doomedAddrValid = false;
+        thr.possibleCycle = false;
+        thr.lastNackedValid = false;
+        // NOTE: the timestamp is deliberately retained across the
+        // retry (LogTM): the transaction ages, so the oldest
+        // transaction in any conflict cycle eventually wins and
+        // starvation is avoided. It resets only at commit.
+    }
+
+    sim_.queue().scheduleIn(latency, std::move(done), EventPriority::Cpu);
+}
+
+void
+LogTmSeEngine::abortBackoff(ThreadId t, DoneFn done)
+{
+    TxThread &thr = *threads_[t];
+    sim_.queue().scheduleIn(backoffDelay(thr), std::move(done),
+                            EventPriority::Cpu);
+}
+
+void
+LogTmSeEngine::txRequestAbort(ThreadId t)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.inTx(), "explicit abort without transaction");
+    doom(thr, AbortCause::Explicit, 0, AccessType::Read, false);
+}
+
+Cycle
+LogTmSeEngine::backoffDelay(TxThread &thr)
+{
+    // Randomized exponential backoff: uniform within a window that
+    // doubles per consecutive abort (reset at commit).
+    const uint32_t level =
+        std::min(thr.backoffLevel++, cfg_.backoffMaxShift);
+    const Cycle window = cfg_.nackRetryBase << level;
+    return cfg_.nackRetryBase + sim_.rng().below(window);
+}
+
+// --------------------------------------------------------------------
+// Conflict handling
+// --------------------------------------------------------------------
+
+void
+LogTmSeEngine::doom(TxThread &thr, AbortCause cause, PhysAddr addr,
+                    AccessType type, bool addr_valid)
+{
+    if (thr.doomed)
+        return;
+    logtm_trace(TraceCat::Tm, sim_.now(), "t%u doomed (cause=%d)",
+                thr.id, static_cast<int>(cause));
+    thr.doomed = true;
+    thr.abortCause = cause;
+    thr.doomedAddr = addr;
+    thr.doomedType = type;
+    thr.doomedAddrValid = addr_valid;
+}
+
+bool
+LogTmSeEngine::onConflictNack(TxThread &thr, uint64_t nacker_ts,
+                              CtxId nacker_ctx, PhysAddr block,
+                              AccessType type, uint32_t retries)
+{
+    (void)nacker_ctx;
+    (void)block;
+    (void)type;
+    if (!thr.inTx())
+        return false;  // plain accesses just retry
+
+    if (cfg_.conflictPolicy == ConflictPolicy::AbortAlways) {
+        doom(thr, AbortCause::PolicyAbort, 0, AccessType::Read, false);
+        return true;
+    }
+    if (cfg_.conflictPolicy == ConflictPolicy::StallThenAbort &&
+        retries >= cfg_.stallAbortThreshold) {
+        // Contention-manager trap: this access has been NACKed too
+        // long; release isolation and retry the whole transaction.
+        doom(thr, AbortCause::PolicyAbort, 0, AccessType::Read, false);
+        return true;
+    }
+
+    // LogTM deadlock avoidance: abort when this transaction both
+    // NACKed an older transaction (possible_cycle) and is now NACKed
+    // by an older transaction.
+    if (thr.possibleCycle && nacker_ts < thr.timestamp) {
+        doom(thr, AbortCause::DeadlockCycle, thr.lastNackedAddr,
+             thr.lastNackedType, thr.lastNackedValid);
+        return true;
+    }
+    return false;
+}
+
+void
+LogTmSeEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
+                                AccessType remote_type)
+{
+    const bool actual = remote_type == AccessType::Read
+        ? ctx.shadowWrite.contains(block)
+        : (ctx.shadowRead.contains(block) ||
+           ctx.shadowWrite.contains(block));
+    if (actual)
+        ++conflictsTrue_;
+    else
+        ++conflictsFalse_;
+}
+
+ConflictVerdict
+LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
+                           AccessType remote_type, Asid req_asid,
+                           CtxId req_ctx, uint64_t req_ts)
+{
+    ConflictVerdict verdict;
+    const CtxId first = core * cfg_.threadsPerCore;
+    for (CtxId c = first; c < first + cfg_.threadsPerCore; ++c) {
+        HwContext &ctx = *contexts_[c];
+        const bool hit_r = ctx.readSig->mayContain(block);
+        const bool hit_w = ctx.writeSig->mayContain(block);
+        verdict.keepSticky |= hit_r || hit_w;
+        verdict.inWriteSet |= hit_w;
+
+        const bool relevant = remote_type == AccessType::Read
+            ? hit_w : (hit_r || hit_w);
+        if (!relevant || c == req_ctx || ctx.thread == invalidThread)
+            continue;
+        TxThread &thr = *threads_[ctx.thread];
+        if (!thr.inTx() || thr.asid != req_asid)
+            continue;  // ASID filter (paper §2): no cross-process NACKs
+
+        verdict.conflict = true;
+        classifyConflict(ctx, block, remote_type);
+        if (thr.timestamp < verdict.nackerTs) {
+            verdict.nackerTs = thr.timestamp;
+            verdict.nackerCtx = c;
+        }
+        // Deadlock-avoidance bookkeeping: we are NACKing req_ts; if
+        // the requester is older, a cycle is possible.
+        if (req_ts < thr.timestamp)
+            thr.possibleCycle = true;
+        thr.lastNackedAddr = block;
+        thr.lastNackedType = remote_type;
+        thr.lastNackedValid = true;
+    }
+    return verdict;
+}
+
+bool
+LogTmSeEngine::inAnyLocalSig(CoreId core, PhysAddr block) const
+{
+    const CtxId first = core * cfg_.threadsPerCore;
+    for (CtxId c = first; c < first + cfg_.threadsPerCore; ++c) {
+        const HwContext &ctx = *contexts_[c];
+        if (ctx.readSig->mayContain(block) ||
+            ctx.writeSig->mayContain(block)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Memory operations
+// --------------------------------------------------------------------
+
+void
+LogTmSeEngine::load(ThreadId t, VirtAddr va, LoadDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Read;
+    op->loadDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::store(ThreadId t, VirtAddr va, uint64_t value,
+                     StoreDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Write;
+    op->storeValue = value;
+    op->storeDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::loadExclusive(ThreadId t, VirtAddr va, LoadDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Write;
+    op->loadForWrite = true;
+    op->loadDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::escapeLoad(ThreadId t, VirtAddr va, LoadDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Read;
+    op->escape = true;
+    op->loadDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::escapeStore(ThreadId t, VirtAddr va, uint64_t value,
+                           StoreDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Write;
+    op->escape = true;
+    op->storeValue = value;
+    op->storeDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::atomicRmw(ThreadId t, VirtAddr va,
+                         std::function<uint64_t(uint64_t)> rmw_op,
+                         LoadDoneFn done)
+{
+    auto op = std::make_shared<OpRequest>();
+    op->t = t;
+    op->va = va;
+    op->type = AccessType::Write;
+    op->escape = true;  // atomics bypass TM version management
+    op->rmwOp = std::move(rmw_op);
+    op->loadDone = std::move(done);
+    issueOp(std::move(op));
+}
+
+void
+LogTmSeEngine::finishOp(const std::shared_ptr<OpRequest> &op,
+                        OpStatus status, uint64_t value)
+{
+    if (op->loadDone)
+        op->loadDone(status, value);
+    else
+        op->storeDone(status);
+}
+
+void
+LogTmSeEngine::retryOp(std::shared_ptr<OpRequest> op,
+                       bool conflict_backoff)
+{
+    ++op->retries;
+    // LogTM conflict resolution STALLS the requester and retries the
+    // coherence operation eagerly (paper §2); the stalled -- and
+    // therefore older-growing -- transaction must win the conflict as
+    // soon as the blocker commits or aborts. Exponential backoff is
+    // applied only after aborts (abortBackoff), never to stalls.
+    (void)conflict_backoff;
+    const Cycle delay =
+        cfg_.nackRetryBase + sim_.rng().below(cfg_.nackRetryBase);
+    sim_.queue().scheduleIn(delay, [this, op = std::move(op)]() mutable {
+        issueOp(std::move(op));
+    }, EventPriority::Cpu);
+}
+
+ConflictVerdict
+LogTmSeEngine::checkSiblings(const TxThread &thr, PhysAddr block,
+                             AccessType type)
+{
+    // SMT siblings share the L1, so loads/stores that hit locally
+    // would bypass coherence; check their signatures directly
+    // (paper §2 "multi-threaded cores"). checkRemote excludes our
+    // own context via req_ctx.
+    HwContext &ctx = *contexts_[thr.ctx];
+    return checkRemote(ctx.core, block, type, thr.asid, thr.ctx,
+                       thr.timestamp);
+}
+
+void
+LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
+{
+    TxThread &thr = *threads_[op->t];
+    logtm_assert(thr.ctx != invalidCtx,
+                 "memory op from descheduled thread");
+    HwContext &ctx = *contexts_[thr.ctx];
+    const bool in_tx = thr.inTx() && !op->escape;
+
+    if (thr.doomed && in_tx) {
+        finishOp(op, OpStatus::Aborted, 0);
+        return;
+    }
+
+    const PhysAddr pa = translate(thr, op->va);
+    const PhysAddr block = blockAlign(pa);
+
+    // 1. Summary signature: checked on EVERY memory reference,
+    //    including cache hits (paper §4.1).
+    if (!op->escape && ctx.summary && ctx.summary->mayContain(block)) {
+        ++summaryTraps_;
+        if (thr.inTx()) {
+            // Stalling cannot resolve a conflict with a descheduled
+            // transaction; abort and retry later.
+            doom(thr, AbortCause::SummaryConflict, 0, AccessType::Read,
+                 false);
+            finishOp(op, OpStatus::Aborted, 0);
+            return;
+        }
+        // Plain access: wait for the OS to reschedule/commit.
+        sim_.queue().scheduleIn(
+            cfg_.summaryTrapLatency +
+                sim_.rng().below(cfg_.nackRetryBase),
+            [this, op = std::move(op)]() mutable {
+                issueOp(std::move(op));
+            }, EventPriority::Cpu);
+        return;
+    }
+
+    // 2. SMT-sibling signatures (local conflicts never reach the
+    //    coherence protocol).
+    if (!op->escape) {
+        ConflictVerdict verdict = checkSiblings(thr, block, op->type);
+        if (verdict.conflict) {
+            if (thr.inTx())
+                ++stalls_;
+            if (onConflictNack(thr, verdict.nackerTs, verdict.nackerCtx,
+                               block, op->type, op->retries)) {
+                finishOp(op, OpStatus::Aborted, 0);
+                return;
+            }
+            retryOp(std::move(op), true);
+            return;
+        }
+    }
+
+    // 3. Issue to the memory system.
+    L1Cache::Request req;
+    req.ctx = thr.ctx;
+    req.type = op->type;
+    req.transactional = in_tx;
+    req.txTs = thr.inTx() ? thr.timestamp : ~0ull;
+    req.asid = thr.asid;
+    req.done = [this, op](const MemAccessResult &res) mutable {
+        TxThread &thr = *threads_[op->t];
+        const bool in_tx = thr.inTx() && !op->escape;
+
+        if (res.nacked) {
+            if (res.conflictNack) {
+                if (thr.inTx())
+                    ++stalls_;
+                if (onConflictNack(thr, res.nackerTs, res.nackerCtx,
+                                   blockAlign(translate(thr, op->va)),
+                                   op->type, op->retries)) {
+                    finishOp(op, OpStatus::Aborted, 0);
+                    return;
+                }
+            }
+            retryOp(std::move(op), res.conflictNack);
+            return;
+        }
+
+        if (thr.doomed && in_tx) {
+            finishOp(op, OpStatus::Aborted, 0);
+            return;
+        }
+
+        const PhysAddr pa = translate(thr, op->va);
+        const PhysAddr block = blockAlign(pa);
+        HwContext &ctx = *contexts_[thr.ctx];
+
+        // Conflicts need only be detected before the memory
+        // instruction commits (paper §2): re-validate the local
+        // checks NOW, closing the window in which a sibling insert or
+        // a summary install landed while this request was in flight.
+        if (!op->escape) {
+            if (ctx.summary && ctx.summary->mayContain(block)) {
+                ++summaryTraps_;
+                if (thr.inTx()) {
+                    doom(thr, AbortCause::SummaryConflict, 0,
+                         AccessType::Read, false);
+                    finishOp(op, OpStatus::Aborted, 0);
+                    return;
+                }
+                retryOp(std::move(op), true);
+                return;
+            }
+            ConflictVerdict verdict =
+                checkSiblings(thr, block, op->type);
+            if (verdict.conflict) {
+                if (thr.inTx())
+                    ++stalls_;
+                if (onConflictNack(thr, verdict.nackerTs,
+                                   verdict.nackerCtx, block,
+                                   op->type, op->retries)) {
+                    finishOp(op, OpStatus::Aborted, 0);
+                    return;
+                }
+                retryOp(std::move(op), true);
+                return;
+            }
+        }
+
+        // Success: commit the access. Values move now; signatures
+        // record the access; stores are undo-logged first.
+        Cycle extra = 0;
+        uint64_t value = 0;
+
+        if (op->type == AccessType::Read) {
+            if (in_tx) {
+                ctx.readSig->insert(block);
+                ctx.shadowRead.insert(block);
+            }
+            value = mem_.data().load(pa);
+        } else {
+            if (in_tx) {
+                ctx.writeSig->insert(block);
+                ctx.shadowWrite.insert(block);
+                if (op->loadForWrite) {
+                    ctx.readSig->insert(block);
+                    ctx.shadowRead.insert(block);
+                }
+                if (thr.filter.contains(op->va)) {
+                    ++logFilterHits_;
+                } else {
+                    thr.log.append(UndoRecord{op->va, pa,
+                                              mem_.data().load(pa)});
+                    thr.filter.insert(op->va);
+                    ++logRecords_;
+                    extra = cfg_.logWriteLatency;
+                }
+            }
+            if (op->loadForWrite) {
+                value = mem_.data().load(pa);
+            } else if (op->rmwOp) {
+                value = mem_.data().load(pa);
+                mem_.data().store(pa, op->rmwOp(value));
+            } else {
+                mem_.data().store(pa, op->storeValue);
+            }
+        }
+
+        if (extra == 0) {
+            finishOp(op, OpStatus::Ok, value);
+            return;
+        }
+        sim_.queue().scheduleIn(extra, [this, op, value]() {
+            finishOp(op, OpStatus::Ok, value);
+        }, EventPriority::Cpu);
+    };
+    mem_.access(ctx.core, pa, std::move(req));
+}
+
+} // namespace logtm

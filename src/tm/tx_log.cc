@@ -1,0 +1,72 @@
+#include "tm/tx_log.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+LogFrame &
+TxLog::pushFrame(const RegisterCheckpoint &ckpt, bool open)
+{
+    LogFrame frame;
+    frame.checkpoint = ckpt;
+    frame.open = open;
+    frames_.push_back(std::move(frame));
+    return frames_.back();
+}
+
+LogFrame &
+TxLog::top()
+{
+    logtm_assert(!frames_.empty(), "log has no frames");
+    return frames_.back();
+}
+
+const LogFrame &
+TxLog::top() const
+{
+    logtm_assert(!frames_.empty(), "log has no frames");
+    return frames_.back();
+}
+
+void
+TxLog::append(const UndoRecord &rec)
+{
+    top().records.push_back(rec);
+}
+
+void
+TxLog::mergeTopIntoParent()
+{
+    logtm_assert(frames_.size() >= 2, "merge requires a parent frame");
+    LogFrame child = std::move(frames_.back());
+    frames_.pop_back();
+    LogFrame &parent = frames_.back();
+    parent.records.insert(parent.records.end(),
+                          child.records.begin(), child.records.end());
+}
+
+LogFrame
+TxLog::popFrame()
+{
+    logtm_assert(!frames_.empty(), "pop of empty log");
+    LogFrame frame = std::move(frames_.back());
+    frames_.pop_back();
+    return frame;
+}
+
+size_t
+TxLog::totalRecords() const
+{
+    size_t n = 0;
+    for (const auto &f : frames_)
+        n += f.records.size();
+    return n;
+}
+
+size_t
+TxLog::sizeBytes() const
+{
+    return frames_.size() * 64 + totalRecords() * 16;
+}
+
+} // namespace logtm

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-thread transaction log (paper §2 "Eager Version Management" and
+ * §3.2 "Transactional Nesting").
+ *
+ * The log lives in thread-private virtual memory and is segmented
+ * into a stack of frames, one per nesting level. Each frame has a
+ * fixed-size header (register checkpoint + signature-save area) and a
+ * variable body of undo records (virtual address, old value). Commit
+ * of a closed child merges its body into the parent; commit of an
+ * open child discards its body and restores the parent's signature;
+ * abort walks the top frame's body in LIFO order.
+ */
+
+#ifndef LOGTM_TM_TX_LOG_HH
+#define LOGTM_TM_TX_LOG_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "sig/signature.hh"
+
+namespace logtm {
+
+/** One undo record: 8-byte word granularity (DESIGN.md §1). */
+struct UndoRecord
+{
+    VirtAddr vaddr = 0;   ///< logged virtual address (paging-safe)
+    PhysAddr paddr = 0;   ///< translation at log time (simulator aid)
+    uint64_t oldValue = 0;
+};
+
+/** Logical register checkpoint saved in each frame header. */
+struct RegisterCheckpoint
+{
+    uint64_t token = 0;
+};
+
+/** One nesting level's log frame. */
+struct LogFrame
+{
+    RegisterCheckpoint checkpoint;
+    bool open = false;  ///< open-nested child?
+    /**
+     * Signature-save area: the parent's signatures at child begin
+     * (null for the outermost frame, whose prior signatures are
+     * empty). Exact shadows ride along for statistics only.
+     */
+    std::unique_ptr<Signature> savedRead;
+    std::unique_ptr<Signature> savedWrite;
+    ExactShadow savedShadowRead;
+    ExactShadow savedShadowWrite;
+    std::vector<UndoRecord> records;
+};
+
+class TxLog
+{
+  public:
+    /** Nesting depth (0 = no active transaction). */
+    size_t depth() const { return frames_.size(); }
+    bool active() const { return !frames_.empty(); }
+
+    /** Begin a nesting level; the caller fills the save area. */
+    LogFrame &pushFrame(const RegisterCheckpoint &ckpt, bool open);
+
+    LogFrame &top();
+    const LogFrame &top() const;
+
+    /** Append an undo record to the innermost frame. */
+    void append(const UndoRecord &rec);
+
+    /**
+     * Closed-nested commit: discard the child's header and merge its
+     * undo records into the parent so a later parent abort still
+     * rolls them back. Must not be called on the outermost frame.
+     */
+    void mergeTopIntoParent();
+
+    /**
+     * Pop the top frame (outermost commit, open-nested commit, or
+     * after an abort has walked it). Returns the frame so the caller
+     * can restore saved signatures.
+     */
+    LogFrame popFrame();
+
+    /** Reset the whole log (outermost commit). */
+    void reset() { frames_.clear(); }
+
+    /** Total undo records across all frames (stat). */
+    size_t totalRecords() const;
+
+    /** Log size in bytes, counting 16-byte records + 64-byte headers
+     *  (reporting only). */
+    size_t sizeBytes() const;
+
+  private:
+    std::vector<LogFrame> frames_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_TX_LOG_HH

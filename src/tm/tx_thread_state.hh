@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-hardware-context and per-software-thread transactional state
+ * (paper Figure 1): signatures live in the hardware context, the log
+ * and filter belong to the software thread, and everything is
+ * software accessible so the OS can save/restore it.
+ */
+
+#ifndef LOGTM_TM_TX_THREAD_STATE_HH
+#define LOGTM_TM_TX_THREAD_STATE_HH
+
+#include <memory>
+
+#include "common/types.hh"
+#include "sig/signature.hh"
+#include "tm/log_filter.hh"
+#include "tm/tx_log.hh"
+
+namespace logtm {
+
+/**
+ * Hardware thread context additions: R/W signatures, their exact
+ * shadows (statistics only), and the summary signature installed by
+ * the OS. Replicated per SMT context; the L1 cache is untouched.
+ */
+struct HwContext
+{
+    CtxId id = invalidCtx;
+    CoreId core = invalidCore;
+    std::unique_ptr<Signature> readSig;
+    std::unique_ptr<Signature> writeSig;
+    ExactShadow shadowRead;
+    ExactShadow shadowWrite;
+    /** Union of descheduled same-process transactions' R/W sets;
+     *  checked on every memory reference (paper §4.1). Null = empty. */
+    std::unique_ptr<Signature> summary;
+    /** Software thread currently scheduled here. */
+    ThreadId thread = invalidThread;
+};
+
+/** Why a transaction became doomed (must abort). */
+enum class AbortCause : uint8_t {
+    None,
+    DeadlockCycle,   ///< LogTM timestamp cycle-avoidance fired
+    PolicyAbort,     ///< AbortAlways conflict policy
+    SummaryConflict, ///< conflicted with a descheduled transaction
+    Explicit,        ///< user-requested abort
+};
+
+/**
+ * Per-software-thread TM state. The OS moves this between hardware
+ * contexts on context switches / migration.
+ */
+struct TxThread
+{
+    ThreadId id = invalidThread;
+    Asid asid = 0;
+    CtxId ctx = invalidCtx;     ///< invalid while descheduled
+
+    TxLog log;
+    LogFilter filter;
+
+    /** LogTM conflict-resolution state. */
+    uint64_t timestamp = ~0ull; ///< kept across retries of one tx
+    bool possibleCycle = false;
+
+    /** Abort-pending state. */
+    bool doomed = false;
+    AbortCause abortCause = AbortCause::None;
+    /** Conflicting address that doomed us (partial-abort target);
+     *  valid only when doomedAddrValid. */
+    PhysAddr doomedAddr = 0;
+    AccessType doomedType = AccessType::Read;
+    bool doomedAddrValid = false;
+
+    /** Exponential backoff progression for NACK retries. */
+    uint32_t backoffLevel = 0;
+
+    /** Last address/type this thread NACKed (partial-abort target:
+     *  unwinding stops once the restored signature clears it). */
+    PhysAddr lastNackedAddr = 0;
+    AccessType lastNackedType = AccessType::Read;
+    bool lastNackedValid = false;
+
+    /** Saved signatures while descheduled mid-transaction. The paper
+     *  stores these in the log's current frame header; keeping them
+     *  beside the log is equivalent and keeps frame handling simple. */
+    std::unique_ptr<Signature> savedRead;
+    std::unique_ptr<Signature> savedWrite;
+    ExactShadow savedShadowRead;
+    ExactShadow savedShadowWrite;
+
+    /** Set when rescheduled mid-transaction: commit must trap to the
+     *  OS to recompute the summary signature (paper §4.1). */
+    bool rescheduledDuringTx = false;
+
+    bool inTx() const { return log.active(); }
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_TX_THREAD_STATE_HH

@@ -1,0 +1,92 @@
+#include "workload/berkeleydb.hh"
+
+namespace logtm {
+
+void
+BerkeleyDbWorkload::setup()
+{
+    for (uint32_t i = 0; i < dbBlocks_; ++i)
+        poke(blockSlot(dbBase_, i), i);
+    for (uint32_t i = 0; i < numObjects_; ++i) {
+        poke(paddedSlot(lockRecBase_, i), 0);
+        poke(paddedSlot(lockRecBase_, i) + blockBytes, 0);
+    }
+    for (uint32_t i = 0; i < metaBlocks_; ++i)
+        poke(paddedSlot(metaBase_, i), 0);
+    for (uint32_t i = 0; i < statBlocks_; ++i)
+        poke(paddedSlot(statBase_, i), 0);
+    for (uint32_t r = 0; r < numRegions_; ++r) {
+        poke(paddedSlot(mutexBase_, r), 0);
+        regionLocks_.push_back(std::make_unique<Spinlock>(
+            sys_.engine(), paddedSlot(mutexBase_, r)));
+    }
+}
+
+Task
+BerkeleyDbWorkload::threadMain(ThreadCtx &tc, uint32_t idx)
+{
+    const uint64_t units = unitsFor(idx);
+    for (uint64_t u = 0; u < units; ++u) {
+        // One unit of work = one database read (paper Table 2),
+        // exercising the lock subsystem: look up the object, acquire
+        // its lock record, read the data, update statistics, release.
+        const uint32_t obj =
+            static_cast<uint32_t>(tc.rng().below(numObjects_));
+        const uint32_t db_reads =
+            3 + static_cast<uint32_t>(tc.rng().below(3));  // 3..5
+        const uint32_t meta_writes =
+            2 + static_cast<uint32_t>(tc.rng().below(4));  // 2..5
+        const bool scan = tc.rng().percent(2);
+        const uint32_t scan_reads = scan
+            ? 15 + static_cast<uint32_t>(tc.rng().below(8)) : 0;
+        const uint32_t scan_writes = scan
+            ? 10 + static_cast<uint32_t>(tc.rng().below(9)) : 0;
+
+        std::vector<uint32_t> db_idx, meta_idx;
+        for (uint32_t i = 0; i < db_reads + scan_reads; ++i)
+            db_idx.push_back(
+                static_cast<uint32_t>(tc.rng().below(dbBlocks_)));
+        for (uint32_t i = 0; i < meta_writes + scan_writes; ++i)
+            meta_idx.push_back(
+                static_cast<uint32_t>(tc.rng().below(metaBlocks_)));
+        const uint32_t stat =
+            static_cast<uint32_t>(tc.rng().below(statBlocks_));
+
+        auto body = [this, obj, db_idx, meta_idx,
+                     stat](ThreadCtx &t) -> Task {
+            uint64_t v = 0;
+            // Hash-bucket lookup.
+            TM_LOAD(t, v, blockSlot(dbBase_, obj % dbBlocks_));
+            // Acquire the object's lock record: read + update both
+            // halves (locker id, hold count).
+            uint64_t lk = 0;
+            TM_LOAD(t, lk, paddedSlot(lockRecBase_, obj));
+            TM_STORE(t, paddedSlot(lockRecBase_, obj), lk + 1);
+            TM_STORE(t, paddedSlot(lockRecBase_, obj) + blockBytes, t.id());
+            // Read the records.
+            for (uint32_t b : db_idx)
+                TM_LOAD(t, v, blockSlot(dbBase_, b));
+            // LRU / buffer-pool metadata updates.
+            for (uint32_t m : meta_idx)
+                TM_STORE(t, paddedSlot(metaBase_, m), v + m);
+            // Lock-subsystem statistics.
+            uint64_t s = 0;
+            TM_LOAD(t, s, paddedSlot(statBase_, stat));
+            TM_STORE(t, paddedSlot(statBase_, stat), s + 1);
+            co_return;
+        };
+
+        if (p_.useTm) {
+            co_await tc.transaction(body);
+        } else {
+            Spinlock &lock = *regionLocks_[obj % numRegions_];
+            co_await tc.acquire(lock);
+            co_await body(tc);
+            co_await tc.release(lock);
+        }
+        bumpUnits();
+        co_await tc.think(think(2000) + tc.rng().below(64));
+    }
+}
+
+} // namespace logtm

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Cholesky-style workload (SPLASH): sparse matrix factorization with
+ * a shared task queue. Transactions are tiny and uniform (Table 2:
+ * read-set 4/4 avg/max blocks, write-set 2/2) and the program spends
+ * almost all of its time in non-transactional numeric work, so TM and
+ * locks perform comparably.
+ */
+
+#ifndef LOGTM_WORKLOAD_CHOLESKY_HH
+#define LOGTM_WORKLOAD_CHOLESKY_HH
+
+#include "workload/workload.hh"
+
+namespace logtm {
+
+class CholeskyWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "Cholesky"; }
+    void setup() override;
+    Task threadMain(ThreadCtx &tc, uint32_t idx) override;
+
+  private:
+    static constexpr uint32_t taskBlocks_ = 1024;
+
+    static constexpr VirtAddr queueBase_ = 0x100'0000; ///< per-thread heads
+    static constexpr VirtAddr taskBase_ = 0x200'0000;
+    static constexpr VirtAddr mutexBase_ = 0x300'0000;
+
+    std::vector<std::unique_ptr<Spinlock>> queueLocks_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_WORKLOAD_CHOLESKY_HH

@@ -1,0 +1,67 @@
+#include "workload/mp3d.hh"
+
+namespace logtm {
+
+void
+Mp3dWorkload::setup()
+{
+    for (uint32_t i = 0; i < numMolecules_; ++i)
+        poke(paddedSlot(moleculeBase_, i), i);
+    for (uint32_t i = 0; i < numCells_; ++i)
+        poke(paddedSlot(cellBase_, i), 0);
+    for (uint32_t i = 0; i < numCellLocks_; ++i) {
+        poke(blockSlot(mutexBase_, i), 0);
+        cellLocks_.push_back(std::make_unique<Spinlock>(
+            sys_.engine(), blockSlot(mutexBase_, i)));
+    }
+}
+
+Task
+Mp3dWorkload::threadMain(ThreadCtx &tc, uint32_t idx)
+{
+    const uint64_t units = unitsFor(idx);
+    for (uint64_t u = 0; u < units; ++u) {
+        // One unit = move one molecule one step: read its record and
+        // target cell, update the cell counters (shared, randomly
+        // distributed -> occasional conflicts). ~5% of steps are
+        // collisions touching a neighborhood of cells.
+        const uint32_t mol = static_cast<uint32_t>(
+            (idx * numMolecules_ / p_.numThreads + u) % numMolecules_);
+        const uint32_t cell =
+            static_cast<uint32_t>(tc.rng().below(numCells_));
+        const bool collision = tc.rng().percent(5);
+        const uint32_t neighborhood = collision
+            ? 4 + static_cast<uint32_t>(tc.rng().below(13))  // 4..16
+            : 0;
+
+        auto body = [this, mol, cell, neighborhood](ThreadCtx &t)
+            -> Task {
+            uint64_t m = 0, c = 0;
+            TM_LOAD(t, m, paddedSlot(moleculeBase_, mol));
+            TM_LOAD(t, c, paddedSlot(cellBase_, cell));
+            TM_STORE(t, paddedSlot(cellBase_, cell), c + 1);
+            for (uint32_t i = 0; i < neighborhood; ++i) {
+                uint64_t n = 0;
+                const uint32_t nc = (cell + i + 1) % numCells_;
+                TM_LOAD(t, n, paddedSlot(cellBase_, nc));
+                if (i < neighborhood / 4)
+                    TM_STORE(t, paddedSlot(cellBase_, nc), n + 1);
+            }
+            TM_STORE(t, paddedSlot(moleculeBase_, mol), m + 1);
+            co_return;
+        };
+
+        if (p_.useTm) {
+            co_await tc.transaction(body);
+        } else {
+            Spinlock &lock = *cellLocks_[cell % numCellLocks_];
+            co_await tc.acquire(lock);
+            co_await body(tc);
+            co_await tc.release(lock);
+        }
+        bumpUnits();
+        co_await tc.think(think(300) + tc.rng().below(64));
+    }
+}
+
+} // namespace logtm

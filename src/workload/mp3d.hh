@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Mp3d-style workload (SPLASH, 128 molecules): rarefied-fluid-flow
+ * simulation; each step moves a molecule and updates the space-cell
+ * occupancy arrays it shares with other molecules. Transactions are
+ * tiny (Table 2: read avg 2.2 / max 18 blocks, write avg 1.7 / max
+ * 10), and TM performs comparably to locks.
+ */
+
+#ifndef LOGTM_WORKLOAD_MP3D_HH
+#define LOGTM_WORKLOAD_MP3D_HH
+
+#include "workload/workload.hh"
+
+namespace logtm {
+
+class Mp3dWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "Mp3d"; }
+    void setup() override;
+    Task threadMain(ThreadCtx &tc, uint32_t idx) override;
+
+  private:
+    static constexpr uint32_t numMolecules_ = 128;  ///< paper input
+    static constexpr uint32_t numCells_ = 512;
+    static constexpr uint32_t numCellLocks_ = 64;
+
+    static constexpr VirtAddr moleculeBase_ = 0x100'0000;
+    static constexpr VirtAddr cellBase_ = 0x200'0000;
+    static constexpr VirtAddr mutexBase_ = 0x300'0000;
+
+    std::vector<std::unique_ptr<Spinlock>> cellLocks_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_WORKLOAD_MP3D_HH

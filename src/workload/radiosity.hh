@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Radiosity-style workload (SPLASH): hierarchical light-transport
+ * with per-thread task queues and work stealing. Transactions are
+ * mostly tiny dequeues (Table 2: read avg 2.0 / max 25, write avg
+ * 1.5 / max 45) with occasional large enqueue bursts when a patch is
+ * subdivided; task descriptors scattered through memory make the
+ * single-hash BS signature alias more than DBS/CBS.
+ */
+
+#ifndef LOGTM_WORKLOAD_RADIOSITY_HH
+#define LOGTM_WORKLOAD_RADIOSITY_HH
+
+#include "workload/workload.hh"
+
+namespace logtm {
+
+class RadiosityWorkload : public Workload
+{
+  public:
+    using Workload::Workload;
+
+    std::string name() const override { return "Radiosity"; }
+    void setup() override;
+    Task threadMain(ThreadCtx &tc, uint32_t idx) override;
+
+  private:
+    static constexpr uint32_t taskSlots_ = 4096;
+    static constexpr uint32_t geomBlocks_ = 3000;
+
+    static constexpr VirtAddr queueBase_ = 0x100'0000; ///< per-thread heads
+    static constexpr VirtAddr taskBase_ = 0x200'0000;
+    static constexpr VirtAddr mutexBase_ = 0x300'0000;
+    static constexpr VirtAddr geomBase_ = 0x400'0000;
+
+    std::vector<std::unique_ptr<Spinlock>> queueLocks_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_WORKLOAD_RADIOSITY_HH

@@ -1,0 +1,110 @@
+#include "workload/raytrace.hh"
+
+#include <algorithm>
+
+namespace logtm {
+
+void
+RaytraceWorkload::setup()
+{
+    poke(counterBase_, 0);
+    for (uint32_t i = 0; i < workBlocks_; ++i)
+        poke(blockSlot(workBase_, i), i);
+    for (uint32_t i = 0; i < freeListBlocks_; ++i)
+        poke(blockSlot(freeBase_, i), i + 1);
+    poke(mutexBase_, 0);
+    poke(paddedSlot(mutexBase_, 1), 0);
+    counterLock_ = std::make_unique<Spinlock>(sys_.engine(), mutexBase_);
+    freeLock_ = std::make_unique<Spinlock>(sys_.engine(),
+                                           paddedSlot(mutexBase_, 1));
+    for (uint32_t q = 0; q < p_.numThreads; ++q) {
+        poke(paddedSlot(mutexBase_, 2 + q), 0);
+        queueLocks_.push_back(std::make_unique<Spinlock>(
+            sys_.engine(), paddedSlot(mutexBase_, 2 + q)));
+    }
+}
+
+Task
+RaytraceWorkload::threadMain(ThreadCtx &tc, uint32_t idx)
+{
+    const uint64_t units = unitsFor(idx);
+    for (uint64_t u = 0; u < units; ++u) {
+        // One unit = one ray. Common case: bump the global ray-id
+        // counter and touch the local work queue (read-set ~5-6
+        // blocks). Rare case (~0.4%): a free-list sweep reading
+        // 300-550 blocks.
+        const bool sweep = tc.rng().below(1000) < 5;
+
+        if (!sweep) {
+            // (a) Bump the global ray-id counter: a minimal critical
+            // section, hot across all threads. The lock version
+            // serializes on the global counter lock (why Raytrace's
+            // lock version loses, paper Figure 4); the transaction
+            // holds the counter only for a load+store.
+            auto bump = [this](ThreadCtx &t) -> Task {
+                uint64_t id = 0;
+                TM_LOADX(t, id, counterBase_);
+                TM_STORE(t, counterBase_, id + 1);
+                co_return;
+            };
+            if (p_.useTm) {
+                co_await tc.transaction(bump);
+            } else {
+                co_await tc.acquire(*counterLock_);
+                co_await bump(tc);
+                co_await tc.release(*counterLock_);
+            }
+
+            // (b) Enqueue/update work in a mostly-thread-local queue
+            // region (read-set ~6-9 blocks).
+            const uint32_t region = (idx * (workBlocks_ /
+                std::max(1u, p_.numThreads))) % (workBlocks_ - 16);
+            const uint32_t w = region +
+                static_cast<uint32_t>(tc.rng().below(8));
+            const uint32_t extra =
+                5 + static_cast<uint32_t>(tc.rng().below(4));  // 5..8
+            auto body = [this, w, extra](ThreadCtx &t) -> Task {
+                uint64_t v = 0;
+                for (uint32_t i = 0; i < extra; ++i)
+                    TM_LOAD(t, v, blockSlot(workBase_, w + i));
+                TM_STORE(t, blockSlot(workBase_, w), v + 1);
+                TM_STORE(t, blockSlot(workBase_, w + 1), v + 2);
+                co_return;
+            };
+            if (p_.useTm) {
+                co_await tc.transaction(body);
+            } else {
+                co_await tc.acquire(*queueLocks_[idx]);
+                co_await body(tc);
+                co_await tc.release(*queueLocks_[idx]);
+            }
+        } else {
+            const uint32_t span = 300 +
+                static_cast<uint32_t>(tc.rng().below(251));  // 300..550
+            auto body = [this, span](ThreadCtx &t) -> Task {
+                // Grid traversal over the shared work/scene array:
+                // the read set spans every thread's region.
+                uint64_t v = 0;
+                for (uint32_t i = 0; i < span; ++i)
+                    TM_LOAD(t, v, blockSlot(workBase_,
+                                            (i * 3) % workBlocks_));
+                TM_STORE(t, freeBase_, v + 1);
+                TM_STORE(t, blockSlot(freeBase_, 1), v + 2);
+                co_return;
+            };
+            if (p_.useTm) {
+                co_await tc.transaction(body);
+            } else {
+                co_await tc.acquire(*freeLock_);
+                co_await body(tc);
+                co_await tc.release(*freeLock_);
+            }
+        }
+        bumpUnits();
+        // Shading/intersection compute dominates each ray; most time
+        // is spent outside transactions (paper §6.3).
+        co_await tc.think(think(8000) + tc.rng().below(1024));
+    }
+}
+
+} // namespace logtm

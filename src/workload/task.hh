@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Minimal coroutine task type for workload programs.
+ *
+ * Workload code is written as straight-line C++ that co_awaits
+ * simulated memory operations; the event queue resumes the coroutine
+ * when the operation completes. Task supports nesting (co_await a
+ * child Task with symmetric transfer) and an on-done hook used by the
+ * workload runner to detect thread completion.
+ */
+
+#ifndef LOGTM_WORKLOAD_TASK_HH
+#define LOGTM_WORKLOAD_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace logtm {
+
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(Handle h) const noexcept
+        {
+            auto &p = h.promise();
+            if (p.onDone)
+                p.onDone();
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        std::function<void()> onDone;
+
+        Task get_return_object()
+        { return Task(Handle::from_promise(*this)); }
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+    explicit Task(Handle h) : h_(h) {}
+    Task(Task &&other) noexcept : h_(std::exchange(other.h_, {})) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h_ = std::exchange(other.h_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+    ~Task() { destroy(); }
+
+    /** Begin execution (top-level tasks; children start on await). */
+    void
+    start()
+    {
+        h_.resume();
+    }
+
+    /** Completion hook, set before start(). */
+    void setOnDone(std::function<void()> fn)
+    { h_.promise().onDone = std::move(fn); }
+
+    bool valid() const { return static_cast<bool>(h_); }
+    bool done() const { return h_ && h_.done(); }
+
+    /** Awaiting a Task starts it and resumes the parent on finish. */
+    struct Awaiter
+    {
+        Handle h;
+        bool await_ready() const noexcept { return !h || h.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> cont) const noexcept
+        {
+            h.promise().continuation = cont;
+            return h;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    Awaiter operator co_await() const noexcept { return Awaiter{h_}; }
+
+  private:
+    void
+    destroy()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = {};
+        }
+    }
+
+    Handle h_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_WORKLOAD_TASK_HH

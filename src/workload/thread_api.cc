@@ -1,0 +1,38 @@
+#include "workload/thread_api.hh"
+
+namespace logtm {
+
+Task
+ThreadCtx::transaction(TxBody body, bool open)
+{
+    LogTmSeEngine &eng = engine();
+    const size_t entry_depth = eng.nestingDepth(id_);
+
+    for (;;) {
+        co_await scheduled();
+        eng.txBegin(id_, open);
+        co_await body(*this);
+
+        if (!eng.doomed(id_)) {
+            co_await EngineStepAwaiter{*this, &LogTmSeEngine::txCommit};
+            co_return;
+        }
+
+        // Abort handler: unwind exactly this level's frame.
+        co_await EngineStepAwaiter{*this, &LogTmSeEngine::txAbortFrame};
+        logtm_assert(eng.nestingDepth(id_) == entry_depth,
+                     "abort unwound to unexpected depth");
+
+        if (eng.doomed(id_)) {
+            // The conflicting address still hits the restored
+            // signatures: the partial abort did not resolve the
+            // conflict, so the parent level must abort too.
+            logtm_assert(entry_depth > 0,
+                         "outermost abort left the thread doomed");
+            co_return;
+        }
+        co_await EngineStepAwaiter{*this, &LogTmSeEngine::abortBackoff};
+    }
+}
+
+} // namespace logtm

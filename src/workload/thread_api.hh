@@ -1,0 +1,322 @@
+/**
+ * @file
+ * ThreadCtx: the coroutine-facing handle a workload thread uses to
+ * touch the simulated machine. Memory operations are awaitables; the
+ * transaction() wrapper implements begin / run-body / commit with
+ * abort-retry and nested partial-abort propagation.
+ *
+ * Convention inside transaction bodies: use the TM_LOAD / TM_STORE
+ * macros (or check the returned status) after every operation — a
+ * doomed transaction completes its remaining operations with
+ * OpStatus::Aborted and the body must co_return so the wrapper can
+ * run the abort handler and retry.
+ */
+
+#ifndef LOGTM_WORKLOAD_THREAD_API_HH
+#define LOGTM_WORKLOAD_THREAD_API_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "os/tm_system.hh"
+#include "sync/spinlock.hh"
+#include "workload/task.hh"
+
+namespace logtm {
+
+/** Result of an awaited load. */
+struct LoadResult
+{
+    OpStatus status = OpStatus::Ok;
+    uint64_t value = 0;
+};
+
+class ThreadCtx
+{
+  public:
+    using TxBody = std::function<Task(ThreadCtx &)>;
+
+    ThreadCtx(TmSystem &sys, ThreadId id)
+        : sys_(sys), id_(id),
+          rng_(sys.config().seed * 0x9e3779b9ull + id + 1)
+    {
+    }
+
+    ThreadId id() const { return id_; }
+    TmSystem &system() { return sys_; }
+    LogTmSeEngine &engine() { return sys_.engine(); }
+    Rng &rng() { return rng_; }
+
+    /** True while the current transaction is doomed (bodies bail). */
+    bool
+    txAborted() const
+    {
+        return sys_.engine().doomed(id_);
+    }
+
+    /**
+     * Operation boundary: service any deferred preemption, then run
+     * @p fn now if the thread is scheduled, otherwise once the OS
+     * reschedules it (plus the context-switch latency).
+     */
+    void
+    whenScheduled(std::function<void()> fn)
+    {
+        if (!sys_.os().preemptionPoint(id_, fn))
+            fn();
+    }
+
+    // ----- awaitables --------------------------------------------------
+
+    struct LoadAwaiter
+    {
+        enum class Kind : uint8_t { Plain, Escape, Exclusive };
+
+        ThreadCtx &tc;
+        VirtAddr va;
+        Kind kind;
+        LoadResult result;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                auto done = [this, h](OpStatus s, uint64_t v) {
+                    result = {s, v};
+                    h.resume();
+                };
+                switch (kind) {
+                  case Kind::Escape:
+                    tc.engine().escapeLoad(tc.id(), va, done);
+                    break;
+                  case Kind::Exclusive:
+                    tc.engine().loadExclusive(tc.id(), va, done);
+                    break;
+                  case Kind::Plain:
+                    tc.engine().load(tc.id(), va, done);
+                    break;
+                }
+            });
+        }
+
+        LoadResult await_resume() const { return result; }
+    };
+
+    struct StoreAwaiter
+    {
+        ThreadCtx &tc;
+        VirtAddr va;
+        uint64_t value;
+        bool escape;
+        OpStatus status = OpStatus::Ok;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                auto done = [this, h](OpStatus s) {
+                    status = s;
+                    h.resume();
+                };
+                if (escape)
+                    tc.engine().escapeStore(tc.id(), va, value, done);
+                else
+                    tc.engine().store(tc.id(), va, value, done);
+            });
+        }
+
+        OpStatus await_resume() const { return status; }
+    };
+
+    struct RmwAwaiter
+    {
+        ThreadCtx &tc;
+        VirtAddr va;
+        std::function<uint64_t(uint64_t)> op;
+        uint64_t oldValue = 0;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                tc.engine().atomicRmw(tc.id(), va, op,
+                    [this, h](OpStatus, uint64_t old) {
+                        oldValue = old;
+                        h.resume();
+                    });
+            });
+        }
+
+        uint64_t await_resume() const { return oldValue; }
+    };
+
+    struct ThinkAwaiter
+    {
+        ThreadCtx &tc;
+        Cycle cycles;
+
+        bool await_ready() const noexcept { return cycles == 0; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                tc.system().sim().queue().scheduleIn(
+                    cycles, [h]() { h.resume(); }, EventPriority::Cpu);
+            });
+        }
+
+        void await_resume() const {}
+    };
+
+    struct LockAwaiter
+    {
+        ThreadCtx &tc;
+        Spinlock &lock;
+        bool acquireOp;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                if (acquireOp)
+                    lock.acquire(tc.id(), [h]() { h.resume(); });
+                else
+                    lock.release(tc.id(), [h]() { h.resume(); });
+            });
+        }
+
+        void await_resume() const {}
+    };
+
+    struct TicketAwaiter
+    {
+        ThreadCtx &tc;
+        TicketLock &lock;
+        bool acquireOp;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                if (acquireOp)
+                    lock.acquire(tc.id(), [h]() { h.resume(); });
+                else
+                    lock.release(tc.id(), [h]() { h.resume(); });
+            });
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Generic engine-callback awaiter (commit, abort, backoff). */
+    struct EngineStepAwaiter
+    {
+        ThreadCtx &tc;
+        void (LogTmSeEngine::*step)(ThreadId, LogTmSeEngine::DoneFn);
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            (tc.engine().*step)(tc.id(), [h]() { h.resume(); });
+        }
+
+        void await_resume() const {}
+    };
+
+    /** Suspend until the thread is scheduled on a hardware context. */
+    struct ScheduledAwaiter
+    {
+        ThreadCtx &tc;
+        bool
+        await_ready() const noexcept
+        {
+            return tc.engine().thread(tc.id()).ctx != invalidCtx;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            const bool parked = tc.system().os().parkIfDescheduled(
+                tc.id(), [h]() { h.resume(); });
+            logtm_assert(parked, "ScheduledAwaiter raced with schedule");
+        }
+
+        void await_resume() const {}
+    };
+
+    LoadAwaiter load(VirtAddr va)
+    { return {*this, va, LoadAwaiter::Kind::Plain, {}}; }
+    LoadAwaiter loadExclusive(VirtAddr va)
+    { return {*this, va, LoadAwaiter::Kind::Exclusive, {}}; }
+    StoreAwaiter store(VirtAddr va, uint64_t v)
+    { return {*this, va, v, false, {}}; }
+    LoadAwaiter escapeLoad(VirtAddr va)
+    { return {*this, va, LoadAwaiter::Kind::Escape, {}}; }
+    StoreAwaiter escapeStore(VirtAddr va, uint64_t v)
+    { return {*this, va, v, true, {}}; }
+    RmwAwaiter fetchAdd(VirtAddr va, uint64_t delta)
+    { return {*this, va, [delta](uint64_t v) { return v + delta; }, 0}; }
+    RmwAwaiter rmw(VirtAddr va, std::function<uint64_t(uint64_t)> op)
+    { return {*this, va, std::move(op), 0}; }
+    ThinkAwaiter think(Cycle cycles) { return {*this, cycles}; }
+    LockAwaiter acquire(Spinlock &l) { return {*this, l, true}; }
+    LockAwaiter release(Spinlock &l) { return {*this, l, false}; }
+    TicketAwaiter acquire(TicketLock &l) { return {*this, l, true}; }
+    TicketAwaiter release(TicketLock &l) { return {*this, l, false}; }
+    ScheduledAwaiter scheduled() { return {*this}; }
+
+    /**
+     * Run @p body as a transaction, retrying after aborts with
+     * randomized exponential backoff. Nested calls create closed (or
+     * open) nested transactions; when a partial abort cannot resolve
+     * the conflict at this level, the wrapper propagates the abort to
+     * the parent level (paper §3.2).
+     */
+    Task transaction(TxBody body, bool open = false);
+
+  private:
+    TmSystem &sys_;
+    ThreadId id_;
+    Rng rng_;
+};
+
+/** Bail-on-abort helpers for transaction bodies. */
+#define TM_LOADX(tc, var, addr)                                          \
+    do {                                                                  \
+        auto tm_r_ = co_await (tc).loadExclusive(addr);                   \
+        if (tm_r_.status != ::logtm::OpStatus::Ok)                        \
+            co_return;                                                    \
+        (var) = tm_r_.value;                                              \
+    } while (0)
+
+#define TM_LOAD(tc, var, addr)                                           \
+    do {                                                                  \
+        auto tm_r_ = co_await (tc).load(addr);                            \
+        if (tm_r_.status != ::logtm::OpStatus::Ok)                        \
+            co_return;                                                    \
+        (var) = tm_r_.value;                                              \
+    } while (0)
+
+#define TM_STORE(tc, addr, val)                                          \
+    do {                                                                  \
+        auto tm_s_ = co_await (tc).store((addr), (val));                  \
+        if (tm_s_ != ::logtm::OpStatus::Ok)                               \
+            co_return;                                                    \
+    } while (0)
+
+} // namespace logtm
+
+#endif // LOGTM_WORKLOAD_THREAD_API_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the alternative LogTM-SE implementations of paper §7:
+ * the broadcast-snooping CMP (wired-OR nack signal, no sticky
+ * states) and the multiple-CMP configuration (inter-chip latency).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+SystemConfig
+snoopConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    cfg.coherence = CoherenceKind::Snooping;
+    return cfg;
+}
+
+class SnoopingTest : public testing::Test
+{
+  protected:
+    SnoopingTest() : sys_(snoopConfig())
+    {
+        asid_ = sys_.os().createProcess();
+        for (int i = 0; i < 4; ++i)
+            threads_.push_back(sys_.os().spawnThread(asid_));
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+
+    uint64_t
+    load(ThreadId t, VirtAddr va)
+    {
+        uint64_t value = 0;
+        bool done = false;
+        eng().load(t, va, [&](OpStatus, uint64_t v) {
+            value = v;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return value;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        OpStatus status = OpStatus::Ok;
+        bool done = false;
+        eng().store(t, va, v, [&](OpStatus s) {
+            status = s;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return status;
+    }
+
+    void
+    commit(ThreadId t)
+    {
+        bool done = false;
+        eng().txCommit(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    settle(Cycle cycles)
+    {
+        bool fired = false;
+        sys_.sim().queue().scheduleIn(cycles, [&]() { fired = true; });
+        sys_.sim().runUntil([&]() { return fired; });
+    }
+
+    PhysAddr blockOf(VirtAddr va)
+    { return blockAlign(sys_.os().translate(asid_, va)); }
+
+    TmSystem sys_;
+    Asid asid_ = 0;
+    std::vector<ThreadId> threads_;
+};
+
+TEST_F(SnoopingTest, BasicCoherenceTransitions)
+{
+    const ThreadId a = threads_[0];
+    const ThreadId b = threads_[2];  // other core
+    store(a, 0x1000, 5);
+    EXPECT_TRUE(sys_.mem().snoopL1(0).holdsExclusive(0x1000 - 0x1000 +
+                                                     blockOf(0x1000)));
+    EXPECT_EQ(load(b, 0x1000), 5u);
+    // GetS snooped by the owner: both now shared.
+    EXPECT_FALSE(sys_.mem().snoopL1(0).holdsExclusive(blockOf(0x1000)));
+    EXPECT_TRUE(sys_.mem().snoopL1(1).holdsBlock(blockOf(0x1000)));
+    // A write invalidates the other copy.
+    store(b, 0x1000, 6);
+    EXPECT_FALSE(sys_.mem().snoopL1(0).holdsBlock(blockOf(0x1000)));
+    EXPECT_EQ(load(a, 0x1000), 6u);
+    EXPECT_GT(sys_.stats().counterValue("bus.transactions"), 0u);
+}
+
+TEST_F(SnoopingTest, ConflictNackedViaWiredOrSignal)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+    eng().txBegin(writer);
+    store(writer, 0x2000, 1);
+
+    bool done = false;
+    eng().load(reader, 0x2000, [&](OpStatus, uint64_t) { done = true; });
+    settle(2000);
+    EXPECT_FALSE(done);
+    EXPECT_GT(sys_.stats().counterValue("bus.nacks"), 0u);
+
+    commit(writer);
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(load(reader, 0x2000), 1u);
+}
+
+TEST_F(SnoopingTest, IsolationSurvivesEvictionWithoutStickyStates)
+{
+    // Broadcast reaches every signature on every transaction, so a
+    // victimized transactional block needs no directory bookkeeping.
+    SystemConfig cfg = snoopConfig();
+    cfg.l1Bytes = 1024;  // 16 blocks
+    TmSystem sys(cfg);
+    const Asid asid = sys.os().createProcess();
+    const ThreadId t0 = sys.os().spawnThread(asid);
+    const ThreadId t1 = sys.os().spawnThread(asid);
+    auto store2 = [&](ThreadId t, VirtAddr va, uint64_t v) {
+        bool done = false;
+        sys.engine().store(t, va, v, [&](OpStatus) { done = true; });
+        sys.sim().runUntil([&]() { return done; });
+    };
+
+    sys.engine().txBegin(t0);
+    for (uint32_t i = 0; i < 40; ++i)
+        store2(t0, 0x10000 + i * blockBytes, i);
+    EXPECT_GT(sys.stats().counterValue("l1.txVictims"), 0u);
+
+    // t1 is still NACKed on an evicted block.
+    bool done = false;
+    sys.engine().store(t1, 0x10000, 9, [&](OpStatus) { done = true; });
+    bool fired = false;
+    sys.sim().queue().scheduleIn(3000, [&]() { fired = true; });
+    sys.sim().runUntil([&]() { return fired; });
+    EXPECT_FALSE(done);
+
+    bool committed = false;
+    sys.engine().txCommit(t0, [&]() { committed = true; });
+    sys.sim().runUntil([&]() { return committed && done; });
+}
+
+TEST_F(SnoopingTest, MicrobenchAtomicityHolds)
+{
+    SystemConfig cfg = snoopConfig();
+    TmSystem sys(cfg);
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 200;
+    MicrobenchConfig mb;
+    mb.numCounters = 16;
+    MicrobenchWorkload wl(sys, p, mb);
+    WorkloadResult res = wl.run();
+    EXPECT_EQ(res.units, 200u);
+    EXPECT_EQ(wl.counterSum(), wl.expectedIncrements());
+}
+
+TEST_F(SnoopingTest, LockVariantWorksOnBus)
+{
+    SystemConfig cfg = snoopConfig();
+    TmSystem sys(cfg);
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = false;
+    p.totalUnits = 120;
+    MicrobenchWorkload wl(sys, p, {});
+    WorkloadResult res = wl.run();
+    EXPECT_EQ(res.units, 120u);
+    EXPECT_EQ(wl.counterSum(), wl.expectedIncrements());
+}
+
+// ---------------------------------------------------------------------
+// Multiple CMPs (paper §7).
+// ---------------------------------------------------------------------
+
+TEST(MultiChip, CrossChipMessagesPayInterChipLatency)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.threadsPerCore = 1;
+    cfg.l2Banks = 8;
+    cfg.meshCols = 4;
+    cfg.meshRows = 2;
+    cfg.numChips = 2;
+    cfg.interChipLatency = 100;
+    Simulator sim;
+    Mesh mesh(sim.queue(), sim.stats(), cfg);
+
+    EXPECT_EQ(mesh.chipOf(0), 0u);
+    EXPECT_EQ(mesh.chipOf(3), 0u);
+    EXPECT_EQ(mesh.chipOf(4), 1u);
+    EXPECT_EQ(mesh.chipOf(7), 1u);
+    // Banks partition the same way.
+    EXPECT_EQ(mesh.chipOf(cfg.numCores + 1), 0u);
+    EXPECT_EQ(mesh.chipOf(cfg.numCores + 6), 1u);
+
+    Cycle same_chip = 0, cross_chip = 0;
+    mesh.attach(1, [&](const Msg &) { same_chip = sim.now(); });
+    mesh.attach(6, [&](const Msg &) { cross_chip = sim.now(); });
+    mesh.attach(0, [](const Msg &) {});
+    Msg m;
+    m.src = 0;
+    m.dst = 1;
+    mesh.send(m);
+    m.dst = 6;
+    mesh.send(m);
+    sim.runToCompletion();
+    EXPECT_GT(cross_chip, same_chip + cfg.interChipLatency - 10);
+}
+
+TEST(MultiChip, TransactionsWorkAcrossChips)
+{
+    SystemConfig cfg;
+    cfg.numCores = 8;
+    cfg.threadsPerCore = 1;
+    cfg.l2Banks = 8;
+    cfg.meshCols = 4;
+    cfg.meshRows = 2;
+    cfg.numChips = 4;
+    TmSystem sys(cfg);
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 160;
+    MicrobenchConfig mb;
+    mb.numCounters = 16;
+    MicrobenchWorkload wl(sys, p, mb);
+    WorkloadResult multi = wl.run();
+    EXPECT_EQ(multi.units, 160u);
+    EXPECT_EQ(wl.counterSum(), wl.expectedIncrements());
+
+    // The same run on a single chip is faster (no inter-chip hops).
+    cfg.numChips = 1;
+    TmSystem sys1(cfg);
+    MicrobenchWorkload wl1(sys1, p, mb);
+    WorkloadResult single = wl1.run();
+    EXPECT_EQ(wl1.counterSum(), wl1.expectedIncrements());
+    EXPECT_LT(single.cycles, multi.cycles);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * MESI directory-protocol tests with LogTM-SE extensions, driven
+ * through the MemorySystem with a scriptable ConflictChecker:
+ * NACKs, sticky owner/sharer retention on eviction, signature checks
+ * for blocks no longer cached, L2 directory loss + broadcast rebuild
+ * and the must-check state (paper §3.1 and §5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mem/memory_system.hh"
+
+namespace logtm {
+namespace {
+
+/** Scriptable conflict checker recording every probe. */
+class TestChecker : public ConflictChecker
+{
+  public:
+    struct Probe
+    {
+        CoreId core;
+        PhysAddr block;
+        AccessType type;
+    };
+
+    ConflictVerdict
+    checkRemote(CoreId core, PhysAddr block, AccessType type, Asid,
+                CtxId, uint64_t) override
+    {
+        probes.push_back({core, block, type});
+        auto it = verdicts.find({core, blockAlign(block)});
+        return it == verdicts.end() ? ConflictVerdict{} : it->second;
+    }
+
+    bool
+    inAnyLocalSig(CoreId core, PhysAddr block) const override
+    {
+        return localSig.count({core, blockAlign(block)}) != 0;
+    }
+
+    std::map<std::pair<CoreId, PhysAddr>, ConflictVerdict> verdicts;
+    std::set<std::pair<CoreId, PhysAddr>> localSig;
+    std::vector<Probe> probes;
+};
+
+class CoherenceTest : public testing::Test
+{
+  protected:
+    CoherenceTest() : sim_(1), mem_(sim_, config()), checker_()
+    {
+        mem_.setConflictChecker(&checker_);
+    }
+
+    static SystemConfig
+    config()
+    {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        cfg.threadsPerCore = 1;
+        cfg.l2Banks = 4;
+        cfg.meshCols = 2;
+        cfg.meshRows = 2;
+        return cfg;
+    }
+
+    /** Issue one access and run until it completes. */
+    MemAccessResult
+    access(CoreId core, PhysAddr addr, AccessType type)
+    {
+        bool done = false;
+        MemAccessResult res;
+        L1Cache::Request req;
+        req.ctx = core;  // 1 thread/core
+        req.type = type;
+        req.asid = 0;
+        req.done = [&](const MemAccessResult &r) {
+            res = r;
+            done = true;
+        };
+        const Cycle start = sim_.now();
+        mem_.access(core, addr, std::move(req));
+        sim_.runUntil([&]() { return done; });
+        lastLatency_ = sim_.now() - start;
+        return res;
+    }
+
+    MemAccessResult read(CoreId c, PhysAddr a)
+    { return access(c, a, AccessType::Read); }
+    MemAccessResult write(CoreId c, PhysAddr a)
+    { return access(c, a, AccessType::Write); }
+
+    Simulator sim_;
+    MemorySystem mem_;
+    TestChecker checker_;
+    Cycle lastLatency_ = 0;
+};
+
+TEST_F(CoherenceTest, ColdMissFetchesFromDramThenHits)
+{
+    const PhysAddr a = 0x10000;
+    EXPECT_FALSE(read(0, a).nacked);
+    EXPECT_GE(lastLatency_, config().dramLatency);
+    EXPECT_TRUE(mem_.l1(0).holdsBlock(a));
+    EXPECT_TRUE(mem_.homeBank(a).hasBlock(a));
+
+    EXPECT_FALSE(read(0, a).nacked);
+    EXPECT_LE(lastLatency_, 3u);  // L1 hit
+}
+
+TEST_F(CoherenceTest, FirstReaderGetsExclusive)
+{
+    const PhysAddr a = 0x20000;
+    read(0, a);
+    EXPECT_TRUE(mem_.l1(0).holdsExclusive(a));
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 0u);
+}
+
+TEST_F(CoherenceTest, SecondReaderDowngradesOwnerToShared)
+{
+    const PhysAddr a = 0x30000;
+    read(0, a);
+    EXPECT_FALSE(read(1, a).nacked);
+    EXPECT_TRUE(mem_.l1(0).holdsBlock(a));
+    EXPECT_FALSE(mem_.l1(0).holdsExclusive(a));
+    EXPECT_TRUE(mem_.l1(1).holdsBlock(a));
+    EXPECT_TRUE(mem_.homeBank(a).isSharer(a, 0));
+    EXPECT_TRUE(mem_.homeBank(a).isSharer(a, 1));
+}
+
+TEST_F(CoherenceTest, WriterInvalidatesSharers)
+{
+    const PhysAddr a = 0x40000;
+    read(0, a);
+    read(1, a);
+    EXPECT_FALSE(write(2, a).nacked);
+    EXPECT_FALSE(mem_.l1(0).holdsBlock(a));
+    EXPECT_FALSE(mem_.l1(1).holdsBlock(a));
+    EXPECT_TRUE(mem_.l1(2).holdsExclusive(a));
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 2u);
+}
+
+TEST_F(CoherenceTest, WriteAfterReadUpgradesSilentlyWhenExclusive)
+{
+    const PhysAddr a = 0x50000;
+    read(0, a);  // E
+    EXPECT_FALSE(write(0, a).nacked);
+    EXPECT_LE(lastLatency_, 3u);  // silent E->M, no coherence
+    EXPECT_TRUE(mem_.l1(0).holdsExclusive(a));
+}
+
+TEST_F(CoherenceTest, FwdGetMProbesOwnerSignature)
+{
+    const PhysAddr a = 0x60000;
+    write(0, a);  // owner core 0
+    checker_.probes.clear();
+    EXPECT_FALSE(write(1, a).nacked);
+    bool probed = false;
+    for (const auto &p : checker_.probes) {
+        probed |= p.core == 0 && p.block == blockAlign(a) &&
+            p.type == AccessType::Write;
+    }
+    EXPECT_TRUE(probed);
+}
+
+TEST_F(CoherenceTest, ConflictingOwnerNacksWriter)
+{
+    const PhysAddr a = 0x70000;
+    write(0, a);
+    ConflictVerdict v;
+    v.conflict = true;
+    v.keepSticky = true;
+    v.nackerTs = 5;
+    v.nackerCtx = 0;
+    checker_.verdicts[{0, blockAlign(a)}] = v;
+
+    MemAccessResult res = write(1, a);
+    EXPECT_TRUE(res.nacked);
+    EXPECT_TRUE(res.conflictNack);
+    EXPECT_EQ(res.nackerTs, 5u);
+    // Ownership unchanged; the conflicting transaction stays isolated.
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 0u);
+    EXPECT_TRUE(mem_.l1(0).holdsExclusive(a));
+
+    // Conflict resolved: the retry succeeds.
+    checker_.verdicts.clear();
+    EXPECT_FALSE(write(1, a).nacked);
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 1u);
+}
+
+TEST_F(CoherenceTest, ConflictingSharerNacksAndKeepsCopy)
+{
+    const PhysAddr a = 0x80000;
+    read(0, a);
+    read(1, a);
+    ConflictVerdict v;
+    v.conflict = true;
+    v.keepSticky = true;
+    checker_.verdicts[{1, blockAlign(a)}] = v;
+
+    EXPECT_TRUE(write(2, a).nacked);
+    // The conflicting sharer keeps its copy and stays in the vector.
+    EXPECT_TRUE(mem_.l1(1).holdsBlock(a));
+    EXPECT_TRUE(mem_.homeBank(a).isSharer(a, 1));
+    // The clean sharer was invalidated.
+    EXPECT_FALSE(mem_.l1(0).holdsBlock(a));
+}
+
+/** Force an L1 set overflow: access assoc+1 blocks in one set. */
+void
+overflowL1Set(CoherenceTest &, std::function<MemAccessResult(PhysAddr)>
+              touch, PhysAddr base)
+{
+    // L1: 32 KB 4-way, 64 B blocks -> 128 sets; same-set stride is
+    // 128 * 64 = 8 KB.
+    for (uint32_t i = 1; i <= 4; ++i)
+        touch(base + i * 128 * blockBytes);
+}
+
+TEST_F(CoherenceTest, StickyOwnerSurvivesEviction)
+{
+    const PhysAddr a = 0x100000;
+    write(0, a);
+    // Pretend core 0's write signature covers the block.
+    checker_.localSig.insert({0, blockAlign(a)});
+    ConflictVerdict v;
+    v.conflict = true;
+    v.keepSticky = true;
+    checker_.verdicts[{0, blockAlign(a)}] = v;
+
+    // Evict the block from core 0's L1.
+    overflowL1Set(*this, [&](PhysAddr p) { return write(0, p); }, a);
+    EXPECT_FALSE(mem_.l1(0).holdsBlock(a));
+    // Sticky-M: the directory still points at core 0.
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 0u);
+
+    // A conflicting request is still forwarded to core 0, which
+    // checks its signature and NACKs despite not caching the block.
+    checker_.probes.clear();
+    EXPECT_TRUE(write(1, a).nacked);
+    bool probed = false;
+    for (const auto &p : checker_.probes)
+        probed |= p.core == 0 && p.block == blockAlign(a);
+    EXPECT_TRUE(probed);
+
+    // After "commit" (signature cleared), the sticky entry is lazily
+    // cleaned and the request succeeds.
+    checker_.verdicts.clear();
+    checker_.localSig.clear();
+    EXPECT_FALSE(write(1, a).nacked);
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 1u);
+}
+
+TEST_F(CoherenceTest, NonTransactionalEvictionClearsOwner)
+{
+    const PhysAddr a = 0x110000;
+    write(0, a);
+    // No signature coverage: eviction is a plain MESI writeback.
+    overflowL1Set(*this, [&](PhysAddr p) { return write(0, p); }, a);
+    EXPECT_FALSE(mem_.l1(0).holdsBlock(a));
+
+    checker_.probes.clear();
+    EXPECT_FALSE(write(1, a).nacked);
+    // No probe of core 0 was necessary.
+    for (const auto &p : checker_.probes)
+        EXPECT_NE(p.core, 0u);
+}
+
+TEST_F(CoherenceTest, StickyRefetchByOwnerIsServedDirectly)
+{
+    const PhysAddr a = 0x120000;
+    write(0, a);
+    checker_.localSig.insert({0, blockAlign(a)});
+    overflowL1Set(*this, [&](PhysAddr p) { return write(0, p); }, a);
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 0u);
+    EXPECT_FALSE(mem_.l1(0).holdsBlock(a));
+
+    // The sticky owner re-fetches its own block: no self-NACK.
+    EXPECT_FALSE(write(0, a).nacked);
+    EXPECT_TRUE(mem_.l1(0).holdsExclusive(a));
+    EXPECT_EQ(mem_.homeBank(a).ownerOf(a), 0u);
+}
+
+class TinyL2CoherenceTest : public CoherenceTest
+{
+  protected:
+    // Rebuild with a tiny L2 so directory evictions are easy to force.
+    TinyL2CoherenceTest() : sim2_(1), mem2_(sim2_, tinyL2Config())
+    {
+        mem2_.setConflictChecker(&checker_);
+    }
+
+    static SystemConfig
+    tinyL2Config()
+    {
+        SystemConfig cfg = config();
+        cfg.l2Bytes = 16 * 1024;  // 4 KB per bank: 8 sets x 8 ways
+        return cfg;
+    }
+
+    MemAccessResult
+    access2(CoreId core, PhysAddr addr, AccessType type)
+    {
+        bool done = false;
+        MemAccessResult res;
+        L1Cache::Request req;
+        req.ctx = core;
+        req.type = type;
+        req.done = [&](const MemAccessResult &r) {
+            res = r;
+            done = true;
+        };
+        mem2_.access(core, addr, std::move(req));
+        sim2_.runUntil([&]() { return done; });
+        return res;
+    }
+
+    Simulator sim2_;
+    MemorySystem mem2_;
+};
+
+TEST_F(TinyL2CoherenceTest, L2EvictionRecordsLostDirAndBroadcasts)
+{
+    // Home bank of block 0 is bank 0; same-L2-set blocks at bank 0
+    // have block numbers that are multiples of 4 (bank interleave)
+    // with equal set bits: stride 4 * 8 sets * 64 B = 2 KB... use
+    // block numbers k * 32 (multiple of 4 and congruent mod 8).
+    auto addr = [](uint32_t k) { return PhysAddr{k} * 32 * blockBytes; };
+
+    const PhysAddr a = addr(0);
+    EXPECT_FALSE(access2(0, a, AccessType::Write).nacked);
+    checker_.localSig.insert({0, blockAlign(a)});
+
+    // Overflow the L2 set: 8 ways -> 9 distinct blocks.
+    for (uint32_t k = 1; k <= 8; ++k)
+        EXPECT_FALSE(access2(1, addr(k), AccessType::Read).nacked);
+    EXPECT_FALSE(mem2_.l2(0).hasBlock(a));
+    EXPECT_TRUE(mem2_.l2(0).inLostDir(a));
+    // Inclusion: the L1 copy was force-invalidated.
+    EXPECT_FALSE(mem2_.l1(0).holdsBlock(a));
+
+    // Next access to the lost block must broadcast SigChecks; core
+    // 0's signature still conflicts, so the requester is NACKed and
+    // the block enters the must-check state (paper §5).
+    ConflictVerdict v;
+    v.conflict = true;
+    v.keepSticky = true;
+    v.inWriteSet = true;
+    checker_.verdicts[{0, blockAlign(a)}] = v;
+    const uint64_t broadcasts_before =
+        sim2_.stats().counterValue("l2.sigBroadcasts");
+
+    EXPECT_TRUE(access2(2, a, AccessType::Write).nacked);
+    EXPECT_GT(sim2_.stats().counterValue("l2.sigBroadcasts"),
+              broadcasts_before);
+    EXPECT_TRUE(mem2_.l2(0).mustCheck(a));
+    EXPECT_FALSE(mem2_.l2(0).inLostDir(a));
+
+    // Signature cleared ("commit"): the retry succeeds and leaves
+    // the must-check state.
+    checker_.verdicts.clear();
+    checker_.localSig.clear();
+    EXPECT_FALSE(access2(2, a, AccessType::Write).nacked);
+    EXPECT_FALSE(mem2_.l2(0).mustCheck(a));
+    EXPECT_EQ(mem2_.l2(0).ownerOf(a), 2u);
+}
+
+TEST_F(TinyL2CoherenceTest, LostDirReadRebuildsStickySharers)
+{
+    auto addr = [](uint32_t k) { return PhysAddr{k} * 32 * blockBytes; };
+    const PhysAddr a = addr(100);
+    EXPECT_FALSE(access2(3, a, AccessType::Read).nacked);
+    checker_.localSig.insert({3, blockAlign(a)});
+    for (uint32_t k = 101; k <= 108; ++k)
+        access2(1, addr(k), AccessType::Read);
+    EXPECT_TRUE(mem2_.l2(0).inLostDir(a));
+
+    // Reader 2 triggers the rebuild; core 3 answers keepSticky (its
+    // read signature covers the block) without conflicting.
+    ConflictVerdict v;
+    v.keepSticky = true;
+    checker_.verdicts[{3, blockAlign(a)}] = v;
+    EXPECT_FALSE(access2(2, a, AccessType::Read).nacked);
+    // Core 3 was re-recorded as a (sticky) sharer so later writers
+    // will still probe it.
+    EXPECT_TRUE(mem2_.l2(0).isSharer(a, 3));
+    EXPECT_TRUE(mem2_.l2(0).isSharer(a, 2));
+}
+
+} // namespace
+} // namespace logtm

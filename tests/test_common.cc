@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG determinism, address helpers,
+ * statistics registry, configuration presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace logtm {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const uint64_t v = r.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Types, BlockHelpers)
+{
+    EXPECT_EQ(blockAlign(0x1234), 0x1200u);
+    EXPECT_EQ(blockNumber(0x1234), 0x48u);
+    EXPECT_EQ(blockAlign(0x1240), 0x1240u);
+    EXPECT_EQ(pageNumber(0x5432), 0x5u);
+    EXPECT_EQ(pageOffset(0x5432), 0x432u);
+}
+
+TEST(Stats, CountersAccumulateAndReset)
+{
+    StatsRegistry st;
+    st.counter("a.x").add(5);
+    ++st.counter("a.x");
+    st.counter("a.y")++;
+    EXPECT_EQ(st.counterValue("a.x"), 6u);
+    EXPECT_EQ(st.counterValue("a.y"), 1u);
+    EXPECT_EQ(st.counterValue("missing"), 0u);
+    EXPECT_EQ(st.sumCounters("a."), 7u);
+    st.resetAll();
+    EXPECT_EQ(st.counterValue("a.x"), 0u);
+}
+
+TEST(Stats, SumCountersRespectsPrefixBoundary)
+{
+    StatsRegistry st;
+    st.counter("l1.hits").add(3);
+    st.counter("l1.misses").add(4);
+    st.counter("l2.hits").add(100);
+    EXPECT_EQ(st.sumCounters("l1."), 7u);
+    EXPECT_EQ(st.sumCounters("l2."), 100u);
+    EXPECT_EQ(st.sumCounters("l"), 107u);
+}
+
+TEST(Stats, SamplerTracksMinMaxMean)
+{
+    StatsRegistry st;
+    Sampler &s = st.sampler("sizes");
+    for (double v : {4.0, 8.0, 6.0})
+        s.sample(v);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 6.0);
+}
+
+TEST(Stats, HistogramBucketsPowersOfTwo)
+{
+    StatsRegistry st;
+    Histogram &h = st.histogram("lat");
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(1000);
+    EXPECT_EQ(h.bucket(0), 1u);  // {0,1}
+    EXPECT_EQ(h.bucket(1), 2u);  // [2,4)
+    EXPECT_EQ(h.bucket(9), 1u);  // [512,1024)
+    EXPECT_EQ(h.scalar().count(), 4u);
+}
+
+TEST(Stats, DumpContainsAllNames)
+{
+    StatsRegistry st;
+    st.counter("one").add(1);
+    st.sampler("two").sample(2);
+    std::ostringstream os;
+    st.dump(os);
+    EXPECT_NE(os.str().find("one 1"), std::string::npos);
+    EXPECT_NE(os.str().find("two"), std::string::npos);
+}
+
+TEST(Config, PaperDefaultsAreTable1)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.numCores, 16u);
+    EXPECT_EQ(cfg.threadsPerCore, 2u);
+    EXPECT_EQ(cfg.numContexts(), 32u);
+    EXPECT_EQ(cfg.l1Bytes, 32u * 1024);
+    EXPECT_EQ(cfg.l1Assoc, 4u);
+    EXPECT_EQ(cfg.l2Bytes, 8u * 1024 * 1024);
+    EXPECT_EQ(cfg.l2Banks, 16u);
+    EXPECT_EQ(cfg.l2HitLatency, 34u);
+    EXPECT_EQ(cfg.dramLatency, 500u);
+    EXPECT_EQ(cfg.directoryLatency, 6u);
+    EXPECT_EQ(cfg.linkLatency, 3u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, SignaturePresetNames)
+{
+    EXPECT_EQ(sigPerfect().name(), "Perfect");
+    EXPECT_EQ(sigBS(2048).name(), "BS_2048");
+    EXPECT_EQ(sigCBS(2048).name(), "CBS_2048");
+    EXPECT_EQ(sigDBS(64).name(), "DBS_64");
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * LogTM-SE engine tests: signature tracking, undo logging and
+ * roll-back, the log filter, conflict stalls, LogTM timestamp
+ * deadlock avoidance, conflict policies, escape actions,
+ * load-exclusive, summary traps and false-positive accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tm_system.hh"
+#include "sig/signature_factory.hh"
+
+namespace logtm {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    return cfg;
+}
+
+struct PendingLoad
+{
+    bool done = false;
+    OpStatus status = OpStatus::Ok;
+    uint64_t value = 0;
+};
+
+struct PendingStore
+{
+    bool done = false;
+    OpStatus status = OpStatus::Ok;
+};
+
+class EngineTest : public testing::Test
+{
+  protected:
+    // NOTE: the configuration is injected through the constructor --
+    // a virtual config() hook would not dispatch to subclasses while
+    // the base constructor runs.
+    explicit EngineTest(const SystemConfig &cfg = smallConfig())
+        : sys_(cfg)
+    {
+        asid_ = sys_.os().createProcess();
+        for (int i = 0; i < 4; ++i)
+            threads_.push_back(sys_.os().spawnThread(asid_));
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+
+    std::shared_ptr<PendingLoad>
+    asyncLoad(ThreadId t, VirtAddr va, bool exclusive = false)
+    {
+        auto p = std::make_shared<PendingLoad>();
+        auto done = [p](OpStatus s, uint64_t v) {
+            p->done = true;
+            p->status = s;
+            p->value = v;
+        };
+        if (exclusive)
+            eng().loadExclusive(t, va, done);
+        else
+            eng().load(t, va, done);
+        return p;
+    }
+
+    std::shared_ptr<PendingStore>
+    asyncStore(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        auto p = std::make_shared<PendingStore>();
+        eng().store(t, va, v,
+                    [p](OpStatus s) {
+                        p->done = true;
+                        p->status = s;
+                    });
+        return p;
+    }
+
+    uint64_t
+    load(ThreadId t, VirtAddr va)
+    {
+        auto p = asyncLoad(t, va);
+        sys_.sim().runUntil([&]() { return p->done; });
+        EXPECT_EQ(p->status, OpStatus::Ok);
+        return p->value;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        auto p = asyncStore(t, va, v);
+        sys_.sim().runUntil([&]() { return p->done; });
+        return p->status;
+    }
+
+    void
+    commit(ThreadId t)
+    {
+        bool done = false;
+        eng().txCommit(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    abortFrame(ThreadId t)
+    {
+        bool done = false;
+        eng().txAbortFrame(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    /** Let the simulation advance a bounded number of cycles. */
+    void
+    settle(Cycle cycles)
+    {
+        // Schedule a timer so time advances even when the queue is
+        // otherwise empty.
+        bool fired = false;
+        sys_.sim().queue().scheduleIn(cycles, [&]() { fired = true; });
+        sys_.sim().runUntil([&]() { return fired; });
+    }
+
+    PhysAddr phys(VirtAddr va) { return sys_.os().translate(asid_, va); }
+    HwContext &ctxOf(ThreadId t)
+    { return eng().context(eng().thread(t).ctx); }
+
+    TmSystem sys_;
+    Asid asid_ = 0;
+    std::vector<ThreadId> threads_;
+};
+
+TEST_F(EngineTest, PlainOpsDoNotTouchTmState)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x1000, 5);
+    EXPECT_EQ(load(t, 0x1000), 5u);
+    EXPECT_TRUE(ctxOf(t).readSig->empty());
+    EXPECT_TRUE(ctxOf(t).writeSig->empty());
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 0u);
+}
+
+TEST_F(EngineTest, TransactionalOpsRecordSignatures)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    load(t, 0x1000);
+    store(t, 0x2000, 1);
+    const PhysAddr read_block = blockAlign(phys(0x1000));
+    const PhysAddr write_block = blockAlign(phys(0x2000));
+    EXPECT_TRUE(ctxOf(t).readSig->mayContain(read_block));
+    EXPECT_FALSE(ctxOf(t).readSig->mayContain(write_block));
+    EXPECT_TRUE(ctxOf(t).writeSig->mayContain(write_block));
+    EXPECT_TRUE(ctxOf(t).shadowRead.contains(read_block));
+    EXPECT_TRUE(ctxOf(t).shadowWrite.contains(write_block));
+    commit(t);
+}
+
+TEST_F(EngineTest, CommitIsLocalAndClearsState)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x3000, 9);
+    commit(t);
+    EXPECT_TRUE(ctxOf(t).readSig->empty());
+    EXPECT_TRUE(ctxOf(t).writeSig->empty());
+    EXPECT_FALSE(eng().inTx(t));
+    EXPECT_EQ(sys_.stats().counterValue("tm.commits"), 1u);
+    EXPECT_EQ(eng().thread(t).timestamp, ~0ull);
+    // The committed value persists.
+    EXPECT_EQ(load(t, 0x3000), 9u);
+}
+
+TEST_F(EngineTest, AbortRestoresOldValuesLifo)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x4000, 10);
+    store(t, 0x4040, 20);
+    eng().txBegin(t);
+    store(t, 0x4000, 11);
+    store(t, 0x4040, 21);
+    store(t, 0x4000, 12);  // second write, filtered from the log
+    eng().txRequestAbort(t);
+    EXPECT_TRUE(eng().doomed(t));
+    abortFrame(t);
+    EXPECT_FALSE(eng().doomed(t));
+    EXPECT_FALSE(eng().inTx(t));
+    EXPECT_EQ(load(t, 0x4000), 10u);
+    EXPECT_EQ(load(t, 0x4040), 20u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.aborts"), 1u);
+    EXPECT_TRUE(ctxOf(t).writeSig->empty());
+}
+
+TEST_F(EngineTest, LogFilterSuppressesRedundantLogging)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x5000, 1);
+    store(t, 0x5008, 2);  // same block: filter hit
+    store(t, 0x5000, 3);  // same block again
+    store(t, 0x5040, 4);  // new block: logged
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 2u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.logFilterHits"), 2u);
+    commit(t);
+}
+
+TEST_F(EngineTest, DoomedOpsCompleteAborted)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x6000, 1);
+    eng().txRequestAbort(t);
+    auto p = asyncLoad(t, 0x6040);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->status, OpStatus::Aborted);
+    abortFrame(t);
+}
+
+TEST_F(EngineTest, ConflictingLoadStallsUntilWriterCommits)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];  // different core (2 SMT/core)
+    eng().txBegin(writer);
+    store(writer, 0x7000, 1);
+
+    eng().txBegin(reader);
+    auto p = asyncLoad(reader, 0x7000);
+    settle(2000);
+    EXPECT_FALSE(p->done);  // NACKed and retrying
+    EXPECT_GT(sys_.stats().counterValue("tm.stalls"), 0u);
+
+    commit(writer);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->status, OpStatus::Ok);
+    EXPECT_EQ(p->value, 1u);
+    commit(reader);
+}
+
+TEST_F(EngineTest, SiblingSmtConflictDetectedLocally)
+{
+    // threads_[0] and threads_[1] share core 0 (2-way SMT).
+    const ThreadId a = threads_[0];
+    const ThreadId b = threads_[1];
+    eng().txBegin(a);
+    store(a, 0x8000, 1);
+    eng().txBegin(b);
+    auto p = asyncLoad(b, 0x8000);
+    settle(2000);
+    EXPECT_FALSE(p->done);
+    commit(a);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->value, 1u);
+    commit(b);
+}
+
+TEST_F(EngineTest, DeadlockCycleAbortsYoungerTransaction)
+{
+    const ThreadId older = threads_[0];
+    const ThreadId younger = threads_[2];
+    eng().txBegin(older);
+    settle(10);  // ensure distinct begin cycles -> distinct timestamps
+    eng().txBegin(younger);
+    ASSERT_LT(eng().thread(older).timestamp,
+              eng().thread(younger).timestamp);
+
+    store(older, 0xA000, 1);
+    store(younger, 0xB000, 1);
+
+    // older -> younger's block, younger -> older's block: a cycle.
+    auto p_old = asyncStore(older, 0xB000, 2);
+    auto p_young = asyncStore(younger, 0xA000, 2);
+    sys_.sim().runUntil([&]() { return p_young->done; });
+    EXPECT_EQ(p_young->status, OpStatus::Aborted);
+    EXPECT_TRUE(eng().doomed(younger));
+    abortFrame(younger);
+
+    // With the younger aborted, the older's store completes.
+    sys_.sim().runUntil([&]() { return p_old->done; });
+    EXPECT_EQ(p_old->status, OpStatus::Ok);
+    commit(older);
+    EXPECT_FALSE(eng().doomed(younger));
+}
+
+TEST_F(EngineTest, TimestampRetainedAcrossAbortRetry)
+{
+    const ThreadId older = threads_[0];
+    const ThreadId younger = threads_[2];
+    eng().txBegin(older);
+    settle(10);
+    eng().txBegin(younger);
+    const uint64_t young_ts = eng().thread(younger).timestamp;
+
+    store(older, 0xC000, 1);
+    store(younger, 0xC040, 1);
+    auto p_old = asyncStore(older, 0xC040, 2);
+    auto p_young = asyncStore(younger, 0xC000, 2);
+    sys_.sim().runUntil([&]() { return p_young->done; });
+    ASSERT_EQ(p_young->status, OpStatus::Aborted);
+    abortFrame(younger);
+
+    // LogTM: the retried transaction keeps its timestamp so it ages.
+    eng().txBegin(younger);
+    EXPECT_EQ(eng().thread(younger).timestamp, young_ts);
+    commit(younger);
+    sys_.sim().runUntil([&]() { return p_old->done; });
+    commit(older);
+}
+
+TEST_F(EngineTest, EscapeActionsBypassVersionManagement)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0xD000, 5);
+    eng().txBegin(t);
+    bool done = false;
+    eng().escapeStore(t, 0xD000, 42, [&](OpStatus) { done = true; });
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_TRUE(ctxOf(t).writeSig->empty());
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 0u);
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    // Escape-action effects survive the abort (paper: escape actions
+    // are not rolled back).
+    EXPECT_EQ(load(t, 0xD000), 42u);
+}
+
+TEST_F(EngineTest, LoadExclusiveAcquiresWriteOwnership)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0xE000, 7);
+    eng().txBegin(t);
+    auto p = asyncLoad(t, 0xE000, true);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->value, 7u);
+    const PhysAddr block = blockAlign(phys(0xE000));
+    EXPECT_TRUE(ctxOf(t).readSig->mayContain(block));
+    EXPECT_TRUE(ctxOf(t).writeSig->mayContain(block));
+    // Undo was logged at load-exclusive time; the following store to
+    // the same block is filtered.
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 1u);
+    store(t, 0xE000, 8);
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 1u);
+    // Roll-back restores the pre-transaction value.
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_EQ(load(t, 0xE000), 7u);
+}
+
+TEST_F(EngineTest, SummaryConflictTrapsAndRetries)
+{
+    const ThreadId t = threads_[0];
+    // Install a summary signature covering 0xF000 on t's context.
+    auto summary = makeSignature(sys_.config().signature);
+    summary->insert(blockAlign(phys(0xF000)));
+    eng().setSummary(eng().thread(t).ctx, std::move(summary));
+
+    // Plain access: retries until the OS clears the summary.
+    auto p = asyncLoad(t, 0xF000);
+    settle(3000);
+    EXPECT_FALSE(p->done);
+    EXPECT_GT(sys_.stats().counterValue("tm.summaryTraps"), 0u);
+    eng().setSummary(eng().thread(t).ctx, nullptr);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->status, OpStatus::Ok);
+}
+
+TEST_F(EngineTest, SummaryConflictDoomsTransaction)
+{
+    const ThreadId t = threads_[0];
+    auto summary = makeSignature(sys_.config().signature);
+    summary->insert(blockAlign(phys(0xF400)));
+    eng().setSummary(eng().thread(t).ctx, std::move(summary));
+
+    eng().txBegin(t);
+    auto p = asyncLoad(t, 0xF400);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->status, OpStatus::Aborted);
+    EXPECT_TRUE(eng().doomed(t));
+    EXPECT_EQ(eng().thread(t).abortCause, AbortCause::SummaryConflict);
+    abortFrame(t);
+    eng().setSummary(eng().thread(t).ctx, nullptr);
+}
+
+class Bs64EngineTest : public EngineTest
+{
+  protected:
+    Bs64EngineTest() : EngineTest(bs64Config()) {}
+
+    static SystemConfig
+    bs64Config()
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.signature = sigBS(64);
+        return cfg;
+    }
+};
+
+TEST_F(Bs64EngineTest, FalsePositiveConflictsAreCountedAndNack)
+{
+    // A false positive needs two ingredients: the requested block
+    // must be routed to the writer's core (directory owner), and the
+    // writer's signature must alias it. Make the writer own the
+    // alias block via a prior plain store, then write a different
+    // block transactionally that shares its BS-64 index.
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+
+    // Find two distinct virtual blocks whose physical blocks share a
+    // BS-64 index.
+    const VirtAddr tx_va = 0x10000;
+    const PhysAddr wblock = blockAlign(phys(tx_va));
+    VirtAddr alias_va = 0;
+    for (VirtAddr va = 0x20000;; va += blockBytes) {
+        const PhysAddr pb = blockAlign(phys(va));
+        if (pb != wblock &&
+            blockNumber(pb) % 64 == blockNumber(wblock) % 64) {
+            alias_va = va;
+            break;
+        }
+    }
+
+    store(writer, alias_va, 7);  // writer's core now owns alias block
+    eng().txBegin(writer);
+    store(writer, tx_va, 1);     // signature bit set for the alias too
+
+    eng().txBegin(reader);
+    auto p = asyncLoad(reader, alias_va);
+    settle(1500);
+    EXPECT_FALSE(p->done);  // stalled on a FALSE conflict
+    EXPECT_GT(sys_.stats().counterValue("tm.conflictsFalse"), 0u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.conflictsTrue"), 0u);
+
+    commit(writer);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->value, 7u);
+    commit(reader);
+}
+
+class AbortPolicyTest : public EngineTest
+{
+  protected:
+    AbortPolicyTest() : EngineTest(abortConfig()) {}
+
+    static SystemConfig
+    abortConfig()
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.conflictPolicy = ConflictPolicy::AbortAlways;
+        return cfg;
+    }
+};
+
+class StallThenAbortTest : public EngineTest
+{
+  protected:
+    StallThenAbortTest() : EngineTest(hybridConfig()) {}
+
+    static SystemConfig
+    hybridConfig()
+    {
+        SystemConfig cfg = smallConfig();
+        cfg.conflictPolicy = ConflictPolicy::StallThenAbort;
+        cfg.stallAbortThreshold = 4;
+        return cfg;
+    }
+};
+
+TEST_F(StallThenAbortTest, StallsBrieflyThenTrapsToContentionManager)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+    eng().txBegin(writer);
+    store(writer, 0x12000, 1);
+    eng().txBegin(reader);
+    auto p = asyncLoad(reader, 0x12000);
+    sys_.sim().runUntil([&]() { return p->done; });
+    // After stallAbortThreshold NACK retries the reader self-aborts.
+    EXPECT_EQ(p->status, OpStatus::Aborted);
+    EXPECT_GE(sys_.stats().counterValue("tm.stalls"), 4u);
+    abortFrame(reader);
+    commit(writer);
+}
+
+TEST_F(AbortPolicyTest, RequesterAbortsImmediatelyOnConflict)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+    eng().txBegin(writer);
+    store(writer, 0x11000, 1);
+    eng().txBegin(reader);
+    auto p = asyncLoad(reader, 0x11000);
+    sys_.sim().runUntil([&]() { return p->done; });
+    EXPECT_EQ(p->status, OpStatus::Aborted);
+    EXPECT_EQ(eng().thread(reader).abortCause, AbortCause::PolicyAbort);
+    abortFrame(reader);
+    commit(writer);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue and simulator kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+namespace logtm {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameCycleOrderedByPriorityThenSequence)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&]() { order.push_back(2); }, EventPriority::Cpu);
+    q.schedule(5, [&]() { order.push_back(0); }, EventPriority::Protocol);
+    q.schedule(5, [&]() { order.push_back(3); }, EventPriority::Cpu);
+    q.schedule(5, [&]() { order.push_back(1); }, EventPriority::Protocol);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() {
+        ++fired;
+        q.scheduleIn(1, [&]() {
+            ++fired;
+            q.scheduleIn(1, [&]() { ++fired; });
+        });
+    });
+    q.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 3u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&]() { ++fired; });
+    q.schedule(2, [&]() { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunBoundedByMaxCycles)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(1000, [&]() { ++fired; });
+    q.run(100);
+    EXPECT_EQ(fired, 1);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ClearDropsEventsAndResetsTime)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.clear();
+    q.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsOnPredicate)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        sim.queue().schedule(i, [&]() { ++count; });
+    sim.runUntil([&]() { return count == 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST(Simulator, RunToCompletionDrainsQueue)
+{
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 5; ++i)
+        sim.queue().schedule(i * 7, [&]() { ++count; });
+    sim.runToCompletion();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(sim.now(), 35u);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Remaining unit coverage: table printer, page table, configuration
+ * validation (death tests), event-queue misuse, harness helpers and
+ * workload unit accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "os/page_table.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+TEST(TablePrinter, AlignsColumns)
+{
+    Table t({"Name", "Value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    // Columns align: "Value" starts at the same offset in every line.
+    const size_t col = out.find("Value");
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    std::istringstream is(out);
+    std::string line;
+    std::getline(is, line);  // header
+    std::getline(is, line);  // rule
+    std::getline(is, line);  // alpha row
+    EXPECT_EQ(line.find('1'), col);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    Table t({"A", "B"});
+    t.addRow({"x", "y"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "A,B\nx,y\n");
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(Table::fmt(uint64_t{42}), "42");
+    EXPECT_EQ(Table::fmt(1.5, 2), "1.50");
+    EXPECT_EQ(Table::fmt(1.456, 1), "1.5");
+}
+
+TEST(PageTable, DemandAllocationIsStable)
+{
+    uint64_t next = 100;
+    PageTable pt([&]() { return next++; });
+    const PhysAddr pa1 = pt.translate(0x5123);
+    EXPECT_EQ(pa1, (100ull << pageBytesLog2) | 0x123);
+    // Same page translates identically; a new page gets a new frame.
+    EXPECT_EQ(pt.translate(0x5FFF), (100ull << pageBytesLog2) | 0xFFF);
+    EXPECT_EQ(pageNumber(pt.translate(0x9000)), 101u);
+    EXPECT_EQ(pt.mappedPages(), 2u);
+}
+
+TEST(PageTable, RemapAndLookup)
+{
+    uint64_t next = 7;
+    PageTable pt([&]() { return next++; });
+    pt.translate(0x3000);
+    EXPECT_EQ(pt.lookup(3), 7u);
+    EXPECT_EQ(pt.lookup(99), ~0ull);
+    pt.remap(3, 55);
+    EXPECT_EQ(pageNumber(pt.translate(0x3000)), 55u);
+}
+
+using ConfigDeath = testing::Test;
+
+TEST(ConfigDeath, RejectsZeroCores)
+{
+    SystemConfig cfg;
+    cfg.numCores = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "at least one core");
+}
+
+TEST(ConfigDeath, RejectsNonPowerOfTwoSignature)
+{
+    SystemConfig cfg;
+    cfg.signature = sigBS(100);
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(ConfigDeath, RejectsUnevenChipPartition)
+{
+    SystemConfig cfg;
+    cfg.numChips = 3;  // 16 cores % 3 != 0
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "chips");
+}
+
+TEST(EventQueueDeath, PanicsOnSchedulingInThePast)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.schedule(10, []() {});
+            q.run();
+            q.schedule(5, []() {});
+        },
+        "in the past");
+}
+
+TEST(Harness, DefaultUnitsPreservePaperRatios)
+{
+    // Table 2 transaction ratios: Raytrace >> Mp3d > Radiosity >
+    // BerkeleyDB > Cholesky.
+    EXPECT_GT(defaultUnits(Benchmark::Raytrace),
+              defaultUnits(Benchmark::Mp3d));
+    EXPECT_GT(defaultUnits(Benchmark::Mp3d),
+              defaultUnits(Benchmark::Radiosity));
+    EXPECT_GT(defaultUnits(Benchmark::Radiosity),
+              defaultUnits(Benchmark::BerkeleyDB));
+    EXPECT_GT(defaultUnits(Benchmark::BerkeleyDB),
+              defaultUnits(Benchmark::Cholesky));
+}
+
+TEST(Harness, PaperBenchmarksAreTheFive)
+{
+    const auto benches = paperBenchmarks();
+    ASSERT_EQ(benches.size(), 5u);
+    EXPECT_EQ(toString(benches[0]), "BerkeleyDB");
+    EXPECT_EQ(toString(benches[4]), "Mp3d");
+}
+
+TEST(Workload, UnevenUnitSplitCompletesExactly)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    TmSystem sys(cfg);
+    WorkloadParams p;
+    p.numThreads = 7;       // does not divide 100
+    p.useTm = true;
+    p.totalUnits = 100;
+    MicrobenchWorkload wl(sys, p, {});
+    WorkloadResult res = wl.run();
+    EXPECT_EQ(res.units, 100u);
+    EXPECT_EQ(sys.stats().counterValue("tm.commits"), 100u);
+}
+
+TEST(Workload, ThinkScaleStretchesExecution)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+
+    WorkloadParams p;
+    p.numThreads = 4;
+    p.useTm = true;
+    p.totalUnits = 40;
+
+    TmSystem fast(cfg);
+    MicrobenchConfig mb;
+    mb.numCounters = 256;
+    mb.thinkCycles = 1000;  // make think time the dominant term
+    MicrobenchWorkload wf(fast, p, mb);
+    const Cycle fast_cycles = wf.run().cycles;
+
+    p.thinkScale = 8.0;
+    TmSystem slow(cfg);
+    MicrobenchWorkload ws(slow, p, mb);
+    const Cycle slow_cycles = ws.run().cycles;
+    EXPECT_GT(slow_cycles, fast_cycles * 2);
+}
+
+TEST(Experiment, SnapshotsMatchRegistry)
+{
+    ExperimentConfig cfg;
+    cfg.bench = Benchmark::Microbench;
+    cfg.sys.numCores = 4;
+    cfg.sys.threadsPerCore = 2;
+    cfg.sys.l2Banks = 4;
+    cfg.sys.meshCols = 2;
+    cfg.sys.meshRows = 2;
+    cfg.wl.numThreads = 8;
+    cfg.wl.totalUnits = 80;
+    cfg.wl.useTm = true;
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.bench, "Microbench");
+    EXPECT_EQ(r.variant, "Perfect");
+    EXPECT_EQ(r.units, 80u);
+    EXPECT_EQ(r.commits, 80u);
+    EXPECT_GT(r.writeAvg, 0.0);
+
+    cfg.wl.useTm = false;
+    EXPECT_EQ(runExperiment(cfg).variant, "Lock");
+}
+
+} // namespace
+} // namespace logtm

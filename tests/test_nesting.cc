@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Transactional nesting tests (paper §3.2): closed-nested merge,
+ * open-nested commit (isolation release + permanent effects),
+ * nested abort with signature restore, and partial-abort resolution
+ * (unwind frames until the conflicting address leaves the signature).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tm_system.hh"
+
+namespace logtm {
+namespace {
+
+class NestingTest : public testing::Test
+{
+  protected:
+    NestingTest() : sys_(config())
+    {
+        asid_ = sys_.os().createProcess();
+        for (int i = 0; i < 4; ++i)
+            threads_.push_back(sys_.os().spawnThread(asid_));
+    }
+
+    static SystemConfig
+    config()
+    {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        cfg.threadsPerCore = 1;
+        cfg.l2Banks = 4;
+        cfg.meshCols = 2;
+        cfg.meshRows = 2;
+        return cfg;
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+
+    uint64_t
+    load(ThreadId t, VirtAddr va)
+    {
+        uint64_t value = 0;
+        bool done = false;
+        eng().load(t, va, [&](OpStatus, uint64_t v) {
+            value = v;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return value;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        OpStatus status = OpStatus::Ok;
+        bool done = false;
+        eng().store(t, va, v, [&](OpStatus s) {
+            status = s;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return status;
+    }
+
+    void
+    commit(ThreadId t)
+    {
+        bool done = false;
+        eng().txCommit(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    abortFrame(ThreadId t)
+    {
+        bool done = false;
+        eng().txAbortFrame(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    settle(Cycle cycles)
+    {
+        // Schedule a timer so time advances even when the queue is
+        // otherwise empty.
+        bool fired = false;
+        sys_.sim().queue().scheduleIn(cycles, [&]() { fired = true; });
+        sys_.sim().runUntil([&]() { return fired; });
+    }
+
+    PhysAddr blockOf(VirtAddr va)
+    { return blockAlign(sys_.os().translate(asid_, va)); }
+    HwContext &ctxOf(ThreadId t)
+    { return eng().context(eng().thread(t).ctx); }
+
+    TmSystem sys_;
+    Asid asid_ = 0;
+    std::vector<ThreadId> threads_;
+};
+
+TEST_F(NestingTest, NestedBeginIncreasesDepth)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    eng().txBegin(t);
+    eng().txBegin(t);
+    EXPECT_EQ(eng().nestingDepth(t), 3u);
+    commit(t);
+    commit(t);
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    commit(t);
+    EXPECT_FALSE(eng().inTx(t));
+}
+
+TEST_F(NestingTest, ClosedChildMergesIntoParentOnCommit)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x1000, 1);
+    store(t, 0x2000, 2);
+    eng().txBegin(t);
+    store(t, 0x1000, 10);
+    eng().txBegin(t);
+    store(t, 0x2000, 20);
+    commit(t);  // closed inner commit
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    // The child's write stays isolated and in the parent's sets.
+    EXPECT_TRUE(ctxOf(t).writeSig->mayContain(blockOf(0x2000)));
+
+    // A later parent abort rolls back BOTH writes.
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_EQ(load(t, 0x1000), 1u);
+    EXPECT_EQ(load(t, 0x2000), 2u);
+}
+
+TEST_F(NestingTest, OpenChildCommitReleasesIsolationAndPersists)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x3000, 3);
+    store(t, 0x4000, 4);
+    eng().txBegin(t);
+    store(t, 0x3000, 30);
+    eng().txBegin(t, /*open=*/true);
+    store(t, 0x4000, 40);
+    commit(t);  // open inner commit
+    EXPECT_EQ(sys_.stats().counterValue("tm.openCommits"), 1u);
+    // Isolation on the child-only block was released...
+    EXPECT_FALSE(ctxOf(t).writeSig->mayContain(blockOf(0x4000)));
+    // ...while the parent's write stays protected.
+    EXPECT_TRUE(ctxOf(t).writeSig->mayContain(blockOf(0x3000)));
+
+    // The open child's effect is permanent even if the parent aborts.
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_EQ(load(t, 0x3000), 3u);
+    EXPECT_EQ(load(t, 0x4000), 40u);
+}
+
+TEST_F(NestingTest, OpenCommitLetsOtherThreadsAccessChildData)
+{
+    const ThreadId t = threads_[0];
+    const ThreadId other = threads_[1];
+    eng().txBegin(t);
+    store(t, 0x5000, 5);
+    eng().txBegin(t, /*open=*/true);
+    store(t, 0x6000, 6);
+    commit(t);  // open commit releases 0x6000
+
+    eng().txBegin(other);
+    // 0x6000 is accessible immediately...
+    EXPECT_EQ(load(other, 0x6000), 6u);
+    // ...but 0x5000 is still isolated by the parent: the access
+    // stalls until the parent commits.
+    bool done = false;
+    uint64_t value = 0;
+    eng().load(other, 0x5000, [&](OpStatus, uint64_t v) {
+        done = true;
+        value = v;
+    });
+    settle(2000);
+    EXPECT_FALSE(done);
+    commit(t);  // outer commit
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(value, 5u);
+    commit(other);
+}
+
+TEST_F(NestingTest, NestedAbortRestoresChildOnlyAndParentSignature)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x7000, 7);
+    store(t, 0x8000, 8);
+    eng().txBegin(t);
+    store(t, 0x7000, 70);
+    eng().txBegin(t);
+    store(t, 0x8000, 80);
+
+    eng().txRequestAbort(t);
+    abortFrame(t);  // aborts the CHILD frame only
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    EXPECT_FALSE(eng().doomed(t));
+    // Child write rolled back, parent write intact.
+    EXPECT_TRUE(ctxOf(t).writeSig->mayContain(blockOf(0x7000)));
+    EXPECT_FALSE(ctxOf(t).writeSig->mayContain(blockOf(0x8000)));
+
+    commit(t);
+    EXPECT_EQ(load(t, 0x7000), 70u);
+    EXPECT_EQ(load(t, 0x8000), 8u);
+}
+
+TEST_F(NestingTest, PartialAbortUnwindsUntilConflictResolved)
+{
+    // Construct the paper's partial-abort scenario: the conflicting
+    // address is in the PARENT's write set, so aborting the child
+    // does not resolve the conflict and the thread stays doomed.
+    const ThreadId older = threads_[1];
+    const ThreadId t = threads_[0];
+
+    eng().txBegin(older);          // older transaction
+    settle(10);
+    eng().txBegin(t);              // outer (younger)
+    store(older, 0x9500, 1);       // older holds 0x9500
+    store(t, 0x9000, 1);           // parent's write set: 0x9000
+    eng().txBegin(t);              // inner
+    store(t, 0x9100, 2);           // child's write set: 0x9100
+
+    // older requests t's PARENT block -> NACKed by t; t records the
+    // possible cycle (requester is older).
+    bool older_done = false;
+    eng().store(older, 0x9000, 9,
+                [&](OpStatus) { older_done = true; });
+    settle(1500);
+    EXPECT_FALSE(older_done);
+    EXPECT_TRUE(eng().thread(t).possibleCycle);
+
+    // t then requests older's block -> NACKed by an older tx while
+    // possible_cycle is set -> t is doomed, conflict addr = 0x9000.
+    bool t_done = false;
+    OpStatus t_status = OpStatus::Ok;
+    eng().store(t, 0x9500, 5, [&](OpStatus s) {
+        t_done = true;
+        t_status = s;
+    });
+    sys_.sim().runUntil([&]() { return t_done; });
+    EXPECT_EQ(t_status, OpStatus::Aborted);
+    ASSERT_TRUE(eng().doomed(t));
+
+    // Aborting the CHILD frame does not release 0x9000 (it is in the
+    // parent's restored signature): still doomed (paper §3.2).
+    abortFrame(t);
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    EXPECT_TRUE(eng().doomed(t));
+
+    // Aborting the parent frame resolves the conflict.
+    abortFrame(t);
+    EXPECT_EQ(eng().nestingDepth(t), 0u);
+    EXPECT_FALSE(eng().doomed(t));
+
+    sys_.sim().runUntil([&]() { return older_done; });
+    commit(older);
+}
+
+TEST_F(NestingTest, DeepNestingIsUnbounded)
+{
+    const ThreadId t = threads_[0];
+    constexpr int depth = 64;
+    for (int i = 0; i < depth; ++i) {
+        eng().txBegin(t);
+        store(t, 0xA000 + static_cast<VirtAddr>(i) * blockBytes,
+              static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(eng().nestingDepth(t), static_cast<size_t>(depth));
+    for (int i = 0; i < depth; ++i)
+        commit(t);
+    EXPECT_FALSE(eng().inTx(t));
+    for (int i = 0; i < depth; ++i) {
+        EXPECT_EQ(load(t, 0xA000 + static_cast<VirtAddr>(i) * blockBytes),
+                  static_cast<uint64_t>(i));
+    }
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Virtualization tests (paper §4): thread deschedule/reschedule and
+ * migration mid-transaction with summary-signature maintenance,
+ * commit-time summary recompute, page relocation with signature
+ * rewriting, and ASID filtering between processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tm_system.hh"
+
+namespace logtm {
+namespace {
+
+class OsTest : public testing::Test
+{
+  protected:
+    OsTest() : sys_(config())
+    {
+        asid_ = sys_.os().createProcess();
+        for (int i = 0; i < 4; ++i)
+            threads_.push_back(sys_.os().spawnThread(asid_));
+    }
+
+    static SystemConfig
+    config()
+    {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        cfg.threadsPerCore = 1;
+        cfg.l2Banks = 4;
+        cfg.meshCols = 2;
+        cfg.meshRows = 2;
+        return cfg;
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+    OsKernel &os() { return sys_.os(); }
+
+    uint64_t
+    load(ThreadId t, VirtAddr va, OpStatus *status_out = nullptr)
+    {
+        uint64_t value = 0;
+        bool done = false;
+        eng().load(t, va, [&](OpStatus s, uint64_t v) {
+            value = v;
+            done = true;
+            if (status_out)
+                *status_out = s;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return value;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        OpStatus status = OpStatus::Ok;
+        bool done = false;
+        eng().store(t, va, v, [&](OpStatus s) {
+            status = s;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return status;
+    }
+
+    void
+    commit(ThreadId t)
+    {
+        bool done = false;
+        eng().txCommit(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    abortFrame(ThreadId t)
+    {
+        bool done = false;
+        eng().txAbortFrame(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    settle(Cycle cycles)
+    {
+        bool fired = false;
+        sys_.sim().queue().scheduleIn(cycles, [&]() { fired = true; });
+        sys_.sim().runUntil([&]() { return fired; });
+    }
+
+    PhysAddr blockOf(VirtAddr va)
+    { return blockAlign(sys_.os().translate(asid_, va)); }
+
+    TmSystem sys_;
+    Asid asid_ = 0;
+    std::vector<ThreadId> threads_;
+};
+
+TEST_F(OsTest, DescheduleSavesSignaturesAndInstallsSummary)
+{
+    const ThreadId t = threads_[0];
+    const ThreadId peer = threads_[1];
+    eng().txBegin(t);
+    store(t, 0x1000, 1);
+    const PhysAddr block = blockOf(0x1000);
+
+    os().descheduleThread(t);
+    EXPECT_EQ(os().contextOf(t), invalidCtx);
+    // Saved signatures preserve the write set.
+    ASSERT_NE(eng().savedWriteSig(t), nullptr);
+    EXPECT_TRUE(eng().savedWriteSig(t)->mayContain(block));
+    // Every scheduled context of the process received the summary.
+    const CtxId peer_ctx = eng().thread(peer).ctx;
+    ASSERT_NE(eng().context(peer_ctx).summary, nullptr);
+    EXPECT_TRUE(eng().context(peer_ctx).summary->mayContain(block));
+}
+
+TEST_F(OsTest, SummaryBlocksPeerAccessUntilRescheduledAndCommitted)
+{
+    const ThreadId t = threads_[0];
+    const ThreadId peer = threads_[1];
+    eng().txBegin(t);
+    store(t, 0x2000, 42);
+    os().descheduleThread(t);
+
+    // Peer's transactional access conflicts with the descheduled
+    // transaction: it traps and is doomed (cannot be resolved by
+    // stalling, paper §4.1).
+    eng().txBegin(peer);
+    OpStatus status = OpStatus::Ok;
+    bool done = false;
+    eng().load(peer, 0x2000, [&](OpStatus s, uint64_t) {
+        status = s;
+        done = true;
+    });
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(status, OpStatus::Aborted);
+    EXPECT_GT(sys_.stats().counterValue("tm.summaryTraps"), 0u);
+    abortFrame(peer);
+
+    // Reschedule the thread on a DIFFERENT core and commit.
+    os().scheduleThread(t, eng().thread(threads_[0]).ctx == 0 ? 2 : 0);
+    EXPECT_TRUE(eng().thread(t).rescheduledDuringTx);
+    commit(t);
+    // Commit trapped to the OS and dropped the contribution: the
+    // peer can now access the block.
+    const CtxId peer_ctx = eng().thread(peer).ctx;
+    EXPECT_EQ(eng().context(peer_ctx).summary, nullptr);
+    EXPECT_EQ(load(peer, 0x2000), 42u);
+}
+
+TEST_F(OsTest, RescheduledThreadRunsWithoutSelfConflict)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x3000, 7);
+    os().descheduleThread(threads_[2]);  // free a context on core 2
+    os().descheduleThread(t);
+    os().scheduleThread(t, 2);  // migrate to core 2
+
+    // The thread's own summary excludes its own sets (paper §4.1):
+    // it can keep accessing its write set.
+    EXPECT_EQ(store(t, 0x3000, 8), OpStatus::Ok);
+    EXPECT_EQ(load(t, 0x3000), 8u);
+    commit(t);
+    EXPECT_EQ(load(t, 0x3000), 8u);
+}
+
+TEST_F(OsTest, MigrationPreservesIsolationViaStickyStates)
+{
+    const ThreadId t = threads_[0];
+    const ThreadId peer = threads_[3];
+    eng().txBegin(t);
+    store(t, 0x4000, 1);
+
+    os().descheduleThread(threads_[2]);  // free a context on core 2
+    os().migrateThread(t, 2);
+    EXPECT_EQ(os().contextOf(t), 2u);
+    EXPECT_GT(sys_.stats().counterValue("os.migrations"), 0u);
+
+    // The peer still cannot write the block: its request reaches the
+    // OLD core via the sticky directory state; the old core's active
+    // signatures were cleared, but the peer's summary covers the
+    // migrated transaction's set.
+    eng().txBegin(peer);
+    OpStatus status = OpStatus::Ok;
+    bool done = false;
+    eng().store(peer, 0x4000, 9, [&](OpStatus s) {
+        status = s;
+        done = true;
+    });
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(status, OpStatus::Aborted);  // summary trap dooms peer
+    abortFrame(peer);
+
+    commit(t);
+    EXPECT_EQ(load(peer, 0x4000), 1u);
+}
+
+TEST_F(OsTest, AbortAfterMigrationRestoresValues)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x5000, 50);
+    eng().txBegin(t);
+    store(t, 0x5000, 51);
+    os().descheduleThread(threads_[3]);  // free a context on core 3
+    os().migrateThread(t, 3);
+    store(t, 0x5040, 52);
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_EQ(load(t, 0x5000), 50u);
+    EXPECT_EQ(load(t, 0x5040), 0u);
+}
+
+TEST_F(OsTest, PageRelocationPreservesDataAndIsolation)
+{
+    const ThreadId t = threads_[0];
+    const ThreadId peer = threads_[1];
+    store(t, 0x6000, 60);
+    store(t, 0x6040, 61);
+
+    eng().txBegin(t);
+    store(t, 0x6000, 99);
+    const PhysAddr old_block = blockOf(0x6000);
+
+    // Relocate the page mid-transaction (paper §4.2).
+    const uint64_t new_ppage = os().relocatePage(asid_, 0x6000);
+    const PhysAddr new_block = blockOf(0x6000);
+    EXPECT_NE(old_block, new_block);
+    EXPECT_EQ(pageNumber(new_block), new_ppage);
+
+    // Data moved; the thread sees its own speculative value.
+    EXPECT_EQ(load(t, 0x6000), 99u);
+    EXPECT_EQ(load(t, 0x6040), 61u);
+
+    // The signature now covers BOTH old and new physical addresses.
+    const HwContext &ctx = eng().context(eng().thread(t).ctx);
+    EXPECT_TRUE(ctx.writeSig->mayContain(old_block));
+    EXPECT_TRUE(ctx.writeSig->mayContain(new_block));
+
+    // Isolation still holds at the new address.
+    bool done = false;
+    eng().load(peer, 0x6000, [&](OpStatus, uint64_t) { done = true; });
+    settle(2000);
+    EXPECT_FALSE(done);
+
+    // Abort: the old value is restored through the NEW translation.
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(load(t, 0x6000), 60u);
+}
+
+TEST_F(OsTest, PageRelocationUpdatesDescheduledThreadState)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x7000, 70);
+    eng().txBegin(t);
+    store(t, 0x7000, 71);
+    os().descheduleThread(t);
+
+    os().relocatePage(asid_, 0x7000);
+    const PhysAddr new_block = blockOf(0x7000);
+    // The saved signature was rewritten...
+    EXPECT_TRUE(eng().savedWriteSig(t)->mayContain(new_block));
+    // ...and the reinstalled summaries cover the new address.
+    const CtxId peer_ctx = eng().thread(threads_[1]).ctx;
+    ASSERT_NE(eng().context(peer_ctx).summary, nullptr);
+    EXPECT_TRUE(eng().context(peer_ctx).summary->mayContain(new_block));
+
+    os().scheduleThread(t);
+    EXPECT_EQ(load(t, 0x7000), 71u);
+    commit(t);
+    EXPECT_EQ(load(t, 0x7000), 71u);
+}
+
+TEST_F(OsTest, AsidFilterPreventsCrossProcessNacks)
+{
+    // A second process whose thread's transactional set aliases the
+    // first process's physical blocks must not NACK it (paper §2).
+    os().descheduleThread(threads_[3]);  // free a context
+    const Asid asid2 = os().createProcess();
+    const ThreadId other = os().spawnThread(asid2);
+
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x8000, 1);
+    const PhysAddr block = blockOf(0x8000);
+
+    // Fake a cross-process aliasing signature hit: insert the SAME
+    // physical block into the other process's thread signature.
+    eng().txBegin(other);
+    eng().context(eng().thread(other).ctx).writeSig->insert(block);
+
+    // t's sibling in process 1 can still be NACKed (same asid) --
+    // but the cross-asid signature alone must never conflict.
+    ConflictVerdict v = eng().checkRemote(
+        eng().context(eng().thread(other).ctx).core, block,
+        AccessType::Write, asid_, eng().thread(t).ctx,
+        eng().thread(t).timestamp);
+    EXPECT_FALSE(v.conflict);
+    EXPECT_TRUE(v.keepSticky);  // sticky hint is ASID-agnostic
+    commit(t);
+}
+
+TEST_F(OsTest, ParkedThreadResumesAfterReschedule)
+{
+    const ThreadId t = threads_[0];
+    os().descheduleThread(t);
+    bool resumed = false;
+    EXPECT_TRUE(os().parkIfDescheduled(t, [&]() { resumed = true; }));
+    settle(100);
+    EXPECT_FALSE(resumed);
+    os().scheduleThread(t);
+    sys_.sim().runUntil([&]() { return resumed; });
+    EXPECT_TRUE(resumed);
+
+    // A scheduled thread is never parked.
+    EXPECT_FALSE(os().parkIfDescheduled(t, []() {}));
+}
+
+TEST_F(OsTest, DeferredPreemptionServicedAtOperationBoundary)
+{
+    const ThreadId t = threads_[0];
+    eng().txBegin(t);
+    store(t, 0x9000, 1);
+
+    // Preemption is requested asynchronously...
+    os().requestPreempt(t);
+    EXPECT_TRUE(os().preemptPending(t));
+    EXPECT_NE(os().contextOf(t), invalidCtx);  // not yet descheduled
+
+    // ...and serviced at the next operation boundary: the thread is
+    // descheduled (mid-transaction state saved) and parked.
+    bool resumed = false;
+    EXPECT_TRUE(os().preemptionPoint(t, [&]() { resumed = true; }));
+    EXPECT_FALSE(os().preemptPending(t));
+    EXPECT_EQ(os().contextOf(t), invalidCtx);
+    ASSERT_NE(eng().savedWriteSig(t), nullptr);
+
+    os().scheduleThread(t);
+    sys_.sim().runUntil([&]() { return resumed; });
+    EXPECT_TRUE(resumed);
+    commit(t);
+    EXPECT_EQ(load(t, 0x9000), 1u);
+}
+
+TEST_F(OsTest, PreemptRequestOnDescheduledThreadIsIgnored)
+{
+    const ThreadId t = threads_[0];
+    os().descheduleThread(t);
+    os().requestPreempt(t);
+    EXPECT_FALSE(os().preemptPending(t));
+    os().scheduleThread(t);
+}
+
+TEST_F(OsTest, ContextSwitchCountsAndFreeContexts)
+{
+    EXPECT_EQ(os().freeContexts(), 0u);  // 4 threads on 4 contexts
+    os().descheduleThread(threads_[2]);
+    EXPECT_EQ(os().freeContexts(), 1u);
+    os().scheduleThread(threads_[2]);
+    EXPECT_EQ(os().freeContexts(), 0u);
+    EXPECT_GE(sys_.stats().counterValue("os.contextSwitches"), 2u);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Property-based stress tests: the TM correctness invariants
+ * (atomicity of increments, conservation under transfers, isolation)
+ * must hold for EVERY signature implementation, conflict policy and
+ * coherence substrate — false positives may cost performance, never
+ * correctness. Uses parameterized gtest sweeps over the config space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/trace.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+// ---------------------------------------------------------------------
+// Atomicity sweep: counter increments across the config space.
+// ---------------------------------------------------------------------
+
+struct StressParam
+{
+    SignatureConfig sig;
+    CoherenceKind coherence;
+    ConflictPolicy policy;
+};
+
+std::string
+stressName(const testing::TestParamInfo<StressParam> &info)
+{
+    return info.param.sig.name() + "_" +
+        toString(info.param.coherence) + "_" +
+        toString(info.param.policy);
+}
+
+class TmStress : public testing::TestWithParam<StressParam>
+{
+};
+
+TEST_P(TmStress, IncrementAtomicityHolds)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    cfg.signature = GetParam().sig;
+    cfg.coherence = GetParam().coherence;
+    cfg.conflictPolicy = GetParam().policy;
+    TmSystem sys(cfg);
+
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 160;
+    MicrobenchConfig mb;
+    mb.numCounters = 12;  // hot
+    MicrobenchWorkload wl(sys, p, mb);
+    WorkloadResult res = wl.run();
+
+    EXPECT_EQ(res.units, 160u);
+    EXPECT_EQ(wl.counterSum(), wl.expectedIncrements());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpace, TmStress,
+    testing::Values(
+        StressParam{sigPerfect(), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigBS(2048), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigBS(64), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigCBS(2048), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigDBS(2048), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigBS(64), CoherenceKind::Directory,
+                    ConflictPolicy::AbortAlways},
+        StressParam{sigBS(64), CoherenceKind::Directory,
+                    ConflictPolicy::StallThenAbort},
+        StressParam{sigPerfect(), CoherenceKind::Snooping,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigBS(64), CoherenceKind::Snooping,
+                    ConflictPolicy::StallRetry},
+        StressParam{sigBS(64), CoherenceKind::Snooping,
+                    ConflictPolicy::StallThenAbort}),
+    stressName);
+
+// ---------------------------------------------------------------------
+// Conservation under transfers, with mid-run virtualization events.
+// ---------------------------------------------------------------------
+
+TEST(TmStressScenario, TransfersConserveTotalsUnderVirtualization)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    cfg.l1Bytes = 2048;  // tiny L1: force victimization too
+    cfg.signature = sigBS(256);
+    TmSystem sys(cfg);
+    const Asid asid = sys.os().createProcess();
+
+    constexpr uint32_t kCells = 24;
+    constexpr VirtAddr base = 0x10'0000;
+    auto cell = [](uint32_t i) { return base + i * blockBytes; };
+    for (uint32_t i = 0; i < kCells; ++i)
+        sys.mem().data().store(sys.os().translate(asid, cell(i)), 50);
+
+    // 6 worker threads transfer; 2 contexts left free for migrations.
+    struct Worker
+    {
+        ThreadId tid;
+        std::unique_ptr<ThreadCtx> tc;
+    };
+    std::vector<Worker> workers;
+    std::vector<Task> tasks;
+    uint32_t done = 0;
+    for (int i = 0; i < 6; ++i) {
+        Worker w;
+        w.tid = sys.os().spawnThread(asid);
+        w.tc = std::make_unique<ThreadCtx>(sys, w.tid);
+        workers.push_back(std::move(w));
+    }
+    auto worker_main = [&](ThreadCtx &tc) -> Task {
+        for (int i = 0; i < 40; ++i) {
+            const uint32_t a =
+                static_cast<uint32_t>(tc.rng().below(kCells));
+            uint32_t b = static_cast<uint32_t>(tc.rng().below(kCells));
+            if (b == a)
+                b = (b + 1) % kCells;
+            co_await tc.transaction([&, a, b](ThreadCtx &t) -> Task {
+                uint64_t va = 0, vb = 0;
+                TM_LOAD(t, va, cell(a));
+                TM_LOAD(t, vb, cell(b));
+                TM_STORE(t, cell(a), va - 1);
+                TM_STORE(t, cell(b), vb + 1);
+                co_return;
+            });
+            co_await tc.think(60);
+        }
+    };
+    for (auto &w : workers) {
+        tasks.push_back(worker_main(*w.tc));
+        tasks.back().setOnDone([&done]() { ++done; });
+    }
+    for (auto &task : tasks)
+        task.start();
+
+    // OS churn while the workers run: preemptions are requested
+    // asynchronously and serviced at the victims' next operation
+    // boundaries; the victims are rescheduled a while later.
+    for (int round = 0; round < 4; ++round) {
+        const Cycle when = 1500 + round * 2500;
+        const ThreadId victim = workers[round % workers.size()].tid;
+        sys.sim().queue().schedule(when, [&, victim]() {
+            sys.os().requestPreempt(victim);
+        });
+        sys.sim().queue().schedule(when + 1200, [&, victim]() {
+            if (sys.os().contextOf(victim) == invalidCtx)
+                sys.os().scheduleThread(victim);
+        });
+    }
+    sys.sim().queue().schedule(5000, [&]() {
+        sys.os().relocatePage(asid, base);
+    });
+
+    sys.sim().runUntil([&]() { return done == workers.size(); });
+
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < kCells; ++i)
+        total += sys.mem().data().load(sys.os().translate(asid,
+                                                          cell(i)));
+    EXPECT_EQ(total, uint64_t{kCells} * 50);
+    EXPECT_GT(sys.stats().counterValue("os.contextSwitches"), 6u);
+    EXPECT_EQ(sys.stats().counterValue("os.pageRelocations"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Trace facility.
+// ---------------------------------------------------------------------
+
+TEST(Trace, CategoryParsing)
+{
+    setTraceCategories("protocol,tm");
+    EXPECT_TRUE(traceEnabled(TraceCat::Protocol));
+    EXPECT_TRUE(traceEnabled(TraceCat::Tm));
+    EXPECT_FALSE(traceEnabled(TraceCat::Os));
+    EXPECT_FALSE(traceEnabled(TraceCat::Bus));
+
+    setTraceCategories("all");
+    EXPECT_TRUE(traceEnabled(TraceCat::Os));
+    EXPECT_TRUE(traceEnabled(TraceCat::Bus));
+
+    setTraceCategories("");
+    EXPECT_FALSE(traceEnabled(TraceCat::Protocol));
+    EXPECT_FALSE(traceEnabled(TraceCat::Tm));
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the TM building blocks: transaction log (frames,
+ * merge, LIFO) and log filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tm/log_filter.hh"
+#include "tm/tx_log.hh"
+
+namespace logtm {
+namespace {
+
+TEST(TxLog, PushAppendPop)
+{
+    TxLog log;
+    EXPECT_FALSE(log.active());
+    log.pushFrame(RegisterCheckpoint{1}, false);
+    EXPECT_TRUE(log.active());
+    EXPECT_EQ(log.depth(), 1u);
+    log.append({0x100, 0x100, 7});
+    log.append({0x108, 0x108, 8});
+    EXPECT_EQ(log.totalRecords(), 2u);
+
+    LogFrame frame = log.popFrame();
+    EXPECT_EQ(frame.records.size(), 2u);
+    EXPECT_EQ(frame.records[0].oldValue, 7u);
+    EXPECT_EQ(frame.checkpoint.token, 1u);
+    EXPECT_FALSE(log.active());
+}
+
+TEST(TxLog, MergePreservesChildRecordsInParent)
+{
+    // Closed-nested commit: the parent must be able to undo the
+    // child's writes on a later abort (paper §3.2).
+    TxLog log;
+    log.pushFrame(RegisterCheckpoint{1}, false);
+    log.append({0x100, 0x100, 1});
+    log.pushFrame(RegisterCheckpoint{2}, false);
+    log.append({0x200, 0x200, 2});
+    log.append({0x208, 0x208, 3});
+
+    log.mergeTopIntoParent();
+    EXPECT_EQ(log.depth(), 1u);
+    const LogFrame &parent = log.top();
+    ASSERT_EQ(parent.records.size(), 3u);
+    // Parent records first, child records appended: a LIFO walk
+    // undoes the child before the parent.
+    EXPECT_EQ(parent.records[0].oldValue, 1u);
+    EXPECT_EQ(parent.records[1].oldValue, 2u);
+    EXPECT_EQ(parent.records[2].oldValue, 3u);
+}
+
+TEST(TxLog, SizeAccountsHeadersAndRecords)
+{
+    TxLog log;
+    log.pushFrame(RegisterCheckpoint{}, false);
+    log.append({0, 0, 0});
+    log.pushFrame(RegisterCheckpoint{}, true);
+    EXPECT_EQ(log.sizeBytes(), 2 * 64 + 1 * 16u);
+    log.reset();
+    EXPECT_EQ(log.sizeBytes(), 0u);
+    EXPECT_FALSE(log.active());
+}
+
+TEST(LogFilter, SuppressesRecentBlocks)
+{
+    LogFilter f(16);
+    EXPECT_FALSE(f.contains(0x1000));
+    f.insert(0x1000);
+    EXPECT_TRUE(f.contains(0x1000));
+    EXPECT_TRUE(f.contains(0x1038));   // same block
+    EXPECT_FALSE(f.contains(0x1040));  // next block
+}
+
+TEST(LogFilter, DirectMappedReplacement)
+{
+    LogFilter f(16);
+    f.insert(0);
+    // Block 16 maps to the same slot and evicts block 0.
+    f.insert(16 * blockBytes);
+    EXPECT_FALSE(f.contains(0));
+    EXPECT_TRUE(f.contains(16 * blockBytes));
+}
+
+TEST(LogFilter, ClearForgetsEverything)
+{
+    LogFilter f(8);
+    for (uint32_t i = 0; i < 8; ++i)
+        f.insert(i * blockBytes);
+    f.clear();
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_FALSE(f.contains(i * blockBytes));
+}
+
+TEST(LogFilter, ZeroEntriesDisablesFiltering)
+{
+    LogFilter f(0);
+    f.insert(0x1000);
+    EXPECT_FALSE(f.contains(0x1000));
+}
+
+} // namespace
+} // namespace logtm
