@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_conflict.dir/bench_ablation_conflict.cc.o"
+  "CMakeFiles/bench_ablation_conflict.dir/bench_ablation_conflict.cc.o.d"
+  "bench_ablation_conflict"
+  "bench_ablation_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_logfilter.dir/bench_ablation_logfilter.cc.o"
+  "CMakeFiles/bench_ablation_logfilter.dir/bench_ablation_logfilter.cc.o.d"
+  "bench_ablation_logfilter"
+  "bench_ablation_logfilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logfilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

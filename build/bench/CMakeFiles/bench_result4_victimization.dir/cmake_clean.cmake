@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_result4_victimization.dir/bench_result4_victimization.cc.o"
+  "CMakeFiles/bench_result4_victimization.dir/bench_result4_victimization.cc.o.d"
+  "bench_result4_victimization"
+  "bench_result4_victimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_result4_victimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section7_alternatives.dir/bench_section7_alternatives.cc.o"
+  "CMakeFiles/bench_section7_alternatives.dir/bench_section7_alternatives.cc.o.d"
+  "bench_section7_alternatives"
+  "bench_section7_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section7_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

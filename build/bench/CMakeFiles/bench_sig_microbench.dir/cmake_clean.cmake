@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sig_microbench.dir/bench_sig_microbench.cc.o"
+  "CMakeFiles/bench_sig_microbench.dir/bench_sig_microbench.cc.o.d"
+  "bench_sig_microbench"
+  "bench_sig_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sig_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_signatures.dir/bench_table3_signatures.cc.o"
+  "CMakeFiles/bench_table3_signatures.dir/bench_table3_signatures.cc.o.d"
+  "bench_table3_signatures"
+  "bench_table3_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_virtualization.dir/bench_table4_virtualization.cc.o"
+  "CMakeFiles/bench_table4_virtualization.dir/bench_table4_virtualization.cc.o.d"
+  "bench_table4_virtualization"
+  "bench_table4_virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

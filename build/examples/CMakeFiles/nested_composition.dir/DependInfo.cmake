@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nested_composition.cpp" "examples/CMakeFiles/nested_composition.dir/nested_composition.cpp.o" "gcc" "examples/CMakeFiles/nested_composition.dir/nested_composition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_composition.dir/nested_composition.cpp.o"
+  "CMakeFiles/nested_composition.dir/nested_composition.cpp.o.d"
+  "nested_composition"
+  "nested_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_sweep.dir/signature_sweep.cpp.o"
+  "CMakeFiles/signature_sweep.dir/signature_sweep.cpp.o.d"
+  "signature_sweep"
+  "signature_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

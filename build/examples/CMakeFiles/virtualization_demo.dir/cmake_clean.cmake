@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualization_demo.dir/virtualization_demo.cpp.o"
+  "CMakeFiles/virtualization_demo.dir/virtualization_demo.cpp.o.d"
+  "virtualization_demo"
+  "virtualization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_common.dir/common/config.cc.o"
+  "CMakeFiles/logtm_common.dir/common/config.cc.o.d"
+  "CMakeFiles/logtm_common.dir/common/log.cc.o"
+  "CMakeFiles/logtm_common.dir/common/log.cc.o.d"
+  "CMakeFiles/logtm_common.dir/common/stats.cc.o"
+  "CMakeFiles/logtm_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/logtm_common.dir/common/trace.cc.o"
+  "CMakeFiles/logtm_common.dir/common/trace.cc.o.d"
+  "liblogtm_common.a"
+  "liblogtm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblogtm_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/logtm_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/logtm_harness.dir/harness/table.cc.o"
+  "CMakeFiles/logtm_harness.dir/harness/table.cc.o.d"
+  "liblogtm_harness.a"
+  "liblogtm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

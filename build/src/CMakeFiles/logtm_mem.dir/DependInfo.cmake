@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/data_store.cc" "src/CMakeFiles/logtm_mem.dir/mem/data_store.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/data_store.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/logtm_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/CMakeFiles/logtm_mem.dir/mem/l1_cache.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/l1_cache.cc.o.d"
+  "/root/repo/src/mem/l2_bank.cc" "src/CMakeFiles/logtm_mem.dir/mem/l2_bank.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/l2_bank.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/logtm_mem.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/snoop_bus.cc" "src/CMakeFiles/logtm_mem.dir/mem/snoop_bus.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/snoop_bus.cc.o.d"
+  "/root/repo/src/mem/snoop_l1_cache.cc" "src/CMakeFiles/logtm_mem.dir/mem/snoop_l1_cache.cc.o" "gcc" "src/CMakeFiles/logtm_mem.dir/mem/snoop_l1_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

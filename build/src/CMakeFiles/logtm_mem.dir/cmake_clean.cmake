@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_mem.dir/mem/data_store.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/data_store.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/l1_cache.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/l1_cache.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/l2_bank.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/l2_bank.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/snoop_bus.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/snoop_bus.cc.o.d"
+  "CMakeFiles/logtm_mem.dir/mem/snoop_l1_cache.cc.o"
+  "CMakeFiles/logtm_mem.dir/mem/snoop_l1_cache.cc.o.d"
+  "liblogtm_mem.a"
+  "liblogtm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

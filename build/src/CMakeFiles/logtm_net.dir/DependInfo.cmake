@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/logtm_net.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/logtm_net.dir/net/mesh.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/logtm_net.dir/net/message.cc.o" "gcc" "src/CMakeFiles/logtm_net.dir/net/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_net.dir/net/mesh.cc.o"
+  "CMakeFiles/logtm_net.dir/net/mesh.cc.o.d"
+  "CMakeFiles/logtm_net.dir/net/message.cc.o"
+  "CMakeFiles/logtm_net.dir/net/message.cc.o.d"
+  "liblogtm_net.a"
+  "liblogtm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_os.dir/os/os_kernel.cc.o"
+  "CMakeFiles/logtm_os.dir/os/os_kernel.cc.o.d"
+  "liblogtm_os.a"
+  "liblogtm_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

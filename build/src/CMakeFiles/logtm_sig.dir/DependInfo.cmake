@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/bit_select_signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/bit_select_signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/bit_select_signature.cc.o.d"
+  "/root/repo/src/sig/coarse_bit_select_signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/coarse_bit_select_signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/coarse_bit_select_signature.cc.o.d"
+  "/root/repo/src/sig/counting_signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/counting_signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/counting_signature.cc.o.d"
+  "/root/repo/src/sig/double_bit_select_signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/double_bit_select_signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/double_bit_select_signature.cc.o.d"
+  "/root/repo/src/sig/perfect_signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/perfect_signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/perfect_signature.cc.o.d"
+  "/root/repo/src/sig/signature.cc" "src/CMakeFiles/logtm_sig.dir/sig/signature.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/signature.cc.o.d"
+  "/root/repo/src/sig/signature_factory.cc" "src/CMakeFiles/logtm_sig.dir/sig/signature_factory.cc.o" "gcc" "src/CMakeFiles/logtm_sig.dir/sig/signature_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_sig.dir/sig/bit_select_signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/bit_select_signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/coarse_bit_select_signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/coarse_bit_select_signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/counting_signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/counting_signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/double_bit_select_signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/double_bit_select_signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/perfect_signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/perfect_signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/signature.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/signature.cc.o.d"
+  "CMakeFiles/logtm_sig.dir/sig/signature_factory.cc.o"
+  "CMakeFiles/logtm_sig.dir/sig/signature_factory.cc.o.d"
+  "liblogtm_sig.a"
+  "liblogtm_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/logtm_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/logtm_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/logtm_sim.dir/sim/simulator.cc.o.d"
+  "liblogtm_sim.a"
+  "liblogtm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_sync.dir/sync/spinlock.cc.o"
+  "CMakeFiles/logtm_sync.dir/sync/spinlock.cc.o.d"
+  "liblogtm_sync.a"
+  "liblogtm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_tm.dir/tm/log_filter.cc.o"
+  "CMakeFiles/logtm_tm.dir/tm/log_filter.cc.o.d"
+  "CMakeFiles/logtm_tm.dir/tm/logtm_se_engine.cc.o"
+  "CMakeFiles/logtm_tm.dir/tm/logtm_se_engine.cc.o.d"
+  "CMakeFiles/logtm_tm.dir/tm/tx_log.cc.o"
+  "CMakeFiles/logtm_tm.dir/tm/tx_log.cc.o.d"
+  "liblogtm_tm.a"
+  "liblogtm_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/berkeleydb.cc" "src/CMakeFiles/logtm_workload.dir/workload/berkeleydb.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/berkeleydb.cc.o.d"
+  "/root/repo/src/workload/cholesky.cc" "src/CMakeFiles/logtm_workload.dir/workload/cholesky.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/cholesky.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/CMakeFiles/logtm_workload.dir/workload/microbench.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/microbench.cc.o.d"
+  "/root/repo/src/workload/mp3d.cc" "src/CMakeFiles/logtm_workload.dir/workload/mp3d.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/mp3d.cc.o.d"
+  "/root/repo/src/workload/radiosity.cc" "src/CMakeFiles/logtm_workload.dir/workload/radiosity.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/radiosity.cc.o.d"
+  "/root/repo/src/workload/raytrace.cc" "src/CMakeFiles/logtm_workload.dir/workload/raytrace.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/raytrace.cc.o.d"
+  "/root/repo/src/workload/thread_api.cc" "src/CMakeFiles/logtm_workload.dir/workload/thread_api.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/thread_api.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/logtm_workload.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/logtm_workload.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

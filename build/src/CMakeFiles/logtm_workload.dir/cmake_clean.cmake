@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logtm_workload.dir/workload/berkeleydb.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/berkeleydb.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/cholesky.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/cholesky.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/microbench.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/microbench.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/mp3d.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/mp3d.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/radiosity.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/radiosity.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/raytrace.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/raytrace.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/thread_api.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/thread_api.cc.o.d"
+  "CMakeFiles/logtm_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/logtm_workload.dir/workload/workload.cc.o.d"
+  "liblogtm_workload.a"
+  "liblogtm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logtm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

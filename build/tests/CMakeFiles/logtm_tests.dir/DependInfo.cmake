@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alternative_impls.cc" "tests/CMakeFiles/logtm_tests.dir/test_alternative_impls.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_alternative_impls.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/logtm_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/logtm_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/logtm_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/logtm_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_harness_misc.cc" "tests/CMakeFiles/logtm_tests.dir/test_harness_misc.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_harness_misc.cc.o.d"
+  "/root/repo/tests/test_mem_units.cc" "tests/CMakeFiles/logtm_tests.dir/test_mem_units.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_mem_units.cc.o.d"
+  "/root/repo/tests/test_nesting.cc" "tests/CMakeFiles/logtm_tests.dir/test_nesting.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_nesting.cc.o.d"
+  "/root/repo/tests/test_os_virtualization.cc" "tests/CMakeFiles/logtm_tests.dir/test_os_virtualization.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_os_virtualization.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/logtm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_signatures.cc" "tests/CMakeFiles/logtm_tests.dir/test_signatures.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_signatures.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/logtm_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_sync_workloads.cc" "tests/CMakeFiles/logtm_tests.dir/test_sync_workloads.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_sync_workloads.cc.o.d"
+  "/root/repo/tests/test_tm_units.cc" "tests/CMakeFiles/logtm_tests.dir/test_tm_units.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_tm_units.cc.o.d"
+  "/root/repo/tests/test_victimization.cc" "tests/CMakeFiles/logtm_tests.dir/test_victimization.cc.o" "gcc" "tests/CMakeFiles/logtm_tests.dir/test_victimization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/logtm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/logtm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
