@@ -12,8 +12,9 @@
 using namespace logtm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader("Ablation: conflict resolution policy (paper §2)");
 
     Table table({"Counters", "Policy", "Cycles", "Commits", "Aborts",
@@ -26,6 +27,18 @@ main()
             SystemConfig sys_cfg;
             sys_cfg.conflictPolicy = policy;
             TmSystem sys(sys_cfg);
+
+            std::unique_ptr<ObsSession> session;
+            if (obs.enabled()) {
+                ObsConfig ocfg;
+                ocfg.outDir = obs.outDir;
+                ocfg.trace = obs.trace;
+                ocfg.numContexts = sys_cfg.numContexts();
+                ocfg.threadsPerCore = sys_cfg.threadsPerCore;
+                session = std::make_unique<ObsSession>(
+                    sys.sim().events(), sys.stats(), ocfg);
+            }
+
             WorkloadParams p;
             p.numThreads = 32;
             p.useTm = true;
@@ -36,6 +49,8 @@ main()
             mb.writesPerTx = 2;
             MicrobenchWorkload wl(sys, p, mb);
             const WorkloadResult res = wl.run();
+            if (session)
+                session->finish();
             const uint64_t commits =
                 sys.stats().counterValue("tm.commits");
             const uint64_t aborts =

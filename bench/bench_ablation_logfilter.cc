@@ -13,8 +13,9 @@
 using namespace logtm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader("Ablation: log filter size (paper §2)");
 
     Table table({"FilterEntries", "Cycles", "UndoRecords",
@@ -28,9 +29,23 @@ main()
         // Measure via a full run; the stats registry reports the
         // filter's effect directly.
         TmSystem sys(cfg.sys);
+
+        std::unique_ptr<ObsSession> session;
+        if (obs.enabled()) {
+            ObsConfig ocfg;
+            ocfg.outDir = obs.outDir;
+            ocfg.trace = obs.trace;
+            ocfg.numContexts = cfg.sys.numContexts();
+            ocfg.threadsPerCore = cfg.sys.threadsPerCore;
+            session = std::make_unique<ObsSession>(sys.sim().events(),
+                                                   sys.stats(), ocfg);
+        }
+
         WorkloadParams p = cfg.wl;
         auto wl = makeWorkload(cfg.bench, sys, p);
         const WorkloadResult res = wl->run();
+        if (session)
+            session->finish();
         const uint64_t records =
             sys.stats().counterValue("tm.logRecords");
         const uint64_t hits =

@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     const bool csv = csvMode(argc, argv);
+    const ObsOptions obs = parseObsOptions(argc, argv);
     if (!csv)
         printSystemHeader(
             "Figure 4: speedup normalized to the lock-based version");
@@ -34,6 +35,7 @@ main(int argc, char **argv)
         std::vector<std::string> row{toString(b),
                                      Table::fmt(lock.cycles)};
         cfg.wl.useTm = true;
+        cfg.obs = obs;  // snapshots overwrite; last run wins
         for (const SignatureConfig &sig : paperSignatureVariants()) {
             cfg.sys.signature = sig;
             const ExperimentResult tm = runExperiment(cfg);

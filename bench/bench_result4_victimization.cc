@@ -11,8 +11,9 @@
 using namespace logtm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader("Result 4: victimization of transactional data");
 
     Table table({"Benchmark", "Transactions", "L1TxVictims",
@@ -22,6 +23,7 @@ main()
         ExperimentConfig cfg = paperExperiment(b);
         cfg.wl.useTm = true;
         cfg.sys.signature = sigPerfect();
+        cfg.obs = obs;  // snapshots overwrite; last run wins
         const ExperimentResult r = runExperiment(cfg);
         const uint64_t victims = r.l1TxVictims + r.l2TxVictims;
         const double per_ktx = r.commits

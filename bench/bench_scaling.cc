@@ -15,6 +15,7 @@ int
 main(int argc, char **argv)
 {
     const bool csv = csvMode(argc, argv);
+    const ObsOptions obs = parseObsOptions(argc, argv);
     if (!csv)
         printSystemHeader("Scaling: BerkeleyDB throughput vs threads");
 
@@ -29,6 +30,7 @@ main(int argc, char **argv)
         cfg.wl.useTm = false;
         const ExperimentResult lock = runExperiment(cfg);
         cfg.wl.useTm = true;
+        cfg.obs = obs;  // snapshots overwrite; last run wins
         const ExperimentResult tm = runExperiment(cfg);
 
         table.addRow({Table::fmt(uint64_t{threads}),

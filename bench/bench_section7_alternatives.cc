@@ -17,6 +17,9 @@ using namespace logtm;
 
 namespace {
 
+/** Observability flags, applied to every TM run (last run wins). */
+ObsOptions g_obs;
+
 SystemConfig
 baseConfig(CoherenceKind kind)
 {
@@ -34,14 +37,17 @@ run(Benchmark b, const SystemConfig &sys, bool use_tm)
     cfg.wl.numThreads = sys.numContexts();
     cfg.wl.totalUnits = defaultUnits(b) / 2;
     cfg.wl.useTm = use_tm;
+    if (use_tm)
+        cfg.obs = g_obs;
     return runExperiment(cfg);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    g_obs = parseObsOptions(argc, argv);
     printSystemHeader("Section 7: alternative LogTM-SE implementations");
 
     std::printf("(a) Directory vs snooping, BerkeleyDB, by signature\n");
@@ -94,6 +100,7 @@ main()
         mcfg.wl.numThreads = sys.numContexts();
         mcfg.wl.totalUnits = 512;
         mcfg.wl.useTm = true;
+        mcfg.obs = g_obs;
         const ExperimentResult micro = runExperiment(mcfg);
 
         const ExperimentResult bdb_tm =

@@ -32,8 +32,9 @@ unitOfWork(Benchmark b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader("Table 2: benchmarks and transactional footprints"
                       " (perfect signatures)");
 
@@ -45,6 +46,7 @@ main()
         ExperimentConfig cfg = paperExperiment(b);
         cfg.wl.useTm = true;
         cfg.sys.signature = sigPerfect();
+        cfg.obs = obs;  // snapshots overwrite; last run wins
         const ExperimentResult r = runExperiment(cfg);
         table.addRow({toString(b), unitOfWork(b), Table::fmt(r.units),
                       Table::fmt(r.commits), Table::fmt(r.readAvg, 1),

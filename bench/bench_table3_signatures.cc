@@ -16,8 +16,9 @@
 using namespace logtm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader(
         "Table 3: impact of signature size on conflict detection");
 
@@ -37,6 +38,7 @@ main()
             ExperimentConfig cfg = paperExperiment(b, 2);
             cfg.wl.useTm = true;
             cfg.sys.signature = sig;
+            cfg.obs = obs;  // snapshots overwrite; last run wins
             const ExperimentResult r = runExperiment(cfg);
             table.addRow({toString(sig.kind),
                           sig.kind == SignatureKind::Perfect

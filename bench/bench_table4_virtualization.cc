@@ -20,12 +20,30 @@ struct Ctx
     TmSystem sys;
     Asid asid;
     std::vector<ThreadId> threads;
+    std::unique_ptr<ObsSession> obsSession;
 
-    explicit Ctx(const SystemConfig &cfg) : sys(cfg)
+    explicit Ctx(const SystemConfig &cfg, const ObsOptions &obs = {})
+        : sys(cfg)
     {
+        if (obs.enabled()) {
+            ObsConfig ocfg;
+            ocfg.outDir = obs.outDir;
+            ocfg.trace = obs.trace;
+            ocfg.numContexts = cfg.numContexts();
+            ocfg.threadsPerCore = cfg.threadsPerCore;
+            obsSession = std::make_unique<ObsSession>(
+                sys.sim().events(), sys.stats(), ocfg);
+        }
         asid = sys.os().createProcess();
         for (uint32_t i = 0; i < 4; ++i)
             threads.push_back(sys.os().spawnThread(asid));
+    }
+
+    void
+    finishObs()
+    {
+        if (obsSession)
+            obsSession->finish();
     }
 
     Cycle
@@ -86,8 +104,9 @@ cfg4()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const ObsOptions obs = parseObsOptions(argc, argv);
     printSystemHeader("Table 4 counterpart: operation costs before and "
                       "after virtualization events (measured cycles)");
 
@@ -107,7 +126,8 @@ main()
         // span under an artificially small L1.
         SystemConfig small = cfg4();
         small.l1Bytes = 1024;
-        Ctx v(small);
+        // The overflow run exercises victimization; capture it.
+        Ctx v(small, obs);
         const ThreadId tv = v.threads[0];
         v.sys.engine().txBegin(tv);
         Cycle total = 0;
@@ -115,6 +135,7 @@ main()
             total += v.timedStore(tv, 0x10000 + i * blockBytes, i);
         const Cycle miss_victim = total / 64;
         const Cycle commit_victim = v.timedCommit(tv);
+        v.finishObs();
         const uint64_t victims =
             v.sys.stats().counterValue("l1.txVictims");
 

@@ -46,6 +46,26 @@ csvMode(int argc, char **argv)
     return false;
 }
 
+/**
+ * Parse the observability flags shared by every bench binary:
+ *   --obs-out=DIR   write stats.json (and trace) into DIR
+ *   --obs-trace     also record events and export a Chrome trace
+ * Unknown flags are left for the binary's own parsing.
+ */
+inline ObsOptions
+parseObsOptions(int argc, char **argv)
+{
+    ObsOptions obs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("--obs-out=", 0) == 0)
+            obs.outDir = arg.substr(10);
+        else if (arg == "--obs-trace")
+            obs.trace = true;
+    }
+    return obs;
+}
+
 /** Print @p table as text or CSV per the flag. */
 inline void
 emitTable(const Table &table, bool csv)

@@ -4,11 +4,18 @@
  * threads that transactionally move values between shared counters,
  * and print the transactional statistics.
  *
- *   $ ./examples/quickstart
+ *   $ ./examples/quickstart [--obs-out=DIR] [--obs-trace]
+ *
+ * With --obs-out the run also writes DIR/stats.json (and, with
+ * --obs-trace, DIR/events.trace.json, loadable in Perfetto / Chrome
+ * about:tracing). See docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 
+#include "obs/obs_session.hh"
 #include "workload/thread_api.hh"
 
 using namespace logtm;
@@ -49,7 +56,7 @@ worker(ThreadCtx &tc, uint32_t index)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     // A 4-core, 2-way-SMT machine (the full paper system is the
     // default SystemConfig).
@@ -62,6 +69,24 @@ main()
     cfg.signature = sigBS(2048);  // paper's bit-select signature
 
     TmSystem sys(cfg);
+
+    // Optional observability: attach sinks to the simulator's event
+    // bus; finish() writes stats.json (+ trace) into the directory.
+    ObsConfig ocfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--obs-out=", 10) == 0)
+            ocfg.outDir = argv[i] + 10;
+        else if (std::strcmp(argv[i], "--obs-trace") == 0)
+            ocfg.trace = true;
+    }
+    std::unique_ptr<ObsSession> obs;
+    if (!ocfg.outDir.empty()) {
+        ocfg.numContexts = cfg.numContexts();
+        ocfg.threadsPerCore = cfg.threadsPerCore;
+        obs = std::make_unique<ObsSession>(sys.sim().events(),
+                                           sys.stats(), ocfg);
+    }
+
     const Asid asid = sys.os().createProcess();
 
     // Initialize the shared counters to 100 each.
@@ -84,6 +109,13 @@ main()
         task.start();
 
     sys.sim().runUntil([&]() { return done == kThreads; });
+
+    if (obs) {
+        obs->finish();
+        std::printf("observability    : wrote %s/stats.json%s\n",
+                    ocfg.outDir.c_str(),
+                    ocfg.trace ? " + events.trace.json" : "");
+    }
 
     // The invariant: transfers conserve the total.
     uint64_t total = 0;

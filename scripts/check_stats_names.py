@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Lint the stat-name literals in src/ against the naming convention.
+
+Every statistic registered through StatsRegistry::counter/sampler/
+histogram must use a dotted name of at least two segments whose first
+segment is a lower-case component tag:
+
+    component.metric
+    component.instance.metric        (e.g. "l1.0.misses")
+    component.group.metric           (e.g. "tm.abortsByCause.explicit")
+
+Segments are alphanumeric ([A-Za-z0-9]+, camelCase welcome); the first
+segment must start with a lower-case letter. A literal ending in '.'
+declares a dynamic prefix (the code appends a computed suffix, e.g.
+"obs.conflict." + label); the prefix itself must then be well-formed
+up to the trailing dot.
+
+Usage: check_stats_names.py [SRC_DIR ...]
+Exits non-zero listing each offending literal with file:line.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# StatsRegistry::counter("..."), .sampler("..."), .histogram("...") and
+# the std::string("...") + suffix idiom for dynamic names.
+CALL_RE = re.compile(
+    r'\b(?:counter|sampler|histogram)\s*\(\s*'
+    r'(?:std::string\s*\(\s*)?"([^"]*)"')
+
+SEGMENT_RE = re.compile(r'[A-Za-z0-9]+$')
+FIRST_SEGMENT_RE = re.compile(r'[a-z][A-Za-z0-9]*$')
+
+
+def check_name(name: str) -> str | None:
+    """Return a complaint for a malformed name, or None if it is fine."""
+    dynamic_prefix = name.endswith('.')
+    if dynamic_prefix:
+        name = name[:-1]
+    if not name:
+        return 'empty name'
+    segments = name.split('.')
+    if not dynamic_prefix and len(segments) < 2:
+        return 'needs at least two dot-separated segments'
+    if not FIRST_SEGMENT_RE.match(segments[0]):
+        return ('first segment must be a lower-case component tag, got '
+                f'"{segments[0]}"')
+    for seg in segments[1:]:
+        if not SEGMENT_RE.match(seg):
+            return f'bad segment "{seg}" (alphanumeric only)'
+    return None
+
+
+def lint_file(path: Path) -> list[str]:
+    complaints = []
+    try:
+        text = path.read_text(errors='replace')
+    except OSError as e:
+        return [f'{path}: unreadable: {e}']
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for m in CALL_RE.finditer(line):
+            name = m.group(1)
+            why = check_name(name)
+            if why:
+                complaints.append(
+                    f'{path}:{lineno}: "{name}": {why}')
+    return complaints
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [
+        Path(__file__).resolve().parent.parent / 'src']
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob('*.cc')))
+            files.extend(sorted(root.rglob('*.hh')))
+    if not files:
+        print(f'check_stats_names: no sources under {roots}',
+              file=sys.stderr)
+        return 2
+
+    complaints = []
+    checked = 0
+    for f in files:
+        checked += 1
+        complaints.extend(lint_file(f))
+
+    if complaints:
+        print('stat-name convention violations '
+              '(want component.instance.metric):', file=sys.stderr)
+        for c in complaints:
+            print('  ' + c, file=sys.stderr)
+        return 1
+    print(f'check_stats_names: {checked} files clean')
+    return 0
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv))

@@ -1,6 +1,51 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <cmath>
+
 namespace logtm {
+
+double
+Sampler::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const uint64_t n = scalar_.count();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank of the requested sample (1-based, nearest-rank method).
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(p / 100.0 *
+                                           static_cast<double>(n))));
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (seen + buckets_[i] < rank) {
+            seen += buckets_[i];
+            continue;
+        }
+        // The ranked sample lies in bucket i, covering [lo, hi].
+        const double lo = i == 0 ? 0.0
+                                 : static_cast<double>(1ull << i);
+        const double hi = i == 0
+            ? 1.0
+            : static_cast<double>((1ull << (i + 1)) - 1);
+        const double frac = buckets_[i] == 1
+            ? 0.0
+            : static_cast<double>(rank - seen - 1) /
+                static_cast<double>(buckets_[i] - 1);
+        const double v = lo + frac * (hi - lo);
+        // The exact extremes are known; never report beyond them.
+        return std::clamp(v, scalar_.min(), scalar_.max());
+    }
+    return scalar_.max();
+}
 
 Counter &
 StatsRegistry::counter(const std::string &name)

@@ -31,7 +31,8 @@ class Counter
 };
 
 /**
- * Streaming sample statistics: count, sum, min, max, mean.
+ * Streaming sample statistics: count, sum, min, max, mean and
+ * variance (Welford's online algorithm, numerically stable).
  * Used for read/write-set sizes, transaction durations, etc.
  */
 class Sampler
@@ -47,6 +48,9 @@ class Sampler
             max_ = v;
         sum_ += v;
         ++count_;
+        const double delta = v - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (v - mean_);
     }
 
     void
@@ -56,19 +60,33 @@ class Sampler
         sum_ = 0;
         min_ = 0;
         max_ = 0;
+        mean_ = 0;
+        m2_ = 0;
     }
 
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance of the samples seen so far. */
+    double
+    variance() const
+    {
+        return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const;
 
   private:
     uint64_t count_ = 0;
     double sum_ = 0;
     double min_ = 0;
     double max_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;   ///< Welford running sum of squared deviations
 };
 
 /** Power-of-two-bucketed histogram for latency / size distributions. */
@@ -86,7 +104,16 @@ class Histogram
 
     /** Number of samples with value in [2^i, 2^(i+1)) (bucket 0: {0,1}). */
     uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    unsigned numBuckets() const
+    { return static_cast<unsigned>(buckets_.size()); }
     const Sampler &scalar() const { return scalar_; }
+
+    /**
+     * Approximate p-th percentile (p in [0, 100]) reconstructed from
+     * the power-of-two buckets by linear interpolation inside the
+     * bucket holding the p-th sample; exact min/max bound the result.
+     */
+    double percentile(double p) const;
 
     void
     reset()
@@ -140,6 +167,8 @@ class StatsRegistry
     { return counters_; }
     const std::map<std::string, Sampler> &samplers() const
     { return samplers_; }
+    const std::map<std::string, Histogram> &histograms() const
+    { return histograms_; }
 
   private:
     std::map<std::string, Counter> counters_;

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.hh"
+
 namespace logtm {
 
 namespace {
@@ -21,6 +23,7 @@ catName(TraceCat cat)
       case TraceCat::Bus: return "bus";
       case TraceCat::Tm: return "tm";
       case TraceCat::Os: return "os";
+      case TraceCat::Sig: return "sig";
       case TraceCat::NumCats: break;
     }
     return "?";
@@ -37,6 +40,22 @@ initFromEnv()
 
 } // namespace
 
+namespace {
+
+/** Strip leading/trailing whitespace from a token. */
+std::string
+trim(const std::string &s)
+{
+    const char *ws = " \t\r\n";
+    const size_t first = s.find_first_not_of(ws);
+    if (first == std::string::npos)
+        return "";
+    const size_t last = s.find_last_not_of(ws);
+    return s.substr(first, last - first + 1);
+}
+
+} // namespace
+
 void
 setTraceCategories(const std::string &csv)
 {
@@ -48,7 +67,7 @@ setTraceCategories(const std::string &csv)
         size_t comma = csv.find(',', pos);
         if (comma == std::string::npos)
             comma = csv.size();
-        const std::string token = csv.substr(pos, comma - pos);
+        const std::string token = trim(csv.substr(pos, comma - pos));
         pos = comma + 1;
         if (token.empty())
             continue;
@@ -57,9 +76,20 @@ setTraceCategories(const std::string &csv)
                 e = true;
             continue;
         }
+        bool known = false;
         for (size_t c = 0; c < numCats; ++c) {
-            if (token == catName(static_cast<TraceCat>(c)))
+            if (token == catName(static_cast<TraceCat>(c))) {
                 enabled[c] = true;
+                known = true;
+            }
+        }
+        if (!known) {
+            std::string valid = "all";
+            for (size_t c = 0; c < numCats; ++c)
+                valid += std::string(",") +
+                    catName(static_cast<TraceCat>(c));
+            logtm_fatal("unknown trace category '" + token +
+                        "' (valid: " + valid + ")");
         }
     }
 }

@@ -26,11 +26,14 @@ enum class TraceCat : uint8_t {
     Bus,       ///< snooping-bus transactions
     Tm,        ///< transaction begin/commit/abort/conflict
     Os,        ///< scheduling, summaries, paging
+    Sig,       ///< signature insert/check operations
     NumCats,
 };
 
 /** Enable exactly the categories in a comma-separated list
- *  ("protocol,tm"); "all" enables everything; "" disables all. */
+ *  ("protocol,tm"); "all" enables everything; "" disables all.
+ *  Whitespace around tokens is ignored; an unknown category name is
+ *  a fatal user error (it would otherwise be silently dropped). */
 void setTraceCategories(const std::string &csv);
 
 /** True when @p cat is enabled (env LOGTM_TRACE read on first use). */

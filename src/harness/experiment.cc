@@ -72,8 +72,22 @@ ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
     TmSystem sys(cfg.sys);
+
+    std::unique_ptr<ObsSession> obs;
+    if (cfg.obs.enabled()) {
+        ObsConfig ocfg;
+        ocfg.outDir = cfg.obs.outDir;
+        ocfg.trace = cfg.obs.trace;
+        ocfg.numContexts = cfg.sys.numContexts();
+        ocfg.threadsPerCore = cfg.sys.threadsPerCore;
+        obs = std::make_unique<ObsSession>(sys.sim().events(),
+                                           sys.stats(), ocfg);
+    }
+
     auto wl = makeWorkload(cfg.bench, sys, cfg.wl);
     const WorkloadResult run = wl->run();
+    if (obs)
+        obs->finish();
     const StatsRegistry &st = sys.stats();
 
     ExperimentResult res;
@@ -90,6 +104,13 @@ runExperiment(const ExperimentConfig &cfg)
     res.l1TxVictims = st.counterValue("l1.txVictims");
     res.l2TxVictims = st.counterValue("l2.txVictims");
     res.l2SigBroadcasts = st.counterValue("l2.sigBroadcasts");
+
+    static const std::string cause_prefix = "tm.abortsByCause.";
+    for (const auto &[name, ctr] : st.counters()) {
+        if (name.rfind(cause_prefix, 0) == 0)
+            res.abortsByCause[name.substr(cause_prefix.size())] =
+                ctr.value();
+    }
 
     const auto &rd = st.samplers().find("tm.readSetBlocks");
     if (rd != st.samplers().end()) {

@@ -9,10 +9,12 @@
 #ifndef LOGTM_HARNESS_EXPERIMENT_HH
 #define LOGTM_HARNESS_EXPERIMENT_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/obs_session.hh"
 #include "workload/workload.hh"
 
 namespace logtm {
@@ -39,11 +41,21 @@ std::unique_ptr<Workload> makeWorkload(Benchmark b, TmSystem &sys,
  *  preserving the paper's relative transaction counts. */
 uint64_t defaultUnits(Benchmark b);
 
+/** Observability options for a run (off when outDir is empty). */
+struct ObsOptions
+{
+    std::string outDir;   ///< write stats.json (+ trace) here
+    bool trace = false;   ///< also record and export a Chrome trace
+
+    bool enabled() const { return !outDir.empty(); }
+};
+
 struct ExperimentConfig
 {
     Benchmark bench = Benchmark::Microbench;
     SystemConfig sys;
     WorkloadParams wl;
+    ObsOptions obs;
 };
 
 struct ExperimentResult
@@ -61,6 +73,8 @@ struct ExperimentResult
     uint64_t l1TxVictims = 0;
     uint64_t l2TxVictims = 0;
     uint64_t l2SigBroadcasts = 0;
+    /** Aborts broken down by cause name (sums to aborts). */
+    std::map<std::string, uint64_t> abortsByCause;
     double readAvg = 0, readMax = 0;
     double writeAvg = 0, writeMax = 0;
     double undoRecordsAvg = 0;

@@ -8,8 +8,10 @@
 namespace logtm {
 
 L1Cache::L1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
-                 Mesh &mesh, const SystemConfig &cfg)
-    : core_(core), queue_(queue), mesh_(mesh), checker_(&nullChecker_),
+                 EventBus &events, Mesh &mesh,
+                 const SystemConfig &cfg)
+    : core_(core), queue_(queue), events_(events), mesh_(mesh),
+      checker_(&nullChecker_),
       cfg_(cfg), array_(cfg.l1Bytes, cfg.l1Assoc),
       hits_(stats.counter("l1.hits")),
       misses_(stats.counter("l1.misses")),
@@ -170,6 +172,10 @@ L1Cache::evictLine(Array::Line &line)
         logtm_trace(TraceCat::Protocol, queue_.now(),
                     "L1[%u] sticky eviction of 0x%llx", core_,
                     static_cast<unsigned long long>(line.block));
+        logtm_obs_emit(events_,
+                       ObsEvent{.cycle = queue_.now(),
+                             .kind = EventKind::Victimization,
+                             .addr = line.block, .a = core_, .b = 1});
     }
 
     switch (line.payload.state) {

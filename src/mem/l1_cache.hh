@@ -28,6 +28,7 @@
 #include "mem/cache_array.hh"
 #include "mem/coherence.hh"
 #include "net/mesh.hh"
+#include "obs/event_bus.hh"
 #include "sim/event_queue.hh"
 
 namespace logtm {
@@ -47,7 +48,7 @@ class L1Cache
     };
 
     L1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
-            Mesh &mesh, const SystemConfig &cfg);
+            EventBus &events, Mesh &mesh, const SystemConfig &cfg);
 
     /** Install the TM conflict checker (memory system wiring). */
     void setConflictChecker(ConflictChecker *checker)
@@ -104,6 +105,7 @@ class L1Cache
 
     CoreId core_;
     EventQueue &queue_;
+    EventBus &events_;
     Mesh &mesh_;
     ConflictChecker *checker_;
     NullConflictChecker nullChecker_;

@@ -7,9 +7,10 @@
 namespace logtm {
 
 L2Bank::L2Bank(BankId bank, EventQueue &queue, StatsRegistry &stats,
-               Mesh &mesh, Dram &dram, const SystemConfig &cfg)
-    : bank_(bank), queue_(queue), mesh_(mesh), dram_(dram),
-      checker_(&nullChecker_), cfg_(cfg),
+               EventBus &events, Mesh &mesh, Dram &dram,
+               const SystemConfig &cfg)
+    : bank_(bank), queue_(queue), events_(events), mesh_(mesh),
+      dram_(dram), checker_(&nullChecker_), cfg_(cfg),
       array_(cfg.l2Bytes / cfg.l2Banks, cfg.l2Assoc),
       requests_(stats.counter("l2.requests")),
       nacks_(stats.counter("l2.nacksSent")),
@@ -226,6 +227,10 @@ L2Bank::broadcastProbe(PhysAddr block)
     txn.stickyWriters = 0;
     txn.pendingAcks = cfg_.numCores - 1;
     ++broadcasts_;
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = queue_.now(),
+                         .kind = EventKind::SigBroadcast,
+                         .addr = block, .a = bank_});
 
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
         if (c == req_core)
@@ -503,8 +508,14 @@ L2Bank::evictLine(Array::Line &line)
             finv.addr = line.block;
             send(finv);
         }
-        if (tx_victim)
+        if (tx_victim) {
             ++txVictims_;
+            logtm_obs_emit(events_,
+                           ObsEvent{.cycle = queue_.now(),
+                                 .kind = EventKind::Victimization,
+                                 .addr = line.block, .a = bank_,
+                                 .b = 2});
+        }
     }
     // Dirty victim writeback to memory (timing only).
     dram_.access(bank_, []() {});

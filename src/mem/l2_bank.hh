@@ -31,6 +31,7 @@
 #include "mem/coherence.hh"
 #include "mem/dram.hh"
 #include "net/mesh.hh"
+#include "obs/event_bus.hh"
 #include "sim/event_queue.hh"
 
 namespace logtm {
@@ -39,7 +40,8 @@ class L2Bank
 {
   public:
     L2Bank(BankId bank, EventQueue &queue, StatsRegistry &stats,
-           Mesh &mesh, Dram &dram, const SystemConfig &cfg);
+           EventBus &events, Mesh &mesh, Dram &dram,
+           const SystemConfig &cfg);
 
     /** For victimization statistics only (never alters behaviour). */
     void setConflictChecker(ConflictChecker *checker)
@@ -114,6 +116,7 @@ class L2Bank
 
     BankId bank_;
     EventQueue &queue_;
+    EventBus &events_;
     Mesh &mesh_;
     Dram &dram_;
     ConflictChecker *checker_;

@@ -9,10 +9,11 @@ MemorySystem::MemorySystem(Simulator &sim, const SystemConfig &cfg)
 
     if (snooping()) {
         bus_ = std::make_unique<SnoopBus>(sim.queue(), sim.stats(),
-                                          cfg_);
+                                          sim.events(), cfg_);
         for (CoreId c = 0; c < cfg_.numCores; ++c) {
             snoopL1s_.push_back(std::make_unique<SnoopL1Cache>(
-                c, sim.queue(), sim.stats(), *bus_, cfg_));
+                c, sim.queue(), sim.stats(), sim.events(), *bus_,
+                cfg_));
         }
         bus_->setSnooper([this](CoreId c, const BusRequest &req) {
             return snoopL1s_[c]->snoop(req);
@@ -44,13 +45,15 @@ MemorySystem::MemorySystem(Simulator &sim, const SystemConfig &cfg)
 
     for (CoreId c = 0; c < cfg_.numCores; ++c) {
         l1s_.push_back(std::make_unique<L1Cache>(
-            c, sim.queue(), sim.stats(), *mesh_, cfg_));
+            c, sim.queue(), sim.stats(), sim.events(), *mesh_,
+            cfg_));
         L1Cache *l1 = l1s_.back().get();
         mesh_->attach(c, [l1](const Msg &msg) { l1->handleMessage(msg); });
     }
     for (BankId b = 0; b < cfg_.l2Banks; ++b) {
         banks_.push_back(std::make_unique<L2Bank>(
-            b, sim.queue(), sim.stats(), *mesh_, *dram_, cfg_));
+            b, sim.queue(), sim.stats(), sim.events(), *mesh_,
+            *dram_, cfg_));
         L2Bank *bank = banks_.back().get();
         mesh_->attach(cfg_.numCores + b,
                       [bank](const Msg &msg) { bank->handleMessage(msg); });

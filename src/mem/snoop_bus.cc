@@ -6,8 +6,8 @@
 namespace logtm {
 
 SnoopBus::SnoopBus(EventQueue &queue, StatsRegistry &stats,
-                   const SystemConfig &cfg)
-    : queue_(queue), cfg_(cfg),
+                   EventBus &events, const SystemConfig &cfg)
+    : queue_(queue), events_(events), cfg_(cfg),
       transactions_(stats.counter("bus.transactions")),
       nacks_(stats.counter("bus.nacks")),
       cacheToCache_(stats.counter("bus.cacheToCache"))
@@ -48,6 +48,12 @@ SnoopBus::serve(Pending pending)
 {
     logtm_assert(static_cast<bool>(snooper_), "bus without snooper");
     ++transactions_;
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = queue_.now(),
+                         .kind = EventKind::BusOp,
+                         .addr = pending.req.block,
+                         .access = pending.req.type,
+                         .a = pending.req.requester});
     logtm_trace(TraceCat::Bus, queue_.now(),
                 "bus grants core %u %s 0x%llx", pending.req.requester,
                 pending.req.type == AccessType::Read ? "GetS" : "GetM",

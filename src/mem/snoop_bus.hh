@@ -24,6 +24,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "mem/coherence.hh"
+#include "obs/event_bus.hh"
 #include "sim/event_queue.hh"
 
 namespace logtm {
@@ -71,6 +72,7 @@ class SnoopBus
     using ResultFn = std::function<void(const BusResult &)>;
 
     SnoopBus(EventQueue &queue, StatsRegistry &stats,
+             EventBus &events,
              const SystemConfig &cfg);
 
     void setSnooper(Snooper snooper) { snooper_ = std::move(snooper); }
@@ -91,6 +93,7 @@ class SnoopBus
     void serve(Pending pending);
 
     EventQueue &queue_;
+    EventBus &events_;
     const SystemConfig &cfg_;
     Snooper snooper_;
     L2Lookup l2Lookup_;

@@ -3,9 +3,10 @@
 namespace logtm {
 
 SnoopL1Cache::SnoopL1Cache(CoreId core, EventQueue &queue,
-                           StatsRegistry &stats, SnoopBus &bus,
-                           const SystemConfig &cfg)
-    : core_(core), queue_(queue), bus_(bus), checker_(&nullChecker_),
+                           StatsRegistry &stats, EventBus &events,
+                           SnoopBus &bus, const SystemConfig &cfg)
+    : core_(core), queue_(queue), events_(events), bus_(bus),
+      checker_(&nullChecker_),
       cfg_(cfg), array_(cfg.l1Bytes, cfg.l1Assoc),
       hits_(stats.counter("l1.hits")),
       misses_(stats.counter("l1.misses")),
@@ -194,8 +195,13 @@ SnoopL1Cache::evictLine(Array::Line &line)
     // No sticky bookkeeping: a broadcast bus reaches the signatures
     // regardless of who caches the block (paper §7). The writeback
     // itself is timing-free here (values are functional); count it.
-    if (checker_->inAnyLocalSig(core_, line.block))
+    if (checker_->inAnyLocalSig(core_, line.block)) {
         ++txVictims_;
+        logtm_obs_emit(events_,
+                       ObsEvent{.cycle = queue_.now(),
+                             .kind = EventKind::Victimization,
+                             .addr = line.block, .a = core_, .b = 1});
+    }
     if (line.payload.state == Mesi::M)
         ++writebacks_;
     array_.invalidate(line);

@@ -20,6 +20,7 @@
 #include "mem/cache_array.hh"
 #include "mem/coherence.hh"
 #include "mem/snoop_bus.hh"
+#include "obs/event_bus.hh"
 
 namespace logtm {
 
@@ -36,7 +37,8 @@ class SnoopL1Cache
         MemDoneFn done;
     };
 
-    SnoopL1Cache(CoreId core, EventQueue &queue, StatsRegistry &stats,
+    SnoopL1Cache(CoreId core, EventQueue &queue,
+                 StatsRegistry &stats, EventBus &events,
                  SnoopBus &bus, const SystemConfig &cfg);
 
     void setConflictChecker(ConflictChecker *checker)
@@ -76,6 +78,7 @@ class SnoopL1Cache
 
     CoreId core_;
     EventQueue &queue_;
+    EventBus &events_;
     SnoopBus &bus_;
     ConflictChecker *checker_;
     NullConflictChecker nullChecker_;

@@ -1,0 +1,134 @@
+#include "obs/attribution.hh"
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace logtm {
+
+const char *
+abortCauseName(uint8_t cause)
+{
+    switch (cause) {
+      case 0: return "none";
+      case 1: return "deadlockCycle";
+      case 2: return "policyAbort";
+      case 3: return "summaryConflict";
+      case 4: return "explicit";
+    }
+    return "unknown";
+}
+
+AttributionSink::AttributionSink(StatsRegistry &stats)
+    : stats_(stats),
+      committedCycles_(stats.histogram("obs.tx.committedCycles")),
+      abortedCycles_(stats.histogram("obs.tx.abortedCycles"))
+{
+}
+
+void
+AttributionSink::onEvent(const ObsEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::Conflict: {
+        const auto key = std::make_pair(ev.ctx, ev.otherCtx);
+        ++matrix_[key];
+        if (ev.falsePositive)
+            ++falseMatrix_[key];
+        break;
+      }
+      case EventKind::TxAbort:
+        // One TxAbort event per unwound frame, matching tm.aborts.
+        ++abortsByCause_[ev.cause];
+        if (ev.a == 1) {  // outermost frame: the attempt is over
+            auto it = txStart_.find(ev.thread);
+            if (it != txStart_.end()) {
+                abortedCycles_.sample(ev.cycle - it->second);
+                txStart_.erase(it);
+            }
+        }
+        break;
+      case EventKind::TxBegin:
+        if (ev.a == 1)
+            txStart_[ev.thread] = ev.cycle;
+        break;
+      case EventKind::TxCommit: {
+        auto it = txStart_.find(ev.thread);
+        if (it != txStart_.end()) {
+            committedCycles_.sample(ev.cycle - it->second);
+            txStart_.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+uint64_t
+AttributionSink::conflictTotal() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : matrix_)
+        total += kv.second;
+    return total;
+}
+
+uint64_t
+AttributionSink::abortTotal() const
+{
+    uint64_t total = 0;
+    for (const auto &kv : abortsByCause_)
+        total += kv.second;
+    return total;
+}
+
+namespace {
+
+std::string
+cellName(const std::pair<CtxId, CtxId> &key)
+{
+    return "r" + std::to_string(key.first) + ".o" +
+        std::to_string(key.second);
+}
+
+} // namespace
+
+void
+AttributionSink::foldInto(StatsRegistry &stats) const
+{
+    for (const auto &kv : matrix_)
+        stats.counter("obs.conflict." + cellName(kv.first))
+            .add(kv.second);
+    for (const auto &kv : falseMatrix_)
+        stats.counter("obs.conflictFp." + cellName(kv.first))
+            .add(kv.second);
+    for (const auto &kv : abortsByCause_)
+        stats.counter(std::string("obs.abortCause.") +
+                      abortCauseName(kv.first))
+            .add(kv.second);
+}
+
+void
+AttributionSink::writeJson(JsonWriter &w) const
+{
+    w.key("conflictMatrix").beginArray();
+    for (const auto &kv : matrix_) {
+        auto fp = falseMatrix_.find(kv.first);
+        w.beginObject()
+            .field("requesterCtx", kv.first.first)
+            .field("ownerCtx", kv.first.second)
+            .field("conflicts", kv.second)
+            .field("falsePositives",
+                   fp == falseMatrix_.end() ? uint64_t{0} : fp->second)
+            .endObject();
+    }
+    w.endArray();
+
+    w.key("abortsByCause").beginObject();
+    for (const auto &kv : abortsByCause_)
+        w.field(abortCauseName(kv.first), kv.second);
+    w.endObject();
+}
+
+} // namespace logtm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * AttributionSink: folds the event stream into the diagnostics the
+ * paper's evaluation reasons with — a requester x owner conflict
+ * matrix split by true/false positive, a per-cause abort breakdown,
+ * and transaction-lifetime histograms (committed vs aborted
+ * attempts) with percentiles.
+ */
+
+#ifndef LOGTM_OBS_ATTRIBUTION_HH
+#define LOGTM_OBS_ATTRIBUTION_HH
+
+#include <map>
+#include <utility>
+
+#include "common/stats.hh"
+#include "obs/event_bus.hh"
+
+namespace logtm {
+
+class JsonWriter;
+
+/** Name for a TxAbort ObsEvent::cause value; mirrors the order of tm's
+ *  AbortCause enum (static_asserted in logtm_se_engine.cc). */
+const char *abortCauseName(uint8_t cause);
+
+class AttributionSink : public EventSink
+{
+  public:
+    /** Transaction-lifetime histograms are sampled directly into
+     *  @p stats ("obs.tx.committedCycles" / "obs.tx.abortedCycles"). */
+    explicit AttributionSink(StatsRegistry &stats);
+
+    void onEvent(const ObsEvent &ev) override;
+
+    /** conflicts[{requester, owner}] -> count (true + false). */
+    using Matrix = std::map<std::pair<CtxId, CtxId>, uint64_t>;
+    const Matrix &matrix() const { return matrix_; }
+    const Matrix &falseMatrix() const { return falseMatrix_; }
+
+    const std::map<uint8_t, uint64_t> &abortsByCause() const
+    { return abortsByCause_; }
+
+    /** Total conflicts attributed (should reconcile with
+     *  tm.conflictsTrue + tm.conflictsFalse). */
+    uint64_t conflictTotal() const;
+
+    /** Total aborts attributed (should reconcile with tm.aborts). */
+    uint64_t abortTotal() const;
+
+    /** Register the matrix as labelled counters
+     *  ("obs.conflict.r<req>.o<own>", ".fp" suffix for the false-
+     *  positive share) so snapshots and sumCounters() see them. */
+    void foldInto(StatsRegistry &stats) const;
+
+    /** Emit the matrix and cause breakdown as JSON objects (the
+     *  writer must be positioned inside an open object). */
+    void writeJson(JsonWriter &w) const;
+
+  private:
+    StatsRegistry &stats_;
+    Histogram &committedCycles_;
+    Histogram &abortedCycles_;
+    Matrix matrix_;
+    Matrix falseMatrix_;
+    std::map<uint8_t, uint64_t> abortsByCause_;
+    std::map<ThreadId, Cycle> txStart_;  ///< outer begin per thread
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_ATTRIBUTION_HH

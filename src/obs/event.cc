@@ -1,0 +1,28 @@
+#include "obs/event.hh"
+
+namespace logtm {
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::TxBegin: return "txBegin";
+      case EventKind::TxCommit: return "txCommit";
+      case EventKind::TxAbort: return "txAbort";
+      case EventKind::TxStall: return "txStall";
+      case EventKind::Conflict: return "conflict";
+      case EventKind::SummaryTrap: return "summaryTrap";
+      case EventKind::Victimization: return "victimization";
+      case EventKind::SigBroadcast: return "sigBroadcast";
+      case EventKind::LogWrite: return "logWrite";
+      case EventKind::LogFilterHit: return "logFilterHit";
+      case EventKind::SummaryInstall: return "summaryInstall";
+      case EventKind::SchedIn: return "schedIn";
+      case EventKind::SchedOut: return "schedOut";
+      case EventKind::BusOp: return "busOp";
+      case EventKind::NumKinds: break;
+    }
+    return "?";
+}
+
+} // namespace logtm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Typed observability events published by the TM engine, the memory
+ * hierarchy (L1/L2/directory, snoop bus) and the OS kernel onto the
+ * EventBus. One flat POD struct covers every kind; kind-specific
+ * payload goes in the generic a/b fields so publishing stays a plain
+ * struct copy (no allocation on the hot path).
+ */
+
+#ifndef LOGTM_OBS_EVENT_HH
+#define LOGTM_OBS_EVENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace logtm {
+
+enum class EventKind : uint8_t {
+    TxBegin,        ///< a=nesting depth after begin (1=outer), b=open
+    TxCommit,       ///< outermost commit; a=read-set, b=write-set blocks
+    TxAbort,        ///< one frame unwound; cause set, a=depth, b=records
+    TxStall,        ///< NACKed access; addr, access, otherCtx=nacker
+    Conflict,       ///< signature hit; ctx=requester, otherCtx=owner,
+                    ///< addr, access=requester's, falsePositive set
+    SummaryTrap,    ///< summary-signature hit; addr
+    Victimization,  ///< tx block lost cache residency; a=unit id,
+                    ///< b=level (1=L1, 2=L2)
+    SigBroadcast,   ///< directory fell back to broadcast; addr
+    LogWrite,       ///< undo record appended; addr, a=frame depth
+    LogFilterHit,   ///< store skipped re-logging; addr
+    SummaryInstall, ///< OS pushed a summary signature; a=asid
+    SchedIn,        ///< thread bound to ctx
+    SchedOut,       ///< thread descheduled from ctx; a=mid-tx flag
+    BusOp,          ///< snoop-bus transaction granted; addr, a=msg type
+    NumKinds,
+};
+
+/** Stable lower-case name for an event kind ("txBegin", ...). */
+const char *eventKindName(EventKind k);
+
+struct ObsEvent
+{
+    Cycle cycle = 0;
+    EventKind kind = EventKind::NumKinds;
+    CtxId ctx = invalidCtx;        ///< acting hardware context
+    ThreadId thread = invalidThread;
+    PhysAddr addr = 0;             ///< block address when relevant
+    CtxId otherCtx = invalidCtx;   ///< conflict/stall peer context
+    uint8_t cause = 0;             ///< AbortCause for TxAbort
+    AccessType access = AccessType::Read;
+    bool falsePositive = false;    ///< Conflict: signature alias only
+    uint64_t a = 0;                ///< kind-specific (see EventKind)
+    uint64_t b = 0;                ///< kind-specific (see EventKind)
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_EVENT_HH

@@ -1,0 +1,147 @@
+#include "obs/json.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace logtm {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;  // value follows its key; no comma
+    }
+    if (!hasElem_.empty()) {
+        if (hasElem_.back())
+            os_ << ",";
+        hasElem_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    os_ << "{";
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hasElem_.pop_back();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    os_ << "[";
+    hasElem_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hasElem_.pop_back();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    os_ << "\"" << jsonEscape(k) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    os_ << "\"" << jsonEscape(v) << "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        os_ << "null";  // JSON has no Inf/NaN
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace logtm

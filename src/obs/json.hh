@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the observability exporters
+ * (stats.json, events.trace.json). Handles escaping and comma
+ * placement; the caller provides structure via begin/end calls.
+ */
+
+#ifndef LOGTM_OBS_JSON_HH
+#define LOGTM_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace logtm {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit a key inside an object; follow with a value call. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    { return value(static_cast<uint64_t>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void separate();
+
+    std::ostream &os_;
+    /** Per-nesting-level flag: an element was already written. */
+    std::vector<bool> hasElem_;
+    bool pendingKey_ = false;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_JSON_HH

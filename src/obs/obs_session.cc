@@ -1,0 +1,115 @@
+#include "obs/obs_session.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+#include "obs/trace_export.hh"
+
+namespace logtm {
+
+void
+writeStatsJson(const StatsRegistry &stats, const AttributionSink *attr,
+               const EventBus *bus, uint64_t ringDropped,
+               std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &kv : stats.counters())
+        w.field(kv.first, kv.second.value());
+    w.endObject();
+
+    w.key("samplers").beginObject();
+    for (const auto &kv : stats.samplers()) {
+        w.key(kv.first).beginObject()
+            .field("count", kv.second.count())
+            .field("mean", kv.second.mean())
+            .field("min", kv.second.min())
+            .field("max", kv.second.max())
+            .field("stddev", kv.second.stddev())
+            .endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &kv : stats.histograms()) {
+        const Sampler &s = kv.second.scalar();
+        w.key(kv.first).beginObject()
+            .field("count", s.count())
+            .field("mean", s.mean())
+            .field("min", s.min())
+            .field("max", s.max())
+            .field("stddev", s.stddev())
+            .field("p50", kv.second.percentile(50))
+            .field("p90", kv.second.percentile(90))
+            .field("p99", kv.second.percentile(99))
+            .endObject();
+    }
+    w.endObject();
+
+    if (attr)
+        attr->writeJson(w);
+
+    if (bus) {
+        w.key("events").beginObject()
+            .field("published", bus->published())
+            .field("ringDropped", ringDropped)
+            .endObject();
+    }
+
+    w.endObject();
+    os << "\n";
+}
+
+ObsSession::ObsSession(EventBus &bus, StatsRegistry &stats,
+                       ObsConfig cfg)
+    : bus_(bus), stats_(stats), cfg_(std::move(cfg)),
+      ring_(std::make_unique<RecordingSink>(cfg_.ringCapacity)),
+      attr_(std::make_unique<AttributionSink>(stats))
+{
+    logtm_assert(!cfg_.outDir.empty(), "ObsSession without outDir");
+    bus_.attach(attr_.get());
+    if (cfg_.trace)
+        bus_.attach(ring_.get());
+}
+
+ObsSession::~ObsSession()
+{
+    bus_.detach(attr_.get());
+    bus_.detach(ring_.get());
+}
+
+void
+ObsSession::finish()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.outDir, ec);
+    if (ec)
+        logtm_fatal("cannot create obs output dir '" + cfg_.outDir +
+                    "': " + ec.message());
+
+    attr_->foldInto(stats_);
+
+    const std::string stats_path = cfg_.outDir + "/stats.json";
+    std::ofstream sf(stats_path);
+    if (!sf)
+        logtm_fatal("cannot write " + stats_path);
+    writeStatsJson(stats_, attr_.get(), &bus_, ring_->dropped(), sf);
+
+    if (cfg_.trace) {
+        const std::string trace_path =
+            cfg_.outDir + "/events.trace.json";
+        std::ofstream tf(trace_path);
+        if (!tf)
+            logtm_fatal("cannot write " + trace_path);
+        TraceExportInfo info;
+        info.numContexts = cfg_.numContexts;
+        info.threadsPerCore = cfg_.threadsPerCore;
+        exportChromeTrace(ring_->events(), info, tf);
+    }
+}
+
+} // namespace logtm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ObsSession: one observability capture. Attaches a RecordingSink
+ * and an AttributionSink to the event bus on construction; finish()
+ * folds the attribution into the stats registry and writes
+ * machine-readable snapshots into the output directory:
+ *
+ *   <outDir>/stats.json         counters/samplers/histograms +
+ *                               conflict matrix + abort causes
+ *   <outDir>/events.trace.json  Chrome trace (with trace enabled)
+ *
+ * The harness, bench binaries (--obs-out=DIR / --obs-trace) and the
+ * examples all drive observability through this class.
+ */
+
+#ifndef LOGTM_OBS_OBS_SESSION_HH
+#define LOGTM_OBS_OBS_SESSION_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/attribution.hh"
+#include "obs/event_bus.hh"
+#include "obs/recording_sink.hh"
+
+namespace logtm {
+
+struct ObsConfig
+{
+    std::string outDir;          ///< snapshot directory (created)
+    bool trace = false;          ///< also write events.trace.json
+    size_t ringCapacity = 1u << 18;  ///< recorded-event ring size
+    uint32_t numContexts = 0;    ///< trace track metadata
+    uint32_t threadsPerCore = 1;
+};
+
+/** Write every statistic in @p stats as JSON ("stats.json" body).
+ *  @p attr (optional) embeds the conflict matrix and abort causes;
+ *  @p bus (optional) embeds event-bus health (published/dropped). */
+void writeStatsJson(const StatsRegistry &stats,
+                    const AttributionSink *attr, const EventBus *bus,
+                    uint64_t ringDropped, std::ostream &os);
+
+class ObsSession
+{
+  public:
+    ObsSession(EventBus &bus, StatsRegistry &stats, ObsConfig cfg);
+    ~ObsSession();  ///< detaches the sinks (does not write)
+
+    /** Fold attribution stats and write the snapshot files. */
+    void finish();
+
+    const AttributionSink &attribution() const { return *attr_; }
+    const RecordingSink &recording() const { return *ring_; }
+
+  private:
+    EventBus &bus_;
+    StatsRegistry &stats_;
+    ObsConfig cfg_;
+    std::unique_ptr<RecordingSink> ring_;
+    std::unique_ptr<AttributionSink> attr_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_OBS_SESSION_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RecordingSink: a bounded ring buffer of events, the staging area
+ * for the Chrome-trace exporter and for tests. When full it drops
+ * the oldest events and counts the drops, so a long run degrades to
+ * "the last N events" instead of unbounded memory.
+ */
+
+#ifndef LOGTM_OBS_RECORDING_SINK_HH
+#define LOGTM_OBS_RECORDING_SINK_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "obs/event_bus.hh"
+
+namespace logtm {
+
+class RecordingSink : public EventSink
+{
+  public:
+    explicit RecordingSink(size_t capacity = 1u << 18)
+        : capacity_(capacity)
+    {
+    }
+
+    void
+    onEvent(const ObsEvent &ev) override
+    {
+        if (ring_.size() == capacity_) {
+            ring_.pop_front();
+            ++dropped_;
+        }
+        ring_.push_back(ev);
+    }
+
+    /** Events in arrival order (oldest first). */
+    std::vector<ObsEvent>
+    events() const
+    {
+        return {ring_.begin(), ring_.end()};
+    }
+
+    size_t size() const { return ring_.size(); }
+    uint64_t dropped() const { return dropped_; }
+    void clear() { ring_.clear(); dropped_ = 0; }
+
+  private:
+    size_t capacity_;
+    std::deque<ObsEvent> ring_;
+    uint64_t dropped_ = 0;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_RECORDING_SINK_HH

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome trace-event exporter: renders the recorded event stream as
+ * a chrome://tracing / Perfetto JSON object — one track per hardware
+ * context carrying transaction begin->commit/abort spans, instant
+ * markers for stalls/traps/scheduling, flow arrows from conflict
+ * owner to requester, and a "memory" process with victimization and
+ * broadcast markers. One simulated cycle is exported as one
+ * microsecond of trace time.
+ */
+
+#ifndef LOGTM_OBS_TRACE_EXPORT_HH
+#define LOGTM_OBS_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace logtm {
+
+struct TraceExportInfo
+{
+    uint32_t numContexts = 0;   ///< tracks to pre-name (0 = lazy)
+    uint32_t threadsPerCore = 1;
+};
+
+/** Write @p events (arrival order) as Chrome trace JSON to @p os. */
+void exportChromeTrace(const std::vector<ObsEvent> &events,
+                       const TraceExportInfo &info, std::ostream &os);
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_TRACE_EXPORT_HH

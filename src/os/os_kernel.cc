@@ -74,6 +74,10 @@ OsKernel::scheduleThread(ThreadId t, CtxId ctx)
                 ctx);
     engine_.bindThread(t, ctx);
     ++contextSwitches_;
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::SchedIn,
+                         .ctx = ctx, .thread = t});
     refreshSummaries(*processes_[threadProcess_[t]]);
 
     auto pit = parked_.find(t);
@@ -135,8 +139,14 @@ OsKernel::descheduleThread(ThreadId t)
     const bool mid_tx = engine_.inTx(t);
     logtm_trace(TraceCat::Os, sim_.now(), "deschedule t%u (inTx=%d)",
                 t, static_cast<int>(mid_tx));
+    const CtxId old_ctx = engine_.thread(t).ctx;
     engine_.unbindThread(t);
     ++contextSwitches_;
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::SchedOut,
+                         .ctx = old_ctx, .thread = t,
+                         .a = mid_tx ? 1u : 0u});
 
     if (mid_tx) {
         // Merge the thread's saved signatures into the process
@@ -181,6 +191,11 @@ OsKernel::refreshSummaries(Process &proc)
         }
         engine_.setSummary(ctx, std::move(summary));
         ++summaryInstalls_;
+        logtm_obs_emit(sim_.events(),
+                       ObsEvent{.cycle = sim_.now(),
+                             .kind = EventKind::SummaryInstall,
+                             .ctx = ctx, .thread = t,
+                             .a = proc.asid});
     }
 }
 

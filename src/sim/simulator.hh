@@ -11,6 +11,7 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "obs/event_bus.hh"
 #include "sim/event_queue.hh"
 
 namespace logtm {
@@ -22,6 +23,8 @@ class Simulator
 
     EventQueue &queue() { return queue_; }
     StatsRegistry &stats() { return stats_; }
+    /** Observability event bus; free when no sink is attached. */
+    EventBus &events() { return events_; }
     Rng &rng() { return rng_; }
     Cycle now() const { return queue_.now(); }
 
@@ -41,6 +44,7 @@ class Simulator
   private:
     EventQueue queue_;
     StatsRegistry stats_;
+    EventBus events_;
     Rng rng_;
 };
 

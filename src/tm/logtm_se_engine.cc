@@ -1,12 +1,23 @@
 #include "tm/logtm_se_engine.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "obs/attribution.hh"
 #include "sig/signature_factory.hh"
 
 namespace logtm {
+
+// obs reports abort causes by value without depending on the TM
+// layer; keep the two enumerations in lock step.
+static_assert(static_cast<uint8_t>(AbortCause::None) == 0 &&
+              static_cast<uint8_t>(AbortCause::DeadlockCycle) == 1 &&
+              static_cast<uint8_t>(AbortCause::PolicyAbort) == 2 &&
+              static_cast<uint8_t>(AbortCause::SummaryConflict) == 3 &&
+              static_cast<uint8_t>(AbortCause::Explicit) == 4,
+              "AbortCause order must match obs::abortCauseName");
 
 LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
                              const SystemConfig &cfg)
@@ -26,6 +37,11 @@ LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
       writeSetSize_(sim.stats().sampler("tm.writeSetBlocks")),
       undoRecordsPerTx_(sim.stats().sampler("tm.undoRecordsPerTx"))
 {
+    for (size_t c = 0; c < abortsByCause_.size(); ++c) {
+        abortsByCause_[c] = &sim.stats().counter(
+            std::string("tm.abortsByCause.") +
+            abortCauseName(static_cast<uint8_t>(c)));
+    }
     const uint32_t n = cfg_.numContexts();
     for (CtxId c = 0; c < n; ++c) {
         auto ctx = std::make_unique<HwContext>();
@@ -190,6 +206,11 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
         }
         thr.log.pushFrame(ckpt, open);
         thr.filter.clear();
+        logtm_obs_emit(sim_.events(),
+                       ObsEvent{.cycle = sim_.now(),
+                             .kind = EventKind::TxBegin,
+                             .ctx = thr.ctx, .thread = t,
+                             .a = 1, .b = open ? 1u : 0u});
         return;
     }
 
@@ -202,6 +223,11 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
     frame.savedShadowRead = ctx.shadowRead;
     frame.savedShadowWrite = ctx.shadowWrite;
     thr.filter.clear();
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::TxBegin,
+                         .ctx = thr.ctx, .thread = t,
+                         .a = thr.log.depth(), .b = open ? 1u : 0u});
 }
 
 void
@@ -245,6 +271,12 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
     writeSetSize_.sample(static_cast<double>(ctx.shadowWrite.size()));
     undoRecordsPerTx_.sample(
         static_cast<double>(thr.log.totalRecords()));
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::TxCommit,
+                         .ctx = thr.ctx, .thread = t,
+                         .a = ctx.shadowRead.size(),
+                         .b = ctx.shadowWrite.size()});
 
     ctx.readSig->clear();
     ctx.writeSig->clear();
@@ -281,6 +313,8 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     logtm_assert(thr.ctx != invalidCtx, "abort on descheduled thread");
     HwContext &ctx = *contexts_[thr.ctx];
     ++aborts_;
+    ++*abortsByCause_[static_cast<uint8_t>(thr.abortCause)];
+    const uint64_t depth_before = thr.log.depth();
     logtm_trace(TraceCat::Tm, sim_.now(),
                 "t%u abort frame depth=%zu cause=%d", t,
                 thr.log.depth(), static_cast<int>(thr.abortCause));
@@ -288,6 +322,14 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     // Software abort handler: walk the frame LIFO and restore old
     // values through the current translation (paging-safe).
     LogFrame frame = thr.log.popFrame();
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::TxAbort,
+                         .ctx = thr.ctx, .thread = t,
+                         .cause =
+                             static_cast<uint8_t>(thr.abortCause),
+                         .a = depth_before,
+                         .b = frame.records.size()});
     for (auto it = frame.records.rbegin(); it != frame.records.rend();
          ++it) {
         mem_.data().store(translate(thr, it->vaddr), it->oldValue);
@@ -371,6 +413,30 @@ LogTmSeEngine::backoffDelay(TxThread &thr)
 // --------------------------------------------------------------------
 
 void
+LogTmSeEngine::noteStall(const TxThread &thr, PhysAddr block,
+                         AccessType type, CtxId nacker)
+{
+    ++stalls_;
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::TxStall,
+                         .ctx = thr.ctx, .thread = thr.id,
+                         .addr = block, .otherCtx = nacker,
+                         .access = type});
+}
+
+void
+LogTmSeEngine::noteSummaryTrap(const TxThread &thr, PhysAddr block)
+{
+    ++summaryTraps_;
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::SummaryTrap,
+                         .ctx = thr.ctx, .thread = thr.id,
+                         .addr = block});
+}
+
+void
 LogTmSeEngine::doom(TxThread &thr, AbortCause cause, PhysAddr addr,
                     AccessType type, bool addr_valid)
 {
@@ -421,7 +487,7 @@ LogTmSeEngine::onConflictNack(TxThread &thr, uint64_t nacker_ts,
 
 void
 LogTmSeEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
-                                AccessType remote_type)
+                                AccessType remote_type, CtxId req_ctx)
 {
     const bool actual = remote_type == AccessType::Read
         ? ctx.shadowWrite.contains(block)
@@ -431,6 +497,20 @@ LogTmSeEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
         ++conflictsTrue_;
     else
         ++conflictsFalse_;
+    logtm_trace(TraceCat::Sig, sim_.now(),
+                "ctx%u sig conflict on 0x%llx (%s, owner ctx%u)",
+                req_ctx,
+                static_cast<unsigned long long>(block),
+                actual ? "true" : "false-positive", ctx.id);
+    logtm_obs_emit(sim_.events(),
+                   ObsEvent{.cycle = sim_.now(),
+                         .kind = EventKind::Conflict,
+                         .ctx = req_ctx,
+                         .thread = ctx.thread,
+                         .addr = block,
+                         .otherCtx = ctx.id,
+                         .access = remote_type,
+                         .falsePositive = !actual});
 }
 
 ConflictVerdict
@@ -456,7 +536,7 @@ LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
             continue;  // ASID filter (paper §2): no cross-process NACKs
 
         verdict.conflict = true;
-        classifyConflict(ctx, block, remote_type);
+        classifyConflict(ctx, block, remote_type, req_ctx);
         if (thr.timestamp < verdict.nackerTs) {
             verdict.nackerTs = thr.timestamp;
             verdict.nackerCtx = c;
@@ -628,7 +708,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
     // 1. Summary signature: checked on EVERY memory reference,
     //    including cache hits (paper §4.1).
     if (!op->escape && ctx.summary && ctx.summary->mayContain(block)) {
-        ++summaryTraps_;
+        noteSummaryTrap(thr, block);
         if (thr.inTx()) {
             // Stalling cannot resolve a conflict with a descheduled
             // transaction; abort and retry later.
@@ -653,7 +733,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         ConflictVerdict verdict = checkSiblings(thr, block, op->type);
         if (verdict.conflict) {
             if (thr.inTx())
-                ++stalls_;
+                noteStall(thr, block, op->type, verdict.nackerCtx);
             if (onConflictNack(thr, verdict.nackerTs, verdict.nackerCtx,
                                block, op->type, op->retries)) {
                 finishOp(op, OpStatus::Aborted, 0);
@@ -678,7 +758,9 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         if (res.nacked) {
             if (res.conflictNack) {
                 if (thr.inTx())
-                    ++stalls_;
+                    noteStall(thr,
+                              blockAlign(translate(thr, op->va)),
+                              op->type, res.nackerCtx);
                 if (onConflictNack(thr, res.nackerTs, res.nackerCtx,
                                    blockAlign(translate(thr, op->va)),
                                    op->type, op->retries)) {
@@ -705,7 +787,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         // a summary install landed while this request was in flight.
         if (!op->escape) {
             if (ctx.summary && ctx.summary->mayContain(block)) {
-                ++summaryTraps_;
+                noteSummaryTrap(thr, block);
                 if (thr.inTx()) {
                     doom(thr, AbortCause::SummaryConflict, 0,
                          AccessType::Read, false);
@@ -719,7 +801,8 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                 checkSiblings(thr, block, op->type);
             if (verdict.conflict) {
                 if (thr.inTx())
-                    ++stalls_;
+                    noteStall(thr, block, op->type,
+                              verdict.nackerCtx);
                 if (onConflictNack(thr, verdict.nackerTs,
                                    verdict.nackerCtx, block,
                                    op->type, op->retries)) {
@@ -738,12 +821,18 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
 
         if (op->type == AccessType::Read) {
             if (in_tx) {
+                logtm_trace(TraceCat::Sig, sim_.now(),
+                            "ctx%u readSig insert 0x%llx", thr.ctx,
+                            static_cast<unsigned long long>(block));
                 ctx.readSig->insert(block);
                 ctx.shadowRead.insert(block);
             }
             value = mem_.data().load(pa);
         } else {
             if (in_tx) {
+                logtm_trace(TraceCat::Sig, sim_.now(),
+                            "ctx%u writeSig insert 0x%llx", thr.ctx,
+                            static_cast<unsigned long long>(block));
                 ctx.writeSig->insert(block);
                 ctx.shadowWrite.insert(block);
                 if (op->loadForWrite) {
@@ -752,12 +841,26 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                 }
                 if (thr.filter.contains(op->va)) {
                     ++logFilterHits_;
+                    logtm_obs_emit(sim_.events(),
+                                   ObsEvent{.cycle = sim_.now(),
+                                         .kind =
+                                             EventKind::LogFilterHit,
+                                         .ctx = thr.ctx,
+                                         .thread = thr.id,
+                                         .addr = block});
                 } else {
                     thr.log.append(UndoRecord{op->va, pa,
                                               mem_.data().load(pa)});
                     thr.filter.insert(op->va);
                     ++logRecords_;
                     extra = cfg_.logWriteLatency;
+                    logtm_obs_emit(sim_.events(),
+                                   ObsEvent{.cycle = sim_.now(),
+                                         .kind = EventKind::LogWrite,
+                                         .ctx = thr.ctx,
+                                         .thread = thr.id,
+                                         .addr = block,
+                                         .a = thr.log.depth()});
                 }
             }
             if (op->loadForWrite) {

@@ -22,6 +22,7 @@
 #ifndef LOGTM_TM_LOGTM_SE_ENGINE_HH
 #define LOGTM_TM_LOGTM_SE_ENGINE_HH
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -209,12 +210,18 @@ class LogTmSeEngine : public ConflictChecker
                         AccessType type, uint32_t retries);
     void doom(TxThread &thr, AbortCause cause, PhysAddr addr,
               AccessType type, bool addr_valid);
+    /** Count a NACK-induced stall and publish the event. */
+    void noteStall(const TxThread &thr, PhysAddr block,
+                   AccessType type, CtxId nacker);
+    /** Count a summary-signature trap and publish the event. */
+    void noteSummaryTrap(const TxThread &thr, PhysAddr block);
     Cycle backoffDelay(TxThread &thr);
     PhysAddr translate(const TxThread &thr, VirtAddr va)
     { return translator_->translate(thr.asid, va); }
-    /** Classify a signature-reported conflict for FP statistics. */
+    /** Classify a signature-reported conflict for FP statistics and
+     *  publish the attribution event (@p req_ctx = requester). */
     void classifyConflict(const HwContext &ctx, PhysAddr block,
-                          AccessType remote_type);
+                          AccessType remote_type, CtxId req_ctx);
 
     Simulator &sim_;
     MemorySystem &mem_;
@@ -238,6 +245,9 @@ class LogTmSeEngine : public ConflictChecker
     Counter &beginsOuter_;
     Counter &beginsNested_;
     Counter &openCommits_;
+    /** Per-cause abort counters ("tm.abortsByCause.<cause>"),
+     *  indexed by AbortCause; their sum equals tm.aborts. */
+    std::array<Counter *, 5> abortsByCause_{};
     Sampler &readSetSize_;
     Sampler &writeSetSize_;
     Sampler &undoRecordsPerTx_;

@@ -1,0 +1,697 @@
+/**
+ * @file
+ * Observability subsystem tests: event-bus gating and ordering, the
+ * recording ring, conflict/abort attribution reconciling with the
+ * engine's counters, Chrome-trace export (parsed back with a small
+ * JSON reader), snapshot files, Sampler/Histogram extensions, trace
+ * category parsing, and the dotted stat-name convention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "obs/attribution.hh"
+#include "obs/obs_session.hh"
+#include "obs/recording_sink.hh"
+#include "obs/trace_export.hh"
+#include "os/tm_system.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+// ----- a minimal JSON reader for parse-back tests ---------------------
+
+struct JsonValue
+{
+    enum Type { Null, Bool, Number, String, Array, Object } type = Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    const JsonValue &
+    operator[](const std::string &key) const
+    {
+        static const JsonValue missing;
+        const auto it = fields.find(key);
+        return it == fields.end() ? missing : it->second;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s_(text) {}
+
+    JsonValue
+    parse()
+    {
+        const JsonValue v = value();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+    bool ok() const { return error_.empty(); }
+    const std::string &error() const { return error_; }
+
+  private:
+    void fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why + " at offset " + std::to_string(pos_);
+        pos_ = s_.size();  // stop consuming
+    }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end");
+            return {};
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        return number();
+    }
+
+    void
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= s_.size() || s_[pos_] != *p) {
+                fail(std::string("bad literal ") + word);
+                return;
+            }
+            ++pos_;
+        }
+    }
+
+    JsonValue
+    boolean()
+    {
+        JsonValue v;
+        v.type = JsonValue::Bool;
+        if (s_[pos_] == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+        }
+        return v;
+    }
+
+    JsonValue
+    number()
+    {
+        const size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        JsonValue v;
+        v.type = JsonValue::Number;
+        try {
+            v.number = std::stod(s_.substr(start, pos_ - start));
+        } catch (...) {
+            fail("bad number");
+        }
+        return v;
+    }
+
+    JsonValue
+    string()
+    {
+        JsonValue v;
+        v.type = JsonValue::String;
+        ++pos_;  // opening quote
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    break;
+                switch (s_[pos_]) {
+                  case 'n': v.str += '\n'; break;
+                  case 't': v.str += '\t'; break;
+                  case 'r': v.str += '\r'; break;
+                  case 'u':
+                    pos_ += 4;  // keep tests simple: skip the code unit
+                    v.str += '?';
+                    break;
+                  default: v.str += s_[pos_];
+                }
+            } else {
+                v.str += s_[pos_];
+            }
+            ++pos_;
+        }
+        if (!eat('"'))
+            fail("unterminated string");
+        return v;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue v;
+        v.type = JsonValue::Array;
+        eat('[');
+        skipWs();
+        if (eat(']'))
+            return v;
+        do {
+            v.items.push_back(value());
+        } while (eat(',') && ok());
+        if (!eat(']'))
+            fail("expected ]");
+        return v;
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue v;
+        v.type = JsonValue::Object;
+        eat('{');
+        skipWs();
+        if (eat('}'))
+            return v;
+        do {
+            skipWs();
+            const JsonValue key = string();
+            if (!eat(':')) {
+                fail("expected :");
+                break;
+            }
+            v.fields[key.str] = value();
+        } while (eat(',') && ok());
+        if (!eat('}'))
+            fail("expected }");
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+JsonValue
+parseJsonOrDie(const std::string &text)
+{
+    JsonReader r(text);
+    const JsonValue v = r.parse();
+    EXPECT_TRUE(r.ok()) << r.error();
+    return v;
+}
+
+// ----- event bus -------------------------------------------------------
+
+TEST(EventBus, DisabledBusPublishesNothingAndSkipsEvaluation)
+{
+    EventBus bus;
+    EXPECT_FALSE(bus.enabled());
+
+    int evaluated = 0;
+    auto makeEvent = [&]() {
+        ++evaluated;
+        return ObsEvent{.cycle = 1, .kind = EventKind::TxBegin};
+    };
+    logtm_obs_emit(bus, makeEvent());
+    EXPECT_EQ(evaluated, 0);  // expression never evaluated
+    EXPECT_EQ(bus.published(), 0u);
+}
+
+TEST(EventBus, DeliversInOrderToAttachedSinks)
+{
+    EventBus bus;
+    RecordingSink sink;
+    bus.attach(&sink);
+    EXPECT_TRUE(bus.enabled());
+
+    for (uint64_t i = 0; i < 5; ++i) {
+        logtm_obs_emit(bus,
+                       ObsEvent{.cycle = i * 10,
+                                .kind = EventKind::LogWrite,
+                                .a = i});
+    }
+    EXPECT_EQ(bus.published(), 5u);
+
+    const std::vector<ObsEvent> evs = sink.events();
+    ASSERT_EQ(evs.size(), 5u);
+    for (uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(evs[i].cycle, i * 10);
+        EXPECT_EQ(evs[i].a, i);
+    }
+
+    bus.detach(&sink);
+    EXPECT_FALSE(bus.enabled());
+}
+
+TEST(EventBus, RecordingRingDropsOldest)
+{
+    EventBus bus;
+    RecordingSink sink(4);
+    bus.attach(&sink);
+    for (uint64_t i = 0; i < 6; ++i)
+        bus.publish(ObsEvent{.kind = EventKind::BusOp, .a = i});
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.dropped(), 2u);
+    const auto evs = sink.events();
+    EXPECT_EQ(evs.front().a, 2u);  // the two oldest were dropped
+    EXPECT_EQ(evs.back().a, 5u);
+}
+
+/** With no sink ever attached a full workload publishes nothing: the
+ *  instrumentation must be inert by default. */
+TEST(EventBus, RealRunWithNoSinkPublishesZeroEvents)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    TmSystem sys(cfg);
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 64;
+    MicrobenchConfig mb;
+    mb.numCounters = 16;
+    MicrobenchWorkload wl(sys, p, mb);
+    wl.run();
+    EXPECT_GT(sys.stats().counterValue("tm.commits"), 0u);
+    EXPECT_EQ(sys.sim().events().published(), 0u);
+}
+
+// ----- attribution -----------------------------------------------------
+
+struct ContendedRun
+{
+    SystemConfig cfg;
+    std::unique_ptr<TmSystem> sys;
+    std::unique_ptr<AttributionSink> attr;
+    std::unique_ptr<RecordingSink> ring;
+
+    ContendedRun()
+    {
+        cfg.numCores = 8;
+        cfg.threadsPerCore = 2;
+        cfg.l2Banks = 4;
+        cfg.meshCols = 3;
+        cfg.meshRows = 3;
+        cfg.signature = sigBS(64);  // alias-prone: false positives too
+        sys = std::make_unique<TmSystem>(cfg);
+        attr = std::make_unique<AttributionSink>(sys->stats());
+        ring = std::make_unique<RecordingSink>();
+        sys->sim().events().attach(attr.get());
+        sys->sim().events().attach(ring.get());
+
+        WorkloadParams p;
+        p.numThreads = 16;
+        p.useTm = true;
+        p.totalUnits = 512;
+        MicrobenchConfig mb;
+        mb.numCounters = 8;  // heavy contention
+        mb.readsPerTx = 2;
+        mb.writesPerTx = 2;
+        MicrobenchWorkload wl(*sys, p, mb);
+        wl.run();
+    }
+};
+
+TEST(Attribution, ConflictMatrixReconcilesWithCounters)
+{
+    ContendedRun run;
+    const StatsRegistry &st = run.sys->stats();
+    const uint64_t signalled = st.counterValue("tm.conflictsTrue") +
+        st.counterValue("tm.conflictsFalse");
+    ASSERT_GT(signalled, 0u) << "workload was not contended enough";
+    EXPECT_EQ(run.attr->conflictTotal(), signalled);
+
+    uint64_t fp = 0;
+    for (const auto &[key, n] : run.attr->falseMatrix())
+        fp += n;
+    EXPECT_EQ(fp, st.counterValue("tm.conflictsFalse"));
+
+    // Folding registers the matrix as counters; their sum reconciles.
+    run.attr->foldInto(run.sys->stats());
+    EXPECT_EQ(st.sumCounters("obs.conflict."), signalled);
+    EXPECT_EQ(st.sumCounters("obs.conflictFp."),
+              st.counterValue("tm.conflictsFalse"));
+}
+
+TEST(Attribution, AbortCausesSumToLegacyAbortCounter)
+{
+    ContendedRun run;
+    const StatsRegistry &st = run.sys->stats();
+    const uint64_t aborts = st.counterValue("tm.aborts");
+    ASSERT_GT(aborts, 0u) << "workload was not contended enough";
+
+    // Sink-side attribution and the engine's always-on per-cause
+    // counters must independently sum to tm.aborts.
+    EXPECT_EQ(run.attr->abortTotal(), aborts);
+    EXPECT_EQ(st.sumCounters("tm.abortsByCause."), aborts);
+}
+
+TEST(Attribution, EventStreamIsCycleOrdered)
+{
+    ContendedRun run;
+    const auto evs = run.ring->events();
+    ASSERT_FALSE(evs.empty());
+    for (size_t i = 1; i < evs.size(); ++i)
+        EXPECT_LE(evs[i - 1].cycle, evs[i].cycle) << "at event " << i;
+}
+
+// ----- Chrome trace export --------------------------------------------
+
+TEST(TraceExport, SyntheticStreamParsesBack)
+{
+    std::vector<ObsEvent> evs;
+    evs.push_back({.cycle = 100,
+                   .kind = EventKind::TxBegin,
+                   .ctx = 0,
+                   .thread = 0,
+                   .a = 1});
+    evs.push_back({.cycle = 150,
+                   .kind = EventKind::Conflict,
+                   .ctx = 1,
+                   .thread = 1,
+                   .addr = 0x1000,
+                   .otherCtx = 0,
+                   .access = AccessType::Write,
+                   .falsePositive = true});
+    evs.push_back({.cycle = 200,
+                   .kind = EventKind::TxCommit,
+                   .ctx = 0,
+                   .thread = 0,
+                   .a = 3,
+                   .b = 2});
+
+    TraceExportInfo info;
+    info.numContexts = 2;
+    info.threadsPerCore = 1;
+    std::ostringstream os;
+    exportChromeTrace(evs, info, os);
+
+    const JsonValue root = parseJsonOrDie(os.str());
+    ASSERT_EQ(root.type, JsonValue::Object);
+    const JsonValue &trace = root["traceEvents"];
+    ASSERT_EQ(trace.type, JsonValue::Array);
+
+    int spans = 0, flows = 0, metas = 0, instants = 0;
+    bool sawConflictArgs = false;
+    for (const JsonValue &e : trace.items) {
+        const std::string ph = e["ph"].str;
+        if (ph == "X") {
+            ++spans;
+            EXPECT_EQ(e["name"].str, "tx");
+            EXPECT_DOUBLE_EQ(e["ts"].number, 100);
+            EXPECT_DOUBLE_EQ(e["dur"].number, 100);
+        } else if (ph == "s" || ph == "f") {
+            ++flows;
+        } else if (ph == "M") {
+            ++metas;
+        } else if (ph == "i") {
+            ++instants;
+            if (e["name"].str.rfind("conflict", 0) == 0) {
+                EXPECT_EQ(e["args"]["falsePositive"].boolean, true);
+                sawConflictArgs = true;
+            }
+        }
+    }
+    EXPECT_EQ(spans, 1);
+    EXPECT_EQ(flows, 2);  // one owner->requester arrow = s + f
+    EXPECT_GE(metas, 4);  // 2 process names + 2 context tracks
+    EXPECT_GE(instants, 1);
+    EXPECT_TRUE(sawConflictArgs);
+}
+
+TEST(TraceExport, RealRunHasTrackPerContextAndConflicts)
+{
+    ContendedRun run;
+    TraceExportInfo info;
+    info.numContexts = run.cfg.numContexts();
+    info.threadsPerCore = run.cfg.threadsPerCore;
+    std::ostringstream os;
+    exportChromeTrace(run.ring->events(), info, os);
+
+    const JsonValue root = parseJsonOrDie(os.str());
+    const JsonValue &trace = root["traceEvents"];
+    ASSERT_EQ(trace.type, JsonValue::Array);
+
+    std::map<double, int> ctxTracks;
+    int conflicts = 0;
+    for (const JsonValue &e : trace.items) {
+        if (e["ph"].str == "M" && e["name"].str == "thread_name" &&
+            e["pid"].number == 0)
+            ++ctxTracks[e["tid"].number];
+        if (e["ph"].str == "i" &&
+            e["name"].str.rfind("conflict", 0) == 0)
+            ++conflicts;
+    }
+    EXPECT_EQ(ctxTracks.size(), run.cfg.numContexts());
+    EXPECT_GT(conflicts, 0);
+}
+
+// ----- snapshot files --------------------------------------------------
+
+TEST(ObsSession, WritesReconcilingSnapshotFiles)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "logtm_obs_test";
+    fs::remove_all(dir);
+
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    TmSystem sys(cfg);
+    {
+        ObsConfig ocfg;
+        ocfg.outDir = dir.string();
+        ocfg.trace = true;
+        ocfg.numContexts = cfg.numContexts();
+        ocfg.threadsPerCore = cfg.threadsPerCore;
+        ObsSession session(sys.sim().events(), sys.stats(), ocfg);
+
+        WorkloadParams p;
+        p.numThreads = 8;
+        p.useTm = true;
+        p.totalUnits = 256;
+        MicrobenchConfig mb;
+        mb.numCounters = 8;
+        mb.readsPerTx = 2;
+        mb.writesPerTx = 2;
+        MicrobenchWorkload wl(sys, p, mb);
+        wl.run();
+        session.finish();
+    }
+
+    std::ifstream sj(dir / "stats.json");
+    ASSERT_TRUE(sj.good());
+    std::stringstream sbuf;
+    sbuf << sj.rdbuf();
+    const JsonValue stats = parseJsonOrDie(sbuf.str());
+
+    // Per-cause abort totals reconcile with the legacy counter, both
+    // in the counters section and the attribution section.
+    const JsonValue &counters = stats["counters"];
+    const double aborts = counters["tm.aborts"].number;
+    double causeSum = 0;
+    for (const auto &[name, v] : counters.fields) {
+        if (name.rfind("tm.abortsByCause.", 0) == 0)
+            causeSum += v.number;
+    }
+    EXPECT_DOUBLE_EQ(causeSum, aborts);
+    double attrSum = 0;
+    for (const auto &[name, v] : stats["abortsByCause"].fields)
+        attrSum += v.number;
+    EXPECT_DOUBLE_EQ(attrSum, aborts);
+
+    // Matrix total reconciles with the conflict counters.
+    double matrixSum = 0;
+    for (const JsonValue &cell : stats["conflictMatrix"].items)
+        matrixSum += cell["conflicts"].number;
+    EXPECT_DOUBLE_EQ(matrixSum,
+                     counters["tm.conflictsTrue"].number +
+                         counters["tm.conflictsFalse"].number);
+
+    // Histograms carry percentile fields.
+    const JsonValue &committed =
+        stats["histograms"]["obs.tx.committedCycles"];
+    ASSERT_EQ(committed.type, JsonValue::Object);
+    EXPECT_GT(committed["count"].number, 0);
+    EXPECT_LE(committed["p50"].number, committed["p99"].number);
+
+    // The trace file exists and is valid JSON.
+    std::ifstream tj(dir / "events.trace.json");
+    ASSERT_TRUE(tj.good());
+    std::stringstream tbuf;
+    tbuf << tj.rdbuf();
+    const JsonValue trace = parseJsonOrDie(tbuf.str());
+    EXPECT_GT(trace["traceEvents"].items.size(), 0u);
+
+    fs::remove_all(dir);
+}
+
+// ----- stats extensions ------------------------------------------------
+
+TEST(Sampler, WelfordVarianceAndStddev)
+{
+    Sampler s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.sample(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+
+    Sampler empty;
+    EXPECT_EQ(empty.stddev(), 0.0);
+    Sampler one;
+    one.sample(42);
+    EXPECT_EQ(one.stddev(), 0.0);
+}
+
+TEST(Histogram, PercentileFromBuckets)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.sample(5);
+    // All mass in one place: every percentile is the value itself.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+
+    Histogram u;
+    for (uint64_t v = 0; v < 1024; ++v)
+        u.sample(v);
+    // Monotone and bounded by min/max.
+    double prev = u.percentile(0);
+    EXPECT_GE(prev, 0.0);
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const double q = u.percentile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+    EXPECT_DOUBLE_EQ(u.percentile(100), 1023.0);
+    // The median of 0..1023 lies in the [512, 1024) bucket.
+    EXPECT_GE(u.percentile(50), 256.0);
+    EXPECT_LE(u.percentile(50), 1023.0);
+
+    Histogram empty;
+    EXPECT_EQ(empty.percentile(50), 0.0);
+}
+
+// ----- trace categories ------------------------------------------------
+
+TEST(TraceCategories, TrimsWhitespaceAndKnowsSig)
+{
+    setTraceCategories("  tm ,  sig  ");
+    EXPECT_TRUE(traceEnabled(TraceCat::Tm));
+    EXPECT_TRUE(traceEnabled(TraceCat::Sig));
+    EXPECT_FALSE(traceEnabled(TraceCat::Protocol));
+    setTraceCategories("all");
+    EXPECT_TRUE(traceEnabled(TraceCat::Bus));
+    EXPECT_TRUE(traceEnabled(TraceCat::Sig));
+    setTraceCategories("");
+    EXPECT_FALSE(traceEnabled(TraceCat::Tm));
+}
+
+using TraceCategoriesDeath = testing::Test;
+
+TEST(TraceCategoriesDeath, UnknownCategoryIsFatal)
+{
+    EXPECT_DEATH(setTraceCategories("tm,bogus"),
+                 "unknown trace category");
+}
+
+// ----- stat-name convention -------------------------------------------
+
+/** component.instance.metric: dotted, >= 2 segments, leading
+ *  lower-case component, alphanumeric segments. */
+bool
+wellFormedStatName(const std::string &name)
+{
+    if (name.empty() || !std::islower(static_cast<unsigned char>(name[0])))
+        return false;
+    size_t segments = 1;
+    bool segEmpty = false;
+    size_t segLen = 0;
+    for (char c : name) {
+        if (c == '.') {
+            if (segLen == 0)
+                segEmpty = true;
+            ++segments;
+            segLen = 0;
+        } else if (!std::isalnum(static_cast<unsigned char>(c))) {
+            return false;
+        } else {
+            ++segLen;
+        }
+    }
+    return segments >= 2 && !segEmpty && segLen > 0;
+}
+
+TEST(StatNames, EveryRegisteredStatFollowsTheConvention)
+{
+    ContendedRun run;
+    run.attr->foldInto(run.sys->stats());
+    const StatsRegistry &st = run.sys->stats();
+    auto checkAll = [](const auto &map) {
+        for (const auto &[name, stat] : map)
+            EXPECT_TRUE(wellFormedStatName(name)) << name;
+    };
+    checkAll(st.counters());
+    checkAll(st.samplers());
+    checkAll(st.histograms());
+}
+
+} // namespace
+} // namespace logtm
