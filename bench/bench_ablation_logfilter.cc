@@ -24,7 +24,11 @@ main(int argc, char **argv)
     for (uint32_t entries : {0u, 1u, 4u, 16u, 64u}) {
         ExperimentConfig cfg = paperExperiment(Benchmark::BerkeleyDB, 2);
         cfg.wl.useTm = true;
-        cfg.sys.logFilterEntries = entries;
+        // entries == 0 is the no-filter baseline, expressed via the
+        // explicit ablation switch (validate rejects 0-entry filters).
+        cfg.sys.logFilterEnabled = entries != 0;
+        if (entries != 0)
+            cfg.sys.logFilterEntries = entries;
 
         // Measure via a full run; the stats registry reports the
         // filter's effect directly.
@@ -75,7 +79,9 @@ main(int argc, char **argv)
               "RecordsPerTx"});
     for (uint32_t entries : {0u, 1u, 4u, 16u}) {
         SystemConfig sys_cfg;
-        sys_cfg.logFilterEntries = entries;
+        sys_cfg.logFilterEnabled = entries != 0;
+        if (entries != 0)
+            sys_cfg.logFilterEntries = entries;
         sys_cfg.logWriteLatency = 4;  // make log traffic visible
         TmSystem sys(sys_cfg);
         WorkloadParams p;

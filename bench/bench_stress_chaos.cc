@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Chaos stress driver: runs the adversarial fault-injection harness
+ * (check/chaos.hh) from the command line, either as a seed sweep or
+ * as a single replay of a failing configuration.
+ *
+ *   bench_stress_chaos                      # default sweep
+ *   bench_stress_chaos --seeds=128          # wider sweep
+ *   bench_stress_chaos --mix=eviction       # sweep one mix
+ *   bench_stress_chaos --seed=17 --faults=victim=40,nack=10,tick=150
+ *                                           # exact replay of one run
+ *   --snooping                              # snooping coherence
+ *   --units=N                               # work units per run
+ *
+ * Exits 1 on the first failing run, printing the exact --seed and
+ * --faults flags that reproduce it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/chaos.hh"
+
+using namespace logtm;
+
+namespace {
+
+bool
+runOne(uint64_t seed, const FaultPlan &plan, bool snooping,
+       uint64_t units)
+{
+    ChaosParams p;
+    p.seed = seed;
+    p.faults = plan;
+    p.snooping = snooping;
+    if (units)
+        p.totalUnits = units;
+    const ChaosResult r = runChaos(p);
+    std::printf("%s%s\n", r.describe().c_str(),
+                snooping ? " (snooping)" : "");
+    if (!r.ok()) {
+        std::printf("replay: bench_stress_chaos %s%s\n",
+                    r.reproFlags.c_str(), snooping ? " --snooping" : "");
+    }
+    std::fflush(stdout);
+    return r.ok();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 0;       // 0: sweep seeds 1..numSeeds
+    uint64_t num_seeds = 32;
+    uint64_t units = 0;      // 0: harness default
+    bool snooping = false;
+    std::string faults;      // explicit --faults spec wins over mixes
+    std::vector<std::string> mixes =
+        {"eviction", "scheduling", "timing", "everything"};
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("--seed=", 0) == 0)
+            seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+        else if (arg.rfind("--seeds=", 0) == 0)
+            num_seeds = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--faults=", 0) == 0)
+            faults = arg.substr(9);
+        else if (arg.rfind("--mix=", 0) == 0)
+            mixes = {arg.substr(6)};
+        else if (arg.rfind("--units=", 0) == 0)
+            units = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg == "--snooping")
+            snooping = true;
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    if (!faults.empty()) {
+        // Exact replay mode: one plan, one seed (default 1).
+        const FaultPlan plan = FaultPlan::parse(faults);
+        return runOne(seed ? seed : 1, plan, snooping, units) ? 0 : 1;
+    }
+
+    for (const std::string &mix : mixes) {
+        const FaultPlan plan = chaosMix(mix);
+        std::printf("== mix %s (%s) ==\n", mix.c_str(),
+                    plan.format().c_str());
+        const uint64_t lo = seed ? seed : 1;
+        const uint64_t hi = seed ? seed : num_seeds;
+        for (uint64_t s = lo; s <= hi; ++s) {
+            if (!runOne(s, plan, snooping, units))
+                return 1;
+        }
+    }
+    std::printf("all chaos runs passed\n");
+    return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Build the whole tree with AddressSanitizer + UBSan and run the test
+# suite under it. Usage:
+#
+#   scripts/run_sanitized.sh [build-dir] [-- extra ctest args]
+#
+# The chaos suite (test_chaos.cc) under sanitizers is the strongest
+# memory-safety exercise in the repo: forced evictions, deschedules
+# and page remaps hammer every ownership edge between the caches, the
+# undo log and the OS. See docs/ROBUSTNESS.md.
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-asan"}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+cmake -S "$repo_root" -B "$build_dir" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLOGTM_SANITIZE="address;undefined"
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error so a sanitizer report fails the test that caused it.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "$build_dir" --output-on-failure "$@"

@@ -1,0 +1,122 @@
+#include "check/chaos.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+
+FaultPlan
+chaosMix(const std::string &name)
+{
+    if (name == "eviction")
+        return FaultPlan::parse("victim=40,nack=10,tick=150");
+    if (name == "scheduling")
+        return FaultPlan::parse(
+            "desched=12,migrate=8,relocate=6,tick=400");
+    if (name == "timing")
+        return FaultPlan::parse("delay=30,nack=20,tick=200");
+    if (name == "everything")
+        return FaultPlan::parse(
+            "victim=25,desched=8,migrate=5,relocate=4,delay=15,"
+            "nack=10,tick=250");
+    logtm_fatal("unknown chaos mix '" + name + "'");
+}
+
+std::string
+ChaosResult::describe() const
+{
+    std::ostringstream os;
+    os << (ok() ? "OK" : "FAIL") << " [" << reproFlags << "]"
+       << " commits=" << commits << " aborts=" << aborts
+       << " faults=" << faultsInjected << " cycles=" << cycles;
+    if (!completed)
+        os << "\n  incomplete run";
+    if (!sumOk) {
+        os << "\n  counter sum " << counterSum << " != expected "
+           << expectedSum;
+    }
+    if (violations)
+        os << "\n  " << oracleReport;
+    if (watchdogFired)
+        os << "\n  " << watchdogReport;
+    return os.str();
+}
+
+ChaosResult
+runChaos(const ChaosParams &p)
+{
+    SystemConfig cfg;
+    cfg.seed = p.seed;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    cfg.l1Bytes = 1024;   // tiny: natural victimization pressure
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.l2Banks = 4;
+    cfg.signature = p.signature;
+    cfg.coherence = p.snooping ? CoherenceKind::Snooping
+                               : CoherenceKind::Directory;
+    // Forced deschedules must be cheap enough to fire often.
+    cfg.contextSwitchLatency = 200;
+
+    TmSystem sys(cfg);
+    Oracle oracle(sys.sim().queue(), sys.stats(), sys.sim().events(),
+                  sys.mem().data(), sys.os());
+    sys.engine().setObserver(&oracle);
+
+    WorkloadParams wp;
+    wp.numThreads = p.numThreads;
+    wp.useTm = true;
+    wp.totalUnits = p.totalUnits;
+    wp.seed = p.seed;
+
+    MicrobenchConfig mb;
+    mb.numCounters = p.numCounters;
+    mb.readsPerTx = 2;
+    mb.writesPerTx = 2;
+    mb.thinkCycles = 50;
+
+    MicrobenchWorkload wl(sys, wp, mb);
+
+    ChaosResult result;
+    result.reproFlags = "--seed=" + std::to_string(p.seed) +
+        " --faults=" + p.faults.format();
+
+    std::vector<VirtAddr> hot_vas;
+    for (uint32_t i = 0; i < p.numCounters; ++i)
+        hot_vas.push_back(wl.counterAddr(i));
+
+    FaultInjector injector(sys, p.faults, p.seed);
+    injector.install(std::move(hot_vas), [&wl]() { return wl.asid(); });
+    injector.start();
+
+    Watchdog watchdog(sys, Watchdog::Params{p.watchdogThreshold,
+                                            10'000, result.reproFlags});
+    watchdog.arm([&result](const std::string &report) {
+        result.watchdogFired = true;
+        result.watchdogReport = report;
+    });
+
+    const auto run = wl.run([&result]() { return result.watchdogFired; });
+    injector.stop();
+    watchdog.disarm();
+
+    result.completed = wl.unitsCompleted() == p.totalUnits;
+    result.counterSum = wl.counterSum();
+    result.expectedSum = wl.expectedIncrements();
+    result.sumOk = result.counterSum == result.expectedSum;
+    result.violations = oracle.violationCount();
+    if (!oracle.ok())
+        result.oracleReport = oracle.report();
+    result.commits = sys.stats().counterValue("tm.commits");
+    result.aborts = sys.stats().counterValue("tm.aborts");
+    result.faultsInjected = injector.injected();
+    result.cycles = run.cycles;
+    return result;
+}
+
+} // namespace logtm

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Randomized chaos harness: one self-contained adversarial run. A
+ * small, hot system (few cores, tiny L1s, a handful of shared
+ * counters) executes the microbenchmark while a FaultInjector fires
+ * a seeded fault mix, the Oracle machine-checks every transactional
+ * value movement, and a Watchdog bounds the run instead of letting a
+ * livelock hang the test driver.
+ *
+ * Every result carries the exact `--seed=… --faults=…` flags that
+ * reproduce it under bench_stress_chaos, so a failing sweep entry is
+ * a one-command replay.
+ */
+
+#ifndef LOGTM_CHECK_CHAOS_HH
+#define LOGTM_CHECK_CHAOS_HH
+
+#include <string>
+
+#include "check/fault_injector.hh"
+#include "check/oracle.hh"
+#include "check/watchdog.hh"
+
+namespace logtm {
+
+struct ChaosParams
+{
+    uint64_t seed = 1;
+    FaultPlan faults;
+    bool snooping = false;
+    uint32_t numThreads = 6;
+    uint64_t totalUnits = 96;
+    uint32_t numCounters = 8;
+    SignatureConfig signature = sigBS(256);
+    Cycle watchdogThreshold = 300'000;
+};
+
+struct ChaosResult
+{
+    bool completed = false;      ///< every work unit finished
+    bool watchdogFired = false;
+    bool sumOk = false;          ///< counter-sum atomicity invariant
+    uint64_t counterSum = 0;
+    uint64_t expectedSum = 0;
+    uint64_t violations = 0;     ///< oracle violations
+    std::string oracleReport;    ///< empty when clean
+    std::string watchdogReport;  ///< empty unless fired
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t faultsInjected = 0;
+    Cycle cycles = 0;
+    /** Exact replay flags: "--seed=N --faults=…". */
+    std::string reproFlags;
+
+    bool
+    ok() const
+    {
+        return completed && !watchdogFired && sumOk && violations == 0;
+    }
+
+    /** One-line verdict + repro flags (+ reports on failure). */
+    std::string describe() const;
+};
+
+/** Standard fault mixes for the sweeps (by name: "eviction",
+ *  "scheduling", "timing", "everything"; fatal on unknown). */
+FaultPlan chaosMix(const std::string &name);
+
+ChaosResult runChaos(const ChaosParams &params);
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_CHAOS_HH

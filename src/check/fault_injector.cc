@@ -1,0 +1,305 @@
+#include "check/fault_injector.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+namespace {
+
+/** Poll period for the deschedule→reschedule cycle; also the lower
+ *  bound on how long a forced deschedule keeps a thread off-core. */
+constexpr Cycle reschedulePollCycles = 64;
+
+/** Injected message/grant delays are uniform in [1, this]. */
+constexpr Cycle maxInjectedDelay = 24;
+
+} // namespace
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Victimize:    return "victimize";
+      case FaultKind::Desched:      return "desched";
+      case FaultKind::Migrate:      return "migrate";
+      case FaultKind::Relocate:     return "relocate";
+      case FaultKind::MeshDelay:    return "meshDelay";
+      case FaultKind::SpuriousNack: return "spuriousNack";
+      case FaultKind::NumKinds:     break;
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::any() const
+{
+    return victimPct || deschedPct || migratePct || relocatePct ||
+        delayPct || nackPct;
+}
+
+std::string
+FaultPlan::format() const
+{
+    std::ostringstream os;
+    os << "victim=" << victimPct << ",desched=" << deschedPct
+       << ",migrate=" << migratePct << ",relocate=" << relocatePct
+       << ",delay=" << delayPct << ",nack=" << nackPct
+       << ",tick=" << tickInterval;
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ',')) {
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos) {
+            logtm_fatal("bad fault spec item '" + item +
+                        "' (want key=value)");
+        }
+        const std::string key = item.substr(0, eq);
+        uint64_t value = 0;
+        try {
+            value = std::stoull(item.substr(eq + 1));
+        } catch (...) {
+            logtm_fatal("bad fault value in '" + item + "'");
+        }
+        if (key == "tick") {
+            if (value == 0)
+                logtm_fatal("fault tick interval must be nonzero");
+            plan.tickInterval = value;
+            continue;
+        }
+        if (value > 100)
+            logtm_fatal("fault probability '" + item +
+                        "' exceeds 100%");
+        const auto pct = static_cast<uint32_t>(value);
+        if (key == "victim")
+            plan.victimPct = pct;
+        else if (key == "desched")
+            plan.deschedPct = pct;
+        else if (key == "migrate")
+            plan.migratePct = pct;
+        else if (key == "relocate")
+            plan.relocatePct = pct;
+        else if (key == "delay")
+            plan.delayPct = pct;
+        else if (key == "nack")
+            plan.nackPct = pct;
+        else
+            logtm_fatal("unknown fault kind '" + key + "'");
+    }
+    return plan;
+}
+
+FaultInjector::FaultInjector(TmSystem &sys, const FaultPlan &plan,
+                             uint64_t seed)
+    : sys_(sys), plan_(plan),
+      rng_(seed ^ 0xc4a05fau)  // decorrelate from the system RNG
+{
+    if (plan_.nackPct > 75) {
+        logtm_fatal("nack probability " +
+                    std::to_string(plan_.nackPct) +
+                    " would starve the system");
+    }
+    for (size_t k = 0; k < counters_.size(); ++k) {
+        counters_[k] = &sys_.stats().counter(
+            std::string("chk.faults.") +
+            faultKindName(static_cast<FaultKind>(k)));
+    }
+}
+
+void
+FaultInjector::install(std::vector<VirtAddr> hotVas,
+                       std::function<Asid()> asidOf)
+{
+    hotVas_ = std::move(hotVas);
+    asidOf_ = std::move(asidOf);
+    installed_ = true;
+
+    MemorySystem &mem = sys_.mem();
+    if (plan_.delayPct) {
+        if (mem.snooping()) {
+            mem.bus().setDelayHook([this](const BusRequest &) -> Cycle {
+                if (stopped_ || !rng_.percent(plan_.delayPct))
+                    return 0;
+                const Cycle d = rng_.range(1, maxInjectedDelay);
+                fire(FaultKind::MeshDelay, d);
+                return d;
+            });
+        } else {
+            mem.mesh().setDelayHook([this](const Msg &) -> Cycle {
+                if (stopped_ || !rng_.percent(plan_.delayPct))
+                    return 0;
+                const Cycle d = rng_.range(1, maxInjectedDelay);
+                fire(FaultKind::MeshDelay, d);
+                return d;
+            });
+        }
+    }
+    if (plan_.nackPct) {
+        const auto hook = [this](PhysAddr block) {
+            if (stopped_ || !rng_.percent(plan_.nackPct))
+                return false;
+            fire(FaultKind::SpuriousNack, block);
+            return true;
+        };
+        for (CoreId c = 0; c < sys_.config().numCores; ++c) {
+            if (mem.snooping())
+                mem.snoopL1(c).setSpuriousNackHook(hook);
+            else
+                mem.l1(c).setSpuriousNackHook(hook);
+        }
+    }
+}
+
+void
+FaultInjector::start()
+{
+    logtm_assert(installed_, "FaultInjector::start before install");
+    stopped_ = false;
+    sys_.sim().queue().scheduleIn(plan_.tickInterval,
+                                  [this]() { tick(); });
+}
+
+void
+FaultInjector::stop()
+{
+    stopped_ = true;
+}
+
+void
+FaultInjector::fire(FaultKind k, uint64_t detail)
+{
+    ++injected_;
+    ++perKind_[static_cast<size_t>(k)];
+    ++*counters_[static_cast<size_t>(k)];
+    logtm_obs_emit(sys_.sim().events(),
+                   ObsEvent{.cycle = sys_.now(),
+                         .kind = EventKind::ChkFault,
+                         .a = static_cast<uint64_t>(k), .b = detail});
+}
+
+void
+FaultInjector::tick()
+{
+    if (stopped_)
+        return;
+    if (plan_.victimPct && rng_.percent(plan_.victimPct))
+        victimizeRandom();
+    if (plan_.deschedPct && rng_.percent(plan_.deschedPct))
+        preemptRandom(false);
+    if (plan_.migratePct && rng_.percent(plan_.migratePct))
+        preemptRandom(true);
+    if (plan_.relocatePct && rng_.percent(plan_.relocatePct))
+        relocateRandom();
+    sys_.sim().queue().scheduleIn(plan_.tickInterval,
+                                  [this]() { tick(); });
+}
+
+void
+FaultInjector::victimizeRandom()
+{
+    MemorySystem &mem = sys_.mem();
+    const CoreId core =
+        static_cast<CoreId>(rng_.below(sys_.config().numCores));
+
+    std::vector<PhysAddr> all;
+    std::vector<PhysAddr> transactional;
+    const auto collect = [&](PhysAddr block) {
+        all.push_back(block);
+        if (sys_.engine().inAnyLocalSig(core, block))
+            transactional.push_back(block);
+    };
+    if (mem.snooping())
+        mem.snoopL1(core).forEachCachedBlock(collect);
+    else
+        mem.l1(core).forEachCachedBlock(collect);
+
+    // Prefer evicting a block some local transaction depends on: that
+    // is the case the decoupled design must survive (sticky states /
+    // broadcast re-checks), and the one a victim cache would hide.
+    const std::vector<PhysAddr> &pool =
+        transactional.empty() ? all : transactional;
+    if (pool.empty())
+        return;
+    const PhysAddr block = pool[rng_.below(pool.size())];
+
+    const bool evicted = mem.snooping()
+        ? mem.snoopL1(core).forceEvict(block)
+        : mem.l1(core).forceEvict(block);
+    if (evicted)
+        fire(FaultKind::Victimize, block);
+}
+
+void
+FaultInjector::preemptRandom(bool migrate)
+{
+    const uint32_t n = sys_.engine().numThreads();
+    if (n == 0)
+        return;
+    const ThreadId t = static_cast<ThreadId>(rng_.below(n));
+    OsKernel &os = sys_.os();
+    if (os.contextOf(t) == invalidCtx || os.preemptPending(t))
+        return;  // already off-core or already targeted
+    os.requestPreempt(t);
+    fire(migrate ? FaultKind::Migrate : FaultKind::Desched, t);
+    sys_.sim().queue().scheduleIn(reschedulePollCycles,
+        [this, t, migrate]() { pollReschedule(t, migrate); });
+}
+
+void
+FaultInjector::pollReschedule(ThreadId t, bool migrate)
+{
+    OsKernel &os = sys_.os();
+    if (os.contextOf(t) == invalidCtx) {
+        // The preempt was serviced; put the thread back. Software
+        // threads never outnumber contexts here, so a slot exists.
+        if (migrate) {
+            std::vector<CtxId> free;
+            for (CtxId c = 0; c < sys_.engine().numContexts(); ++c) {
+                if (sys_.engine().context(c).thread == invalidThread)
+                    free.push_back(c);
+            }
+            if (!free.empty()) {
+                os.scheduleThread(t, free[rng_.below(free.size())]);
+                return;
+            }
+        }
+        os.scheduleThread(t);
+        return;
+    }
+    if (os.preemptPending(t)) {
+        // Not yet at an operation boundary (or the thread finished
+        // and never will be); keep watching so no thread is ever
+        // left descheduled without a reschedule pending.
+        sys_.sim().queue().scheduleIn(reschedulePollCycles,
+            [this, t, migrate]() { pollReschedule(t, migrate); });
+    }
+    // else: serviced and rescheduled by an overlapping fault — done.
+}
+
+void
+FaultInjector::relocateRandom()
+{
+    if (hotVas_.empty() || !asidOf_)
+        return;
+    // Quiescence gate: an in-flight access captured its physical
+    // address at translate time; remapping under it would fabricate
+    // a lost update no real machine could exhibit.
+    if (sys_.engine().opsInFlight() != 0)
+        return;
+    const VirtAddr va = hotVas_[rng_.below(hotVas_.size())];
+    const Asid asid = asidOf_();
+    const uint64_t new_page = sys_.os().relocatePage(asid, va);
+    fire(FaultKind::Relocate, new_page);
+}
+
+} // namespace logtm

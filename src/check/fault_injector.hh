@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Adversarial fault injection for the LogTM-SE simulator. A
+ * FaultPlan describes a mix of seeded, config-driven chaos events;
+ * the FaultInjector wires them into the assembled system through
+ * narrow hooks and fires them from its own deterministic RNG stream:
+ *
+ *  - Victimize: force-evict L1 lines (preferring blocks covered by a
+ *    transactional signature) to stress sticky states / the snooping
+ *    argument that conflict detection survives loss of cache
+ *    residency;
+ *  - Desched / Migrate: preempt threads mid-transaction and
+ *    reschedule them (elsewhere), exercising signature save/restore
+ *    and summary signatures (paper §4.1);
+ *  - Relocate: remap a hot page to a fresh physical frame, forcing
+ *    the §4.2 signature-rewrite path. Gated on engine quiescence: an
+ *    in-flight access holds a physical address across the remap,
+ *    which no real OS would allow either;
+ *  - MeshDelay / BusDelay: stretch message or bus-grant latencies to
+ *    shuffle interleavings (FIFO delivery is preserved by
+ *    construction, so only timing changes);
+ *  - SpuriousNack: make L1 accesses fail with transient,
+ *    non-conflict NACKs that force the requester to retry.
+ *
+ * Every injected fault bumps a "chk.faults.<kind>" counter and
+ * publishes a ChkFault observability event. All randomness comes
+ * from one Rng seeded from the run seed, so a failing run replays
+ * exactly from its printed --seed/--faults flags.
+ */
+
+#ifndef LOGTM_CHECK_FAULT_INJECTOR_HH
+#define LOGTM_CHECK_FAULT_INJECTOR_HH
+
+#include <array>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "os/tm_system.hh"
+
+namespace logtm {
+
+enum class FaultKind : uint8_t {
+    Victimize,
+    Desched,
+    Migrate,
+    Relocate,
+    MeshDelay,
+    SpuriousNack,
+    NumKinds,
+};
+
+const char *faultKindName(FaultKind k);
+
+/**
+ * Probabilities are percentages: per injector tick for the
+ * tick-driven kinds (victim/desched/migrate/relocate) and per
+ * message / access for the hook-driven kinds (delay/nack).
+ */
+struct FaultPlan
+{
+    uint32_t victimPct = 0;
+    uint32_t deschedPct = 0;
+    uint32_t migratePct = 0;
+    uint32_t relocatePct = 0;
+    uint32_t delayPct = 0;
+    uint32_t nackPct = 0;
+    Cycle tickInterval = 200;
+
+    bool any() const;
+
+    /** "victim=30,desched=20,...,tick=200" — parse() round-trips. */
+    std::string format() const;
+
+    /** Parse a --faults= spec; fatal on unknown keys or bad values. */
+    static FaultPlan parse(const std::string &spec);
+};
+
+class FaultInjector
+{
+  public:
+    FaultInjector(TmSystem &sys, const FaultPlan &plan, uint64_t seed);
+
+    /**
+     * Install the message/access hooks and remember the relocation
+     * targets. @p asidOf is queried lazily at fire time (the
+     * workload's process does not exist until its run() starts).
+     */
+    void install(std::vector<VirtAddr> hotVas,
+                 std::function<Asid()> asidOf);
+
+    /** Schedule the first tick. */
+    void start();
+
+    /** Stop firing: ticks stop rescheduling and the installed hooks
+     *  go quiet (pending reschedule polls still complete so no
+     *  thread is left descheduled forever). */
+    void stop();
+
+    uint64_t injected() const { return injected_; }
+    uint64_t injectedOf(FaultKind k) const
+    { return perKind_[static_cast<size_t>(k)]; }
+
+  private:
+    void tick();
+    void fire(FaultKind k, uint64_t detail);
+    void victimizeRandom();
+    void preemptRandom(bool migrate);
+    void pollReschedule(ThreadId t, bool migrate);
+    void relocateRandom();
+
+    TmSystem &sys_;
+    FaultPlan plan_;
+    Rng rng_;
+    bool stopped_ = false;
+    bool installed_ = false;
+    std::vector<VirtAddr> hotVas_;
+    std::function<Asid()> asidOf_;
+
+    uint64_t injected_ = 0;
+    std::array<uint64_t, static_cast<size_t>(FaultKind::NumKinds)>
+        perKind_{};
+    std::array<Counter *, static_cast<size_t>(FaultKind::NumKinds)>
+        counters_{};
+};
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_FAULT_INJECTOR_HH

@@ -1,0 +1,295 @@
+#include "check/oracle.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+const char *
+violationKindName(ViolationKind k)
+{
+    switch (k) {
+      case ViolationKind::DirtyRead:        return "dirtyRead";
+      case ViolationKind::StaleRead:        return "staleRead";
+      case ViolationKind::LostUpdate:       return "lostUpdate";
+      case ViolationKind::TornAbort:        return "tornAbort";
+      case ViolationKind::WriteOverlap:     return "writeOverlap";
+      case ViolationKind::SigFalseNegative: return "sigFalseNegative";
+      case ViolationKind::NumKinds:         break;
+    }
+    return "unknown";
+}
+
+std::string
+Violation::describe() const
+{
+    std::ostringstream os;
+    os << violationKindName(kind) << " t" << thread << " asid" << asid
+       << " va=0x" << std::hex << va << std::dec
+       << " expected=" << expected << " actual=" << actual
+       << " @cycle " << cycle;
+    return os.str();
+}
+
+Oracle::Oracle(EventQueue &queue, StatsRegistry &stats, EventBus &events,
+               DataStore &data, AddressTranslator &xlate)
+    : queue_(queue), events_(events), data_(data), xlate_(xlate),
+      violationsStat_(stats.counter("chk.violations")), stats_(stats)
+{
+}
+
+uint64_t
+Oracle::makeKey(Asid asid, VirtAddr va)
+{
+    logtm_assert(va < (1ull << 56), "virtual address too large for key");
+    return (static_cast<uint64_t>(asid) << 56) | va;
+}
+
+Oracle::ThreadState &
+Oracle::state(ThreadId t, Asid asid)
+{
+    ThreadState &st = threads_[t];
+    st.asid = asid;
+    return st;
+}
+
+ThreadId
+Oracle::otherWriterOf(ThreadId self, Asid asid, uint64_t key) const
+{
+    for (const auto &[t, st] : threads_) {
+        if (t == self || st.asid != asid)
+            continue;
+        if (st.pendingValue(key))
+            return t;
+    }
+    return invalidThread;
+}
+
+void
+Oracle::flag(ViolationKind kind, ThreadId t, Asid asid, VirtAddr va,
+             uint64_t expected, uint64_t actual)
+{
+    ++totalViolations_;
+    ++violationsStat_;
+    ++stats_.counter(std::string("chk.violationsByKind.") +
+                     violationKindName(kind));
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = queue_.now(),
+                         .kind = EventKind::ChkViolation,
+                         .thread = t, .addr = va,
+                         .a = static_cast<uint64_t>(kind)});
+    // Keep a bounded sample; the counters stay exact.
+    if (violations_.size() < 256) {
+        violations_.push_back(Violation{kind, t, asid, va, expected,
+                                        actual, queue_.now()});
+    }
+}
+
+std::string
+Oracle::report(size_t maxEntries) const
+{
+    std::ostringstream os;
+    os << totalViolations_ << " oracle violation(s)";
+    const size_t n = std::min(maxEntries, violations_.size());
+    for (size_t i = 0; i < n; ++i)
+        os << "\n  " << violations_[i].describe();
+    if (violations_.size() > n)
+        os << "\n  ... (" << violations_.size() - n << " more recorded)";
+    return os.str();
+}
+
+void
+Oracle::onTxBegin(ThreadId t, Asid asid, size_t depth, bool open)
+{
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.frames.size() + 1 == depth,
+                 "oracle frame stack out of sync with engine");
+    Frame frame;
+    frame.open = open;
+    st.frames.push_back(std::move(frame));
+}
+
+void
+Oracle::onTxRead(ThreadId t, Asid asid, VirtAddr va, uint64_t value)
+{
+    const uint64_t key = makeKey(asid, va);
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.inTx(), "transactional read outside a frame");
+
+    const ThreadId writer = otherWriterOf(t, asid, key);
+    if (writer != invalidThread) {
+        const uint64_t *theirs =
+            threads_.at(writer).pendingValue(key);
+        flag(ViolationKind::DirtyRead, t, asid, va,
+             shadowMem_.count(key) ? shadowMem_.at(key) : 0,
+             theirs ? *theirs : value);
+        return;
+    }
+
+    if (const uint64_t *own = st.pendingValue(key)) {
+        // Read-own-write: must observe the pending value.
+        if (value != *own)
+            flag(ViolationKind::StaleRead, t, asid, va, *own, value);
+        return;
+    }
+
+    const auto it = shadowMem_.find(key);
+    if (it == shadowMem_.end()) {
+        shadowMem_.emplace(key, value);  // adopt initial contents
+    } else if (it->second != value) {
+        flag(ViolationKind::StaleRead, t, asid, va, it->second, value);
+    }
+
+    // Record the first committed-state read anywhere in the frame
+    // stack for re-validation at commit time.
+    bool seen = false;
+    for (const Frame &f : st.frames)
+        seen = seen || f.reads.count(key) != 0;
+    if (!seen)
+        st.frames.back().reads.emplace(key, value);
+}
+
+void
+Oracle::onTxWrite(ThreadId t, Asid asid, VirtAddr va, uint64_t oldValue,
+                  uint64_t newValue)
+{
+    const uint64_t key = makeKey(asid, va);
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.inTx(), "transactional write outside a frame");
+
+    const ThreadId writer = otherWriterOf(t, asid, key);
+    if (writer != invalidThread)
+        flag(ViolationKind::WriteOverlap, t, asid, va, 0, newValue);
+
+    // The value being overwritten must be either our own pending
+    // value or the committed one; anything else means an update was
+    // silently clobbered somewhere.
+    if (const uint64_t *own = st.pendingValue(key)) {
+        if (writer == invalidThread && oldValue != *own)
+            flag(ViolationKind::LostUpdate, t, asid, va, *own, oldValue);
+    } else {
+        const auto it = shadowMem_.find(key);
+        if (it == shadowMem_.end())
+            shadowMem_.emplace(key, oldValue);
+        else if (writer == invalidThread && it->second != oldValue)
+            flag(ViolationKind::LostUpdate, t, asid, va, it->second,
+                 oldValue);
+    }
+
+    Frame &top = st.frames.back();
+    top.pre.try_emplace(key, oldValue);
+    top.last[key] = newValue;
+}
+
+void
+Oracle::onDirectWrite(ThreadId t, Asid asid, VirtAddr va,
+                      uint64_t newValue, bool escape)
+{
+    const uint64_t key = makeKey(asid, va);
+    // Escape actions and atomic RMWs bypass conflict detection by
+    // design (paper §6.2); plain non-transactional stores must not
+    // land on a word some transaction holds isolated.
+    if (!escape) {
+        const ThreadId writer = otherWriterOf(t, asid, key);
+        if (writer != invalidThread)
+            flag(ViolationKind::WriteOverlap, t, asid, va, 0, newValue);
+    }
+    shadowMem_[key] = newValue;
+}
+
+void
+Oracle::onNestedCommit(ThreadId t, Asid asid, bool open)
+{
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.frames.size() > 1, "nested commit at depth <= 1");
+    Frame child = std::move(st.frames.back());
+    st.frames.pop_back();
+    Frame &parent = st.frames.back();
+
+    if (open) {
+        // Open commit: the child's effects become permanent and its
+        // isolation is released; its reads and pre-images die with it.
+        for (const auto &[key, value] : child.last)
+            shadowMem_[key] = value;
+        return;
+    }
+
+    // Closed commit: fold into the parent, as mergeTopIntoParent does
+    // for the undo log. First-write-wins for pre-images (the oldest
+    // record is what a LIFO unwind restores last).
+    for (const auto &[key, value] : child.pre)
+        parent.pre.try_emplace(key, value);
+    for (const auto &[key, value] : child.last)
+        parent.last[key] = value;
+    for (const auto &[key, value] : child.reads)
+        parent.reads.try_emplace(key, value);
+}
+
+void
+Oracle::onTxCommit(ThreadId t, Asid asid)
+{
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.frames.size() == 1,
+                 "outermost commit with nested frames outstanding");
+    Frame &f = st.frames.back();
+
+    // Serializability at the commit point: every committed-state read
+    // the transaction made must still match the committed value,
+    // unless the transaction itself rewrote the word.
+    for (const auto &[key, readValue] : f.reads) {
+        if (f.last.count(key))
+            continue;
+        const auto it = shadowMem_.find(key);
+        if (it != shadowMem_.end() && it->second != readValue) {
+            flag(ViolationKind::StaleRead, t, asid, keyVa(key),
+                 it->second, readValue);
+        }
+    }
+
+    // Atomicity of the writes: memory must hold the transaction's
+    // final value for every word it wrote; then it commits.
+    for (const auto &[key, lastValue] : f.last) {
+        const VirtAddr va = keyVa(key);
+        const uint64_t actual = data_.load(xlate_.translate(asid, va));
+        if (actual != lastValue)
+            flag(ViolationKind::LostUpdate, t, asid, va, lastValue,
+                 actual);
+        shadowMem_[key] = lastValue;
+    }
+
+    st.frames.clear();
+}
+
+void
+Oracle::onAbortFrame(ThreadId t, Asid asid, size_t depthBefore)
+{
+    ThreadState &st = state(t, asid);
+    logtm_assert(st.frames.size() == depthBefore,
+                 "oracle frame stack out of sync at abort");
+    Frame &f = st.frames.back();
+
+    // The undo walk just finished: every word this frame wrote must
+    // be back at its pre-image, byte for byte.
+    for (const auto &[key, preValue] : f.pre) {
+        const VirtAddr va = keyVa(key);
+        const uint64_t actual = data_.load(xlate_.translate(asid, va));
+        if (actual != preValue)
+            flag(ViolationKind::TornAbort, t, asid, va, preValue,
+                 actual);
+    }
+
+    st.frames.pop_back();
+}
+
+void
+Oracle::onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx, PhysAddr block,
+                           AccessType access)
+{
+    (void)reqCtx;
+    (void)access;
+    flag(ViolationKind::SigFalseNegative, invalidThread, 0, block,
+         ownerCtx, 0);
+}
+
+} // namespace logtm

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Correctness oracle for LogTM-SE: a shadow-memory serializability
+ * checker driven by the engine's TxObserver tap (tm/tx_observer.hh).
+ *
+ * The oracle maintains, per address space, the *committed* value of
+ * every word ever touched, plus per-thread transaction frames that
+ * mirror the undo-log structure (first-write pre-images, last written
+ * values, committed-state reads). Against that model it machine-checks
+ * the guarantees the paper's mechanisms are supposed to provide:
+ *
+ *  - isolation: no transaction reads or overwrites another
+ *    transaction's uncommitted in-place value (DirtyRead /
+ *    WriteOverlap);
+ *  - serializability at commit: every committed-state read still
+ *    matches the committed value when the reader commits (StaleRead),
+ *    and every written word holds the transaction's final value
+ *    (LostUpdate);
+ *  - atomicity of aborts: unwinding a frame restores each written
+ *    word byte-for-byte to its pre-image (TornAbort);
+ *  - signature soundness: the exact shadow sets (the "perfect
+ *    signature" ground truth) never see a conflict the signature path
+ *    missed (SigFalseNegative).
+ *
+ * Escape actions and atomic RMWs bypass conflict detection by design
+ * (paper §6.2) and are folded into the committed state without
+ * isolation checks. The oracle is strictly passive and keyed by
+ * (asid, virtual address), which makes page relocation (§4.2)
+ * transparent: the committed *virtual* contents never change.
+ */
+
+#ifndef LOGTM_CHECK_ORACLE_HH
+#define LOGTM_CHECK_ORACLE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/data_store.hh"
+#include "obs/event_bus.hh"
+#include "sim/event_queue.hh"
+#include "tm/logtm_se_engine.hh"
+#include "tm/tx_observer.hh"
+
+namespace logtm {
+
+enum class ViolationKind : uint8_t {
+    DirtyRead,        ///< read another tx's uncommitted value
+    StaleRead,        ///< committed-state read no longer valid
+    LostUpdate,       ///< overwrote / committed over an unseen value
+    TornAbort,        ///< abort failed to restore a pre-image
+    WriteOverlap,     ///< two uncommitted writes to one word
+    SigFalseNegative, ///< signature missed a real conflict
+    NumKinds,
+};
+
+const char *violationKindName(ViolationKind k);
+
+struct Violation
+{
+    ViolationKind kind = ViolationKind::NumKinds;
+    ThreadId thread = invalidThread;
+    Asid asid = 0;
+    VirtAddr va = 0;
+    uint64_t expected = 0;
+    uint64_t actual = 0;
+    Cycle cycle = 0;
+
+    std::string describe() const;
+};
+
+class Oracle : public TxObserver
+{
+  public:
+    Oracle(EventQueue &queue, StatsRegistry &stats, EventBus &events,
+           DataStore &data, AddressTranslator &xlate);
+
+    // ----- TxObserver --------------------------------------------------
+
+    void onTxBegin(ThreadId t, Asid asid, size_t depth,
+                   bool open) override;
+    void onTxRead(ThreadId t, Asid asid, VirtAddr va,
+                  uint64_t value) override;
+    void onTxWrite(ThreadId t, Asid asid, VirtAddr va,
+                   uint64_t oldValue, uint64_t newValue) override;
+    void onDirectWrite(ThreadId t, Asid asid, VirtAddr va,
+                       uint64_t newValue, bool escape) override;
+    void onTxCommit(ThreadId t, Asid asid) override;
+    void onNestedCommit(ThreadId t, Asid asid, bool open) override;
+    void onAbortFrame(ThreadId t, Asid asid,
+                      size_t depthBefore) override;
+    void onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx,
+                            PhysAddr block, AccessType access) override;
+
+    // ----- results -----------------------------------------------------
+
+    bool ok() const { return violations_.empty(); }
+    const std::vector<Violation> &violations() const
+    { return violations_; }
+    uint64_t violationCount() const { return totalViolations_; }
+
+    /** Human-readable dump of the first few violations. */
+    std::string report(size_t maxEntries = 8) const;
+
+  private:
+    /** One transaction frame, mirroring a TxLog frame. */
+    struct Frame
+    {
+        bool open = false;
+        /** Value each word held before this frame's first write
+         *  (what an abort of the frame must restore). */
+        std::unordered_map<uint64_t, uint64_t> pre;
+        /** Last value this frame wrote to each word. */
+        std::unordered_map<uint64_t, uint64_t> last;
+        /** First committed-state read of each word (not reads of the
+         *  thread's own pending writes); re-validated at commit. */
+        std::unordered_map<uint64_t, uint64_t> reads;
+    };
+
+    struct ThreadState
+    {
+        Asid asid = 0;
+        std::vector<Frame> frames;
+
+        bool inTx() const { return !frames.empty(); }
+
+        /** Innermost pending value for @p key, or nullptr. */
+        const uint64_t *
+        pendingValue(uint64_t key) const
+        {
+            for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+                const auto f = it->last.find(key);
+                if (f != it->last.end())
+                    return &f->second;
+            }
+            return nullptr;
+        }
+    };
+
+    static uint64_t makeKey(Asid asid, VirtAddr va);
+    static VirtAddr keyVa(uint64_t key)
+    { return key & ((1ull << 56) - 1); }
+
+    ThreadState &state(ThreadId t, Asid asid);
+
+    /** First other same-asid thread with an uncommitted write to
+     *  @p key, or invalidThread. */
+    ThreadId otherWriterOf(ThreadId self, Asid asid, uint64_t key) const;
+
+    void flag(ViolationKind kind, ThreadId t, Asid asid, VirtAddr va,
+              uint64_t expected, uint64_t actual);
+
+    EventQueue &queue_;
+    EventBus &events_;
+    DataStore &data_;
+    AddressTranslator &xlate_;
+
+    /** Committed value of every word, keyed by (asid, va). Words are
+     *  adopted on first observation. */
+    std::unordered_map<uint64_t, uint64_t> shadowMem_;
+    std::unordered_map<ThreadId, ThreadState> threads_;
+
+    std::vector<Violation> violations_;  ///< bounded; see cc
+    uint64_t totalViolations_ = 0;
+
+    Counter &violationsStat_;
+    StatsRegistry &stats_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_ORACLE_HH

@@ -1,0 +1,164 @@
+#include "check/watchdog.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+Watchdog::Watchdog(TmSystem &sys, Params params)
+    : sys_(sys), params_(std::move(params)),
+      firedStat_(sys.stats().counter("chk.watchdogFired"))
+{
+    logtm_assert(params_.checkInterval > 0, "zero check interval");
+}
+
+Watchdog::~Watchdog()
+{
+    disarm();
+}
+
+void
+Watchdog::arm(ReportFn onFire)
+{
+    onFire_ = std::move(onFire);
+    sys_.sim().events().attach(this);
+    armed_ = true;
+    fired_ = false;
+    armCycle_ = sys_.now();
+    lastCommit_ = armCycle_;
+    ++generation_;
+    const uint64_t gen = generation_;
+    sys_.sim().queue().scheduleIn(params_.checkInterval, [this, gen]() {
+        if (gen == generation_)
+            check();
+    });
+}
+
+void
+Watchdog::disarm()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    ++generation_;  // orphan any scheduled check
+    sys_.sim().events().detach(this);
+}
+
+void
+Watchdog::onEvent(const ObsEvent &ev)
+{
+    switch (ev.kind) {
+      case EventKind::TxCommit:
+        lastCommit_ = ev.cycle;
+        ++commitsSeen_;
+        waits_.clear();  // edges from before the commit are stale
+        break;
+      case EventKind::TxAbort:
+        ++abortsSeen_;
+        break;
+      case EventKind::TxStall:
+        if (ev.ctx != invalidCtx)
+            waits_[ev.ctx] = WaitEdge{ev.otherCtx, ev.cycle};
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Watchdog::check()
+{
+    if (!armed_)
+        return;
+
+    bool any_in_tx = false;
+    LogTmSeEngine &engine = sys_.engine();
+    for (ThreadId t = 0; t < engine.numThreads(); ++t)
+        any_in_tx = any_in_tx || engine.inTx(t);
+
+    const Cycle now = sys_.now();
+    if (any_in_tx && now - lastCommit_ >= params_.threshold) {
+        fired_ = true;
+        ++firedStat_;
+        report_ = buildReport();
+        disarm();
+        if (onFire_)
+            onFire_(report_);
+        else
+            logtm_fatal(report_);
+        return;
+    }
+
+    const uint64_t gen = generation_;
+    sys_.sim().queue().scheduleIn(params_.checkInterval, [this, gen]() {
+        if (gen == generation_)
+            check();
+    });
+}
+
+std::string
+Watchdog::buildReport() const
+{
+    LogTmSeEngine &engine = sys_.engine();
+    std::ostringstream os;
+    if (!params_.context.empty())
+        os << params_.context << "\n";
+    os << "watchdog: no commit for " << sys_.now() - lastCommit_
+       << " cycles (now=" << sys_.now() << ", commits=" << commitsSeen_
+       << ", aborts=" << abortsSeen_ << ")";
+
+    // Per-thread transactional state.
+    for (ThreadId t = 0; t < engine.numThreads(); ++t) {
+        TxThread &thr = engine.thread(t);
+        os << "\n  t" << t << ": ";
+        if (thr.ctx == invalidCtx)
+            os << "descheduled";
+        else
+            os << "ctx" << thr.ctx;
+        if (thr.inTx()) {
+            os << " inTx depth=" << thr.log.depth()
+               << " ts=" << thr.timestamp
+               << " backoffLevel=" << thr.backoffLevel;
+            if (thr.doomed)
+                os << " DOOMED";
+        } else {
+            os << " idle";
+        }
+        if (thr.ctx != invalidCtx) {
+            const auto it = waits_.find(thr.ctx);
+            if (it != waits_.end()) {
+                os << " waitsFor=ctx" << it->second.nacker
+                   << " (last NACK @" << it->second.cycle << ")";
+            }
+        }
+    }
+
+    // Walk the waits-for graph for a cycle (livelock attribution).
+    for (const auto &[start, edge] : waits_) {
+        (void)edge;
+        std::unordered_set<CtxId> visited;
+        std::vector<CtxId> path;
+        CtxId cur = start;
+        while (waits_.count(cur) && !visited.count(cur)) {
+            visited.insert(cur);
+            path.push_back(cur);
+            cur = waits_.at(cur).nacker;
+        }
+        if (waits_.count(cur)) {  // closed a loop
+            os << "\n  waits-for cycle:";
+            bool in_cycle = false;
+            for (CtxId c : path) {
+                in_cycle = in_cycle || c == cur;
+                if (in_cycle)
+                    os << " ctx" << c << " ->";
+            }
+            os << " ctx" << cur;
+            break;
+        }
+    }
+    return os.str();
+}
+
+} // namespace logtm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Progress watchdog: detects livelock/starvation instead of letting
+ * a wedged simulation hang ctest until its timeout.
+ *
+ * The watchdog listens on the observability bus for commits (the
+ * progress signal) and NACK stalls (the waits-for edges). A periodic
+ * self-check fires when transactions are active but no commit has
+ * landed for a configurable window; it then builds an attributed
+ * diagnosis — per-thread transactional state plus the NACK waits-for
+ * graph, including any cycle it finds — and hands it to the report
+ * callback (default: logtm_fatal, so a hung test dies loudly with
+ * the repro flags embedded in the report).
+ */
+
+#ifndef LOGTM_CHECK_WATCHDOG_HH
+#define LOGTM_CHECK_WATCHDOG_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/event_bus.hh"
+#include "os/tm_system.hh"
+
+namespace logtm {
+
+class Watchdog : public EventSink
+{
+  public:
+    struct Params
+    {
+        /** Cycles without a commit (while any transaction is active)
+         *  before the watchdog fires. */
+        Cycle threshold = 200'000;
+        Cycle checkInterval = 10'000;
+        /** Prepended to the report; the chaos harness puts the
+         *  --seed/--faults repro flags here. */
+        std::string context;
+    };
+
+    using ReportFn = std::function<void(const std::string &)>;
+
+    Watchdog(TmSystem &sys, Params params);
+    ~Watchdog() override;
+
+    /** Attach to the bus and start checking. With no callback the
+     *  watchdog is fatal on fire. */
+    void arm(ReportFn onFire = {});
+    void disarm();
+
+    bool fired() const { return fired_; }
+    const std::string &report() const { return report_; }
+
+    void onEvent(const ObsEvent &ev) override;
+
+  private:
+    void check();
+    std::string buildReport() const;
+
+    TmSystem &sys_;
+    Params params_;
+    ReportFn onFire_;
+    bool armed_ = false;
+    bool fired_ = false;
+    uint64_t generation_ = 0;   ///< invalidates in-flight check events
+    Cycle armCycle_ = 0;
+    Cycle lastCommit_ = 0;
+    uint64_t commitsSeen_ = 0;
+    uint64_t abortsSeen_ = 0;
+    std::string report_;
+
+    struct WaitEdge
+    {
+        CtxId nacker = invalidCtx;
+        Cycle cycle = 0;
+    };
+    /** Last observed NACK stall per requester context. */
+    std::unordered_map<CtxId, WaitEdge> waits_;
+
+    Counter &firedStat_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_WATCHDOG_HH

@@ -112,6 +112,14 @@ SystemConfig::validate() const
         l2Banks % numChips != 0) {
         logtm_fatal("cores and banks must partition evenly over chips");
     }
+    if (logFilterEntries == 0) {
+        logtm_fatal("log filter needs at least one entry "
+                    "(set logFilterEnabled=false to ablate it)");
+    }
+    if (backoffMaxShift >= 64)
+        logtm_fatal("backoffMaxShift must be below 64 (shift overflow)");
+    if (nackRetryBase == 0)
+        logtm_fatal("nackRetryBase must be nonzero (backoff window)");
 }
 
 } // namespace logtm

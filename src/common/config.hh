@@ -98,7 +98,12 @@ struct SystemConfig
     // --- TM configuration ----------------------------------------------
     SignatureConfig signature;          ///< used for both R and W sets
     ConflictPolicy conflictPolicy = ConflictPolicy::StallRetry;
-    uint32_t logFilterEntries = 16;     ///< 0 disables the filter
+    /** Log-filter ablation switch: false models LogTM-SE without the
+     *  TLB-like filter (every transactional store re-logs). */
+    bool logFilterEnabled = true;
+    /** Direct-mapped log-filter entries; must be nonzero (ablate the
+     *  filter with logFilterEnabled instead). */
+    uint32_t logFilterEntries = 16;
     Cycle logWriteLatency = 1;          ///< per undo record at store time
     Cycle abortRestoreLatency = 8;      ///< per undo record at abort time
     Cycle commitLatency = 1;            ///< local commit cost

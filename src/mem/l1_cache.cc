@@ -48,6 +48,20 @@ void
 L1Cache::access(PhysAddr addr, Request req)
 {
     const PhysAddr block = blockAlign(addr);
+
+    if (nackHook_ && nackHook_(block)) {
+        // Injected transient NACK: no conflict attribution, so the
+        // requester retries without touching deadlock avoidance.
+        ++nacksIn_;
+        auto shared_req = std::make_shared<Request>(std::move(req));
+        queue_.scheduleIn(cfg_.l1HitLatency, [shared_req]() {
+            MemAccessResult res;
+            res.nacked = true;
+            shared_req->done(res);
+        }, EventPriority::Cpu);
+        return;
+    }
+
     Array::Line *line = array_.find(block);
 
     const bool hit = line && line->payload.state != Mesi::I &&
@@ -160,6 +174,27 @@ L1Cache::makeRoom(PhysAddr block)
     if (victim->valid)
         evictLine(*victim);
     return true;
+}
+
+bool
+L1Cache::forceEvict(PhysAddr block)
+{
+    Array::Line *line = array_.find(blockAlign(block));
+    if (!line || line->payload.state == Mesi::I)
+        return false;
+    if (mshrs_.find(line->block) != mshrs_.end())
+        return false;  // never evict under an outstanding miss
+    evictLine(*line);
+    return true;
+}
+
+void
+L1Cache::forEachCachedBlock(const std::function<void(PhysAddr)> &fn)
+{
+    array_.forEachValid([&](Array::Line &line) {
+        if (line.payload.state != Mesi::I)
+            fn(line.block);
+    });
 }
 
 void

@@ -71,6 +71,28 @@ class L1Cache
 
     CoreId coreId() const { return core_; }
 
+    // ----- chaos hooks (src/check) ------------------------------------
+
+    /**
+     * Spurious-NACK injection: when the hook accepts a block, the
+     * access completes as a plain (non-conflict) NACK after the hit
+     * latency instead of entering the cache, and the requester
+     * retries. Models transient resource NACKs.
+     */
+    using NackHook = std::function<bool(PhysAddr block)>;
+    void setSpuriousNackHook(NackHook hook)
+    { nackHook_ = std::move(hook); }
+
+    /**
+     * Forcibly evict @p block (victimization under adversarial
+     * pressure). Blocks with an outstanding miss are left alone.
+     * @return true if a valid line was evicted.
+     */
+    bool forceEvict(PhysAddr block);
+
+    /** Enumerate the blocks currently held in a valid state. */
+    void forEachCachedBlock(const std::function<void(PhysAddr)> &fn);
+
   private:
     enum class Mesi : uint8_t { I, S, E, M };
 
@@ -109,6 +131,7 @@ class L1Cache
     Mesh &mesh_;
     ConflictChecker *checker_;
     NullConflictChecker nullChecker_;
+    NackHook nackHook_;
     const SystemConfig &cfg_;
     Array array_;
     std::unordered_map<PhysAddr, Mshr> mshrs_;

@@ -36,7 +36,10 @@ SnoopBus::grantNext()
     busy_ = true;
     Pending pending = std::move(*it);
     queue2_.erase(it);
-    queue_.scheduleIn(arbSnoopLatency_,
+    Cycle arb = arbSnoopLatency_;
+    if (delayHook_)
+        arb += delayHook_(pending.req);
+    queue_.scheduleIn(arb,
                       [this, pending = std::move(pending)]() mutable {
                           serve(std::move(pending));
                       },

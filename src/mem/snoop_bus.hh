@@ -78,6 +78,15 @@ class SnoopBus
     void setSnooper(Snooper snooper) { snooper_ = std::move(snooper); }
     void setL2Lookup(L2Lookup lookup) { l2Lookup_ = std::move(lookup); }
 
+    /**
+     * Chaos hook (src/check): extra cycles added to a granted
+     * request's arbitration phase. The bus stays busy for the whole
+     * stretched phase, so delayed grants cannot reorder against each
+     * other -- the injection perturbs timing only.
+     */
+    using DelayHook = std::function<Cycle(const BusRequest &)>;
+    void setDelayHook(DelayHook hook) { delayHook_ = std::move(hook); }
+
     /** Queue a request; @p done runs when the transaction completes
      *  (data delivered or NACK observed). */
     void request(const BusRequest &req, ResultFn done);
@@ -97,6 +106,7 @@ class SnoopBus
     const SystemConfig &cfg_;
     Snooper snooper_;
     L2Lookup l2Lookup_;
+    DelayHook delayHook_;
     bool busy_ = false;
     std::deque<Pending> queue2_;
     /** Blocks with a data fill (and therefore a signature insert)

@@ -36,6 +36,18 @@ void
 SnoopL1Cache::access(PhysAddr addr, Request req)
 {
     const PhysAddr block = blockAlign(addr);
+
+    if (nackHook_ && nackHook_(block)) {
+        ++nacksIn_;
+        auto shared_req = std::make_shared<Request>(std::move(req));
+        queue_.scheduleIn(cfg_.l1HitLatency, [shared_req]() {
+            MemAccessResult res;
+            res.nacked = true;  // transient, no conflict attribution
+            shared_req->done(res);
+        }, EventPriority::Cpu);
+        return;
+    }
+
     Array::Line *line = array_.find(block);
 
     const bool hit = line && line->payload.state != Mesi::I &&
@@ -172,7 +184,38 @@ SnoopL1Cache::snoop(const BusRequest &req)
             line->payload.state = Mesi::S;
         }
     }
+    // Decoupled detection: a victimized line may be gone from the
+    // array while a local signature still covers the block. Report
+    // it shared anyway, so no remote core is granted E and silently
+    // upgrades to M without a bus transaction the signatures would
+    // see — the snooping analog of the directory's sticky states.
+    if (!reply.owner && !reply.shared &&
+        checker_->inAnyLocalSig(core_, req.block)) {
+        reply.shared = true;
+    }
     return reply;
+}
+
+bool
+SnoopL1Cache::forceEvict(PhysAddr block)
+{
+    Array::Line *line = array_.find(blockAlign(block));
+    if (!line || line->payload.state == Mesi::I)
+        return false;
+    if (mshrs_.find(line->block) != mshrs_.end())
+        return false;
+    evictLine(*line);
+    return true;
+}
+
+void
+SnoopL1Cache::forEachCachedBlock(
+    const std::function<void(PhysAddr)> &fn)
+{
+    array_.forEachValid([&](Array::Line &line) {
+        if (line.payload.state != Mesi::I)
+            fn(line.block);
+    });
 }
 
 bool

@@ -54,6 +54,17 @@ class SnoopL1Cache
     bool holdsExclusive(PhysAddr block) const;
     CoreId coreId() const { return core_; }
 
+    // ----- chaos hooks (src/check; same contract as the directory
+    //       L1: spurious NACKs retry, forced evictions stay safe
+    //       because every bus transaction re-checks signatures) ------
+
+    using NackHook = std::function<bool(PhysAddr block)>;
+    void setSpuriousNackHook(NackHook hook)
+    { nackHook_ = std::move(hook); }
+
+    bool forceEvict(PhysAddr block);
+    void forEachCachedBlock(const std::function<void(PhysAddr)> &fn);
+
   private:
     enum class Mesi : uint8_t { I, S, E, M };
 
@@ -82,6 +93,7 @@ class SnoopL1Cache
     SnoopBus &bus_;
     ConflictChecker *checker_;
     NullConflictChecker nullChecker_;
+    NackHook nackHook_;
     const SystemConfig &cfg_;
     Array array_;
     std::unordered_map<PhysAddr, Mshr> mshrs_;

@@ -72,6 +72,8 @@ Mesh::send(Msg msg)
     // Crossing a chip boundary pays the inter-chip link (paper §7).
     if (numChips_ > 1 && chipOf(msg.src) != chipOf(msg.dst))
         arrival += interChipLatency_;
+    if (delayHook_)
+        arrival += delayHook_(msg);
     // One message per cycle per endpoint: serialize arrivals.
     if (arrival <= nextFree_[msg.dst])
         arrival = nextFree_[msg.dst] + 1;

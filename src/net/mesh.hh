@@ -36,6 +36,16 @@ class Mesh
     /** Send @p msg; it is delivered to msg.dst after network latency. */
     void send(Msg msg);
 
+    /**
+     * Chaos hook (src/check): add extra delivery delay, in cycles,
+     * to each message. Delayed messages still obey the per-endpoint
+     * serialization, so delivery order to one destination never
+     * changes — only timing does (the protocol's FIFO assumption is
+     * preserved by construction).
+     */
+    using DelayHook = std::function<Cycle(const Msg &)>;
+    void setDelayHook(DelayHook hook) { delayHook_ = std::move(hook); }
+
     /** Number of attachable endpoints (cores + banks). */
     uint32_t numNodes() const { return numNodes_; }
 
@@ -59,6 +69,7 @@ class Mesh
     Cycle linkLatency_;
     Cycle interChipLatency_;
     static constexpr Cycle routerOverhead_ = 1;
+    DelayHook delayHook_;
     std::vector<Handler> handlers_;
     std::vector<Cycle> nextFree_;
 };

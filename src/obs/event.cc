@@ -20,6 +20,8 @@ eventKindName(EventKind k)
       case EventKind::SchedIn: return "schedIn";
       case EventKind::SchedOut: return "schedOut";
       case EventKind::BusOp: return "busOp";
+      case EventKind::ChkFault: return "chkFault";
+      case EventKind::ChkViolation: return "chkViolation";
       case EventKind::NumKinds: break;
     }
     return "?";

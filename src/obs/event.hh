@@ -33,6 +33,8 @@ enum class EventKind : uint8_t {
     SchedIn,        ///< thread bound to ctx
     SchedOut,       ///< thread descheduled from ctx; a=mid-tx flag
     BusOp,          ///< snoop-bus transaction granted; addr, a=msg type
+    ChkFault,       ///< fault injector fired; a=FaultKind, b=detail
+    ChkViolation,   ///< correctness oracle violation; a=ViolationKind
     NumKinds,
 };
 

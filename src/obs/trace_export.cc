@@ -179,6 +179,13 @@ exportChromeTrace(const std::vector<ObsEvent> &events,
           case EventKind::BusOp:
             instant(w, "busOp", ev.cycle, pidMemory, ev.a, "bus");
             break;
+          case EventKind::ChkFault:
+            instant(w, "chk.fault", ev.cycle, pidMemory, ev.a, "chk");
+            break;
+          case EventKind::ChkViolation:
+            instant(w, "chk.violation", ev.cycle, pidContexts,
+                    ev.ctx == invalidCtx ? 0 : ev.ctx, "chk");
+            break;
           case EventKind::LogWrite:
           case EventKind::LogFilterHit:
           case EventKind::SummaryInstall:

@@ -7,6 +7,7 @@
 #include "common/trace.hh"
 #include "obs/attribution.hh"
 #include "sig/signature_factory.hh"
+#include "tm/tx_observer.hh"
 
 namespace logtm {
 
@@ -64,7 +65,8 @@ LogTmSeEngine::createThread(Asid asid)
     auto thr = std::make_unique<TxThread>();
     thr->id = static_cast<ThreadId>(threads_.size());
     thr->asid = asid;
-    thr->filter = LogFilter(cfg_.logFilterEntries);
+    thr->filter = LogFilter(
+        cfg_.logFilterEnabled ? cfg_.logFilterEntries : 0);
     threads_.push_back(std::move(thr));
     return threads_.back()->id;
 }
@@ -211,6 +213,8 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
                              .kind = EventKind::TxBegin,
                              .ctx = thr.ctx, .thread = t,
                              .a = 1, .b = open ? 1u : 0u});
+        if (observer_)
+            observer_->onTxBegin(t, thr.asid, 1, open);
         return;
     }
 
@@ -228,6 +232,8 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
                          .kind = EventKind::TxBegin,
                          .ctx = thr.ctx, .thread = t,
                          .a = thr.log.depth(), .b = open ? 1u : 0u});
+    if (observer_)
+        observer_->onTxBegin(t, thr.asid, thr.log.depth(), open);
 }
 
 void
@@ -240,7 +246,10 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
     HwContext &ctx = *contexts_[thr.ctx];
 
     if (thr.log.depth() > 1) {
-        if (thr.log.top().open) {
+        const bool open_commit = thr.log.top().open;
+        if (observer_)
+            observer_->onNestedCommit(t, thr.asid, open_commit);
+        if (open_commit) {
             // Open commit: release isolation on child-only accesses
             // by restoring the parent's signatures; the child's undo
             // records are discarded (its effects are permanent).
@@ -277,6 +286,8 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
                          .ctx = thr.ctx, .thread = t,
                          .a = ctx.shadowRead.size(),
                          .b = ctx.shadowWrite.size()});
+    if (observer_)
+        observer_->onTxCommit(t, thr.asid);
 
     ctx.readSig->clear();
     ctx.writeSig->clear();
@@ -355,6 +366,8 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
         ctx.shadowWrite.clear();
     }
     thr.filter.clear();
+    if (observer_)
+        observer_->onAbortFrame(t, thr.asid, depth_before);
 
     // Partial abort (paper §3.2): if the conflicting address still
     // hits the restored signatures, keep unwinding at the parent.
@@ -527,13 +540,31 @@ LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
         verdict.keepSticky |= hit_r || hit_w;
         verdict.inWriteSet |= hit_w;
 
-        const bool relevant = remote_type == AccessType::Read
+        bool relevant = remote_type == AccessType::Read
             ? hit_w : (hit_r || hit_w);
-        if (!relevant || c == req_ctx || ctx.thread == invalidThread)
+        if (relevant && sigBypass_ && sigBypass_(c, block))
+            relevant = false;  // test-only injected false negative
+        if (c == req_ctx || ctx.thread == invalidThread)
             continue;
         TxThread &thr = *threads_[ctx.thread];
         if (!thr.inTx() || thr.asid != req_asid)
             continue;  // ASID filter (paper §2): no cross-process NACKs
+
+        // Soundness: signatures may alias but must never miss a real
+        // conflict. The exact shadow sets are ground truth; report a
+        // breach to the oracle instead of silently proceeding.
+        if (observer_ && !relevant) {
+            const bool actual = remote_type == AccessType::Read
+                ? ctx.shadowWrite.contains(block)
+                : (ctx.shadowRead.contains(block) ||
+                   ctx.shadowWrite.contains(block));
+            if (actual) {
+                observer_->onSigFalseNegative(c, req_ctx, block,
+                                              remote_type);
+            }
+        }
+        if (!relevant)
+            continue;
 
         verdict.conflict = true;
         classifyConflict(ctx, block, remote_type, req_ctx);
@@ -578,6 +609,7 @@ LogTmSeEngine::load(ThreadId t, VirtAddr va, LoadDoneFn done)
     op->va = va;
     op->type = AccessType::Read;
     op->loadDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -591,6 +623,7 @@ LogTmSeEngine::store(ThreadId t, VirtAddr va, uint64_t value,
     op->type = AccessType::Write;
     op->storeValue = value;
     op->storeDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -603,6 +636,7 @@ LogTmSeEngine::loadExclusive(ThreadId t, VirtAddr va, LoadDoneFn done)
     op->type = AccessType::Write;
     op->loadForWrite = true;
     op->loadDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -615,6 +649,7 @@ LogTmSeEngine::escapeLoad(ThreadId t, VirtAddr va, LoadDoneFn done)
     op->type = AccessType::Read;
     op->escape = true;
     op->loadDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -629,6 +664,7 @@ LogTmSeEngine::escapeStore(ThreadId t, VirtAddr va, uint64_t value,
     op->escape = true;
     op->storeValue = value;
     op->storeDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -644,6 +680,7 @@ LogTmSeEngine::atomicRmw(ThreadId t, VirtAddr va,
     op->escape = true;  // atomics bypass TM version management
     op->rmwOp = std::move(rmw_op);
     op->loadDone = std::move(done);
+    ++opsInFlight_;
     issueOp(std::move(op));
 }
 
@@ -651,6 +688,8 @@ void
 LogTmSeEngine::finishOp(const std::shared_ptr<OpRequest> &op,
                         OpStatus status, uint64_t value)
 {
+    logtm_assert(opsInFlight_ > 0, "finishOp without issued op");
+    --opsInFlight_;
     if (op->loadDone)
         op->loadDone(status, value);
     else
@@ -828,6 +867,8 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                 ctx.shadowRead.insert(block);
             }
             value = mem_.data().load(pa);
+            if (observer_ && in_tx)
+                observer_->onTxRead(op->t, thr.asid, op->va, value);
         } else {
             if (in_tx) {
                 logtm_trace(TraceCat::Sig, sim_.now(),
@@ -865,11 +906,35 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
             }
             if (op->loadForWrite) {
                 value = mem_.data().load(pa);
+                if (observer_ && in_tx) {
+                    // Ownership + undo log acquired; data unchanged.
+                    observer_->onTxRead(op->t, thr.asid, op->va, value);
+                    observer_->onTxWrite(op->t, thr.asid, op->va,
+                                         value, value);
+                }
             } else if (op->rmwOp) {
                 value = mem_.data().load(pa);
-                mem_.data().store(pa, op->rmwOp(value));
+                const uint64_t new_value = op->rmwOp(value);
+                mem_.data().store(pa, new_value);
+                if (observer_) {
+                    observer_->onDirectWrite(op->t, thr.asid, op->va,
+                                             new_value, true);
+                }
             } else {
-                mem_.data().store(pa, op->storeValue);
+                if (observer_) {
+                    const uint64_t old_value = mem_.data().load(pa);
+                    mem_.data().store(pa, op->storeValue);
+                    if (in_tx) {
+                        observer_->onTxWrite(op->t, thr.asid, op->va,
+                                             old_value, op->storeValue);
+                    } else {
+                        observer_->onDirectWrite(op->t, thr.asid,
+                                                 op->va, op->storeValue,
+                                                 op->escape);
+                    }
+                } else {
+                    mem_.data().store(pa, op->storeValue);
+                }
             }
         }
 

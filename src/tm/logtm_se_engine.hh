@@ -34,6 +34,8 @@
 
 namespace logtm {
 
+class TxObserver;
+
 /** Completion status of a transactional memory operation. */
 enum class OpStatus : uint8_t {
     Ok,
@@ -170,9 +172,32 @@ class LogTmSeEngine : public ConflictChecker
                                 CtxId req_ctx, uint64_t req_ts) override;
     bool inAnyLocalSig(CoreId core, PhysAddr block) const override;
 
+    // ----- verification hooks (src/check) -----------------------------
+
+    /** Attach a passive verification observer (nullptr detaches).
+     *  Hooks fire synchronously; see tm/tx_observer.hh. */
+    void setObserver(TxObserver *observer) { observer_ = observer; }
+
+    /**
+     * TEST-ONLY: force the signature path to report "no conflict"
+     * for (owner context, block) pairs the hook accepts, creating a
+     * deliberate signature false negative. Exists so the oracle's
+     * soundness check can be proven able to fail (negative
+     * self-test); never set outside tests.
+     */
+    using SigBypassFn = std::function<bool(CtxId owner, PhysAddr block)>;
+    void setSigBypassForTest(SigBypassFn fn)
+    { sigBypass_ = std::move(fn); }
+
     // ----- introspection ----------------------------------------------
 
     TxThread &thread(ThreadId t) { return *threads_[t]; }
+    uint32_t numThreads() const
+    { return static_cast<uint32_t>(threads_.size()); }
+    /** Memory operations issued but not yet completed. Fault
+     *  injection gates page relocation on quiescence: an in-flight
+     *  access holds a physical address across the remap. */
+    uint32_t opsInFlight() const { return opsInFlight_; }
     MemorySystem &memory() { return mem_; }
     Simulator &simulator() { return sim_; }
     HwContext &context(CtxId c) { return *contexts_[c]; }
@@ -229,6 +254,9 @@ class LogTmSeEngine : public ConflictChecker
     IdentityTranslator identity_;
     AddressTranslator *translator_;
     std::function<void(ThreadId)> commitMigrationHook_;
+    TxObserver *observer_ = nullptr;
+    SigBypassFn sigBypass_;
+    uint32_t opsInFlight_ = 0;
 
     std::vector<std::unique_ptr<HwContext>> contexts_;
     std::vector<std::unique_ptr<TxThread>> threads_;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TxObserver: a verification tap into the LogTM-SE engine. The
+ * engine invokes these callbacks synchronously at the points where a
+ * transactional value becomes visible, a transaction changes state,
+ * or the conflict-detection fast path disagrees with the exact
+ * shadow sets. Observers are strictly passive: they must not mutate
+ * engine state, and a null observer (the default) costs a pointer
+ * test per hook.
+ *
+ * The correctness oracle in src/check/ implements this interface to
+ * maintain a shadow memory and machine-check atomicity/isolation;
+ * production runs leave the observer unset.
+ */
+
+#ifndef LOGTM_TM_TX_OBSERVER_HH
+#define LOGTM_TM_TX_OBSERVER_HH
+
+#include "common/types.hh"
+
+namespace logtm {
+
+class TxObserver
+{
+  public:
+    virtual ~TxObserver() = default;
+
+    /** A (possibly nested) frame was pushed; @p depth counts it. */
+    virtual void onTxBegin(ThreadId, Asid, size_t depth, bool open)
+    { (void)depth; (void)open; }
+
+    /** A transactional load completed with @p value. */
+    virtual void onTxRead(ThreadId, Asid, VirtAddr, uint64_t value)
+    { (void)value; }
+
+    /** A transactional store replaced @p oldValue with @p newValue
+     *  in place (eager version management). loadExclusive reports
+     *  oldValue == newValue (ownership + undo log, no data change). */
+    virtual void onTxWrite(ThreadId, Asid, VirtAddr, uint64_t oldValue,
+                           uint64_t newValue)
+    { (void)oldValue; (void)newValue; }
+
+    /** A non-transactional store (plain, escape, or atomic RMW)
+     *  wrote @p newValue. @p escape marks accesses that bypass
+     *  conflict detection by design (paper §6.2). */
+    virtual void onDirectWrite(ThreadId, Asid, VirtAddr,
+                               uint64_t newValue, bool escape)
+    { (void)newValue; (void)escape; }
+
+    /** The outermost frame committed (called before state clears). */
+    virtual void onTxCommit(ThreadId, Asid) {}
+
+    /** A nested frame committed (open or closed). */
+    virtual void onNestedCommit(ThreadId, Asid, bool open)
+    { (void)open; }
+
+    /** One frame was unwound: every undo record of the frame has
+     *  been restored to memory. @p depthBefore counts the popped
+     *  frame (1 = the abort finished the outermost frame). */
+    virtual void onAbortFrame(ThreadId, Asid, size_t depthBefore)
+    { (void)depthBefore; }
+
+    /**
+     * Soundness breach: the exact shadow sets say context
+     * @p ownerCtx really conflicts with the request on @p block, but
+     * the signature path reported no conflict. Signatures may alias
+     * (false positives) but must never miss a real conflict; outside
+     * the test-only bypass hook this firing is a bug.
+     */
+    virtual void onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx,
+                                    PhysAddr block, AccessType access)
+    { (void)ownerCtx; (void)reqCtx; (void)block; (void)access; }
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_TX_OBSERVER_HH

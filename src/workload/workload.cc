@@ -5,7 +5,7 @@
 namespace logtm {
 
 WorkloadResult
-Workload::run()
+Workload::run(const std::function<bool()> &earlyExit)
 {
     logtm_assert(p_.numThreads > 0 &&
                  p_.numThreads <= sys_.config().numContexts(),
@@ -36,8 +36,10 @@ Workload::run()
                                       EventPriority::Cpu);
     }
 
-    sys_.sim().runUntil([&]() { return done_count == p_.numThreads; });
-    logtm_assert(done_count == p_.numThreads,
+    sys_.sim().runUntil([&]() {
+        return done_count == p_.numThreads || (earlyExit && earlyExit());
+    });
+    logtm_assert(done_count == p_.numThreads || (earlyExit && earlyExit()),
                  "event queue drained before workload completion");
 
     WorkloadResult res;

@@ -9,6 +9,7 @@
 #ifndef LOGTM_WORKLOAD_WORKLOAD_HH
 #define LOGTM_WORKLOAD_WORKLOAD_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,10 +56,19 @@ class Workload
     /** Per-thread program; must complete unitsFor(idx) work units. */
     virtual Task threadMain(ThreadCtx &tc, uint32_t idx) = 0;
 
-    /** Spawn threads, execute, and collect the result. */
-    WorkloadResult run();
+    /**
+     * Spawn threads, execute, and collect the result.
+     *
+     * @p earlyExit (optional) is polled with the completion condition;
+     * when it returns true the run stops without requiring every
+     * thread to finish — used by the chaos harness to bail out once a
+     * watchdog or oracle has already condemned the run.
+     */
+    WorkloadResult run(const std::function<bool()> &earlyExit = {});
 
     uint64_t unitsCompleted() const { return unitsDone_; }
+
+    Asid asid() const { return asid_; }
 
   protected:
     /** Units thread @p idx must complete (even split + remainder). */

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Randomized exponential backoff tests (paper §2.3: aborted
+ * transactions back off before retrying so the conflict winner can
+ * commit). Pins down the contract of abortBackoff/backoffDelay: the
+ * window doubles per consecutive abort, clamps at backoffMaxShift,
+ * resets only when the outermost transaction commits — and NACK
+ * stalls never touch the backoff state (stalling is not aborting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tm_system.hh"
+
+namespace logtm {
+namespace {
+
+constexpr Cycle kBase = 16;
+constexpr uint32_t kMaxShift = 3;
+
+SystemConfig
+backoffConfig()
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.threadsPerCore = 1;
+    cfg.l2Banks = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 1;
+    cfg.l1Bytes = 1024;
+    cfg.l2Bytes = 16 * 1024;
+    cfg.nackRetryBase = kBase;
+    cfg.backoffMaxShift = kMaxShift;
+    return cfg;
+}
+
+class BackoffTest : public testing::Test
+{
+  protected:
+    BackoffTest() : sys_(backoffConfig())
+    {
+        asid_ = sys_.os().createProcess();
+        t0_ = sys_.os().spawnThread(asid_);
+        t1_ = sys_.os().spawnThread(asid_);
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+
+    /** Run one abortBackoff to completion and return its delay. */
+    Cycle
+    backoff(ThreadId t)
+    {
+        const Cycle start = sys_.now();
+        bool done = false;
+        eng().abortBackoff(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+        return sys_.now() - start;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        OpStatus status = OpStatus::Ok;
+        bool done = false;
+        eng().store(t, va, v, [&](OpStatus s) {
+            status = s;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return status;
+    }
+
+    void
+    commit(ThreadId t)
+    {
+        bool done = false;
+        eng().txCommit(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    void
+    settle(Cycle cycles)
+    {
+        bool fired = false;
+        sys_.sim().queue().scheduleIn(cycles, [&]() { fired = true; });
+        sys_.sim().runUntil([&]() { return fired; });
+    }
+
+    TmSystem sys_;
+    Asid asid_ = 0;
+    ThreadId t0_ = 0, t1_ = 0;
+};
+
+TEST_F(BackoffTest, DelayStaysInsideDoublingWindowAndClamps)
+{
+    // i-th consecutive backoff draws from
+    //   [base, base + (base << min(i, maxShift))).
+    for (uint32_t i = 0; i < 8; ++i) {
+        const uint32_t level = std::min(i, kMaxShift);
+        const Cycle d = backoff(t0_);
+        EXPECT_GE(d, kBase) << "call " << i;
+        EXPECT_LT(d, kBase + (kBase << level)) << "call " << i;
+        EXPECT_EQ(eng().thread(t0_).backoffLevel, i + 1);
+    }
+}
+
+TEST_F(BackoffTest, WindowActuallyGrows)
+{
+    // Past the clamp the window is [base, base + (base << maxShift));
+    // over a couple dozen draws some delay must land beyond the
+    // level-0 window's maximum, or the "exponential" part is broken.
+    Cycle max_delay = 0;
+    for (uint32_t i = 0; i < 24; ++i)
+        max_delay = std::max(max_delay, backoff(t0_));
+    EXPECT_GT(max_delay, 2 * kBase);
+    EXPECT_LT(max_delay, kBase + (kBase << kMaxShift));
+}
+
+TEST_F(BackoffTest, ResetOnlyOnOutermostCommit)
+{
+    for (uint32_t i = 0; i < 3; ++i)
+        backoff(t0_);
+    EXPECT_EQ(eng().thread(t0_).backoffLevel, 3u);
+
+    // A nested commit must not forgive the backoff debt...
+    eng().txBegin(t0_);
+    eng().txBegin(t0_);
+    ASSERT_EQ(store(t0_, 0x10000, 1), OpStatus::Ok);
+    commit(t0_);  // inner frame
+    EXPECT_EQ(eng().thread(t0_).backoffLevel, 3u);
+
+    // ...but the outermost commit does.
+    commit(t0_);
+    EXPECT_EQ(eng().thread(t0_).backoffLevel, 0u);
+
+    // And the next backoff draws from the level-0 window again.
+    const Cycle d = backoff(t0_);
+    EXPECT_GE(d, kBase);
+    EXPECT_LT(d, kBase + kBase);
+}
+
+TEST_F(BackoffTest, StallsNeverBackoff)
+{
+    constexpr VirtAddr X = 0x20000;
+
+    eng().txBegin(t0_);  // older transaction wins conflicts
+    ASSERT_EQ(store(t0_, X, 7), OpStatus::Ok);
+
+    // t1 requests t0's written block: NACKed, and as the younger
+    // party it stalls and retries rather than aborting.
+    eng().txBegin(t1_);
+    uint64_t value = 0;
+    bool read_done = false;
+    eng().load(t1_, X, [&](OpStatus, uint64_t v) {
+        value = v;
+        read_done = true;
+    });
+    settle(2000);
+
+    EXPECT_FALSE(read_done);
+    EXPECT_GT(sys_.stats().counterValue("tm.stalls"), 0u);
+    // Stalling is not aborting: the backoff window must be untouched.
+    EXPECT_EQ(eng().thread(t1_).backoffLevel, 0u);
+
+    // Once the winner commits, the stalled reader completes and sees
+    // the committed value.
+    commit(t0_);
+    sys_.sim().runUntil([&]() { return read_done; });
+    EXPECT_EQ(value, 7u);
+    commit(t1_);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Adversarial chaos suite: the fault injector throws forced
+ * victimizations, deschedules, migrations, page remaps, message
+ * delays and spurious NACKs at a hot multi-threaded run while the
+ * shadow-memory oracle machine-checks atomicity and isolation and a
+ * watchdog bounds every run. Also: determinism regressions (same
+ * seed, byte-identical stats), a negative oracle self-test through
+ * the signature-bypass hook, and a watchdog livelock-attribution
+ * test.
+ *
+ * Every sweep failure prints exact `--seed/--faults` replay flags
+ * for bench_stress_chaos.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/chaos.hh"
+#include "obs/obs_session.hh"
+#include "obs/recording_sink.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+// ----- the sweeps: >= 32 seeds x >= 3 fault mixes ----------------------
+
+void
+runSweep(const std::string &mix, uint64_t num_seeds,
+         bool snooping = false)
+{
+    for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+        ChaosParams p;
+        p.seed = seed;
+        p.faults = chaosMix(mix);
+        p.snooping = snooping;
+        const ChaosResult r = runChaos(p);
+        EXPECT_TRUE(r.ok())
+            << "chaos failure (replay: bench_stress_chaos "
+            << r.reproFlags << (snooping ? " --snooping" : "") << ")\n"
+            << r.describe();
+        if (!r.ok())
+            break;  // one replayable failure is enough signal
+    }
+}
+
+TEST(ChaosSweep, EvictionMix32Seeds)
+{
+    runSweep("eviction", 32);
+}
+
+TEST(ChaosSweep, SchedulingMix32Seeds)
+{
+    runSweep("scheduling", 32);
+}
+
+TEST(ChaosSweep, TimingMix32Seeds)
+{
+    runSweep("timing", 32);
+}
+
+TEST(ChaosSweep, EverythingMix32Seeds)
+{
+    runSweep("everything", 32);
+}
+
+TEST(ChaosSweep, SnoopingEverythingMix8Seeds)
+{
+    runSweep("everything", 8, /*snooping=*/true);
+}
+
+TEST(ChaosSweep, SnoopingEvictionMix8Seeds)
+{
+    // This sweep caught a real protocol hole: after a forced
+    // victimization of a transactionally-read line, a remote read
+    // miss used to be granted E (no cached copies on the bus) and
+    // could then silently upgrade to M past the victim's still-live
+    // read signature. Signature presence now counts as sharedness
+    // in SnoopL1Cache::snoop().
+    runSweep("eviction", 8, /*snooping=*/true);
+}
+
+// ----- harness sanity --------------------------------------------------
+
+TEST(ChaosHarness, CleanRunHasNoFaultsAndNoViolations)
+{
+    ChaosParams p;
+    p.seed = 3;  // default FaultPlan: everything off
+    const ChaosResult r = runChaos(p);
+    EXPECT_TRUE(r.ok()) << r.describe();
+    EXPECT_EQ(r.faultsInjected, 0u);
+    EXPECT_GT(r.commits, 0u);
+}
+
+TEST(ChaosHarness, MixesParseAndRoundTrip)
+{
+    for (const char *mix :
+         {"eviction", "scheduling", "timing", "everything"}) {
+        const FaultPlan plan = chaosMix(mix);
+        EXPECT_TRUE(plan.any()) << mix;
+        const FaultPlan reparsed = FaultPlan::parse(plan.format());
+        EXPECT_EQ(reparsed.format(), plan.format()) << mix;
+    }
+}
+
+// ----- determinism regressions -----------------------------------------
+
+std::string
+statsJsonOnce()
+{
+    SystemConfig cfg;
+    cfg.seed = 5;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    cfg.l1Bytes = 1024;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.l2Banks = 4;
+    TmSystem sys(cfg);
+
+    AttributionSink attr(sys.stats());
+    RecordingSink ring(1u << 14);
+    sys.sim().events().attach(&attr);
+    sys.sim().events().attach(&ring);
+
+    WorkloadParams wp;
+    wp.numThreads = 6;
+    wp.useTm = true;
+    wp.totalUnits = 64;
+    wp.seed = 5;
+    MicrobenchConfig mb;
+    mb.numCounters = 8;
+    MicrobenchWorkload wl(sys, wp, mb);
+    wl.run();
+
+    std::ostringstream os;
+    writeStatsJson(sys.stats(), &attr, &sys.sim().events(),
+                   ring.dropped(), os);
+    sys.sim().events().detach(&ring);
+    sys.sim().events().detach(&attr);
+    return os.str();
+}
+
+TEST(Determinism, StatsJsonByteIdenticalAcrossRuns)
+{
+    const std::string a = statsJsonOnce();
+    const std::string b = statsJsonOnce();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, ChaosRunIsReproducibleFromItsSeed)
+{
+    ChaosParams p;
+    p.seed = 7;
+    p.faults = chaosMix("everything");
+    const ChaosResult a = runChaos(p);
+    const ChaosResult b = runChaos(p);
+    EXPECT_TRUE(a.ok()) << a.describe();
+    EXPECT_EQ(a.commits, b.commits);
+    EXPECT_EQ(a.aborts, b.aborts);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.counterSum, b.counterSum);
+}
+
+// ----- negative self-test: the oracle must catch a broken engine -------
+
+class OracleSelfTest : public testing::Test
+{
+  protected:
+    static SystemConfig
+    config()
+    {
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.threadsPerCore = 1;
+        cfg.l2Banks = 2;
+        cfg.meshCols = 2;
+        cfg.meshRows = 1;
+        cfg.l1Bytes = 1024;
+        cfg.l2Bytes = 16 * 1024;
+        // Perfect signatures: any missed conflict is the bypass hook's
+        // doing, so the exact-shadow soundness check must notice.
+        cfg.signature = sigPerfect();
+        return cfg;
+    }
+
+    OracleSelfTest()
+        : sys_(config()),
+          oracle_(sys_.sim().queue(), sys_.stats(), sys_.sim().events(),
+                  sys_.mem().data(), sys_.os())
+    {
+        sys_.engine().setObserver(&oracle_);
+        asid_ = sys_.os().createProcess();
+        t0_ = sys_.os().spawnThread(asid_);
+        t1_ = sys_.os().spawnThread(asid_);
+    }
+
+    LogTmSeEngine &eng() { return sys_.engine(); }
+
+    uint64_t
+    load(ThreadId t, VirtAddr va)
+    {
+        uint64_t value = 0;
+        bool done = false;
+        eng().load(t, va, [&](OpStatus, uint64_t v) {
+            value = v;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return value;
+    }
+
+    OpStatus
+    store(ThreadId t, VirtAddr va, uint64_t v)
+    {
+        OpStatus status = OpStatus::Ok;
+        bool done = false;
+        eng().store(t, va, v, [&](OpStatus s) {
+            status = s;
+            done = true;
+        });
+        sys_.sim().runUntil([&]() { return done; });
+        return status;
+    }
+
+    void
+    abortFrame(ThreadId t)
+    {
+        bool done = false;
+        eng().txAbortFrame(t, [&]() { done = true; });
+        sys_.sim().runUntil([&]() { return done; });
+    }
+
+    TmSystem sys_;
+    Oracle oracle_;
+    Asid asid_ = 0;
+    ThreadId t0_ = 0, t1_ = 0;
+};
+
+TEST_F(OracleSelfTest, CatchesDirtyReadWhenSignaturesAreBypassed)
+{
+    constexpr VirtAddr X = 0x5000;
+    ASSERT_EQ(store(t0_, X, 7), OpStatus::Ok);  // committed baseline
+
+    eng().txBegin(t0_);
+    ASSERT_EQ(store(t0_, X, 42), OpStatus::Ok);  // uncommitted, in place
+    ASSERT_TRUE(oracle_.ok());
+
+    // Sabotage conflict detection for exactly t0's written block.
+    const CtxId ctx0 = sys_.os().contextOf(t0_);
+    const PhysAddr block = blockAlign(sys_.os().translate(asid_, X));
+    eng().setSigBypassForTest([ctx0, block](CtxId owner, PhysAddr b) {
+        return owner == ctx0 && b == block;
+    });
+
+    // t1 now reads the uncommitted 42 instead of being NACKed.
+    eng().txBegin(t1_);
+    EXPECT_EQ(load(t1_, X), 42u);
+
+    // The oracle must convict: an isolation breach (dirty read) and,
+    // because the exact shadow sets still see the conflict, a
+    // signature false negative.
+    EXPECT_FALSE(oracle_.ok());
+    bool saw_dirty = false, saw_false_negative = false;
+    for (const Violation &v : oracle_.violations()) {
+        saw_dirty = saw_dirty || v.kind == ViolationKind::DirtyRead;
+        saw_false_negative = saw_false_negative ||
+            v.kind == ViolationKind::SigFalseNegative;
+    }
+    EXPECT_TRUE(saw_dirty) << oracle_.report();
+    EXPECT_TRUE(saw_false_negative) << oracle_.report();
+    EXPECT_GT(sys_.stats().counterValue("chk.violations"), 0u);
+    EXPECT_FALSE(oracle_.report().empty());
+
+    // Cleanup: re-arm detection and unwind both transactions.
+    eng().setSigBypassForTest({});
+    abortFrame(t1_);
+    abortFrame(t0_);
+}
+
+TEST_F(OracleSelfTest, CleanTransactionsProduceNoViolations)
+{
+    constexpr VirtAddr X = 0x6000;
+    eng().txBegin(t0_);
+    ASSERT_EQ(store(t0_, X, 1), OpStatus::Ok);
+    bool done = false;
+    eng().txCommit(t0_, [&]() { done = true; });
+    sys_.sim().runUntil([&]() { return done; });
+    EXPECT_EQ(load(t1_, X), 1u);
+    EXPECT_TRUE(oracle_.ok()) << oracle_.report();
+    EXPECT_EQ(sys_.stats().counterValue("chk.violations"), 0u);
+}
+
+// ----- watchdog: diagnose a livelock instead of hanging ----------------
+
+TEST(WatchdogTest, FiresOnStalledSystemAndAttributesTheWait)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.threadsPerCore = 1;
+    cfg.l2Banks = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 1;
+    cfg.l1Bytes = 1024;
+    cfg.l2Bytes = 16 * 1024;
+    TmSystem sys(cfg);
+    const Asid asid = sys.os().createProcess();
+    const ThreadId t0 = sys.os().spawnThread(asid);
+    const ThreadId t1 = sys.os().spawnThread(asid);
+    LogTmSeEngine &eng = sys.engine();
+
+    Watchdog wd(sys, Watchdog::Params{4000, 500, "--seed=99"});
+    bool fired = false;
+    std::string report;
+    wd.arm([&](const std::string &r) {
+        fired = true;
+        report = r;
+    });
+
+    constexpr VirtAddr X = 0x7000;
+    eng.txBegin(t0);
+    OpStatus st = OpStatus::Ok;
+    bool store_done = false;
+    eng.store(t0, X, 1, [&](OpStatus s) {
+        st = s;
+        store_done = true;
+    });
+    sys.sim().runUntil([&]() { return store_done; });
+    ASSERT_EQ(st, OpStatus::Ok);
+
+    // t1 stalls on t0's block; t0 never commits -> no progress.
+    eng.txBegin(t1);
+    uint64_t value = 0;
+    bool read_done = false;
+    eng.load(t1, X, [&](OpStatus, uint64_t v) {
+        value = v;
+        read_done = true;
+    });
+
+    bool deadline = false;
+    sys.sim().queue().scheduleIn(20'000, [&]() { deadline = true; });
+    sys.sim().runUntil([&]() { return deadline || fired; });
+
+    ASSERT_TRUE(fired) << "watchdog never fired";
+    EXPECT_TRUE(wd.fired());
+    EXPECT_NE(report.find("--seed=99"), std::string::npos) << report;
+    EXPECT_NE(report.find("no commit for"), std::string::npos) << report;
+    EXPECT_NE(report.find("inTx"), std::string::npos) << report;
+    EXPECT_NE(report.find("waitsFor"), std::string::npos) << report;
+    EXPECT_EQ(sys.stats().counterValue("chk.watchdogFired"), 1u);
+
+    // Unwind: commit the winner, let the stalled read drain, clean up.
+    bool commit_done = false;
+    eng.txCommit(t0, [&]() { commit_done = true; });
+    sys.sim().runUntil([&]() { return commit_done && read_done; });
+    EXPECT_EQ(value, 1u);
+    bool abort_done = false;
+    eng.txAbortFrame(t1, [&]() { abort_done = true; });
+    sys.sim().runUntil([&]() { return abort_done; });
+}
+
+} // namespace
+} // namespace logtm

@@ -102,6 +102,38 @@ TEST(ConfigDeath, RejectsUnevenChipPartition)
     EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "chips");
 }
 
+TEST(ConfigDeath, RejectsZeroThreadsPerCore)
+{
+    SystemConfig cfg;
+    cfg.threadsPerCore = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "at least one core and one thread");
+}
+
+TEST(ConfigDeath, RejectsZeroEntryLogFilter)
+{
+    SystemConfig cfg;
+    cfg.logFilterEntries = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "log filter needs at least one entry");
+}
+
+TEST(ConfigDeath, RejectsOverflowingBackoffShift)
+{
+    SystemConfig cfg;
+    cfg.backoffMaxShift = 64;  // Cycle << 64 is UB
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "backoffMaxShift must be below 64");
+}
+
+TEST(ConfigDeath, RejectsZeroNackRetryBase)
+{
+    SystemConfig cfg;
+    cfg.nackRetryBase = 0;  // empty backoff window
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "nackRetryBase must be nonzero");
+}
+
 TEST(EventQueueDeath, PanicsOnSchedulingInThePast)
 {
     EXPECT_DEATH(
