@@ -7,75 +7,65 @@
  */
 
 #include "bench_util.hh"
-#include "workload/microbench.hh"
 
 using namespace logtm;
 
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader("Ablation: conflict resolution policy (paper §2)");
 
     Table table({"Counters", "Policy", "Cycles", "Commits", "Aborts",
                  "Stalls", "AbortsPerCommit"});
 
-    for (uint32_t counters : {256u, 64u, 16u}) {
-        for (ConflictPolicy policy : {ConflictPolicy::StallRetry,
-                                      ConflictPolicy::StallThenAbort,
-                                      ConflictPolicy::AbortAlways}) {
-            SystemConfig sys_cfg;
-            sys_cfg.conflictPolicy = policy;
-            TmSystem sys(sys_cfg);
+    const std::vector<uint32_t> counterCounts = {256, 64, 16};
+    const std::vector<ConflictPolicy> policies = {
+        ConflictPolicy::StallRetry, ConflictPolicy::StallThenAbort,
+        ConflictPolicy::AbortAlways};
 
-            std::unique_ptr<ObsSession> session;
-            if (obs.enabled()) {
-                ObsConfig ocfg;
-                ocfg.outDir = obs.outDir;
-                ocfg.trace = obs.trace;
-                ocfg.numContexts = sys_cfg.numContexts();
-                ocfg.threadsPerCore = sys_cfg.threadsPerCore;
-                session = std::make_unique<ObsSession>(
-                    sys.sim().events(), sys.stats(), ocfg);
-            }
+    std::vector<ExperimentConfig> grid;
+    for (uint32_t counters : counterCounts) {
+        for (ConflictPolicy policy : policies) {
+            ExperimentConfig cfg;
+            cfg.bench = Benchmark::Microbench;
+            cfg.sys.conflictPolicy = policy;
+            cfg.wl.numThreads = 32;
+            cfg.wl.useTm = true;
+            cfg.wl.totalUnits = 1024;
+            cfg.mb.numCounters = counters;
+            cfg.mb.readsPerTx = 2;
+            cfg.mb.writesPerTx = 2;
+            cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdir
+            grid.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "ablation_conflict");
 
-            WorkloadParams p;
-            p.numThreads = 32;
-            p.useTm = true;
-            p.totalUnits = 1024;
-            MicrobenchConfig mb;
-            mb.numCounters = counters;
-            mb.readsPerTx = 2;
-            mb.writesPerTx = 2;
-            MicrobenchWorkload wl(sys, p, mb);
-            const WorkloadResult res = wl.run();
-            if (session)
-                session->finish();
-            const uint64_t commits =
-                sys.stats().counterValue("tm.commits");
-            const uint64_t aborts =
-                sys.stats().counterValue("tm.aborts");
+    size_t i = 0;
+    for (uint32_t counters : counterCounts) {
+        for (ConflictPolicy policy : policies) {
+            const ExperimentResult &r = results[i++];
 
-            if (wl.counterSum() != wl.expectedIncrements()) {
+            if (r.microCounterSum != r.microExpected) {
                 std::fprintf(stderr,
                              "ATOMICITY VIOLATION: sum %llu != %llu\n",
                              static_cast<unsigned long long>(
-                                 wl.counterSum()),
+                                 r.microCounterSum),
                              static_cast<unsigned long long>(
-                                 wl.expectedIncrements()));
+                                 r.microExpected));
                 return 1;
             }
 
             table.addRow({Table::fmt(uint64_t{counters}),
-                          toString(policy), Table::fmt(res.cycles),
-                          Table::fmt(commits), Table::fmt(aborts),
-                          Table::fmt(sys.stats().counterValue(
-                              "tm.stalls")),
-                          Table::fmt(commits ? static_cast<double>(
-                                         aborts) /
-                                         static_cast<double>(commits)
-                                             : 0.0, 2)});
-            std::fflush(stdout);
+                          toString(policy), Table::fmt(r.cycles),
+                          Table::fmt(r.commits), Table::fmt(r.aborts),
+                          Table::fmt(r.stalls),
+                          Table::fmt(r.commits ? static_cast<double>(
+                                         r.aborts) /
+                                         static_cast<double>(r.commits)
+                                               : 0.0, 2)});
         }
     }
     table.print(std::cout);

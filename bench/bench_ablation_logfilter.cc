@@ -8,20 +8,22 @@
  */
 
 #include "bench_util.hh"
-#include "workload/microbench.hh"
 
 using namespace logtm;
 
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader("Ablation: log filter size (paper §2)");
 
-    Table table({"FilterEntries", "Cycles", "UndoRecords",
-                 "FilterHits", "RecordsPerTx", "LogBytesPerTx"});
+    const std::vector<uint32_t> bdbSizes = {0, 1, 4, 16, 64};
+    const std::vector<uint32_t> rwSizes = {0, 1, 4, 16};
 
-    for (uint32_t entries : {0u, 1u, 4u, 16u, 64u}) {
+    // One grid: the BerkeleyDB filter sweep followed by the
+    // rewrite-heavy microbenchmark sweep.
+    std::vector<ExperimentConfig> grid;
+    for (uint32_t entries : bdbSizes) {
         ExperimentConfig cfg = paperExperiment(Benchmark::BerkeleyDB, 2);
         cfg.wl.useTm = true;
         // entries == 0 is the no-filter baseline, expressed via the
@@ -29,44 +31,44 @@ main(int argc, char **argv)
         cfg.sys.logFilterEnabled = entries != 0;
         if (entries != 0)
             cfg.sys.logFilterEntries = entries;
+        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        grid.push_back(cfg);
+    }
+    for (uint32_t entries : rwSizes) {
+        ExperimentConfig cfg;
+        cfg.bench = Benchmark::Microbench;
+        cfg.sys.logFilterEnabled = entries != 0;
+        if (entries != 0)
+            cfg.sys.logFilterEntries = entries;
+        cfg.sys.logWriteLatency = 4;  // make log traffic visible
+        cfg.wl.numThreads = 32;
+        cfg.wl.useTm = true;
+        cfg.wl.totalUnits = 1024;
+        cfg.mb.numCounters = 512;  // low contention: isolate log effects
+        cfg.mb.readsPerTx = 0;
+        cfg.mb.writesPerTx = 8;
+        cfg.mb.writeWorkingSet = 3;  // revisit 3 per-thread counters
+        grid.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "ablation_logfilter");
 
-        // Measure via a full run; the stats registry reports the
-        // filter's effect directly.
-        TmSystem sys(cfg.sys);
-
-        std::unique_ptr<ObsSession> session;
-        if (obs.enabled()) {
-            ObsConfig ocfg;
-            ocfg.outDir = obs.outDir;
-            ocfg.trace = obs.trace;
-            ocfg.numContexts = cfg.sys.numContexts();
-            ocfg.threadsPerCore = cfg.sys.threadsPerCore;
-            session = std::make_unique<ObsSession>(sys.sim().events(),
-                                                   sys.stats(), ocfg);
-        }
-
-        WorkloadParams p = cfg.wl;
-        auto wl = makeWorkload(cfg.bench, sys, p);
-        const WorkloadResult res = wl->run();
-        if (session)
-            session->finish();
-        const uint64_t records =
-            sys.stats().counterValue("tm.logRecords");
-        const uint64_t hits =
-            sys.stats().counterValue("tm.logFilterHits");
-        const uint64_t commits = sys.stats().counterValue("tm.commits");
-
-        table.addRow({Table::fmt(uint64_t{entries}),
-                      Table::fmt(res.cycles), Table::fmt(records),
-                      Table::fmt(hits),
-                      Table::fmt(commits ? static_cast<double>(records) /
-                                     static_cast<double>(commits)
-                                         : 0.0, 1),
-                      Table::fmt(commits ? 16.0 *
-                                     static_cast<double>(records) /
-                                     static_cast<double>(commits)
-                                         : 0.0, 0)});
-        std::fflush(stdout);
+    Table table({"FilterEntries", "Cycles", "UndoRecords",
+                 "FilterHits", "RecordsPerTx", "LogBytesPerTx"});
+    for (size_t i = 0; i < bdbSizes.size(); ++i) {
+        const ExperimentResult &r = results[i];
+        table.addRow({Table::fmt(uint64_t{bdbSizes[i]}),
+                      Table::fmt(r.cycles), Table::fmt(r.logRecords),
+                      Table::fmt(r.logFilterHits),
+                      Table::fmt(r.commits
+                                     ? static_cast<double>(r.logRecords) /
+                                         static_cast<double>(r.commits)
+                                     : 0.0, 1),
+                      Table::fmt(r.commits
+                                     ? 16.0 *
+                                         static_cast<double>(r.logRecords) /
+                                         static_cast<double>(r.commits)
+                                     : 0.0, 0)});
     }
     table.print(std::cout);
 
@@ -77,35 +79,15 @@ main(int argc, char **argv)
                 "(8 writes across 3 counters per transaction)\n");
     Table rw({"FilterEntries", "Cycles", "UndoRecords", "FilterHits",
               "RecordsPerTx"});
-    for (uint32_t entries : {0u, 1u, 4u, 16u}) {
-        SystemConfig sys_cfg;
-        sys_cfg.logFilterEnabled = entries != 0;
-        if (entries != 0)
-            sys_cfg.logFilterEntries = entries;
-        sys_cfg.logWriteLatency = 4;  // make log traffic visible
-        TmSystem sys(sys_cfg);
-        WorkloadParams p;
-        p.numThreads = 32;
-        p.useTm = true;
-        p.totalUnits = 1024;
-        MicrobenchConfig mb;
-        mb.numCounters = 512;  // low contention: isolate log effects
-        mb.readsPerTx = 0;
-        mb.writesPerTx = 8;
-        mb.writeWorkingSet = 3;  // revisit 3 per-thread counters
-        MicrobenchWorkload wl(sys, p, mb);
-        const WorkloadResult res = wl.run();
-        const uint64_t records =
-            sys.stats().counterValue("tm.logRecords");
-        const uint64_t hits =
-            sys.stats().counterValue("tm.logFilterHits");
-        const uint64_t commits = sys.stats().counterValue("tm.commits");
-        rw.addRow({Table::fmt(uint64_t{entries}),
-                   Table::fmt(res.cycles), Table::fmt(records),
-                   Table::fmt(hits),
-                   Table::fmt(commits ? static_cast<double>(records) /
-                                  static_cast<double>(commits)
-                                      : 0.0, 1)});
+    for (size_t i = 0; i < rwSizes.size(); ++i) {
+        const ExperimentResult &r = results[bdbSizes.size() + i];
+        rw.addRow({Table::fmt(uint64_t{rwSizes[i]}),
+                   Table::fmt(r.cycles), Table::fmt(r.logRecords),
+                   Table::fmt(r.logFilterHits),
+                   Table::fmt(r.commits
+                                  ? static_cast<double>(r.logRecords) /
+                                      static_cast<double>(r.commits)
+                                  : 0.0, 1)});
     }
     rw.print(std::cout);
     std::cout << "\n(the filter is a pure optimization: correctness is "

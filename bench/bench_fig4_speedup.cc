@@ -18,8 +18,8 @@ using namespace logtm;
 int
 main(int argc, char **argv)
 {
-    const bool csv = csvMode(argc, argv);
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const bool csv = opt.csv;
     if (!csv)
         printSystemHeader(
             "Figure 4: speedup normalized to the lock-based version");
@@ -27,22 +27,34 @@ main(int argc, char **argv)
     Table table({"Benchmark", "Lock(cycles)", "Perfect", "BS_2048",
                  "CBS_2048", "DBS_2048", "BS_64"});
 
+    // Per benchmark: one lock baseline followed by the TM variants.
+    const std::vector<SignatureConfig> sigs = paperSignatureVariants();
+    const size_t stride = 1 + sigs.size();
+    std::vector<ExperimentConfig> grid;
     for (Benchmark b : paperBenchmarks()) {
         ExperimentConfig cfg = paperExperiment(b, 2);
         cfg.wl.useTm = false;
-        const ExperimentResult lock = runExperiment(cfg);
+        grid.push_back(cfg);
+        cfg.wl.useTm = true;
+        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        for (const SignatureConfig &sig : sigs) {
+            cfg.sys.signature = sig;
+            grid.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "fig4_speedup");
 
+    size_t base = 0;
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentResult &lock = results[base];
         std::vector<std::string> row{toString(b),
                                      Table::fmt(lock.cycles)};
-        cfg.wl.useTm = true;
-        cfg.obs = obs;  // snapshots overwrite; last run wins
-        for (const SignatureConfig &sig : paperSignatureVariants()) {
-            cfg.sys.signature = sig;
-            const ExperimentResult tm = runExperiment(cfg);
-            row.push_back(Table::fmt(speedupVs(tm, lock)));
-        }
+        for (size_t k = 0; k < sigs.size(); ++k)
+            row.push_back(
+                Table::fmt(speedupVs(results[base + 1 + k], lock)));
         table.addRow(row);
-        std::fflush(stdout);
+        base += stride;
     }
     emitTable(table, csv);
     if (!csv) {

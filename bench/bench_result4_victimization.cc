@@ -13,18 +13,26 @@ using namespace logtm;
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader("Result 4: victimization of transactional data");
 
     Table table({"Benchmark", "Transactions", "L1TxVictims",
                  "L2TxVictims", "PerKTx"});
 
+    std::vector<ExperimentConfig> grid;
     for (Benchmark b : paperBenchmarks()) {
         ExperimentConfig cfg = paperExperiment(b);
         cfg.wl.useTm = true;
         cfg.sys.signature = sigPerfect();
-        cfg.obs = obs;  // snapshots overwrite; last run wins
-        const ExperimentResult r = runExperiment(cfg);
+        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        grid.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "result4_victimization");
+
+    size_t i = 0;
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentResult &r = results[i++];
         const uint64_t victims = r.l1TxVictims + r.l2TxVictims;
         const double per_ktx = r.commits
             ? 1000.0 * static_cast<double>(victims) /
@@ -34,7 +42,6 @@ main(int argc, char **argv)
                       Table::fmt(r.l1TxVictims),
                       Table::fmt(r.l2TxVictims),
                       Table::fmt(per_ktx, 1)});
-        std::fflush(stdout);
     }
     table.print(std::cout);
     std::cout << "\n(paper: Raytrace 481 victimizations in 48K "

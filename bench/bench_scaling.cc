@@ -14,24 +14,33 @@ using namespace logtm;
 int
 main(int argc, char **argv)
 {
-    const bool csv = csvMode(argc, argv);
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const bool csv = opt.csv;
     if (!csv)
         printSystemHeader("Scaling: BerkeleyDB throughput vs threads");
 
     Table table({"Threads", "LockCycles", "TmCycles", "Speedup",
                  "TmStallsPerTx", "TmAbortsPerTx"});
 
-    for (uint32_t threads : {4u, 8u, 16u, 32u}) {
+    const std::vector<uint32_t> threadCounts = {4, 8, 16, 32};
+    std::vector<ExperimentConfig> grid;
+    for (uint32_t threads : threadCounts) {
         ExperimentConfig cfg = paperExperiment(Benchmark::BerkeleyDB, 2);
         cfg.wl.numThreads = threads;
         cfg.sys.signature = sigBS(2048);
-
         cfg.wl.useTm = false;
-        const ExperimentResult lock = runExperiment(cfg);
+        grid.push_back(cfg);
         cfg.wl.useTm = true;
-        cfg.obs = obs;  // snapshots overwrite; last run wins
-        const ExperimentResult tm = runExperiment(cfg);
+        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        grid.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "scaling");
+
+    for (size_t i = 0; i < threadCounts.size(); ++i) {
+        const uint32_t threads = threadCounts[i];
+        const ExperimentResult &lock = results[2 * i];
+        const ExperimentResult &tm = results[2 * i + 1];
 
         table.addRow({Table::fmt(uint64_t{threads}),
                       Table::fmt(lock.cycles), Table::fmt(tm.cycles),
@@ -44,7 +53,6 @@ main(int argc, char **argv)
                                      ? static_cast<double>(tm.aborts) /
                                          static_cast<double>(tm.commits)
                                      : 0.0, 2)});
-        std::fflush(stdout);
     }
     emitTable(table, csv);
     if (!csv) {

@@ -17,9 +17,6 @@ using namespace logtm;
 
 namespace {
 
-/** Observability flags, applied to every TM run (last run wins). */
-ObsOptions g_obs;
-
 SystemConfig
 baseConfig(CoherenceKind kind)
 {
@@ -28,8 +25,9 @@ baseConfig(CoherenceKind kind)
     return cfg;
 }
 
-ExperimentResult
-run(Benchmark b, const SystemConfig &sys, bool use_tm)
+ExperimentConfig
+makeCfg(Benchmark b, const SystemConfig &sys, bool use_tm,
+        const ObsOptions &obs)
 {
     ExperimentConfig cfg;
     cfg.bench = b;
@@ -38,8 +36,8 @@ run(Benchmark b, const SystemConfig &sys, bool use_tm)
     cfg.wl.totalUnits = defaultUnits(b) / 2;
     cfg.wl.useTm = use_tm;
     if (use_tm)
-        cfg.obs = g_obs;
-    return runExperiment(cfg);
+        cfg.obs = obs;
+    return cfg;
 }
 
 } // namespace
@@ -47,37 +45,68 @@ run(Benchmark b, const SystemConfig &sys, bool use_tm)
 int
 main(int argc, char **argv)
 {
-    g_obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader("Section 7: alternative LogTM-SE implementations");
+
+    const std::vector<SignatureConfig> sigs = {sigPerfect(), sigBS(2048),
+                                               sigBS(256), sigBS(64)};
+    const std::vector<uint32_t> chipCounts = {1, 2, 4};
+
+    // One flat grid: (a) the two lock baselines plus dir/snoop TM runs
+    // per signature, then (b) micro + BerkeleyDB TM/lock per chip
+    // count. Indices below mirror this order.
+    std::vector<ExperimentConfig> grid;
+    grid.push_back(makeCfg(Benchmark::BerkeleyDB,
+                           baseConfig(CoherenceKind::Directory), false,
+                           opt.obs));
+    grid.push_back(makeCfg(Benchmark::BerkeleyDB,
+                           baseConfig(CoherenceKind::Snooping), false,
+                           opt.obs));
+    for (const SignatureConfig &sig : sigs) {
+        SystemConfig dir_sys = baseConfig(CoherenceKind::Directory);
+        dir_sys.signature = sig;
+        grid.push_back(makeCfg(Benchmark::BerkeleyDB, dir_sys, true,
+                               opt.obs));
+        SystemConfig bus_sys = baseConfig(CoherenceKind::Snooping);
+        bus_sys.signature = sig;
+        grid.push_back(makeCfg(Benchmark::BerkeleyDB, bus_sys, true,
+                               opt.obs));
+    }
+    const size_t chipBase = grid.size();
+    for (const uint32_t chips : chipCounts) {
+        SystemConfig sys = baseConfig(CoherenceKind::Directory);
+        sys.numChips = chips;
+
+        ExperimentConfig mcfg;
+        mcfg.bench = Benchmark::Microbench;
+        mcfg.sys = sys;
+        mcfg.wl.numThreads = sys.numContexts();
+        mcfg.wl.totalUnits = 512;
+        mcfg.wl.useTm = true;
+        mcfg.obs = opt.obs;
+        grid.push_back(mcfg);
+
+        grid.push_back(makeCfg(Benchmark::BerkeleyDB, sys, true,
+                               opt.obs));
+        grid.push_back(makeCfg(Benchmark::BerkeleyDB, sys, false,
+                               opt.obs));
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "section7");
 
     std::printf("(a) Directory vs snooping, BerkeleyDB, by signature\n");
     Table snoop_table({"Signature", "Dir speedup", "Dir FP%",
                        "Snoop speedup", "Snoop FP%"});
-    const ExperimentResult dir_lock =
-        run(Benchmark::BerkeleyDB, baseConfig(CoherenceKind::Directory),
-            false);
-    const ExperimentResult bus_lock =
-        run(Benchmark::BerkeleyDB, baseConfig(CoherenceKind::Snooping),
-            false);
-
-    for (const SignatureConfig &sig :
-         {sigPerfect(), sigBS(2048), sigBS(256), sigBS(64)}) {
-        SystemConfig dir_sys = baseConfig(CoherenceKind::Directory);
-        dir_sys.signature = sig;
-        const ExperimentResult dir =
-            run(Benchmark::BerkeleyDB, dir_sys, true);
-
-        SystemConfig bus_sys = baseConfig(CoherenceKind::Snooping);
-        bus_sys.signature = sig;
-        const ExperimentResult bus =
-            run(Benchmark::BerkeleyDB, bus_sys, true);
-
-        snoop_table.addRow({sig.name(),
+    const ExperimentResult &dir_lock = results[0];
+    const ExperimentResult &bus_lock = results[1];
+    for (size_t i = 0; i < sigs.size(); ++i) {
+        const ExperimentResult &dir = results[2 + 2 * i];
+        const ExperimentResult &bus = results[2 + 2 * i + 1];
+        snoop_table.addRow({sigs[i].name(),
                             Table::fmt(speedupVs(dir, dir_lock)),
                             Table::fmt(dir.falsePositivePct(), 1),
                             Table::fmt(speedupVs(bus, bus_lock)),
                             Table::fmt(bus.falsePositivePct(), 1)});
-        std::fflush(stdout);
     }
     snoop_table.print(std::cout);
     std::printf("\n(broadcast checks every signature on every "
@@ -90,29 +119,14 @@ main(int argc, char **argv)
                     SystemConfig{}.interChipLatency));
     Table chip_table({"Chips", "Microbench cycles", "BDB cycles",
                       "BDB speedup vs lock"});
-    for (uint32_t chips : {1u, 2u, 4u}) {
-        SystemConfig sys = baseConfig(CoherenceKind::Directory);
-        sys.numChips = chips;
-
-        ExperimentConfig mcfg;
-        mcfg.bench = Benchmark::Microbench;
-        mcfg.sys = sys;
-        mcfg.wl.numThreads = sys.numContexts();
-        mcfg.wl.totalUnits = 512;
-        mcfg.wl.useTm = true;
-        mcfg.obs = g_obs;
-        const ExperimentResult micro = runExperiment(mcfg);
-
-        const ExperimentResult bdb_tm =
-            run(Benchmark::BerkeleyDB, sys, true);
-        const ExperimentResult bdb_lock =
-            run(Benchmark::BerkeleyDB, sys, false);
-
-        chip_table.addRow({Table::fmt(uint64_t{chips}),
+    for (size_t i = 0; i < chipCounts.size(); ++i) {
+        const ExperimentResult &micro = results[chipBase + 3 * i];
+        const ExperimentResult &bdb_tm = results[chipBase + 3 * i + 1];
+        const ExperimentResult &bdb_lock = results[chipBase + 3 * i + 2];
+        chip_table.addRow({Table::fmt(uint64_t{chipCounts[i]}),
                            Table::fmt(micro.cycles),
                            Table::fmt(bdb_tm.cycles),
                            Table::fmt(speedupVs(bdb_tm, bdb_lock))});
-        std::fflush(stdout);
     }
     chip_table.print(std::cout);
     std::printf("\n(LogTM-SE's local commit needs no inter-chip "

@@ -6,14 +6,18 @@
  *
  *   bench_stress_chaos                      # default sweep
  *   bench_stress_chaos --seeds=128          # wider sweep
+ *   bench_stress_chaos --jobs=4             # fan runs across 4 cores
  *   bench_stress_chaos --mix=eviction       # sweep one mix
  *   bench_stress_chaos --seed=17 --faults=victim=40,nack=10,tick=150
  *                                           # exact replay of one run
  *   --snooping                              # snooping coherence
  *   --units=N                               # work units per run
  *
- * Exits 1 on the first failing run, printing the exact --seed and
- * --faults flags that reproduce it.
+ * The sweep runs every (mix, seed) combination -- in parallel when
+ * --jobs/$LOGTM_JOBS asks for it -- prints results in sweep order,
+ * and exits 1 if any run failed, echoing the exact --seed and
+ * --faults flags that reproduce each failure. Replay mode is always
+ * serial.
  */
 
 #include <cstdio>
@@ -22,12 +26,23 @@
 #include <vector>
 
 #include "check/chaos.hh"
+#include "sweep/job_scheduler.hh"
+#include "sweep/runner.hh"
 
 using namespace logtm;
 
 namespace {
 
-bool
+struct ChaosRun
+{
+    std::string mix;
+    FaultPlan plan;
+    uint64_t seed = 0;
+    bool firstOfMix = false;
+    ChaosResult result;
+};
+
+ChaosResult
 runOne(uint64_t seed, const FaultPlan &plan, bool snooping,
        uint64_t units)
 {
@@ -37,15 +52,7 @@ runOne(uint64_t seed, const FaultPlan &plan, bool snooping,
     p.snooping = snooping;
     if (units)
         p.totalUnits = units;
-    const ChaosResult r = runChaos(p);
-    std::printf("%s%s\n", r.describe().c_str(),
-                snooping ? " (snooping)" : "");
-    if (!r.ok()) {
-        std::printf("replay: bench_stress_chaos %s%s\n",
-                    r.reproFlags.c_str(), snooping ? " --snooping" : "");
-    }
-    std::fflush(stdout);
-    return r.ok();
+    return runChaos(p);
 }
 
 } // namespace
@@ -60,6 +67,10 @@ main(int argc, char **argv)
     std::string faults;      // explicit --faults spec wins over mixes
     std::vector<std::string> mixes =
         {"eviction", "scheduling", "timing", "everything"};
+    sweep::SchedulerConfig sched;
+    sched.workers = sweep::jobsFromEnv(1);
+    sched.maxAttempts = 1;   // chaos failures are results, not errors
+    sched.progressLabel = "chaos";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg(argv[i]);
@@ -73,6 +84,14 @@ main(int argc, char **argv)
             mixes = {arg.substr(6)};
         else if (arg.rfind("--units=", 0) == 0)
             units = std::strtoull(arg.c_str() + 8, nullptr, 10);
+        else if (arg.rfind("--jobs=", 0) == 0)
+            sched.workers = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+        else if (arg == "--jobs" && i + 1 < argc)
+            sched.workers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (arg == "--progress")
+            sched.progress = true;
         else if (arg == "--snooping")
             snooping = true;
         else {
@@ -82,22 +101,72 @@ main(int argc, char **argv)
     }
 
     if (!faults.empty()) {
-        // Exact replay mode: one plan, one seed (default 1).
+        // Exact replay mode: one plan, one seed (default 1), serial.
         const FaultPlan plan = FaultPlan::parse(faults);
-        return runOne(seed ? seed : 1, plan, snooping, units) ? 0 : 1;
+        const ChaosResult r =
+            runOne(seed ? seed : 1, plan, snooping, units);
+        std::printf("%s%s\n", r.describe().c_str(),
+                    snooping ? " (snooping)" : "");
+        if (!r.ok()) {
+            std::printf("replay: bench_stress_chaos %s%s\n",
+                        r.reproFlags.c_str(),
+                        snooping ? " --snooping" : "");
+            return 1;
+        }
+        return 0;
     }
 
+    // Expand the full (mix, seed) sweep, fan it across host workers,
+    // then report in sweep order.
+    std::vector<ChaosRun> runs;
     for (const std::string &mix : mixes) {
         const FaultPlan plan = chaosMix(mix);
-        std::printf("== mix %s (%s) ==\n", mix.c_str(),
-                    plan.format().c_str());
         const uint64_t lo = seed ? seed : 1;
         const uint64_t hi = seed ? seed : num_seeds;
         for (uint64_t s = lo; s <= hi; ++s) {
-            if (!runOne(s, plan, snooping, units))
-                return 1;
+            ChaosRun run;
+            run.mix = mix;
+            run.plan = plan;
+            run.seed = s;
+            run.firstOfMix = s == lo;
+            runs.push_back(std::move(run));
         }
     }
-    std::printf("all chaos runs passed\n");
-    return 0;
+
+    std::vector<sweep::JobFn> jobs;
+    jobs.reserve(runs.size());
+    for (ChaosRun &run : runs) {
+        jobs.push_back([&run, snooping, units](
+                           const sweep::JobContext &) {
+            run.result = runOne(run.seed, run.plan, snooping, units);
+        });
+    }
+    const std::vector<sweep::JobOutcome> outcomes =
+        sweep::JobScheduler(sched).run(jobs);
+
+    bool all_ok = true;
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const ChaosRun &run = runs[i];
+        if (run.firstOfMix)
+            std::printf("== mix %s (%s) ==\n", run.mix.c_str(),
+                        run.plan.format().c_str());
+        if (!outcomes[i].ok) {
+            std::printf("seed %llu: harness error: %s\n",
+                        static_cast<unsigned long long>(run.seed),
+                        outcomes[i].error.c_str());
+            all_ok = false;
+            continue;
+        }
+        std::printf("%s%s\n", run.result.describe().c_str(),
+                    snooping ? " (snooping)" : "");
+        if (!run.result.ok()) {
+            std::printf("replay: bench_stress_chaos %s%s\n",
+                        run.result.reproFlags.c_str(),
+                        snooping ? " --snooping" : "");
+            all_ok = false;
+        }
+    }
+    if (all_ok)
+        std::printf("all chaos runs passed\n");
+    return all_ok ? 0 : 1;
 }

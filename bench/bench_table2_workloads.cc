@@ -34,7 +34,7 @@ unitOfWork(Benchmark b)
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader("Table 2: benchmarks and transactional footprints"
                       " (perfect signatures)");
 
@@ -42,19 +42,26 @@ main(int argc, char **argv)
                  "ReadAvg", "ReadMax", "WriteAvg", "WriteMax",
                  "UndoRecsAvg"});
 
+    std::vector<ExperimentConfig> grid;
     for (Benchmark b : paperBenchmarks()) {
         ExperimentConfig cfg = paperExperiment(b);
         cfg.wl.useTm = true;
         cfg.sys.signature = sigPerfect();
-        cfg.obs = obs;  // snapshots overwrite; last run wins
-        const ExperimentResult r = runExperiment(cfg);
+        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        grid.push_back(cfg);
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "table2");
+
+    size_t i = 0;
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentResult &r = results[i++];
         table.addRow({toString(b), unitOfWork(b), Table::fmt(r.units),
                       Table::fmt(r.commits), Table::fmt(r.readAvg, 1),
                       Table::fmt(r.readMax, 0),
                       Table::fmt(r.writeAvg, 1),
                       Table::fmt(r.writeMax, 0),
                       Table::fmt(r.undoRecordsAvg, 1)});
-        std::fflush(stdout);
     }
     table.print(std::cout);
     std::cout << "\n(paper Table 2: read avg/max 8.1/30 4.0/4 2.0/25 "

@@ -18,35 +18,45 @@ using namespace logtm;
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
     printSystemHeader(
         "Table 3: impact of signature size on conflict detection");
 
-    for (Benchmark b : {Benchmark::Raytrace, Benchmark::BerkeleyDB}) {
-        std::printf("--- %s ---\n", toString(b).c_str());
-        Table table({"Signature", "Bits", "Transactions", "Aborts",
-                     "Stalls", "FalsePos%"});
+    std::vector<SignatureConfig> variants = {sigPerfect()};
+    for (uint32_t bits : {2048u, 64u}) {
+        variants.push_back(sigBS(bits));
+        variants.push_back(sigCBS(bits));
+        variants.push_back(sigDBS(bits));
+    }
 
-        std::vector<SignatureConfig> variants = {sigPerfect()};
-        for (uint32_t bits : {2048u, 64u}) {
-            variants.push_back(sigBS(bits));
-            variants.push_back(sigCBS(bits));
-            variants.push_back(sigDBS(bits));
-        }
-
+    const std::vector<Benchmark> benches = {Benchmark::Raytrace,
+                                            Benchmark::BerkeleyDB};
+    std::vector<ExperimentConfig> grid;
+    for (Benchmark b : benches) {
         for (const SignatureConfig &sig : variants) {
             ExperimentConfig cfg = paperExperiment(b, 2);
             cfg.wl.useTm = true;
             cfg.sys.signature = sig;
-            cfg.obs = obs;  // snapshots overwrite; last run wins
-            const ExperimentResult r = runExperiment(cfg);
+            cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdir
+            grid.push_back(cfg);
+        }
+    }
+    const std::vector<ExperimentResult> results =
+        runGrid(std::move(grid), opt, "table3_signatures");
+
+    size_t i = 0;
+    for (Benchmark b : benches) {
+        std::printf("--- %s ---\n", toString(b).c_str());
+        Table table({"Signature", "Bits", "Transactions", "Aborts",
+                     "Stalls", "FalsePos%"});
+        for (const SignatureConfig &sig : variants) {
+            const ExperimentResult &r = results[i++];
             table.addRow({toString(sig.kind),
                           sig.kind == SignatureKind::Perfect
                               ? "-" : Table::fmt(uint64_t{sig.bits}),
                           Table::fmt(r.commits), Table::fmt(r.aborts),
                           Table::fmt(r.stalls),
                           Table::fmt(r.falsePositivePct(), 1)});
-            std::fflush(stdout);
         }
         table.print(std::cout);
         std::cout << "\n";

@@ -103,18 +103,37 @@ cfg4()
 
 } // namespace
 
+namespace {
+
+/** Rows (and an optional note line) one scenario contributes. */
+struct Scenario
+{
+    std::vector<std::vector<std::string>> rows;
+    std::string note;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    const ObsOptions obs = parseObsOptions(argc, argv);
+    const BenchOptions opt = parseBenchOptions(argc, argv);
+    const ObsOptions obs = opt.obs;
     printSystemHeader("Table 4 counterpart: operation costs before and "
                       "after virtualization events (measured cycles)");
 
     Table table({"Operation", "Before", "AfterEvent", "Event",
                  "Mechanism"});
 
+    // The four scenario blocks are independent simulations; fan them
+    // across host workers as generic scheduler jobs and splice the
+    // rows back in block order.
+    std::vector<Scenario> scenarios(4);
+    std::vector<sweep::JobFn> jobs;
+
     // ----- cache miss and commit, plain transaction ------------------
-    {
+    jobs.push_back([&scenarios, &obs](const sweep::JobContext &) {
+        Scenario &sc = scenarios[0];
         Ctx c(cfg4());
         const ThreadId t = c.threads[0];
         c.sys.engine().txBegin(t);
@@ -139,18 +158,21 @@ main(int argc, char **argv)
         const uint64_t victims =
             v.sys.stats().counterValue("l1.txVictims");
 
-        table.addRow({"$miss (store)", Table::fmt(miss),
-                      Table::fmt(miss_victim), "cache victimization",
-                      "hardware (sticky states)"});
-        table.addRow({"commit", Table::fmt(commit),
-                      Table::fmt(commit_victim), "cache victimization",
-                      "local signature clear"});
-        std::printf("(victimizations during the overflow run: %llu)\n",
-                    static_cast<unsigned long long>(victims));
-    }
+        sc.rows.push_back({"$miss (store)", Table::fmt(miss),
+                           Table::fmt(miss_victim),
+                           "cache victimization",
+                           "hardware (sticky states)"});
+        sc.rows.push_back({"commit", Table::fmt(commit),
+                           Table::fmt(commit_victim),
+                           "cache victimization",
+                           "local signature clear"});
+        sc.note = "(victimizations during the overflow run: " +
+            std::to_string(victims) + ")";
+    });
 
     // ----- abort cost scales with log size ----------------------------
-    {
+    jobs.push_back([&scenarios](const sweep::JobContext &) {
+        Scenario &sc = scenarios[1];
         Ctx c(cfg4());
         const ThreadId t = c.threads[0];
         c.sys.engine().txBegin(t);
@@ -165,14 +187,16 @@ main(int argc, char **argv)
         for (uint32_t i = 0; i < 32; ++i)
             c.timedStore(t, 0x30000 + i * blockBytes, i);
         const Cycle abort_large = c.timedAbort(t);
-        table.addRow({"abort (1 block)", Table::fmt(abort_small), "-",
-                      "-", "software log walk"});
-        table.addRow({"abort (32 blocks)", Table::fmt(abort_large), "-",
-                      "-", "software log walk (LIFO)"});
-    }
+        sc.rows.push_back({"abort (1 block)", Table::fmt(abort_small),
+                           "-", "-", "software log walk"});
+        sc.rows.push_back({"abort (32 blocks)",
+                           Table::fmt(abort_large), "-", "-",
+                           "software log walk (LIFO)"});
+    });
 
     // ----- thread switch: commit after migration traps to the OS -----
-    {
+    jobs.push_back([&scenarios](const sweep::JobContext &) {
+        Scenario &sc = scenarios[2];
         Ctx c(cfg4());
         const ThreadId t = c.threads[0];
         c.sys.engine().txBegin(t);
@@ -186,16 +210,17 @@ main(int argc, char **argv)
         c.sys.os().scheduleThread(t, 2);
         const Cycle miss_after = c.timedStore(t, 0x41000, 2);
         const Cycle commit_after = c.timedCommit(t);
-        table.addRow({"$miss (store)", Table::fmt(miss_after),
-                      Table::fmt(miss_after), "thread switch",
-                      "hardware + summary check"});
-        table.addRow({"commit", "see above",
-                      Table::fmt(commit_after), "thread switch",
-                      "software summary recompute"});
-    }
+        sc.rows.push_back({"$miss (store)", Table::fmt(miss_after),
+                           Table::fmt(miss_after), "thread switch",
+                           "hardware + summary check"});
+        sc.rows.push_back({"commit", "see above",
+                           Table::fmt(commit_after), "thread switch",
+                           "software summary recompute"});
+    });
 
     // ----- paging: relocation walk + unchanged access costs ----------
-    {
+    jobs.push_back([&scenarios](const sweep::JobContext &) {
+        Scenario &sc = scenarios[3];
         Ctx c(cfg4());
         const ThreadId t = c.threads[0];
         c.sys.engine().txBegin(t);
@@ -203,11 +228,35 @@ main(int argc, char **argv)
         c.sys.os().relocatePage(c.asid, 0x50000);
         const Cycle load_after = c.timedLoad(t, 0x50000);
         const Cycle commit_after = c.timedCommit(t);
-        table.addRow({"load after paging", "-", Table::fmt(load_after),
-                      "page relocation",
-                      "software signature re-insert"});
-        table.addRow({"commit", "see above", Table::fmt(commit_after),
-                      "page relocation", "unchanged (eager VM)"});
+        sc.rows.push_back({"load after paging", "-",
+                           Table::fmt(load_after), "page relocation",
+                           "software signature re-insert"});
+        sc.rows.push_back({"commit", "see above",
+                           Table::fmt(commit_after), "page relocation",
+                           "unchanged (eager VM)"});
+    });
+
+    sweep::SchedulerConfig sched;
+    sched.workers = opt.run.jobs;
+    sched.timeoutMs = opt.run.timeoutMs;
+    sched.maxAttempts = opt.run.maxAttempts;
+    sched.progress = opt.run.progress;
+    sched.progressLabel = "table4";
+    const std::vector<sweep::JobOutcome> outcomes =
+        sweep::JobScheduler(sched).run(jobs);
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok) {
+            std::fprintf(stderr, "table4: scenario %zu failed: %s\n",
+                         i, outcomes[i].error.c_str());
+            return 1;
+        }
+    }
+
+    for (const Scenario &sc : scenarios) {
+        for (const std::vector<std::string> &row : sc.rows)
+            table.addRow(row);
+        if (!sc.note.empty())
+            std::printf("%s\n", sc.note.c_str());
     }
 
     table.print(std::cout);

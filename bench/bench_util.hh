@@ -1,18 +1,34 @@
 /**
  * @file
  * Shared helpers for the benchmark binaries: the standard experiment
- * grid (paper Table 1 system), run caching, and header printing.
+ * grid (paper Table 1 system), the common flag set, and the bridge
+ * onto the sweep engine (host-core fan-out plus the shared on-disk
+ * result cache).
+ *
+ * Every grid-shaped binary accepts:
+ *   --jobs N / --jobs=N   worker threads (0 = all cores;
+ *                         default $LOGTM_JOBS or 1)
+ *   --cache-dir=DIR       reuse/populate the shared result cache
+ *                         (default $LOGTM_CACHE_DIR; unset = off)
+ *   --timeout-ms=M        per-job attempt deadline
+ *   --retries=R           extra attempts after a failure
+ *   --progress            progress/ETA line on stderr
+ *   --csv                 tables print CSV
+ *   --obs-out=DIR         write stats.json (and trace) into DIR
+ *   --obs-trace           also record events and export a Chrome trace
  */
 
 #ifndef LOGTM_BENCH_BENCH_UTIL_HH
 #define LOGTM_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "sweep/runner.hh"
 
 namespace logtm {
 
@@ -64,6 +80,79 @@ parseObsOptions(int argc, char **argv)
             obs.trace = true;
     }
     return obs;
+}
+
+/** Everything the shared flag set controls. */
+struct BenchOptions
+{
+    bool csv = false;
+    ObsOptions obs;
+    sweep::RunOptions run;
+};
+
+/**
+ * Parse the flags shared by the grid-shaped bench binaries (see the
+ * file comment). Unknown flags are left for the binary's own parsing.
+ * Caching is opt-in for bench binaries: it activates only when
+ * --cache-dir or $LOGTM_CACHE_DIR names a directory, so the default
+ * run has no filesystem side effects beyond its report.
+ */
+inline BenchOptions
+parseBenchOptions(int argc, char **argv)
+{
+    BenchOptions o;
+    o.csv = csvMode(argc, argv);
+    o.obs = parseObsOptions(argc, argv);
+    o.run.jobs = sweep::jobsFromEnv(1);
+    o.run.cacheDir = sweep::cacheDirFromEnv("");
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (arg.rfind("--jobs=", 0) == 0) {
+            o.run.jobs = static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 7, nullptr, 10));
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            o.run.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            o.run.cacheDir = arg.substr(12);
+        } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+            o.run.timeoutMs =
+                std::strtoull(arg.c_str() + 13, nullptr, 10);
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            o.run.maxAttempts = 1u + static_cast<unsigned>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else if (arg == "--progress") {
+            o.run.progress = true;
+        }
+    }
+    return o;
+}
+
+/**
+ * Run a grid of experiments through the sweep runner (cache first,
+ * then host-core fan-out) and return results in input order. Any
+ * failed job is fatal: the binary's tables would otherwise silently
+ * report garbage rows.
+ */
+inline std::vector<ExperimentResult>
+runGrid(std::vector<ExperimentConfig> cfgs, const BenchOptions &opt,
+        const char *label)
+{
+    sweep::RunOptions run = opt.run;
+    run.label = label;
+    const std::vector<sweep::RunOutcome> outcomes =
+        sweep::runExperiments(std::move(cfgs), run);
+    std::vector<ExperimentResult> results;
+    results.reserve(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].ok) {
+            std::fprintf(stderr, "%s: job %zu failed: %s\n", label, i,
+                         outcomes[i].error.c_str());
+            std::exit(1);
+        }
+        results.push_back(outcomes[i].result);
+    }
+    return results;
 }
 
 /** Print @p table as text or CSV per the flag. */

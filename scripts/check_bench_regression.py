@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Compare a sweep campaign report against a committed baseline.
+
+The simulator is deterministic, so regressions show up as exact
+mismatches in per-job results. Jobs are matched by their canonical
+config hash; integer counters must match exactly, floating-point
+metrics within a tiny relative tolerance (serialization round-trip
+headroom only).
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json
+    check_bench_regression.py --run --sweep-bin PATH \\
+        --campaign NAME --baseline BASELINE.json [--workdir DIR]
+
+The --run form regenerates the campaign with `logtm_sweep --jobs 1
+--no-cache` into a temporary file first, so it needs only the built
+binary and the baseline. Exit status: 0 match, 1 regression,
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FLOAT_RTOL = 1e-9
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def jobs_by_hash(doc, path):
+    jobs = {}
+    for job in doc.get("jobs", []):
+        h = job.get("hash")
+        if h is None:
+            print(f"error: {path}: job without 'hash'", file=sys.stderr)
+            sys.exit(2)
+        if h in jobs:
+            print(f"error: {path}: duplicate job hash {h}",
+                  file=sys.stderr)
+            sys.exit(2)
+        jobs[h] = job
+    return jobs
+
+
+def close(a, b):
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, float) or isinstance(b, float):
+        scale = max(abs(a), abs(b))
+        return abs(a - b) <= FLOAT_RTOL * max(scale, 1.0)
+    return a == b
+
+
+def diff_result(cur, base, prefix=""):
+    """Yield human-readable field mismatches between result objects."""
+    for key in sorted(set(cur) | set(base)):
+        a, b = cur.get(key), base.get(key)
+        if isinstance(a, dict) and isinstance(b, dict):
+            yield from diff_result(a, b, f"{prefix}{key}.")
+        elif not close(a, b):
+            yield f"{prefix}{key}: current={a!r} baseline={b!r}"
+
+
+def describe(job):
+    return (f"{job.get('bench', '?')} {job.get('variant', '?')} "
+            f"threads={job.get('threads', '?')} "
+            f"seed={job.get('seed', '?')}")
+
+
+def compare(current_path, baseline_path):
+    current = jobs_by_hash(load(current_path), current_path)
+    baseline = jobs_by_hash(load(baseline_path), baseline_path)
+
+    failures = []
+    for h, base_job in baseline.items():
+        cur_job = current.get(h)
+        if cur_job is None:
+            failures.append(f"missing job {h} ({describe(base_job)})")
+            continue
+        if not cur_job.get("ok", False):
+            failures.append(
+                f"job {h} ({describe(base_job)}) failed: "
+                f"{cur_job.get('error', 'unknown error')}")
+            continue
+        if not base_job.get("ok", False):
+            continue  # baseline recorded a failure; nothing to hold to
+        mismatches = list(diff_result(cur_job.get("result", {}),
+                                      base_job.get("result", {})))
+        if mismatches:
+            failures.append(f"job {h} ({describe(base_job)}):")
+            failures.extend(f"    {m}" for m in mismatches)
+    extra = set(current) - set(baseline)
+    if extra:
+        print(f"note: {len(extra)} job(s) not in the baseline "
+              "(new axes are fine; regenerate to pin them)",
+              file=sys.stderr)
+
+    if failures:
+        print(f"REGRESSION vs {baseline_path}:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(baseline)} job(s) match {baseline_path}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="*",
+                        help="CURRENT.json BASELINE.json")
+    parser.add_argument("--run", action="store_true",
+                        help="regenerate the campaign first")
+    parser.add_argument("--sweep-bin", help="path to logtm_sweep")
+    parser.add_argument("--campaign", help="built-in campaign name")
+    parser.add_argument("--baseline", help="baseline report path")
+    parser.add_argument("--workdir",
+                        help="directory for the regenerated report "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+
+    if args.run:
+        if not (args.sweep_bin and args.campaign and args.baseline):
+            parser.error("--run needs --sweep-bin, --campaign and "
+                         "--baseline")
+        workdir = args.workdir or tempfile.mkdtemp(prefix="logtm-bench-")
+        out = os.path.join(workdir, f"BENCH_{args.campaign}.json")
+        cmd = [args.sweep_bin, "--campaign", args.campaign,
+               "--jobs", "1", "--no-cache", "--no-progress",
+               "--out", out]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"error: {' '.join(cmd)} exited "
+                  f"{proc.returncode}", file=sys.stderr)
+            return 2
+        return compare(out, args.baseline)
+
+    if len(args.files) != 2:
+        parser.error("expected CURRENT.json BASELINE.json (or --run)")
+    return compare(args.files[0], args.files[1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,9 @@
 #include "common/config.hh"
 
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
 #include "common/log.hh"
 
 namespace logtm {
@@ -10,6 +14,30 @@ bool
 isPow2(uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+/** Parse a decimal uint32 field; false on empty/garbage/overflow. */
+bool
+parseU32(const std::string &s, uint32_t *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end != s.c_str() + s.size() || v > UINT32_MAX)
+        return false;
+    *out = static_cast<uint32_t>(v);
+    return true;
 }
 
 } // namespace
@@ -45,6 +73,82 @@ toString(CoherenceKind c)
       case CoherenceKind::Snooping: return "Snooping";
     }
     return "?";
+}
+
+bool
+parseSignatureKind(const std::string &s, SignatureKind *out)
+{
+    const std::string v = lowered(s);
+    if (v == "perfect")
+        *out = SignatureKind::Perfect;
+    else if (v == "bs" || v == "bitselect")
+        *out = SignatureKind::BitSelect;
+    else if (v == "dbs" || v == "doublebitselect")
+        *out = SignatureKind::DoubleBitSelect;
+    else if (v == "cbs" || v == "coarsebitselect")
+        *out = SignatureKind::CoarseBitSelect;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseConflictPolicy(const std::string &s, ConflictPolicy *out)
+{
+    const std::string v = lowered(s);
+    if (v == "stallretry")
+        *out = ConflictPolicy::StallRetry;
+    else if (v == "abortalways")
+        *out = ConflictPolicy::AbortAlways;
+    else if (v == "stallthenabort")
+        *out = ConflictPolicy::StallThenAbort;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseCoherenceKind(const std::string &s, CoherenceKind *out)
+{
+    const std::string v = lowered(s);
+    if (v == "directory")
+        *out = CoherenceKind::Directory;
+    else if (v == "snooping")
+        *out = CoherenceKind::Snooping;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseSignatureConfig(const std::string &s, SignatureConfig *out)
+{
+    // Accept ':' (spec form) and '_' (name() form) as separators.
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ':' || c == '_') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+
+    SignatureConfig cfg;
+    if (!parseSignatureKind(parts[0], &cfg.kind))
+        return false;
+    if (parts.size() > 1 && !parseU32(parts[1], &cfg.bits))
+        return false;
+    if (parts.size() > 2 && !parseU32(parts[2], &cfg.coarseGrainBytes))
+        return false;
+    if (parts.size() > 3 ||
+        (cfg.kind == SignatureKind::Perfect && parts.size() > 1)) {
+        return false;
+    }
+    *out = cfg;
+    return true;
 }
 
 std::string

@@ -42,6 +42,12 @@ std::string toString(SignatureKind k);
 std::string toString(ConflictPolicy p);
 std::string toString(CoherenceKind c);
 
+/** Case-insensitive inverses of the toString functions (sweep specs,
+ *  CLI flags). Return false on an unrecognized name. */
+bool parseSignatureKind(const std::string &s, SignatureKind *out);
+bool parseConflictPolicy(const std::string &s, ConflictPolicy *out);
+bool parseCoherenceKind(const std::string &s, CoherenceKind *out);
+
 /** Signature configuration (one instance each for read and write sets). */
 struct SignatureConfig
 {
@@ -53,6 +59,14 @@ struct SignatureConfig
 
     std::string name() const;
 };
+
+/**
+ * Parse a signature variant name: either a name() result
+ * ("Perfect", "BS_2048", "CBS_64") or the compact spec form
+ * "bs:2048" / "cbs:2048:1024" (kind[:bits[:coarseGrainBytes]]).
+ * Case-insensitive; returns false on malformed input.
+ */
+bool parseSignatureConfig(const std::string &s, SignatureConfig *out);
 
 /** Paper signature presets used throughout the evaluation. */
 SignatureConfig sigPerfect();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small deterministic hashing / mixing helpers shared by the sweep
+ * engine: FNV-1a for canonical-string content hashes and the
+ * splitmix64 finalizer for per-job seed derivation. Both are fixed
+ * algorithms (never platform- or libc-dependent) so hashes and
+ * derived seeds are stable across machines and toolchains.
+ */
+
+#ifndef LOGTM_COMMON_HASH_HH
+#define LOGTM_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace logtm {
+
+/** FNV-1a 64-bit hash of a byte string. */
+constexpr uint64_t
+fnv1a64(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** splitmix64 finalizer: bijective 64-bit mix with good avalanche. */
+constexpr uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Seed of the @p index-th run derived from a campaign's base seed.
+ * Depends only on (base, index) — never on expansion order or the
+ * other axes — so adding a config axis to a sweep leaves every
+ * existing job's seed (and therefore its cached result) unchanged.
+ * Index 0 is the base seed itself, so a single-seed campaign runs the
+ * exact configs the bench binaries run (and shares their cache).
+ */
+constexpr uint64_t
+deriveSeed(uint64_t base, uint64_t index)
+{
+    return index == 0 ? base
+                      : mix64(base + index * 0x9e3779b97f4a7c15ull);
+}
+
+} // namespace logtm
+
+#endif // LOGTM_COMMON_HASH_HH

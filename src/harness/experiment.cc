@@ -1,5 +1,7 @@
 #include "harness/experiment.hh"
 
+#include <cctype>
+
 #include "common/log.hh"
 #include "workload/berkeleydb.hh"
 #include "workload/cholesky.hh"
@@ -24,6 +26,31 @@ toString(Benchmark b)
     return "?";
 }
 
+bool
+parseBenchmark(const std::string &s, Benchmark *out)
+{
+    static const Benchmark all[] = {
+        Benchmark::BerkeleyDB, Benchmark::Cholesky,
+        Benchmark::Radiosity,  Benchmark::Raytrace,
+        Benchmark::Mp3d,       Benchmark::Microbench,
+    };
+    auto lower = [](const std::string &v) {
+        std::string r = v;
+        for (char &c : r)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return r;
+    };
+    const std::string want = lower(s);
+    for (const Benchmark b : all) {
+        if (lower(toString(b)) == want) {
+            *out = b;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<Benchmark>
 paperBenchmarks()
 {
@@ -32,7 +59,8 @@ paperBenchmarks()
 }
 
 std::unique_ptr<Workload>
-makeWorkload(Benchmark b, TmSystem &sys, const WorkloadParams &params)
+makeWorkload(Benchmark b, TmSystem &sys, const WorkloadParams &params,
+             const MicrobenchConfig &mb)
 {
     switch (b) {
       case Benchmark::BerkeleyDB:
@@ -46,7 +74,7 @@ makeWorkload(Benchmark b, TmSystem &sys, const WorkloadParams &params)
       case Benchmark::Mp3d:
         return std::make_unique<Mp3dWorkload>(sys, params);
       case Benchmark::Microbench:
-        return std::make_unique<MicrobenchWorkload>(sys, params);
+        return std::make_unique<MicrobenchWorkload>(sys, params, mb);
     }
     logtm_panic("unknown benchmark");
 }
@@ -84,8 +112,8 @@ runExperiment(const ExperimentConfig &cfg)
                                            sys.stats(), ocfg);
     }
 
-    auto wl = makeWorkload(cfg.bench, sys, cfg.wl);
-    const WorkloadResult run = wl->run();
+    auto wl = makeWorkload(cfg.bench, sys, cfg.wl, cfg.mb);
+    const WorkloadResult run = wl->run(cfg.cancel);
     if (obs)
         obs->finish();
     const StatsRegistry &st = sys.stats();
@@ -104,6 +132,13 @@ runExperiment(const ExperimentConfig &cfg)
     res.l1TxVictims = st.counterValue("l1.txVictims");
     res.l2TxVictims = st.counterValue("l2.txVictims");
     res.l2SigBroadcasts = st.counterValue("l2.sigBroadcasts");
+    res.logRecords = st.counterValue("tm.logRecords");
+    res.logFilterHits = st.counterValue("tm.logFilterHits");
+
+    if (auto *micro = dynamic_cast<MicrobenchWorkload *>(wl.get())) {
+        res.microCounterSum = micro->counterSum();
+        res.microExpected = micro->expectedIncrements();
+    }
 
     static const std::string cause_prefix = "tm.abortsByCause.";
     for (const auto &[name, ctr] : st.counters()) {

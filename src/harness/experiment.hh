@@ -9,12 +9,14 @@
 #ifndef LOGTM_HARNESS_EXPERIMENT_HH
 #define LOGTM_HARNESS_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/obs_session.hh"
+#include "workload/microbench.hh"
 #include "workload/workload.hh"
 
 namespace logtm {
@@ -30,12 +32,16 @@ enum class Benchmark {
 
 std::string toString(Benchmark b);
 
+/** Case-insensitive inverse of toString(Benchmark); false if unknown. */
+bool parseBenchmark(const std::string &s, Benchmark *out);
+
 /** The five paper benchmarks (Table 2 order). */
 std::vector<Benchmark> paperBenchmarks();
 
-/** Construct a workload instance. */
+/** Construct a workload instance. @p mb applies to Microbench only. */
 std::unique_ptr<Workload> makeWorkload(Benchmark b, TmSystem &sys,
-                                       const WorkloadParams &params);
+                                       const WorkloadParams &params,
+                                       const MicrobenchConfig &mb = {});
 
 /** Default unit count per benchmark, scaled for simulation time while
  *  preserving the paper's relative transaction counts. */
@@ -55,7 +61,17 @@ struct ExperimentConfig
     Benchmark bench = Benchmark::Microbench;
     SystemConfig sys;
     WorkloadParams wl;
+    /** Microbench knobs (ignored by the paper benchmarks). */
+    MicrobenchConfig mb;
     ObsOptions obs;
+    /**
+     * Optional cooperative cancellation, polled with the completion
+     * condition (the sweep scheduler wires per-job timeouts through
+     * this). A cancelled run returns truncated stats and must not be
+     * treated as a completed experiment. Not part of the simulated
+     * configuration: excluded from canonical keys and hashes.
+     */
+    std::function<bool()> cancel;
 };
 
 struct ExperimentResult
@@ -73,6 +89,12 @@ struct ExperimentResult
     uint64_t l1TxVictims = 0;
     uint64_t l2TxVictims = 0;
     uint64_t l2SigBroadcasts = 0;
+    uint64_t logRecords = 0;
+    uint64_t logFilterHits = 0;
+    /** Microbench only: counter-sum atomicity check inputs (both 0
+     *  for the paper benchmarks). The run is atomic iff they agree. */
+    uint64_t microCounterSum = 0;
+    uint64_t microExpected = 0;
     /** Aborts broken down by cause name (sums to aborts). */
     std::map<std::string, uint64_t> abortsByCause;
     double readAvg = 0, readMax = 0;

@@ -1,0 +1,384 @@
+#include "sweep/campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "common/stats.hh"
+#include "sweep/config_codec.hh"
+
+namespace logtm::sweep {
+
+size_t
+CampaignResult::failedCount() const
+{
+    size_t n = 0;
+    for (const RunOutcome &o : outcomes)
+        n += !o.ok;
+    return n;
+}
+
+size_t
+CampaignResult::cachedCount() const
+{
+    size_t n = 0;
+    for (const RunOutcome &o : outcomes)
+        n += o.fromCache;
+    return n;
+}
+
+CampaignResult
+runCampaign(const SweepSpec &spec, const RunOptions &opt)
+{
+    CampaignResult cr;
+    cr.spec = spec;
+    cr.jobs = expand(spec);
+
+    std::vector<ExperimentConfig> cfgs;
+    cfgs.reserve(cr.jobs.size());
+    for (const SweepJob &job : cr.jobs)
+        cfgs.push_back(job.cfg);
+
+    RunOptions run = opt;
+    if (run.label == "sweep")
+        run.label = spec.name;
+    cr.outcomes = runExperiments(std::move(cfgs), run);
+    return cr;
+}
+
+MetricSummary
+MetricSummary::of(std::vector<double> values)
+{
+    MetricSummary s;
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    s.median = n % 2 ? values[n / 2]
+                     : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+    Sampler sampler;
+    for (const double v : values)
+        sampler.sample(v);
+    s.mean = sampler.mean();
+    s.stddev = sampler.stddev();
+    s.min = sampler.min();
+    s.max = sampler.max();
+    return s;
+}
+
+namespace {
+
+/** Grouping key of one aggregate cell (seed axis collapsed). */
+struct CellKey
+{
+    std::string bench;
+    std::string variant;
+    uint32_t threads;
+    CoherenceKind coherence;
+    ConflictPolicy policy;
+
+    bool
+    operator<(const CellKey &o) const
+    {
+        return std::tie(bench, variant, threads, coherence, policy) <
+            std::tie(o.bench, o.variant, o.threads, o.coherence,
+                     o.policy);
+    }
+};
+
+struct Cell
+{
+    std::vector<size_t> jobIndices;  ///< in expansion order
+};
+
+/** Metrics aggregated per cell, in report order. */
+const std::vector<std::pair<const char *,
+                            double (*)(const ExperimentResult &)>> &
+metricTable()
+{
+    using R = ExperimentResult;
+    static const std::vector<std::pair<const char *, double (*)(
+                                                         const R &)>>
+        metrics = {
+            {"cycles", [](const R &r) {
+                 return static_cast<double>(r.cycles); }},
+            {"units", [](const R &r) {
+                 return static_cast<double>(r.units); }},
+            {"commits", [](const R &r) {
+                 return static_cast<double>(r.commits); }},
+            {"aborts", [](const R &r) {
+                 return static_cast<double>(r.aborts); }},
+            {"stalls", [](const R &r) {
+                 return static_cast<double>(r.stalls); }},
+            {"falsePositivePct", [](const R &r) {
+                 return r.falsePositivePct(); }},
+            {"readAvg", [](const R &r) { return r.readAvg; }},
+            {"readMax", [](const R &r) { return r.readMax; }},
+            {"writeAvg", [](const R &r) { return r.writeAvg; }},
+            {"writeMax", [](const R &r) { return r.writeMax; }},
+            {"undoRecordsAvg", [](const R &r) {
+                 return r.undoRecordsAvg; }},
+            {"l1TxVictims", [](const R &r) {
+                 return static_cast<double>(r.l1TxVictims); }},
+            {"l2TxVictims", [](const R &r) {
+                 return static_cast<double>(r.l2TxVictims); }},
+        };
+    return metrics;
+}
+
+/** Cells in first-appearance (expansion) order. */
+std::vector<std::pair<CellKey, Cell>>
+groupCells(const CampaignResult &cr)
+{
+    std::vector<std::pair<CellKey, Cell>> cells;
+    std::map<CellKey, size_t> index;
+    for (size_t i = 0; i < cr.jobs.size(); ++i) {
+        if (!cr.outcomes[i].ok)
+            continue;
+        const SweepJob &job = cr.jobs[i];
+        const CellKey key{toString(job.cfg.bench), job.variant,
+                          job.cfg.wl.numThreads,
+                          job.cfg.sys.coherence,
+                          job.cfg.sys.conflictPolicy};
+        auto [it, inserted] = index.emplace(key, cells.size());
+        if (inserted)
+            cells.emplace_back(key, Cell{});
+        cells[it->second].second.jobIndices.push_back(i);
+    }
+    return cells;
+}
+
+/** Per-seed speedup values vs the cell's lock baseline (empty when
+ *  no matching baseline exists). Matches seeds pairwise. */
+std::vector<double>
+speedupValues(const CampaignResult &cr, const CellKey &key,
+              const std::vector<std::pair<CellKey, Cell>> &cells)
+{
+    if (key.variant == "Lock")
+        return {};
+    const CellKey lockKey{key.bench, "Lock", key.threads,
+                          key.coherence, key.policy};
+    const auto lockIt =
+        std::find_if(cells.begin(), cells.end(),
+                     [&](const auto &c) { return !(c.first < lockKey) &&
+                                              !(lockKey < c.first); });
+    if (lockIt == cells.end())
+        return {};
+    // Seed-paired ratios: job lists are in expansion order, so the
+    // k-th entry of both cells is seed index k.
+    const Cell *self = nullptr;
+    for (const auto &[k, c] : cells) {
+        if (!(k < key) && !(key < k))
+            self = &c;
+    }
+    if (!self)
+        return {};
+    std::vector<double> values;
+    const size_t n = std::min(self->jobIndices.size(),
+                              lockIt->second.jobIndices.size());
+    for (size_t k = 0; k < n; ++k) {
+        const ExperimentResult &tm =
+            cr.outcomes[self->jobIndices[k]].result;
+        const ExperimentResult &lock =
+            cr.outcomes[lockIt->second.jobIndices[k]].result;
+        values.push_back(speedupVs(tm, lock));
+    }
+    return values;
+}
+
+void
+writeSummary(JsonWriter &w, const char *name, const MetricSummary &s)
+{
+    w.key(name).beginObject();
+    w.field("median", s.median);
+    w.field("mean", s.mean);
+    w.field("stddev", s.stddev);
+    w.field("min", s.min);
+    w.field("max", s.max);
+    w.endObject();
+}
+
+void
+writeSpecEcho(JsonWriter &w, const SweepSpec &spec)
+{
+    w.key("spec").beginObject();
+    w.field("name", spec.name);
+    w.key("benchmarks").beginArray();
+    for (const Benchmark b : spec.benchmarks)
+        w.value(toString(b));
+    w.endArray();
+    w.key("signatures").beginArray();
+    for (const SignatureConfig &sig : spec.signatures)
+        w.value(sig.name());
+    w.endArray();
+    w.key("threads").beginArray();
+    for (const uint32_t t : spec.threads)
+        w.value(uint64_t{t});
+    w.endArray();
+    w.key("coherence").beginArray();
+    for (const CoherenceKind c : spec.coherence)
+        w.value(toString(c));
+    w.endArray();
+    w.key("policies").beginArray();
+    for (const ConflictPolicy p : spec.policies)
+        w.value(toString(p));
+    w.endArray();
+    w.key("seeds").beginObject();
+    w.field("base", spec.seeds.base);
+    w.field("count", uint64_t{spec.seeds.count});
+    w.endObject();
+    w.field("unitScaleDenom", spec.unitScaleDenom);
+    w.field("totalUnits", spec.totalUnits);
+    w.field("withLockBaseline", spec.withLockBaseline);
+    w.field("thinkScale", spec.thinkScale);
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeCampaignJson(const CampaignResult &cr, std::ostream &os)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "logtm-sweep-campaign-v1");
+    w.field("campaign", cr.spec.name);
+    writeSpecEcho(w, cr.spec);
+    w.field("jobCount", static_cast<uint64_t>(cr.jobs.size()));
+    w.field("failedCount", static_cast<uint64_t>(cr.failedCount()));
+
+    w.key("jobs").beginArray();
+    for (size_t i = 0; i < cr.jobs.size(); ++i) {
+        const SweepJob &job = cr.jobs[i];
+        const RunOutcome &out = cr.outcomes[i];
+        w.beginObject();
+        w.field("hash", configHashHex(job.cfg));
+        w.field("bench", toString(job.cfg.bench));
+        w.field("variant", job.variant);
+        w.field("threads", uint64_t{job.cfg.wl.numThreads});
+        w.field("coherence", toString(job.cfg.sys.coherence));
+        w.field("policy", toString(job.cfg.sys.conflictPolicy));
+        w.field("units", job.cfg.wl.totalUnits);
+        w.field("seedIndex", uint64_t{job.seedIndex});
+        w.field("seed", job.seed);
+        w.field("ok", out.ok);
+        if (out.ok) {
+            w.key("result");
+            writeResultJson(out.result, w);
+        } else {
+            w.field("error", out.error);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    const auto cells = groupCells(cr);
+    w.key("aggregates").beginArray();
+    for (const auto &[key, cell] : cells) {
+        w.beginObject();
+        w.field("bench", key.bench);
+        w.field("variant", key.variant);
+        w.field("threads", uint64_t{key.threads});
+        w.field("coherence", toString(key.coherence));
+        w.field("policy", toString(key.policy));
+        w.field("seeds",
+                static_cast<uint64_t>(cell.jobIndices.size()));
+        for (const auto &[name, extract] : metricTable()) {
+            std::vector<double> values;
+            values.reserve(cell.jobIndices.size());
+            for (const size_t idx : cell.jobIndices)
+                values.push_back(extract(cr.outcomes[idx].result));
+            writeSummary(w, name, MetricSummary::of(values));
+        }
+        const std::vector<double> speedups =
+            speedupValues(cr, key, cells);
+        if (!speedups.empty())
+            writeSummary(w, "speedupVsLock",
+                         MetricSummary::of(speedups));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+bool
+writeCampaignFile(const CampaignResult &cr, const std::string &path,
+                  std::string *err)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        if (err)
+            *err = "cannot open " + path + " for writing";
+        return false;
+    }
+    writeCampaignJson(cr, out);
+    if (!out) {
+        if (err)
+            *err = "write failed for " + path;
+        return false;
+    }
+    return true;
+}
+
+Table
+campaignTable(const CampaignResult &cr)
+{
+    const auto cells = groupCells(cr);
+    bool anySpeedup = false;
+    for (const auto &[key, cell] : cells) {
+        if (!speedupValues(cr, key, cells).empty())
+            anySpeedup = true;
+    }
+
+    std::vector<std::string> headers = {
+        "Benchmark", "Variant",   "Threads", "Coherence", "Seeds",
+        "Cycles",    "Commits",   "Aborts",  "Stalls",    "FalsePos%"};
+    if (anySpeedup)
+        headers.push_back("SpeedupVsLock");
+    Table table(headers);
+
+    for (const auto &[key, cell] : cells) {
+        auto metric = [&](double (*extract)(const ExperimentResult &)) {
+            std::vector<double> values;
+            for (const size_t idx : cell.jobIndices)
+                values.push_back(extract(cr.outcomes[idx].result));
+            return MetricSummary::of(values).median;
+        };
+        std::vector<std::string> row = {
+            key.bench,
+            key.variant,
+            Table::fmt(uint64_t{key.threads}),
+            toString(key.coherence),
+            Table::fmt(static_cast<uint64_t>(cell.jobIndices.size())),
+            Table::fmt(metric([](const ExperimentResult &r) {
+                return static_cast<double>(r.cycles);
+            }), 0),
+            Table::fmt(metric([](const ExperimentResult &r) {
+                return static_cast<double>(r.commits);
+            }), 0),
+            Table::fmt(metric([](const ExperimentResult &r) {
+                return static_cast<double>(r.aborts);
+            }), 0),
+            Table::fmt(metric([](const ExperimentResult &r) {
+                return static_cast<double>(r.stalls);
+            }), 0),
+            Table::fmt(metric([](const ExperimentResult &r) {
+                return r.falsePositivePct();
+            }), 1)};
+        if (anySpeedup) {
+            const std::vector<double> speedups =
+                speedupValues(cr, key, cells);
+            row.push_back(speedups.empty()
+                              ? std::string("-")
+                              : Table::fmt(MetricSummary::of(
+                                    speedups).median));
+        }
+        table.addRow(row);
+    }
+    return table;
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Campaign execution and reporting: run an expanded SweepSpec through
+ * the cache-aware runner, aggregate per-cell statistics across the
+ * seed axis (median, mean, stddev via the obs Sampler, min/max), and
+ * write the machine-readable BENCH_<campaign>.json artifact plus the
+ * familiar text/CSV table.
+ */
+
+#ifndef LOGTM_SWEEP_CAMPAIGN_HH
+#define LOGTM_SWEEP_CAMPAIGN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/table.hh"
+#include "sweep/runner.hh"
+#include "sweep/sweep_spec.hh"
+
+namespace logtm::sweep {
+
+struct CampaignResult
+{
+    SweepSpec spec;
+    std::vector<SweepJob> jobs;
+    std::vector<RunOutcome> outcomes;  ///< parallel to jobs
+
+    size_t failedCount() const;
+    size_t cachedCount() const;
+};
+
+/** Expand @p spec and run it (cache-aware, parallel per @p opt). */
+CampaignResult runCampaign(const SweepSpec &spec, const RunOptions &opt);
+
+/** Distribution of one metric across the seed axis of one cell. */
+struct MetricSummary
+{
+    double median = 0, mean = 0, stddev = 0, min = 0, max = 0;
+    /** Summarize @p values (must be non-empty). */
+    static MetricSummary of(std::vector<double> values);
+};
+
+/** Write the BENCH_<campaign>.json document. */
+void writeCampaignJson(const CampaignResult &cr, std::ostream &os);
+
+/** Write the document to @p path; false (and *err) on I/O failure. */
+bool writeCampaignFile(const CampaignResult &cr,
+                       const std::string &path, std::string *err);
+
+/**
+ * Median-over-seeds summary table: one row per (benchmark, variant,
+ * threads, coherence, policy) cell, plus a speedup-vs-lock column
+ * when the campaign carries lock baselines.
+ */
+Table campaignTable(const CampaignResult &cr);
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_CAMPAIGN_HH

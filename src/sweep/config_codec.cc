@@ -1,0 +1,219 @@
+#include "sweep/config_codec.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/hash.hh"
+
+namespace logtm::sweep {
+
+namespace {
+
+/** Shortest round-trippable decimal for a double (matches the JSON
+ *  writer so keys and serialized results agree on formatting). */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendField(std::string &key, const char *name, const std::string &v)
+{
+    key += name;
+    key += '=';
+    key += v;
+    key += ';';
+}
+
+void
+appendField(std::string &key, const char *name, uint64_t v)
+{
+    appendField(key, name, std::to_string(v));
+}
+
+} // namespace
+
+std::string
+canonicalConfigKey(const ExperimentConfig &cfg)
+{
+    const SystemConfig &s = cfg.sys;
+    const WorkloadParams &w = cfg.wl;
+
+    std::string key;
+    key.reserve(512);
+    // Version tag: bump when a new field joins the key so stale cache
+    // entries are never misattributed to the new encoding.
+    appendField(key, "v", uint64_t{1});
+    appendField(key, "bench", toString(cfg.bench));
+
+    // Workload axes.
+    appendField(key, "useTm", uint64_t{w.useTm});
+    appendField(key, "threads", w.numThreads);
+    appendField(key, "units", w.totalUnits);
+    appendField(key, "wlSeed", w.seed);
+    appendField(key, "thinkScale", fmtDouble(w.thinkScale));
+
+    // TM configuration.
+    std::string sig = toString(s.signature.kind) + ":" +
+        std::to_string(s.signature.bits) + ":" +
+        std::to_string(s.signature.coarseGrainBytes);
+    appendField(key, "sig", sig);
+    appendField(key, "policy", toString(s.conflictPolicy));
+    appendField(key, "logFilter",
+                std::to_string(unsigned{s.logFilterEnabled}) + "/" +
+                    std::to_string(s.logFilterEntries));
+    appendField(key, "tmLat",
+                std::to_string(s.logWriteLatency) + "/" +
+                    std::to_string(s.abortRestoreLatency) + "/" +
+                    std::to_string(s.commitLatency) + "/" +
+                    std::to_string(s.abortTrapLatency) + "/" +
+                    std::to_string(s.nackRetryBase) + "/" +
+                    std::to_string(s.backoffMaxShift) + "/" +
+                    std::to_string(s.stallAbortThreshold) + "/" +
+                    std::to_string(s.summaryTrapLatency) + "/" +
+                    std::to_string(s.contextSwitchLatency));
+
+    // Machine organization.
+    appendField(key, "cores",
+                std::to_string(s.numCores) + "x" +
+                    std::to_string(s.threadsPerCore));
+    appendField(key, "mesh",
+                std::to_string(s.meshCols) + "x" +
+                    std::to_string(s.meshRows));
+    appendField(key, "l1",
+                std::to_string(s.l1Bytes) + "/" +
+                    std::to_string(s.l1Assoc) + "/" +
+                    std::to_string(s.l1HitLatency));
+    appendField(key, "l2",
+                std::to_string(s.l2Bytes) + "/" +
+                    std::to_string(s.l2Assoc) + "/" +
+                    std::to_string(s.l2Banks) + "/" +
+                    std::to_string(s.l2HitLatency) + "/" +
+                    std::to_string(s.directoryLatency));
+    appendField(key, "dram", s.dramLatency);
+    appendField(key, "link", s.linkLatency);
+    appendField(key, "coherence", toString(s.coherence));
+    appendField(key, "chips",
+                std::to_string(s.numChips) + "/" +
+                    std::to_string(s.interChipLatency));
+    appendField(key, "sysSeed", s.seed);
+
+    // Microbench knobs shape the workload only when it runs.
+    if (cfg.bench == Benchmark::Microbench) {
+        appendField(key, "mb",
+                    std::to_string(cfg.mb.numCounters) + "/" +
+                        std::to_string(cfg.mb.readsPerTx) + "/" +
+                        std::to_string(cfg.mb.writesPerTx) + "/" +
+                        std::to_string(cfg.mb.writeWorkingSet) + "/" +
+                        std::to_string(cfg.mb.thinkCycles) + "/" +
+                        std::to_string(unsigned{cfg.mb.blockSpread}));
+    }
+    return key;
+}
+
+uint64_t
+configHash(const ExperimentConfig &cfg)
+{
+    return fnv1a64(canonicalConfigKey(cfg));
+}
+
+std::string
+configHashHex(const ExperimentConfig &cfg)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, configHash(cfg));
+    return buf;
+}
+
+void
+writeResultJson(const ExperimentResult &res, JsonWriter &w)
+{
+    w.beginObject();
+    w.field("bench", res.bench);
+    w.field("variant", res.variant);
+    w.field("cycles", static_cast<uint64_t>(res.cycles));
+    w.field("units", res.units);
+    w.field("commits", res.commits);
+    w.field("aborts", res.aborts);
+    w.field("stalls", res.stalls);
+    w.field("conflictsTrue", res.conflictsTrue);
+    w.field("conflictsFalse", res.conflictsFalse);
+    w.field("summaryTraps", res.summaryTraps);
+    w.field("l1TxVictims", res.l1TxVictims);
+    w.field("l2TxVictims", res.l2TxVictims);
+    w.field("l2SigBroadcasts", res.l2SigBroadcasts);
+    w.field("logRecords", res.logRecords);
+    w.field("logFilterHits", res.logFilterHits);
+    w.field("microCounterSum", res.microCounterSum);
+    w.field("microExpected", res.microExpected);
+    w.key("abortsByCause").beginObject();
+    for (const auto &[cause, count] : res.abortsByCause)
+        w.field(cause, count);
+    w.endObject();
+    w.field("readAvg", res.readAvg);
+    w.field("readMax", res.readMax);
+    w.field("writeAvg", res.writeAvg);
+    w.field("writeMax", res.writeMax);
+    w.field("undoRecordsAvg", res.undoRecordsAvg);
+    w.endObject();
+}
+
+std::string
+resultToJson(const ExperimentResult &res)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeResultJson(res, w);
+    return os.str();
+}
+
+bool
+resultFromJson(const JsonValue &v, ExperimentResult *out,
+               std::string *err)
+{
+    if (!v.isObject()) {
+        if (err)
+            *err = "result is not a JSON object";
+        return false;
+    }
+    ExperimentResult r;
+    r.bench = v.getString("bench", "");
+    r.variant = v.getString("variant", "");
+    if (r.bench.empty()) {
+        if (err)
+            *err = "result missing 'bench'";
+        return false;
+    }
+    r.cycles = v.getU64("cycles", 0);
+    r.units = v.getU64("units", 0);
+    r.commits = v.getU64("commits", 0);
+    r.aborts = v.getU64("aborts", 0);
+    r.stalls = v.getU64("stalls", 0);
+    r.conflictsTrue = v.getU64("conflictsTrue", 0);
+    r.conflictsFalse = v.getU64("conflictsFalse", 0);
+    r.summaryTraps = v.getU64("summaryTraps", 0);
+    r.l1TxVictims = v.getU64("l1TxVictims", 0);
+    r.l2TxVictims = v.getU64("l2TxVictims", 0);
+    r.l2SigBroadcasts = v.getU64("l2SigBroadcasts", 0);
+    r.logRecords = v.getU64("logRecords", 0);
+    r.logFilterHits = v.getU64("logFilterHits", 0);
+    r.microCounterSum = v.getU64("microCounterSum", 0);
+    r.microExpected = v.getU64("microExpected", 0);
+    if (const JsonValue *causes = v.get("abortsByCause")) {
+        for (const auto &[cause, count] : causes->object())
+            r.abortsByCause[cause] = count.asU64(0);
+    }
+    r.readAvg = v.getDouble("readAvg", 0.0);
+    r.readMax = v.getDouble("readMax", 0.0);
+    r.writeAvg = v.getDouble("writeAvg", 0.0);
+    r.writeMax = v.getDouble("writeMax", 0.0);
+    r.undoRecordsAvg = v.getDouble("undoRecordsAvg", 0.0);
+    *out = r;
+    return true;
+}
+
+} // namespace logtm::sweep

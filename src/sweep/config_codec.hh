@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Canonical encoding of experiment configurations and results.
+ *
+ * canonicalConfigKey() flattens every simulation-relevant field of an
+ * ExperimentConfig (benchmark, system, workload, microbench knobs —
+ * not observability or cancellation hooks) into one deterministic
+ * string; configHash() is its FNV-1a digest and is the identity of a
+ * job in the result cache, the campaign report and the regression
+ * baselines.
+ *
+ * resultToJson() is the determinism contract: two runs of the same
+ * config must produce byte-identical serializations (the regression
+ * test enforces this, serial and parallel).
+ */
+
+#ifndef LOGTM_SWEEP_CONFIG_CODEC_HH
+#define LOGTM_SWEEP_CONFIG_CODEC_HH
+
+#include <string>
+
+#include "harness/experiment.hh"
+#include "obs/json.hh"
+#include "sweep/json_value.hh"
+
+namespace logtm::sweep {
+
+/** Canonical key string covering all sim-relevant config fields. */
+std::string canonicalConfigKey(const ExperimentConfig &cfg);
+
+/** FNV-1a hash of the canonical key. */
+uint64_t configHash(const ExperimentConfig &cfg);
+
+/** configHash as a fixed-width 16-digit lowercase hex string. */
+std::string configHashHex(const ExperimentConfig &cfg);
+
+/** Canonical serialization of a result (single JSON object, fixed
+ *  field order, %.17g doubles — byte-stable for identical runs). */
+std::string resultToJson(const ExperimentResult &res);
+
+/** Emit the same object through an existing writer (report files). */
+void writeResultJson(const ExperimentResult &res, JsonWriter &w);
+
+/** Inverse of resultToJson; false (and *err) on malformed input. */
+bool resultFromJson(const JsonValue &v, ExperimentResult *out,
+                    std::string *err = nullptr);
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_CONFIG_CODEC_HH

@@ -1,0 +1,175 @@
+#include "sweep/job_scheduler.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/trace.hh"
+
+namespace logtm::sweep {
+
+namespace {
+
+/** Serialized progress state shared by the workers. */
+class Progress
+{
+  public:
+    Progress(bool enabled, std::string label, size_t total,
+             size_t alreadyDone)
+        : enabled_(enabled), label_(std::move(label)), total_(total),
+          done_(alreadyDone),
+          start_(std::chrono::steady_clock::now())
+    {
+        if (enabled_ && total_ > done_)
+            print();
+    }
+
+    void
+    jobFinished(bool ok)
+    {
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_;
+        ++executed_;
+        if (!ok)
+            ++failed_;
+        print();
+    }
+
+    void
+    finish()
+    {
+        if (enabled_)
+            std::fputc('\n', stderr);
+    }
+
+  private:
+    void
+    print()
+    {
+        const double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        // ETA from executed jobs only: cache hits are instantaneous
+        // and would make the estimate wildly optimistic.
+        const size_t remaining = total_ - done_;
+        double eta = 0;
+        if (executed_ > 0 && remaining > 0) {
+            eta = elapsed / static_cast<double>(executed_) *
+                static_cast<double>(remaining);
+        }
+        std::fprintf(stderr,
+                     "\r%s: %zu/%zu jobs%s%s | %.1fs elapsed | "
+                     "eta %.1fs   ",
+                     label_.c_str(), done_, total_,
+                     failed_ ? " (" : "",
+                     failed_ ? (std::to_string(failed_) +
+                                " failed)").c_str()
+                             : "",
+                     elapsed, eta);
+        std::fflush(stderr);
+    }
+
+    const bool enabled_;
+    const std::string label_;
+    const size_t total_;
+    std::mutex mu_;
+    size_t done_ = 0;
+    size_t executed_ = 0;
+    size_t failed_ = 0;
+    const std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
+unsigned
+effectiveWorkers(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+JobScheduler::JobScheduler(SchedulerConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.workers = effectiveWorkers(cfg_.workers);
+    if (cfg_.maxAttempts == 0)
+        cfg_.maxAttempts = 1;
+    if (cfg_.queueCapacity == 0)
+        cfg_.queueCapacity = 2 * cfg_.workers;
+}
+
+std::vector<JobOutcome>
+JobScheduler::run(const std::vector<JobFn> &jobs, size_t alreadyDone)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    if (jobs.empty())
+        return outcomes;
+
+    // Force one-time global initialization (trace-category env parse)
+    // before any worker can race on it.
+    (void)traceEnabled(TraceCat::Tm);
+
+    Progress progress(cfg_.progress, cfg_.progressLabel,
+                      jobs.size() + alreadyDone, alreadyDone);
+
+    const unsigned workers =
+        static_cast<unsigned>(std::min<size_t>(cfg_.workers,
+                                               jobs.size()));
+    BoundedQueue<size_t> queue(cfg_.queueCapacity);
+
+    auto runJob = [&](size_t index) {
+        JobOutcome &out = outcomes[index];
+        for (unsigned attempt = 1; attempt <= cfg_.maxAttempts;
+             ++attempt) {
+            const auto start = std::chrono::steady_clock::now();
+            const bool has_deadline = cfg_.timeoutMs > 0;
+            const auto deadline =
+                start + std::chrono::milliseconds(cfg_.timeoutMs);
+            const JobContext ctx(attempt, deadline, has_deadline);
+            out.attempts = attempt;
+            try {
+                jobs[index](ctx);
+                out.ok = true;
+                out.error.clear();
+            } catch (const JobTimeout &) {
+                out.ok = false;
+                out.error = "timeout after " +
+                    std::to_string(cfg_.timeoutMs) + " ms";
+            } catch (const std::exception &e) {
+                out.ok = false;
+                out.error = e.what();
+            }
+            out.seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (out.ok)
+                break;
+        }
+        progress.jobFinished(out.ok);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            size_t index;
+            while (queue.pop(&index))
+                runJob(index);
+        });
+    }
+
+    for (size_t i = 0; i < jobs.size(); ++i)
+        queue.push(i);
+    queue.close();
+    for (std::thread &t : pool)
+        t.join();
+    progress.finish();
+    return outcomes;
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Host-core fan-out for independent simulation jobs.
+ *
+ * Each simulated machine stays single-threaded and deterministic; the
+ * scheduler only distributes whole jobs across a pool of host worker
+ * threads. Jobs flow through a bounded queue, each attempt carries an
+ * optional wall-clock deadline that the job polls cooperatively, a
+ * failed or timed-out attempt is retried up to a budget, and a
+ * progress/ETA line tracks the campaign on stderr.
+ */
+
+#ifndef LOGTM_SWEEP_JOB_SCHEDULER_HH
+#define LOGTM_SWEEP_JOB_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace logtm::sweep {
+
+/** Thrown by a job to report a cooperative-timeout abandonment. */
+class JobTimeout : public std::runtime_error
+{
+  public:
+    JobTimeout() : std::runtime_error("job deadline exceeded") {}
+};
+
+/**
+ * Fixed-capacity MPMC queue. push() blocks while full, pop() blocks
+ * while empty; close() wakes all poppers once the producer is done.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+    }
+
+    void
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [&]() {
+            return items_.size() < capacity_ || closed_;
+        });
+        if (closed_)
+            return;  // producer-side close: drop silently
+        items_.push_back(std::move(item));
+        notEmpty_.notify_one();
+    }
+
+    /** False when the queue is closed and drained. */
+    bool
+    pop(T *out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock, [&]() { return !items_.empty() || closed_; });
+        if (items_.empty())
+            return false;
+        *out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+  private:
+    const size_t capacity_;
+    std::mutex mu_;
+    std::condition_variable notFull_, notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+struct SchedulerConfig
+{
+    /** Worker threads (clamped to >= 1). 0 picks the host core count. */
+    unsigned workers = 1;
+    /** Bounded-queue capacity; 0 defaults to 2x workers. */
+    unsigned queueCapacity = 0;
+    /** Per-attempt wall-clock deadline in ms; 0 disables timeouts. */
+    uint64_t timeoutMs = 0;
+    /** Total attempts per job (1 = no retry). */
+    unsigned maxAttempts = 2;
+    /** Emit a progress/ETA line to stderr as jobs complete. */
+    bool progress = false;
+    std::string progressLabel = "sweep";
+};
+
+/** Per-attempt context handed to the job function. */
+class JobContext
+{
+  public:
+    JobContext(unsigned attempt,
+               std::chrono::steady_clock::time_point deadline,
+               bool hasDeadline)
+        : attempt_(attempt), deadline_(deadline),
+          hasDeadline_(hasDeadline)
+    {
+    }
+
+    /** 1-based attempt number. */
+    unsigned attempt() const { return attempt_; }
+
+    /** True once the attempt's deadline has passed. Poll this from
+     *  long-running work (e.g. wire it into ExperimentConfig::cancel)
+     *  and abandon the attempt by throwing JobTimeout. */
+    bool
+    cancelled() const
+    {
+        return hasDeadline_ &&
+            std::chrono::steady_clock::now() >= deadline_;
+    }
+
+  private:
+    unsigned attempt_;
+    std::chrono::steady_clock::time_point deadline_;
+    bool hasDeadline_;
+};
+
+struct JobOutcome
+{
+    bool ok = false;
+    unsigned attempts = 0;
+    double seconds = 0;      ///< wall time of the final attempt
+    std::string error;       ///< empty on success
+};
+
+/** A job: do the work or throw (JobTimeout or any std::exception). */
+using JobFn = std::function<void(const JobContext &)>;
+
+class JobScheduler
+{
+  public:
+    explicit JobScheduler(SchedulerConfig cfg);
+
+    /**
+     * Run every job to completion (success or retry exhaustion) and
+     * return one outcome per job, in input order. Safe to call
+     * repeatedly; each call spins up a fresh pool.
+     *
+     * @p alreadyDone offsets the progress line for jobs satisfied
+     * before scheduling (e.g. result-cache hits).
+     */
+    std::vector<JobOutcome> run(const std::vector<JobFn> &jobs,
+                                size_t alreadyDone = 0);
+
+    const SchedulerConfig &config() const { return cfg_; }
+
+  private:
+    SchedulerConfig cfg_;
+};
+
+/** Effective worker count: cfg 0 → hardware_concurrency (>= 1). */
+unsigned effectiveWorkers(unsigned requested);
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_JOB_SCHEDULER_HH

@@ -1,0 +1,413 @@
+#include "sweep/json_value.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace logtm::sweep {
+
+namespace {
+
+const std::string emptyString;
+
+} // namespace
+
+bool
+JsonValue::asBool(bool dflt) const
+{
+    return isBool() ? bool_ : dflt;
+}
+
+double
+JsonValue::asDouble(double dflt) const
+{
+    if (!isNumber())
+        return dflt;
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+uint64_t
+JsonValue::asU64(uint64_t dflt) const
+{
+    if (!isNumber())
+        return dflt;
+    // Negative or fractional numbers fall back to a double round-trip
+    // (callers asking for u64 on those get the truncated value).
+    if (scalar_.find_first_of(".eE-") != std::string::npos)
+        return static_cast<uint64_t>(asDouble(0.0));
+    return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    return isString() ? scalar_ : emptyString;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+uint64_t
+JsonValue::getU64(const std::string &key, uint64_t dflt) const
+{
+    const JsonValue *v = get(key);
+    return v ? v->asU64(dflt) : dflt;
+}
+
+double
+JsonValue::getDouble(const std::string &key, double dflt) const
+{
+    const JsonValue *v = get(key);
+    return v ? v->asDouble(dflt) : dflt;
+}
+
+bool
+JsonValue::getBool(const std::string &key, bool dflt) const
+{
+    const JsonValue *v = get(key);
+    return v ? v->asBool(dflt) : dflt;
+}
+
+std::string
+JsonValue::getString(const std::string &key,
+                     const std::string &dflt) const
+{
+    const JsonValue *v = get(key);
+    return v && v->isString() ? v->asString() : dflt;
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(const std::string &text)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = text;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+/** Recursive-descent parser over the raw document text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument(std::string *err)
+    {
+        JsonValue v;
+        if (!parseValue(&v)) {
+            report(err);
+            return JsonValue();
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = "trailing characters after JSON document";
+            report(err);
+            return JsonValue();
+        }
+        return v;
+    }
+
+  private:
+    void
+    report(std::string *err) const
+    {
+        if (!err)
+            return;
+        unsigned line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        char where[32];
+        std::snprintf(where, sizeof(where), "%u:%u: ", line, col);
+        *err = where + error_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg;
+        return false;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out->kind_ = JsonValue::Kind::String;
+            return parseString(&out->scalar_);
+          case 't':
+            out->kind_ = JsonValue::Kind::Bool;
+            out->bool_ = true;
+            return literal("true", 4);
+          case 'f':
+            out->kind_ = JsonValue::Kind::Bool;
+            out->bool_ = false;
+            return literal("false", 5);
+          case 'n':
+            out->kind_ = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->kind_ = JsonValue::Kind::Object;
+        ++pos_;  // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key string");
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            JsonValue member;
+            if (!parseValue(&member))
+                return false;
+            out->obj_.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->kind_ = JsonValue::Kind::Array;
+        ++pos_;  // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!parseValue(&elem))
+                return false;
+            out->arr_.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_;  // opening quote
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (the writer only
+                // emits \u00xx for control characters).
+                if (code < 0x80) {
+                    *out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    *out += static_cast<char>(0xc0 | (code >> 6));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    *out += static_cast<char>(0xe0 | (code >> 12));
+                    *out += static_cast<char>(0x80 |
+                                              ((code >> 6) & 0x3f));
+                    *out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape sequence");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        auto digits = [&]() {
+            const size_t before = pos_;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+            return pos_ > before;
+        };
+        if (!digits())
+            return fail("malformed number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digits())
+                return fail("malformed number fraction");
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (!digits())
+                return fail("malformed number exponent");
+        }
+        out->kind_ = JsonValue::Kind::Number;
+        out->scalar_ = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *err)
+{
+    return JsonParser(text).parseDocument(err);
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return JsonValue();
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    std::string parse_err;
+    JsonValue v = parse(body.str(), &parse_err);
+    if (!parse_err.empty() && err)
+        *err = path + ":" + parse_err;
+    return v;
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON document model + recursive-descent parser for the
+ * sweep engine (campaign spec files, cached results, committed
+ * baselines). The obs layer already has a streaming *writer*
+ * (obs/json.hh); this is its reading counterpart.
+ *
+ * Numbers keep their source text so 64-bit counters round-trip
+ * exactly (no detour through double for integral values).
+ */
+
+#ifndef LOGTM_SWEEP_JSON_VALUE_HH
+#define LOGTM_SWEEP_JSON_VALUE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace logtm::sweep {
+
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /**
+     * Parse a complete JSON document. On failure returns a Null value
+     * and stores a "line:col: message" description in @p err (when
+     * non-null). Trailing garbage after the document is an error.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *err = nullptr);
+
+    /** Parse the contents of @p path; "" read error reported via err. */
+    static JsonValue parseFile(const std::string &path,
+                               std::string *err = nullptr);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; defaults returned on kind mismatch. */
+    bool asBool(bool dflt = false) const;
+    double asDouble(double dflt = 0.0) const;
+    uint64_t asU64(uint64_t dflt = 0) const;
+    const std::string &asString() const;
+
+    const std::vector<JsonValue> &array() const { return arr_; }
+    const std::vector<std::pair<std::string, JsonValue>> &object() const
+    { return obj_; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Convenience typed member reads with defaults. */
+    uint64_t getU64(const std::string &key, uint64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    // Construction helpers (tests, synthetic documents).
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(const std::string &text);
+    static JsonValue makeString(std::string s);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::string scalar_;  ///< number source text or string value
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+
+    friend class JsonParser;
+};
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_JSON_VALUE_HH

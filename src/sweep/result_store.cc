@@ -1,0 +1,104 @@
+#include "sweep/result_store.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/log.hh"
+#include "sweep/config_codec.hh"
+#include "sweep/json_value.hh"
+
+namespace logtm::sweep {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *schemaTag = "logtm-sweep-result-v1";
+
+} // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        logtm_fatal("cannot create result cache dir '" + dir_ +
+                    "': " + ec.message());
+}
+
+std::string
+ResultStore::entryPath(const ExperimentConfig &cfg) const
+{
+    return (fs::path(dir_) / (configHashHex(cfg) + ".json")).string();
+}
+
+std::optional<ExperimentResult>
+ResultStore::lookup(const ExperimentConfig &cfg) const
+{
+    std::string err;
+    const JsonValue doc = JsonValue::parseFile(entryPath(cfg), &err);
+    if (!doc.isObject())
+        return std::nullopt;
+    if (doc.getString("schema", "") != schemaTag)
+        return std::nullopt;
+    // The stored canonical key guards against hash collisions and
+    // against entries written under an older key encoding.
+    if (doc.getString("key", "") != canonicalConfigKey(cfg))
+        return std::nullopt;
+    const JsonValue *result = doc.get("result");
+    if (!result)
+        return std::nullopt;
+    ExperimentResult res;
+    if (!resultFromJson(*result, &res))
+        return std::nullopt;
+    return res;
+}
+
+void
+ResultStore::store(const ExperimentConfig &cfg,
+                   const ExperimentResult &res)
+{
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.beginObject();
+    w.field("schema", schemaTag);
+    w.field("hash", configHashHex(cfg));
+    w.field("key", canonicalConfigKey(cfg));
+    w.key("result");
+    writeResultJson(res, w);
+    w.endObject();
+
+    const std::string path = entryPath(cfg);
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    const std::string tmp = path + ".tmp." + tid.str();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            logtm_fatal("cannot write result cache entry '" + tmp +
+                        "'");
+        }
+        out << body.str() << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        logtm_fatal("cannot finalize result cache entry '" + path +
+                    "'");
+    }
+}
+
+void
+ResultStore::erase(const ExperimentConfig &cfg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    fs::remove(entryPath(cfg), ec);
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Persistent on-disk cache of experiment results, keyed by the
+ * canonical config hash. One JSON file per result, written
+ * atomically (temp file + rename), so a campaign killed mid-run
+ * resumes by skipping every job whose file already exists — across
+ * processes and across the bench binaries, which all share one cache
+ * directory.
+ *
+ * Layout: <dir>/<hash16>.json containing
+ *   {"schema": "...", "key": <canonical key>, "result": {...}}
+ * The full canonical key is stored and checked on lookup, so a hash
+ * collision degrades to a cache miss, never a wrong result.
+ */
+
+#ifndef LOGTM_SWEEP_RESULT_STORE_HH
+#define LOGTM_SWEEP_RESULT_STORE_HH
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.hh"
+
+namespace logtm::sweep {
+
+class ResultStore
+{
+  public:
+    /** Opens (and creates if needed) the cache directory. */
+    explicit ResultStore(std::string dir);
+
+    /** Cached result for @p cfg, or nullopt on miss / unreadable
+     *  entry / canonical-key mismatch. */
+    std::optional<ExperimentResult>
+    lookup(const ExperimentConfig &cfg) const;
+
+    /** Persist a completed run. Thread-safe; atomic on disk. */
+    void store(const ExperimentConfig &cfg,
+               const ExperimentResult &res);
+
+    /** Remove the entry for @p cfg if present (tests, invalidation). */
+    void erase(const ExperimentConfig &cfg);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Path of the entry file that lookup/store use for @p cfg. */
+    std::string entryPath(const ExperimentConfig &cfg) const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mu_;   ///< serializes writers within a process
+};
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_RESULT_STORE_HH

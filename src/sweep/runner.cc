@@ -1,0 +1,95 @@
+#include "sweep/runner.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "sweep/config_codec.hh"
+#include "sweep/result_store.hh"
+
+namespace logtm::sweep {
+
+unsigned
+jobsFromEnv(unsigned dflt)
+{
+    const char *env = std::getenv("LOGTM_JOBS");
+    if (!env || !*env)
+        return dflt;
+    const unsigned long v = std::strtoul(env, nullptr, 10);
+    return v > 0 ? static_cast<unsigned>(v) : dflt;
+}
+
+std::string
+cacheDirFromEnv(const std::string &dflt)
+{
+    const char *env = std::getenv("LOGTM_CACHE_DIR");
+    return env && *env ? std::string(env) : dflt;
+}
+
+std::vector<RunOutcome>
+runExperiments(std::vector<ExperimentConfig> cfgs, const RunOptions &opt)
+{
+    std::vector<RunOutcome> outcomes(cfgs.size());
+
+    const unsigned workers = effectiveWorkers(opt.jobs);
+    std::unique_ptr<ResultStore> store;
+    if (!opt.cacheDir.empty())
+        store = std::make_unique<ResultStore>(opt.cacheDir);
+
+    // Satisfy cache hits up front (cheap, serial), then schedule only
+    // the misses.
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (store) {
+            if (auto hit = store->lookup(cfgs[i])) {
+                outcomes[i].result = std::move(*hit);
+                outcomes[i].ok = true;
+                outcomes[i].fromCache = true;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    std::vector<JobFn> jobFns;
+    jobFns.reserve(pending.size());
+    for (const size_t index : pending) {
+        jobFns.push_back([&, index](const JobContext &ctx) {
+            ExperimentConfig cfg = cfgs[index];
+            // Parallel workers must not interleave obs snapshots into
+            // one directory; give each config its own.
+            if (cfg.obs.enabled() && workers > 1) {
+                cfg.obs.outDir += "/" + configHashHex(cfg);
+            }
+            if (ctx.cancelled())
+                throw JobTimeout();
+            cfg.cancel = [&ctx]() { return ctx.cancelled(); };
+            const ExperimentResult res = runExperiment(cfg);
+            // A fired deadline means the run loop exited early with
+            // truncated stats: report the timeout, don't cache it.
+            if (ctx.cancelled())
+                throw JobTimeout();
+            outcomes[index].result = res;
+            if (store)
+                store->store(cfgs[index], res);
+        });
+    }
+
+    SchedulerConfig sched;
+    sched.workers = workers;
+    sched.timeoutMs = opt.timeoutMs;
+    sched.maxAttempts = opt.maxAttempts;
+    sched.progress = opt.progress;
+    sched.progressLabel = opt.label;
+    const std::vector<JobOutcome> jobOutcomes =
+        JobScheduler(sched).run(jobFns, cfgs.size() - pending.size());
+
+    for (size_t j = 0; j < pending.size(); ++j) {
+        RunOutcome &out = outcomes[pending[j]];
+        out.ok = jobOutcomes[j].ok;
+        out.attempts = jobOutcomes[j].attempts;
+        out.error = jobOutcomes[j].error;
+    }
+    return outcomes;
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,297 @@
+#include "sweep/sweep_spec.hh"
+
+#include "common/hash.hh"
+
+namespace logtm::sweep {
+
+namespace {
+
+bool
+specError(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+bool
+parseStringArray(const JsonValue &doc, const char *key,
+                 std::vector<std::string> *out, std::string *err)
+{
+    const JsonValue *arr = doc.get(key);
+    if (!arr)
+        return true;
+    if (!arr->isArray())
+        return specError(err, std::string("'") + key +
+                         "' must be an array");
+    for (const JsonValue &v : arr->array()) {
+        if (!v.isString())
+            return specError(err, std::string("'") + key +
+                             "' entries must be strings");
+        out->push_back(v.asString());
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+SweepSpec::fromJson(const JsonValue &doc, SweepSpec *out,
+                    std::string *err)
+{
+    if (!doc.isObject())
+        return specError(err, "spec must be a JSON object");
+    SweepSpec spec;
+    spec.name = doc.getString("name", "campaign");
+
+    const JsonValue *axes = doc.get("axes");
+    if (axes && !axes->isObject())
+        return specError(err, "'axes' must be an object");
+    const JsonValue empty;
+    if (!axes)
+        axes = &empty;
+
+    std::vector<std::string> names;
+    if (!parseStringArray(*axes, "benchmarks", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        Benchmark b;
+        if (!parseBenchmark(n, &b))
+            return specError(err, "unknown benchmark '" + n + "'");
+        spec.benchmarks.push_back(b);
+    }
+
+    names.clear();
+    if (!parseStringArray(*axes, "signatures", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        SignatureConfig sig;
+        if (!parseSignatureConfig(n, &sig))
+            return specError(err, "unknown signature '" + n + "'");
+        spec.signatures.push_back(sig);
+    }
+
+    if (const JsonValue *t = axes->get("threads")) {
+        if (!t->isArray())
+            return specError(err, "'threads' must be an array");
+        for (const JsonValue &v : t->array()) {
+            if (!v.isNumber())
+                return specError(err,
+                                 "'threads' entries must be numbers");
+            spec.threads.push_back(
+                static_cast<uint32_t>(v.asU64(0)));
+        }
+    }
+
+    names.clear();
+    if (!parseStringArray(*axes, "coherence", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        CoherenceKind c;
+        if (!parseCoherenceKind(n, &c))
+            return specError(err, "unknown coherence kind '" + n + "'");
+        spec.coherence.push_back(c);
+    }
+
+    names.clear();
+    if (!parseStringArray(*axes, "policies", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        ConflictPolicy p;
+        if (!parseConflictPolicy(n, &p))
+            return specError(err, "unknown conflict policy '" + n +
+                             "'");
+        spec.policies.push_back(p);
+    }
+
+    if (const JsonValue *seeds = axes->get("seeds")) {
+        if (!seeds->isObject())
+            return specError(err, "'seeds' must be an object "
+                             "{\"base\": N, \"count\": K}");
+        spec.seeds.base = seeds->getU64("base", 1);
+        spec.seeds.count =
+            static_cast<uint32_t>(seeds->getU64("count", 1));
+        if (spec.seeds.count == 0)
+            return specError(err, "'seeds.count' must be >= 1");
+    }
+
+    if (const JsonValue *run = doc.get("run")) {
+        if (!run->isObject())
+            return specError(err, "'run' must be an object");
+        spec.unitScaleDenom = run->getU64("unitScaleDenom", 1);
+        if (spec.unitScaleDenom == 0)
+            return specError(err, "'unitScaleDenom' must be >= 1");
+        spec.totalUnits = run->getU64("totalUnits", 0);
+        spec.withLockBaseline =
+            run->getBool("withLockBaseline", false);
+        spec.thinkScale = run->getDouble("thinkScale", 1.0);
+    }
+
+    if (const JsonValue *mb = doc.get("microbench")) {
+        if (!mb->isObject())
+            return specError(err, "'microbench' must be an object");
+        spec.mb.numCounters = static_cast<uint32_t>(
+            mb->getU64("numCounters", spec.mb.numCounters));
+        spec.mb.readsPerTx = static_cast<uint32_t>(
+            mb->getU64("readsPerTx", spec.mb.readsPerTx));
+        spec.mb.writesPerTx = static_cast<uint32_t>(
+            mb->getU64("writesPerTx", spec.mb.writesPerTx));
+        spec.mb.writeWorkingSet = static_cast<uint32_t>(
+            mb->getU64("writeWorkingSet", spec.mb.writeWorkingSet));
+        spec.mb.thinkCycles =
+            mb->getU64("thinkCycles", spec.mb.thinkCycles);
+        spec.mb.blockSpread =
+            mb->getBool("blockSpread", spec.mb.blockSpread);
+    }
+
+    if (spec.benchmarks.empty())
+        return specError(err, "spec needs at least one benchmark in "
+                         "axes.benchmarks");
+    *out = spec;
+    return true;
+}
+
+bool
+SweepSpec::fromJsonFile(const std::string &path, SweepSpec *out,
+                        std::string *err)
+{
+    std::string parse_err;
+    const JsonValue doc = JsonValue::parseFile(path, &parse_err);
+    if (!parse_err.empty())
+        return specError(err, parse_err);
+    return fromJson(doc, out, err);
+}
+
+std::vector<std::string>
+SweepSpec::builtinNames()
+{
+    return {"table2", "table3_signatures", "fig4_speedup",
+            "result4_victimization", "scaling", "section7_snooping"};
+}
+
+bool
+SweepSpec::builtin(const std::string &name, SweepSpec *out)
+{
+    SweepSpec spec;
+    spec.name = name;
+    if (name == "table2") {
+        // Benchmark characterization, perfect signatures, full units.
+        spec.benchmarks = paperBenchmarks();
+        spec.signatures = {sigPerfect()};
+    } else if (name == "result4_victimization") {
+        spec.benchmarks = paperBenchmarks();
+        spec.signatures = {sigPerfect()};
+    } else if (name == "table3_signatures") {
+        spec.benchmarks = {Benchmark::Raytrace, Benchmark::BerkeleyDB};
+        spec.signatures = {sigPerfect()};
+        for (const uint32_t bits : {2048u, 64u}) {
+            spec.signatures.push_back(sigBS(bits));
+            spec.signatures.push_back(sigCBS(bits));
+            spec.signatures.push_back(sigDBS(bits));
+        }
+        spec.unitScaleDenom = 2;
+    } else if (name == "fig4_speedup") {
+        spec.benchmarks = paperBenchmarks();
+        spec.signatures = {sigPerfect(), sigBS(2048), sigCBS(2048),
+                           sigDBS(2048), sigBS(64)};
+        spec.unitScaleDenom = 2;
+        spec.withLockBaseline = true;
+    } else if (name == "scaling") {
+        spec.benchmarks = {Benchmark::BerkeleyDB};
+        spec.signatures = {sigBS(2048)};
+        spec.threads = {4, 8, 16, 32};
+        spec.unitScaleDenom = 2;
+        spec.withLockBaseline = true;
+    } else if (name == "section7_snooping") {
+        spec.benchmarks = {Benchmark::BerkeleyDB};
+        spec.signatures = {sigPerfect(), sigBS(2048), sigBS(256),
+                           sigBS(64)};
+        spec.coherence = {CoherenceKind::Directory,
+                          CoherenceKind::Snooping};
+        spec.unitScaleDenom = 2;
+        spec.withLockBaseline = true;
+    } else {
+        return false;
+    }
+    *out = spec;
+    return true;
+}
+
+std::vector<SweepJob>
+expand(const SweepSpec &spec)
+{
+    // One-element fallbacks keep the cross-product total.
+    const std::vector<SignatureConfig> sigs =
+        spec.signatures.empty()
+            ? std::vector<SignatureConfig>{sigPerfect()}
+            : spec.signatures;
+    const std::vector<uint32_t> threads =
+        spec.threads.empty() ? std::vector<uint32_t>{0} : spec.threads;
+    const std::vector<CoherenceKind> coherence =
+        spec.coherence.empty()
+            ? std::vector<CoherenceKind>{spec.system.coherence}
+            : spec.coherence;
+    const std::vector<ConflictPolicy> policies =
+        spec.policies.empty()
+            ? std::vector<ConflictPolicy>{spec.system.conflictPolicy}
+            : spec.policies;
+
+    std::vector<SweepJob> jobs;
+    for (const Benchmark bench : spec.benchmarks) {
+        for (const CoherenceKind coh : coherence) {
+            for (const ConflictPolicy policy : policies) {
+                for (const uint32_t t : threads) {
+                    // Lock baseline first, then each signature, each
+                    // over the seed axis (innermost, so seeds of one
+                    // cell are adjacent in the report).
+                    for (int variant = spec.withLockBaseline ? -1 : 0;
+                         variant <
+                         static_cast<int>(sigs.size());
+                         ++variant) {
+                        for (uint32_t s = 0; s < spec.seeds.count;
+                             ++s) {
+                            SweepJob job;
+                            job.lockBaseline = variant < 0;
+                            job.seedIndex = s;
+                            job.seed = deriveSeed(spec.seeds.base, s);
+
+                            ExperimentConfig &cfg = job.cfg;
+                            cfg.bench = bench;
+                            cfg.sys = spec.system;
+                            cfg.sys.coherence = coh;
+                            cfg.sys.conflictPolicy = policy;
+                            // Lock runs pin the signature axis to the
+                            // perfect preset: signatures are unused
+                            // without TM, and a fixed value keeps the
+                            // canonical key (and cache slot) unique.
+                            cfg.sys.signature =
+                                job.lockBaseline
+                                    ? sigPerfect()
+                                    : sigs[static_cast<size_t>(
+                                          variant)];
+                            cfg.sys.seed = job.seed;
+                            cfg.mb = spec.mb;
+                            cfg.wl.useTm = !job.lockBaseline;
+                            cfg.wl.numThreads =
+                                t ? t : cfg.sys.numContexts();
+                            cfg.wl.totalUnits =
+                                spec.totalUnits
+                                    ? spec.totalUnits
+                                    : defaultUnits(bench) /
+                                        spec.unitScaleDenom;
+                            cfg.wl.seed = job.seed;
+                            cfg.wl.thinkScale = spec.thinkScale;
+                            job.variant = job.lockBaseline
+                                ? "Lock"
+                                : cfg.sys.signature.name();
+                            jobs.push_back(std::move(job));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+} // namespace logtm::sweep

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Declarative experiment campaigns: a SweepSpec is a JSON-loadable
+ * cross-product over ExperimentConfig axes (benchmark x signature
+ * variant x thread count x coherence mode x conflict policy x seed),
+ * expanded into a deterministic, stably-ordered job list. Per-job
+ * seeds derive from the spec's base seed and the seed index alone
+ * (common/hash.hh deriveSeed), so a job's identity — and its slot in
+ * the result cache — never depends on the rest of the grid.
+ *
+ * The paper's tables and figures ship as built-in campaigns
+ * (`builtin("table2")` etc.); docs/SWEEPS.md documents the JSON spec
+ * format.
+ */
+
+#ifndef LOGTM_SWEEP_SWEEP_SPEC_HH
+#define LOGTM_SWEEP_SWEEP_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sweep/json_value.hh"
+
+namespace logtm::sweep {
+
+struct SeedAxis
+{
+    uint64_t base = 1;
+    uint32_t count = 1;
+};
+
+struct SweepSpec
+{
+    std::string name = "campaign";
+
+    // Axes. Empty vectors fall back to one-element defaults in
+    // expand() (perfect signature, directory coherence, StallRetry,
+    // all hardware contexts).
+    std::vector<Benchmark> benchmarks;
+    std::vector<SignatureConfig> signatures;
+    std::vector<uint32_t> threads;       ///< 0 = all contexts
+    std::vector<CoherenceKind> coherence;
+    std::vector<ConflictPolicy> policies;
+    SeedAxis seeds;
+
+    // Run shaping.
+    /** Divide each benchmark's default unit count (>= 1). */
+    uint64_t unitScaleDenom = 1;
+    /** Nonzero: override units outright instead of scaling. */
+    uint64_t totalUnits = 0;
+    /** Also run a lock-based baseline per (benchmark, threads,
+     *  coherence, policy, seed) cell, enabling speedup aggregates. */
+    bool withLockBaseline = false;
+    double thinkScale = 1.0;
+    /** Base machine; axis values overwrite its fields per job. */
+    SystemConfig system;
+    /** Microbench knobs (used when the Microbench benchmark runs). */
+    MicrobenchConfig mb;
+
+    /**
+     * Parse a spec document (see docs/SWEEPS.md). Returns false and
+     * sets @p err on unknown axis values or malformed structure.
+     */
+    static bool fromJson(const JsonValue &doc, SweepSpec *out,
+                         std::string *err);
+    static bool fromJsonFile(const std::string &path, SweepSpec *out,
+                             std::string *err);
+
+    /** Built-in campaign by name; false if @p name is not one. */
+    static bool builtin(const std::string &name, SweepSpec *out);
+    static std::vector<std::string> builtinNames();
+};
+
+/** One expanded grid cell. */
+struct SweepJob
+{
+    ExperimentConfig cfg;
+    std::string variant;     ///< signature name, or "Lock"
+    uint32_t seedIndex = 0;
+    uint64_t seed = 0;
+    bool lockBaseline = false;
+};
+
+/**
+ * Deterministic expansion: benchmark (outer) x coherence x policy x
+ * threads x [lock baseline + signatures] x seed (inner). The order
+ * is part of the campaign-report contract.
+ */
+std::vector<SweepJob> expand(const SweepSpec &spec);
+
+} // namespace logtm::sweep
+
+#endif // LOGTM_SWEEP_SWEEP_SPEC_HH

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Sweep engine tests: the JSON codec, canonical config keys, the
+ * on-disk result store, the job scheduler (ordering, retry, timeout),
+ * spec expansion, and the determinism regression the whole design
+ * leans on -- the same config yields byte-identical serialized
+ * results whether it runs serially, in parallel, or from the cache.
+ */
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.hh"
+#include "sweep/campaign.hh"
+#include "sweep/config_codec.hh"
+#include "sweep/job_scheduler.hh"
+#include "sweep/json_value.hh"
+#include "sweep/result_store.hh"
+#include "sweep/runner.hh"
+#include "sweep/sweep_spec.hh"
+
+using namespace logtm;
+using namespace logtm::sweep;
+
+namespace {
+
+/** Small machine + short microbench: fast but exercises real TM. */
+ExperimentConfig
+smallConfig(uint64_t seed = 1)
+{
+    ExperimentConfig cfg;
+    cfg.bench = Benchmark::Microbench;
+    cfg.sys.numCores = 4;
+    cfg.sys.threadsPerCore = 2;
+    cfg.sys.l2Banks = 4;
+    cfg.sys.meshCols = 2;
+    cfg.sys.meshRows = 2;
+    cfg.sys.seed = seed;
+    cfg.wl.numThreads = 8;
+    cfg.wl.useTm = true;
+    cfg.wl.totalUnits = 64;
+    cfg.wl.seed = seed;
+    cfg.mb.numCounters = 16;
+    cfg.mb.readsPerTx = 2;
+    cfg.mb.writesPerTx = 2;
+    return cfg;
+}
+
+/** Fresh per-test scratch directory (gtest's TempDir persists). */
+std::string
+tempDir(const char *name)
+{
+    const std::string dir = testing::TempDir() + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- JSON
+
+TEST(SweepJson, ParsesScalarsAndNesting)
+{
+    std::string err;
+    const JsonValue v = JsonValue::parse(
+        R"({"a": 1, "b": [true, null, "x\nA"], "c": {"d": -2.5}})",
+        &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.getU64("a", 0), 1u);
+    const JsonValue *b = v.get("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->array().size(), 3u);
+    EXPECT_TRUE(b->array()[0].asBool(false));
+    EXPECT_TRUE(b->array()[1].isNull());
+    EXPECT_EQ(b->array()[2].asString(), "x\nA");
+    const JsonValue *c = v.get("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(c->getDouble("d", 0), -2.5);
+}
+
+TEST(SweepJson, RoundTripsLargeU64)
+{
+    std::string err;
+    const JsonValue v =
+        JsonValue::parse(R"({"seed": 18446744073709551615})", &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(v.getU64("seed", 0), UINT64_MAX);
+}
+
+TEST(SweepJson, ReportsErrors)
+{
+    std::string err;
+    JsonValue::parse("{\"a\": }", &err);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    JsonValue::parse("{} trailing", &err);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    JsonValue::parseFile("/nonexistent/sweep.json", &err);
+    EXPECT_FALSE(err.empty());
+}
+
+// ------------------------------------------------------------- seeding
+
+TEST(SweepSeed, IndexZeroIsBase)
+{
+    // Campaigns with one seed must share cache slots with the bench
+    // binaries, whose configs use the base seed directly.
+    EXPECT_EQ(deriveSeed(1, 0), 1u);
+    EXPECT_EQ(deriveSeed(12345, 0), 12345u);
+}
+
+TEST(SweepSeed, DerivedSeedsDistinct)
+{
+    std::set<uint64_t> seen;
+    for (uint32_t i = 0; i < 64; ++i)
+        seen.insert(deriveSeed(1, i));
+    EXPECT_EQ(seen.size(), 64u);
+}
+
+// ------------------------------------------------------- canonical key
+
+TEST(SweepKey, StableAndExcludesNonSemanticFields)
+{
+    ExperimentConfig a = smallConfig();
+    ExperimentConfig b = smallConfig();
+    EXPECT_EQ(canonicalConfigKey(a), canonicalConfigKey(b));
+
+    // Observability and cancellation shape where output goes and when
+    // a run is abandoned -- never the simulated result.
+    b.obs.outDir = "/tmp/somewhere";
+    b.obs.trace = true;
+    b.cancel = []() { return false; };
+    EXPECT_EQ(canonicalConfigKey(a), canonicalConfigKey(b));
+    EXPECT_EQ(configHash(a), configHash(b));
+}
+
+TEST(SweepKey, DistinguishesEveryAxis)
+{
+    std::set<uint64_t> hashes;
+    std::vector<ExperimentConfig> variants;
+    variants.push_back(smallConfig());
+    variants.push_back(smallConfig(2));
+    {
+        ExperimentConfig c = smallConfig();
+        c.bench = Benchmark::BerkeleyDB;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.wl.useTm = false;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.wl.numThreads = 4;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.sys.signature = sigBS(64);
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.sys.conflictPolicy = ConflictPolicy::AbortAlways;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.sys.coherence = CoherenceKind::Snooping;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.sys.logFilterEntries = 64;
+        variants.push_back(c);
+    }
+    {
+        ExperimentConfig c = smallConfig();
+        c.mb.writesPerTx = 7;
+        variants.push_back(c);
+    }
+    for (const ExperimentConfig &c : variants)
+        hashes.insert(configHash(c));
+    EXPECT_EQ(hashes.size(), variants.size());
+}
+
+TEST(SweepKey, MicrobenchKnobsOnlyKeyTheMicrobench)
+{
+    ExperimentConfig a = smallConfig();
+    a.bench = Benchmark::BerkeleyDB;
+    ExperimentConfig b = a;
+    b.mb.writesPerTx = 7;  // inert: BerkeleyDB never reads cfg.mb
+    EXPECT_EQ(configHash(a), configHash(b));
+}
+
+// -------------------------------------------------- result round-trip
+
+TEST(SweepResult, JsonRoundTripIsExact)
+{
+    ExperimentResult r;
+    r.bench = "Microbench";
+    r.variant = "BS_2048";
+    r.cycles = 123456789;
+    r.units = 64;
+    r.commits = 70;
+    r.aborts = 3;
+    r.stalls = 12;
+    r.conflictsTrue = 9;
+    r.conflictsFalse = 4;
+    r.summaryTraps = 1;
+    r.l1TxVictims = 2;
+    r.l2TxVictims = 0;
+    r.l2SigBroadcasts = 5;
+    r.logRecords = 200;
+    r.logFilterHits = 40;
+    r.microCounterSum = 128;
+    r.microExpected = 128;
+    r.abortsByCause = {{"conflict", 2}, {"deadlock", 1}};
+    r.readAvg = 2.5;
+    r.readMax = 17;
+    r.writeAvg = 1.0 / 3.0;  // needs full %.17g round-trip
+    r.writeMax = 8;
+    r.undoRecordsAvg = 3.25;
+
+    const std::string json = resultToJson(r);
+    std::string err;
+    const JsonValue v = JsonValue::parse(json, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ExperimentResult back;
+    ASSERT_TRUE(resultFromJson(v, &back, &err)) << err;
+    EXPECT_EQ(resultToJson(back), json);
+}
+
+// --------------------------------------------------------- ResultStore
+
+TEST(SweepStore, RoundTripAndMiss)
+{
+    const std::string dir = tempDir("sweep_store_rt");
+    ResultStore store(dir);
+    const ExperimentConfig cfg = smallConfig();
+
+    EXPECT_FALSE(store.lookup(cfg).has_value());
+
+    ExperimentResult fresh;
+    fresh.bench = "Microbench";
+    fresh.variant = "Perfect";
+    fresh.cycles = 42;
+    store.store(cfg, fresh);
+    const std::optional<ExperimentResult> hit = store.lookup(cfg);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(resultToJson(*hit), resultToJson(fresh));
+
+    store.erase(cfg);
+    EXPECT_FALSE(store.lookup(cfg).has_value());
+}
+
+TEST(SweepStore, CorruptEntryIsAMiss)
+{
+    const std::string dir = tempDir("sweep_store_corrupt");
+    ResultStore store(dir);
+    const ExperimentConfig cfg = smallConfig();
+    ExperimentResult fresh;
+    fresh.bench = "Microbench";
+    store.store(cfg, fresh);
+
+    std::ofstream(store.entryPath(cfg), std::ios::trunc)
+        << "{not json at all";
+    EXPECT_FALSE(store.lookup(cfg).has_value());
+}
+
+TEST(SweepStore, KeyMismatchIsAMiss)
+{
+    // A hash collision (simulated by editing the stored key) must be
+    // detected by the full-key comparison, not served as a hit.
+    const std::string dir = tempDir("sweep_store_collide");
+    ResultStore store(dir);
+    const ExperimentConfig cfg = smallConfig();
+    ExperimentResult fresh;
+    fresh.bench = "Microbench";
+    store.store(cfg, fresh);
+
+    std::ifstream in(store.entryPath(cfg));
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const size_t pos = text.find("v=1");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 3, "v=9");
+    std::ofstream(store.entryPath(cfg), std::ios::trunc) << text;
+
+    EXPECT_FALSE(store.lookup(cfg).has_value());
+}
+
+// ----------------------------------------------------------- scheduler
+
+TEST(SweepScheduler, OutcomesInInputOrder)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 4;
+    std::vector<int> values(16, 0);
+    std::vector<JobFn> jobs;
+    for (int i = 0; i < 16; ++i)
+        jobs.push_back([&values, i](const JobContext &) {
+            values[static_cast<size_t>(i)] = i + 1;
+        });
+    const std::vector<JobOutcome> outcomes =
+        JobScheduler(cfg).run(jobs);
+    ASSERT_EQ(outcomes.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_TRUE(outcomes[static_cast<size_t>(i)].ok);
+        EXPECT_EQ(values[static_cast<size_t>(i)], i + 1);
+    }
+}
+
+TEST(SweepScheduler, RetriesFailedAttempts)
+{
+    SchedulerConfig cfg;
+    cfg.workers = 2;
+    cfg.maxAttempts = 3;
+    std::atomic<unsigned> calls{0};
+    std::vector<JobFn> jobs;
+    jobs.push_back([&calls](const JobContext &ctx) {
+        ++calls;
+        if (ctx.attempt() < 2)
+            throw std::runtime_error("transient");
+    });
+    const std::vector<JobOutcome> outcomes =
+        JobScheduler(cfg).run(jobs);
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_EQ(calls.load(), 2u);
+}
+
+TEST(SweepScheduler, ExhaustedRetriesReportError)
+{
+    SchedulerConfig cfg;
+    cfg.maxAttempts = 2;
+    std::vector<JobFn> jobs;
+    jobs.push_back([](const JobContext &) {
+        throw std::runtime_error("permanent failure");
+    });
+    const std::vector<JobOutcome> outcomes =
+        JobScheduler(cfg).run(jobs);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_NE(outcomes[0].error.find("permanent failure"),
+              std::string::npos);
+}
+
+TEST(SweepScheduler, CooperativeTimeoutCancels)
+{
+    SchedulerConfig cfg;
+    cfg.timeoutMs = 5;
+    cfg.maxAttempts = 1;
+    std::vector<JobFn> jobs;
+    jobs.push_back([](const JobContext &ctx) {
+        while (!ctx.cancelled()) {
+        }
+        throw JobTimeout();
+    });
+    const std::vector<JobOutcome> outcomes =
+        JobScheduler(cfg).run(jobs);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("timeout"), std::string::npos);
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(SweepDeterminism, SameConfigTwiceIsByteIdentical)
+{
+    RunOptions opt;
+    opt.jobs = 1;
+    const std::vector<RunOutcome> first =
+        runExperiments({smallConfig()}, opt);
+    const std::vector<RunOutcome> second =
+        runExperiments({smallConfig()}, opt);
+    ASSERT_TRUE(first[0].ok && second[0].ok);
+    EXPECT_EQ(resultToJson(first[0].result),
+              resultToJson(second[0].result));
+}
+
+TEST(SweepDeterminism, SerialAndParallelGridsMatch)
+{
+    std::vector<ExperimentConfig> grid;
+    for (uint64_t seed = 1; seed <= 4; ++seed)
+        grid.push_back(smallConfig(seed));
+
+    RunOptions serial;
+    serial.jobs = 1;
+    RunOptions parallel;
+    parallel.jobs = 4;
+    const std::vector<RunOutcome> a = runExperiments(grid, serial);
+    const std::vector<RunOutcome> b = runExperiments(grid, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_TRUE(a[i].ok && b[i].ok);
+        EXPECT_EQ(resultToJson(a[i].result), resultToJson(b[i].result))
+            << "job " << i;
+    }
+}
+
+// -------------------------------------------------------------- resume
+
+TEST(SweepResume, CacheSkipsCompletedJobs)
+{
+    const std::string dir = tempDir("sweep_resume");
+    std::vector<ExperimentConfig> grid;
+    for (uint64_t seed = 1; seed <= 3; ++seed)
+        grid.push_back(smallConfig(seed));
+
+    RunOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = dir;
+    const std::vector<RunOutcome> first = runExperiments(grid, opt);
+    for (const RunOutcome &o : first) {
+        ASSERT_TRUE(o.ok);
+        EXPECT_FALSE(o.fromCache);
+    }
+
+    // Simulate a killed campaign: drop one entry, keep the rest.
+    ResultStore(dir).erase(grid[1]);
+
+    const std::vector<RunOutcome> second = runExperiments(grid, opt);
+    EXPECT_TRUE(second[0].fromCache);
+    EXPECT_FALSE(second[1].fromCache);
+    EXPECT_TRUE(second[2].fromCache);
+    for (size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_TRUE(second[i].ok);
+        EXPECT_EQ(resultToJson(first[i].result),
+                  resultToJson(second[i].result));
+    }
+}
+
+// ----------------------------------------------------- spec + campaign
+
+TEST(SweepSpec, BuiltinExpansionCounts)
+{
+    SweepSpec spec;
+    ASSERT_TRUE(SweepSpec::builtin("table2", &spec));
+    EXPECT_EQ(expand(spec).size(), 5u);  // 5 benches x perfect x 1 seed
+
+    ASSERT_TRUE(SweepSpec::builtin("fig4_speedup", &spec));
+    // 5 benches x (lock + 5 signatures) x 1 seed.
+    const std::vector<SweepJob> jobs = expand(spec);
+    EXPECT_EQ(jobs.size(), 30u);
+    EXPECT_EQ(jobs[0].variant, "Lock");
+    EXPECT_FALSE(jobs[0].cfg.wl.useTm);
+    EXPECT_EQ(jobs[1].variant, "Perfect");
+    EXPECT_TRUE(jobs[1].cfg.wl.useTm);
+}
+
+TEST(SweepSpec, SeedAxisExpandsInnermost)
+{
+    SweepSpec spec;
+    ASSERT_TRUE(SweepSpec::builtin("table2", &spec));
+    spec.seeds = {7, 3};
+    const std::vector<SweepJob> jobs = expand(spec);
+    ASSERT_EQ(jobs.size(), 15u);
+    EXPECT_EQ(jobs[0].seed, deriveSeed(7, 0));
+    EXPECT_EQ(jobs[1].seed, deriveSeed(7, 1));
+    EXPECT_EQ(jobs[2].seed, deriveSeed(7, 2));
+    // Seeds feed both the system and the workload RNGs.
+    EXPECT_EQ(jobs[1].cfg.sys.seed, jobs[1].seed);
+    EXPECT_EQ(jobs[1].cfg.wl.seed, jobs[1].seed);
+    // Next cell restarts the seed axis.
+    EXPECT_EQ(jobs[3].seed, deriveSeed(7, 0));
+    EXPECT_NE(jobs[3].cfg.bench, jobs[0].cfg.bench);
+}
+
+TEST(SweepSpec, ParsesJsonSpec)
+{
+    const char *text = R"({
+        "name": "mini",
+        "axes": {
+            "benchmarks": ["Microbench", "BerkeleyDB"],
+            "signatures": ["Perfect", "bs:64"],
+            "seeds": {"base": 3, "count": 2}
+        },
+        "run": {"totalUnits": 64, "withLockBaseline": true},
+        "microbench": {"numCounters": 16, "writesPerTx": 3}
+    })";
+    std::string err;
+    const JsonValue doc = JsonValue::parse(text, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    SweepSpec spec;
+    ASSERT_TRUE(SweepSpec::fromJson(doc, &spec, &err)) << err;
+    EXPECT_EQ(spec.name, "mini");
+    EXPECT_EQ(spec.seeds.base, 3u);
+    EXPECT_EQ(spec.mb.writesPerTx, 3u);
+    // 2 benches x (lock + 2 sigs) x 2 seeds.
+    EXPECT_EQ(expand(spec).size(), 12u);
+}
+
+TEST(SweepSpec, RejectsBadSpecs)
+{
+    std::string err;
+    SweepSpec spec;
+    const JsonValue noBench = JsonValue::parse(R"({"name":"x"})", &err);
+    EXPECT_FALSE(SweepSpec::fromJson(noBench, &spec, &err));
+
+    const JsonValue badSig = JsonValue::parse(
+        R"({"axes":{"benchmarks":["Mp3d"],"signatures":["nope"]}})",
+        &err);
+    EXPECT_FALSE(SweepSpec::fromJson(badSig, &spec, &err));
+}
+
+TEST(SweepCampaign, MetricSummaryStatistics)
+{
+    const MetricSummary odd = MetricSummary::of({3, 1, 2});
+    EXPECT_DOUBLE_EQ(odd.median, 2);
+    EXPECT_DOUBLE_EQ(odd.mean, 2);
+    EXPECT_DOUBLE_EQ(odd.min, 1);
+    EXPECT_DOUBLE_EQ(odd.max, 3);
+
+    const MetricSummary even = MetricSummary::of({4, 1, 3, 2});
+    EXPECT_DOUBLE_EQ(even.median, 2.5);
+    EXPECT_DOUBLE_EQ(even.stddev,
+                     MetricSummary::of({1, 2, 3, 4}).stddev);
+}
+
+TEST(SweepCampaign, ReportIsByteStableAcrossWorkerCounts)
+{
+    SweepSpec spec;
+    spec.name = "mini";
+    spec.benchmarks = {Benchmark::Microbench};
+    spec.signatures = {sigPerfect(), sigBS(64)};
+    spec.totalUnits = 64;
+    spec.withLockBaseline = true;
+    spec.seeds = {1, 2};
+    spec.system.numCores = 4;
+    spec.system.threadsPerCore = 2;
+    spec.system.l2Banks = 4;
+    spec.system.meshCols = 2;
+    spec.system.meshRows = 2;
+    spec.mb.numCounters = 16;
+
+    RunOptions serial;
+    serial.jobs = 1;
+    RunOptions parallel;
+    parallel.jobs = 4;
+    std::ostringstream a, b;
+    writeCampaignJson(runCampaign(spec, serial), a);
+    writeCampaignJson(runCampaign(spec, parallel), b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("speedupVsLock"), std::string::npos);
+}
