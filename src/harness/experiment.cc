@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <cctype>
+#include <chrono>
 
 #include "common/log.hh"
 #include "workload/berkeleydb.hh"
@@ -113,12 +114,18 @@ runExperiment(const ExperimentConfig &cfg)
     }
 
     auto wl = makeWorkload(cfg.bench, sys, cfg.wl, cfg.mb);
+    const auto t0 = std::chrono::steady_clock::now();
     const WorkloadResult run = wl->run(cfg.cancel);
+    const double hostSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
     if (obs)
         obs->finish();
     const StatsRegistry &st = sys.stats();
 
     ExperimentResult res;
+    res.hostSeconds = hostSecs;
     res.bench = run.name;
     res.variant = cfg.wl.useTm ? cfg.sys.signature.name() : "Lock";
     res.cycles = run.cycles;

@@ -100,6 +100,14 @@ struct ExperimentResult
     double readAvg = 0, readMax = 0;
     double writeAvg = 0, writeMax = 0;
     double undoRecordsAvg = 0;
+    /**
+     * Host wall-clock seconds of the simulation phase alone (the
+     * workload run; system construction and stat collection
+     * excluded). For simulator-throughput measurement (bench_perf);
+     * deliberately NOT serialized anywhere deterministic output is
+     * promised (sweep reports, stats.json).
+     */
+    double hostSeconds = 0;
 
     /** Fraction of signalled conflicts that were false positives. */
     double

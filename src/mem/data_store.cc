@@ -1,35 +1,107 @@
 #include "mem/data_store.hh"
 
-#include "common/log.hh"
+#include <cstdlib>
 
 namespace logtm {
 
-uint64_t
-DataStore::load(PhysAddr addr) const
+namespace {
+
+DataStoreMode
+modeFromEnv()
 {
-    logtm_assert((addr & 7) == 0, "unaligned word load");
-    auto it = words_.find(addr);
-    return it == words_.end() ? 0 : it->second;
+    const char *env = std::getenv("LOGTM_LEGACY_DATASTORE");
+    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+        return DataStoreMode::LegacyWordMap;
+    return DataStoreMode::PagedFlat;
+}
+
+DataStoreMode defaultMode_ = modeFromEnv();
+
+} // namespace
+
+DataStoreMode
+DataStore::defaultMode()
+{
+    return defaultMode_;
 }
 
 void
-DataStore::store(PhysAddr addr, uint64_t value)
+DataStore::setDefaultMode(DataStoreMode mode)
 {
-    logtm_assert((addr & 7) == 0, "unaligned word store");
-    words_[addr] = value;
+    defaultMode_ = mode;
+}
+
+const DataStore::Page *
+DataStore::findPage(uint64_t page_num) const
+{
+    if (page_num < densePageLimit) {
+        if (page_num >= dense_.size())
+            return nullptr;
+        return dense_[page_num].get();
+    }
+    auto it = sparse_.find(page_num);
+    return it == sparse_.end() ? nullptr : it->second.get();
+}
+
+DataStore::Page &
+DataStore::getPage(uint64_t page_num)
+{
+    if (page_num < densePageLimit) {
+        if (page_num >= dense_.size())
+            dense_.resize(page_num + 1);
+        auto &slot = dense_[page_num];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        return *slot;
+    }
+    auto &slot = sparse_[page_num];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
 }
 
 void
 DataStore::copyPage(uint64_t from_page, uint64_t to_page)
 {
-    const PhysAddr from_base = from_page << pageBytesLog2;
-    const PhysAddr to_base = to_page << pageBytesLog2;
-    for (uint64_t off = 0; off < pageBytes; off += 8) {
-        auto it = words_.find(from_base + off);
-        if (it != words_.end())
-            words_[to_base + off] = it->second;
-        else
-            words_.erase(to_base + off);
+    if (legacy_) {
+        const PhysAddr from_base = from_page << pageBytesLog2;
+        const PhysAddr to_base = to_page << pageBytesLog2;
+        for (uint64_t off = 0; off < pageBytes; off += 8) {
+            auto it = legacyWords_.find(from_base + off);
+            if (it != legacyWords_.end())
+                legacyWords_[to_base + off] = it->second;
+            else
+                legacyWords_.erase(to_base + off);
+        }
+        return;
+    }
+    const Page *src = findPage(from_page);
+    Page *dst = const_cast<Page *>(findPage(to_page));
+    if (!src && !dst)
+        return;
+    if (src && !dst)
+        dst = &getPage(to_page);
+
+    for (uint64_t w = 0; w < wordsPerPage; ++w) {
+        const uint64_t mask = 1ull << (w & 63);
+        const bool src_has = src && (src->written[w >> 6] & mask);
+        uint64_t &bits = dst->written[w >> 6];
+        if (src_has) {
+            dst->words[w] = src->words[w];
+            if (!(bits & mask)) {
+                bits |= mask;
+                ++dst->populated;
+                ++footprint_;
+            }
+        } else if (bits & mask) {
+            // Source never wrote this word: erase it at the
+            // destination so it reads as 0 again, matching the old
+            // word-map semantics.
+            dst->words[w] = 0;
+            bits &= ~mask;
+            --dst->populated;
+            --footprint_;
+        }
     }
 }
 

@@ -16,8 +16,20 @@ Mesh::Mesh(EventQueue &queue, StatsRegistry &stats, const SystemConfig &cfg)
       linkLatency_(cfg.linkLatency),
       interChipLatency_(cfg.interChipLatency),
       handlers_(numNodes_),
-      nextFree_(numNodes_, 0)
+      nextFree_(numNodes_, 0),
+      hopTable_(static_cast<size_t>(numNodes_) * numNodes_),
+      latencyTable_(static_cast<size_t>(numNodes_) * numNodes_)
 {
+    for (NodeId s = 0; s < numNodes_; ++s) {
+        for (NodeId d = 0; d < numNodes_; ++d) {
+            const uint32_t h = hops(s, d);
+            Cycle lat = routerOverhead_ + h * linkLatency_;
+            if (numChips_ > 1 && chipOf(s) != chipOf(d))
+                lat += interChipLatency_;
+            hopTable_[static_cast<size_t>(s) * numNodes_ + d] = h;
+            latencyTable_[static_cast<size_t>(s) * numNodes_ + d] = lat;
+        }
+    }
 }
 
 void
@@ -64,14 +76,15 @@ Mesh::send(Msg msg)
     logtm_assert(static_cast<bool>(handlers_[msg.dst]),
                  "message to unattached node");
 
-    const uint32_t h = hops(msg.src, msg.dst);
+    const size_t pair =
+        static_cast<size_t>(msg.src) * numNodes_ + msg.dst;
     ++msgCount_;
-    hopCount_.add(h);
+    hopCount_.add(hopTable_[pair]);
 
-    Cycle arrival = queue_.now() + routerOverhead_ + h * linkLatency_;
-    // Crossing a chip boundary pays the inter-chip link (paper §7).
-    if (numChips_ > 1 && chipOf(msg.src) != chipOf(msg.dst))
-        arrival += interChipLatency_;
+    // latencyTable_ folds in the router overhead, the per-hop link
+    // latency, and the inter-chip link where the pair crosses a chip
+    // boundary (paper §7).
+    Cycle arrival = queue_.now() + latencyTable_[pair];
     if (delayHook_)
         arrival += delayHook_(msg);
     // One message per cycle per endpoint: serialize arrivals.

@@ -72,6 +72,11 @@ class Mesh
     DelayHook delayHook_;
     std::vector<Handler> handlers_;
     std::vector<Cycle> nextFree_;
+    /** Per-(src,dst) hop counts and base delivery latency
+     *  (router + hops * link + inter-chip), precomputed at
+     *  construction so send() does no division. */
+    std::vector<uint32_t> hopTable_;
+    std::vector<Cycle> latencyTable_;
 };
 
 } // namespace logtm

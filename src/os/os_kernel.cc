@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "common/trace.hh"
+#include "sig/sig_fast_path.hh"
 #include "sig/signature_factory.hh"
 
 namespace logtm {
@@ -243,9 +244,11 @@ rewriteSignaturePage(Signature &sig, uint64_t old_ppage,
 {
     const PhysAddr old_base = old_ppage << pageBytesLog2;
     const PhysAddr new_base = new_ppage << pageBytesLog2;
+    SigFastRef fast;
+    fast.bind(&sig);
     for (uint64_t off = 0; off < pageBytes; off += blockBytes) {
-        if (sig.mayContain(old_base + off))
-            sig.insert(new_base + off);
+        if (fast.mayContain(old_base + off))
+            fast.insert(new_base + off);
     }
 }
 

@@ -1,12 +1,16 @@
 /**
  * @file
  * Per-process page table: virtual page -> physical page, with lazy
- * allocation from the kernel's physical-frame allocator.
+ * allocation from the kernel's physical-frame allocator. A small
+ * direct-mapped translation cache in front of the map keeps the
+ * per-access cost down on the simulator's hot path; remap()
+ * invalidates the affected entry, so the cache is never stale.
  */
 
 #ifndef LOGTM_OS_PAGE_TABLE_HH
 #define LOGTM_OS_PAGE_TABLE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -29,6 +33,9 @@ class PageTable
     translate(VirtAddr va)
     {
         const uint64_t vpage = pageNumber(va);
+        TlbEntry &slot = tlb_[vpage & (tlbEntries - 1)];
+        if (slot.vpage == vpage) [[likely]]
+            return (slot.ppage << pageBytesLog2) | pageOffset(va);
         auto it = map_.find(vpage);
         uint64_t ppage;
         if (it == map_.end()) {
@@ -37,6 +44,8 @@ class PageTable
         } else {
             ppage = it->second;
         }
+        slot.vpage = vpage;
+        slot.ppage = ppage;
         return (ppage << pageBytesLog2) | pageOffset(va);
     }
 
@@ -53,13 +62,25 @@ class PageTable
     remap(uint64_t vpage, uint64_t new_ppage)
     {
         map_[vpage] = new_ppage;
+        TlbEntry &slot = tlb_[vpage & (tlbEntries - 1)];
+        if (slot.vpage == vpage)
+            slot = TlbEntry{};
     }
 
     size_t mappedPages() const { return map_.size(); }
 
   private:
+    static constexpr uint64_t tlbEntries = 64;
+
+    struct TlbEntry
+    {
+        uint64_t vpage = ~0ull;  ///< ~0 = empty (no page has vpage ~0)
+        uint64_t ppage = 0;
+    };
+
     std::function<uint64_t()> allocFrame_;
     std::unordered_map<uint64_t, uint64_t> map_;
+    std::array<TlbEntry, tlbEntries> tlb_{};
 };
 
 } // namespace logtm

@@ -10,24 +10,6 @@ BitSelectSignature::BitSelectSignature(uint32_t bits)
     logtm_assert((bits & (bits - 1)) == 0, "BS size must be a power of 2");
 }
 
-uint32_t
-BitSelectSignature::indexOf(PhysAddr block_addr) const
-{
-    return static_cast<uint32_t>(blockNumber(block_addr)) & mask_;
-}
-
-void
-BitSelectSignature::insert(PhysAddr block_addr)
-{
-    array_.set(indexOf(block_addr));
-}
-
-bool
-BitSelectSignature::mayContain(PhysAddr block_addr) const
-{
-    return array_.test(indexOf(block_addr));
-}
-
 std::unique_ptr<Signature>
 BitSelectSignature::clone() const
 {

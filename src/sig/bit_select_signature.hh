@@ -17,8 +17,22 @@ class BitSelectSignature : public Signature
   public:
     explicit BitSelectSignature(uint32_t bits);
 
-    void insert(PhysAddr block_addr) override;
-    bool mayContain(PhysAddr block_addr) const override;
+    /**
+     * Devirtualized hot path (sig/sig_fast_path.hh): the dominant
+     * signature kind is checked on every load/store, so the engine
+     * calls these concrete inline methods directly when it knows the
+     * dynamic type. Must behave exactly like insert()/mayContain().
+     */
+    void insertFast(PhysAddr block_addr) { array_.set(indexOf(block_addr)); }
+    bool
+    mayContainFast(PhysAddr block_addr) const
+    {
+        return array_.test(indexOf(block_addr));
+    }
+
+    void insert(PhysAddr block_addr) override { insertFast(block_addr); }
+    bool mayContain(PhysAddr block_addr) const override
+    { return mayContainFast(block_addr); }
     void clear() override { array_.clear(); }
     bool empty() const override { return array_.empty(); }
     std::unique_ptr<Signature> clone() const override;
@@ -32,7 +46,11 @@ class BitSelectSignature : public Signature
     uint32_t population() const override { return array_.population(); }
 
   private:
-    uint32_t indexOf(PhysAddr block_addr) const;
+    uint32_t
+    indexOf(PhysAddr block_addr) const
+    {
+        return static_cast<uint32_t>(blockNumber(block_addr)) & mask_;
+    }
 
     BitArray array_;
     uint32_t mask_;

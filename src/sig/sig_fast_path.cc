@@ -1,0 +1,34 @@
+#include "sig/sig_fast_path.hh"
+
+#include <cstdlib>
+
+namespace logtm {
+
+namespace {
+
+bool
+enabledFromEnv()
+{
+    const char *env = std::getenv("LOGTM_NO_SIG_FASTPATH");
+    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+        return false;
+    return true;
+}
+
+bool enabled_ = enabledFromEnv();
+
+} // namespace
+
+bool
+SigFastRef::enabled()
+{
+    return enabled_;
+}
+
+void
+SigFastRef::setEnabled(bool on)
+{
+    enabled_ = on;
+}
+
+} // namespace logtm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Devirtualized signature fast path.
+ *
+ * Every simulated load/store performs several signature membership
+ * tests (summary check, SMT-sibling check, coherence-side check) and
+ * up to two inserts. With the dominant bit-select configuration those
+ * all go through virtual dispatch behind unique_ptr<Signature>, which
+ * the compiler cannot inline. SigFastRef caches the downcast once —
+ * signature objects live as long as their owning context, so the
+ * binding is stable — and routes mayContain/insert to the concrete
+ * inline BitSelectSignature methods, falling back to the virtual
+ * interface for every other signature kind and for the cold
+ * operations (clone/union/enumerate), which stay virtual-only.
+ *
+ * The fast path can be disabled for differential testing (the A/B
+ * harness in tests/test_perf_equivalence.cc proves stats are
+ * byte-identical with and without it) via $LOGTM_NO_SIG_FASTPATH=1
+ * or setEnabled(false) before the engine is constructed.
+ */
+
+#ifndef LOGTM_SIG_SIG_FAST_PATH_HH
+#define LOGTM_SIG_SIG_FAST_PATH_HH
+
+#include "sig/bit_select_signature.hh"
+#include "sig/signature.hh"
+
+namespace logtm {
+
+class SigFastRef
+{
+  public:
+    SigFastRef() = default;
+
+    /** Cache the concrete type of @p sig (nullptr unbinds). Rebind
+     *  whenever the underlying object is replaced; mutations through
+     *  the virtual interface (clear/unionWith) do not require it. */
+    void
+    bind(Signature *sig)
+    {
+        sig_ = sig;
+        bs_ = (sig && enabled() && sig->kind() == SignatureKind::BitSelect)
+                  ? static_cast<BitSelectSignature *>(sig)
+                  : nullptr;
+    }
+
+    Signature *get() const { return sig_; }
+    explicit operator bool() const { return sig_ != nullptr; }
+
+    bool
+    mayContain(PhysAddr block) const
+    {
+        if (bs_)
+            return bs_->mayContainFast(block);
+        return sig_->mayContain(block);
+    }
+
+    void
+    insert(PhysAddr block)
+    {
+        if (bs_)
+            bs_->insertFast(block);
+        else
+            sig_->insert(block);
+    }
+
+    /**
+     * Process-wide switch consulted at bind() time, so flip it before
+     * constructing a system. Defaults to on unless
+     * $LOGTM_NO_SIG_FASTPATH is set to a non-"0" value.
+     */
+    static bool enabled();
+    static void setEnabled(bool on);
+
+  private:
+    Signature *sig_ = nullptr;
+    BitSelectSignature *bs_ = nullptr;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIG_SIG_FAST_PATH_HH

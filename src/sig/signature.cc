@@ -13,33 +13,6 @@ BitArray::BitArray(uint32_t bits)
 }
 
 void
-BitArray::set(uint32_t i)
-{
-    logtm_assert(i < bits_, "bit index out of range");
-    const uint64_t mask = 1ull << (i & 63);
-    uint64_t &word = words_[i >> 6];
-    if (!(word & mask)) {
-        word |= mask;
-        ++population_;
-    }
-}
-
-bool
-BitArray::test(uint32_t i) const
-{
-    logtm_assert(i < bits_, "bit index out of range");
-    return (words_[i >> 6] >> (i & 63)) & 1;
-}
-
-void
-BitArray::clear()
-{
-    for (auto &w : words_)
-        w = 0;
-    population_ = 0;
-}
-
-void
 BitArray::unionWith(const BitArray &other)
 {
     logtm_assert(bits_ == other.bits_, "union of mismatched bit arrays");

@@ -20,7 +20,15 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/log.hh"
 #include "common/types.hh"
+
+/** Bounds check on the innermost bit-array accesses. The hashed
+ *  signatures mask indices before use, so this guards only raw-index
+ *  callers (insertRaw); it stays on in release builds because a
+ *  mis-sized raw element means corrupted OS save/restore state. */
+#define logtm_sig_bounds_check(cond) \
+    logtm_assert(cond, "bit index out of range")
 
 namespace logtm {
 
@@ -77,16 +85,44 @@ class Signature
 
 /**
  * Dense bit array shared by the hashed signature implementations.
- * Not a Signature itself; a helper.
+ * Not a Signature itself; a helper. set/test are inline: they are
+ * the innermost operation of every signature check on the simulator
+ * hot path (see sig/sig_fast_path.hh).
  */
 class BitArray
 {
   public:
     explicit BitArray(uint32_t bits);
 
-    void set(uint32_t i);
-    bool test(uint32_t i) const;
-    void clear();
+    void
+    set(uint32_t i)
+    {
+        logtm_sig_bounds_check(i < bits_);
+        const uint64_t mask = 1ull << (i & 63);
+        uint64_t &word = words_[i >> 6];
+        if (!(word & mask)) {
+            word |= mask;
+            ++population_;
+        }
+    }
+
+    bool
+    test(uint32_t i) const
+    {
+        logtm_sig_bounds_check(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        if (population_ == 0)
+            return;
+        for (auto &w : words_)
+            w = 0;
+        population_ = 0;
+    }
+
     bool empty() const { return population_ == 0; }
     uint32_t population() const { return population_; }
     uint32_t size() const { return bits_; }

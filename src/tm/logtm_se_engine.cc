@@ -50,6 +50,8 @@ LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
         ctx->core = c / cfg_.threadsPerCore;
         ctx->readSig = makeSignature(cfg_.signature);
         ctx->writeSig = makeSignature(cfg_.signature);
+        ctx->readFast.bind(ctx->readSig.get());
+        ctx->writeFast.bind(ctx->writeSig.get());
         contexts_.push_back(std::move(ctx));
     }
     mem_.setConflictChecker(this);
@@ -127,6 +129,7 @@ void
 LogTmSeEngine::setSummary(CtxId ctx, std::unique_ptr<Signature> summary)
 {
     contexts_[ctx]->summary = std::move(summary);
+    contexts_[ctx]->summaryFast.bind(contexts_[ctx]->summary.get());
 }
 
 const Signature *
@@ -152,9 +155,11 @@ LogTmSeEngine::rewritePageInSignatures(Asid asid, uint64_t old_ppage,
         // Paper §4.2: walk the signature, testing each block of the
         // old page; re-insert hits at the new physical address. The
         // updated signature holds both old and new addresses.
+        SigFastRef fast;
+        fast.bind(&sig);
         for (uint64_t off = 0; off < pageBytes; off += blockBytes) {
-            if (sig.mayContain(old_base + off))
-                sig.insert(new_base + off);
+            if (fast.mayContain(old_base + off))
+                fast.insert(new_base + off);
         }
     };
     auto rewriteShadow = [&](ExactShadow &shadow) {
@@ -331,8 +336,9 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
                 thr.log.depth(), static_cast<int>(thr.abortCause));
 
     // Software abort handler: walk the frame LIFO and restore old
-    // values through the current translation (paging-safe).
-    LogFrame frame = thr.log.popFrame();
+    // values through the current translation (paging-safe). The
+    // records must be walked before popFrame() truncates the arena.
+    const auto records = thr.log.topRecords();
     logtm_obs_emit(sim_.events(),
                    ObsEvent{.cycle = sim_.now(),
                          .kind = EventKind::TxAbort,
@@ -340,13 +346,13 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
                          .cause =
                              static_cast<uint8_t>(thr.abortCause),
                          .a = depth_before,
-                         .b = frame.records.size()});
-    for (auto it = frame.records.rbegin(); it != frame.records.rend();
-         ++it) {
+                         .b = records.size()});
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
         mem_.data().store(translate(thr, it->vaddr), it->oldValue);
     }
     const Cycle latency = cfg_.abortTrapLatency +
-        frame.records.size() * cfg_.abortRestoreLatency;
+        records.size() * cfg_.abortRestoreLatency;
+    LogFrame frame = thr.log.popFrame();
 
     // Release isolation: restore the parent's signatures (nested) or
     // clear them (outermost frame).
@@ -375,9 +381,9 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     if (thr.log.depth() > 0 && thr.doomedAddrValid) {
         const PhysAddr block = blockAlign(thr.doomedAddr);
         still_doomed = thr.doomedType == AccessType::Read
-            ? ctx.writeSig->mayContain(block)
-            : (ctx.readSig->mayContain(block) ||
-               ctx.writeSig->mayContain(block));
+            ? ctx.writeFast.mayContain(block)
+            : (ctx.readFast.mayContain(block) ||
+               ctx.writeFast.mayContain(block));
     }
     if (!still_doomed) {
         thr.doomed = false;
@@ -535,8 +541,8 @@ LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
     const CtxId first = core * cfg_.threadsPerCore;
     for (CtxId c = first; c < first + cfg_.threadsPerCore; ++c) {
         HwContext &ctx = *contexts_[c];
-        const bool hit_r = ctx.readSig->mayContain(block);
-        const bool hit_w = ctx.writeSig->mayContain(block);
+        const bool hit_r = ctx.readFast.mayContain(block);
+        const bool hit_w = ctx.writeFast.mayContain(block);
         verdict.keepSticky |= hit_r || hit_w;
         verdict.inWriteSet |= hit_w;
 
@@ -589,8 +595,8 @@ LogTmSeEngine::inAnyLocalSig(CoreId core, PhysAddr block) const
     const CtxId first = core * cfg_.threadsPerCore;
     for (CtxId c = first; c < first + cfg_.threadsPerCore; ++c) {
         const HwContext &ctx = *contexts_[c];
-        if (ctx.readSig->mayContain(block) ||
-            ctx.writeSig->mayContain(block)) {
+        if (ctx.readFast.mayContain(block) ||
+            ctx.writeFast.mayContain(block)) {
             return true;
         }
     }
@@ -746,7 +752,8 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
 
     // 1. Summary signature: checked on EVERY memory reference,
     //    including cache hits (paper §4.1).
-    if (!op->escape && ctx.summary && ctx.summary->mayContain(block)) {
+    if (!op->escape && ctx.summaryFast &&
+        ctx.summaryFast.mayContain(block)) {
         noteSummaryTrap(thr, block);
         if (thr.inTx()) {
             // Stalling cannot resolve a conflict with a descheduled
@@ -825,7 +832,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         // checks NOW, closing the window in which a sibling insert or
         // a summary install landed while this request was in flight.
         if (!op->escape) {
-            if (ctx.summary && ctx.summary->mayContain(block)) {
+            if (ctx.summaryFast && ctx.summaryFast.mayContain(block)) {
                 noteSummaryTrap(thr, block);
                 if (thr.inTx()) {
                     doom(thr, AbortCause::SummaryConflict, 0,
@@ -863,7 +870,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                 logtm_trace(TraceCat::Sig, sim_.now(),
                             "ctx%u readSig insert 0x%llx", thr.ctx,
                             static_cast<unsigned long long>(block));
-                ctx.readSig->insert(block);
+                ctx.readFast.insert(block);
                 ctx.shadowRead.insert(block);
             }
             value = mem_.data().load(pa);
@@ -874,10 +881,10 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                 logtm_trace(TraceCat::Sig, sim_.now(),
                             "ctx%u writeSig insert 0x%llx", thr.ctx,
                             static_cast<unsigned long long>(block));
-                ctx.writeSig->insert(block);
+                ctx.writeFast.insert(block);
                 ctx.shadowWrite.insert(block);
                 if (op->loadForWrite) {
-                    ctx.readSig->insert(block);
+                    ctx.readFast.insert(block);
                     ctx.shadowRead.insert(block);
                 }
                 if (thr.filter.contains(op->va)) {

@@ -10,6 +10,18 @@
  * of a closed child merges its body into the parent; commit of an
  * open child discards its body and restores the parent's signature;
  * abort walks the top frame's body in LIFO order.
+ *
+ * Undo records for all frames live in one shared arena, exactly as
+ * the paper's log occupies one contiguous region of virtual memory:
+ * each frame only remembers where its body starts. Appending is a
+ * bump allocation, closed-nested merge just drops the child's header
+ * (the bodies are already adjacent), and popping truncates the arena.
+ * The arena keeps its capacity across transactions, so steady-state
+ * logging never allocates.
+ *
+ * The original per-frame record vectors survive as a legacy mode
+ * (LOGTM_LEGACY_TXLOG / setDefaultMode) for the differential harness
+ * and the perf A/B; see docs/PERFORMANCE.md.
  */
 
 #ifndef LOGTM_TM_TX_LOG_HH
@@ -17,12 +29,20 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hh"
 #include "sig/signature.hh"
 
 namespace logtm {
+
+/** Undo-record storage layout for TxLog, chosen at construction. */
+enum class TxLogMode
+{
+    Arena,         ///< shared bump-allocated arena (default)
+    LegacyFrames,  ///< original per-frame record vectors
+};
 
 /** One undo record: 8-byte word granularity (DESIGN.md §1). */
 struct UndoRecord
@@ -38,7 +58,8 @@ struct RegisterCheckpoint
     uint64_t token = 0;
 };
 
-/** One nesting level's log frame. */
+/** One nesting level's log frame (header only; the undo-record body
+ *  lives in the owning TxLog's arena). */
 struct LogFrame
 {
     RegisterCheckpoint checkpoint;
@@ -52,12 +73,22 @@ struct LogFrame
     std::unique_ptr<Signature> savedWrite;
     ExactShadow savedShadowRead;
     ExactShadow savedShadowWrite;
+    /** Arena offset where this frame's undo records begin. */
+    size_t recordsBegin = 0;
+    /** LegacyFrames mode only: this frame's own record body. */
     std::vector<UndoRecord> records;
 };
 
 class TxLog
 {
   public:
+    /** Mode applied to TxLogs constructed afterwards. The initial
+     *  default honours $LOGTM_LEGACY_TXLOG. */
+    static TxLogMode defaultMode();
+    static void setDefaultMode(TxLogMode mode);
+
+    TxLog() : legacy_(defaultMode() == TxLogMode::LegacyFrames) {}
+
     /** Nesting depth (0 = no active transaction). */
     size_t depth() const { return frames_.size(); }
     bool active() const { return !frames_.empty(); }
@@ -69,34 +100,60 @@ class TxLog
     const LogFrame &top() const;
 
     /** Append an undo record to the innermost frame. */
-    void append(const UndoRecord &rec);
+    void
+    append(const UndoRecord &rec)
+    {
+        if (legacy_) [[unlikely]]
+            frames_.back().records.push_back(rec);
+        else
+            arena_.push_back(rec);
+    }
+
+    /** The innermost frame's undo records, oldest first. Walk this
+     *  BEFORE popFrame(); popping truncates the arena. */
+    std::span<const UndoRecord> topRecords() const;
 
     /**
      * Closed-nested commit: discard the child's header and merge its
      * undo records into the parent so a later parent abort still
      * rolls them back. Must not be called on the outermost frame.
+     * O(1): the bodies are already adjacent in the arena.
      */
     void mergeTopIntoParent();
 
     /**
      * Pop the top frame (outermost commit, open-nested commit, or
-     * after an abort has walked it). Returns the frame so the caller
-     * can restore saved signatures.
+     * after an abort has walked it) and discard its undo records.
+     * Returns the header so the caller can restore saved signatures.
      */
     LogFrame popFrame();
 
-    /** Reset the whole log (outermost commit). */
-    void reset() { frames_.clear(); }
+    /** Reset the whole log (outermost commit). Keeps arena capacity. */
+    void
+    reset()
+    {
+        frames_.clear();
+        arena_.clear();
+    }
 
     /** Total undo records across all frames (stat). */
     size_t totalRecords() const;
 
     /** Log size in bytes, counting 16-byte records + 64-byte headers
      *  (reporting only). */
-    size_t sizeBytes() const;
+    size_t
+    sizeBytes() const
+    {
+        return frames_.size() * 64 + totalRecords() * 16;
+    }
 
   private:
+    const bool legacy_;
     std::vector<LogFrame> frames_;
+    /** Shared undo-record storage; frame i's body spans
+     *  [frames_[i].recordsBegin, frames_[i+1].recordsBegin) and the
+     *  top frame's body runs to arena_.size(). */
+    std::vector<UndoRecord> arena_;
 };
 
 } // namespace logtm

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "common/types.hh"
+#include "sig/sig_fast_path.hh"
 #include "sig/signature.hh"
 #include "tm/log_filter.hh"
 #include "tm/tx_log.hh"
@@ -34,6 +35,12 @@ struct HwContext
     /** Union of descheduled same-process transactions' R/W sets;
      *  checked on every memory reference (paper §4.1). Null = empty. */
     std::unique_ptr<Signature> summary;
+    /** Devirtualized views of the signatures above for the per-access
+     *  hot path (sig/sig_fast_path.hh). The engine rebinds these
+     *  whenever the owning unique_ptr is (re)assigned. */
+    SigFastRef readFast;
+    SigFastRef writeFast;
+    SigFastRef summaryFast;
     /** Software thread currently scheduled here. */
     ThreadId thread = invalidThread;
 };

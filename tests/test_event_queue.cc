@@ -1,9 +1,16 @@
 /**
  * @file
- * Unit tests for the deterministic event queue and simulator kernel.
+ * Unit tests for the deterministic event queue and simulator kernel,
+ * including randomized differential properties that pin the
+ * (tick, priority, sequence) ordering contract on both engines
+ * against a stable-sort reference model.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "sim/simulator.hh"
 
@@ -84,6 +91,233 @@ TEST(EventQueue, ClearDropsEventsAndResetsTime)
     q.run();
     EXPECT_EQ(fired, 0);
     EXPECT_EQ(q.now(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Both-engine properties
+// --------------------------------------------------------------------
+
+class EventQueueBothEngines
+    : public testing::TestWithParam<EventQueueEngine>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EventQueueBothEngines,
+    testing::Values(EventQueueEngine::Calendar,
+                    EventQueueEngine::LegacyHeap),
+    [](const testing::TestParamInfo<EventQueueEngine> &info) {
+        return info.param == EventQueueEngine::Calendar ? "Calendar"
+                                                        : "LegacyHeap";
+    });
+
+/**
+ * 1000 seeded random schedules/cancels/reschedules interleaved with
+ * execution, checked against a sorted-vector reference model. The
+ * model breaks (when, priority) ties by scheduling order via
+ * std::stable_sort -- exactly the queue's sequence-number rule -- so
+ * any divergence is an ordering bug in the engine under test.
+ */
+TEST_P(EventQueueBothEngines, RandomizedAgainstStableSortReference)
+{
+    constexpr uint32_t horizon = EventQueue::calendarHorizon;
+    for (uint64_t seed = 1; seed <= 1000; ++seed) {
+        EventQueue q(GetParam());
+        struct Ref
+        {
+            Cycle when;
+            uint8_t prio;
+            uint64_t label;
+        };
+        std::vector<std::pair<EventId, Ref>> pending;
+        std::vector<uint64_t> fired, expected;
+        uint64_t lcg = seed * 0x9E3779B97F4A7C15ull + 1;
+        auto rnd = [&lcg]() {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            return lcg >> 33;
+        };
+        uint64_t nextLabel = 0;
+
+        auto scheduleOne = [&]() {
+            const uint64_t r = rnd();
+            Cycle delta;
+            switch (r % 8) {
+              case 0:  // same-tick pileups
+                delta = r % 4;
+                break;
+              case 1:  // near/far window edge
+                delta = horizon - 2 + (r % 5);
+                break;
+              case 2:  // deep overflow, crosses two wraps
+                delta = 2 * horizon - 1 + (r % 3);
+                break;
+              default:
+                delta = r % (3 * horizon);
+            }
+            const Cycle when = q.now() + delta;
+            const auto prio = static_cast<EventPriority>(r % 3);
+            const uint64_t label = nextLabel++;
+            const EventId id = q.schedule(
+                when, [&fired, label]() { fired.push_back(label); },
+                prio);
+            pending.push_back(
+                {id, {when, static_cast<uint8_t>(prio), label}});
+        };
+
+        // Repeated stable sorts keep equal keys in schedule order
+        // (equal elements are never permuted), matching seq order.
+        auto popModel = [&]() {
+            std::stable_sort(
+                pending.begin(), pending.end(),
+                [](const auto &a, const auto &b) {
+                    if (a.second.when != b.second.when)
+                        return a.second.when < b.second.when;
+                    return a.second.prio < b.second.prio;
+                });
+            expected.push_back(pending.front().second.label);
+            pending.erase(pending.begin());
+        };
+
+        for (int round = 0; round < 6; ++round) {
+            const uint64_t ops = 1 + rnd() % 8;
+            for (uint64_t i = 0; i < ops; ++i) {
+                const uint64_t r = rnd() % 10;
+                if (r < 7 || pending.empty()) {
+                    scheduleOne();
+                } else if (r < 9) {
+                    const size_t victim = rnd() % pending.size();
+                    EXPECT_TRUE(q.cancel(pending[victim].first));
+                    pending.erase(pending.begin() + victim);
+                } else {
+                    const size_t victim = rnd() % pending.size();
+                    const EventId old = pending[victim].first;
+                    pending.erase(pending.begin() + victim);
+                    const Cycle when = q.now() + rnd() % (2 * horizon);
+                    const auto prio =
+                        static_cast<EventPriority>(rnd() % 3);
+                    const uint64_t label = nextLabel++;
+                    const EventId id = q.reschedule(
+                        old, when,
+                        [&fired, label]() { fired.push_back(label); },
+                        prio);
+                    pending.push_back(
+                        {id,
+                         {when, static_cast<uint8_t>(prio), label}});
+                }
+            }
+            const uint64_t steps = rnd() % 6;
+            for (uint64_t i = 0; i < steps && !pending.empty(); ++i) {
+                popModel();
+                ASSERT_TRUE(q.step()) << "seed " << seed;
+            }
+        }
+        while (!pending.empty()) {
+            popModel();
+            ASSERT_TRUE(q.step()) << "seed " << seed;
+        }
+        EXPECT_FALSE(q.step());
+        EXPECT_EQ(q.pending(), 0u) << "seed " << seed;
+        ASSERT_EQ(fired, expected) << "seed " << seed;
+    }
+}
+
+/** Ticks that collide modulo the bucket-ring size must still execute
+ *  in time order, not bucket order. */
+TEST_P(EventQueueBothEngines, BucketWrapCollisionsExecuteInTimeOrder)
+{
+    constexpr uint32_t horizon = EventQueue::calendarHorizon;
+    EventQueue q(GetParam());
+    std::vector<int> order;
+    // All five map to the same bucket on the calendar engine.
+    q.schedule(4 * horizon + 7, [&]() { order.push_back(4); });
+    q.schedule(2 * horizon + 7, [&]() { order.push_back(2); });
+    q.schedule(7, [&]() { order.push_back(0); });
+    q.schedule(3 * horizon + 7, [&]() { order.push_back(3); });
+    q.schedule(horizon + 7, [&]() { order.push_back(1); });
+    // Plus the window edges themselves.
+    q.schedule(horizon - 1, [&]() { order.push_back(10); });
+    q.schedule(horizon, [&]() { order.push_back(11); });
+    q.schedule(horizon + 1, [&]() { order.push_back(12); });
+    q.run();
+    EXPECT_EQ(order,
+              (std::vector<int>{0, 10, 11, 12, 1, 2, 3, 4}));
+    EXPECT_EQ(q.now(), 4 * horizon + 7);
+}
+
+/** Same tick, mixed priorities, scheduled both before and during
+ *  execution at that tick: priority then scheduling order wins. */
+TEST_P(EventQueueBothEngines, SameTickPriorityTiesAcrossInsertion)
+{
+    EventQueue q(GetParam());
+    std::vector<int> order;
+    q.schedule(100, [&]() {
+        order.push_back(0);
+        // Scheduled mid-tick: still sorts by priority at tick 100.
+        q.schedule(100, [&]() { order.push_back(3); },
+                   EventPriority::Cpu);
+        q.schedule(100, [&]() { order.push_back(1); },
+                   EventPriority::Protocol);
+    }, EventPriority::Protocol);
+    q.schedule(100, [&]() { order.push_back(2); },
+               EventPriority::Default);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_P(EventQueueBothEngines, ExecutedCountsFiredEventsOnly)
+{
+    EventQueue q(GetParam());
+    int fired = 0;
+    const EventId a = q.schedule(1, [&]() { ++fired; });
+    q.schedule(2, [&]() { ++fired; });
+    q.schedule(3, [&]() { ++fired; });
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.executed(), 2u);  // the cancelled event never counts
+    q.clear();
+    EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST_P(EventQueueBothEngines, CancelledFarEventsDoNotResurface)
+{
+    constexpr uint32_t horizon = EventQueue::calendarHorizon;
+    EventQueue q(GetParam());
+    std::vector<int> order;
+    const EventId far = q.schedule(3 * horizon,
+                                   [&]() { order.push_back(99); });
+    q.schedule(5, [&]() { order.push_back(1); });
+    q.schedule(2 * horizon, [&]() { order.push_back(2); });
+    EXPECT_TRUE(q.cancel(far));
+    EXPECT_FALSE(q.cancel(far));  // double-cancel reports false
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_TRUE(q.empty());
+}
+
+using EventQueueEnginesDeath = testing::Test;
+
+/** Scheduling in the past is a hard error on BOTH engines: on the
+ *  calendar engine it would corrupt the tick->bucket map, and the
+ *  legacy engine panics identically so behaviour cannot diverge. */
+TEST(EventQueueEnginesDeath, PastScheduleIsFatalOnCalendar)
+{
+    EventQueue q(EventQueueEngine::Calendar);
+    q.schedule(50, []() {});
+    q.run();
+    EXPECT_DEATH(q.schedule(10, []() {}),
+                 "cannot schedule an event in the past");
+}
+
+TEST(EventQueueEnginesDeath, PastScheduleIsFatalOnLegacyHeap)
+{
+    EventQueue q(EventQueueEngine::LegacyHeap);
+    q.schedule(50, []() {});
+    q.run();
+    EXPECT_DEATH(q.schedule(10, []() {}),
+                 "cannot schedule an event in the past");
 }
 
 TEST(Simulator, RunUntilStopsOnPredicate)

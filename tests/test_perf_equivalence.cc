@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Differential A/B harness for the hot-path optimizations: the
+ * calendar event queue, the devirtualized bit-select signature
+ * fast path, the page-granular data store and the arena undo log
+ * are pure performance work, so simulations must be bit-for-bit
+ * identical with them on or off. Each paper workload runs twice
+ * per axis and the resulting stats.json files are compared
+ * byte-for-byte; a seeded chaos run cross-checks the full
+ * adversarial stack the same way. A committed golden trace
+ * (baselines/golden_trace.json) additionally pins the exact event
+ * order of a fixed-seed run, so any reordering introduced by future
+ * queue work fails tier 1 rather than silently changing results.
+ *
+ * Regenerate the golden trace after an intentional change with:
+ *   LOGTM_UPDATE_GOLDEN=1 ./logtm_tests \
+ *       --gtest_filter='GoldenTrace.*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/chaos.hh"
+#include "harness/experiment.hh"
+#include "mem/data_store.hh"
+#include "obs/recording_sink.hh"
+#include "os/tm_system.hh"
+#include "sig/sig_fast_path.hh"
+#include "sim/event_queue.hh"
+#include "tm/tx_log.hh"
+
+namespace logtm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Restore the process-wide engine/fast-path defaults after each
+ *  test, whatever happens inside it. */
+class Differential : public testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
+        SigFastRef::setEnabled(true);
+        DataStore::setDefaultMode(DataStoreMode::PagedFlat);
+        TxLog::setDefaultMode(TxLogMode::Arena);
+    }
+};
+
+using EventQueueDifferential = Differential;
+using SigFastPathDifferential = Differential;
+using StorePathDifferential = Differential;
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** The table2 configuration for @p b, scaled down so tier 1 stays
+ *  fast while still committing/aborting/virtualizing for real. */
+ExperimentConfig
+table2Config(Benchmark b)
+{
+    ExperimentConfig cfg;
+    cfg.bench = b;
+    cfg.wl.numThreads = cfg.sys.numContexts();
+    cfg.wl.useTm = true;
+    cfg.wl.totalUnits = defaultUnits(b) / 16;
+    cfg.sys.signature = sigBS(2048);
+    return cfg;
+}
+
+/** Run @p cfg with stats.json capture into a fresh directory and
+ *  return the file's exact bytes. */
+std::string
+statsBytes(ExperimentConfig cfg, const std::string &tag)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / ("logtm_diff_" + tag);
+    fs::remove_all(dir);
+    cfg.obs.outDir = dir.string();
+    runExperiment(cfg);
+    std::string bytes = readFile(dir / "stats.json");
+    fs::remove_all(dir);
+    EXPECT_FALSE(bytes.empty());
+    return bytes;
+}
+
+// --------------------------------------------------------------------
+// Event-queue engine differential
+// --------------------------------------------------------------------
+
+TEST_F(EventQueueDifferential, Table2WorkloadsByteIdenticalStats)
+{
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentConfig cfg = table2Config(b);
+
+        EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
+        const std::string legacy = statsBytes(cfg, "q_legacy");
+        EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
+        const std::string calendar = statsBytes(cfg, "q_calendar");
+
+        EXPECT_EQ(legacy, calendar)
+            << toString(b)
+            << ": engines disagree -- the calendar queue changed "
+               "simulation behaviour";
+    }
+}
+
+TEST_F(EventQueueDifferential, ChaosMixAgreesAcrossEngines)
+{
+    // The adversarial stack (fault injector + oracle + watchdog)
+    // leans on cancellation and far-future scheduling much harder
+    // than the plain workloads do.
+    ChaosParams params;
+    params.seed = 12345;
+    params.faults = chaosMix("everything");
+
+    EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
+    const ChaosResult legacy = runChaos(params);
+    EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
+    const ChaosResult calendar = runChaos(params);
+
+    EXPECT_EQ(legacy.completed, calendar.completed);
+    EXPECT_EQ(legacy.watchdogFired, calendar.watchdogFired);
+    EXPECT_EQ(legacy.counterSum, calendar.counterSum);
+    EXPECT_EQ(legacy.expectedSum, calendar.expectedSum);
+    EXPECT_EQ(legacy.violations, calendar.violations);
+    EXPECT_EQ(legacy.commits, calendar.commits);
+    EXPECT_EQ(legacy.aborts, calendar.aborts);
+    EXPECT_EQ(legacy.faultsInjected, calendar.faultsInjected);
+    EXPECT_EQ(legacy.cycles, calendar.cycles);
+}
+
+TEST_F(EventQueueDifferential, EnvVarSelectsLegacyEngine)
+{
+    // $LOGTM_LEGACY_EVENTQ is read once at process start; the
+    // programmatic default mirrors what it controls. This pins the
+    // public contract that a queue picks up the process default.
+    EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
+    EventQueue legacy;
+    EXPECT_EQ(legacy.engine(), EventQueueEngine::LegacyHeap);
+    EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
+    EventQueue calendar;
+    EXPECT_EQ(calendar.engine(), EventQueueEngine::Calendar);
+}
+
+// --------------------------------------------------------------------
+// Signature fast-path differential
+// --------------------------------------------------------------------
+
+TEST_F(SigFastPathDifferential, Table2WorkloadsByteIdenticalStats)
+{
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentConfig cfg = table2Config(b);
+
+        SigFastRef::setEnabled(false);
+        const std::string virt = statsBytes(cfg, "s_virtual");
+        SigFastRef::setEnabled(true);
+        const std::string fast = statsBytes(cfg, "s_fast");
+
+        EXPECT_EQ(virt, fast)
+            << toString(b)
+            << ": bit-select fast path changed simulation behaviour";
+    }
+}
+
+// --------------------------------------------------------------------
+// Data-store / undo-log layout differential
+// --------------------------------------------------------------------
+
+TEST_F(StorePathDifferential, Table2WorkloadsByteIdenticalStats)
+{
+    // The paged DataStore and the arena TxLog are storage-layout
+    // changes only; flip both to their legacy layouts at once (the
+    // word map and the per-frame vectors) and demand identical stats.
+    for (Benchmark b : paperBenchmarks()) {
+        const ExperimentConfig cfg = table2Config(b);
+
+        DataStore::setDefaultMode(DataStoreMode::LegacyWordMap);
+        TxLog::setDefaultMode(TxLogMode::LegacyFrames);
+        const std::string legacy = statsBytes(cfg, "st_legacy");
+        DataStore::setDefaultMode(DataStoreMode::PagedFlat);
+        TxLog::setDefaultMode(TxLogMode::Arena);
+        const std::string paged = statsBytes(cfg, "st_paged");
+
+        EXPECT_EQ(legacy, paged)
+            << toString(b)
+            << ": paged store / arena log changed simulation "
+               "behaviour";
+    }
+}
+
+// --------------------------------------------------------------------
+// Golden determinism pin
+// --------------------------------------------------------------------
+
+std::string
+renderTrace(const std::vector<ObsEvent> &events, size_t limit)
+{
+    std::ostringstream os;
+    os << "[\n";
+    const size_t n = std::min(events.size(), limit);
+    for (size_t i = 0; i < n; ++i) {
+        const ObsEvent &e = events[i];
+        os << "  {\"cycle\": " << e.cycle << ", \"kind\": \""
+           << eventKindName(e.kind) << "\", \"ctx\": " << e.ctx
+           << ", \"thread\": " << e.thread << ", \"addr\": " << e.addr
+           << ", \"otherCtx\": " << e.otherCtx
+           << ", \"cause\": " << unsigned(e.cause) << ", \"access\": "
+           << (e.access == AccessType::Write ? "\"W\"" : "\"R\"")
+           << ", \"fp\": " << (e.falsePositive ? "true" : "false")
+           << ", \"a\": " << e.a << ", \"b\": " << e.b << "}"
+           << (i + 1 < n ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+TEST_F(Differential, GoldenTraceMatchesCommittedBaseline)
+{
+    // A fixed-seed BerkeleyDB run on the default table2 system; the
+    // first 256 observability events pin event order, conflict
+    // attribution and abort causes exactly.
+    SystemConfig scfg;
+    scfg.signature = sigBS(2048);
+    TmSystem sys(scfg);
+    RecordingSink ring;
+    sys.sim().events().attach(&ring);
+
+    WorkloadParams p;
+    p.numThreads = scfg.numContexts();
+    p.useTm = true;
+    p.totalUnits = 64;
+    p.seed = 1;
+    auto wl = makeWorkload(Benchmark::BerkeleyDB, sys, p);
+    wl->run();
+    sys.sim().events().detach(&ring);
+    ASSERT_GE(ring.size(), 256u)
+        << "run too short to pin a meaningful prefix";
+
+    const std::string got = renderTrace(ring.events(), 256);
+    const fs::path golden =
+        fs::path(LOGTM_BASELINES_DIR) / "golden_trace.json";
+
+    if (std::getenv("LOGTM_UPDATE_GOLDEN")) {
+        std::ofstream out(golden, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden;
+        out << got;
+        GTEST_SKIP() << "golden trace regenerated at " << golden;
+    }
+
+    ASSERT_TRUE(fs::exists(golden))
+        << golden
+        << " missing -- regenerate with LOGTM_UPDATE_GOLDEN=1";
+    EXPECT_EQ(readFile(golden), got)
+        << "event stream reordered vs committed baseline; if "
+           "intentional, regenerate with LOGTM_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace logtm

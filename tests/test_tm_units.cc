@@ -23,10 +23,12 @@ TEST(TxLog, PushAppendPop)
     log.append({0x108, 0x108, 8});
     EXPECT_EQ(log.totalRecords(), 2u);
 
+    const auto records = log.topRecords();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].oldValue, 7u);
     LogFrame frame = log.popFrame();
-    EXPECT_EQ(frame.records.size(), 2u);
-    EXPECT_EQ(frame.records[0].oldValue, 7u);
     EXPECT_EQ(frame.checkpoint.token, 1u);
+    EXPECT_EQ(log.totalRecords(), 0u);
     EXPECT_FALSE(log.active());
 }
 
@@ -43,13 +45,13 @@ TEST(TxLog, MergePreservesChildRecordsInParent)
 
     log.mergeTopIntoParent();
     EXPECT_EQ(log.depth(), 1u);
-    const LogFrame &parent = log.top();
-    ASSERT_EQ(parent.records.size(), 3u);
+    const auto records = log.topRecords();
+    ASSERT_EQ(records.size(), 3u);
     // Parent records first, child records appended: a LIFO walk
     // undoes the child before the parent.
-    EXPECT_EQ(parent.records[0].oldValue, 1u);
-    EXPECT_EQ(parent.records[1].oldValue, 2u);
-    EXPECT_EQ(parent.records[2].oldValue, 3u);
+    EXPECT_EQ(records[0].oldValue, 1u);
+    EXPECT_EQ(records[1].oldValue, 2u);
+    EXPECT_EQ(records[2].oldValue, 3u);
 }
 
 TEST(TxLog, SizeAccountsHeadersAndRecords)
