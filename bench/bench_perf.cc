@@ -1,24 +1,19 @@
 /**
  * @file
  * Simulator-performance benchmark (host throughput, not simulated
- * metrics): pins the wins from the hot-path pass (calendar event
- * queue, devirtualized bit-select signatures, page-granular data
- * store, arena undo log) and guards against regressions.
- *
- * Two measurements, both A/B against the legacy paths:
+ * metrics). The PR 4 legacy twins are gone, so this now reports
+ * absolute throughput of the surviving hot paths and cross-checks
+ * determinism instead of A/B agreement:
  *
  *  1. Event-loop microbench: a self-rescheduling event storm drives
  *     the queue alone (no TM system), reporting host events/sec for
- *     the legacy heap vs the calendar engine.
+ *     the calendar engine.
  *
- *  2. Table 2 workloads: each paper benchmark runs end-to-end twice --
- *     once on all four legacy paths (heap queue, virtual-dispatch
- *     signatures, word-map data store, per-frame undo log), once on
- *     the optimized paths (calendar queue, bit-select fast path, page
- *     arrays, arena log) -- reporting wall-clock per run and simulated
- *     cycles per host second. Both runs must agree on simulated cycles
- *     (same simulation, different engine); a mismatch is a correctness
- *     bug and fails the binary.
+ *  2. Table 2 workloads: each paper benchmark runs end-to-end,
+ *     reporting wall-clock per run and simulated cycles per host
+ *     second. Repeat runs must agree on simulated cycles and commits
+ *     (same configuration, same seed); a mismatch means the
+ *     simulation leaked host state and fails the binary.
  *
  * Results go to stdout (table) and to BENCH_perf.json (--out=FILE).
  * --quick scales the workloads down for CI smoke runs.
@@ -31,11 +26,8 @@
 #include <fstream>
 
 #include "bench_util.hh"
-#include "mem/data_store.hh"
 #include "obs/json.hh"
-#include "sig/sig_fast_path.hh"
 #include "sim/event_queue.hh"
-#include "tm/tx_log.hh"
 
 using namespace logtm;
 
@@ -62,18 +54,13 @@ struct MicrobenchResult
 };
 
 /**
- * Drive one queue with a deterministic self-rescheduling storm that
+ * Drive the queue with a deterministic self-rescheduling storm that
  * mirrors the simulator's real mix: mostly short deltas (cache/NACK
  * latencies), occasional far-future events (DRAM, watchdogs) that
  * exercise the overflow path, rotating priorities, and a cancel +
  * reschedule every 16th event. 4096 chains stay in flight, the
  * population a 16-core system with full memory pipelines sustains.
- * Identical on both engines.
  */
-/** Self-rescheduling chain functor: copied into the queue on every
- *  reschedule, like the protocol's real callbacks. Small enough for
- *  the calendar engine to store inline; the legacy engine wraps each
- *  copy in std::function, as the original queue always did. */
 struct ChainEvent
 {
     EventQueue *q;
@@ -106,9 +93,9 @@ struct ChainEvent
 };
 
 MicrobenchResult
-runEventMicrobench(EventQueueEngine engine, uint64_t target_events)
+runEventMicrobench(uint64_t target_events)
 {
-    EventQueue q(engine);
+    EventQueue q;
     uint64_t lcg = 0x2545F4914F6CDD1Dull;
     auto rnd = [&lcg]() {
         lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
@@ -135,7 +122,7 @@ runEventMicrobench(EventQueueEngine engine, uint64_t target_events)
 }
 
 // --------------------------------------------------------------------
-// 2. Workload wall-clock A/B
+// 2. Workload throughput
 // --------------------------------------------------------------------
 
 struct WorkloadTiming
@@ -143,56 +130,21 @@ struct WorkloadTiming
     std::string bench;
     uint64_t units = 0;
     Cycle simCycles = 0;
-    double legacySecs = 0;
-    double fastSecs = 0;
+    double seconds = 0;
 
-    double speedup() const
+    double cyclesPerSec() const
     {
-        return fastSecs > 0 ? legacySecs / fastSecs : 0;
-    }
-    double legacyCyclesPerSec() const
-    {
-        return legacySecs > 0
-            ? static_cast<double>(simCycles) / legacySecs : 0;
-    }
-    double fastCyclesPerSec() const
-    {
-        return fastSecs > 0
-            ? static_cast<double>(simCycles) / fastSecs : 0;
+        return seconds > 0
+            ? static_cast<double>(simCycles) / seconds : 0;
     }
 };
 
-void
-selectMode(bool legacy)
-{
-    EventQueue::setDefaultEngine(legacy ? EventQueueEngine::LegacyHeap
-                                        : EventQueueEngine::Calendar);
-    SigFastRef::setEnabled(!legacy);
-    DataStore::setDefaultMode(legacy ? DataStoreMode::LegacyWordMap
-                                     : DataStoreMode::PagedFlat);
-    TxLog::setDefaultMode(legacy ? TxLogMode::LegacyFrames
-                                 : TxLogMode::Arena);
-}
-
-/** One timed run of @p cfg in one mode. Times the simulation phase
- *  only (runExperiment's hostSeconds): system construction is
- *  identical on both sides and would only dilute the comparison. */
-ExperimentResult
-runOnce(const ExperimentConfig &cfg, bool legacy, double *secs)
-{
-    selectMode(legacy);
-    ExperimentResult r = runExperiment(cfg);
-    *secs = r.hostSeconds;
-    return r;
-}
-
-/** Pick a repetition count giving each mode ~0.5 s of measured work
- *  (clamped), from one calibration run in fast mode -- which also
- *  warms the page cache and the allocator. */
+/** Pick a repetition count giving ~0.5 s of measured work (clamped),
+ *  from one calibration run -- which also warms the page cache and
+ *  the allocator. */
 int
 calibrateReps(const ExperimentConfig &cfg, bool quick)
 {
-    selectMode(false);
     const ExperimentResult r = runExperiment(cfg);
     const double once = std::max(r.hostSeconds, 1e-4);
     const double targetSecs = quick ? 0.1 : 1.0;
@@ -222,48 +174,36 @@ main(int argc, char **argv)
 
     // ---- event-loop microbench ---------------------------------------
     const uint64_t target = quick ? 300000 : 3000000;
-    // Two runs per engine, keeping the faster: same noise-floor
-    // defence as the workload timings below.
-    auto bestOf2 = [target](EventQueueEngine engine) {
-        MicrobenchResult a = runEventMicrobench(engine, target);
-        const MicrobenchResult b = runEventMicrobench(engine, target);
-        if (b.seconds < a.seconds) {
-            a.seconds = b.seconds;
-            a.eventsPerSec = b.eventsPerSec;
-        }
-        return a;
-    };
-    const MicrobenchResult legacyQ =
-        bestOf2(EventQueueEngine::LegacyHeap);
-    const MicrobenchResult calendarQ =
-        bestOf2(EventQueueEngine::Calendar);
-    if (legacyQ.events != calendarQ.events ||
-        legacyQ.finalCycle != calendarQ.finalCycle) {
+    // Two runs, keeping the faster: same noise-floor defence as the
+    // workload timings below. Both runs must land on the same final
+    // cycle and event count -- the storm is fully deterministic.
+    MicrobenchResult micro = runEventMicrobench(target);
+    const MicrobenchResult micro2 = runEventMicrobench(target);
+    if (micro.events != micro2.events ||
+        micro.finalCycle != micro2.finalCycle) {
         std::fprintf(stderr,
-                     "FATAL: engines diverged on the microbench "
+                     "FATAL: microbench repeat runs diverged "
                      "(events %llu vs %llu, final cycle %llu vs "
                      "%llu)\n",
-                     static_cast<unsigned long long>(legacyQ.events),
-                     static_cast<unsigned long long>(calendarQ.events),
+                     static_cast<unsigned long long>(micro.events),
+                     static_cast<unsigned long long>(micro2.events),
+                     static_cast<unsigned long long>(micro.finalCycle),
                      static_cast<unsigned long long>(
-                         legacyQ.finalCycle),
-                     static_cast<unsigned long long>(
-                         calendarQ.finalCycle));
+                         micro2.finalCycle));
         return 1;
     }
-    const double qSpeedup = legacyQ.seconds > 0 && calendarQ.seconds > 0
-        ? legacyQ.seconds / calendarQ.seconds : 0;
+    if (micro2.seconds < micro.seconds) {
+        micro.seconds = micro2.seconds;
+        micro.eventsPerSec = micro2.eventsPerSec;
+    }
 
     Table qtable({"Engine", "Events", "Seconds", "Events/sec"});
-    qtable.addRow({"legacy-heap", Table::fmt(legacyQ.events),
-                   Table::fmt(legacyQ.seconds, 3),
-                   Table::fmt(legacyQ.eventsPerSec, 0)});
-    qtable.addRow({"calendar", Table::fmt(calendarQ.events),
-                   Table::fmt(calendarQ.seconds, 3),
-                   Table::fmt(calendarQ.eventsPerSec, 0)});
+    qtable.addRow({"calendar", Table::fmt(micro.events),
+                   Table::fmt(micro.seconds, 3),
+                   Table::fmt(micro.eventsPerSec, 0)});
     std::cout << "Event-loop microbench (queue only):\n";
     emitTable(qtable, csv);
-    std::printf("calendar speedup: %.2fx\n\n", qSpeedup);
+    std::printf("\n");
 
     // ---- table 2 workloads -------------------------------------------
     std::vector<WorkloadTiming> timings;
@@ -274,63 +214,48 @@ main(int argc, char **argv)
 
         WorkloadTiming t;
         t.bench = toString(b);
-        // Interleave the A/B repetitions (legacy, fast, legacy,
-        // fast, ...) and keep each side's minimum: the min defeats
-        // additive noise, and alternation keeps slow drift (CPU
-        // frequency, steal time) from biasing one whole side.
+        // Keep the minimum over the repetitions: the min defeats
+        // additive noise (scheduler preemption, cache pollution).
         const int reps = calibrateReps(cfg, quick);
-        ExperimentResult legacy, fast;
-        t.legacySecs = 1e300;
-        t.fastSecs = 1e300;
+        ExperimentResult first, r;
+        t.seconds = 1e300;
         for (int i = 0; i < reps; ++i) {
-            double secs = 0;
-            legacy = runOnce(cfg, true, &secs);
-            t.legacySecs = std::min(t.legacySecs, secs);
-            fast = runOnce(cfg, false, &secs);
-            t.fastSecs = std::min(t.fastSecs, secs);
+            r = runExperiment(cfg);
+            t.seconds = std::min(t.seconds, r.hostSeconds);
+            if (i == 0)
+                first = r;
         }
-        if (legacy.cycles != fast.cycles ||
-            legacy.commits != fast.commits) {
+        if (first.cycles != r.cycles || first.commits != r.commits) {
             std::fprintf(stderr,
-                         "FATAL: %s diverged between engines "
+                         "FATAL: %s diverged between repeat runs "
                          "(cycles %llu vs %llu, commits %llu vs "
                          "%llu)\n",
                          t.bench.c_str(),
-                         static_cast<unsigned long long>(legacy.cycles),
-                         static_cast<unsigned long long>(fast.cycles),
-                         static_cast<unsigned long long>(
-                             legacy.commits),
-                         static_cast<unsigned long long>(fast.commits));
+                         static_cast<unsigned long long>(first.cycles),
+                         static_cast<unsigned long long>(r.cycles),
+                         static_cast<unsigned long long>(first.commits),
+                         static_cast<unsigned long long>(r.commits));
             return 1;
         }
-        t.units = fast.units;
-        t.simCycles = fast.cycles;
+        t.units = r.units;
+        t.simCycles = r.cycles;
         timings.push_back(t);
     }
-    // Restore process defaults for anything running after us.
-    EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
-    SigFastRef::setEnabled(true);
-    DataStore::setDefaultMode(DataStoreMode::PagedFlat);
-    TxLog::setDefaultMode(TxLogMode::Arena);
 
-    Table wtable({"Benchmark", "SimCycles", "LegacySecs", "FastSecs",
-                  "Speedup", "FastCycles/sec"});
+    Table wtable({"Benchmark", "SimCycles", "Seconds", "Cycles/sec"});
     double logSum = 0;
     for (const WorkloadTiming &t : timings) {
         wtable.addRow({t.bench, Table::fmt(t.simCycles),
-                       Table::fmt(t.legacySecs, 3),
-                       Table::fmt(t.fastSecs, 3),
-                       Table::fmt(t.speedup(), 2),
-                       Table::fmt(t.fastCyclesPerSec(), 0)});
-        logSum += std::log(t.speedup());
+                       Table::fmt(t.seconds, 3),
+                       Table::fmt(t.cyclesPerSec(), 0)});
+        logSum += std::log(std::max(t.cyclesPerSec(), 1.0));
     }
     const double geomean =
         timings.empty() ? 0 : std::exp(logSum / timings.size());
-    std::cout << "Table 2 workloads, legacy (heap queue, virtual "
-                 "signatures, word-map store, per-frame log) vs fast "
-                 "(calendar, devirtualized, paged, arena):\n";
+    std::cout << "Table 2 workloads (calendar queue, devirtualized "
+                 "signatures, paged store, arena log):\n";
     emitTable(wtable, csv);
-    std::printf("geomean wall-clock speedup: %.2fx\n", geomean);
+    std::printf("geomean simulated cycles/sec: %.0f\n", geomean);
 
     // ---- BENCH_perf.json ---------------------------------------------
     std::ofstream os(out);
@@ -343,18 +268,9 @@ main(int argc, char **argv)
     w.field("quick", quick);
     w.key("event_microbench");
     w.beginObject();
-    w.field("events", legacyQ.events);
-    w.key("legacy");
-    w.beginObject()
-        .field("seconds", legacyQ.seconds)
-        .field("events_per_sec", legacyQ.eventsPerSec)
-        .endObject();
-    w.key("calendar");
-    w.beginObject()
-        .field("seconds", calendarQ.seconds)
-        .field("events_per_sec", calendarQ.eventsPerSec)
-        .endObject();
-    w.field("speedup", qSpeedup);
+    w.field("events", micro.events);
+    w.field("seconds", micro.seconds);
+    w.field("events_per_sec", micro.eventsPerSec);
     w.endObject();
     w.key("workloads");
     w.beginArray();
@@ -363,15 +279,12 @@ main(int argc, char **argv)
         w.field("bench", t.bench);
         w.field("units", t.units);
         w.field("sim_cycles", static_cast<uint64_t>(t.simCycles));
-        w.field("legacy_seconds", t.legacySecs);
-        w.field("fast_seconds", t.fastSecs);
-        w.field("speedup", t.speedup());
-        w.field("legacy_cycles_per_sec", t.legacyCyclesPerSec());
-        w.field("fast_cycles_per_sec", t.fastCyclesPerSec());
+        w.field("seconds", t.seconds);
+        w.field("cycles_per_sec", t.cyclesPerSec());
         w.endObject();
     }
     w.endArray();
-    w.field("geomean_workload_speedup", geomean);
+    w.field("geomean_cycles_per_sec", geomean);
     w.endObject();
     os << "\n";
     std::printf("wrote %s\n", out.c_str());

@@ -1,11 +1,36 @@
 #include "check/chaos.hh"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "common/log.hh"
 #include "workload/microbench.hh"
 
 namespace logtm {
+
+namespace {
+
+/** Collects the blocks victimized so far; backs the
+ *  defectVictimBypass planted defect (see ChaosParams). */
+class VictimCollector : public EventSink
+{
+  public:
+    void
+    onEvent(const ObsEvent &ev) override
+    {
+        if (ev.kind == EventKind::ChkFault &&
+            ev.a == static_cast<uint64_t>(FaultKind::Victimize))
+            victims_.insert(ev.b);
+    }
+
+    bool contains(PhysAddr block) const
+    { return victims_.count(block) != 0; }
+
+  private:
+    std::unordered_set<uint64_t> victims_;
+};
+
+} // namespace
 
 FaultPlan
 chaosMix(const std::string &name)
@@ -90,7 +115,21 @@ runChaos(const ChaosParams &p)
     for (uint32_t i = 0; i < p.numCounters; ++i)
         hot_vas.push_back(wl.counterAddr(i));
 
-    FaultInjector injector(sys, p.faults, p.seed);
+    FaultInjector injector = p.script
+        ? FaultInjector(sys, *p.script, p.faults.tickInterval)
+        : FaultInjector(sys, p.faults, p.seed);
+    if (p.captureScript && !p.script)
+        injector.enableCapture();
+
+    VictimCollector victims;
+    if (p.defectVictimBypass) {
+        sys.sim().events().attach(&victims);
+        sys.engine().setSigBypassForTest(
+            [&victims](CtxId, PhysAddr block) {
+                return victims.contains(block);
+            });
+    }
+
     injector.install(std::move(hot_vas), [&wl]() { return wl.asid(); });
     injector.start();
 
@@ -104,14 +143,22 @@ runChaos(const ChaosParams &p)
     const auto run = wl.run([&result]() { return result.watchdogFired; });
     injector.stop();
     watchdog.disarm();
+    if (p.defectVictimBypass) {
+        sys.engine().setSigBypassForTest({});
+        sys.sim().events().detach(&victims);
+    }
+    result.capturedScript = injector.captured();
 
     result.completed = wl.unitsCompleted() == p.totalUnits;
     result.counterSum = wl.counterSum();
     result.expectedSum = wl.expectedIncrements();
     result.sumOk = result.counterSum == result.expectedSum;
     result.violations = oracle.violationCount();
-    if (!oracle.ok())
+    if (!oracle.ok()) {
         result.oracleReport = oracle.report();
+        result.firstViolation =
+            violationKindName(oracle.violations().front().kind);
+    }
     result.commits = sys.stats().counterValue("tm.commits");
     result.aborts = sys.stats().counterValue("tm.aborts");
     result.faultsInjected = injector.injected();

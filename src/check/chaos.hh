@@ -15,9 +15,11 @@
 #ifndef LOGTM_CHECK_CHAOS_HH
 #define LOGTM_CHECK_CHAOS_HH
 
+#include <optional>
 #include <string>
 
 #include "check/fault_injector.hh"
+#include "check/fingerprint.hh"
 #include "check/oracle.hh"
 #include "check/watchdog.hh"
 
@@ -33,6 +35,22 @@ struct ChaosParams
     uint32_t numCounters = 8;
     SignatureConfig signature = sigBS(256);
     Cycle watchdogThreshold = 300'000;
+
+    /** Replay exactly these fault events instead of drawing from
+     *  `faults` (whose tickInterval still sets the tick cadence). */
+    std::optional<FaultScript> script;
+
+    /** Stochastic runs only: record fired faults in
+     *  ChaosResult::capturedScript for later scripted replay. */
+    bool captureScript = false;
+
+    /**
+     * Plant a deterministic defect: every block the injector
+     * victimizes is dropped from conflict-signature lookups, so the
+     * oracle convicts iff a Victimize fault fired. Triage tests use
+     * this to get a failure whose *cause* is one known fault event.
+     */
+    bool defectVictimBypass = false;
 };
 
 struct ChaosResult
@@ -45,6 +63,11 @@ struct ChaosResult
     uint64_t violations = 0;     ///< oracle violations
     std::string oracleReport;    ///< empty when clean
     std::string watchdogReport;  ///< empty unless fired
+    /** First oracle violation's kind name ("dirtyRead", ...); the
+     *  failure-fingerprint detail. Empty when the oracle is clean. */
+    std::string firstViolation;
+    /** Faults that fired, when ChaosParams::captureScript was set. */
+    FaultScript capturedScript;
     uint64_t commits = 0;
     uint64_t aborts = 0;
     uint64_t faultsInjected = 0;
@@ -57,6 +80,10 @@ struct ChaosResult
     {
         return completed && !watchdogFired && sumOk && violations == 0;
     }
+
+    /** Severity-ranked failure classification (see fingerprint.hh). */
+    FailureFingerprint fingerprint() const
+    { return classifyFailure(*this); }
 
     /** One-line verdict + repro flags (+ reports on failure). */
     std::string describe() const;

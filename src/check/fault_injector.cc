@@ -1,5 +1,6 @@
 #include "check/fault_injector.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -16,21 +17,6 @@ constexpr Cycle reschedulePollCycles = 64;
 constexpr Cycle maxInjectedDelay = 24;
 
 } // namespace
-
-const char *
-faultKindName(FaultKind k)
-{
-    switch (k) {
-      case FaultKind::Victimize:    return "victimize";
-      case FaultKind::Desched:      return "desched";
-      case FaultKind::Migrate:      return "migrate";
-      case FaultKind::Relocate:     return "relocate";
-      case FaultKind::MeshDelay:    return "meshDelay";
-      case FaultKind::SpuriousNack: return "spuriousNack";
-      case FaultKind::NumKinds:     break;
-    }
-    return "unknown";
-}
 
 bool
 FaultPlan::any() const
@@ -102,7 +88,8 @@ FaultPlan::parse(const std::string &spec)
 FaultInjector::FaultInjector(TmSystem &sys, const FaultPlan &plan,
                              uint64_t seed)
     : sys_(sys), plan_(plan),
-      rng_(seed ^ 0xc4a05fau)  // decorrelate from the system RNG
+      rng_(seed ^ 0xc4a05fau),  // decorrelate from the system RNG
+      scripted_(false)
 {
     if (plan_.nackPct > 75) {
         logtm_fatal("nack probability " +
@@ -116,6 +103,122 @@ FaultInjector::FaultInjector(TmSystem &sys, const FaultPlan &plan,
     }
 }
 
+FaultInjector::FaultInjector(TmSystem &sys, const FaultScript &script,
+                             Cycle tickInterval)
+    : sys_(sys), scripted_(true)
+{
+    logtm_assert(tickInterval != 0,
+                 "scripted tick interval must be nonzero");
+    plan_.tickInterval = tickInterval;
+    for (const ScriptedFault &ev : script.events) {
+        switch (ev.kind) {
+          case FaultKind::MeshDelay:
+            delayEvents_[ev.at] = ev.seed;
+            break;
+          case FaultKind::SpuriousNack:
+            nackEvents_[ev.at] = ev.seed;
+            break;
+          default:
+            tickEvents_.push_back(ev);
+            break;
+        }
+    }
+    // Stable: events captured within one tick replay in fire order.
+    std::stable_sort(tickEvents_.begin(), tickEvents_.end(),
+                     [](const ScriptedFault &a, const ScriptedFault &b) {
+                         return a.at < b.at;
+                     });
+    for (size_t k = 0; k < counters_.size(); ++k) {
+        counters_[k] = &sys_.stats().counter(
+            std::string("chk.faults.") +
+            faultKindName(static_cast<FaultKind>(k)));
+    }
+}
+
+void
+FaultInjector::enableCapture()
+{
+    logtm_assert(!scripted_,
+                 "capture only makes sense in stochastic mode");
+    capture_ = true;
+}
+
+void
+FaultInjector::installDelayHook()
+{
+    MemorySystem &mem = sys_.mem();
+    if (mem.snooping()) {
+        mem.bus().setDelayHook([this](const BusRequest &) -> Cycle {
+            if (stopped_)
+                return 0;
+            const uint64_t idx = delayQueries_++;
+            if (scripted_) {
+                const auto it = delayEvents_.find(idx);
+                if (it == delayEvents_.end())
+                    return 0;
+                return delayHook(it->second, idx);
+            }
+            if (!rng_.percent(plan_.delayPct))
+                return 0;
+            return delayHook(rng_.next(), idx);
+        });
+    } else {
+        mem.mesh().setDelayHook([this](const Msg &) -> Cycle {
+            if (stopped_)
+                return 0;
+            const uint64_t idx = delayQueries_++;
+            if (scripted_) {
+                const auto it = delayEvents_.find(idx);
+                if (it == delayEvents_.end())
+                    return 0;
+                return delayHook(it->second, idx);
+            }
+            if (!rng_.percent(plan_.delayPct))
+                return 0;
+            return delayHook(rng_.next(), idx);
+        });
+    }
+}
+
+Cycle
+FaultInjector::delayHook(uint64_t seed, uint64_t at)
+{
+    Rng ev(seed);
+    const Cycle d = ev.range(1, maxInjectedDelay);
+    fire(FaultKind::MeshDelay, d, at, seed);
+    return d;
+}
+
+void
+FaultInjector::installNackHooks()
+{
+    MemorySystem &mem = sys_.mem();
+    const auto hook = [this](PhysAddr block) {
+        if (stopped_)
+            return false;
+        const uint64_t idx = nackQueries_++;
+        if (scripted_) {
+            const auto it = nackEvents_.find(idx);
+            if (it == nackEvents_.end())
+                return false;
+            fire(FaultKind::SpuriousNack, block, idx, it->second);
+            return true;
+        }
+        if (!rng_.percent(plan_.nackPct))
+            return false;
+        // The nack needs no private decisions; the seed keeps the
+        // captured-event format uniform.
+        fire(FaultKind::SpuriousNack, block, idx, rng_.next());
+        return true;
+    };
+    for (CoreId c = 0; c < sys_.config().numCores; ++c) {
+        if (mem.snooping())
+            mem.snoopL1(c).setSpuriousNackHook(hook);
+        else
+            mem.l1(c).setSpuriousNackHook(hook);
+    }
+}
+
 void
 FaultInjector::install(std::vector<VirtAddr> hotVas,
                        std::function<Asid()> asidOf)
@@ -124,40 +227,14 @@ FaultInjector::install(std::vector<VirtAddr> hotVas,
     asidOf_ = std::move(asidOf);
     installed_ = true;
 
-    MemorySystem &mem = sys_.mem();
-    if (plan_.delayPct) {
-        if (mem.snooping()) {
-            mem.bus().setDelayHook([this](const BusRequest &) -> Cycle {
-                if (stopped_ || !rng_.percent(plan_.delayPct))
-                    return 0;
-                const Cycle d = rng_.range(1, maxInjectedDelay);
-                fire(FaultKind::MeshDelay, d);
-                return d;
-            });
-        } else {
-            mem.mesh().setDelayHook([this](const Msg &) -> Cycle {
-                if (stopped_ || !rng_.percent(plan_.delayPct))
-                    return 0;
-                const Cycle d = rng_.range(1, maxInjectedDelay);
-                fire(FaultKind::MeshDelay, d);
-                return d;
-            });
-        }
-    }
-    if (plan_.nackPct) {
-        const auto hook = [this](PhysAddr block) {
-            if (stopped_ || !rng_.percent(plan_.nackPct))
-                return false;
-            fire(FaultKind::SpuriousNack, block);
-            return true;
-        };
-        for (CoreId c = 0; c < sys_.config().numCores; ++c) {
-            if (mem.snooping())
-                mem.snoopL1(c).setSpuriousNackHook(hook);
-            else
-                mem.l1(c).setSpuriousNackHook(hook);
-        }
-    }
+    const bool wantDelay =
+        scripted_ ? !delayEvents_.empty() : plan_.delayPct != 0;
+    const bool wantNack =
+        scripted_ ? !nackEvents_.empty() : plan_.nackPct != 0;
+    if (wantDelay)
+        installDelayHook();
+    if (wantNack)
+        installNackHooks();
 }
 
 void
@@ -176,11 +253,14 @@ FaultInjector::stop()
 }
 
 void
-FaultInjector::fire(FaultKind k, uint64_t detail)
+FaultInjector::fire(FaultKind k, uint64_t detail, uint64_t at,
+                    uint64_t seed)
 {
     ++injected_;
     ++perKind_[static_cast<size_t>(k)];
     ++*counters_[static_cast<size_t>(k)];
+    if (capture_)
+        captured_.events.push_back({at, k, seed});
     logtm_obs_emit(sys_.sim().events(),
                    ObsEvent{.cycle = sys_.now(),
                          .kind = EventKind::ChkFault,
@@ -192,24 +272,55 @@ FaultInjector::tick()
 {
     if (stopped_)
         return;
-    if (plan_.victimPct && rng_.percent(plan_.victimPct))
-        victimizeRandom();
-    if (plan_.deschedPct && rng_.percent(plan_.deschedPct))
-        preemptRandom(false);
-    if (plan_.migratePct && rng_.percent(plan_.migratePct))
-        preemptRandom(true);
-    if (plan_.relocatePct && rng_.percent(plan_.relocatePct))
-        relocateRandom();
+    if (scripted_) {
+        const Cycle now = sys_.now();
+        // Events whose tick already passed can never fire (a hand-
+        // edited script only); skip them so the cursor advances.
+        while (tickCursor_ < tickEvents_.size() &&
+               tickEvents_[tickCursor_].at < now)
+            ++tickCursor_;
+        while (tickCursor_ < tickEvents_.size() &&
+               tickEvents_[tickCursor_].at == now) {
+            const ScriptedFault &ev = tickEvents_[tickCursor_++];
+            runTickFault(ev.kind, ev.seed);
+        }
+    } else {
+        // Order matters: each kind's percent draw and each fired
+        // fault's seed draw consume the shared stream in this fixed
+        // sequence, making the capture replayable.
+        if (plan_.victimPct && rng_.percent(plan_.victimPct))
+            runTickFault(FaultKind::Victimize, rng_.next());
+        if (plan_.deschedPct && rng_.percent(plan_.deschedPct))
+            runTickFault(FaultKind::Desched, rng_.next());
+        if (plan_.migratePct && rng_.percent(plan_.migratePct))
+            runTickFault(FaultKind::Migrate, rng_.next());
+        if (plan_.relocatePct && rng_.percent(plan_.relocatePct))
+            runTickFault(FaultKind::Relocate, rng_.next());
+    }
     sys_.sim().queue().scheduleIn(plan_.tickInterval,
                                   [this]() { tick(); });
 }
 
 void
-FaultInjector::victimizeRandom()
+FaultInjector::runTickFault(FaultKind kind, uint64_t seed)
 {
+    switch (kind) {
+      case FaultKind::Victimize: victimize(seed); break;
+      case FaultKind::Desched:   preempt(false, seed); break;
+      case FaultKind::Migrate:   preempt(true, seed); break;
+      case FaultKind::Relocate:  relocate(seed); break;
+      default:
+        logtm_fatal("hook-driven fault kind in a tick slot");
+    }
+}
+
+void
+FaultInjector::victimize(uint64_t seed)
+{
+    Rng ev(seed);
     MemorySystem &mem = sys_.mem();
     const CoreId core =
-        static_cast<CoreId>(rng_.below(sys_.config().numCores));
+        static_cast<CoreId>(ev.below(sys_.config().numCores));
 
     std::vector<PhysAddr> all;
     std::vector<PhysAddr> transactional;
@@ -230,33 +341,37 @@ FaultInjector::victimizeRandom()
         transactional.empty() ? all : transactional;
     if (pool.empty())
         return;
-    const PhysAddr block = pool[rng_.below(pool.size())];
+    const PhysAddr block = pool[ev.below(pool.size())];
 
     const bool evicted = mem.snooping()
         ? mem.snoopL1(core).forceEvict(block)
         : mem.l1(core).forceEvict(block);
     if (evicted)
-        fire(FaultKind::Victimize, block);
+        fire(FaultKind::Victimize, block, sys_.now(), seed);
 }
 
 void
-FaultInjector::preemptRandom(bool migrate)
+FaultInjector::preempt(bool migrate, uint64_t seed)
 {
+    Rng ev(seed);
     const uint32_t n = sys_.engine().numThreads();
     if (n == 0)
         return;
-    const ThreadId t = static_cast<ThreadId>(rng_.below(n));
+    const ThreadId t = static_cast<ThreadId>(ev.below(n));
     OsKernel &os = sys_.os();
     if (os.contextOf(t) == invalidCtx || os.preemptPending(t))
         return;  // already off-core or already targeted
     os.requestPreempt(t);
-    fire(migrate ? FaultKind::Migrate : FaultKind::Desched, t);
+    fire(migrate ? FaultKind::Migrate : FaultKind::Desched, t,
+         sys_.now(), seed);
+    // The poll chain keeps drawing (the migration target) from the
+    // event's private stream, passed by value through the closures.
     sys_.sim().queue().scheduleIn(reschedulePollCycles,
-        [this, t, migrate]() { pollReschedule(t, migrate); });
+        [this, t, migrate, ev]() { pollReschedule(t, migrate, ev); });
 }
 
 void
-FaultInjector::pollReschedule(ThreadId t, bool migrate)
+FaultInjector::pollReschedule(ThreadId t, bool migrate, Rng rng)
 {
     OsKernel &os = sys_.os();
     if (os.contextOf(t) == invalidCtx) {
@@ -269,7 +384,7 @@ FaultInjector::pollReschedule(ThreadId t, bool migrate)
                     free.push_back(c);
             }
             if (!free.empty()) {
-                os.scheduleThread(t, free[rng_.below(free.size())]);
+                os.scheduleThread(t, free[rng.below(free.size())]);
                 return;
             }
         }
@@ -281,14 +396,17 @@ FaultInjector::pollReschedule(ThreadId t, bool migrate)
         // and never will be); keep watching so no thread is ever
         // left descheduled without a reschedule pending.
         sys_.sim().queue().scheduleIn(reschedulePollCycles,
-            [this, t, migrate]() { pollReschedule(t, migrate); });
+            [this, t, migrate, rng]() {
+                pollReschedule(t, migrate, rng);
+            });
     }
     // else: serviced and rescheduled by an overlapping fault — done.
 }
 
 void
-FaultInjector::relocateRandom()
+FaultInjector::relocate(uint64_t seed)
 {
+    Rng ev(seed);
     if (hotVas_.empty() || !asidOf_)
         return;
     // Quiescence gate: an in-flight access captured its physical
@@ -296,10 +414,10 @@ FaultInjector::relocateRandom()
     // a lost update no real machine could exhibit.
     if (sys_.engine().opsInFlight() != 0)
         return;
-    const VirtAddr va = hotVas_[rng_.below(hotVas_.size())];
+    const VirtAddr va = hotVas_[ev.below(hotVas_.size())];
     const Asid asid = asidOf_();
     const uint64_t new_page = sys_.os().relocatePage(asid, va);
-    fire(FaultKind::Relocate, new_page);
+    fire(FaultKind::Relocate, new_page, sys_.now(), seed);
 }
 
 } // namespace logtm

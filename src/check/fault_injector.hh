@@ -23,9 +23,20 @@
  *    non-conflict NACKs that force the requester to retry.
  *
  * Every injected fault bumps a "chk.faults.<kind>" counter and
- * publishes a ChkFault observability event. All randomness comes
- * from one Rng seeded from the run seed, so a failing run replays
- * exactly from its printed --seed/--faults flags.
+ * publishes a ChkFault observability event.
+ *
+ * The injector runs in one of two modes:
+ *
+ *  - **Stochastic** (a FaultPlan): whether each kind fires is drawn
+ *    from the shared injector RNG, but every fault that does fire
+ *    gets a private per-event seed and makes all of its internal
+ *    decisions from that seed alone. With capture enabled the fired
+ *    events are recorded as a FaultScript.
+ *  - **Scripted** (a FaultScript, see fault_script.hh): the exact
+ *    recorded events replay — same tick cadence, same hook-query
+ *    indexes, same per-event seeds — so a full-script replay is
+ *    bit-identical to its capture run, and delta-debugged subsets
+ *    stay meaningful because events cannot perturb each other.
  */
 
 #ifndef LOGTM_CHECK_FAULT_INJECTOR_HH
@@ -34,24 +45,14 @@
 #include <array>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "check/fault_script.hh"
 #include "common/rng.hh"
 #include "os/tm_system.hh"
 
 namespace logtm {
-
-enum class FaultKind : uint8_t {
-    Victimize,
-    Desched,
-    Migrate,
-    Relocate,
-    MeshDelay,
-    SpuriousNack,
-    NumKinds,
-};
-
-const char *faultKindName(FaultKind k);
 
 /**
  * Probabilities are percentages: per injector tick for the
@@ -80,7 +81,16 @@ struct FaultPlan
 class FaultInjector
 {
   public:
+    /** Stochastic mode: fire faults per @p plan from @p seed. */
     FaultInjector(TmSystem &sys, const FaultPlan &plan, uint64_t seed);
+
+    /**
+     * Scripted mode: replay exactly @p script. @p tickInterval must
+     * match the capture run's so the tick chain consumes the same
+     * event-queue sequence numbers.
+     */
+    FaultInjector(TmSystem &sys, const FaultScript &script,
+                  Cycle tickInterval);
 
     /**
      * Install the message/access hooks and remember the relocation
@@ -98,25 +108,53 @@ class FaultInjector
      *  thread is left descheduled forever). */
     void stop();
 
+    /** Stochastic mode only: record fired events as a FaultScript.
+     *  Call before start(). */
+    void enableCapture();
+
+    /** Events recorded since enableCapture(). */
+    const FaultScript &captured() const { return captured_; }
+
     uint64_t injected() const { return injected_; }
     uint64_t injectedOf(FaultKind k) const
     { return perKind_[static_cast<size_t>(k)]; }
 
   private:
     void tick();
-    void fire(FaultKind k, uint64_t detail);
-    void victimizeRandom();
-    void preemptRandom(bool migrate);
-    void pollReschedule(ThreadId t, bool migrate);
-    void relocateRandom();
+    void fire(FaultKind k, uint64_t detail, uint64_t at, uint64_t seed);
+    /** Dispatch one tick-driven fault from its private seed. */
+    void runTickFault(FaultKind kind, uint64_t seed);
+    void victimize(uint64_t seed);
+    void preempt(bool migrate, uint64_t seed);
+    void pollReschedule(ThreadId t, bool migrate, Rng rng);
+    void relocate(uint64_t seed);
+    Cycle delayHook(uint64_t seed, uint64_t at);
+    bool hookWantsDelay() { return delayEvents_.count(delayQueries_); }
+    void installDelayHook();
+    void installNackHooks();
 
     TmSystem &sys_;
     FaultPlan plan_;
     Rng rng_;
+    const bool scripted_;
     bool stopped_ = false;
     bool installed_ = false;
+    bool capture_ = false;
     std::vector<VirtAddr> hotVas_;
     std::function<Asid()> asidOf_;
+
+    /** Scripted mode: tick-driven events sorted by cycle, walked
+     *  with a cursor; hook-driven events keyed by query index. */
+    std::vector<ScriptedFault> tickEvents_;
+    size_t tickCursor_ = 0;
+    std::unordered_map<uint64_t, uint64_t> delayEvents_;
+    std::unordered_map<uint64_t, uint64_t> nackEvents_;
+
+    /** Hook-query occurrence counters (both modes). */
+    uint64_t delayQueries_ = 0;
+    uint64_t nackQueries_ = 0;
+
+    FaultScript captured_;
 
     uint64_t injected_ = 0;
     std::array<uint64_t, static_cast<size_t>(FaultKind::NumKinds)>

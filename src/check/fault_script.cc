@@ -1,0 +1,81 @@
+#include "check/fault_script.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::Victimize:    return "victimize";
+      case FaultKind::Desched:      return "desched";
+      case FaultKind::Migrate:      return "migrate";
+      case FaultKind::Relocate:     return "relocate";
+      case FaultKind::MeshDelay:    return "meshDelay";
+      case FaultKind::SpuriousNack: return "spuriousNack";
+      case FaultKind::NumKinds:     break;
+    }
+    return "unknown";
+}
+
+bool
+parseFaultKind(const std::string &s, FaultKind *out)
+{
+    for (size_t k = 0; k < static_cast<size_t>(FaultKind::NumKinds);
+         ++k) {
+        if (s == faultKindName(static_cast<FaultKind>(k))) {
+            *out = static_cast<FaultKind>(k);
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FaultScript::format() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < events.size(); ++i) {
+        if (i)
+            os << ";";
+        os << faultKindName(events[i].kind) << "@" << events[i].at
+           << "#" << events[i].seed;
+    }
+    return os.str();
+}
+
+FaultScript
+FaultScript::parse(const std::string &spec)
+{
+    FaultScript script;
+    std::istringstream is(spec);
+    std::string item;
+    while (std::getline(is, item, ';')) {
+        if (item.empty())
+            continue;
+        const size_t atPos = item.find('@');
+        const size_t hashPos = item.find('#');
+        if (atPos == std::string::npos || hashPos == std::string::npos ||
+            hashPos < atPos) {
+            logtm_fatal("bad scripted fault '" + item +
+                        "' (want kind@at#seed)");
+        }
+        ScriptedFault ev;
+        if (!parseFaultKind(item.substr(0, atPos), &ev.kind))
+            logtm_fatal("unknown fault kind in '" + item + "'");
+        try {
+            ev.at = std::stoull(item.substr(atPos + 1,
+                                            hashPos - atPos - 1));
+            ev.seed = std::stoull(item.substr(hashPos + 1));
+        } catch (...) {
+            logtm_fatal("bad number in scripted fault '" + item + "'");
+        }
+        script.events.push_back(ev);
+    }
+    return script;
+}
+
+} // namespace logtm

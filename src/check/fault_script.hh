@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scripted fault events: the exact, replayable form of a stochastic
+ * fault run.
+ *
+ * A stochastic FaultPlan fires faults by drawing percentages from the
+ * injector RNG; a FaultScript instead lists each fault explicitly as
+ * (at, kind, seed). `at` is an absolute cycle for the tick-driven
+ * kinds (victimize/desched/migrate/relocate: the injector tick that
+ * fired it) and a hook-query occurrence index for the hook-driven
+ * kinds (meshDelay: Nth delay-hook query; spuriousNack: Nth nack-hook
+ * query). `seed` is the event's private decision stream: every choice
+ * the fault makes (victim core/block, preempted thread, migration
+ * target, delay magnitude) comes from an Rng(seed) owned by that one
+ * event, so removing any other event from the script cannot perturb
+ * it — the property delta-debug minimization (src/triage/) depends
+ * on.
+ *
+ * A capture-enabled stochastic run records exactly the events it
+ * fired; replaying that script on the same configuration reproduces
+ * the run bit-for-bit (tests/test_triage.cc pins this).
+ */
+
+#ifndef LOGTM_CHECK_FAULT_SCRIPT_HH
+#define LOGTM_CHECK_FAULT_SCRIPT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace logtm {
+
+enum class FaultKind : uint8_t {
+    Victimize,
+    Desched,
+    Migrate,
+    Relocate,
+    MeshDelay,
+    SpuriousNack,
+    NumKinds,
+};
+
+const char *faultKindName(FaultKind k);
+
+/** Inverse of faultKindName; false if unknown. */
+bool parseFaultKind(const std::string &s, FaultKind *out);
+
+/** One scripted fault event. */
+struct ScriptedFault
+{
+    uint64_t at = 0;     ///< cycle (tick kinds) / query index (hooks)
+    FaultKind kind = FaultKind::NumKinds;
+    uint64_t seed = 0;   ///< private decision stream
+
+    bool operator==(const ScriptedFault &) const = default;
+};
+
+struct FaultScript
+{
+    std::vector<ScriptedFault> events;
+
+    bool empty() const { return events.empty(); }
+    size_t size() const { return events.size(); }
+    bool operator==(const FaultScript &) const = default;
+
+    /** "victimize@400#77;meshDelay@17#5" — parse() round-trips.
+     *  Empty scripts format as "". */
+    std::string format() const;
+
+    /** Parse a format() string; fatal on malformed input. */
+    static FaultScript parse(const std::string &spec);
+};
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_FAULT_SCRIPT_HH

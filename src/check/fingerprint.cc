@@ -1,0 +1,67 @@
+#include "check/fingerprint.hh"
+
+#include "check/chaos.hh"
+#include "common/log.hh"
+
+namespace logtm {
+
+const char *
+failureClassName(FailureClass c)
+{
+    switch (c) {
+      case FailureClass::Clean:       return "clean";
+      case FailureClass::Incomplete:  return "incomplete";
+      case FailureClass::Watchdog:    return "watchdog";
+      case FailureClass::SumMismatch: return "sumMismatch";
+      case FailureClass::Oracle:      return "oracle";
+    }
+    return "unknown";
+}
+
+std::string
+FailureFingerprint::format() const
+{
+    std::string s = failureClassName(cls);
+    if (!detail.empty())
+        s += ":" + detail;
+    return s;
+}
+
+FailureFingerprint
+FailureFingerprint::parse(const std::string &s)
+{
+    FailureFingerprint fp;
+    const size_t colon = s.find(':');
+    const std::string cls = s.substr(0, colon);
+    if (colon != std::string::npos)
+        fp.detail = s.substr(colon + 1);
+    for (const FailureClass c :
+         {FailureClass::Clean, FailureClass::Incomplete,
+          FailureClass::Watchdog, FailureClass::SumMismatch,
+          FailureClass::Oracle}) {
+        if (cls == failureClassName(c)) {
+            fp.cls = c;
+            return fp;
+        }
+    }
+    logtm_fatal("unknown failure fingerprint '" + s + "'");
+}
+
+FailureFingerprint
+classifyFailure(const ChaosResult &r)
+{
+    FailureFingerprint fp;
+    if (r.violations > 0) {
+        fp.cls = FailureClass::Oracle;
+        fp.detail = r.firstViolation;
+    } else if (!r.sumOk) {
+        fp.cls = FailureClass::SumMismatch;
+    } else if (r.watchdogFired) {
+        fp.cls = FailureClass::Watchdog;
+    } else if (!r.completed) {
+        fp.cls = FailureClass::Incomplete;
+    }
+    return fp;
+}
+
+} // namespace logtm

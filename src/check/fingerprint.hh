@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Failure fingerprints: a small, stable classification of what went
+ * wrong in a chaos run, so triage can decide whether two runs failed
+ * the *same* way. Delta-debug minimization (src/triage/minimizer.cc)
+ * keeps a candidate only when its fingerprint matches the original
+ * failure's — shrinking to "a failure, any failure" would happily
+ * swap a lost update for an unrelated watchdog hang.
+ *
+ * Severity order (highest wins when a run exhibits several):
+ *   oracle violation (with first violation kind as detail)
+ *   > counter-sum mismatch > watchdog fire > incomplete run > clean.
+ */
+
+#ifndef LOGTM_CHECK_FINGERPRINT_HH
+#define LOGTM_CHECK_FINGERPRINT_HH
+
+#include <string>
+
+namespace logtm {
+
+struct ChaosResult;
+
+enum class FailureClass : uint8_t {
+    Clean,        ///< run passed every check
+    Incomplete,   ///< work units left unfinished (no other failure)
+    Watchdog,     ///< livelock watchdog fired
+    SumMismatch,  ///< counter-sum atomicity invariant broken
+    Oracle,       ///< shadow-memory oracle convicted
+};
+
+const char *failureClassName(FailureClass c);
+
+struct FailureFingerprint
+{
+    FailureClass cls = FailureClass::Clean;
+    /** Oracle failures only: first violation's kind name
+     *  ("dirtyRead", ...); empty otherwise. */
+    std::string detail;
+
+    bool failed() const { return cls != FailureClass::Clean; }
+    bool operator==(const FailureFingerprint &) const = default;
+
+    /** "oracle:dirtyRead", "watchdog", "clean", ... */
+    std::string format() const;
+
+    /** Parse a format() string; fatal on malformed input. */
+    static FailureFingerprint parse(const std::string &s);
+};
+
+/** Classify a finished chaos run (see severity order above). */
+FailureFingerprint classifyFailure(const ChaosResult &result);
+
+} // namespace logtm
+
+#endif // LOGTM_CHECK_FINGERPRINT_HH

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/log.hh"
+
 namespace logtm {
 
 /** xoshiro256** by Blackman & Vigna: fast, high quality, tiny state. */
@@ -48,18 +50,41 @@ class Rng
         return result;
     }
 
-    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    /**
+     * Uniform integer in [0, bound). @p bound must be nonzero (a zero
+     * bound names an empty interval, so it panics rather than divide
+     * by zero). Unbiased: Lemire's multiply-shift draw with rejection
+     * of the short low fraction, so non-power-of-two bounds do not
+     * favour small values the way plain modulo does.
+     */
     uint64_t
     below(uint64_t bound)
     {
-        return next() % bound;
+        logtm_assert(bound != 0, "Rng::below bound must be nonzero");
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<uint64_t>(m);
+        if (low < bound) {
+            // 2^64 mod bound, computed without 128-bit division.
+            const uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /** Uniform integer in [lo, hi] inclusive. Handles the full 64-bit
+     *  span (lo=0, hi=2^64-1), where hi - lo + 1 wraps to zero. */
     uint64_t
     range(uint64_t lo, uint64_t hi)
     {
-        return lo + below(hi - lo + 1);
+        logtm_assert(lo <= hi, "Rng::range bounds inverted");
+        const uint64_t span = hi - lo + 1;
+        if (span == 0)
+            return next();
+        return lo + below(span);
     }
 
     /** Bernoulli trial with probability @p p_percent / 100. */

@@ -22,6 +22,12 @@ Histogram::percentile(double p) const
     const uint64_t rank = std::max<uint64_t>(
         1, static_cast<uint64_t>(std::ceil(p / 100.0 *
                                            static_cast<double>(n))));
+    // The extreme ranks are the tracked scalar extremes; report them
+    // exactly rather than a bucket-interpolated approximation.
+    if (rank >= n)
+        return scalar_.max();
+    if (rank == 1)
+        return scalar_.min();
     uint64_t seen = 0;
     for (unsigned i = 0; i < buckets_.size(); ++i) {
         if (buckets_[i] == 0)

@@ -1,35 +1,6 @@
 #include "mem/data_store.hh"
 
-#include <cstdlib>
-
 namespace logtm {
-
-namespace {
-
-DataStoreMode
-modeFromEnv()
-{
-    const char *env = std::getenv("LOGTM_LEGACY_DATASTORE");
-    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
-        return DataStoreMode::LegacyWordMap;
-    return DataStoreMode::PagedFlat;
-}
-
-DataStoreMode defaultMode_ = modeFromEnv();
-
-} // namespace
-
-DataStoreMode
-DataStore::defaultMode()
-{
-    return defaultMode_;
-}
-
-void
-DataStore::setDefaultMode(DataStoreMode mode)
-{
-    defaultMode_ = mode;
-}
 
 const DataStore::Page *
 DataStore::findPage(uint64_t page_num) const
@@ -63,18 +34,6 @@ DataStore::getPage(uint64_t page_num)
 void
 DataStore::copyPage(uint64_t from_page, uint64_t to_page)
 {
-    if (legacy_) {
-        const PhysAddr from_base = from_page << pageBytesLog2;
-        const PhysAddr to_base = to_page << pageBytesLog2;
-        for (uint64_t off = 0; off < pageBytes; off += 8) {
-            auto it = legacyWords_.find(from_base + off);
-            if (it != legacyWords_.end())
-                legacyWords_[to_base + off] = it->second;
-            else
-                legacyWords_.erase(to_base + off);
-        }
-        return;
-    }
     const Page *src = findPage(from_page);
     Page *dst = const_cast<Page *>(findPage(to_page));
     if (!src && !dst)

@@ -17,11 +17,8 @@
  * Semantics match the original word-map exactly: never-written words
  * read as 0, footprintWords() counts words ever written, and
  * copyPage() overwrites the destination page's words with the
- * source's, erasing destination words the source never wrote.
- *
- * The original word-map survives as a legacy mode
- * (LOGTM_LEGACY_DATASTORE / setDefaultMode) for the differential
- * harness and the perf A/B; see docs/PERFORMANCE.md.
+ * source's, erasing destination words the source never wrote
+ * (docs/PERFORMANCE.md).
  */
 
 #ifndef LOGTM_MEM_DATA_STORE_HH
@@ -39,13 +36,6 @@
 
 namespace logtm {
 
-/** Storage backend for DataStore, chosen at construction. */
-enum class DataStoreMode
-{
-    PagedFlat,      ///< flat page arrays (default)
-    LegacyWordMap,  ///< original per-word hash map
-};
-
 class DataStore
 {
   public:
@@ -55,12 +45,7 @@ class DataStore
      *  (grown on demand); higher pages fall back to the sparse map. */
     static constexpr uint64_t densePageLimit = 1ull << 16;
 
-    /** Mode applied to DataStores constructed afterwards. The initial
-     *  default honours $LOGTM_LEGACY_DATASTORE. */
-    static DataStoreMode defaultMode();
-    static void setDefaultMode(DataStoreMode mode);
-
-    DataStore() : legacy_(defaultMode() == DataStoreMode::LegacyWordMap) {}
+    DataStore() = default;
 
     /** Read the 8-byte word at @p addr (must be 8-byte aligned).
      *  Words never written read as 0. */
@@ -68,10 +53,6 @@ class DataStore
     load(PhysAddr addr) const
     {
         logtm_assert((addr & 7) == 0, "unaligned word load");
-        if (legacy_) [[unlikely]] {
-            auto it = legacyWords_.find(addr);
-            return it == legacyWords_.end() ? 0 : it->second;
-        }
         const Page *page = findPage(addr >> pageBytesLog2);
         if (!page)
             return 0;
@@ -83,10 +64,6 @@ class DataStore
     store(PhysAddr addr, uint64_t value)
     {
         logtm_assert((addr & 7) == 0, "unaligned word store");
-        if (legacy_) [[unlikely]] {
-            legacyWords_[addr] = value;
-            return;
-        }
         Page &page = getPage(addr >> pageBytesLog2);
         const uint64_t w = wordIndex(addr);
         page.words[w] = value;
@@ -100,11 +77,7 @@ class DataStore
     }
 
     /** Number of words ever written (footprint stat). */
-    size_t
-    footprintWords() const
-    {
-        return legacy_ ? legacyWords_.size() : footprint_;
-    }
+    size_t footprintWords() const { return footprint_; }
 
     /**
      * Copy all words of physical page @p from_page to @p to_page
@@ -131,14 +104,11 @@ class DataStore
     const Page *findPage(uint64_t page_num) const;
     Page &getPage(uint64_t page_num);
 
-    const bool legacy_;
     /** Direct-mapped table for page numbers < densePageLimit. */
     std::vector<std::unique_ptr<Page>> dense_;
     /** Fallback for sparse high physical pages. */
     std::unordered_map<uint64_t, std::unique_ptr<Page>> sparse_;
     size_t footprint_ = 0;
-    /** LegacyWordMap storage: one hash entry per written word. */
-    std::unordered_map<PhysAddr, uint64_t> legacyWords_;
 };
 
 } // namespace logtm

@@ -1,0 +1,97 @@
+#include "obs/trace_pin.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace logtm {
+
+namespace {
+
+constexpr uint64_t fnvOffset = 1469598103934665603ull;
+constexpr uint64_t fnvPrime = 1099511628211ull;
+
+uint64_t
+fnv1a(uint64_t h, const std::string &s)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= fnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+renderTraceLine(const ObsEvent &e)
+{
+    std::ostringstream os;
+    os << "{\"cycle\": " << e.cycle << ", \"kind\": \""
+       << eventKindName(e.kind) << "\", \"ctx\": " << e.ctx
+       << ", \"thread\": " << e.thread << ", \"addr\": " << e.addr
+       << ", \"otherCtx\": " << e.otherCtx
+       << ", \"cause\": " << unsigned(e.cause) << ", \"access\": "
+       << (e.access == AccessType::Write ? "\"W\"" : "\"R\"")
+       << ", \"fp\": " << (e.falsePositive ? "true" : "false")
+       << ", \"a\": " << e.a << ", \"b\": " << e.b << "}";
+    return os.str();
+}
+
+std::string
+renderTraceJson(const std::vector<ObsEvent> &events, size_t limit)
+{
+    std::ostringstream os;
+    os << "[\n";
+    const size_t n = std::min(events.size(), limit);
+    for (size_t i = 0; i < n; ++i) {
+        os << "  " << renderTraceLine(events[i])
+           << (i + 1 < n ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+uint64_t
+traceLineHash(const ObsEvent &ev)
+{
+    return traceLineHash(renderTraceLine(ev));
+}
+
+uint64_t
+traceLineHash(const std::string &renderedLine)
+{
+    return fnv1a(fnvOffset, renderedLine);
+}
+
+std::vector<uint64_t>
+tracePrefixHashes(const std::vector<ObsEvent> &events)
+{
+    std::vector<uint64_t> hashes;
+    hashes.reserve(events.size() + 1);
+    uint64_t h = fnvOffset;
+    hashes.push_back(h);
+    for (const ObsEvent &ev : events) {
+        // Chain per-line hashes so prefix k commits to the first k
+        // whole events (a boundary-free byte hash could not tell
+        // "ab","c" from "a","bc").
+        h = fnv1a(h ^ traceLineHash(ev), "|");
+        hashes.push_back(h);
+    }
+    return hashes;
+}
+
+std::vector<uint64_t>
+tracePrefixHashesOverLines(const std::vector<std::string> &lines)
+{
+    std::vector<uint64_t> hashes;
+    hashes.reserve(lines.size() + 1);
+    uint64_t h = fnvOffset;
+    hashes.push_back(h);
+    for (const std::string &line : lines) {
+        h = fnv1a(h ^ traceLineHash(line), "|");
+        hashes.push_back(h);
+    }
+    return hashes;
+}
+
+} // namespace logtm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Canonical trace rendering and prefix hashing.
+ *
+ * The golden-trace determinism pin (tests/test_perf_equivalence.cc)
+ * and the triage divergence bisector (src/triage/bisect.{hh,cc}) both
+ * need the same byte-exact rendering of an ObsEvent stream: the
+ * golden pin compares rendered bytes against a committed baseline,
+ * and the bisector hashes rendered prefixes to binary-search the
+ * first divergent event. Keeping one renderer here guarantees the
+ * two agree on what "the same event" means.
+ */
+
+#ifndef LOGTM_OBS_TRACE_PIN_HH
+#define LOGTM_OBS_TRACE_PIN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace logtm {
+
+/** One event rendered as a single canonical JSON object line (no
+ *  trailing comma or newline). Field set and order are frozen: the
+ *  committed golden baseline depends on these exact bytes. */
+std::string renderTraceLine(const ObsEvent &ev);
+
+/** First min(events.size(), limit) events as a JSON array, one event
+ *  per line — the committed golden_trace.json format. */
+std::string renderTraceJson(const std::vector<ObsEvent> &events,
+                            size_t limit);
+
+/** FNV-1a over a rendered trace line (canonical event identity). */
+uint64_t traceLineHash(const ObsEvent &ev);
+
+/** Same hash computed from an already-rendered line (baseline files
+ *  store lines, not events). traceLineHash(ev) ==
+ *  traceLineHash(renderTraceLine(ev)) by construction. */
+uint64_t traceLineHash(const std::string &renderedLine);
+
+/** Chained prefix hash: hashes[i] covers events [0, i); hashes[0] is
+ *  the FNV offset basis. Two streams share a prefix of length k iff
+ *  their hashes[k] agree (modulo collisions, which the bisector's
+ *  final line-compare step rules out). */
+std::vector<uint64_t> tracePrefixHashes(
+    const std::vector<ObsEvent> &events);
+
+/** Prefix hashes over pre-rendered lines (identical chaining). */
+std::vector<uint64_t> tracePrefixHashesOverLines(
+    const std::vector<std::string> &lines);
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_TRACE_PIN_HH

@@ -12,11 +12,6 @@
  * inline BitSelectSignature methods, falling back to the virtual
  * interface for every other signature kind and for the cold
  * operations (clone/union/enumerate), which stay virtual-only.
- *
- * The fast path can be disabled for differential testing (the A/B
- * harness in tests/test_perf_equivalence.cc proves stats are
- * byte-identical with and without it) via $LOGTM_NO_SIG_FASTPATH=1
- * or setEnabled(false) before the engine is constructed.
  */
 
 #ifndef LOGTM_SIG_SIG_FAST_PATH_HH
@@ -39,7 +34,7 @@ class SigFastRef
     bind(Signature *sig)
     {
         sig_ = sig;
-        bs_ = (sig && enabled() && sig->kind() == SignatureKind::BitSelect)
+        bs_ = (sig && sig->kind() == SignatureKind::BitSelect)
                   ? static_cast<BitSelectSignature *>(sig)
                   : nullptr;
     }
@@ -63,14 +58,6 @@ class SigFastRef
         else
             sig_->insert(block);
     }
-
-    /**
-     * Process-wide switch consulted at bind() time, so flip it before
-     * constructing a system. Defaults to on unless
-     * $LOGTM_NO_SIG_FASTPATH is set to a non-"0" value.
-     */
-    static bool enabled();
-    static void setEnabled(bool on);
 
   private:
     Signature *sig_ = nullptr;

@@ -1,7 +1,6 @@
 #include "sim/event_queue.hh"
 
 #include <bit>
-#include <cstdlib>
 
 #include "common/log.hh"
 
@@ -9,39 +8,14 @@ namespace logtm {
 
 namespace {
 
-EventQueueEngine
-engineFromEnv()
-{
-    const char *env = std::getenv("LOGTM_LEGACY_EVENTQ");
-    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
-        return EventQueueEngine::LegacyHeap;
-    return EventQueueEngine::Calendar;
-}
-
-EventQueueEngine defaultEngine_ = engineFromEnv();
-
 constexpr size_t slabNodes = 256;
 
 } // namespace
 
-void
-EventQueue::setDefaultEngine(EventQueueEngine engine)
+EventQueue::EventQueue()
 {
-    defaultEngine_ = engine;
-}
-
-EventQueueEngine
-EventQueue::defaultEngine()
-{
-    return defaultEngine_;
-}
-
-EventQueue::EventQueue(EventQueueEngine engine) : engine_(engine)
-{
-    if (engine_ == EventQueueEngine::Calendar) {
-        buckets_.resize(calendarHorizon);
-        occupied_.resize(calendarHorizon / 64, 0);
-    }
+    buckets_.resize(calendarHorizon);
+    occupied_.resize(calendarHorizon / 64, 0);
 }
 
 EventQueue::~EventQueue() = default;
@@ -95,13 +69,6 @@ EventQueue::insertNear(Node *n)
 }
 
 void
-EventQueue::pushLegacy(Cycle when, EventPriority prio, uint64_t seq,
-                       std::function<void()> action)
-{
-    heap_.push(LegacyEvent{when, prio, seq, std::move(action)});
-}
-
-void
 EventQueue::linkNode(Node *n)
 {
     // Re-anchor an empty ring at the present so the whole horizon is
@@ -132,7 +99,7 @@ EventQueue::consumeCancelled(uint64_t seq)
 }
 
 // --------------------------------------------------------------------
-// Popping (calendar engine)
+// Popping
 // --------------------------------------------------------------------
 
 void
@@ -225,31 +192,6 @@ EventQueue::popEarliest()
 bool
 EventQueue::stepBounded(Cycle deadline)
 {
-    if (engine_ == EventQueueEngine::LegacyHeap) {
-        while (!heap_.empty()) {
-            if (consumeCancelled(heap_.top().seq)) {
-                heap_.pop();
-                --live_;
-                continue;
-            }
-            if (heap_.top().when > deadline)
-                return false;
-            // priority_queue::top() is const; move out via const_cast,
-            // which is safe because pop() follows immediately.
-            LegacyEvent ev =
-                std::move(const_cast<LegacyEvent &>(heap_.top()));
-            heap_.pop();
-            --live_;
-            logtm_assert(ev.when >= now_,
-                         "event queue time went backwards");
-            now_ = ev.when;
-            ++executed_;
-            ev.action();
-            return true;
-        }
-        return false;
-    }
-
     while (live_ > 0) {
         Node *n = popEarliest();
         if (consumeCancelled(n->seq)) {
@@ -300,16 +242,11 @@ EventQueue::run(Cycle max_cycles)
 void
 EventQueue::clear()
 {
-    if (engine_ == EventQueueEngine::LegacyHeap) {
-        while (!heap_.empty())
-            heap_.pop();
-    } else {
-        while (nearCount_ > 0 || !far_.empty()) {
-            Node *n = popEarliest();
-            freeNode(n);
-        }
-        windowStart_ = 0;
+    while (nearCount_ > 0 || !far_.empty()) {
+        Node *n = popEarliest();
+        freeNode(n);
     }
+    windowStart_ = 0;
     live_ = 0;
     cancelled_.clear();
     now_ = 0;

@@ -6,25 +6,16 @@
  * sequence number breaks ties in scheduling order, making simulation
  * results bit-for-bit reproducible.
  *
- * Two interchangeable engines implement that contract:
- *
- *  - The default **calendar queue**: a slab-allocated event pool plus
- *    a ring of per-tick buckets covering the near future (the common
- *    case: memory latencies, NACK retries, commit latencies are all
- *    within a few thousand cycles). Events beyond the bucket horizon
- *    overflow into a fallback binary heap and migrate into the ring
- *    as time advances. Schedule and pop are O(1) for near events and
- *    event nodes are recycled, so the hot loop performs no per-event
- *    heap allocation or heap sift.
- *
- *  - The **legacy heap**: the original std::function min-heap, kept
- *    for one release behind LOGTM_LEGACY_EVENTQ so the differential
- *    test harness (tests/test_perf_equivalence.cc) can prove the two
- *    engines produce byte-identical simulations.
- *
- * Select the legacy engine with the environment variable
- * LOGTM_LEGACY_EVENTQ=1 or programmatically with
- * EventQueue::setDefaultEngine() before constructing a queue
+ * The implementation is a **calendar queue**: a slab-allocated event
+ * pool plus a ring of per-tick buckets covering the near future (the
+ * common case: memory latencies, NACK retries, commit latencies are
+ * all within a few thousand cycles). Events beyond the bucket horizon
+ * overflow into a fallback binary heap and migrate into the ring as
+ * time advances. Schedule and pop are O(1) for near events and event
+ * nodes are recycled, so the hot loop performs no per-event heap
+ * allocation or heap sift. The ordering contract is locked down by
+ * the randomized property suite in tests/test_event_queue.cc, which
+ * checks execution order against a stable-sort reference
  * (docs/PERFORMANCE.md).
  */
 
@@ -34,7 +25,6 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <new>
 #include <queue>
@@ -127,21 +117,11 @@ constexpr uint32_t numEventPriorities = 3;
  */
 using EventId = uint64_t;
 
-/** Which queue engine backs an EventQueue. */
-enum class EventQueueEngine : uint8_t {
-    Calendar,    ///< slab pool + bucket ring + overflow heap (default)
-    LegacyHeap,  ///< original std::function binary heap
-};
-
 /** Event queue keyed on (when, priority, seq). */
 class EventQueue
 {
   public:
-    /** Construct with the process-default engine (see
-     *  setDefaultEngine / $LOGTM_LEGACY_EVENTQ). */
-    EventQueue() : EventQueue(defaultEngine()) {}
-
-    explicit EventQueue(EventQueueEngine engine);
+    EventQueue();
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -152,15 +132,13 @@ class EventQueue
 
     /**
      * Schedule @p action to run at absolute cycle @p when. Scheduling
-     * in the past (@p when < now()) is a hard error on every engine:
-     * it would silently corrupt the bucket ring's tick->bucket map,
-     * so it panics instead.
+     * in the past (@p when < now()) is a hard error: it would
+     * silently corrupt the bucket ring's tick->bucket map, so it
+     * panics instead.
      *
-     * Templated on the callable so calendar-engine closures are
-     * constructed directly inside the pooled node (no intermediate
-     * std::function, no heap allocation for captures up to
-     * EventAction's inline buffer). The legacy engine wraps the
-     * callable in std::function exactly as the original queue did.
+     * Templated on the callable so closures are constructed directly
+     * inside the pooled node (no intermediate std::function, no heap
+     * allocation for captures up to EventAction's inline buffer).
      *
      * @return a handle usable with cancel()/reschedule().
      */
@@ -173,17 +151,12 @@ class EventQueue
                      "cannot schedule an event in the past");
         const EventId seq = nextSeq_++;
         ++live_;
-        if (engine_ == EventQueueEngine::LegacyHeap) [[unlikely]] {
-            pushLegacy(when, prio, seq,
-                       std::function<void()>(std::forward<F>(action)));
-        } else {
-            Node *n = allocNode();
-            n->when = when;
-            n->seq = seq;
-            n->priority = prio;
-            n->action.emplace(std::forward<F>(action));
-            linkNode(n);
-        }
+        Node *n = allocNode();
+        n->when = when;
+        n->seq = seq;
+        n->priority = prio;
+        n->action.emplace(std::forward<F>(action));
+        linkNode(n);
         return seq;
     }
 
@@ -238,50 +211,14 @@ class EventQueue
      *  accounting for bench_perf; cancelled events do not count). */
     uint64_t executed() const { return executed_; }
 
-    /** Engine backing this queue instance. */
-    EventQueueEngine engine() const { return engine_; }
-
-    /**
-     * Engine used by subsequently constructed queues. The initial
-     * default honours $LOGTM_LEGACY_EVENTQ (non-empty, not "0" =>
-     * legacy heap). Tests toggle this around system construction.
-     */
-    static void setDefaultEngine(EventQueueEngine engine);
-    static EventQueueEngine defaultEngine();
-
     /** Bucket-ring span in cycles; events further out overflow into
      *  the fallback heap (exposed for boundary tests). */
     static constexpr uint32_t calendarHorizonLog2 = 12;
     static constexpr uint32_t calendarHorizon = 1u << calendarHorizonLog2;
 
   private:
-    // ----- shared -----------------------------------------------------
-
-    struct LegacyEvent
-    {
-        Cycle when;
-        EventPriority priority;
-        uint64_t seq;
-        std::function<void()> action;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const LegacyEvent &a, const LegacyEvent &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
-
     /** True when a pending event was cancelled; consumes the mark. */
     bool consumeCancelled(uint64_t seq);
-
-    // ----- calendar engine --------------------------------------------
 
     /** Pooled event node; recycled through freeList_. */
     struct Node
@@ -313,9 +250,6 @@ class EventQueue
         }
     };
 
-    /** Legacy-engine push (out of line so the template stays thin). */
-    void pushLegacy(Cycle when, EventPriority prio, uint64_t seq,
-                    std::function<void()> action);
     /** File a fully formed node under near ring or overflow heap. */
     void linkNode(Node *n);
 
@@ -336,7 +270,6 @@ class EventQueue
 
     // ----- state ------------------------------------------------------
 
-    EventQueueEngine engine_;
     Cycle now_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t executed_ = 0;
@@ -346,11 +279,6 @@ class EventQueue
      *  check-and-erase. Empty in steady state. */
     std::unordered_set<uint64_t> cancelled_;
 
-    // Legacy engine.
-    std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, Later>
-        heap_;
-
-    // Calendar engine.
     std::vector<Bucket> buckets_;            ///< calendarHorizon entries
     std::vector<uint64_t> occupied_;         ///< bucket-occupancy bitmap
     /** Ring anchor: near events all lie in

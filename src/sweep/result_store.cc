@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 #include <thread>
 
@@ -16,6 +17,20 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr const char *schemaTag = "logtm-sweep-result-v1";
+constexpr const char *rawSchemaTag = "logtm-sweep-raw-v1";
+
+std::string
+fnvHex(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << h;
+    return os.str();
+}
 
 } // namespace
 
@@ -99,6 +114,64 @@ ResultStore::erase(const ExperimentConfig &cfg)
     std::lock_guard<std::mutex> lock(mu_);
     std::error_code ec;
     fs::remove(entryPath(cfg), ec);
+}
+
+std::string
+ResultStore::rawEntryPath(const std::string &key) const
+{
+    // "raw-" prefix keeps the two entry families from ever colliding
+    // in one cache directory.
+    return (fs::path(dir_) / ("raw-" + fnvHex(key) + ".json")).string();
+}
+
+std::optional<std::string>
+ResultStore::lookupRaw(const std::string &key) const
+{
+    std::string err;
+    const JsonValue doc =
+        JsonValue::parseFile(rawEntryPath(key), &err);
+    if (!doc.isObject())
+        return std::nullopt;
+    if (doc.getString("schema", "") != rawSchemaTag)
+        return std::nullopt;
+    if (doc.getString("key", "") != key)
+        return std::nullopt;
+    const JsonValue *value = doc.get("value");
+    if (!value || !value->isString())
+        return std::nullopt;
+    return value->asString();
+}
+
+void
+ResultStore::storeRaw(const std::string &key, const std::string &value)
+{
+    std::ostringstream body;
+    JsonWriter w(body);
+    w.beginObject();
+    w.field("schema", rawSchemaTag);
+    w.field("key", key);
+    w.field("value", value);
+    w.endObject();
+
+    const std::string path = rawEntryPath(key);
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    const std::string tmp = path + ".tmp." + tid.str();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            logtm_fatal("cannot write result cache entry '" + tmp + "'");
+        out << body.str() << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        logtm_fatal("cannot finalize result cache entry '" + path +
+                    "'");
+    }
 }
 
 } // namespace logtm::sweep

@@ -42,10 +42,23 @@ class ResultStore
     /** Remove the entry for @p cfg if present (tests, invalidation). */
     void erase(const ExperimentConfig &cfg);
 
+    /**
+     * Raw string entries, for cached values that are not
+     * ExperimentResults (the triage minimizer caches one failure
+     * fingerprint per probe). Same guarantees as lookup()/store():
+     * one file per key, atomic writes, full-key verification on read
+     * so a hash collision is a miss, never a wrong value.
+     */
+    std::optional<std::string> lookupRaw(const std::string &key) const;
+    void storeRaw(const std::string &key, const std::string &value);
+
     const std::string &dir() const { return dir_; }
 
     /** Path of the entry file that lookup/store use for @p cfg. */
     std::string entryPath(const ExperimentConfig &cfg) const;
+
+    /** Path of the entry file backing a raw key. */
+    std::string rawEntryPath(const std::string &key) const;
 
   private:
     std::string dir_;

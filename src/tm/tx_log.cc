@@ -1,37 +1,8 @@
 #include "tm/tx_log.hh"
 
-#include <cstdlib>
-
 #include "common/log.hh"
 
 namespace logtm {
-
-namespace {
-
-TxLogMode
-modeFromEnv()
-{
-    const char *env = std::getenv("LOGTM_LEGACY_TXLOG");
-    if (env && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
-        return TxLogMode::LegacyFrames;
-    return TxLogMode::Arena;
-}
-
-TxLogMode defaultMode_ = modeFromEnv();
-
-} // namespace
-
-TxLogMode
-TxLog::defaultMode()
-{
-    return defaultMode_;
-}
-
-void
-TxLog::setDefaultMode(TxLogMode mode)
-{
-    defaultMode_ = mode;
-}
 
 LogFrame &
 TxLog::pushFrame(const RegisterCheckpoint &ckpt, bool open)
@@ -62,10 +33,6 @@ std::span<const UndoRecord>
 TxLog::topRecords() const
 {
     logtm_assert(!frames_.empty(), "log has no frames");
-    if (legacy_) {
-        const auto &records = frames_.back().records;
-        return {records.data(), records.size()};
-    }
     const size_t begin = frames_.back().recordsBegin;
     return {arena_.data() + begin, arena_.size() - begin};
 }
@@ -74,15 +41,6 @@ void
 TxLog::mergeTopIntoParent()
 {
     logtm_assert(frames_.size() >= 2, "merge requires a parent frame");
-    if (legacy_) {
-        LogFrame child = std::move(frames_.back());
-        frames_.pop_back();
-        LogFrame &parent = frames_.back();
-        parent.records.insert(parent.records.end(),
-                              child.records.begin(),
-                              child.records.end());
-        return;
-    }
     // The child's records sit directly after the parent's in the
     // arena; dropping the child's header hands them to the parent.
     frames_.pop_back();
@@ -94,21 +52,8 @@ TxLog::popFrame()
     logtm_assert(!frames_.empty(), "pop of empty log");
     LogFrame frame = std::move(frames_.back());
     frames_.pop_back();
-    if (!legacy_)
-        arena_.resize(frame.recordsBegin);
+    arena_.resize(frame.recordsBegin);
     return frame;
-}
-
-size_t
-TxLog::totalRecords() const
-{
-    if (legacy_) {
-        size_t n = 0;
-        for (const auto &f : frames_)
-            n += f.records.size();
-        return n;
-    }
-    return arena_.size();
 }
 
 } // namespace logtm

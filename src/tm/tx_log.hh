@@ -17,11 +17,7 @@
  * bump allocation, closed-nested merge just drops the child's header
  * (the bodies are already adjacent), and popping truncates the arena.
  * The arena keeps its capacity across transactions, so steady-state
- * logging never allocates.
- *
- * The original per-frame record vectors survive as a legacy mode
- * (LOGTM_LEGACY_TXLOG / setDefaultMode) for the differential harness
- * and the perf A/B; see docs/PERFORMANCE.md.
+ * logging never allocates (docs/PERFORMANCE.md).
  */
 
 #ifndef LOGTM_TM_TX_LOG_HH
@@ -36,13 +32,6 @@
 #include "sig/signature.hh"
 
 namespace logtm {
-
-/** Undo-record storage layout for TxLog, chosen at construction. */
-enum class TxLogMode
-{
-    Arena,         ///< shared bump-allocated arena (default)
-    LegacyFrames,  ///< original per-frame record vectors
-};
 
 /** One undo record: 8-byte word granularity (DESIGN.md §1). */
 struct UndoRecord
@@ -75,19 +64,12 @@ struct LogFrame
     ExactShadow savedShadowWrite;
     /** Arena offset where this frame's undo records begin. */
     size_t recordsBegin = 0;
-    /** LegacyFrames mode only: this frame's own record body. */
-    std::vector<UndoRecord> records;
 };
 
 class TxLog
 {
   public:
-    /** Mode applied to TxLogs constructed afterwards. The initial
-     *  default honours $LOGTM_LEGACY_TXLOG. */
-    static TxLogMode defaultMode();
-    static void setDefaultMode(TxLogMode mode);
-
-    TxLog() : legacy_(defaultMode() == TxLogMode::LegacyFrames) {}
+    TxLog() = default;
 
     /** Nesting depth (0 = no active transaction). */
     size_t depth() const { return frames_.size(); }
@@ -100,14 +82,7 @@ class TxLog
     const LogFrame &top() const;
 
     /** Append an undo record to the innermost frame. */
-    void
-    append(const UndoRecord &rec)
-    {
-        if (legacy_) [[unlikely]]
-            frames_.back().records.push_back(rec);
-        else
-            arena_.push_back(rec);
-    }
+    void append(const UndoRecord &rec) { arena_.push_back(rec); }
 
     /** The innermost frame's undo records, oldest first. Walk this
      *  BEFORE popFrame(); popping truncates the arena. */
@@ -137,7 +112,7 @@ class TxLog
     }
 
     /** Total undo records across all frames (stat). */
-    size_t totalRecords() const;
+    size_t totalRecords() const { return arena_.size(); }
 
     /** Log size in bytes, counting 16-byte records + 64-byte headers
      *  (reporting only). */
@@ -148,7 +123,6 @@ class TxLog
     }
 
   private:
-    const bool legacy_;
     std::vector<LogFrame> frames_;
     /** Shared undo-record storage; frame i's body spans
      *  [frames_[i].recordsBegin, frames_[i+1].recordsBegin) and the

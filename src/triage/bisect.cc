@@ -1,0 +1,204 @@
+#include "triage/bisect.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "obs/trace_pin.hh"
+
+namespace logtm::triage {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t lo = s.find_first_not_of(" \t\r");
+    if (lo == std::string::npos)
+        return "";
+    size_t hi = s.find_last_not_of(" \t\r");
+    return s.substr(lo, hi - lo + 1);
+}
+
+/** "  12: {...}" context line, ">>" marking the divergent index. */
+std::string
+contextLine(size_t idx, const std::string &line, bool divergent)
+{
+    std::ostringstream os;
+    os << (divergent ? ">> " : "   ") << idx << ": " << line;
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+parseTraceLines(const std::string &traceJson)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(traceJson);
+    std::string raw;
+    bool sawOpen = false, sawClose = false;
+    while (std::getline(is, raw)) {
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        if (!sawOpen) {
+            if (line != "[")
+                logtm_fatal("trace file does not start with '['");
+            sawOpen = true;
+            continue;
+        }
+        if (line == "]") {
+            sawClose = true;
+            continue;
+        }
+        if (sawClose)
+            logtm_fatal("trace file has content after ']'");
+        std::string entry = line;
+        if (!entry.empty() && entry.back() == ',')
+            entry.pop_back();
+        if (entry.empty() || entry.front() != '{')
+            logtm_fatal("malformed trace line '" + line + "'");
+        lines.push_back(entry);
+    }
+    if (!sawOpen || !sawClose)
+        logtm_fatal("trace file is not a complete JSON array");
+    return lines;
+}
+
+size_t
+firstDivergentIndex(const std::vector<uint64_t> &hashesA,
+                    const std::vector<uint64_t> &hashesB,
+                    uint64_t *comparisons)
+{
+    logtm_assert(!hashesA.empty() && !hashesB.empty(),
+                 "prefix-hash arrays include the empty prefix");
+    uint64_t cmp = 0;
+    const size_t n = std::min(hashesA.size(), hashesB.size()) - 1;
+    size_t result = n;
+    ++cmp;
+    if (hashesA[n] != hashesB[n]) {
+        // Divergence is monotone: equal at lo, unequal at hi.
+        size_t lo = 0, hi = n;
+        while (hi - lo > 1) {
+            const size_t mid = lo + (hi - lo) / 2;
+            ++cmp;
+            if (hashesA[mid] == hashesB[mid])
+                lo = mid;
+            else
+                hi = mid;
+        }
+        result = lo;
+    }
+    if (comparisons)
+        *comparisons = cmp;
+    return result;
+}
+
+BisectResult
+bisectAgainstReference(const std::vector<std::string> &referenceLines,
+                       const TraceSource &source,
+                       const BisectOptions &opt)
+{
+    const std::vector<uint64_t> refHashes =
+        tracePrefixHashesOverLines(referenceLines);
+    const size_t n = referenceLines.size();
+
+    BisectResult res;
+
+    // Each probe re-runs the simulation with capture bounded to `len`
+    // events and yields only the chained hash of what it saw — the
+    // point is that no probe ever has to hold (or even produce) the
+    // full stream.
+    struct ProbeOut
+    {
+        size_t len;     ///< events actually captured (<= requested)
+        uint64_t hash;  ///< chained prefix hash over those events
+    };
+    const auto probe = [&](size_t len) -> ProbeOut {
+        ++res.probeRuns;
+        const std::vector<ObsEvent> events = source(len);
+        const std::vector<uint64_t> hashes = tracePrefixHashes(events);
+        const size_t got = std::min(events.size(), len);
+        return {got, hashes[got]};
+    };
+
+    size_t lo = 0;  // hashes agree at lo
+    size_t hi = n;  // hashes differ at hi (once established)
+
+    const ProbeOut full = probe(n);
+    if (full.len == n && full.hash == refHashes[n])
+        return res;  // identical within the pinned prefix
+    res.diverged = true;
+    if (full.len < n) {
+        // Live stream ended early. If it agrees as far as it goes,
+        // the divergence is pure truncation at its end; otherwise
+        // the mismatch lies inside the shorter prefix.
+        if (full.hash == refHashes[full.len]) {
+            res.lengthOnly = true;
+            res.firstDivergent = full.len;
+        } else {
+            hi = full.len;
+        }
+    }
+
+    if (!res.lengthOnly) {
+        while (hi - lo > 1) {
+            const size_t mid = lo + (hi - lo) / 2;
+            const ProbeOut p = probe(mid);
+            if (p.len == mid && p.hash == refHashes[mid]) {
+                lo = mid;
+            } else if (p.len < mid && p.hash == refHashes[p.len]) {
+                res.lengthOnly = true;
+                res.firstDivergent = p.len;
+                break;
+            } else {
+                hi = p.len < mid ? p.len : mid;
+            }
+        }
+        if (!res.lengthOnly)
+            res.firstDivergent = lo;
+    }
+
+    // One last bounded run renders the two-sided context window.
+    const size_t d = res.firstDivergent;
+    const size_t wantLive = std::min(n, d + opt.contextWindow + 1);
+    ++res.probeRuns;
+    const std::vector<ObsEvent> events = source(wantLive);
+    const size_t from = d > opt.contextWindow ? d - opt.contextWindow : 0;
+    const size_t to = std::min(n, d + opt.contextWindow + 1);
+    for (size_t i = from; i < to; ++i) {
+        res.referenceWindow.push_back(
+            contextLine(i, referenceLines[i], i == d));
+        if (i < events.size()) {
+            res.liveWindow.push_back(
+                contextLine(i, renderTraceLine(events[i]), i == d));
+        } else {
+            res.liveWindow.push_back(
+                contextLine(i, "<stream ends>", i == d));
+        }
+    }
+    return res;
+}
+
+std::string
+BisectResult::describe() const
+{
+    std::ostringstream os;
+    if (!diverged) {
+        os << "traces identical (" << probeRuns << " probe run"
+           << (probeRuns == 1 ? "" : "s") << ")";
+        return os.str();
+    }
+    os << "first divergent event: index " << firstDivergent
+       << (lengthOnly ? " (live stream ends early)" : "") << " ("
+       << probeRuns << " probe runs)\n";
+    os << "reference:\n";
+    for (const std::string &l : referenceWindow)
+        os << "  " << l << "\n";
+    os << "live:\n";
+    for (const std::string &l : liveWindow)
+        os << "  " << l << "\n";
+    return os.str();
+}
+
+} // namespace logtm::triage

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-divergence bisection.
+ *
+ * When a run stops matching a reference (the committed golden trace,
+ * or any earlier capture), the interesting datum is the *first*
+ * divergent observability event — everything after it is cascade.
+ * Storing full traces to diff is exactly what the bounded recording
+ * ring cannot do, so the bisector works from prefix hashes instead:
+ * the reference contributes a chained prefix-hash array
+ * (obs/trace_pin.hh), and the live side is re-run with its capture
+ * bounded to a candidate prefix length. Hash-equality of a prefix is
+ * monotone — once the streams diverge they never re-converge, because
+ * each hash chains over all prior events — so binary search finds the
+ * first divergent index in O(log n) re-runs, and one final re-run
+ * renders a two-sided context window around it.
+ */
+
+#ifndef LOGTM_TRIAGE_BISECT_HH
+#define LOGTM_TRIAGE_BISECT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace logtm::triage {
+
+/**
+ * Re-runs the simulation under test and returns its first
+ * min(stream length, @p maxEvents) obs events. Each invocation is one
+ * probe run; implementations must be deterministic.
+ */
+using TraceSource =
+    std::function<std::vector<ObsEvent>(size_t maxEvents)>;
+
+struct BisectOptions
+{
+    /** Events of context printed on each side of the divergence. */
+    size_t contextWindow = 3;
+};
+
+struct BisectResult
+{
+    bool diverged = false;
+    /** Streams agree event-for-event but one ends early. */
+    bool lengthOnly = false;
+    /** Index of the first mismatched event (valid when diverged). */
+    size_t firstDivergent = 0;
+    /** Simulation re-runs performed. */
+    uint64_t probeRuns = 0;
+    /** Rendered lines around the divergence, reference side then
+     *  live side ("<idx>: <line>", divergent line marked). */
+    std::vector<std::string> referenceWindow;
+    std::vector<std::string> liveWindow;
+
+    std::string describe() const;
+};
+
+/**
+ * Find the first event where @p source's stream departs from
+ * @p referenceLines (rendered canonical trace lines, e.g. the parsed
+ * committed golden baseline).
+ */
+BisectResult bisectAgainstReference(
+    const std::vector<std::string> &referenceLines,
+    const TraceSource &source, const BisectOptions &opt = {});
+
+/**
+ * Pure in-memory variant over two prefix-hash arrays (as returned by
+ * tracePrefixHashes): index of the first divergent event, or
+ * min(lenA, lenB) when one stream is a prefix of the other.
+ * @p comparisons (optional) counts hash comparisons — O(log n).
+ */
+size_t firstDivergentIndex(const std::vector<uint64_t> &hashesA,
+                           const std::vector<uint64_t> &hashesB,
+                           uint64_t *comparisons = nullptr);
+
+/** Parse a renderTraceJson() document (the committed golden-trace
+ *  format) back into per-event lines; fatal on malformed input. */
+std::vector<std::string> parseTraceLines(const std::string &traceJson);
+
+} // namespace logtm::triage
+
+#endif // LOGTM_TRIAGE_BISECT_HH

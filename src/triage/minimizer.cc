@@ -1,0 +1,360 @@
+#include "triage/minimizer.hh"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sweep/job_scheduler.hh"
+#include "sweep/result_store.hh"
+
+namespace logtm::triage {
+
+namespace {
+
+/**
+ * Batch fingerprint probe: replays candidate bundles across host
+ * cores and answers "does this candidate fail the same way?". Every
+ * verdict is cached by canonical bundle key, so candidates revisited
+ * across rounds (ddmin re-tries overlapping subsets constantly) and
+ * across interrupted minimizer invocations are free.
+ */
+class Prober
+{
+  public:
+    Prober(FailureFingerprint target, const MinimizeOptions &opt)
+        : target_(std::move(target)), opt_(opt)
+    {
+        if (!opt_.cacheDir.empty())
+            store_ = std::make_unique<sweep::ResultStore>(opt_.cacheDir);
+    }
+
+    /** One verdict per candidate, in order. */
+    std::vector<char>
+    probe(const std::vector<ReproBundle> &candidates)
+    {
+        std::vector<std::string> prints(candidates.size());
+        std::vector<char> have(candidates.size(), 0);
+
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (!store_)
+                continue;
+            const auto hit =
+                store_->lookupRaw(candidates[i].canonicalKey());
+            if (hit) {
+                prints[i] = *hit;
+                have[i] = 1;
+                ++cacheHits_;
+            }
+        }
+
+        std::vector<sweep::JobFn> jobs;
+        std::vector<size_t> jobIndex;
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (have[i])
+                continue;
+            jobIndex.push_back(i);
+            const ReproBundle *cand = &candidates[i];
+            std::string *out = &prints[i];
+            jobs.push_back([this, cand, out](const sweep::JobContext &) {
+                const ChaosResult r = replayBundle(*cand);
+                *out = r.fingerprint().format();
+                if (store_)
+                    store_->storeRaw(cand->canonicalKey(), *out);
+            });
+        }
+        if (!jobs.empty()) {
+            sweep::SchedulerConfig scfg;
+            scfg.workers = opt_.jobs;
+            scfg.maxAttempts = 1;  // replays are deterministic
+            scfg.progress = opt_.progress;
+            scfg.progressLabel = "triage";
+            const auto outcomes =
+                sweep::JobScheduler(scfg).run(jobs,
+                                              candidates.size() -
+                                                  jobs.size());
+            for (size_t j = 0; j < outcomes.size(); ++j) {
+                if (!outcomes[j].ok) {
+                    logtm_fatal("triage probe failed: " +
+                                outcomes[j].error);
+                }
+            }
+            probes_ += jobs.size();
+        }
+
+        std::vector<char> match(candidates.size(), 0);
+        const std::string want = target_.format();
+        for (size_t i = 0; i < candidates.size(); ++i)
+            match[i] = prints[i] == want;
+        return match;
+    }
+
+    uint64_t probes() const { return probes_; }
+    uint64_t cacheHits() const { return cacheHits_; }
+
+  private:
+    FailureFingerprint target_;
+    MinimizeOptions opt_;
+    std::unique_ptr<sweep::ResultStore> store_;
+    uint64_t probes_ = 0;
+    uint64_t cacheHits_ = 0;
+};
+
+ReproBundle
+withEvents(const ReproBundle &base,
+           std::vector<ScriptedFault> events)
+{
+    ReproBundle b = base;
+    FaultScript script;
+    script.events = std::move(events);
+    b.params.script = script;
+    return b;
+}
+
+/**
+ * One full ddmin run over the event list: returns a 1-minimal subset
+ * still matching the target fingerprint. All candidates of a round
+ * probe in parallel; ties break by candidate order, so the result is
+ * independent of host scheduling.
+ */
+std::vector<ScriptedFault>
+ddminEvents(const ReproBundle &base, Prober &prober,
+            std::vector<std::string> &log)
+{
+    std::vector<ScriptedFault> events = base.params.script->events;
+    if (events.empty())
+        return events;
+
+    // Degenerate first: if the failure needs no faults at all, the
+    // script is pure noise.
+    if (prober.probe({withEvents(base, {})})[0]) {
+        log.push_back("empty script still reproduces: faults are "
+                      "irrelevant to this failure");
+        return {};
+    }
+
+    size_t n = std::min<size_t>(2, events.size());
+    while (events.size() >= 2) {
+        // Split into n nearly-equal contiguous chunks.
+        std::vector<std::vector<ScriptedFault>> chunks;
+        const size_t len = events.size();
+        for (size_t i = 0; i < n; ++i) {
+            const size_t lo = i * len / n;
+            const size_t hi = (i + 1) * len / n;
+            chunks.emplace_back(events.begin() + lo,
+                                events.begin() + hi);
+        }
+
+        std::vector<ReproBundle> candidates;
+        for (const auto &chunk : chunks)           // reduce to subset
+            candidates.push_back(withEvents(base, chunk));
+        for (size_t i = 0; i < n; ++i) {           // reduce to complement
+            std::vector<ScriptedFault> rest;
+            for (size_t j = 0; j < n; ++j) {
+                if (j != i)
+                    rest.insert(rest.end(), chunks[j].begin(),
+                                chunks[j].end());
+            }
+            candidates.push_back(withEvents(base, rest));
+        }
+
+        const std::vector<char> match = prober.probe(candidates);
+        size_t pick = candidates.size();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+            if (match[i]) {
+                pick = i;
+                break;
+            }
+        }
+
+        std::ostringstream line;
+        if (pick < n) {
+            events = chunks[pick];
+            line << "kept chunk " << pick + 1 << "/" << n << " -> "
+                 << events.size() << " events";
+            n = std::min<size_t>(2, events.size());
+        } else if (pick < 2 * n) {
+            events = candidates[pick].params.script->events;
+            line << "dropped chunk " << pick - n + 1 << "/" << n
+                 << " -> " << events.size() << " events";
+            n = std::max<size_t>(2, n - 1);
+            n = std::min(n, events.size());
+        } else if (n < events.size()) {
+            n = std::min(2 * n, events.size());
+            line << "no reduction at this granularity; n=" << n;
+        } else {
+            log.push_back("1-minimal at " +
+                          std::to_string(events.size()) + " events");
+            break;
+        }
+        log.push_back(line.str());
+    }
+    return events;
+}
+
+/**
+ * Probe @p values (ordered most-reduced first) as replacements for
+ * one workload axis; returns the index of the first value preserving
+ * the fingerprint, or values.size() when none does.
+ */
+size_t
+firstViable(const std::vector<ReproBundle> &candidates, Prober &prober)
+{
+    if (candidates.empty())
+        return 0;
+    const std::vector<char> match = prober.probe(candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+        if (match[i])
+            return i;
+    }
+    return candidates.size();
+}
+
+void
+reduceAxes(ReproBundle &best, Prober &prober,
+           std::vector<std::string> &log)
+{
+    // Thread count: fewer threads, smallest first.
+    {
+        std::vector<ReproBundle> cands;
+        std::vector<uint32_t> vals;
+        for (uint32_t t = 1; t < best.params.numThreads; ++t) {
+            ReproBundle b = best;
+            b.params.numThreads = t;
+            cands.push_back(std::move(b));
+            vals.push_back(t);
+        }
+        const size_t i = firstViable(cands, prober);
+        if (i < cands.size()) {
+            best = cands[i];
+            log.push_back("threads -> " + std::to_string(vals[i]));
+        }
+    }
+
+    // Work units: halvings, smallest first.
+    {
+        std::vector<ReproBundle> cands;
+        std::vector<uint64_t> vals;
+        for (uint64_t u = 1; u < best.params.totalUnits; u *= 2)
+            vals.push_back(u);
+        for (const uint64_t u : vals) {
+            ReproBundle b = best;
+            b.params.totalUnits = u;
+            cands.push_back(std::move(b));
+        }
+        const size_t i = firstViable(cands, prober);
+        if (i < cands.size()) {
+            best = cands[i];
+            log.push_back("units -> " + std::to_string(vals[i]));
+        }
+    }
+
+    // Shared counters: fewer counters, smallest first.
+    {
+        std::vector<ReproBundle> cands;
+        std::vector<uint32_t> vals;
+        for (uint32_t c = 1; c < best.params.numCounters; ++c) {
+            ReproBundle b = best;
+            b.params.numCounters = c;
+            cands.push_back(std::move(b));
+            vals.push_back(c);
+        }
+        const size_t i = firstViable(cands, prober);
+        if (i < cands.size()) {
+            best = cands[i];
+            log.push_back("counters -> " + std::to_string(vals[i]));
+        }
+    }
+
+    // Signature: a perfect signature is the simplest to reason about;
+    // failing that, shrink the filter. (Changing the signature shifts
+    // conflict timing, so candidates often don't survive the
+    // fingerprint check — that's the check working.)
+    if (best.params.signature.kind != SignatureKind::Perfect) {
+        std::vector<ReproBundle> cands;
+        std::vector<std::string> names;
+        {
+            ReproBundle b = best;
+            b.params.signature = sigPerfect();
+            cands.push_back(std::move(b));
+            names.push_back("perfect");
+        }
+        for (uint32_t bits = best.params.signature.bits / 2; bits >= 64;
+             bits /= 2) {
+            ReproBundle b = best;
+            b.params.signature.bits = bits;
+            cands.push_back(std::move(b));
+            names.push_back(toString(best.params.signature.kind) + ":" +
+                            std::to_string(bits));
+        }
+        const size_t i = firstViable(cands, prober);
+        if (i < cands.size()) {
+            best = cands[i];
+            log.push_back("signature -> " + names[i]);
+        }
+    }
+}
+
+} // namespace
+
+MinimizeResult
+minimizeBundle(const ReproBundle &bundle, const MinimizeOptions &opt)
+{
+    if (!bundle.fingerprint.failed()) {
+        logtm_fatal("cannot minimize a clean bundle (fingerprint '" +
+                    bundle.fingerprint.format() + "')");
+    }
+
+    MinimizeResult res;
+    ReproBundle best = bundle;
+
+    // Stochastic bundles first get pinned to the exact events that
+    // fired, so ddmin has a list to chew on.
+    if (!best.params.script) {
+        const ReproBundle captured = captureBundle(best.params);
+        if (!(captured.fingerprint == bundle.fingerprint)) {
+            logtm_fatal("stochastic run reproduces '" +
+                        captured.fingerprint.format() +
+                        "', bundle claims '" +
+                        bundle.fingerprint.format() + "'");
+        }
+        best = captured;
+        res.log.push_back(
+            "captured script: " +
+            std::to_string(best.params.script->size()) + " events");
+    }
+
+    Prober prober(bundle.fingerprint, opt);
+    res.originalEvents = best.params.script->size();
+
+    // Sanity: the starting point itself must reproduce (also seeds
+    // the probe cache with the trivial entry).
+    if (!prober.probe({best})[0]) {
+        logtm_fatal("bundle does not reproduce its own fingerprint '" +
+                    bundle.fingerprint.format() + "'");
+    }
+
+    std::vector<ScriptedFault> events =
+        ddminEvents(best, prober, res.log);
+    best = withEvents(best, std::move(events));
+
+    if (opt.reduceAxes) {
+        const std::string before = best.canonicalKey();
+        reduceAxes(best, prober, res.log);
+        if (best.canonicalKey() != before &&
+            best.params.script->size() > 1) {
+            // A smaller workload can make more events redundant.
+            best = withEvents(
+                best, ddminEvents(best, prober, res.log));
+        }
+    }
+
+    res.bundle = best;
+    res.bundle.fingerprint = bundle.fingerprint;
+    res.finalEvents = best.params.script->size();
+    res.probes = prober.probes();
+    res.cacheHits = prober.cacheHits();
+    return res;
+}
+
+} // namespace logtm::triage

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Delta-debug minimization of failure reproductions.
+ *
+ * Given a failing ReproBundle, shrink it to a smaller one that still
+ * fails the *same way* (identical failure fingerprint — see
+ * check/fingerprint.hh), in two phases:
+ *
+ *  1. ddmin over the FaultScript event list: classic delta debugging
+ *     (Zeller's subsets-then-complements with granularity doubling)
+ *     until the surviving script is 1-minimal — removing any single
+ *     event loses the failure.
+ *  2. Axis ladders over the workload shape: thread count, work
+ *     units, shared-counter count, and signature configuration are
+ *     each walked down while the fingerprint is preserved.
+ *
+ * Every candidate is probed by a full deterministic replay. Probes
+ * within a round are independent, so they fan out across host cores
+ * on the sweep JobScheduler, and each probe's fingerprint is cached
+ * in a ResultStore keyed by the candidate's canonical bundle key —
+ * re-minimizing after an interrupt (or with overlapping candidates)
+ * costs no re-runs.
+ */
+
+#ifndef LOGTM_TRIAGE_MINIMIZER_HH
+#define LOGTM_TRIAGE_MINIMIZER_HH
+
+#include <string>
+#include <vector>
+
+#include "triage/repro_bundle.hh"
+
+namespace logtm::triage {
+
+struct MinimizeOptions
+{
+    /** Host worker threads for probe fan-out (0 = all cores). */
+    unsigned jobs = 0;
+    /** Probe-fingerprint cache directory; "" disables caching. */
+    std::string cacheDir;
+    /** Emit per-round progress lines to stderr. */
+    bool progress = false;
+    /** Phase 2: also reduce threads/units/counters/signature. */
+    bool reduceAxes = true;
+};
+
+struct MinimizeResult
+{
+    /** The minimized bundle; always scripted, always reproducing the
+     *  original fingerprint. */
+    ReproBundle bundle;
+    size_t originalEvents = 0;
+    size_t finalEvents = 0;
+    /** Candidate replays actually executed / answered from cache. */
+    uint64_t probes = 0;
+    uint64_t cacheHits = 0;
+    /** Human-readable minimization log, one step per line. */
+    std::vector<std::string> log;
+};
+
+/**
+ * Minimize @p bundle. Fatal if its fingerprint is clean (nothing to
+ * reproduce). A non-scripted bundle is first captured into a script
+ * via one stochastic run.
+ */
+MinimizeResult minimizeBundle(const ReproBundle &bundle,
+                              const MinimizeOptions &opt);
+
+} // namespace logtm::triage
+
+#endif // LOGTM_TRIAGE_MINIMIZER_HH

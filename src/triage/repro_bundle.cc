@@ -1,0 +1,178 @@
+#include "triage/repro_bundle.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "obs/json.hh"
+#include "sweep/json_value.hh"
+
+namespace logtm::triage {
+
+namespace {
+
+constexpr const char *schemaTag = "logtm-repro-v1";
+
+std::string
+signatureSpec(const SignatureConfig &sig)
+{
+    // Mirrors what parseSignatureConfig accepts: Perfect takes no
+    // parameters, and only CBS uses the coarse-grain byte count.
+    if (sig.kind == SignatureKind::Perfect)
+        return toString(sig.kind);
+    std::string spec =
+        toString(sig.kind) + ":" + std::to_string(sig.bits);
+    if (sig.kind == SignatureKind::CoarseBitSelect)
+        spec += ":" + std::to_string(sig.coarseGrainBytes);
+    return spec;
+}
+
+void
+writeBody(const ReproBundle &b, JsonWriter &w)
+{
+    const ChaosParams &p = b.params;
+    w.beginObject();
+    w.field("schema", schemaTag);
+    w.field("seed", p.seed);
+    w.field("faults", p.faults.format());
+    w.field("snooping", p.snooping);
+    w.field("threads", p.numThreads);
+    w.field("units", p.totalUnits);
+    w.field("counters", p.numCounters);
+    w.field("signature", signatureSpec(p.signature));
+    w.field("watchdogThreshold", p.watchdogThreshold);
+    w.field("defectVictimBypass", p.defectVictimBypass);
+    w.field("scripted", p.script.has_value());
+    w.field("script", p.script ? p.script->format() : std::string());
+    w.field("fingerprint", b.fingerprint.format());
+    w.field("note", b.note);
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+ReproBundle::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    writeBody(*this, w);
+    return os.str();
+}
+
+std::string
+ReproBundle::canonicalKey() const
+{
+    const ChaosParams &p = params;
+    std::ostringstream os;
+    os << "repro|seed=" << p.seed << "|faults=" << p.faults.format()
+       << "|snooping=" << p.snooping << "|threads=" << p.numThreads
+       << "|units=" << p.totalUnits << "|counters=" << p.numCounters
+       << "|sig=" << signatureSpec(p.signature)
+       << "|watchdog=" << p.watchdogThreshold
+       << "|defectVictimBypass=" << p.defectVictimBypass
+       << "|scripted=" << p.script.has_value()
+       << "|script=" << (p.script ? p.script->format() : std::string());
+    return os.str();
+}
+
+bool
+ReproBundle::fromJson(const std::string &text, ReproBundle *out,
+                      std::string *err)
+{
+    using sweep::JsonValue;
+    std::string perr;
+    const JsonValue doc = JsonValue::parse(text, &perr);
+    if (!doc.isObject()) {
+        if (err)
+            *err = perr.empty() ? "not a JSON object" : perr;
+        return false;
+    }
+    if (doc.getString("schema", "") != schemaTag) {
+        if (err)
+            *err = "unknown bundle schema '" +
+                doc.getString("schema", "") + "'";
+        return false;
+    }
+
+    ReproBundle b;
+    ChaosParams &p = b.params;
+    p.seed = doc.getU64("seed", p.seed);
+    p.faults = FaultPlan::parse(doc.getString("faults", ""));
+    p.snooping = doc.getBool("snooping", false);
+    p.numThreads =
+        static_cast<uint32_t>(doc.getU64("threads", p.numThreads));
+    p.totalUnits = doc.getU64("units", p.totalUnits);
+    p.numCounters =
+        static_cast<uint32_t>(doc.getU64("counters", p.numCounters));
+    const std::string sig = doc.getString("signature", "");
+    if (!parseSignatureConfig(sig, &p.signature)) {
+        if (err)
+            *err = "bad signature spec '" + sig + "'";
+        return false;
+    }
+    p.watchdogThreshold =
+        doc.getU64("watchdogThreshold", p.watchdogThreshold);
+    p.defectVictimBypass = doc.getBool("defectVictimBypass", false);
+    if (doc.getBool("scripted", false))
+        p.script = FaultScript::parse(doc.getString("script", ""));
+    b.fingerprint =
+        FailureFingerprint::parse(doc.getString("fingerprint", "clean"));
+    b.note = doc.getString("note", "");
+    *out = b;
+    return true;
+}
+
+void
+ReproBundle::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        logtm_fatal("cannot write repro bundle '" + path + "'");
+    out << toJson() << "\n";
+    if (!out)
+        logtm_fatal("short write on repro bundle '" + path + "'");
+}
+
+ReproBundle
+ReproBundle::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        logtm_fatal("cannot read repro bundle '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    ReproBundle b;
+    std::string err;
+    if (!fromJson(text.str(), &b, &err))
+        logtm_fatal("bad repro bundle '" + path + "': " + err);
+    return b;
+}
+
+ReproBundle
+captureBundle(const ChaosParams &params, ChaosResult *outResult)
+{
+    ChaosParams run = params;
+    run.script.reset();
+    run.captureScript = true;
+    const ChaosResult result = runChaos(run);
+    if (outResult)
+        *outResult = result;
+
+    ReproBundle b;
+    b.params = params;
+    b.params.captureScript = false;
+    b.params.script = result.capturedScript;
+    b.fingerprint = result.fingerprint();
+    return b;
+}
+
+ChaosResult
+replayBundle(const ReproBundle &bundle)
+{
+    ChaosParams p = bundle.params;
+    p.captureScript = false;
+    return runChaos(p);
+}
+
+} // namespace logtm::triage

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Self-contained failure reproductions.
+ *
+ * A ReproBundle freezes everything a chaos run needs to happen again:
+ * the full ChaosParams (system axes, fault plan, planted defects),
+ * the exact FaultScript that fired (when captured), and the failure
+ * fingerprint observed. `logtm_triage --replay bundle.json` re-runs
+ * it deterministically on any checkout; the minimizer treats a bundle
+ * as the unit it shrinks.
+ *
+ * The JSON format is flat and hand-editable:
+ *
+ *   {"schema": "logtm-repro-v1", "seed": 7, "faults": "victim=25,…",
+ *    "snooping": false, "threads": 6, "units": 96, "counters": 8,
+ *    "signature": "bs:256:1024", "watchdogThreshold": 300000,
+ *    "defectVictimBypass": true, "scripted": true,
+ *    "script": "victimize@400#77;…",
+ *    "fingerprint": "oracle:dirtyRead", "note": "…"}
+ *
+ * `scripted` distinguishes "replay exactly these events" (even zero
+ * of them) from "draw stochastically from the plan".
+ */
+
+#ifndef LOGTM_TRIAGE_REPRO_BUNDLE_HH
+#define LOGTM_TRIAGE_REPRO_BUNDLE_HH
+
+#include <string>
+
+#include "check/chaos.hh"
+
+namespace logtm::triage {
+
+struct ReproBundle
+{
+    ChaosParams params;
+    /** Fingerprint observed when the bundle was made; --replay and
+     *  the minimizer check candidates against it. */
+    FailureFingerprint fingerprint;
+    /** Free-form provenance ("captured by chaos sweep …"). */
+    std::string note;
+
+    std::string toJson() const;
+
+    /** Parse a toJson() document. False (and *err) on malformed
+     *  input or schema mismatch. */
+    static bool fromJson(const std::string &text, ReproBundle *out,
+                         std::string *err = nullptr);
+
+    /** Write to / read from a file; fatal on I/O or parse errors
+     *  (these paths come straight from CLI flags). */
+    void save(const std::string &path) const;
+    static ReproBundle load(const std::string &path);
+
+    /**
+     * Deterministic identity of the *simulation* the bundle
+     * describes: every sim-relevant param, but not the fingerprint
+     * or note. Equal keys mean byte-identical replays, so this keys
+     * the minimizer's probe cache.
+     */
+    std::string canonicalKey() const;
+};
+
+/**
+ * Run @p params stochastically with script capture on and package
+ * the outcome: the returned bundle replays the exact captured events
+ * (scripted), carries the observed fingerprint, and is clean-class
+ * when the run passed. @p outResult receives the full run result
+ * when non-null.
+ */
+ReproBundle captureBundle(const ChaosParams &params,
+                          ChaosResult *outResult = nullptr);
+
+/** Re-run a bundle exactly. */
+ChaosResult replayBundle(const ReproBundle &bundle);
+
+} // namespace logtm::triage
+
+#endif // LOGTM_TRIAGE_REPRO_BUNDLE_HH

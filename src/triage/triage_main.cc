@@ -1,0 +1,329 @@
+/**
+ * @file
+ * `logtm_triage`: the failure-triage CLI.
+ *
+ *   # run a stochastic chaos mix and freeze what fired
+ *   logtm_triage --capture bug.json --seed 7 --mix everything
+ *
+ *   # deterministic replay; exits 0 iff the recorded failure
+ *   # fingerprint reproduces
+ *   logtm_triage --replay bug.json
+ *
+ *   # delta-debug the bundle down to a minimal reproduction
+ *   logtm_triage --minimize bug.json --out bug.min.json --jobs 0
+ *
+ *   # find the first obs event where the current build departs from
+ *   # the committed golden trace
+ *   logtm_triage --bisect --baseline baselines/golden_trace.json
+ *
+ * Exit codes: 0 success (capture caught a failure / replay
+ * reproduced / minimize converged / bisect found no divergence),
+ * 1 the interesting condition did not hold (clean capture, replay
+ * mismatch, --assert-max-events violated), 2 usage error,
+ * 3 bisect found a divergence.
+ *
+ * See docs/TRIAGE.md for the workflow.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/trace_capture.hh"
+#include "triage/bisect.hh"
+#include "triage/minimizer.hh"
+#include "triage/repro_bundle.hh"
+
+using namespace logtm;
+using namespace logtm::triage;
+
+namespace {
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(to,
+        "usage: logtm_triage MODE [options]\n"
+        "\n"
+        "modes:\n"
+        "  --capture FILE      run a stochastic chaos mix, write a\n"
+        "                      replayable bundle of what fired\n"
+        "  --replay FILE       re-run a bundle; check its fingerprint\n"
+        "  --minimize FILE     delta-debug a bundle to a minimal repro\n"
+        "  --bisect            binary-search the first obs event that\n"
+        "                      departs from a reference trace\n"
+        "\n"
+        "capture options:\n"
+        "  --seed N            chaos seed (default 1)\n"
+        "  --mix NAME          fault mix: eviction|scheduling|timing|\n"
+        "                      everything (default everything)\n"
+        "  --faults SPEC       explicit plan, e.g. victim=40,tick=150\n"
+        "  --threads N --units N --counters N\n"
+        "  --sig SPEC          signature, e.g. bs:256 (default bs:256)\n"
+        "  --snooping          snooping coherence (default directory)\n"
+        "  --defect-victim-bypass\n"
+        "                      plant the known signature defect so\n"
+        "                      victimize faults become oracle failures\n"
+        "  --note STR          provenance note stored in the bundle\n"
+        "\n"
+        "minimize options:\n"
+        "  --out FILE          minimized bundle path\n"
+        "                      (default <input>.min.json)\n"
+        "  --jobs N            probe worker threads (0 = all cores)\n"
+        "  --cache-dir DIR     probe-fingerprint cache (default\n"
+        "                      .logtm-triage-cache; empty disables)\n"
+        "  --no-axes           only minimize the fault script\n"
+        "  --assert-max-events N\n"
+        "                      exit 1 unless the script minimizes to\n"
+        "                      at most N events (CI gate)\n"
+        "\n"
+        "bisect options:\n"
+        "  --baseline FILE     reference trace (default\n"
+        "                      baselines/golden_trace.json)\n"
+        "  --seed N --units N --sig-bits N\n"
+        "                      live-run knobs (defaults reproduce the\n"
+        "                      golden run)\n"
+        "  --mutate-at N       perturb the Nth live event (planted\n"
+        "                      divergence for demos/self-tests)\n"
+        "  --window N          context events per side (default 3)\n");
+}
+
+bool
+argValue(int argc, char **argv, int *i, const char *flag,
+         std::string *out)
+{
+    const std::string arg(argv[*i]);
+    const std::string name(flag);
+    if (arg == name) {
+        if (*i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", flag);
+            std::exit(2);
+        }
+        *out = argv[++*i];
+        return true;
+    }
+    if (arg.rfind(name + "=", 0) == 0) {
+        *out = arg.substr(name.size() + 1);
+        return true;
+    }
+    return false;
+}
+
+int
+doCapture(const std::string &outPath, const ChaosParams &params,
+          const std::string &note)
+{
+    ChaosResult result;
+    ReproBundle bundle = captureBundle(params, &result);
+    bundle.note = note;
+    bundle.save(outPath);
+    std::cout << result.describe() << "\n";
+    std::cout << "fingerprint: " << bundle.fingerprint.format()
+              << "\ncaptured " << bundle.params.script->size()
+              << " fault events -> " << outPath << "\n";
+    return bundle.fingerprint.failed() ? 0 : 1;
+}
+
+int
+doReplay(const std::string &path)
+{
+    const ReproBundle bundle = ReproBundle::load(path);
+    const ChaosResult result = replayBundle(bundle);
+    const FailureFingerprint got = result.fingerprint();
+    std::cout << result.describe() << "\n";
+    std::cout << "expected fingerprint: " << bundle.fingerprint.format()
+              << "\nobserved fingerprint: " << got.format() << "\n";
+    if (got == bundle.fingerprint) {
+        std::cout << "replay reproduces the recorded failure\n";
+        return 0;
+    }
+    std::cout << "replay DOES NOT reproduce the recorded failure\n";
+    return 1;
+}
+
+int
+doMinimize(const std::string &path, std::string outPath,
+           const MinimizeOptions &opt, uint64_t assertMaxEvents,
+           bool haveAssert)
+{
+    if (outPath.empty())
+        outPath = path + ".min.json";
+    const ReproBundle bundle = ReproBundle::load(path);
+    const MinimizeResult res = minimizeBundle(bundle, opt);
+    for (const std::string &line : res.log)
+        std::cout << "  " << line << "\n";
+    std::cout << "minimized " << res.originalEvents << " -> "
+              << res.finalEvents << " fault events ("
+              << res.probes << " probe runs, " << res.cacheHits
+              << " cache hits)\n";
+    std::cout << "script: "
+              << (res.bundle.params.script->empty()
+                      ? "<empty>"
+                      : res.bundle.params.script->format())
+              << "\n";
+    res.bundle.save(outPath);
+    std::cout << "wrote " << outPath << "\n";
+    if (haveAssert && res.finalEvents > assertMaxEvents) {
+        std::cout << "FAIL: minimized script has " << res.finalEvents
+                  << " events, asserted max " << assertMaxEvents
+                  << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+doBisect(const std::string &baselinePath, const TraceCaptureOptions &opt,
+         size_t window, int64_t mutateAt)
+{
+    std::ifstream in(baselinePath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline '%s'\n",
+                     baselinePath.c_str());
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::vector<std::string> reference =
+        parseTraceLines(text.str());
+
+    const TraceSource source = [&opt, mutateAt](size_t maxEvents) {
+        std::vector<ObsEvent> events = captureRunEvents(opt);
+        if (events.size() > maxEvents)
+            events.resize(maxEvents);
+        // Planted divergence for demos and end-to-end self-tests
+        // (the committed golden window is deliberately a prefix
+        // that is stable across every CLI knob).
+        if (mutateAt >= 0 &&
+            static_cast<size_t>(mutateAt) < events.size())
+            events[static_cast<size_t>(mutateAt)].cycle += 1;
+        return events;
+    };
+
+    BisectOptions bopt;
+    bopt.contextWindow = window;
+    const BisectResult res =
+        bisectAgainstReference(reference, source, bopt);
+    std::cout << res.describe();
+    if (!res.diverged)
+        std::cout << "\n";
+    return res.diverged ? 3 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string captureOut, replayPath, minimizePath;
+    bool bisect = false;
+    std::string note, outPath, value;
+    std::string baseline = "baselines/golden_trace.json";
+    uint64_t assertMaxEvents = 0;
+    bool haveAssert = false;
+
+    ChaosParams chaos;
+    chaos.signature = sigBS(256);
+    chaos.faults = chaosMix("everything");
+
+    MinimizeOptions mopt;
+    mopt.cacheDir = ".logtm-triage-cache";
+
+    TraceCaptureOptions topt;
+    size_t window = 3;
+    int64_t mutateAt = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg(argv[i]);
+        if (argValue(argc, argv, &i, "--capture", &captureOut)) {
+        } else if (argValue(argc, argv, &i, "--replay", &replayPath)) {
+        } else if (argValue(argc, argv, &i, "--minimize",
+                            &minimizePath)) {
+        } else if (arg == "--bisect") {
+            bisect = true;
+        } else if (argValue(argc, argv, &i, "--seed", &value)) {
+            chaos.seed = std::strtoull(value.c_str(), nullptr, 10);
+            topt.seed = chaos.seed;
+        } else if (argValue(argc, argv, &i, "--mix", &value)) {
+            chaos.faults = chaosMix(value);
+        } else if (argValue(argc, argv, &i, "--faults", &value)) {
+            chaos.faults = FaultPlan::parse(value);
+        } else if (argValue(argc, argv, &i, "--threads", &value)) {
+            chaos.numThreads = static_cast<uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (argValue(argc, argv, &i, "--units", &value)) {
+            chaos.totalUnits =
+                std::strtoull(value.c_str(), nullptr, 10);
+            topt.totalUnits = chaos.totalUnits;
+        } else if (argValue(argc, argv, &i, "--counters", &value)) {
+            chaos.numCounters = static_cast<uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (argValue(argc, argv, &i, "--sig", &value)) {
+            if (!parseSignatureConfig(value, &chaos.signature)) {
+                std::fprintf(stderr, "bad --sig spec '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--snooping") {
+            chaos.snooping = true;
+        } else if (arg == "--defect-victim-bypass") {
+            chaos.defectVictimBypass = true;
+        } else if (argValue(argc, argv, &i, "--note", &note)) {
+        } else if (argValue(argc, argv, &i, "--out", &outPath)) {
+        } else if (argValue(argc, argv, &i, "--jobs", &value)) {
+            mopt.jobs = static_cast<unsigned>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (argValue(argc, argv, &i, "--cache-dir",
+                            &mopt.cacheDir)) {
+        } else if (arg == "--no-cache") {
+            mopt.cacheDir.clear();
+        } else if (arg == "--no-axes") {
+            mopt.reduceAxes = false;
+        } else if (argValue(argc, argv, &i, "--assert-max-events",
+                            &value)) {
+            assertMaxEvents =
+                std::strtoull(value.c_str(), nullptr, 10);
+            haveAssert = true;
+        } else if (argValue(argc, argv, &i, "--baseline", &baseline)) {
+        } else if (argValue(argc, argv, &i, "--sig-bits", &value)) {
+            topt.sigBits = static_cast<uint32_t>(
+                std::strtoul(value.c_str(), nullptr, 10));
+        } else if (argValue(argc, argv, &i, "--mutate-at", &value)) {
+            mutateAt = std::strtoll(value.c_str(), nullptr, 10);
+        } else if (argValue(argc, argv, &i, "--window", &value)) {
+            window = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         argv[i]);
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    const int modes = !captureOut.empty() + !replayPath.empty() +
+        !minimizePath.empty() + bisect;
+    if (modes != 1) {
+        std::fprintf(stderr,
+                     "pick exactly one of --capture / --replay / "
+                     "--minimize / --bisect\n");
+        usage(stderr);
+        return 2;
+    }
+
+    if (!captureOut.empty())
+        return doCapture(captureOut, chaos, note);
+    if (!replayPath.empty())
+        return doReplay(replayPath);
+    if (!minimizePath.empty()) {
+        return doMinimize(minimizePath, outPath, mopt,
+                          assertMaxEvents, haveAssert);
+    }
+    return doBisect(baseline, topt, window, mutateAt);
+}

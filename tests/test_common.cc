@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "common/config.hh"
 #include "common/rng.hh"
@@ -54,6 +55,50 @@ TEST(Rng, RangeInclusive)
     }
     EXPECT_TRUE(saw_lo);
     EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BelowIsUnbiasedOverNonPowerOfTwoBound)
+{
+    // Chi-square smoke over a bound where the old modulo draw was
+    // biased (2^64 mod 48 != 0). 48 cells, 48000 draws: expected
+    // 1000 per cell; chi-square with 47 dof has p=0.001 at ~82.7.
+    constexpr uint64_t bound = 48;
+    constexpr int draws = 48000;
+    Rng r(123);
+    std::vector<uint64_t> cells(bound, 0);
+    for (int i = 0; i < draws; ++i)
+        ++cells[r.below(bound)];
+    const double expect = static_cast<double>(draws) / bound;
+    double chi2 = 0;
+    for (const uint64_t c : cells) {
+        const double d = static_cast<double>(c) - expect;
+        chi2 += d * d / expect;
+    }
+    EXPECT_LT(chi2, 82.7);
+}
+
+TEST(Rng, RangeDegenerateSpanReturnsTheOneValue)
+{
+    Rng r(5);
+    EXPECT_EQ(r.range(9, 9), 9u);
+    EXPECT_EQ(r.range(0, 0), 0u);
+}
+
+TEST(Rng, RangeFullWidthDoesNotWrapToZeroBound)
+{
+    // lo=0, hi=UINT64_MAX has span 2^64: the bounded draw must not
+    // collapse to below(0). Any returned value is in range by
+    // construction; the draw just has to survive.
+    Rng r(6);
+    for (int i = 0; i < 100; ++i)
+        (void)r.range(0, UINT64_MAX);
+    SUCCEED();
+}
+
+TEST(RngDeath, BelowZeroBoundIsFatal)
+{
+    Rng r(3);
+    EXPECT_DEATH((void)r.below(0), "bound");
 }
 
 TEST(Rng, UniformInUnitInterval)
@@ -127,6 +172,64 @@ TEST(Stats, HistogramBucketsPowersOfTwo)
     EXPECT_EQ(h.bucket(1), 2u);  // [2,4)
     EXPECT_EQ(h.bucket(9), 1u);  // [512,1024)
     EXPECT_EQ(h.scalar().count(), 4u);
+}
+
+TEST(Stats, PercentileOfEmptyHistogramIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 0.0);
+}
+
+TEST(Stats, PercentileOfSingleSampleIsThatSample)
+{
+    Histogram h;
+    h.sample(5);
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 5.0) << "p=" << p;
+}
+
+TEST(Stats, PercentileEndpointsReturnExactMinAndMax)
+{
+    Histogram h;
+    h.sample(1);
+    h.sample(37);
+    h.sample(1000);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Stats, PercentileAtExactBucketEdgeRanks)
+{
+    // Two samples filling the [2,3] bucket: rank 1 sits on the
+    // bucket's low edge, rank 2 on its high edge.
+    Histogram h;
+    h.sample(2);
+    h.sample(3);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 3.0);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP)
+{
+    Histogram h;
+    h.sample(4);
+    h.sample(400);
+    EXPECT_DOUBLE_EQ(h.percentile(-10), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(250), h.percentile(100));
+}
+
+TEST(Stats, PercentileNeverLeavesObservedRange)
+{
+    Histogram h;
+    for (uint64_t v : {3u, 9u, 17u, 33u, 120u, 990u})
+        h.sample(v);
+    for (double p = 0; p <= 100; p += 5) {
+        const double v = h.percentile(p);
+        EXPECT_GE(v, 3.0) << "p=" << p;
+        EXPECT_LE(v, 990.0) << "p=" << p;
+    }
 }
 
 TEST(Stats, DumpContainsAllNames)

@@ -2,8 +2,8 @@
  * @file
  * Unit tests for the deterministic event queue and simulator kernel,
  * including randomized differential properties that pin the
- * (tick, priority, sequence) ordering contract on both engines
- * against a stable-sort reference model.
+ * (tick, priority, sequence) ordering contract against a stable-sort
+ * reference model.
  */
 
 #include <gtest/gtest.h>
@@ -94,35 +94,21 @@ TEST(EventQueue, ClearDropsEventsAndResetsTime)
 }
 
 // --------------------------------------------------------------------
-// Both-engine properties
+// Ordering-contract properties
 // --------------------------------------------------------------------
-
-class EventQueueBothEngines
-    : public testing::TestWithParam<EventQueueEngine>
-{
-};
-
-INSTANTIATE_TEST_SUITE_P(
-    Engines, EventQueueBothEngines,
-    testing::Values(EventQueueEngine::Calendar,
-                    EventQueueEngine::LegacyHeap),
-    [](const testing::TestParamInfo<EventQueueEngine> &info) {
-        return info.param == EventQueueEngine::Calendar ? "Calendar"
-                                                        : "LegacyHeap";
-    });
 
 /**
  * 1000 seeded random schedules/cancels/reschedules interleaved with
  * execution, checked against a sorted-vector reference model. The
  * model breaks (when, priority) ties by scheduling order via
  * std::stable_sort -- exactly the queue's sequence-number rule -- so
- * any divergence is an ordering bug in the engine under test.
+ * any divergence is an ordering bug in the calendar engine.
  */
-TEST_P(EventQueueBothEngines, RandomizedAgainstStableSortReference)
+TEST(EventQueueProperties, RandomizedAgainstStableSortReference)
 {
     constexpr uint32_t horizon = EventQueue::calendarHorizon;
     for (uint64_t seed = 1; seed <= 1000; ++seed) {
-        EventQueue q(GetParam());
+        EventQueue q;
         struct Ref
         {
             Cycle when;
@@ -224,12 +210,12 @@ TEST_P(EventQueueBothEngines, RandomizedAgainstStableSortReference)
 
 /** Ticks that collide modulo the bucket-ring size must still execute
  *  in time order, not bucket order. */
-TEST_P(EventQueueBothEngines, BucketWrapCollisionsExecuteInTimeOrder)
+TEST(EventQueueProperties, BucketWrapCollisionsExecuteInTimeOrder)
 {
     constexpr uint32_t horizon = EventQueue::calendarHorizon;
-    EventQueue q(GetParam());
+    EventQueue q;
     std::vector<int> order;
-    // All five map to the same bucket on the calendar engine.
+    // All five map to the same ring bucket.
     q.schedule(4 * horizon + 7, [&]() { order.push_back(4); });
     q.schedule(2 * horizon + 7, [&]() { order.push_back(2); });
     q.schedule(7, [&]() { order.push_back(0); });
@@ -247,9 +233,9 @@ TEST_P(EventQueueBothEngines, BucketWrapCollisionsExecuteInTimeOrder)
 
 /** Same tick, mixed priorities, scheduled both before and during
  *  execution at that tick: priority then scheduling order wins. */
-TEST_P(EventQueueBothEngines, SameTickPriorityTiesAcrossInsertion)
+TEST(EventQueueProperties, SameTickPriorityTiesAcrossInsertion)
 {
-    EventQueue q(GetParam());
+    EventQueue q;
     std::vector<int> order;
     q.schedule(100, [&]() {
         order.push_back(0);
@@ -265,9 +251,9 @@ TEST_P(EventQueueBothEngines, SameTickPriorityTiesAcrossInsertion)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
-TEST_P(EventQueueBothEngines, ExecutedCountsFiredEventsOnly)
+TEST(EventQueueProperties, ExecutedCountsFiredEventsOnly)
 {
-    EventQueue q(GetParam());
+    EventQueue q;
     int fired = 0;
     const EventId a = q.schedule(1, [&]() { ++fired; });
     q.schedule(2, [&]() { ++fired; });
@@ -281,10 +267,10 @@ TEST_P(EventQueueBothEngines, ExecutedCountsFiredEventsOnly)
     EXPECT_EQ(q.executed(), 0u);
 }
 
-TEST_P(EventQueueBothEngines, CancelledFarEventsDoNotResurface)
+TEST(EventQueueProperties, CancelledFarEventsDoNotResurface)
 {
     constexpr uint32_t horizon = EventQueue::calendarHorizon;
-    EventQueue q(GetParam());
+    EventQueue q;
     std::vector<int> order;
     const EventId far = q.schedule(3 * horizon,
                                    [&]() { order.push_back(99); });
@@ -297,23 +283,11 @@ TEST_P(EventQueueBothEngines, CancelledFarEventsDoNotResurface)
     EXPECT_TRUE(q.empty());
 }
 
-using EventQueueEnginesDeath = testing::Test;
-
-/** Scheduling in the past is a hard error on BOTH engines: on the
- *  calendar engine it would corrupt the tick->bucket map, and the
- *  legacy engine panics identically so behaviour cannot diverge. */
-TEST(EventQueueEnginesDeath, PastScheduleIsFatalOnCalendar)
+/** Scheduling in the past is a hard error: it would corrupt the
+ *  tick->bucket map, so it panics instead of misfiling the event. */
+TEST(EventQueueDeath, PastScheduleIsFatal)
 {
-    EventQueue q(EventQueueEngine::Calendar);
-    q.schedule(50, []() {});
-    q.run();
-    EXPECT_DEATH(q.schedule(10, []() {}),
-                 "cannot schedule an event in the past");
-}
-
-TEST(EventQueueEnginesDeath, PastScheduleIsFatalOnLegacyHeap)
-{
-    EventQueue q(EventQueueEngine::LegacyHeap);
+    EventQueue q;
     q.schedule(50, []() {});
     q.run();
     EXPECT_DEATH(q.schedule(10, []() {}),

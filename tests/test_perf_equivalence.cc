@@ -1,20 +1,23 @@
 /**
  * @file
- * Differential A/B harness for the hot-path optimizations: the
- * calendar event queue, the devirtualized bit-select signature
- * fast path, the page-granular data store and the arena undo log
- * are pure performance work, so simulations must be bit-for-bit
- * identical with them on or off. Each paper workload runs twice
- * per axis and the resulting stats.json files are compared
- * byte-for-byte; a seeded chaos run cross-checks the full
- * adversarial stack the same way. A committed golden trace
- * (baselines/golden_trace.json) additionally pins the exact event
- * order of a fixed-seed run, so any reordering introduced by future
- * queue work fails tier 1 rather than silently changing results.
+ * Determinism lockdown for the hot-path machinery. The PR 4 legacy
+ * twins (heap event queue, virtual-only signature path, word-map
+ * store, per-frame undo log) served their one-release deprecation
+ * and are gone, so the differential harness now pins the surviving
+ * guarantees directly:
+ *
+ *  - every paper workload run twice produces byte-identical
+ *    stats.json (no hidden host-order or allocation dependence),
+ *  - a seeded chaos run (fault injector + oracle + watchdog) agrees
+ *    with itself field-for-field across repeat runs,
+ *  - a committed golden trace (baselines/golden_trace.json) pins the
+ *    exact event order of a fixed-seed run, so any reordering
+ *    introduced by future queue/protocol work fails tier 1 rather
+ *    than silently changing results.
  *
  * Regenerate the golden trace after an intentional change with:
  *   LOGTM_UPDATE_GOLDEN=1 ./logtm_tests \
- *       --gtest_filter='GoldenTrace.*'
+ *       --gtest_filter='*GoldenTrace*'
  */
 
 #include <gtest/gtest.h>
@@ -28,36 +31,13 @@
 
 #include "check/chaos.hh"
 #include "harness/experiment.hh"
-#include "mem/data_store.hh"
-#include "obs/recording_sink.hh"
-#include "os/tm_system.hh"
-#include "sig/sig_fast_path.hh"
-#include "sim/event_queue.hh"
-#include "tm/tx_log.hh"
+#include "harness/trace_capture.hh"
+#include "obs/trace_pin.hh"
 
 namespace logtm {
 namespace {
 
 namespace fs = std::filesystem;
-
-/** Restore the process-wide engine/fast-path defaults after each
- *  test, whatever happens inside it. */
-class Differential : public testing::Test
-{
-  protected:
-    void
-    TearDown() override
-    {
-        EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
-        SigFastRef::setEnabled(true);
-        DataStore::setDefaultMode(DataStoreMode::PagedFlat);
-        TxLog::setDefaultMode(TxLogMode::Arena);
-    }
-};
-
-using EventQueueDifferential = Differential;
-using SigFastPathDifferential = Differential;
-using StorePathDifferential = Differential;
 
 std::string
 readFile(const fs::path &p)
@@ -100,27 +80,25 @@ statsBytes(ExperimentConfig cfg, const std::string &tag)
 }
 
 // --------------------------------------------------------------------
-// Event-queue engine differential
+// Repeat-run determinism
 // --------------------------------------------------------------------
 
-TEST_F(EventQueueDifferential, Table2WorkloadsByteIdenticalStats)
+using Differential = testing::Test;
+
+TEST_F(Differential, Table2WorkloadsByteIdenticalAcrossRuns)
 {
     for (Benchmark b : paperBenchmarks()) {
         const ExperimentConfig cfg = table2Config(b);
-
-        EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
-        const std::string legacy = statsBytes(cfg, "q_legacy");
-        EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
-        const std::string calendar = statsBytes(cfg, "q_calendar");
-
-        EXPECT_EQ(legacy, calendar)
+        const std::string first = statsBytes(cfg, "run_a");
+        const std::string second = statsBytes(cfg, "run_b");
+        EXPECT_EQ(first, second)
             << toString(b)
-            << ": engines disagree -- the calendar queue changed "
-               "simulation behaviour";
+            << ": repeat runs disagree -- simulation leaks host "
+               "state into results";
     }
 }
 
-TEST_F(EventQueueDifferential, ChaosMixAgreesAcrossEngines)
+TEST_F(Differential, ChaosMixAgreesAcrossRuns)
 {
     // The adversarial stack (fault injector + oracle + watchdog)
     // leans on cancellation and far-future scheduling much harder
@@ -129,130 +107,35 @@ TEST_F(EventQueueDifferential, ChaosMixAgreesAcrossEngines)
     params.seed = 12345;
     params.faults = chaosMix("everything");
 
-    EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
-    const ChaosResult legacy = runChaos(params);
-    EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
-    const ChaosResult calendar = runChaos(params);
+    const ChaosResult first = runChaos(params);
+    const ChaosResult second = runChaos(params);
 
-    EXPECT_EQ(legacy.completed, calendar.completed);
-    EXPECT_EQ(legacy.watchdogFired, calendar.watchdogFired);
-    EXPECT_EQ(legacy.counterSum, calendar.counterSum);
-    EXPECT_EQ(legacy.expectedSum, calendar.expectedSum);
-    EXPECT_EQ(legacy.violations, calendar.violations);
-    EXPECT_EQ(legacy.commits, calendar.commits);
-    EXPECT_EQ(legacy.aborts, calendar.aborts);
-    EXPECT_EQ(legacy.faultsInjected, calendar.faultsInjected);
-    EXPECT_EQ(legacy.cycles, calendar.cycles);
-}
-
-TEST_F(EventQueueDifferential, EnvVarSelectsLegacyEngine)
-{
-    // $LOGTM_LEGACY_EVENTQ is read once at process start; the
-    // programmatic default mirrors what it controls. This pins the
-    // public contract that a queue picks up the process default.
-    EventQueue::setDefaultEngine(EventQueueEngine::LegacyHeap);
-    EventQueue legacy;
-    EXPECT_EQ(legacy.engine(), EventQueueEngine::LegacyHeap);
-    EventQueue::setDefaultEngine(EventQueueEngine::Calendar);
-    EventQueue calendar;
-    EXPECT_EQ(calendar.engine(), EventQueueEngine::Calendar);
-}
-
-// --------------------------------------------------------------------
-// Signature fast-path differential
-// --------------------------------------------------------------------
-
-TEST_F(SigFastPathDifferential, Table2WorkloadsByteIdenticalStats)
-{
-    for (Benchmark b : paperBenchmarks()) {
-        const ExperimentConfig cfg = table2Config(b);
-
-        SigFastRef::setEnabled(false);
-        const std::string virt = statsBytes(cfg, "s_virtual");
-        SigFastRef::setEnabled(true);
-        const std::string fast = statsBytes(cfg, "s_fast");
-
-        EXPECT_EQ(virt, fast)
-            << toString(b)
-            << ": bit-select fast path changed simulation behaviour";
-    }
-}
-
-// --------------------------------------------------------------------
-// Data-store / undo-log layout differential
-// --------------------------------------------------------------------
-
-TEST_F(StorePathDifferential, Table2WorkloadsByteIdenticalStats)
-{
-    // The paged DataStore and the arena TxLog are storage-layout
-    // changes only; flip both to their legacy layouts at once (the
-    // word map and the per-frame vectors) and demand identical stats.
-    for (Benchmark b : paperBenchmarks()) {
-        const ExperimentConfig cfg = table2Config(b);
-
-        DataStore::setDefaultMode(DataStoreMode::LegacyWordMap);
-        TxLog::setDefaultMode(TxLogMode::LegacyFrames);
-        const std::string legacy = statsBytes(cfg, "st_legacy");
-        DataStore::setDefaultMode(DataStoreMode::PagedFlat);
-        TxLog::setDefaultMode(TxLogMode::Arena);
-        const std::string paged = statsBytes(cfg, "st_paged");
-
-        EXPECT_EQ(legacy, paged)
-            << toString(b)
-            << ": paged store / arena log changed simulation "
-               "behaviour";
-    }
+    EXPECT_EQ(first.completed, second.completed);
+    EXPECT_EQ(first.watchdogFired, second.watchdogFired);
+    EXPECT_EQ(first.counterSum, second.counterSum);
+    EXPECT_EQ(first.expectedSum, second.expectedSum);
+    EXPECT_EQ(first.violations, second.violations);
+    EXPECT_EQ(first.commits, second.commits);
+    EXPECT_EQ(first.aborts, second.aborts);
+    EXPECT_EQ(first.faultsInjected, second.faultsInjected);
+    EXPECT_EQ(first.cycles, second.cycles);
 }
 
 // --------------------------------------------------------------------
 // Golden determinism pin
 // --------------------------------------------------------------------
 
-std::string
-renderTrace(const std::vector<ObsEvent> &events, size_t limit)
-{
-    std::ostringstream os;
-    os << "[\n";
-    const size_t n = std::min(events.size(), limit);
-    for (size_t i = 0; i < n; ++i) {
-        const ObsEvent &e = events[i];
-        os << "  {\"cycle\": " << e.cycle << ", \"kind\": \""
-           << eventKindName(e.kind) << "\", \"ctx\": " << e.ctx
-           << ", \"thread\": " << e.thread << ", \"addr\": " << e.addr
-           << ", \"otherCtx\": " << e.otherCtx
-           << ", \"cause\": " << unsigned(e.cause) << ", \"access\": "
-           << (e.access == AccessType::Write ? "\"W\"" : "\"R\"")
-           << ", \"fp\": " << (e.falsePositive ? "true" : "false")
-           << ", \"a\": " << e.a << ", \"b\": " << e.b << "}"
-           << (i + 1 < n ? "," : "") << "\n";
-    }
-    os << "]\n";
-    return os.str();
-}
-
 TEST_F(Differential, GoldenTraceMatchesCommittedBaseline)
 {
     // A fixed-seed BerkeleyDB run on the default table2 system; the
     // first 256 observability events pin event order, conflict
     // attribution and abort causes exactly.
-    SystemConfig scfg;
-    scfg.signature = sigBS(2048);
-    TmSystem sys(scfg);
-    RecordingSink ring;
-    sys.sim().events().attach(&ring);
-
-    WorkloadParams p;
-    p.numThreads = scfg.numContexts();
-    p.useTm = true;
-    p.totalUnits = 64;
-    p.seed = 1;
-    auto wl = makeWorkload(Benchmark::BerkeleyDB, sys, p);
-    wl->run();
-    sys.sim().events().detach(&ring);
-    ASSERT_GE(ring.size(), 256u)
+    const std::vector<ObsEvent> events = captureGoldenRunEvents();
+    ASSERT_GE(events.size(), goldenTracePinnedEvents)
         << "run too short to pin a meaningful prefix";
 
-    const std::string got = renderTrace(ring.events(), 256);
+    const std::string got =
+        renderTraceJson(events, goldenTracePinnedEvents);
     const fs::path golden =
         fs::path(LOGTM_BASELINES_DIR) / "golden_trace.json";
 

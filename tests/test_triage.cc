@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Automated failure triage: repro bundles, scripted fault replay,
+ * ddmin minimization, and trace-divergence bisection.
+ *
+ * The chaos runs here are deliberately tiny (few work units, the
+ * planted defectVictimBypass defect) so the whole file stays in the
+ * tier-1 time budget while still exercising the full
+ * capture -> replay -> minimize pipeline on real simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "check/fault_script.hh"
+#include "check/fingerprint.hh"
+#include "obs/trace_pin.hh"
+#include "sweep/result_store.hh"
+#include "triage/bisect.hh"
+#include "triage/minimizer.hh"
+#include "triage/repro_bundle.hh"
+
+namespace logtm {
+namespace {
+
+using triage::BisectOptions;
+using triage::BisectResult;
+using triage::MinimizeOptions;
+using triage::MinimizeResult;
+using triage::ReproBundle;
+
+/** Small, deterministic failing chaos setup: the planted victim-
+ *  bypass defect turns the first victimize fault into an oracle
+ *  conviction. */
+ChaosParams
+failingParams()
+{
+    ChaosParams p;
+    p.seed = 7;
+    p.faults = chaosMix("eviction");
+    p.totalUnits = 48;
+    p.defectVictimBypass = true;
+    return p;
+}
+
+TEST(FaultScript, FormatParseRoundTrip)
+{
+    FaultScript s;
+    s.events.push_back({400, FaultKind::Victimize, 77});
+    s.events.push_back({17, FaultKind::MeshDelay, 5});
+    s.events.push_back({9, FaultKind::SpuriousNack, 123456789ull});
+    s.events.push_back({1200, FaultKind::Migrate, 0});
+    const std::string text = s.format();
+    const FaultScript back = FaultScript::parse(text);
+    EXPECT_EQ(back, s);
+    EXPECT_EQ(back.format(), text);
+}
+
+TEST(FaultScript, EmptyScriptRoundTrips)
+{
+    const FaultScript s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(FaultScript::parse(s.format()), s);
+}
+
+TEST(Fingerprint, FormatParseRoundTrip)
+{
+    for (const char *text :
+         {"clean", "incomplete", "watchdog", "sumMismatch",
+          "oracle:dirtyRead", "oracle:lostUpdate"}) {
+        const FailureFingerprint fp = FailureFingerprint::parse(text);
+        EXPECT_EQ(fp.format(), text);
+    }
+    EXPECT_FALSE(FailureFingerprint::parse("clean").failed());
+    EXPECT_TRUE(FailureFingerprint::parse("watchdog").failed());
+}
+
+TEST(Fingerprint, SeverityOrderInClassification)
+{
+    ChaosResult r;
+    r.completed = true;
+    r.sumOk = true;
+    EXPECT_EQ(classifyFailure(r).cls, FailureClass::Clean);
+    r.completed = false;
+    EXPECT_EQ(classifyFailure(r).cls, FailureClass::Incomplete);
+    r.watchdogFired = true;
+    EXPECT_EQ(classifyFailure(r).cls, FailureClass::Watchdog);
+    r.sumOk = false;
+    EXPECT_EQ(classifyFailure(r).cls, FailureClass::SumMismatch);
+    r.violations = 2;
+    r.firstViolation = "dirtyRead";
+    const FailureFingerprint fp = classifyFailure(r);
+    EXPECT_EQ(fp.cls, FailureClass::Oracle);
+    EXPECT_EQ(fp.format(), "oracle:dirtyRead");
+}
+
+TEST(ReproBundleJson, RoundTripsEveryField)
+{
+    ReproBundle b;
+    b.params = failingParams();
+    b.params.snooping = true;
+    b.params.numThreads = 3;
+    b.params.numCounters = 2;
+    b.params.signature = sigCBS(512);
+    b.params.watchdogThreshold = 123456;
+    FaultScript s;
+    s.events.push_back({400, FaultKind::Victimize, 77});
+    b.params.script = s;
+    b.fingerprint = FailureFingerprint::parse("oracle:dirtyRead");
+    b.note = "unit test";
+
+    ReproBundle back;
+    std::string err;
+    ASSERT_TRUE(ReproBundle::fromJson(b.toJson(), &back, &err)) << err;
+    EXPECT_EQ(back.toJson(), b.toJson());
+    EXPECT_EQ(back.canonicalKey(), b.canonicalKey());
+    EXPECT_EQ(back.params.seed, b.params.seed);
+    EXPECT_EQ(back.params.numThreads, 3u);
+    EXPECT_TRUE(back.params.snooping);
+    EXPECT_TRUE(back.params.defectVictimBypass);
+    EXPECT_EQ(back.params.signature.kind,
+              SignatureKind::CoarseBitSelect);
+    ASSERT_TRUE(back.params.script.has_value());
+    EXPECT_EQ(*back.params.script, s);
+    EXPECT_EQ(back.fingerprint.format(), "oracle:dirtyRead");
+    EXPECT_EQ(back.note, "unit test");
+}
+
+TEST(ReproBundleJson, DistinguishesEmptyScriptFromNoScript)
+{
+    ReproBundle stochastic;
+    stochastic.params = failingParams();
+    ReproBundle scripted = stochastic;
+    scripted.params.script = FaultScript{};
+
+    EXPECT_NE(stochastic.canonicalKey(), scripted.canonicalKey());
+    ReproBundle back;
+    ASSERT_TRUE(
+        ReproBundle::fromJson(stochastic.toJson(), &back, nullptr));
+    EXPECT_FALSE(back.params.script.has_value());
+    ASSERT_TRUE(
+        ReproBundle::fromJson(scripted.toJson(), &back, nullptr));
+    ASSERT_TRUE(back.params.script.has_value());
+    EXPECT_TRUE(back.params.script->empty());
+}
+
+TEST(ReproBundleJson, RejectsGarbageAndWrongSchema)
+{
+    ReproBundle out;
+    std::string err;
+    EXPECT_FALSE(ReproBundle::fromJson("not json", &out, &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(
+        ReproBundle::fromJson("{\"schema\": \"wrong\"}", &out, &err));
+}
+
+TEST(TriagePipeline, CapturedScriptReplaysBitIdentically)
+{
+    ChaosResult capture;
+    const ReproBundle bundle =
+        triage::captureBundle(failingParams(), &capture);
+    ASSERT_TRUE(bundle.fingerprint.failed())
+        << "planted defect did not trip: " << capture.describe();
+    ASSERT_TRUE(bundle.params.script.has_value());
+    ASSERT_GT(bundle.params.script->size(), 0u);
+
+    const ChaosResult replay = triage::replayBundle(bundle);
+    // The scripted replay fires the captured events at the captured
+    // ticks/query-indexes with the captured per-event seeds, so the
+    // whole run — not just the verdict — must match the capture run.
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+    EXPECT_EQ(replay.cycles, capture.cycles);
+    EXPECT_EQ(replay.commits, capture.commits);
+    EXPECT_EQ(replay.aborts, capture.aborts);
+    EXPECT_EQ(replay.counterSum, capture.counterSum);
+    EXPECT_EQ(replay.violations, capture.violations);
+    EXPECT_EQ(replay.faultsInjected, capture.faultsInjected);
+    EXPECT_EQ(replay.firstViolation, capture.firstViolation);
+}
+
+TEST(TriagePipeline, MinimizerConvergesToSameFingerprint)
+{
+    const ReproBundle bundle = triage::captureBundle(failingParams());
+    ASSERT_TRUE(bundle.fingerprint.failed());
+    ASSERT_GE(bundle.params.script->size(), 10u)
+        << "capture too small to make minimization meaningful";
+
+    MinimizeOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = "";  // probe cache exercised separately
+    const MinimizeResult res = triage::minimizeBundle(bundle, opt);
+
+    EXPECT_EQ(res.originalEvents, bundle.params.script->size());
+    EXPECT_LE(res.finalEvents, 3u);
+    EXPECT_EQ(res.bundle.fingerprint, bundle.fingerprint);
+
+    // The minimized bundle must stand on its own.
+    const ChaosResult replay = triage::replayBundle(res.bundle);
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+}
+
+TEST(TriagePipeline, MinimizerProbeCacheShortCircuitsRerun)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "logtm-triage-cache-test")
+            .string();
+    std::filesystem::remove_all(dir);
+
+    const ReproBundle bundle = triage::captureBundle(failingParams());
+    ASSERT_TRUE(bundle.fingerprint.failed());
+
+    MinimizeOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = dir;
+    const MinimizeResult cold = triage::minimizeBundle(bundle, opt);
+    const MinimizeResult warm = triage::minimizeBundle(bundle, opt);
+
+    EXPECT_GT(cold.probes, 0u);
+    EXPECT_EQ(warm.probes, 0u);
+    EXPECT_GE(warm.cacheHits, cold.probes);
+    EXPECT_EQ(warm.bundle.canonicalKey(), cold.bundle.canonicalKey());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStoreRaw, RoundTripAndMiss)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "logtm-raw-store-test")
+            .string();
+    std::filesystem::remove_all(dir);
+    sweep::ResultStore store(dir);
+    EXPECT_FALSE(store.lookupRaw("absent").has_value());
+    store.storeRaw("key-a", "oracle:dirtyRead");
+    store.storeRaw("key-b", "watchdog");
+    EXPECT_EQ(store.lookupRaw("key-a").value_or(""),
+              "oracle:dirtyRead");
+    EXPECT_EQ(store.lookupRaw("key-b").value_or(""), "watchdog");
+    store.storeRaw("key-a", "clean");  // overwrite
+    EXPECT_EQ(store.lookupRaw("key-a").value_or(""), "clean");
+    std::filesystem::remove_all(dir);
+}
+
+// ----- bisection --------------------------------------------------
+
+std::vector<ObsEvent>
+syntheticStream(size_t n)
+{
+    std::vector<ObsEvent> events;
+    for (size_t i = 0; i < n; ++i) {
+        ObsEvent e;
+        e.cycle = 10 * i;
+        e.kind = EventKind::TxBegin;
+        e.ctx = static_cast<CtxId>(i % 8);
+        e.thread = static_cast<ThreadId>(i % 5);
+        e.addr = 64 * i;
+        events.push_back(e);
+    }
+    return events;
+}
+
+TEST(Bisect, PrefixHashesDetectFirstDivergenceInLogComparisons)
+{
+    const std::vector<ObsEvent> a = syntheticStream(64);
+    std::vector<ObsEvent> b = a;
+    b[37].addr ^= 0x40;
+
+    uint64_t cmp = 0;
+    const size_t idx = triage::firstDivergentIndex(
+        tracePrefixHashes(a), tracePrefixHashes(b), &cmp);
+    EXPECT_EQ(idx, 37u);
+    EXPECT_LE(cmp, 8u);  // 1 + ceil(log2(64)) + slack
+
+    // Identical streams: one comparison settles it.
+    cmp = 0;
+    EXPECT_EQ(triage::firstDivergentIndex(tracePrefixHashes(a),
+                                          tracePrefixHashes(a), &cmp),
+              64u);
+    EXPECT_EQ(cmp, 1u);
+}
+
+TEST(Bisect, AgainstReferenceFindsDivergenceInLogProbes)
+{
+    const std::vector<ObsEvent> ref = syntheticStream(200);
+    std::vector<ObsEvent> live = ref;
+    live[123].thread = 99;
+
+    std::vector<std::string> refLines;
+    for (const ObsEvent &e : ref)
+        refLines.push_back(renderTraceLine(e));
+
+    uint64_t sourceCalls = 0;
+    const triage::TraceSource source = [&](size_t maxEvents) {
+        ++sourceCalls;
+        std::vector<ObsEvent> out = live;
+        if (out.size() > maxEvents)
+            out.resize(maxEvents);
+        return out;
+    };
+
+    const BisectResult res =
+        triage::bisectAgainstReference(refLines, source);
+    EXPECT_TRUE(res.diverged);
+    EXPECT_FALSE(res.lengthOnly);
+    EXPECT_EQ(res.firstDivergent, 123u);
+    // 1 full probe + ceil(log2(200)) bisection probes + 1 context
+    // probe: the whole point is O(log n) re-runs.
+    EXPECT_LE(res.probeRuns, 2u + 8u);
+    EXPECT_EQ(res.probeRuns, sourceCalls);
+
+    // Context windows bracket the divergence and mark it.
+    ASSERT_FALSE(res.referenceWindow.empty());
+    ASSERT_EQ(res.referenceWindow.size(), res.liveWindow.size());
+    bool markedRef = false, markedLive = false;
+    for (const std::string &l : res.referenceWindow)
+        markedRef |= l.rfind(">> 123:", 0) == 0;
+    for (const std::string &l : res.liveWindow)
+        markedLive |= l.rfind(">> 123:", 0) == 0;
+    EXPECT_TRUE(markedRef);
+    EXPECT_TRUE(markedLive);
+    EXPECT_NE(res.describe().find("index 123"), std::string::npos);
+}
+
+TEST(Bisect, IdenticalStreamsSettleInOneProbe)
+{
+    const std::vector<ObsEvent> ref = syntheticStream(100);
+    std::vector<std::string> refLines;
+    for (const ObsEvent &e : ref)
+        refLines.push_back(renderTraceLine(e));
+    const triage::TraceSource source = [&](size_t maxEvents) {
+        std::vector<ObsEvent> out = ref;
+        if (out.size() > maxEvents)
+            out.resize(maxEvents);
+        return out;
+    };
+    const BisectResult res =
+        triage::bisectAgainstReference(refLines, source);
+    EXPECT_FALSE(res.diverged);
+    EXPECT_EQ(res.probeRuns, 1u);
+}
+
+TEST(Bisect, TruncatedLiveStreamReportsLengthDivergence)
+{
+    const std::vector<ObsEvent> ref = syntheticStream(80);
+    const std::vector<ObsEvent> live(ref.begin(), ref.begin() + 50);
+    std::vector<std::string> refLines;
+    for (const ObsEvent &e : ref)
+        refLines.push_back(renderTraceLine(e));
+    const triage::TraceSource source = [&](size_t maxEvents) {
+        std::vector<ObsEvent> out = live;
+        if (out.size() > maxEvents)
+            out.resize(maxEvents);
+        return out;
+    };
+    const BisectResult res =
+        triage::bisectAgainstReference(refLines, source);
+    EXPECT_TRUE(res.diverged);
+    EXPECT_TRUE(res.lengthOnly);
+    EXPECT_EQ(res.firstDivergent, 50u);
+}
+
+TEST(Bisect, ParseTraceLinesInvertsRenderTraceJson)
+{
+    const std::vector<ObsEvent> events = syntheticStream(5);
+    const std::vector<std::string> lines =
+        triage::parseTraceLines(renderTraceJson(events, 5));
+    ASSERT_EQ(lines.size(), 5u);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(lines[i], renderTraceLine(events[i]));
+    // The hashes computed from parsed lines must chain identically.
+    EXPECT_EQ(triage::bisectAgainstReference(
+                  lines,
+                  [&](size_t) { return events; })
+                  .diverged,
+              false);
+}
+
+TEST(TriageDeath, MinimizingCleanBundleIsFatal)
+{
+    ReproBundle b;
+    b.params = failingParams();
+    b.fingerprint = FailureFingerprint{};  // clean
+    EXPECT_DEATH(triage::minimizeBundle(b, MinimizeOptions{}),
+                 "clean");
+}
+
+} // namespace
+} // namespace logtm
