@@ -47,7 +47,7 @@ main(int argc, char **argv)
         ExperimentConfig cfg = paperExperiment(b);
         cfg.wl.useTm = true;
         cfg.sys.signature = sigPerfect();
-        cfg.obs = opt.obs;  // at --jobs>1 each run gets a subdirectory
+        cfg.obs = opt.obs;  // shared dir -> run_<k>/ + manifest.json
         grid.push_back(cfg);
     }
     const std::vector<ExperimentResult> results =

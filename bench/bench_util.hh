@@ -16,6 +16,8 @@
  *   --csv                 tables print CSV
  *   --obs-out=DIR         write stats.json (and trace) into DIR
  *   --obs-trace           also record events and export a Chrome trace
+ *   --obs-interval=N      sample counters + cycle buckets every N
+ *                         cycles and write timeseries.json too
  */
 
 #ifndef LOGTM_BENCH_BENCH_UTIL_HH
@@ -64,8 +66,9 @@ csvMode(int argc, char **argv)
 
 /**
  * Parse the observability flags shared by every bench binary:
- *   --obs-out=DIR   write stats.json (and trace) into DIR
- *   --obs-trace     also record events and export a Chrome trace
+ *   --obs-out=DIR       write stats.json (and trace) into DIR
+ *   --obs-trace         also record events and export a Chrome trace
+ *   --obs-interval=N    sample every N cycles into timeseries.json
  * Unknown flags are left for the binary's own parsing.
  */
 inline ObsOptions
@@ -78,6 +81,9 @@ parseObsOptions(int argc, char **argv)
             obs.outDir = arg.substr(10);
         else if (arg == "--obs-trace")
             obs.trace = true;
+        else if (arg.rfind("--obs-interval=", 0) == 0)
+            obs.intervalCycles =
+                std::strtoull(arg.c_str() + 15, nullptr, 10);
     }
     return obs;
 }

@@ -15,7 +15,13 @@ declares a dynamic prefix (the code appends a computed suffix, e.g.
 "obs.conflict." + label); the prefix itself must then be well-formed
 up to the trailing dot.
 
-Usage: check_stats_names.py [SRC_DIR ...]
+Usage: check_stats_names.py [--require PREFIX ...] [SRC_DIR ...]
+
+--require PREFIX asserts coverage: at least one registered name (or
+dynamic-prefix literal) must start with PREFIX. Use it to keep
+load-bearing stat families (e.g. "tm.cycles.", "obs.ts.") from being
+renamed or dropped without their consumers noticing.
+
 Exits non-zero listing each offending literal with file:line.
 """
 
@@ -52,7 +58,7 @@ def check_name(name: str) -> str | None:
     return None
 
 
-def lint_file(path: Path) -> list[str]:
+def lint_file(path: Path, names: list[str]) -> list[str]:
     complaints = []
     try:
         text = path.read_text(errors='replace')
@@ -61,6 +67,7 @@ def lint_file(path: Path) -> list[str]:
     for lineno, line in enumerate(text.splitlines(), 1):
         for m in CALL_RE.finditer(line):
             name = m.group(1)
+            names.append(name)
             why = check_name(name)
             if why:
                 complaints.append(
@@ -69,7 +76,17 @@ def lint_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    roots = [Path(a) for a in argv[1:]] or [
+    required = []
+    rest = []
+    args = iter(argv[1:])
+    for a in args:
+        if a == '--require':
+            required.append(next(args, ''))
+        elif a.startswith('--require='):
+            required.append(a[len('--require='):])
+        else:
+            rest.append(a)
+    roots = [Path(a) for a in rest] or [
         Path(__file__).resolve().parent.parent / 'src']
     files = []
     for root in roots:
@@ -84,10 +101,17 @@ def main(argv: list[str]) -> int:
         return 2
 
     complaints = []
+    names = []
     checked = 0
     for f in files:
         checked += 1
-        complaints.extend(lint_file(f))
+        complaints.extend(lint_file(f, names))
+
+    for prefix in required:
+        if not any(n.startswith(prefix) for n in names):
+            complaints.append(
+                f'required stat family "{prefix}*" not registered '
+                'anywhere under the scanned sources')
 
     if complaints:
         print('stat-name convention violations '

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Render a self-contained HTML report from a campaign JSON artifact.
+
+Input: a BENCH_<name>.json written by `logtm_sweep` (or any bench
+binary routed through writeCampaignFile), schema
+"logtm-sweep-campaign-v1". Jobs carry per-run cycleBuckets — the
+nine-way cycle-accounting breakdown whose values sum to
+numContexts * cycles for each run.
+
+Output: one HTML file with no external dependencies (inline CSS +
+SVG):
+  * a Figure-4-style stacked bar per (benchmark, variant, threads)
+    cell showing where the machine's cycles went, normalized to the
+    cell's total so bars are comparable across workloads;
+  * the aggregate summary table (median over seeds);
+  * optional sparklines: pass --obs-dir pointing at an --obs-out
+    directory; every timeseries.json below it (flat or run_<k>/)
+    contributes a committed-work-per-interval sparkline.
+
+Usage:
+  make_report.py BENCH_table2.json -o report.html
+  make_report.py BENCH_table2.json --obs-dir obs/ -o report.html
+
+Stdlib only; deterministic output for identical inputs.
+"""
+
+import argparse
+import html
+import json
+import sys
+from pathlib import Path
+
+# Bucket order matches src/obs/cycle_accounting.hh (report order =
+# enum order); colors are fixed so reports diff cleanly.
+BUCKETS = [
+    ("committedWork", "#2b8a3e", "useful work inside committed tx"),
+    ("abortedWork", "#e03131", "work later discarded by an abort"),
+    ("abortRollback", "#a61e4d", "walking the undo log"),
+    ("stall", "#e8960c", "NACKed, waiting on a conflict"),
+    ("backoff", "#f7c948", "randomized post-abort backoff"),
+    ("commitOverhead", "#4263eb", "commit latency"),
+    ("barrier", "#9775fa", "waiting at a barrier"),
+    ("nonTx", "#74b816", "work outside any transaction"),
+    ("idle", "#adb5bd", "context had no runnable thread"),
+]
+
+
+def die(msg):
+    print(f"make_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_campaign(path):
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+    schema = data.get("schema", "")
+    if schema != "logtm-sweep-campaign-v1":
+        die(f"{path}: unexpected schema {schema!r}")
+    return data
+
+
+def cell_key(job):
+    return (job["bench"], job["variant"], job["threads"])
+
+
+def collect_cells(data):
+    """Sum cycleBuckets over the seed axis per (bench,variant,threads),
+    preserving first-appearance order."""
+    cells = {}
+    order = []
+    for job in data.get("jobs", []):
+        if not job.get("ok"):
+            continue
+        buckets = job.get("result", {}).get("cycleBuckets")
+        if not buckets:
+            continue
+        key = cell_key(job)
+        if key not in cells:
+            cells[key] = {name: 0 for name, _, _ in BUCKETS}
+            order.append(key)
+        for name, _, _ in BUCKETS:
+            cells[key][name] += int(buckets.get(name, 0))
+    return [(key, cells[key]) for key in order]
+
+
+def stacked_bar_svg(buckets, width=640, height=26):
+    """One horizontal stacked bar, segments proportional to buckets."""
+    total = sum(buckets.values())
+    if total == 0:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'role="img" aria-label="cycle breakdown">']
+    x = 0.0
+    for name, color, _ in BUCKETS:
+        frac = buckets[name] / total
+        w = frac * width
+        if w >= 0.05:
+            pct = 100.0 * frac
+            parts.append(
+                f'<rect x="{x:.2f}" y="0" width="{w:.2f}" '
+                f'height="{height}" fill="{color}">'
+                f'<title>{name}: {pct:.1f}%</title></rect>')
+        x += w
+    parts.append('</svg>')
+    return ''.join(parts)
+
+
+def legend_html():
+    items = []
+    for name, color, desc in BUCKETS:
+        items.append(
+            f'<span class="lg"><span class="sw" '
+            f'style="background:{color}"></span>{name}'
+            f'<span class="desc"> — {html.escape(desc)}</span></span>')
+    return '<div class="legend">' + ''.join(items) + '</div>'
+
+
+def breakdown_section(cells):
+    if not cells:
+        return ('<p class="note">No cycleBuckets in this artifact '
+                '(results may predate cycle accounting or come from '
+                'an old cache).</p>')
+    rows = []
+    for (bench, variant, threads), buckets in cells:
+        label = html.escape(f"{bench} / {variant} / {threads}t")
+        total = sum(buckets.values())
+        rows.append(
+            '<tr>'
+            f'<td class="lbl">{label}</td>'
+            f'<td>{stacked_bar_svg(buckets)}</td>'
+            f'<td class="num">{total:,}</td>'
+            '</tr>')
+    return (legend_html() +
+            '<table class="bars"><thead><tr>'
+            '<th>workload / variant / threads</th>'
+            '<th>cycle breakdown (normalized)</th>'
+            '<th>ctx-cycles</th>'
+            '</tr></thead><tbody>' + ''.join(rows) + '</tbody></table>')
+
+
+def aggregates_table(data):
+    aggs = data.get("aggregates", [])
+    if not aggs:
+        return '<p class="note">No aggregates in this artifact.</p>'
+    cols = ["cycles", "commits", "aborts", "stalls", "speedupVsLock"]
+    head = ('<tr><th>bench</th><th>variant</th><th>threads</th>'
+            '<th>seeds</th>' +
+            ''.join(f'<th>{c} (median)</th>' for c in cols) + '</tr>')
+    rows = []
+    for a in aggs:
+        cells = [html.escape(str(a.get("bench", ""))),
+                 html.escape(str(a.get("variant", ""))),
+                 str(a.get("threads", "")),
+                 str(a.get("seeds", ""))]
+        for c in cols:
+            m = a.get(c, {}).get("median")
+            if m is None:
+                cells.append("-")
+            elif c == "speedupVsLock":
+                cells.append(f"{m:.2f}")
+            else:
+                cells.append(f"{m:,.0f}")
+        rows.append('<tr>' +
+                    ''.join(f'<td class="num">{v}</td>'
+                            if i >= 2 else f'<td>{v}</td>'
+                            for i, v in enumerate(cells)) + '</tr>')
+    return ('<table class="aggs"><thead>' + head + '</thead><tbody>' +
+            ''.join(rows) + '</tbody></table>')
+
+
+def sparkline_svg(values, width=240, height=36):
+    """Polyline sparkline over per-interval values."""
+    if len(values) < 2:
+        return ''
+    vmax = max(values) or 1
+    step = width / (len(values) - 1)
+    pts = ' '.join(
+        f"{i * step:.1f},{height - 2 - (height - 4) * v / vmax:.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg width="{width}" height="{height}" class="spark">'
+            f'<polyline points="{pts}" fill="none" '
+            f'stroke="#2b8a3e" stroke-width="1.5"/></svg>')
+
+
+def timeseries_sections(obs_dir):
+    """One sparkline per timeseries.json under obs_dir (sorted paths
+    keep the report deterministic)."""
+    root = Path(obs_dir)
+    if not root.is_dir():
+        die(f"--obs-dir {obs_dir}: not a directory")
+    out = []
+    for ts_path in sorted(root.rglob("timeseries.json")):
+        try:
+            ts = json.loads(ts_path.read_text())
+        except (OSError, ValueError) as e:
+            print(f"make_report: skipping {ts_path}: {e}",
+                  file=sys.stderr)
+            continue
+        if ts.get("schema") != "logtm-timeseries-v1":
+            continue
+        names = ts.get("bucketNames", [])
+        committed_idx = (names.index("committedWork")
+                         if "committedWork" in names else 0)
+        values = [max(0, iv["cycles"][committed_idx])
+                  for iv in ts.get("intervals", [])
+                  if len(iv.get("cycles", [])) > committed_idx]
+        rel = html.escape(str(ts_path.relative_to(root)))
+        interval = ts.get("intervalCycles", 0)
+        out.append(
+            f'<div class="tsrow"><span class="lbl">{rel}</span> '
+            f'{sparkline_svg(values)} '
+            f'<span class="desc">committedWork cycles per '
+            f'{interval}-cycle interval, {len(values)} samples'
+            f'</span></div>')
+    if not out:
+        return '<p class="note">No timeseries.json found.</p>'
+    return ''.join(out)
+
+
+CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2em auto;
+       max-width: 980px; color: #212529; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { padding: 3px 10px; text-align: left;
+         border-bottom: 1px solid #dee2e6; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+td.lbl, .tsrow .lbl { font-family: ui-monospace, monospace;
+                      font-size: 12px; }
+.legend { margin: 0.5em 0; }
+.lg { margin-right: 1em; white-space: nowrap; font-size: 12px; }
+.sw { display: inline-block; width: 10px; height: 10px;
+      margin-right: 4px; border-radius: 2px; }
+.desc { color: #868e96; }
+.note { color: #868e96; font-style: italic; }
+.meta { color: #495057; font-size: 13px; }
+.tsrow { margin: 4px 0; display: flex; align-items: center;
+         gap: 1em; }
+"""
+
+
+def render(data, obs_dir):
+    name = html.escape(data.get("campaign", "campaign"))
+    spec = data.get("spec", {})
+    seeds = spec.get("seeds", {})
+    meta = (f'jobs: {data.get("jobCount", 0)} '
+            f'(failed: {data.get("failedCount", 0)}) &middot; '
+            f'seeds: {seeds.get("count", "?")} '
+            f'from base {seeds.get("base", "?")} &middot; '
+            f'unit scale 1/{spec.get("unitScaleDenom", 1)}')
+    parts = [
+        '<!DOCTYPE html><html><head><meta charset="utf-8">',
+        f'<title>logtm report: {name}</title>',
+        f'<style>{CSS}</style></head><body>',
+        f'<h1>LogTM-SE campaign report: {name}</h1>',
+        f'<p class="meta">{meta}</p>',
+        '<h2>Where do the cycles go</h2>',
+        '<p class="meta">Per-context cycles classified into exactly '
+        'one bucket; each bar sums over every hardware context and '
+        'every seed of the cell, normalized to the cell total '
+        '(paper Figure 4 style).</p>',
+        breakdown_section(collect_cells(data)),
+        '<h2>Aggregates (median over seeds)</h2>',
+        aggregates_table(data),
+    ]
+    if obs_dir:
+        parts += ['<h2>Time series</h2>', timeseries_sections(obs_dir)]
+    parts.append('</body></html>\n')
+    return ''.join(parts)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render an HTML report from BENCH_<name>.json")
+    ap.add_argument("campaign", help="campaign JSON artifact")
+    ap.add_argument("-o", "--out", default="report.html",
+                    help="output HTML path (default report.html)")
+    ap.add_argument("--obs-dir", default=None,
+                    help="obs output dir; adds timeseries sparklines")
+    args = ap.parse_args()
+
+    data = load_campaign(args.campaign)
+    htmltext = render(data, args.obs_dir)
+    Path(args.out).write_text(htmltext)
+    print(f"make_report: wrote {args.out} "
+          f"({len(htmltext)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

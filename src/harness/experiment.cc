@@ -97,6 +97,35 @@ defaultUnits(Benchmark b)
     return 512;
 }
 
+namespace {
+
+/**
+ * Self-rescheduling interval pump for the TimeSeries sampler. The
+ * sampler only reads, so the pump cannot perturb the run: the
+ * workload's runUntil() checks completion before each event, so the
+ * perpetually pending next sample never extends the simulation.
+ */
+struct SamplerPump
+{
+    TimeSeries *ts;
+    EventQueue *queue;
+    StatsRegistry *stats;
+    const CycleAccounting *acct;
+
+    void
+    arm() const
+    {
+        queue->scheduleIn(ts->interval(), [pump = *this]() {
+            pump.ts->sample(pump.queue->now(), *pump.stats,
+                            pump.acct->snapshotTotals(
+                                pump.queue->now()));
+            pump.arm();
+        }, EventPriority::Cpu);
+    }
+};
+
+} // namespace
+
 ExperimentResult
 runExperiment(const ExperimentConfig &cfg)
 {
@@ -109,8 +138,14 @@ runExperiment(const ExperimentConfig &cfg)
         ocfg.trace = cfg.obs.trace;
         ocfg.numContexts = cfg.sys.numContexts();
         ocfg.threadsPerCore = cfg.sys.threadsPerCore;
+        ocfg.intervalCycles = cfg.obs.intervalCycles;
         obs = std::make_unique<ObsSession>(sys.sim().events(),
                                            sys.stats(), ocfg);
+        if (TimeSeries *ts = obs->timeSeries()) {
+            SamplerPump pump{ts, &sys.sim().queue(), &sys.stats(),
+                             &sys.engine().accounting()};
+            pump.arm();
+        }
     }
 
     auto wl = makeWorkload(cfg.bench, sys, cfg.wl, cfg.mb);
@@ -120,6 +155,12 @@ runExperiment(const ExperimentConfig &cfg)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    sys.finalizeCycleAccounting();
+    if (TimeSeries *ts = obs ? obs->timeSeries() : nullptr) {
+        // Capture the tail interval at the final cycle.
+        ts->sample(sys.now(), sys.stats(),
+                   sys.engine().accounting().snapshotTotals(sys.now()));
+    }
     if (obs)
         obs->finish();
     const StatsRegistry &st = sys.stats();
@@ -153,6 +194,10 @@ runExperiment(const ExperimentConfig &cfg)
             res.abortsByCause[name.substr(cause_prefix.size())] =
                 ctr.value();
     }
+
+    const CycleAccounting &acct = sys.engine().accounting();
+    for (size_t b = 0; b < numCycleBuckets; ++b)
+        res.cycleBuckets[cycleBucketName(b)] = acct.totalBucket(b);
 
     const auto &rd = st.samplers().find("tm.readSetBlocks");
     if (rd != st.samplers().end()) {

@@ -52,6 +52,9 @@ struct ObsOptions
 {
     std::string outDir;   ///< write stats.json (+ trace) here
     bool trace = false;   ///< also record and export a Chrome trace
+    /** >0: sample counters + cycle buckets every N cycles and write
+     *  timeseries.json alongside stats.json. */
+    Cycle intervalCycles = 0;
 
     bool enabled() const { return !outDir.empty(); }
 };
@@ -97,6 +100,9 @@ struct ExperimentResult
     uint64_t microExpected = 0;
     /** Aborts broken down by cause name (sums to aborts). */
     std::map<std::string, uint64_t> abortsByCause;
+    /** Aggregate cycle buckets over all contexts, by bucket name;
+     *  the nine values sum to numContexts * cycles. */
+    std::map<std::string, uint64_t> cycleBuckets;
     double readAvg = 0, readMax = 0;
     double writeAvg = 0, writeMax = 0;
     double undoRecordsAvg = 0;

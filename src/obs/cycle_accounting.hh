@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Cycle accounting: classify every simulated cycle of every hardware
+ * context into exactly one bucket (paper Fig. 4 reports execution
+ * time broken down this way). Maintained as state-transition
+ * timestamps — a context carries a current phase and the cycle it
+ * entered it; transitions flush the elapsed delta into a bucket, so
+ * the cost is O(transitions), never O(cycles).
+ *
+ * Transactional work cannot be classified until the transaction's
+ * fate is known: TxWork deltas accrue into a per-thread stack of
+ * pending frames (parallel to the undo-log nesting) as
+ * (context, cycles) slices and resolve retroactively — to
+ * `committedWork` at commit, to `abortedWork` at abort. Slices keep
+ * the context they accrued on, so the per-context identity
+ *
+ *     sum(buckets[ctx]) == elapsed cycles        (for every ctx)
+ *
+ * holds exactly even when a thread migrates mid-transaction. The
+ * identity is asserted in finalize() and again in foldInto().
+ *
+ * This layer is always on, publishes no events, draws no random
+ * numbers and schedules nothing: enabling or sampling it cannot
+ * perturb the simulation.
+ */
+
+#ifndef LOGTM_OBS_CYCLE_ACCOUNTING_HH
+#define LOGTM_OBS_CYCLE_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace logtm {
+
+/** Instantaneous state of a hardware context. */
+enum class CyclePhase : uint8_t {
+    Idle,      ///< no thread bound (descheduled)
+    NonTx,     ///< running outside any transaction (incl. lock waits)
+    TxWork,    ///< running transactionally; fate not yet known
+    Stall,     ///< waiting out a conflict NACK (LogTM stall)
+    Backoff,   ///< randomized post-abort backoff
+    Rollback,  ///< abort trap + undo-log walk
+    Commit,    ///< commit latency (+ summary trap after migration)
+    Barrier,   ///< waiting at a sync barrier
+};
+
+/** Final buckets (resolved TxWork splits into the first two). */
+enum : size_t {
+    bucketCommittedWork = 0,
+    bucketAbortedWork,
+    bucketAbortRollback,
+    bucketStall,
+    bucketBackoff,
+    bucketCommitOverhead,
+    bucketBarrier,
+    bucketNonTx,
+    bucketIdle,
+    numCycleBuckets,
+};
+
+/** Stable bucket name ("committedWork", ...; index < numCycleBuckets,
+ *  or exactly numCycleBuckets for the snapshot-only "unresolved"). */
+const char *cycleBucketName(size_t bucket);
+
+/** Live view of the bucket totals: the nine resolved buckets plus
+ *  in-flight transactional work that has no fate yet. At any instant
+ *  the entries sum to numContexts * elapsed cycles. */
+using CycleBucketSnapshot = std::array<uint64_t, numCycleBuckets + 1>;
+
+class CycleAccounting
+{
+  public:
+    /** Start the epoch: all @p num_contexts contexts Idle at @p now. */
+    void init(uint32_t num_contexts, Cycle now);
+
+    // ----- transitions (driven by the engine) -------------------------
+
+    void onSchedIn(CtxId ctx, ThreadId t, Cycle now, bool in_tx);
+    void onSchedOut(CtxId ctx, Cycle now);
+
+    /** Begin a (possibly nested) transaction frame on @p ctx. */
+    void txBegin(CtxId ctx, Cycle now, ThreadId t);
+
+    /** Commit the top frame; enters the Commit phase. Closed-nested
+     *  commits merge the frame's slices into the parent (fate still
+     *  open); outer and open-nested commits resolve them to
+     *  committedWork. */
+    void txCommitTop(CtxId ctx, Cycle now, ThreadId t,
+                     bool closed_nested);
+
+    /** Abort the top frame: its slices resolve to abortedWork and the
+     *  context enters the Rollback phase (log walk). */
+    void txAbortTop(CtxId ctx, Cycle now, ThreadId t);
+
+    /** Enter a wait window (Stall / Backoff / Barrier). Re-entering
+     *  the current phase extends the window. */
+    void beginWindow(CtxId ctx, Cycle now, CyclePhase window);
+
+    /** Return to plain execution: TxWork inside a transaction, NonTx
+     *  outside. No-op when already there. */
+    void resume(CtxId ctx, Cycle now, bool in_tx);
+
+    CyclePhase phase(CtxId ctx) const { return ctxs_[ctx].phase; }
+
+    // ----- results ----------------------------------------------------
+
+    /** Flush in-progress phases, resolve still-pending transactional
+     *  work to abortedWork (the run ended before it committed), and
+     *  assert the per-context identity. Call exactly once. */
+    void finalize(Cycle now);
+
+    bool finalized() const { return finalized_; }
+
+    /** Publish "tm.cycles.c<N>.<bucket>" (nonzero only),
+     *  "tm.cycles.total.<bucket>" (all nine) and "tm.cycles.elapsed".
+     *  Requires finalize(); re-checks the identity. */
+    void foldInto(StatsRegistry &stats) const;
+
+    /** Non-destructive live totals (time-series sampling). */
+    CycleBucketSnapshot snapshotTotals(Cycle now) const;
+
+    uint64_t
+    ctxBucket(CtxId ctx, size_t bucket) const
+    {
+        return ctxs_[ctx].buckets[bucket];
+    }
+
+    uint64_t totalBucket(size_t bucket) const;
+
+    Cycle epoch() const { return epoch_; }
+    Cycle elapsed() const { return elapsed_; }
+    uint32_t numContexts() const
+    { return static_cast<uint32_t>(ctxs_.size()); }
+
+  private:
+    /** One span of transactional work awaiting its fate. */
+    struct Slice
+    {
+        CtxId ctx;
+        uint64_t cycles;
+    };
+    using Frame = std::vector<Slice>;
+
+    struct CtxState
+    {
+        CyclePhase phase = CyclePhase::Idle;
+        Cycle phaseStart = 0;
+        ThreadId thread = invalidThread;
+        std::array<uint64_t, numCycleBuckets> buckets{};
+    };
+
+    /** Credit now - phaseStart to the current phase (TxWork accrues
+     *  into the bound thread's top pending frame). */
+    void flushPhase(CtxId ctx, Cycle now);
+
+    std::vector<Frame> &framesFor(ThreadId t);
+
+    static void appendSlice(Frame &frame, const Slice &s);
+    static size_t bucketOf(CyclePhase p);
+
+    std::vector<CtxState> ctxs_;
+    /** Per-thread stack of pending frames, grown on demand. */
+    std::vector<std::vector<Frame>> threadFrames_;
+    Cycle epoch_ = 0;
+    Cycle elapsed_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_CYCLE_ACCOUNTING_HH

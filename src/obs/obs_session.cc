@@ -1,5 +1,7 @@
 #include "obs/obs_session.hh"
 
+#include <cinttypes>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 
@@ -74,6 +76,8 @@ ObsSession::ObsSession(EventBus &bus, StatsRegistry &stats,
     bus_.attach(attr_.get());
     if (cfg_.trace)
         bus_.attach(ring_.get());
+    if (cfg_.intervalCycles > 0)
+        ts_ = std::make_unique<TimeSeries>(cfg_.intervalCycles);
 }
 
 ObsSession::~ObsSession()
@@ -93,6 +97,17 @@ ObsSession::finish()
 
     attr_->foldInto(stats_);
 
+    if (ring_->dropped() > 0) {
+        // The trace is incomplete; the counter records it and the
+        // user can size the ring up.
+        stats_.counter("obs.ring.dropped").add(ring_->dropped());
+        std::fprintf(stderr,
+                     "obs: event ring dropped %" PRIu64 " events; "
+                     "raise ObsConfig::ringCapacity (currently %zu) "
+                     "for a complete trace\n",
+                     ring_->dropped(), cfg_.ringCapacity);
+    }
+
     const std::string stats_path = cfg_.outDir + "/stats.json";
     std::ofstream sf(stats_path);
     if (!sf)
@@ -109,6 +124,14 @@ ObsSession::finish()
         info.numContexts = cfg_.numContexts;
         info.threadsPerCore = cfg_.threadsPerCore;
         exportChromeTrace(ring_->events(), info, tf);
+    }
+
+    if (ts_) {
+        const std::string ts_path = cfg_.outDir + "/timeseries.json";
+        std::ofstream tsf(ts_path);
+        if (!tsf)
+            logtm_fatal("cannot write " + ts_path);
+        ts_->writeJson(tsf);
     }
 }
 

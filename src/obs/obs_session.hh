@@ -8,9 +8,11 @@
  *   <outDir>/stats.json         counters/samplers/histograms +
  *                               conflict matrix + abort causes
  *   <outDir>/events.trace.json  Chrome trace (with trace enabled)
+ *   <outDir>/timeseries.json    interval deltas (with intervalCycles)
  *
- * The harness, bench binaries (--obs-out=DIR / --obs-trace) and the
- * examples all drive observability through this class.
+ * The harness, bench binaries (--obs-out=DIR / --obs-trace /
+ * --obs-interval=N) and the examples all drive observability through
+ * this class.
  */
 
 #ifndef LOGTM_OBS_OBS_SESSION_HH
@@ -21,9 +23,11 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/types.hh"
 #include "obs/attribution.hh"
 #include "obs/event_bus.hh"
 #include "obs/recording_sink.hh"
+#include "obs/time_series.hh"
 
 namespace logtm {
 
@@ -34,6 +38,9 @@ struct ObsConfig
     size_t ringCapacity = 1u << 18;  ///< recorded-event ring size
     uint32_t numContexts = 0;    ///< trace track metadata
     uint32_t threadsPerCore = 1;
+    /** >0: sample every counter and the cycle buckets on this cycle
+     *  interval and write timeseries.json (0 = off, no allocation). */
+    Cycle intervalCycles = 0;
 };
 
 /** Write every statistic in @p stats as JSON ("stats.json" body).
@@ -49,11 +56,16 @@ class ObsSession
     ObsSession(EventBus &bus, StatsRegistry &stats, ObsConfig cfg);
     ~ObsSession();  ///< detaches the sinks (does not write)
 
-    /** Fold attribution stats and write the snapshot files. */
+    /** Fold attribution stats and write the snapshot files. Warns on
+     *  stderr when the recording ring dropped events. */
     void finish();
 
     const AttributionSink &attribution() const { return *attr_; }
     const RecordingSink &recording() const { return *ring_; }
+
+    /** The interval sampler, or nullptr when intervalCycles == 0.
+     *  The harness pumps sample(); finish() writes the JSON. */
+    TimeSeries *timeSeries() { return ts_.get(); }
 
   private:
     EventBus &bus_;
@@ -61,6 +73,7 @@ class ObsSession
     ObsConfig cfg_;
     std::unique_ptr<RecordingSink> ring_;
     std::unique_ptr<AttributionSink> attr_;
+    std::unique_ptr<TimeSeries> ts_;
 };
 
 } // namespace logtm

@@ -1,0 +1,64 @@
+#include "obs/time_series.hh"
+
+#include "obs/json.hh"
+
+namespace logtm {
+
+void
+TimeSeries::sample(Cycle now, StatsRegistry &stats,
+                   const CycleBucketSnapshot &buckets)
+{
+    ++stats.counter("obs.ts.intervals");
+
+    Interval iv;
+    iv.cycle = now;
+    for (const auto &[name, ctr] : stats.counters()) {
+        const uint64_t v = ctr.value();
+        uint64_t &last = lastCounters_[name];
+        if (v != last) {
+            iv.counterDeltas.emplace_back(name, v - last);
+            last = v;
+        }
+    }
+    for (size_t b = 0; b <= numCycleBuckets; ++b) {
+        iv.bucketDeltas[b] = static_cast<int64_t>(buckets[b]) -
+            static_cast<int64_t>(lastBuckets_[b]);
+    }
+    lastBuckets_ = buckets;
+    samples_.push_back(std::move(iv));
+}
+
+void
+TimeSeries::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schema", "logtm-timeseries-v1");
+    w.field("intervalCycles", interval_);
+
+    w.key("bucketNames").beginArray();
+    for (size_t b = 0; b <= numCycleBuckets; ++b)
+        w.value(cycleBucketName(b));
+    w.endArray();
+
+    w.key("intervals").beginArray();
+    for (const Interval &iv : samples_) {
+        w.beginObject();
+        w.field("cycle", iv.cycle);
+        w.key("counters").beginObject();
+        for (const auto &[name, delta] : iv.counterDeltas)
+            w.field(name, delta);
+        w.endObject();
+        w.key("cycles").beginArray();
+        for (const int64_t d : iv.bucketDeltas)
+            w.value(d);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace logtm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Interval time-series telemetry: a passive sampler that, every N
+ * cycles, records the delta of every registered counter plus the
+ * live cycle-bucket view since the previous sample. Turns one-number
+ * aggregates into curves — livelock onset, backoff storms and
+ * chaos-fault response become visible as shapes over time.
+ *
+ * The sampler owns no clock and schedules nothing; the harness pumps
+ * sample() from a self-rescheduling event. Reads are non-destructive,
+ * so sampling cannot perturb the simulation, and the output is fully
+ * deterministic for a deterministic run.
+ */
+
+#ifndef LOGTM_OBS_TIME_SERIES_HH
+#define LOGTM_OBS_TIME_SERIES_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "obs/cycle_accounting.hh"
+
+namespace logtm {
+
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Cycle interval_cycles)
+        : interval_(interval_cycles)
+    {
+    }
+
+    Cycle interval() const { return interval_; }
+
+    /**
+     * Take one sample at @p now: store the per-interval delta of
+     * every counter that moved (sparse) and of each cycle bucket.
+     * Bumps "obs.ts.intervals" in @p stats before snapshotting, so
+     * the series describes itself. Bucket deltas are signed: the
+     * snapshot-only `unresolved` entry shrinks when in-flight
+     * transactional work resolves at commit or abort.
+     */
+    void sample(Cycle now, StatsRegistry &stats,
+                const CycleBucketSnapshot &buckets);
+
+    size_t sampleCount() const { return samples_.size(); }
+
+    /** Emit timeseries.json (schema "logtm-timeseries-v1"). */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Interval
+    {
+        Cycle cycle;
+        std::vector<std::pair<std::string, uint64_t>> counterDeltas;
+        std::array<int64_t, numCycleBuckets + 1> bucketDeltas{};
+    };
+
+    Cycle interval_;
+    std::map<std::string, uint64_t> lastCounters_;
+    CycleBucketSnapshot lastBuckets_{};
+    std::vector<Interval> samples_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_OBS_TIME_SERIES_HH

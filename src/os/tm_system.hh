@@ -33,6 +33,20 @@ class TmSystem
     StatsRegistry &stats() { return sim_.stats(); }
     Cycle now() const { return sim_.now(); }
 
+    /**
+     * Close the cycle-accounting epoch at the current cycle and fold
+     * the per-context buckets into the stats registry as
+     * "tm.cycles.*" counters. Call once, after the workload run and
+     * before snapshotting stats; asserts the identity that every
+     * context's buckets sum to the elapsed cycles.
+     */
+    void
+    finalizeCycleAccounting()
+    {
+        engine_.accounting().finalize(sim_.now());
+        engine_.accounting().foldInto(stats());
+    }
+
   private:
     const SystemConfig cfg_;
     Simulator sim_;

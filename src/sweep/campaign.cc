@@ -93,6 +93,16 @@ struct Cell
     std::vector<size_t> jobIndices;  ///< in expansion order
 };
 
+/** Cycle-accounting bucket lookup (0 when a result predates the
+ *  buckets, e.g. replayed from an old cache entry). */
+double
+cycleBucket(const ExperimentResult &r, const char *name)
+{
+    const auto it = r.cycleBuckets.find(name);
+    return it == r.cycleBuckets.end()
+        ? 0.0 : static_cast<double>(it->second);
+}
+
 /** Metrics aggregated per cell, in report order. */
 const std::vector<std::pair<const char *,
                             double (*)(const ExperimentResult &)>> &
@@ -124,6 +134,24 @@ metricTable()
                  return static_cast<double>(r.l1TxVictims); }},
             {"l2TxVictims", [](const R &r) {
                  return static_cast<double>(r.l2TxVictims); }},
+            {"cycles.committedWork", [](const R &r) {
+                 return cycleBucket(r, "committedWork"); }},
+            {"cycles.abortedWork", [](const R &r) {
+                 return cycleBucket(r, "abortedWork"); }},
+            {"cycles.abortRollback", [](const R &r) {
+                 return cycleBucket(r, "abortRollback"); }},
+            {"cycles.stall", [](const R &r) {
+                 return cycleBucket(r, "stall"); }},
+            {"cycles.backoff", [](const R &r) {
+                 return cycleBucket(r, "backoff"); }},
+            {"cycles.commitOverhead", [](const R &r) {
+                 return cycleBucket(r, "commitOverhead"); }},
+            {"cycles.barrier", [](const R &r) {
+                 return cycleBucket(r, "barrier"); }},
+            {"cycles.nonTx", [](const R &r) {
+                 return cycleBucket(r, "nonTx"); }},
+            {"cycles.idle", [](const R &r) {
+                 return cycleBucket(r, "idle"); }},
         };
     return metrics;
 }

@@ -47,7 +47,8 @@ canonicalConfigKey(const ExperimentConfig &cfg)
     key.reserve(512);
     // Version tag: bump when a new field joins the key so stale cache
     // entries are never misattributed to the new encoding.
-    appendField(key, "v", uint64_t{1});
+    // v2: mb gained barrierEveryUnits; results carry cycleBuckets.
+    appendField(key, "v", uint64_t{2});
     appendField(key, "bench", toString(cfg.bench));
 
     // Workload axes.
@@ -110,7 +111,9 @@ canonicalConfigKey(const ExperimentConfig &cfg)
                         std::to_string(cfg.mb.writesPerTx) + "/" +
                         std::to_string(cfg.mb.writeWorkingSet) + "/" +
                         std::to_string(cfg.mb.thinkCycles) + "/" +
-                        std::to_string(unsigned{cfg.mb.blockSpread}));
+                        std::to_string(unsigned{cfg.mb.blockSpread}) +
+                        "/" +
+                        std::to_string(cfg.mb.barrierEveryUnits));
     }
     return key;
 }
@@ -153,6 +156,10 @@ writeResultJson(const ExperimentResult &res, JsonWriter &w)
     w.key("abortsByCause").beginObject();
     for (const auto &[cause, count] : res.abortsByCause)
         w.field(cause, count);
+    w.endObject();
+    w.key("cycleBuckets").beginObject();
+    for (const auto &[bucket, cycles] : res.cycleBuckets)
+        w.field(bucket, cycles);
     w.endObject();
     w.field("readAvg", res.readAvg);
     w.field("readMax", res.readMax);
@@ -206,6 +213,10 @@ resultFromJson(const JsonValue &v, ExperimentResult *out,
     if (const JsonValue *causes = v.get("abortsByCause")) {
         for (const auto &[cause, count] : causes->object())
             r.abortsByCause[cause] = count.asU64(0);
+    }
+    if (const JsonValue *buckets = v.get("cycleBuckets")) {
+        for (const auto &[bucket, cycles] : buckets->object())
+            r.cycleBuckets[bucket] = cycles.asU64(0);
     }
     r.readAvg = v.getDouble("readAvg", 0.0);
     r.readMax = v.getDouble("readMax", 0.0);

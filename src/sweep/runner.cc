@@ -1,8 +1,12 @@
 #include "sweep/runner.hh"
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
 
+#include "obs/json.hh"
 #include "sweep/config_codec.hh"
 #include "sweep/result_store.hh"
 
@@ -25,12 +29,65 @@ cacheDirFromEnv(const std::string &dflt)
     return env && *env ? std::string(env) : dflt;
 }
 
+namespace {
+
+/**
+ * Keep concurrent (and serial re-)runs from overwriting each other's
+ * observability snapshots: when two or more configs aim obs output at
+ * the same directory, each gets a run_<k> subdirectory — k is the
+ * config's order of appearance in the input list, so the layout is
+ * identical at any worker count and whether or not results come from
+ * the cache — and the shared directory gets a manifest.json mapping
+ * each run_<k> back to its config. A directory targeted by a single
+ * config keeps the flat single-run layout.
+ */
+void
+assignObsRunDirs(std::vector<ExperimentConfig> &cfgs)
+{
+    std::map<std::string, std::vector<size_t>> byDir;
+    for (size_t i = 0; i < cfgs.size(); ++i) {
+        if (cfgs[i].obs.enabled())
+            byDir[cfgs[i].obs.outDir].push_back(i);
+    }
+    for (const auto &[dir, indices] : byDir) {
+        if (indices.size() < 2)
+            continue;
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        std::ofstream mf(dir + "/manifest.json");
+        JsonWriter w(mf);
+        w.beginObject();
+        w.field("schema", "logtm-obs-manifest-v1");
+        w.key("runs").beginArray();
+        for (size_t k = 0; k < indices.size(); ++k) {
+            ExperimentConfig &cfg = cfgs[indices[k]];
+            w.beginObject();
+            w.field("index", static_cast<uint64_t>(k));
+            w.field("dir", "run_" + std::to_string(k));
+            w.field("hash", configHashHex(cfg));
+            w.field("bench", toString(cfg.bench));
+            w.field("variant", cfg.wl.useTm ? cfg.sys.signature.name()
+                                            : std::string("Lock"));
+            w.field("threads", uint64_t{cfg.wl.numThreads});
+            w.field("seed", cfg.wl.seed);
+            w.endObject();
+            cfg.obs.outDir = dir + "/run_" + std::to_string(k);
+        }
+        w.endArray();
+        w.endObject();
+        mf << '\n';
+    }
+}
+
+} // namespace
+
 std::vector<RunOutcome>
 runExperiments(std::vector<ExperimentConfig> cfgs, const RunOptions &opt)
 {
     std::vector<RunOutcome> outcomes(cfgs.size());
 
     const unsigned workers = effectiveWorkers(opt.jobs);
+    assignObsRunDirs(cfgs);
     std::unique_ptr<ResultStore> store;
     if (!opt.cacheDir.empty())
         store = std::make_unique<ResultStore>(opt.cacheDir);
@@ -55,11 +112,6 @@ runExperiments(std::vector<ExperimentConfig> cfgs, const RunOptions &opt)
     for (const size_t index : pending) {
         jobFns.push_back([&, index](const JobContext &ctx) {
             ExperimentConfig cfg = cfgs[index];
-            // Parallel workers must not interleave obs snapshots into
-            // one directory; give each config its own.
-            if (cfg.obs.enabled() && workers > 1) {
-                cfg.obs.outDir += "/" + configHashHex(cfg);
-            }
             if (ctx.cancelled())
                 throw JobTimeout();
             cfg.cancel = [&ctx]() { return ctx.cancelled(); };

@@ -45,11 +45,13 @@ struct RunOutcome
 /**
  * Run every config, returning outcomes in input order. Results are
  * deterministic: each simulation is single-threaded and seeded, so
- * the outcome of a config is identical at any worker count. When
- * observability output is enabled on a config and more than one
- * worker runs, each job's snapshot is redirected into a per-config
- * subdirectory (outDir/<hash>) so parallel runs cannot interleave
- * into one stats.json.
+ * the outcome of a config is identical at any worker count. When two
+ * or more obs-enabled configs share an output directory, each is
+ * redirected into a deterministic outDir/run_<k> subdirectory (k =
+ * order of appearance in the input list, independent of worker count)
+ * and a manifest.json in the shared directory maps each run_<k> back
+ * to its config; a directory targeted by a single config keeps the
+ * flat layout.
  */
 std::vector<RunOutcome> runExperiments(std::vector<ExperimentConfig> cfgs,
                                        const RunOptions &opt);

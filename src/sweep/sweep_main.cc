@@ -38,6 +38,8 @@ usage(std::FILE *to)
         "  --jobs N            host worker threads (0 = all cores;\n"
         "                      default $LOGTM_JOBS or 1)\n"
         "  --seeds K           override the seed-axis count\n"
+        "  --quick             smoke preset: one seed, 1/8 units\n"
+        "                      (explicit --seeds/--units-denom win)\n"
         "  --seed-base B       override the seed-axis base\n"
         "  --units-denom D     override the unit scale denominator\n"
         "  --out FILE          report path (default BENCH_<name>.json)\n"
@@ -84,6 +86,7 @@ main(int argc, char **argv)
     run.cacheDir = cacheDirFromEnv(".logtm-sweep-cache");
     run.progress = true;
     bool csv = false;
+    bool quick = false;
     uint64_t seedBase = 0;
     uint32_t seedCount = 0;
     uint64_t unitsDenom = 0;
@@ -111,6 +114,8 @@ main(int argc, char **argv)
         } else if (argValue(argc, argv, &i, "--retries", &value)) {
             run.maxAttempts = 1u + static_cast<unsigned>(
                 std::strtoul(value.c_str(), nullptr, 10));
+        } else if (arg == "--quick") {
+            quick = true;
         } else if (arg == "--no-cache") {
             run.cacheDir.clear();
         } else if (arg == "--csv") {
@@ -151,6 +156,13 @@ main(int argc, char **argv)
         std::fprintf(stderr, "bad spec %s: %s\n", specFile.c_str(),
                      err.c_str());
         return 2;
+    }
+    if (quick) {
+        // CI smoke preset: enough simulation to exercise every code
+        // path and produce a renderable report, small enough to finish
+        // in seconds. Explicit flags below still override.
+        spec.seeds.count = 1;
+        spec.unitScaleDenom *= 8;
     }
     if (seedCount)
         spec.seeds.count = seedCount;

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sense-free counting barrier in the callback style of the lock
+ * primitives: threads arrive, the last arrival releases everyone.
+ * Waiters park in the event queue (no spinning traffic) and their
+ * hardware contexts are charged to the `barrier` cycle bucket, so
+ * barrier-heavy phases show up separately from lock contention in
+ * the Fig. 4-style breakdowns.
+ */
+
+#ifndef LOGTM_SYNC_BARRIER_HH
+#define LOGTM_SYNC_BARRIER_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tm/logtm_se_engine.hh"
+
+namespace logtm {
+
+class Barrier
+{
+  public:
+    Barrier(LogTmSeEngine &engine, uint32_t participants);
+
+    /** Thread @p t arrives; @p done runs (via the event queue) once
+     *  all participants have arrived. Reusable across episodes. */
+    void arrive(ThreadId t, std::function<void()> done);
+
+    uint32_t participants() const { return participants_; }
+
+  private:
+    LogTmSeEngine &engine_;
+    uint32_t participants_;
+    std::vector<std::pair<ThreadId, std::function<void()>>> waiting_;
+    Counter &episodes_;
+    Counter &waits_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SYNC_BARRIER_HH

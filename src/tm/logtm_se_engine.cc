@@ -54,6 +54,7 @@ LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
         ctx->writeFast.bind(ctx->writeSig.get());
         contexts_.push_back(std::move(ctx));
     }
+    acct_.init(n, sim_.now());
     mem_.setConflictChecker(this);
 }
 
@@ -98,6 +99,7 @@ LogTmSeEngine::bindThread(ThreadId t, CtxId ctx_id)
         thr.savedShadowWrite.clear();
         thr.rescheduledDuringTx = true;
     }
+    acct_.onSchedIn(ctx_id, t, sim_.now(), thr.inTx());
 }
 
 void
@@ -106,6 +108,7 @@ LogTmSeEngine::unbindThread(ThreadId t)
     TxThread &thr = *threads_[t];
     logtm_assert(thr.ctx != invalidCtx, "unbinding descheduled thread");
     HwContext &ctx = *contexts_[thr.ctx];
+    acct_.onSchedOut(thr.ctx, sim_.now());
 
     if (thr.inTx()) {
         // Paper §4.1: save the signatures to the log's current
@@ -200,6 +203,7 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
     logtm_assert(thr.ctx != invalidCtx, "txBegin on descheduled thread");
     logtm_assert(!thr.doomed, "txBegin while doomed");
     HwContext &ctx = *contexts_[thr.ctx];
+    acct_.txBegin(thr.ctx, sim_.now(), t);
 
     RegisterCheckpoint ckpt{sim_.now()};
     if (!thr.inTx()) {
@@ -252,6 +256,7 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
 
     if (thr.log.depth() > 1) {
         const bool open_commit = thr.log.top().open;
+        acct_.txCommitTop(thr.ctx, sim_.now(), t, !open_commit);
         if (observer_)
             observer_->onNestedCommit(t, thr.asid, open_commit);
         if (open_commit) {
@@ -270,13 +275,17 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
             // Closed commit: merge into the parent.
             thr.log.mergeTopIntoParent();
         }
-        sim_.queue().scheduleIn(cfg_.commitLatency, std::move(done),
-                                EventPriority::Cpu);
+        sim_.queue().scheduleIn(cfg_.commitLatency,
+                                [this, t, done = std::move(done)]() {
+            resumePhase(t);
+            done();
+        }, EventPriority::Cpu);
         return;
     }
 
     // Outermost commit: a fast, local operation (paper §2).
     ++commits_;
+    acct_.txCommitTop(thr.ctx, sim_.now(), t, false);
     logtm_trace(TraceCat::Tm, sim_.now(),
                 "t%u commit (reads=%zu writes=%zu undo=%zu)", t,
                 ctx.shadowRead.size(), ctx.shadowWrite.size(),
@@ -313,10 +322,11 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
 
     auto hook = commitMigrationHook_;
     const ThreadId tid = t;
-    sim_.queue().scheduleIn(latency, [done = std::move(done), hook,
-                                      migrated, tid]() {
+    sim_.queue().scheduleIn(latency, [this, done = std::move(done),
+                                      hook, migrated, tid]() {
         if (migrated && hook)
             hook(tid);
+        resumePhase(tid);
         done();
     }, EventPriority::Cpu);
 }
@@ -328,6 +338,7 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     logtm_assert(thr.inTx(), "abort without transaction");
     logtm_assert(thr.ctx != invalidCtx, "abort on descheduled thread");
     HwContext &ctx = *contexts_[thr.ctx];
+    acct_.txAbortTop(thr.ctx, sim_.now(), t);
     ++aborts_;
     ++*abortsByCause_[static_cast<uint8_t>(thr.abortCause)];
     const uint64_t depth_before = thr.log.depth();
@@ -397,15 +408,24 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
         // starvation is avoided. It resets only at commit.
     }
 
-    sim_.queue().scheduleIn(latency, std::move(done), EventPriority::Cpu);
+    sim_.queue().scheduleIn(latency,
+                            [this, t, done = std::move(done)]() {
+        resumePhase(t);
+        done();
+    }, EventPriority::Cpu);
 }
 
 void
 LogTmSeEngine::abortBackoff(ThreadId t, DoneFn done)
 {
     TxThread &thr = *threads_[t];
-    sim_.queue().scheduleIn(backoffDelay(thr), std::move(done),
-                            EventPriority::Cpu);
+    if (thr.ctx != invalidCtx)
+        acct_.beginWindow(thr.ctx, sim_.now(), CyclePhase::Backoff);
+    sim_.queue().scheduleIn(backoffDelay(thr),
+                            [this, t, done = std::move(done)]() {
+        resumePhase(t);
+        done();
+    }, EventPriority::Cpu);
 }
 
 void
@@ -432,10 +452,19 @@ LogTmSeEngine::backoffDelay(TxThread &thr)
 // --------------------------------------------------------------------
 
 void
+LogTmSeEngine::resumePhase(ThreadId t)
+{
+    TxThread &thr = *threads_[t];
+    if (thr.ctx != invalidCtx)
+        acct_.resume(thr.ctx, sim_.now(), thr.inTx());
+}
+
+void
 LogTmSeEngine::noteStall(const TxThread &thr, PhysAddr block,
                          AccessType type, CtxId nacker)
 {
     ++stalls_;
+    acct_.beginWindow(thr.ctx, sim_.now(), CyclePhase::Stall);
     logtm_obs_emit(sim_.events(),
                    ObsEvent{.cycle = sim_.now(),
                          .kind = EventKind::TxStall,
@@ -741,6 +770,12 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                  "memory op from descheduled thread");
     HwContext &ctx = *contexts_[thr.ctx];
     const bool in_tx = thr.inTx() && !op->escape;
+
+    // A reissued op ends any stall window the NACK opened; other
+    // retry delays (summary traps, plain-access NACKs) deliberately
+    // stay in their current phase.
+    if (acct_.phase(thr.ctx) == CyclePhase::Stall)
+        acct_.resume(thr.ctx, sim_.now(), thr.inTx());
 
     if (thr.doomed && in_tx) {
         finishOp(op, OpStatus::Aborted, 0);

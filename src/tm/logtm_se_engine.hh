@@ -29,6 +29,7 @@
 
 #include "common/config.hh"
 #include "mem/memory_system.hh"
+#include "obs/cycle_accounting.hh"
 #include "sim/simulator.hh"
 #include "tm/tx_thread_state.hh"
 
@@ -194,6 +195,15 @@ class LogTmSeEngine : public ConflictChecker
     TxThread &thread(ThreadId t) { return *threads_[t]; }
     uint32_t numThreads() const
     { return static_cast<uint32_t>(threads_.size()); }
+    /** Always-on per-context cycle classification (obs layer). The
+     *  engine drives every transition; it never perturbs the run. */
+    CycleAccounting &accounting() { return acct_; }
+    const CycleAccounting &accounting() const { return acct_; }
+    /** End a wait window (commit/rollback/backoff/stall/barrier) for
+     *  @p t's context: back to TxWork or NonTx. Safe across
+     *  migration — a no-op while the thread is descheduled. Also the
+     *  hook sync primitives use when they unpark a waiter. */
+    void resumePhase(ThreadId t);
     /** Memory operations issued but not yet completed. Fault
      *  injection gates page relocation on quiescence: an in-flight
      *  access holds a physical address across the remap. */
@@ -257,6 +267,7 @@ class LogTmSeEngine : public ConflictChecker
     TxObserver *observer_ = nullptr;
     SigBypassFn sigBypass_;
     uint32_t opsInFlight_ = 0;
+    CycleAccounting acct_;
 
     std::vector<std::unique_ptr<HwContext>> contexts_;
     std::vector<std::unique_ptr<TxThread>> threads_;

@@ -1,5 +1,7 @@
 #include "workload/microbench.hh"
 
+#include "common/log.hh"
+
 namespace logtm {
 
 VirtAddr
@@ -16,6 +18,12 @@ MicrobenchWorkload::setup()
         poke(counterAddr(i), 0);
     poke(lockBase_, 0);
     lock_ = std::make_unique<Spinlock>(sys_.engine(), lockBase_);
+    if (mb_.barrierEveryUnits) {
+        logtm_assert(p_.totalUnits % p_.numThreads == 0,
+                     "barrierEveryUnits needs an even unit split");
+        barrier_ = std::make_unique<Barrier>(sys_.engine(),
+                                             p_.numThreads);
+    }
 }
 
 uint64_t
@@ -76,6 +84,11 @@ MicrobenchWorkload::threadMain(ThreadCtx &tc, uint32_t idx)
         if (mb_.thinkCycles)
             co_await tc.think(think(mb_.thinkCycles) +
                               tc.rng().below(16));
+
+        if (mb_.barrierEveryUnits &&
+            (u + 1) % mb_.barrierEveryUnits == 0) {
+            co_await tc.arrive(*barrier_);
+        }
     }
 }
 

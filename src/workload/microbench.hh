@@ -25,6 +25,11 @@ struct MicrobenchConfig
     uint32_t writeWorkingSet = 0;
     Cycle thinkCycles = 100;     ///< non-transactional work per unit
     bool blockSpread = true;     ///< one counter per cache block
+    /** >0: all threads rendezvous at a barrier after every this many
+     *  units (requires totalUnits % numThreads == 0 so every thread
+     *  reaches each episode). Exercises the `barrier` cycle bucket;
+     *  0 keeps the classic barrier-free behavior. */
+    uint32_t barrierEveryUnits = 0;
 };
 
 class MicrobenchWorkload : public Workload
@@ -54,6 +59,7 @@ class MicrobenchWorkload : public Workload
     static constexpr VirtAddr lockBase_ = 0x20'0000;
     uint64_t committedIncrements_ = 0;
     std::unique_ptr<Spinlock> lock_;
+    std::unique_ptr<Barrier> barrier_;
 };
 
 } // namespace logtm

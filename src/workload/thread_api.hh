@@ -19,6 +19,7 @@
 
 #include "common/rng.hh"
 #include "os/tm_system.hh"
+#include "sync/barrier.hh"
 #include "sync/spinlock.hh"
 #include "workload/task.hh"
 
@@ -219,6 +220,24 @@ class ThreadCtx
         void await_resume() const {}
     };
 
+    struct BarrierAwaiter
+    {
+        ThreadCtx &tc;
+        Barrier &barrier;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            tc.whenScheduled([this, h]() {
+                barrier.arrive(tc.id(), [h]() { h.resume(); });
+            });
+        }
+
+        void await_resume() const {}
+    };
+
     /** Generic engine-callback awaiter (commit, abort, backoff). */
     struct EngineStepAwaiter
     {
@@ -276,6 +295,7 @@ class ThreadCtx
     LockAwaiter release(Spinlock &l) { return {*this, l, false}; }
     TicketAwaiter acquire(TicketLock &l) { return {*this, l, true}; }
     TicketAwaiter release(TicketLock &l) { return {*this, l, false}; }
+    BarrierAwaiter arrive(Barrier &b) { return {*this, b}; }
     ScheduledAwaiter scheduled() { return {*this}; }
 
     /**

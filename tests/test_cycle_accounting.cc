@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Cycle-accounting and time-series tests: the per-context identity
+ * (every bucket sums to elapsed cycles) on every paper workload,
+ * under adversarial desched/migrate chaos, and across abort-heavy
+ * contention; the barrier bucket; timeseries.json byte-determinism
+ * across repeat runs and worker counts; the run_<k>/ + manifest.json
+ * layout when several obs runs share a directory; the ring-drop
+ * warning counter; and the zero-overhead guarantee when observability
+ * is off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fault_injector.hh"
+#include "harness/experiment.hh"
+#include "obs/cycle_accounting.hh"
+#include "obs/obs_session.hh"
+#include "os/tm_system.hh"
+#include "sweep/runner.hh"
+#include "sync/barrier.hh"
+#include "workload/microbench.hh"
+
+namespace logtm {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Small hot machine every test here runs on. */
+SystemConfig
+smallSystem()
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.threadsPerCore = 2;
+    cfg.l2Banks = 4;
+    cfg.meshCols = 2;
+    cfg.meshRows = 2;
+    return cfg;
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << p;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Fresh scratch dir under the system temp dir. */
+fs::path
+scratchDir(const std::string &name)
+{
+    const fs::path dir = fs::temp_directory_path() / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+uint64_t
+bucketSum(const std::map<std::string, uint64_t> &buckets)
+{
+    uint64_t sum = 0;
+    for (const auto &[name, v] : buckets)
+        sum += v;
+    return sum;
+}
+
+/** Per-context identity straight off the accounting object. */
+void
+expectIdentity(const CycleAccounting &acct)
+{
+    ASSERT_TRUE(acct.finalized());
+    for (CtxId c = 0; c < acct.numContexts(); ++c) {
+        uint64_t sum = 0;
+        for (size_t b = 0; b < numCycleBuckets; ++b)
+            sum += acct.ctxBucket(c, b);
+        EXPECT_EQ(sum, acct.elapsed()) << "ctx " << c;
+    }
+}
+
+// ----- the identity -----------------------------------------------------
+
+/** Every Table 2 workload: the nine aggregate buckets must sum to
+ *  numContexts * cycles exactly (runExperiment also finalizes, which
+ *  asserts the stronger per-context identity internally). */
+TEST(CycleIdentity, HoldsOnEveryTable2Workload)
+{
+    for (const Benchmark b : paperBenchmarks()) {
+        ExperimentConfig cfg;
+        cfg.bench = b;
+        cfg.sys = smallSystem();
+        cfg.wl.numThreads = cfg.sys.numContexts();
+        cfg.wl.useTm = true;
+        cfg.wl.totalUnits = defaultUnits(b) / 16;
+        const ExperimentResult res = runExperiment(cfg);
+        ASSERT_GT(res.cycles, 0u) << toString(b);
+        EXPECT_EQ(bucketSum(res.cycleBuckets),
+                  uint64_t{cfg.sys.numContexts()} * res.cycles)
+            << toString(b);
+        EXPECT_GT(res.cycleBuckets.at("committedWork"), 0u)
+            << toString(b);
+    }
+}
+
+TEST(CycleIdentity, LockVariantSpendsNothingTransactional)
+{
+    ExperimentConfig cfg;
+    cfg.sys = smallSystem();
+    cfg.wl.numThreads = cfg.sys.numContexts();
+    cfg.wl.useTm = false;
+    cfg.wl.totalUnits = 128;
+    const ExperimentResult res = runExperiment(cfg);
+    EXPECT_EQ(bucketSum(res.cycleBuckets),
+              uint64_t{cfg.sys.numContexts()} * res.cycles);
+    EXPECT_EQ(res.cycleBuckets.at("committedWork"), 0u);
+    EXPECT_EQ(res.cycleBuckets.at("abortedWork"), 0u);
+    EXPECT_GT(res.cycleBuckets.at("nonTx"), 0u);
+}
+
+/** Contention heavy enough to abort: the abort-side buckets fill and
+ *  the identity still balances. */
+TEST(CycleIdentity, AbortPathsFillAbortBuckets)
+{
+    TmSystem sys(smallSystem());
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 512;
+    MicrobenchConfig mb;
+    mb.numCounters = 4;  // very hot: plenty of conflicts
+    mb.readsPerTx = 2;
+    mb.writesPerTx = 2;
+    MicrobenchWorkload wl(sys, p, mb);
+    wl.run();
+
+    CycleAccounting &acct = sys.engine().accounting();
+    acct.finalize(sys.now());
+    expectIdentity(acct);
+
+    ASSERT_GT(sys.stats().counterValue("tm.aborts"), 0u);
+    EXPECT_GT(acct.totalBucket(bucketCommittedWork), 0u);
+    EXPECT_GT(acct.totalBucket(bucketAbortedWork), 0u);
+    EXPECT_GT(acct.totalBucket(bucketAbortRollback), 0u);
+    EXPECT_GT(acct.totalBucket(bucketBackoff), 0u);
+    EXPECT_GT(acct.totalBucket(bucketCommitOverhead), 0u);
+
+    // foldInto re-checks the identity and publishes the counters.
+    acct.foldInto(sys.stats());
+    const StatsRegistry &st = sys.stats();
+    EXPECT_EQ(st.counterValue("tm.cycles.elapsed"), acct.elapsed());
+    uint64_t totals = 0;
+    for (size_t b = 0; b < numCycleBuckets; ++b)
+        totals += st.counterValue(std::string("tm.cycles.total.") +
+                                  cycleBucketName(b));
+    EXPECT_EQ(totals, uint64_t{acct.numContexts()} * acct.elapsed());
+}
+
+/** Adversarial scheduling chaos: threads descheduled and migrated
+ *  mid-transaction. Slices keep the context they accrued on, so the
+ *  per-context identity must survive exactly. */
+TEST(CycleIdentity, SurvivesDeschedMigrateChaos)
+{
+    TmSystem sys(smallSystem());
+    WorkloadParams p;
+    p.numThreads = 6;  // leave free contexts for migration targets
+    p.useTm = true;
+    p.totalUnits = 384;
+    MicrobenchConfig mb;
+    mb.numCounters = 8;
+    MicrobenchWorkload wl(sys, p, mb);
+
+    FaultPlan plan;
+    plan.deschedPct = 40;
+    plan.migratePct = 40;
+    plan.tickInterval = 150;
+    FaultInjector injector(sys, plan, /*seed=*/7);
+    std::vector<VirtAddr> hot;
+    for (uint32_t i = 0; i < mb.numCounters; ++i)
+        hot.push_back(wl.counterAddr(i));
+    injector.install(std::move(hot), [&wl]() { return wl.asid(); });
+    injector.start();
+    wl.run();
+    injector.stop();
+
+    ASSERT_GT(injector.injected(), 0u) << "chaos never fired";
+    CycleAccounting &acct = sys.engine().accounting();
+    acct.finalize(sys.now());
+    expectIdentity(acct);
+    EXPECT_GT(acct.totalBucket(bucketIdle), 0u);
+    EXPECT_GT(acct.totalBucket(bucketCommittedWork), 0u);
+}
+
+// ----- barrier bucket ---------------------------------------------------
+
+TEST(CycleIdentity, BarrierEpisodesAccrueBarrierCycles)
+{
+    TmSystem sys(smallSystem());
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 256;  // 32 units per thread
+    MicrobenchConfig mb;
+    mb.numCounters = 32;
+    mb.barrierEveryUnits = 8;  // 4 rendezvous per thread
+    MicrobenchWorkload wl(sys, p, mb);
+    wl.run();
+
+    const StatsRegistry &st = sys.stats();
+    EXPECT_EQ(st.counterValue("sync.barrierEpisodes"), 4u);
+    // Each episode parks numThreads - 1 waiters.
+    EXPECT_EQ(st.counterValue("sync.barrierWaits"), 4u * 7u);
+
+    CycleAccounting &acct = sys.engine().accounting();
+    acct.finalize(sys.now());
+    expectIdentity(acct);
+    EXPECT_GT(acct.totalBucket(bucketBarrier), 0u);
+}
+
+// ----- time series ------------------------------------------------------
+
+ExperimentConfig
+tsConfig(const fs::path &outDir)
+{
+    ExperimentConfig cfg;
+    cfg.sys = smallSystem();
+    cfg.wl.numThreads = 8;
+    cfg.wl.useTm = true;
+    cfg.wl.totalUnits = 256;
+    cfg.mb.numCounters = 8;
+    cfg.obs.outDir = outDir.string();
+    cfg.obs.intervalCycles = 2000;
+    return cfg;
+}
+
+TEST(TimeSeries, RepeatRunsAreByteIdentical)
+{
+    const fs::path base = scratchDir("logtm_ts_repeat");
+    const ExperimentResult r1 = runExperiment(tsConfig(base / "a"));
+    const ExperimentResult r2 = runExperiment(tsConfig(base / "b"));
+    EXPECT_EQ(r1.cycles, r2.cycles);
+
+    const std::string ts1 = slurp(base / "a" / "timeseries.json");
+    const std::string ts2 = slurp(base / "b" / "timeseries.json");
+    ASSERT_FALSE(ts1.empty());
+    EXPECT_EQ(ts1, ts2);
+    EXPECT_NE(ts1.find("\"schema\":\"logtm-timeseries-v1\""),
+              std::string::npos);
+    EXPECT_NE(ts1.find("committedWork"), std::string::npos);
+
+    // The sampler leaves a footprint in stats.json too.
+    const std::string stats = slurp(base / "a" / "stats.json");
+    EXPECT_NE(stats.find("obs.ts.intervals"), std::string::npos);
+    EXPECT_EQ(slurp(base / "b" / "stats.json"), stats);
+    fs::remove_all(base);
+}
+
+/** Sampling must not perturb the simulation: cycles and every
+ *  aggregate bucket agree with an unsampled run. */
+TEST(TimeSeries, SamplingDoesNotPerturbTheRun)
+{
+    const fs::path base = scratchDir("logtm_ts_perturb");
+    ExperimentConfig sampled = tsConfig(base / "obs");
+    ExperimentConfig bare = sampled;
+    bare.obs = {};
+    const ExperimentResult rs = runExperiment(sampled);
+    const ExperimentResult rb = runExperiment(bare);
+    EXPECT_EQ(rs.cycles, rb.cycles);
+    EXPECT_EQ(rs.commits, rb.commits);
+    EXPECT_EQ(rs.aborts, rb.aborts);
+    EXPECT_EQ(rs.cycleBuckets, rb.cycleBuckets);
+    fs::remove_all(base);
+}
+
+/** Several obs runs into one directory: deterministic run_<k>/
+ *  subdirectories plus a manifest, identical at any worker count. */
+TEST(TimeSeries, SharedObsDirGetsRunSubdirsAtAnyWorkerCount)
+{
+    const fs::path base = scratchDir("logtm_ts_jobs");
+    auto runAt = [&](const fs::path &dir, unsigned jobs) {
+        std::vector<ExperimentConfig> cfgs;
+        for (uint64_t seed : {1, 2, 3}) {
+            ExperimentConfig cfg = tsConfig(dir);
+            cfg.wl.seed = seed;
+            cfgs.push_back(cfg);
+        }
+        sweep::RunOptions opt;
+        opt.jobs = jobs;
+        const auto outcomes = sweep::runExperiments(cfgs, opt);
+        for (const auto &o : outcomes)
+            EXPECT_TRUE(o.ok) << o.error;
+    };
+    runAt(base / "serial", 1);
+    runAt(base / "parallel", 3);
+
+    const std::string manifest = slurp(base / "serial" /
+                                       "manifest.json");
+    EXPECT_NE(manifest.find("logtm-obs-manifest-v1"),
+              std::string::npos);
+    EXPECT_EQ(slurp(base / "parallel" / "manifest.json"), manifest);
+    for (int k = 0; k < 3; ++k) {
+        const std::string run = "run_" + std::to_string(k);
+        const std::string ts = slurp(base / "serial" / run /
+                                     "timeseries.json");
+        ASSERT_FALSE(ts.empty()) << run;
+        EXPECT_EQ(slurp(base / "parallel" / run / "timeseries.json"),
+                  ts) << run;
+        EXPECT_EQ(slurp(base / "parallel" / run / "stats.json"),
+                  slurp(base / "serial" / run / "stats.json")) << run;
+    }
+    fs::remove_all(base);
+}
+
+TEST(TimeSeries, SingleObsConfigKeepsFlatLayout)
+{
+    const fs::path base = scratchDir("logtm_ts_flat");
+    std::vector<ExperimentConfig> cfgs = {tsConfig(base)};
+    sweep::RunOptions opt;
+    opt.jobs = 2;
+    const auto outcomes = sweep::runExperiments(cfgs, opt);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    EXPECT_TRUE(fs::exists(base / "stats.json"));
+    EXPECT_TRUE(fs::exists(base / "timeseries.json"));
+    EXPECT_FALSE(fs::exists(base / "manifest.json"));
+    EXPECT_FALSE(fs::exists(base / "run_0"));
+    fs::remove_all(base);
+}
+
+// ----- zero overhead & ring health -------------------------------------
+
+/** Observability off: no sampler allocated, no events published. */
+TEST(ZeroOverhead, DisabledObsAllocatesNothingAndPublishesNothing)
+{
+    TmSystem sys(smallSystem());
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 128;
+    MicrobenchWorkload wl(sys, p, MicrobenchConfig{});
+    wl.run();
+    EXPECT_EQ(sys.sim().events().published(), 0u);
+
+    // Session without an interval never builds a TimeSeries.
+    ObsConfig ocfg;
+    ocfg.outDir = (fs::temp_directory_path() /
+                   "logtm_zero_overhead").string();
+    ObsSession session(sys.sim().events(), sys.stats(), ocfg);
+    EXPECT_EQ(session.timeSeries(), nullptr);
+    fs::remove_all(ocfg.outDir);
+}
+
+/** An undersized ring drops events; finish() must surface the loss
+ *  as the obs.ring.dropped counter (and a stderr warning naming
+ *  ObsConfig::ringCapacity). */
+TEST(RingHealth, DroppedEventsAreCounted)
+{
+    const fs::path dir = scratchDir("logtm_ring_drop");
+    TmSystem sys(smallSystem());
+    ObsConfig ocfg;
+    ocfg.outDir = dir.string();
+    ocfg.trace = true;       // the ring only records for traces
+    ocfg.ringCapacity = 16;  // far too small for a real run
+    ocfg.numContexts = sys.config().numContexts();
+    ObsSession session(sys.sim().events(), sys.stats(), ocfg);
+
+    WorkloadParams p;
+    p.numThreads = 8;
+    p.useTm = true;
+    p.totalUnits = 256;
+    MicrobenchConfig mb;
+    mb.numCounters = 8;
+    MicrobenchWorkload wl(sys, p, mb);
+    wl.run();
+    session.finish();
+
+    EXPECT_GT(session.recording().dropped(), 0u);
+    EXPECT_EQ(sys.stats().counterValue("obs.ring.dropped"),
+              session.recording().dropped());
+    const std::string stats = slurp(dir / "stats.json");
+    EXPECT_NE(stats.find("obs.ring.dropped"), std::string::npos);
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace logtm

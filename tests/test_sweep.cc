@@ -288,7 +288,7 @@ TEST(SweepStore, KeyMismatchIsAMiss)
     std::string text((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
     in.close();
-    const size_t pos = text.find("v=1");
+    const size_t pos = text.find("v=2");
     ASSERT_NE(pos, std::string::npos);
     text.replace(pos, 3, "v=9");
     std::ofstream(store.entryPath(cfg), std::ios::trunc) << text;
