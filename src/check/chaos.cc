@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/log.hh"
+#include "pm/recovery.hh"
 #include "workload/microbench.hh"
 
 namespace logtm {
@@ -56,9 +57,16 @@ ChaosResult::describe() const
     os << (ok() ? "OK" : "FAIL") << " [" << reproFlags << "]"
        << " commits=" << commits << " aborts=" << aborts
        << " faults=" << faultsInjected << " cycles=" << cycles;
-    if (!completed)
+    if (crashed) {
+        os << "\n  crashed @" << crashCycle << ": "
+           << durableRecords << " durable records, "
+           << recoveryInflightFrames << " in-flight frames, "
+           << recoveryUndoApplied << " undos applied, "
+           << recoveryMismatches << " recovery mismatches";
+    }
+    if (!crashed && !completed)
         os << "\n  incomplete run";
-    if (!sumOk) {
+    if (!crashed && !sumOk) {
         os << "\n  counter sum " << counterSum << " != expected "
            << expectedSum;
     }
@@ -87,11 +95,14 @@ runChaos(const ChaosParams &p)
                                : CoherenceKind::Directory;
     // Forced deschedules must be cheap enough to fire often.
     cfg.contextSwitchLatency = 200;
+    cfg.pm = p.pm;
 
     TmSystem sys(cfg);
     Oracle oracle(sys.sim().queue(), sys.stats(), sys.sim().events(),
                   sys.mem().data(), sys.os());
     sys.engine().setObserver(&oracle);
+    if (p.pm.enabled)
+        oracle.enableHistory();
 
     WorkloadParams wp;
     wp.numThreads = p.numThreads;
@@ -130,6 +141,17 @@ runChaos(const ChaosParams &p)
             });
     }
 
+    // On a crash: freeze the persist domain and the oracle's commit
+    // history at the same instant, then let the volatile machine wind
+    // down (its post-crash execution never reaches durable state).
+    injector.setCrashHook([&sys, &oracle, &result](Cycle now) {
+        if (PersistModel *pm = sys.pm())
+            pm->crash(now);
+        oracle.freezeHistory();
+        result.crashed = true;
+        result.crashCycle = now;
+    });
+
     injector.install(std::move(hot_vas), [&wl]() { return wl.asid(); });
     injector.start();
 
@@ -140,7 +162,9 @@ runChaos(const ChaosParams &p)
         result.watchdogReport = report;
     });
 
-    const auto run = wl.run([&result]() { return result.watchdogFired; });
+    const auto run = wl.run([&result]() {
+        return result.watchdogFired || result.crashed;
+    });
     injector.stop();
     watchdog.disarm();
     if (p.defectVictimBypass) {
@@ -148,6 +172,21 @@ runChaos(const ChaosParams &p)
         sys.sim().events().detach(&victims);
     }
     result.capturedScript = injector.captured();
+
+    if (PersistModel *pm = sys.pm()) {
+        pm->finalize(sys.now());
+        if (pm->crashed()) {
+            RecoveryManager rec(*pm, &sys.stats());
+            const RecoveryReport rep = rec.recover(p.defectTornFlush);
+            result.durableRecords = rep.durableRecords;
+            result.recoveryInflightFrames = rep.inflightFrames;
+            result.recoveryUndoApplied = rep.undoApplied;
+            result.recoveryMismatches = oracle.checkRecovery(
+                rep.image, [pm](Cycle c, ThreadId t) {
+                    return pm->txCommitDurable(c, t);
+                });
+        }
+    }
 
     result.completed = wl.unitsCompleted() == p.totalUnits;
     result.counterSum = wl.counterSum();

@@ -51,6 +51,22 @@ struct ChaosParams
      * this to get a failure whose *cause* is one known fault event.
      */
     bool defectVictimBypass = false;
+
+    /**
+     * Durability model (src/pm/). When pm.enabled the run tracks a
+     * PersistModel; a Crash fault freezes it, the workload winds
+     * down, and RecoveryManager + Oracle::checkRecovery machine-check
+     * the recovered image (violations become oracle:recovery).
+     */
+    PmConfig pm;
+
+    /**
+     * Plant the torn-flush defect: recovery drops one durable undo
+     * record whose paired data store survived (pm/recovery.hh), so
+     * the recovery oracle convicts iff a crash left that frame in
+     * flight. The durability analogue of defectVictimBypass.
+     */
+    bool defectTornFlush = false;
 };
 
 struct ChaosResult
@@ -75,9 +91,26 @@ struct ChaosResult
     /** Exact replay flags: "--seed=N --faults=…". */
     std::string reproFlags;
 
+    /** A Crash fault fired (durability runs only). */
+    bool crashed = false;
+    Cycle crashCycle = 0;
+    /** Records durable at the crash horizon. */
+    uint64_t durableRecords = 0;
+    /** Frames recovery found in flight / undo records it applied. */
+    uint32_t recoveryInflightFrames = 0;
+    uint64_t recoveryUndoApplied = 0;
+    /** Words where the recovered image contradicts the committed
+     *  prefix (each also flagged as an oracle Recovery violation). */
+    uint64_t recoveryMismatches = 0;
+
     bool
     ok() const
     {
+        // A crash voids the completion and counter-sum checks (the
+        // volatile machine died mid-run); the recovery oracle is the
+        // check that matters there.
+        if (crashed)
+            return !watchdogFired && violations == 0;
         return completed && !watchdogFired && sumOk && violations == 0;
     }
 

@@ -22,7 +22,7 @@ bool
 FaultPlan::any() const
 {
     return victimPct || deschedPct || migratePct || relocatePct ||
-        delayPct || nackPct;
+        delayPct || nackPct || crashPct;
 }
 
 std::string
@@ -31,8 +31,10 @@ FaultPlan::format() const
     std::ostringstream os;
     os << "victim=" << victimPct << ",desched=" << deschedPct
        << ",migrate=" << migratePct << ",relocate=" << relocatePct
-       << ",delay=" << delayPct << ",nack=" << nackPct
-       << ",tick=" << tickInterval;
+       << ",delay=" << delayPct << ",nack=" << nackPct;
+    if (crashPct)
+        os << ",crash=" << crashPct;
+    os << ",tick=" << tickInterval;
     return os.str();
 }
 
@@ -79,6 +81,8 @@ FaultPlan::parse(const std::string &spec)
             plan.delayPct = pct;
         else if (key == "nack")
             plan.nackPct = pct;
+        else if (key == "crash")
+            plan.crashPct = pct;
         else
             logtm_fatal("unknown fault kind '" + key + "'");
     }
@@ -296,6 +300,9 @@ FaultInjector::tick()
             runTickFault(FaultKind::Migrate, rng_.next());
         if (plan_.relocatePct && rng_.percent(plan_.relocatePct))
             runTickFault(FaultKind::Relocate, rng_.next());
+        if (plan_.crashPct && !crashFired_ &&
+            rng_.percent(plan_.crashPct))
+            runTickFault(FaultKind::Crash, rng_.next());
     }
     sys_.sim().queue().scheduleIn(plan_.tickInterval,
                                   [this]() { tick(); });
@@ -309,6 +316,7 @@ FaultInjector::runTickFault(FaultKind kind, uint64_t seed)
       case FaultKind::Desched:   preempt(false, seed); break;
       case FaultKind::Migrate:   preempt(true, seed); break;
       case FaultKind::Relocate:  relocate(seed); break;
+      case FaultKind::Crash:     doCrash(seed); break;
       default:
         logtm_fatal("hook-driven fault kind in a tick slot");
     }
@@ -401,6 +409,20 @@ FaultInjector::pollReschedule(ThreadId t, bool migrate, Rng rng)
             });
     }
     // else: serviced and rescheduled by an overlapping fault — done.
+}
+
+void
+FaultInjector::doCrash(uint64_t seed)
+{
+    if (crashFired_)
+        return;  // a machine only dies once
+    crashFired_ = true;
+    fire(FaultKind::Crash, sys_.now(), sys_.now(), seed);
+    if (crashHook_)
+        crashHook_(sys_.now());
+    // The persist domain is frozen; any further fault would be
+    // post-mortem noise, so the injector goes quiet with it.
+    stop();
 }
 
 void

@@ -67,11 +67,16 @@ struct FaultPlan
     uint32_t relocatePct = 0;
     uint32_t delayPct = 0;
     uint32_t nackPct = 0;
+    /** Probability per tick of a power failure (src/pm/). Unlike the
+     *  other kinds a crash fires at most once per run. */
+    uint32_t crashPct = 0;
     Cycle tickInterval = 200;
 
     bool any() const;
 
-    /** "victim=30,desched=20,...,tick=200" — parse() round-trips. */
+    /** "victim=30,desched=20,...,tick=200" — parse() round-trips.
+     *  "crash=" is emitted only when nonzero, so plans without it
+     *  format exactly as before. */
     std::string format() const;
 
     /** Parse a --faults= spec; fatal on unknown keys or bad values. */
@@ -112,6 +117,15 @@ class FaultInjector
      *  Call before start(). */
     void enableCapture();
 
+    /**
+     * Called when a Crash fault fires, before the injector stops
+     * itself; the harness freezes the persist domain and the oracle
+     * history here. Without a hook a crash fault is still counted
+     * and captured but otherwise inert.
+     */
+    void setCrashHook(std::function<void(Cycle)> hook)
+    { crashHook_ = std::move(hook); }
+
     /** Events recorded since enableCapture(). */
     const FaultScript &captured() const { return captured_; }
 
@@ -128,6 +142,7 @@ class FaultInjector
     void preempt(bool migrate, uint64_t seed);
     void pollReschedule(ThreadId t, bool migrate, Rng rng);
     void relocate(uint64_t seed);
+    void doCrash(uint64_t seed);
     Cycle delayHook(uint64_t seed, uint64_t at);
     bool hookWantsDelay() { return delayEvents_.count(delayQueries_); }
     void installDelayHook();
@@ -142,6 +157,8 @@ class FaultInjector
     bool capture_ = false;
     std::vector<VirtAddr> hotVas_;
     std::function<Asid()> asidOf_;
+    std::function<void(Cycle)> crashHook_;
+    bool crashFired_ = false;
 
     /** Scripted mode: tick-driven events sorted by cycle, walked
      *  with a cursor; hook-driven events keyed by query index. */

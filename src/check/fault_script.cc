@@ -16,6 +16,7 @@ faultKindName(FaultKind k)
       case FaultKind::Relocate:     return "relocate";
       case FaultKind::MeshDelay:    return "meshDelay";
       case FaultKind::SpuriousNack: return "spuriousNack";
+      case FaultKind::Crash:        return "crash";
       case FaultKind::NumKinds:     break;
     }
     return "unknown";

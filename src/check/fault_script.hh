@@ -37,6 +37,8 @@ enum class FaultKind : uint8_t {
     Relocate,
     MeshDelay,
     SpuriousNack,
+    Crash,       ///< power-fail the persist domain (src/pm/); fires
+                 ///< at most once per run, tick-driven
     NumKinds,
 };
 

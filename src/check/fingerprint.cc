@@ -54,6 +54,9 @@ classifyFailure(const ChaosResult &r)
     if (r.violations > 0) {
         fp.cls = FailureClass::Oracle;
         fp.detail = r.firstViolation;
+    } else if (r.crashed) {
+        // An injected crash with a clean recovery is a passing run;
+        // its sum/completion checks are void (see ChaosResult::ok).
     } else if (!r.sumOk) {
         fp.cls = FailureClass::SumMismatch;
     } else if (r.watchdogFired) {

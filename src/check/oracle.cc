@@ -1,5 +1,6 @@
 #include "check/oracle.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.hh"
@@ -16,6 +17,7 @@ violationKindName(ViolationKind k)
       case ViolationKind::TornAbort:        return "tornAbort";
       case ViolationKind::WriteOverlap:     return "writeOverlap";
       case ViolationKind::SigFalseNegative: return "sigFalseNegative";
+      case ViolationKind::Recovery:         return "recovery";
       case ViolationKind::NumKinds:         break;
     }
     return "unknown";
@@ -180,6 +182,12 @@ Oracle::onTxWrite(ThreadId t, Asid asid, VirtAddr va, uint64_t oldValue,
     Frame &top = st.frames.back();
     top.pre.try_emplace(key, oldValue);
     top.last[key] = newValue;
+
+    // Recovery history: the first transactional write to a word
+    // proves its pre-history contents (mirrors the PersistModel's
+    // baseline adoption at undo-append time).
+    if (recordHistory_ && !historyFrozen_)
+        baseline_.try_emplace(key, oldValue);
 }
 
 void
@@ -196,6 +204,7 @@ Oracle::onDirectWrite(ThreadId t, Asid asid, VirtAddr va,
             flag(ViolationKind::WriteOverlap, t, asid, va, 0, newValue);
     }
     shadowMem_[key] = newValue;
+    recordUnit(CommitUnit::Kind::Direct, t, {{key, newValue}});
 }
 
 void
@@ -212,6 +221,8 @@ Oracle::onNestedCommit(ThreadId t, Asid asid, bool open)
         // isolation is released; its reads and pre-images die with it.
         for (const auto &[key, value] : child.last)
             shadowMem_[key] = value;
+        recordUnit(CommitUnit::Kind::OpenCommit, t,
+                   {child.last.begin(), child.last.end()});
         return;
     }
 
@@ -257,6 +268,8 @@ Oracle::onTxCommit(ThreadId t, Asid asid)
                  actual);
         shadowMem_[key] = lastValue;
     }
+    recordUnit(CommitUnit::Kind::TxCommit, t,
+               {f.last.begin(), f.last.end()});
 
     st.frames.clear();
 }
@@ -290,6 +303,72 @@ Oracle::onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx, PhysAddr block,
     (void)access;
     flag(ViolationKind::SigFalseNegative, invalidThread, 0, block,
          ownerCtx, 0);
+}
+
+// --------------------------------------------------------------------
+// Crash recovery (src/pm)
+// --------------------------------------------------------------------
+
+void
+Oracle::recordUnit(CommitUnit::Kind kind, ThreadId t,
+                   std::vector<std::pair<uint64_t, uint64_t>> writes)
+{
+    if (!recordHistory_ || historyFrozen_ || writes.empty())
+        return;
+    CommitUnit unit;
+    unit.kind = kind;
+    unit.cycle = queue_.now();
+    unit.thread = t;
+    unit.writes = std::move(writes);
+    history_.push_back(std::move(unit));
+}
+
+size_t
+Oracle::checkRecovery(
+    const std::unordered_map<uint64_t, uint64_t> &recovered,
+    const std::function<bool(Cycle, ThreadId)> &tx_commit_durable)
+{
+    // The store some committed prefix produces: baseline contents,
+    // overlaid with every durable commit unit in global order.
+    // Direct writes and open-nested commits write through /
+    // force-flush, so they are durable unconditionally; outermost
+    // commits are gated by the caller's flush-policy cut.
+    std::unordered_map<uint64_t, uint64_t> expected = baseline_;
+    for (const CommitUnit &unit : history_) {
+        if (unit.kind == CommitUnit::Kind::TxCommit &&
+            !tx_commit_durable(unit.cycle, unit.thread)) {
+            continue;
+        }
+        for (const auto &[key, value] : unit.writes)
+            expected[key] = value;
+    }
+
+    // Word-for-word equality over the union, in sorted key order so
+    // the first flagged violation is deterministic.
+    std::vector<uint64_t> keys;
+    keys.reserve(expected.size() + recovered.size());
+    for (const auto &[key, value] : expected)
+        keys.push_back(key);
+    for (const auto &[key, value] : recovered) {
+        if (!expected.count(key))
+            keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    size_t mismatches = 0;
+    for (const uint64_t key : keys) {
+        const auto e = expected.find(key);
+        const auto r = recovered.find(key);
+        const bool haveE = e != expected.end();
+        const bool haveR = r != recovered.end();
+        if (haveE && haveR && e->second == r->second)
+            continue;
+        ++mismatches;
+        flag(ViolationKind::Recovery, invalidThread,
+             static_cast<Asid>(key >> 56), keyVa(key),
+             haveE ? e->second : 0, haveR ? r->second : 0);
+    }
+    return mismatches;
 }
 
 } // namespace logtm

@@ -32,6 +32,7 @@
 #ifndef LOGTM_CHECK_ORACLE_HH
 #define LOGTM_CHECK_ORACLE_HH
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,7 @@ enum class ViolationKind : uint8_t {
     TornAbort,        ///< abort failed to restore a pre-image
     WriteOverlap,     ///< two uncommitted writes to one word
     SigFalseNegative, ///< signature missed a real conflict
+    Recovery,         ///< post-crash recovery != a committed prefix
     NumKinds,
 };
 
@@ -92,6 +94,35 @@ class Oracle : public TxObserver
                       size_t depthBefore) override;
     void onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx,
                             PhysAddr block, AccessType access) override;
+
+    // ----- crash recovery (src/pm) -------------------------------------
+
+    /**
+     * Opt-in commit-unit history for the recovery oracle: record
+     * every direct write and every (open/outermost) commit's write
+     * set in global order, with cycles. Off by default — normal runs
+     * pay nothing.
+     */
+    void enableHistory() { recordHistory_ = true; }
+
+    /** Freeze the history at the crash point (the same instant the
+     *  PersistModel freezes); later units are the volatile machine
+     *  draining and never reach durable state. */
+    void freezeHistory() { historyFrozen_ = true; }
+
+    /**
+     * Assert the post-recovery durable image equals the store some
+     * committed prefix of the execution would produce: replay the
+     * frozen history, keeping direct writes and open commits (both
+     * write through / force-flush) and outermost commits
+     * @p tx_commit_durable accepts, over the adopted baseline
+     * contents; compare word-for-word against @p recovered. Every
+     * mismatch flags ViolationKind::Recovery. Returns the number of
+     * mismatched words.
+     */
+    size_t checkRecovery(
+        const std::unordered_map<uint64_t, uint64_t> &recovered,
+        const std::function<bool(Cycle, ThreadId)> &tx_commit_durable);
 
     // ----- results -----------------------------------------------------
 
@@ -160,6 +191,25 @@ class Oracle : public TxObserver
      *  adopted on first observation. */
     std::unordered_map<uint64_t, uint64_t> shadowMem_;
     std::unordered_map<ThreadId, ThreadState> threads_;
+
+    /** One globally ordered commit unit (history recording only). */
+    struct CommitUnit
+    {
+        enum class Kind : uint8_t { Direct, TxCommit, OpenCommit };
+        Kind kind = Kind::Direct;
+        Cycle cycle = 0;
+        ThreadId thread = invalidThread;
+        std::vector<std::pair<uint64_t, uint64_t>> writes;
+    };
+
+    void recordUnit(CommitUnit::Kind kind, ThreadId t,
+                    std::vector<std::pair<uint64_t, uint64_t>> writes);
+
+    bool recordHistory_ = false;
+    bool historyFrozen_ = false;
+    std::vector<CommitUnit> history_;
+    /** Pre-history contents per tx-written word (first old value). */
+    std::unordered_map<uint64_t, uint64_t> baseline_;
 
     std::vector<Violation> violations_;  ///< bounded; see cc
     uint64_t totalViolations_ = 0;

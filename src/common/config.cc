@@ -75,6 +75,64 @@ toString(CoherenceKind c)
     return "?";
 }
 
+std::string
+toString(FlushPolicy p)
+{
+    switch (p) {
+      case FlushPolicy::Eager: return "Eager";
+      case FlushPolicy::Epoch: return "Epoch";
+      case FlushPolicy::CommitTime: return "CommitTime";
+    }
+    return "?";
+}
+
+bool
+parseFlushPolicy(const std::string &s, FlushPolicy *out)
+{
+    const std::string v = lowered(s);
+    if (v == "eager")
+        *out = FlushPolicy::Eager;
+    else if (v == "epoch")
+        *out = FlushPolicy::Epoch;
+    else if (v == "committime" || v == "commit")
+        *out = FlushPolicy::CommitTime;
+    else
+        return false;
+    return true;
+}
+
+std::string
+PmConfig::spec() const
+{
+    std::string s = lowered(toString(policy));
+    if (policy == FlushPolicy::Epoch)
+        s += ":" + std::to_string(epochCycles);
+    return s;
+}
+
+bool
+parsePmSpec(const std::string &s, PmConfig *out)
+{
+    PmConfig pm;
+    pm.enabled = true;
+    const size_t colon = s.find(':');
+    if (!parseFlushPolicy(s.substr(0, colon), &pm.policy))
+        return false;
+    if (colon != std::string::npos) {
+        if (pm.policy != FlushPolicy::Epoch)
+            return false;  // only epoch takes a parameter
+        try {
+            pm.epochCycles = std::stoull(s.substr(colon + 1));
+        } catch (...) {
+            return false;
+        }
+        if (pm.epochCycles == 0)
+            return false;
+    }
+    *out = pm;
+    return true;
+}
+
 bool
 parseSignatureKind(const std::string &s, SignatureKind *out)
 {
@@ -224,6 +282,10 @@ SystemConfig::validate() const
         logtm_fatal("backoffMaxShift must be below 64 (shift overflow)");
     if (nackRetryBase == 0)
         logtm_fatal("nackRetryBase must be nonzero (backoff window)");
+    if (pm.enabled && pm.policy == FlushPolicy::Epoch &&
+        pm.epochCycles == 0) {
+        logtm_fatal("epoch flush policy needs a nonzero epoch length");
+    }
 }
 
 } // namespace logtm

@@ -38,15 +38,26 @@ enum class CoherenceKind : uint8_t {
     Snooping,   ///< broadcast bus with a wired-OR nack signal (§7)
 };
 
+/** When stores and undo-log appends reach the modeled persist domain
+ *  (docs/ROBUSTNESS.md "Durability"). Only meaningful with
+ *  PmConfig::enabled. */
+enum class FlushPolicy : uint8_t {
+    Eager,      ///< every record durable the cycle it is produced
+    Epoch,      ///< atomic flush at each epochCycles boundary
+    CommitTime, ///< per-thread flush at outermost commit
+};
+
 std::string toString(SignatureKind k);
 std::string toString(ConflictPolicy p);
 std::string toString(CoherenceKind c);
+std::string toString(FlushPolicy p);
 
 /** Case-insensitive inverses of the toString functions (sweep specs,
  *  CLI flags). Return false on an unrecognized name. */
 bool parseSignatureKind(const std::string &s, SignatureKind *out);
 bool parseConflictPolicy(const std::string &s, ConflictPolicy *out);
 bool parseCoherenceKind(const std::string &s, CoherenceKind *out);
+bool parseFlushPolicy(const std::string &s, FlushPolicy *out);
 
 /** Signature configuration (one instance each for read and write sets). */
 struct SignatureConfig
@@ -73,6 +84,26 @@ SignatureConfig sigPerfect();
 SignatureConfig sigBS(uint32_t bits = 2048);
 SignatureConfig sigCBS(uint32_t bits = 2048);
 SignatureConfig sigDBS(uint32_t bits = 2048);
+
+/** Persistence-epoch model over DataStore + TxLog (src/pm/). Off by
+ *  default: the simulated machine is volatile and the durability
+ *  layer is never constructed (zero overhead, golden trace
+ *  unchanged). */
+struct PmConfig
+{
+    bool enabled = false;
+    FlushPolicy policy = FlushPolicy::Eager;
+    /** Epoch policy only: cycles per persistence epoch. */
+    Cycle epochCycles = 1000;
+
+    /** Short spec string, e.g. "eager" or "epoch:1000" (sweep variant
+     *  names, canonical config keys). */
+    std::string spec() const;
+};
+
+/** Parse a PmConfig::spec() string ("eager", "epoch:500",
+ *  "committime") into an enabled PmConfig; false if malformed. */
+bool parsePmSpec(const std::string &s, PmConfig *out);
 
 /** Full system configuration. Defaults mirror paper Table 1. */
 struct SystemConfig
@@ -133,6 +164,9 @@ struct SystemConfig
     uint32_t stallAbortThreshold = 16;
     Cycle summaryTrapLatency = 100;     ///< trap on summary-sig conflict
     Cycle contextSwitchLatency = 2000;  ///< OS deschedule/reschedule cost
+
+    // --- Durability (src/pm/, disabled by default) -----------------------
+    PmConfig pm;
 
     /** Number of hardware thread contexts in the system. */
     uint32_t numContexts() const { return numCores * threadsPerCore; }

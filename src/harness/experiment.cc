@@ -3,7 +3,9 @@
 #include <cctype>
 #include <chrono>
 
+#include "check/oracle.hh"
 #include "common/log.hh"
+#include "pm/recovery.hh"
 #include "workload/berkeleydb.hh"
 #include "workload/cholesky.hh"
 #include "workload/microbench.hh"
@@ -131,6 +133,18 @@ runExperiment(const ExperimentConfig &cfg)
 {
     TmSystem sys(cfg.sys);
 
+    // Durability runs carry the full oracle so the recovered image
+    // can be checked against the committed prefix. Never constructed
+    // otherwise: the paper-baseline paths are untouched.
+    std::unique_ptr<Oracle> oracle;
+    if (cfg.sys.pm.enabled) {
+        oracle = std::make_unique<Oracle>(
+            sys.sim().queue(), sys.stats(), sys.sim().events(),
+            sys.mem().data(), sys.os());
+        sys.engine().setObserver(oracle.get());
+        oracle->enableHistory();
+    }
+
     std::unique_ptr<ObsSession> obs;
     if (cfg.obs.enabled()) {
         ObsConfig ocfg;
@@ -149,13 +163,45 @@ runExperiment(const ExperimentConfig &cfg)
     }
 
     auto wl = makeWorkload(cfg.bench, sys, cfg.wl, cfg.mb);
+
+    bool crashed = false;
+    if (cfg.sys.pm.enabled && cfg.crashAtCycle > 0) {
+        sys.sim().queue().schedule(cfg.crashAtCycle, [&]() {
+            sys.pm()->crash(sys.now());
+            oracle->freezeHistory();
+            if (obs)
+                obs->markCrashed(sys.now());
+            crashed = true;
+        });
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
-    const WorkloadResult run = wl->run(cfg.cancel);
+    const WorkloadResult run = wl->run([&cfg, &crashed]() {
+        return crashed || (cfg.cancel && cfg.cancel());
+    });
     const double hostSecs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
     sys.finalizeCycleAccounting();
+
+    // Durability epilogue: settle the lazy flush accounting and, if
+    // the run crashed, recover and check the durable image — all
+    // before the obs snapshot so stats.json carries the verdict.
+    RecoveryReport pmRep;
+    uint64_t recoveryMismatches = 0;
+    if (PersistModel *pm = sys.pm()) {
+        pm->finalize(sys.now());
+        if (pm->crashed()) {
+            RecoveryManager rec(*pm, &sys.stats());
+            pmRep = rec.recover(cfg.tornFlushDefect);
+            recoveryMismatches = oracle->checkRecovery(
+                pmRep.image, [pm](Cycle c, ThreadId t) {
+                    return pm->txCommitDurable(c, t);
+                });
+        }
+    }
+
     if (TimeSeries *ts = obs ? obs->timeSeries() : nullptr) {
         // Capture the tail interval at the final cycle.
         ts->sample(sys.now(), sys.stats(),
@@ -182,6 +228,18 @@ runExperiment(const ExperimentConfig &cfg)
     res.l2SigBroadcasts = st.counterValue("l2.sigBroadcasts");
     res.logRecords = st.counterValue("tm.logRecords");
     res.logFilterHits = st.counterValue("tm.logFilterHits");
+
+    if (PersistModel *pm = sys.pm()) {
+        res.pmEnabled = true;
+        res.crashed = pm->crashed();
+        res.crashCycle = pm->crashCycle();
+        res.pmRecords = st.counterValue("tm.pm.records");
+        res.pmFlushes = st.counterValue("tm.pm.flushes");
+        res.pmDurableRecords = st.counterValue("tm.pm.durableRecords");
+        res.recoveryInflightFrames = pmRep.inflightFrames;
+        res.recoveryUndoApplied = pmRep.undoApplied;
+        res.recoveryMismatches = recoveryMismatches;
+    }
 
     if (auto *micro = dynamic_cast<MicrobenchWorkload *>(wl.get())) {
         res.microCounterSum = micro->counterSum();

@@ -75,6 +75,17 @@ struct ExperimentConfig
      * configuration: excluded from canonical keys and hashes.
      */
     std::function<bool()> cancel;
+
+    /**
+     * Durability runs only (sys.pm.enabled): crash the persist
+     * domain at this cycle (0 = never). The run winds down, recovery
+     * runs, and the recovery-oracle verdict lands in the result.
+     */
+    Cycle crashAtCycle = 0;
+
+    /** Plant the torn-flush recovery defect (pm/recovery.hh);
+     *  durability crash runs only. */
+    bool tornFlushDefect = false;
 };
 
 struct ExperimentResult
@@ -106,6 +117,23 @@ struct ExperimentResult
     double readAvg = 0, readMax = 0;
     double writeAvg = 0, writeMax = 0;
     double undoRecordsAvg = 0;
+    /**
+     * Durability runs only (sys.pm.enabled; all zero otherwise and
+     * excluded from serialized output so existing baselines are
+     * untouched). See src/pm/.
+     */
+    bool pmEnabled = false;
+    bool crashed = false;
+    Cycle crashCycle = 0;
+    uint64_t pmRecords = 0;
+    uint64_t pmFlushes = 0;
+    uint64_t pmDurableRecords = 0;
+    uint32_t recoveryInflightFrames = 0;
+    uint64_t recoveryUndoApplied = 0;
+    /** Recovery-oracle mismatches; 0 = recovered image consistent
+     *  with the durable committed prefix. */
+    uint64_t recoveryMismatches = 0;
+
     /**
      * Host wall-clock seconds of the simulation phase alone (the
      * workload run; system construction and stat collection

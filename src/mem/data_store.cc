@@ -1,5 +1,7 @@
 #include "mem/data_store.hh"
 
+#include <algorithm>
+
 namespace logtm {
 
 const DataStore::Page *
@@ -62,6 +64,36 @@ DataStore::copyPage(uint64_t from_page, uint64_t to_page)
             --footprint_;
         }
     }
+}
+
+std::vector<std::pair<PhysAddr, uint64_t>>
+DataStore::snapshotWords() const
+{
+    std::vector<std::pair<PhysAddr, uint64_t>> out;
+    out.reserve(footprint_);
+    auto emitPage = [&out](uint64_t page_num, const Page &page) {
+        if (page.populated == 0)
+            return;
+        const PhysAddr base = page_num << pageBytesLog2;
+        for (uint64_t w = 0; w < wordsPerPage; ++w) {
+            if (page.written[w >> 6] & (1ull << (w & 63)))
+                out.emplace_back(base + w * 8, page.words[w]);
+        }
+    };
+    for (uint64_t p = 0; p < dense_.size(); ++p) {
+        if (dense_[p])
+            emitPage(p, *dense_[p]);
+    }
+    // Sparse pages all lie above the dense table; visit them in
+    // address order for a deterministic snapshot.
+    std::vector<uint64_t> high;
+    high.reserve(sparse_.size());
+    for (const auto &[page_num, page] : sparse_)
+        high.push_back(page_num);
+    std::sort(high.begin(), high.end());
+    for (const uint64_t p : high)
+        emitPage(p, *sparse_.at(p));
+    return out;
 }
 
 } // namespace logtm

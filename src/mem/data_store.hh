@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/log.hh"
@@ -84,6 +85,14 @@ class DataStore
      * (page relocation support, paper §4.2).
      */
     void copyPage(uint64_t from_page, uint64_t to_page);
+
+    /**
+     * Every word ever written, as (address, value) pairs in ascending
+     * address order (deterministic). Off the hot path — built for the
+     * durability layer's whole-image comparisons (src/pm,
+     * tests/test_recovery.cc).
+     */
+    std::vector<std::pair<PhysAddr, uint64_t>> snapshotWords() const;
 
   private:
     struct Page

@@ -22,6 +22,7 @@ eventKindName(EventKind k)
       case EventKind::BusOp: return "busOp";
       case EventKind::ChkFault: return "chkFault";
       case EventKind::ChkViolation: return "chkViolation";
+      case EventKind::PmFlush: return "pmFlush";
       case EventKind::NumKinds: break;
     }
     return "?";

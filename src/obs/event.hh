@@ -35,6 +35,7 @@ enum class EventKind : uint8_t {
     BusOp,          ///< snoop-bus transaction granted; addr, a=msg type
     ChkFault,       ///< fault injector fired; a=FaultKind, b=detail
     ChkViolation,   ///< correctness oracle violation; a=ViolationKind
+    PmFlush,        ///< persist-domain flush; a=records, b=seq/horizon
     NumKinds,
 };
 

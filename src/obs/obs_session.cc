@@ -14,10 +14,15 @@ namespace logtm {
 void
 writeStatsJson(const StatsRegistry &stats, const AttributionSink *attr,
                const EventBus *bus, uint64_t ringDropped,
-               std::ostream &os)
+               std::ostream &os, std::optional<Cycle> crashedAt)
 {
     JsonWriter w(os);
     w.beginObject();
+
+    if (crashedAt) {
+        w.field("crashed", true);
+        w.field("crashCycle", *crashedAt);
+    }
 
     w.key("counters").beginObject();
     for (const auto &kv : stats.counters())
@@ -112,7 +117,8 @@ ObsSession::finish()
     std::ofstream sf(stats_path);
     if (!sf)
         logtm_fatal("cannot write " + stats_path);
-    writeStatsJson(stats_, attr_.get(), &bus_, ring_->dropped(), sf);
+    writeStatsJson(stats_, attr_.get(), &bus_, ring_->dropped(), sf,
+                   crashedAt_);
 
     if (cfg_.trace) {
         const std::string trace_path =

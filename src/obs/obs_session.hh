@@ -19,6 +19,7 @@
 #define LOGTM_OBS_OBS_SESSION_HH
 
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 
@@ -45,10 +46,14 @@ struct ObsConfig
 
 /** Write every statistic in @p stats as JSON ("stats.json" body).
  *  @p attr (optional) embeds the conflict matrix and abort causes;
- *  @p bus (optional) embeds event-bus health (published/dropped). */
+ *  @p bus (optional) embeds event-bus health (published/dropped).
+ *  @p crashedAt set marks a crash-terminated (partial) snapshot with
+ *  leading "crashed"/"crashCycle" fields; absent for normal runs so
+ *  existing output stays byte-identical. */
 void writeStatsJson(const StatsRegistry &stats,
                     const AttributionSink *attr, const EventBus *bus,
-                    uint64_t ringDropped, std::ostream &os);
+                    uint64_t ringDropped, std::ostream &os,
+                    std::optional<Cycle> crashedAt = std::nullopt);
 
 class ObsSession
 {
@@ -59,6 +64,16 @@ class ObsSession
     /** Fold attribution stats and write the snapshot files. Warns on
      *  stderr when the recording ring dropped events. */
     void finish();
+
+    /** The run crash-terminated at @p at (durability runs): finish()
+     *  still writes well-formed snapshots, marked "crashed": true. */
+    void
+    markCrashed(Cycle at)
+    {
+        crashedAt_ = at;
+        if (ts_)
+            ts_->markCrashed(at);
+    }
 
     const AttributionSink &attribution() const { return *attr_; }
     const RecordingSink &recording() const { return *ring_; }
@@ -71,6 +86,7 @@ class ObsSession
     EventBus &bus_;
     StatsRegistry &stats_;
     ObsConfig cfg_;
+    std::optional<Cycle> crashedAt_;
     std::unique_ptr<RecordingSink> ring_;
     std::unique_ptr<AttributionSink> attr_;
     std::unique_ptr<TimeSeries> ts_;

@@ -35,6 +35,10 @@ TimeSeries::writeJson(std::ostream &os) const
     w.beginObject();
     w.field("schema", "logtm-timeseries-v1");
     w.field("intervalCycles", interval_);
+    if (crashedAt_) {
+        w.field("crashed", true);
+        w.field("crashCycle", *crashedAt_);
+    }
 
     w.key("bucketNames").beginArray();
     for (size_t b = 0; b <= numCycleBuckets; ++b)

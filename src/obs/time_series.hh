@@ -16,6 +16,7 @@
 #define LOGTM_OBS_TIME_SERIES_HH
 
 #include <map>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -50,6 +51,11 @@ class TimeSeries
 
     size_t sampleCount() const { return samples_.size(); }
 
+    /** Mark the run as crash-terminated at @p at: writeJson() then
+     *  emits "crashed"/"crashCycle" so a partial series is
+     *  self-describing. Absent for normal runs (byte-stable). */
+    void markCrashed(Cycle at) { crashedAt_ = at; }
+
     /** Emit timeseries.json (schema "logtm-timeseries-v1"). */
     void writeJson(std::ostream &os) const;
 
@@ -62,6 +68,7 @@ class TimeSeries
     };
 
     Cycle interval_;
+    std::optional<Cycle> crashedAt_;
     std::map<std::string, uint64_t> lastCounters_;
     CycleBucketSnapshot lastBuckets_{};
     std::vector<Interval> samples_;

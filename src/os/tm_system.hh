@@ -8,9 +8,12 @@
 #ifndef LOGTM_OS_TM_SYSTEM_HH
 #define LOGTM_OS_TM_SYSTEM_HH
 
+#include <memory>
+
 #include "common/config.hh"
 #include "mem/memory_system.hh"
 #include "os/os_kernel.hh"
+#include "pm/persist_model.hh"
 #include "sim/simulator.hh"
 #include "tm/logtm_se_engine.hh"
 
@@ -23,6 +26,11 @@ class TmSystem
         : cfg_(cfg), sim_(cfg.seed), mem_(sim_, cfg_),
           engine_(sim_, mem_, cfg_), os_(sim_, engine_, cfg_)
     {
+        if (cfg_.pm.enabled) {
+            pm_ = std::make_unique<PersistModel>(cfg_.pm, sim_.stats(),
+                                                 sim_.events());
+            engine_.setPersistModel(pm_.get());
+        }
     }
 
     const SystemConfig &config() const { return cfg_; }
@@ -30,6 +38,8 @@ class TmSystem
     MemorySystem &mem() { return mem_; }
     LogTmSeEngine &engine() { return engine_; }
     OsKernel &os() { return os_; }
+    /** Durability model, or null when cfg.pm.enabled is false. */
+    PersistModel *pm() { return pm_.get(); }
     StatsRegistry &stats() { return sim_.stats(); }
     Cycle now() const { return sim_.now(); }
 
@@ -53,6 +63,9 @@ class TmSystem
     MemorySystem mem_;
     LogTmSeEngine engine_;
     OsKernel os_;
+    /** Constructed only when cfg.pm.enabled; declared last so it is
+     *  torn down before the registries it references. */
+    std::unique_ptr<PersistModel> pm_;
 };
 
 } // namespace logtm

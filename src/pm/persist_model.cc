@@ -1,0 +1,248 @@
+#include "pm/persist_model.hh"
+
+#include "common/log.hh"
+
+namespace logtm {
+
+PersistModel::PersistModel(const PmConfig &cfg, StatsRegistry &stats,
+                           EventBus &events)
+    : cfg_(cfg), events_(events),
+      records_(stats.counter("tm.pm.records")),
+      undoRecords_(stats.counter("tm.pm.undoRecords")),
+      dataStores_(stats.counter("tm.pm.dataStores")),
+      directStores_(stats.counter("tm.pm.directStores")),
+      flushes_(stats.counter("tm.pm.flushes")),
+      flushedRecords_(stats.counter("tm.pm.flushedRecords")),
+      crashes_(stats.counter("tm.pm.crashes")),
+      durableRecords_(stats.counter("tm.pm.durableRecords"))
+{
+    logtm_assert(cfg_.enabled, "PersistModel built while disabled");
+}
+
+void
+PersistModel::append(PmOp op)
+{
+    op.threadSeq = ++nextSeq_[op.thread];
+    ops_.push_back(op);
+    ++records_;
+    if (cfg_.policy == FlushPolicy::Eager) {
+        // Idealized write-through persist domain: every record is its
+        // own flush point (no discrete PmFlush events).
+        ++flushes_;
+        ++flushedRecords_;
+    }
+}
+
+void
+PersistModel::flushThread(ThreadId t, Cycle now)
+{
+    const uint64_t seq = nextSeq_[t];
+    uint64_t &flushed = flushedSeq_[t];
+    if (seq <= flushed)
+        return;
+    const uint64_t n = seq - flushed;
+    flushed = seq;
+    flushedCycle_[t] = now;
+    ++flushes_;
+    flushedRecords_.add(n);
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = now,
+                         .kind = EventKind::PmFlush,
+                         .thread = t, .a = n, .b = seq});
+}
+
+void
+PersistModel::onTxBegin(ThreadId t, Asid asid, uint32_t depth,
+                        bool open, Cycle now)
+{
+    (void)asid;
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::TxBegin, .cycle = now, .thread = t,
+                .depth = depth, .open = open});
+}
+
+void
+PersistModel::onUndoAppend(ThreadId t, Asid asid, VirtAddr va,
+                           uint64_t old_value, uint64_t lsn, Cycle now)
+{
+    if (crashed_)
+        return;
+    uint64_t &last = lastUndoLsn_[t];
+    logtm_assert(lsn > last,
+                 "undo LSNs must be strictly monotone per thread");
+    last = lsn;
+    const uint64_t key = makeKey(asid, va);
+    // The old value proves what the word held before the machine
+    // first speculated on it; those pre-existing contents were
+    // durable before the run started.
+    if (adopted_.insert(key).second) {
+        append(PmOp{.kind = PmOpKind::Baseline, .cycle = now,
+                    .thread = t, .key = key, .value = old_value});
+    }
+    append(PmOp{.kind = PmOpKind::Undo, .cycle = now, .thread = t,
+                .key = key, .value = old_value});
+    ++undoRecords_;
+}
+
+void
+PersistModel::onTxStore(ThreadId t, Asid asid, VirtAddr va,
+                        uint64_t value, Cycle now)
+{
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::TxStore, .cycle = now, .thread = t,
+                .key = makeKey(asid, va), .value = value});
+    ++dataStores_;
+}
+
+void
+PersistModel::onDirectStore(ThreadId t, Asid asid, VirtAddr va,
+                            uint64_t value, Cycle now)
+{
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::DirectStore, .cycle = now,
+                .thread = t, .key = makeKey(asid, va), .value = value});
+    ++dataStores_;
+    ++directStores_;
+}
+
+void
+PersistModel::onAbortRestore(ThreadId t, Asid asid, VirtAddr va,
+                             uint64_t old_value, Cycle now)
+{
+    if (crashed_)
+        return;
+    // Same durability class as TxStore (see header): if the restore
+    // is not durable, recovery re-applies the same pre-image from the
+    // surviving undo records — the walk is idempotent.
+    append(PmOp{.kind = PmOpKind::TxStore, .cycle = now, .thread = t,
+                .key = makeKey(asid, va), .value = old_value});
+    ++dataStores_;
+}
+
+void
+PersistModel::onTxCommit(ThreadId t, Cycle now)
+{
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::Commit, .cycle = now, .thread = t});
+    if (cfg_.policy == FlushPolicy::CommitTime)
+        flushThread(t, now);
+}
+
+void
+PersistModel::onNestedCommit(ThreadId t, bool open, Cycle now)
+{
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::NestedCommit, .cycle = now,
+                .thread = t, .open = open});
+    // An open child's effects are permanent (paper §3.2): force-flush
+    // the thread's log prefix under every policy so permanence
+    // survives a crash.
+    if (open)
+        flushThread(t, now);
+}
+
+void
+PersistModel::onAbortFrame(ThreadId t, Cycle now)
+{
+    if (crashed_)
+        return;
+    append(PmOp{.kind = PmOpKind::AbortFrame, .cycle = now,
+                .thread = t});
+}
+
+Cycle
+PersistModel::durableHorizon() const
+{
+    if (cfg_.policy != FlushPolicy::Epoch)
+        return crashCycle_;
+    return (crashCycle_ / cfg_.epochCycles) * cfg_.epochCycles;
+}
+
+bool
+PersistModel::opDurable(const PmOp &op) const
+{
+    logtm_assert(crashed_, "durability is defined at the crash point");
+    switch (op.kind) {
+      case PmOpKind::Baseline:
+      case PmOpKind::DirectStore:
+        return true;  // write-through persist domain
+      default:
+        break;
+    }
+    switch (cfg_.policy) {
+      case FlushPolicy::Eager:
+        return true;
+      case FlushPolicy::Epoch:
+        if (op.cycle < durableHorizon())
+            return true;
+        break;
+      case FlushPolicy::CommitTime:
+        break;
+    }
+    const auto it = flushedSeq_.find(op.thread);
+    return it != flushedSeq_.end() && op.threadSeq <= it->second;
+}
+
+bool
+PersistModel::txCommitDurable(Cycle cycle, ThreadId t) const
+{
+    logtm_assert(crashed_, "durability is defined at the crash point");
+    switch (cfg_.policy) {
+      case FlushPolicy::Eager:
+      case FlushPolicy::CommitTime:
+        // CommitTime: the commit marker is appended and then the
+        // thread's prefix (marker included) flushes immediately.
+        return true;
+      case FlushPolicy::Epoch:
+        break;
+    }
+    if (cycle < durableHorizon())
+        return true;
+    const auto it = flushedCycle_.find(t);
+    return it != flushedCycle_.end() && cycle <= it->second;
+}
+
+void
+PersistModel::crash(Cycle now)
+{
+    if (crashed_)
+        return;
+    crashed_ = true;
+    crashCycle_ = now;
+    ++crashes_;
+    finalize(now);
+    uint64_t durable = 0;
+    for (const PmOp &op : ops_)
+        durable += opDurable(op) ? 1 : 0;
+    durableRecords_.add(durable);
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = now,
+                         .kind = EventKind::PmFlush,
+                         .a = durable, .b = durableHorizon()});
+}
+
+void
+PersistModel::finalize(Cycle now)
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    if (cfg_.policy == FlushPolicy::Epoch) {
+        // Lazy epoch accounting: no events were scheduled during the
+        // run; credit the completed epoch flushes now.
+        const Cycle horizon = crashed_
+            ? durableHorizon() : (now / cfg_.epochCycles) * cfg_.epochCycles;
+        flushes_.add(horizon / cfg_.epochCycles);
+        uint64_t n = 0;
+        for (const PmOp &op : ops_)
+            n += op.cycle < horizon ? 1 : 0;
+        flushedRecords_.add(n);
+    }
+}
+
+} // namespace logtm

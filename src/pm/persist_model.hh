@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Persistence-epoch model over the DataStore and the per-thread undo
+ * logs (docs/ROBUSTNESS.md "Durability").
+ *
+ * LogTM-SE keeps its undo log in ordinary cacheable virtual memory
+ * (paper §2), which is exactly the structure a persistence model can
+ * make crash-consistent: every undo-log append and every
+ * transactional data store becomes a log-sequence-numbered record
+ * that reaches the modeled persist domain only at a flush point. The
+ * flush policy decides where those points are:
+ *
+ *  - Eager: every record is durable the cycle it is produced (an
+ *    idealized write-through persist domain).
+ *  - Epoch: the machine flushes atomically at every epochCycles
+ *    boundary; a crash truncates to the last completed epoch.
+ *  - CommitTime: each thread flushes its log prefix at outermost
+ *    commit (and nothing in between), so an in-flight transaction has
+ *    nothing durable and recovery is trivial.
+ *
+ * Under every policy, non-speculative stores (plain, escape, atomic
+ * RMW, and the abort handler's undo-restore writes) write through the
+ * persist domain eagerly, and an open-nested commit force-flushes the
+ * thread's log prefix — an open child's effects are permanent by
+ * definition (paper §3.2), so permanence must survive a crash.
+ * Write-ahead ordering holds by construction: an undo record is
+ * produced in the same cycle as (and before) its data store, and
+ * every flush mechanism is prefix-ordered per thread, so no cut can
+ * make a data write durable while its undo record is not. The
+ * deliberate exception is the planted torn-flush defect
+ * (RecoveryOptions::tornDefect in pm/recovery.hh), which drops one
+ * durable undo record to prove the recovery oracle can convict.
+ *
+ * Flushing is modeled lazily: nothing is scheduled on the event
+ * queue, no timing changes, and with PmConfig::enabled false the
+ * model is never constructed at all — the golden trace and all
+ * baseline stats are byte-identical to a build without it.
+ *
+ * A crash (FaultKind::Crash) freezes the model: hooks become no-ops
+ * and the durable horizon is pinned. RecoveryManager then runs
+ * ARIES-shaped analysis→undo over the surviving records
+ * (SNIPPETS.md Snippet 3 is the exemplar; no redo pass is needed
+ * because a commit marker only becomes durable after the data it
+ * covers).
+ */
+
+#ifndef LOGTM_PM_PERSIST_MODEL_HH
+#define LOGTM_PM_PERSIST_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "obs/event_bus.hh"
+
+namespace logtm {
+
+/** One record in the modeled persistent log (global production
+ *  order; the index is the LSN). */
+enum class PmOpKind : uint8_t {
+    Baseline,     ///< pre-existing contents adopted on first touch
+    TxStore,      ///< transactional in-place data store
+    DirectStore,  ///< non-speculative store (plain/escape/RMW/restore)
+    Undo,         ///< undo-log append (value = old value)
+    TxBegin,      ///< frame marker; depth/open set
+    NestedCommit, ///< frame marker; open set
+    Commit,       ///< outermost-commit marker
+    AbortFrame,   ///< frame marker: the frame's records are resolved
+};
+
+struct PmOp
+{
+    PmOpKind kind = PmOpKind::Baseline;
+    Cycle cycle = 0;
+    ThreadId thread = invalidThread;
+    /** Per-thread sequence number (prefix flushes cut on this). */
+    uint64_t threadSeq = 0;
+    uint64_t key = 0;    ///< (asid << 56) | va for data/undo records
+    uint64_t value = 0;  ///< new value (stores) / old value (Undo)
+    uint32_t depth = 0;  ///< TxBegin: nesting depth after begin
+    bool open = false;   ///< TxBegin/NestedCommit: open-nested?
+};
+
+class PersistModel
+{
+  public:
+    PersistModel(const PmConfig &cfg, StatsRegistry &stats,
+                 EventBus &events);
+
+    /** Same key packing as the oracle: page relocation is
+     *  transparent because durable state is virtual. */
+    static uint64_t
+    makeKey(Asid asid, VirtAddr va)
+    {
+        return (static_cast<uint64_t>(asid) << 56) | va;
+    }
+    static VirtAddr keyVa(uint64_t key)
+    { return key & ((1ull << 56) - 1); }
+    static Asid keyAsid(uint64_t key)
+    { return static_cast<Asid>(key >> 56); }
+
+    // ----- engine hooks (no-ops once crashed) --------------------------
+
+    void onTxBegin(ThreadId t, Asid asid, uint32_t depth, bool open,
+                   Cycle now);
+    /** Undo-log append; @p old_value also adopts the word's baseline
+     *  contents into the durable image on first touch. @p lsn is the
+     *  TxLog-stamped sequence number — asserted strictly monotone per
+     *  thread (write-ahead ordering sanity). */
+    void onUndoAppend(ThreadId t, Asid asid, VirtAddr va,
+                      uint64_t old_value, uint64_t lsn, Cycle now);
+    void onTxStore(ThreadId t, Asid asid, VirtAddr va, uint64_t value,
+                   Cycle now);
+    /** Non-speculative store: durable immediately under every policy. */
+    void onDirectStore(ThreadId t, Asid asid, VirtAddr va,
+                       uint64_t value, Cycle now);
+    /** Abort handler restoring one undo record. Policy-gated like a
+     *  transactional store: the restored value embeds committed state
+     *  that may itself still be awaiting a flush, so writing it
+     *  through eagerly would punch holes in an epoch cut. */
+    void onAbortRestore(ThreadId t, Asid asid, VirtAddr va,
+                        uint64_t old_value, Cycle now);
+    void onTxCommit(ThreadId t, Cycle now);
+    void onNestedCommit(ThreadId t, bool open, Cycle now);
+    void onAbortFrame(ThreadId t, Cycle now);
+
+    // ----- crash and durability ----------------------------------------
+
+    /** Freeze the persist domain at @p now. Later hooks are ignored
+     *  (the volatile machine may drain; its post-crash execution
+     *  never reaches durable state). Idempotent. */
+    void crash(Cycle now);
+
+    bool crashed() const { return crashed_; }
+    Cycle crashCycle() const { return crashCycle_; }
+
+    /** Epoch policy: last completed epoch boundary at the crash;
+     *  other policies: the crash cycle itself. */
+    Cycle durableHorizon() const;
+
+    /** Is @p op durable at the (frozen) crash point? */
+    bool opDurable(const PmOp &op) const;
+
+    /**
+     * Is an outermost commit by @p t at @p cycle durable? Mirrors
+     * opDurable for Commit markers so the recovery oracle can gate
+     * history units by the same cut without touching the raw log.
+     */
+    bool txCommitDurable(Cycle cycle, ThreadId t) const;
+
+    /** End-of-run bookkeeping for crash-free runs (epoch flush
+     *  counters); never perturbs the run. */
+    void finalize(Cycle now);
+
+    const std::vector<PmOp> &log() const { return ops_; }
+    const PmConfig &config() const { return cfg_; }
+
+  private:
+    void append(PmOp op);
+    /** Prefix-flush thread @p t's log through its latest record. */
+    void flushThread(ThreadId t, Cycle now);
+
+    const PmConfig cfg_;
+    EventBus &events_;
+
+    std::vector<PmOp> ops_;
+    /** Keys whose baseline contents were already adopted. */
+    std::unordered_set<uint64_t> adopted_;
+    /** Per-thread next sequence number. */
+    std::unordered_map<ThreadId, uint64_t> nextSeq_;
+    /** Last TxLog LSN seen per thread (monotonicity assertion). */
+    std::unordered_map<ThreadId, uint64_t> lastUndoLsn_;
+    /** Per-thread seq/cycle of the last explicit prefix flush
+     *  (outermost commit under CommitTime; open-nested commit under
+     *  every policy). */
+    std::unordered_map<ThreadId, uint64_t> flushedSeq_;
+    std::unordered_map<ThreadId, Cycle> flushedCycle_;
+
+    bool crashed_ = false;
+    Cycle crashCycle_ = 0;
+    bool finalized_ = false;
+
+    Counter &records_;
+    Counter &undoRecords_;
+    Counter &dataStores_;
+    Counter &directStores_;
+    Counter &flushes_;
+    Counter &flushedRecords_;
+    Counter &crashes_;
+    Counter &durableRecords_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_PM_PERSIST_MODEL_HH

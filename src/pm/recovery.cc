@@ -1,0 +1,195 @@
+#include "pm/recovery.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/log.hh"
+
+namespace logtm {
+
+namespace {
+
+/** Per-thread frame stacks of surviving undo-record indices,
+ *  reconstructed from the durable markers (the analysis pass).
+ *  @p dropped is an index to pretend was torn away, or SIZE_MAX. */
+using FrameStacks =
+    std::unordered_map<ThreadId, std::vector<std::vector<size_t>>>;
+
+FrameStacks
+analyze(const std::vector<PmOp> &ops, const std::vector<char> &durable,
+        size_t dropped)
+{
+    FrameStacks stacks;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (!durable[i] || i == dropped)
+            continue;
+        const PmOp &op = ops[i];
+        auto &stack = stacks[op.thread];
+        switch (op.kind) {
+          case PmOpKind::TxBegin:
+            stack.emplace_back();
+            break;
+          case PmOpKind::Undo:
+            // A durable undo record always follows its durable
+            // TxBegin (prefix-ordered flushes), but stay defensive.
+            if (!stack.empty())
+                stack.back().push_back(i);
+            break;
+          case PmOpKind::NestedCommit:
+            if (stack.empty())
+                break;
+            if (!op.open && stack.size() >= 2) {
+                // Closed commit: merge the child's records into the
+                // parent (TxLog::mergeTopIntoParent) so a parent
+                // rollback still covers them.
+                auto child = std::move(stack.back());
+                stack.pop_back();
+                auto &parent = stack.back();
+                parent.insert(parent.end(), child.begin(),
+                              child.end());
+            } else {
+                // Open commit: the child's effects are permanent;
+                // its records are resolved.
+                stack.pop_back();
+            }
+            break;
+          case PmOpKind::Commit:
+            stack.clear();
+            break;
+          case PmOpKind::AbortFrame:
+            // The abort handler's restores are write-through; the
+            // frame's records are resolved.
+            if (!stack.empty())
+                stack.pop_back();
+            break;
+          default:
+            break;  // data records are not markers
+        }
+    }
+    return stacks;
+}
+
+/**
+ * Torn-flush defect: pick the newest surviving undo record that
+ * alone guards its word (exactly one in-flight record for the key)
+ * and whose paired data store both reached the durable image and
+ * changed the value — dropping it provably leaves the word
+ * un-rolled-back. Returns SIZE_MAX if no such record exists (e.g.
+ * CommitTime, where in-flight transactions have nothing durable).
+ */
+size_t
+pickTornRecord(const std::vector<PmOp> &ops,
+               const std::vector<char> &durable,
+               const FrameStacks &stacks)
+{
+    size_t best = SIZE_MAX;
+    for (const auto &[thread, stack] : stacks) {
+        std::unordered_map<uint64_t, uint32_t> keyCount;
+        for (const auto &frame : stack)
+            for (const size_t i : frame)
+                ++keyCount[ops[i].key];
+        for (const auto &frame : stack) {
+            for (const size_t i : frame) {
+                if (keyCount[ops[i].key] != 1)
+                    continue;
+                // The word's surviving value is its LAST durable
+                // store; conviction needs it to differ from the
+                // pre-image the dropped record would have restored.
+                uint64_t lastValue = ops[i].value;
+                bool stored = false;
+                for (size_t j = i + 1; j < ops.size(); ++j) {
+                    if (durable[j] && ops[j].thread == thread &&
+                        ops[j].kind == PmOpKind::TxStore &&
+                        ops[j].key == ops[i].key) {
+                        lastValue = ops[j].value;
+                        stored = true;
+                    }
+                }
+                if (stored && lastValue != ops[i].value &&
+                    (best == SIZE_MAX || i > best)) {
+                    best = i;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+RecoveryReport
+RecoveryManager::recover(bool torn_defect)
+{
+    logtm_assert(pm_.crashed(), "recovery without a crash");
+    RecoveryReport rep;
+    rep.crashCycle = pm_.crashCycle();
+    rep.durableHorizon = pm_.durableHorizon();
+
+    const std::vector<PmOp> &ops = pm_.log();
+    rep.totalRecords = ops.size();
+    std::vector<char> durable(ops.size(), 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        durable[i] = pm_.opDurable(ops[i]) ? 1 : 0;
+        rep.durableRecords += durable[i];
+    }
+
+    size_t dropped = SIZE_MAX;
+    FrameStacks stacks = analyze(ops, durable, dropped);
+    if (torn_defect) {
+        dropped = pickTornRecord(ops, durable, stacks);
+        if (dropped != SIZE_MAX) {
+            rep.tornRecordDropped = true;
+            stacks = analyze(ops, durable, dropped);
+        }
+    }
+
+    // Rebuild the durable image: replay surviving data records in
+    // production order (baselines always precede stores to a word).
+    for (size_t i = 0; i < ops.size(); ++i) {
+        if (!durable[i])
+            continue;
+        const PmOp &op = ops[i];
+        switch (op.kind) {
+          case PmOpKind::Baseline:
+            rep.image.try_emplace(op.key, op.value);
+            break;
+          case PmOpKind::TxStore:
+          case PmOpKind::DirectStore:
+            rep.image[op.key] = op.value;
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Undo pass: roll in-flight frames back LIFO. In-flight write
+    // sets are disjoint across threads (conflict detection), so
+    // thread order is immaterial.
+    for (const auto &[thread, stack] : stacks) {
+        (void)thread;
+        std::vector<size_t> records;
+        for (const auto &frame : stack)
+            records.insert(records.end(), frame.begin(), frame.end());
+        if (records.empty() && stack.empty())
+            continue;
+        rep.inflightThreads += stack.empty() ? 0 : 1;
+        rep.inflightFrames += static_cast<uint32_t>(stack.size());
+        for (auto it = records.rbegin(); it != records.rend(); ++it) {
+            rep.image[ops[*it].key] = ops[*it].value;
+            ++rep.undoApplied;
+        }
+    }
+
+    if (stats_) {
+        ++stats_->counter("tm.pm.recovery.runs");
+        stats_->counter("tm.pm.recovery.inflightFrames")
+            .add(rep.inflightFrames);
+        stats_->counter("tm.pm.recovery.undoApplied")
+            .add(rep.undoApplied);
+        if (rep.tornRecordDropped)
+            ++stats_->counter("tm.pm.recovery.tornRecords");
+    }
+    return rep;
+}
+
+} // namespace logtm

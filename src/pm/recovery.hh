@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ARIES-shaped crash recovery over the PersistModel's surviving log
+ * (docs/ROBUSTNESS.md "Durability").
+ *
+ * Two passes, run against the durable prefix frozen at the crash:
+ *
+ *  - Analysis walks each thread's durable markers in order and
+ *    reconstructs its frame stack: TxBegin pushes, a closed
+ *    NestedCommit merges the child's undo records into the parent
+ *    (exactly as TxLog::mergeTopIntoParent does), an open
+ *    NestedCommit or AbortFrame discards the frame's records (their
+ *    effects are permanent / already restored), and an outermost
+ *    Commit resolves the whole stack. Whatever frames remain were
+ *    in flight at the crash.
+ *  - Undo walks each in-flight thread's surviving undo records in
+ *    LIFO order and applies the old values to the durable image.
+ *
+ * No redo pass exists because a commit marker only becomes durable
+ * after every record it covers (write-ahead, prefix-ordered flushes),
+ * so durable-committed data is already in the durable image.
+ *
+ * The planted torn-flush defect (negative testing) drops the newest
+ * surviving undo record of an in-flight frame whose paired data
+ * store did reach the durable image — the one write-ahead inversion
+ * the model otherwise makes impossible — and recovery then provably
+ * leaves a word un-rolled-back for the oracle to convict
+ * (oracle:recovery).
+ */
+
+#ifndef LOGTM_PM_RECOVERY_HH
+#define LOGTM_PM_RECOVERY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "pm/persist_model.hh"
+
+namespace logtm {
+
+struct RecoveryReport
+{
+    Cycle crashCycle = 0;
+    Cycle durableHorizon = 0;
+    uint64_t totalRecords = 0;
+    uint64_t durableRecords = 0;
+    /** Frames still open at the crash (rolled back by undo). */
+    uint32_t inflightFrames = 0;
+    /** Threads with at least one in-flight frame. */
+    uint32_t inflightThreads = 0;
+    uint64_t undoApplied = 0;
+    /** Torn-flush defect armed AND a record was actually dropped. */
+    bool tornRecordDropped = false;
+    /** Post-recovery durable state, keyed by (asid << 56) | va. */
+    std::unordered_map<uint64_t, uint64_t> image;
+};
+
+class RecoveryManager
+{
+  public:
+    /** @p stats (optional) receives tm.pm.recovery.* counters. */
+    explicit RecoveryManager(const PersistModel &pm,
+                             StatsRegistry *stats = nullptr)
+        : pm_(pm), stats_(stats) {}
+
+    /** Run analysis→undo over the durable log. The model must have
+     *  crashed. @p torn_defect plants the torn-flush defect. */
+    RecoveryReport recover(bool torn_defect = false);
+
+  private:
+    const PersistModel &pm_;
+    StatsRegistry *stats_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_PM_RECOVERY_HH

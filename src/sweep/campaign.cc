@@ -253,6 +253,18 @@ writeSpecEcho(JsonWriter &w, const SweepSpec &spec)
     for (const ConflictPolicy p : spec.policies)
         w.value(toString(p));
     w.endArray();
+    // Durability axes echo only when present, so reports from
+    // durability-free campaigns stay byte-identical to the seed.
+    if (!spec.flushPolicies.empty()) {
+        w.key("flushPolicies").beginArray();
+        for (const PmConfig &pm : spec.flushPolicies)
+            w.value(pm.spec());
+        w.endArray();
+        w.key("crashCycles").beginArray();
+        for (const Cycle c : spec.crashCycles)
+            w.value(static_cast<uint64_t>(c));
+        w.endArray();
+    }
     w.key("seeds").beginObject();
     w.field("base", spec.seeds.base);
     w.field("count", uint64_t{spec.seeds.count});

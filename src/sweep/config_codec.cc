@@ -115,6 +115,15 @@ canonicalConfigKey(const ExperimentConfig &cfg)
                         "/" +
                         std::to_string(cfg.mb.barrierEveryUnits));
     }
+    // Durability axes join the key only when the persist model is on
+    // (same contract as "mb": disabled-run keys are byte-identical to
+    // the pre-durability encoding, so cached results stay valid).
+    if (s.pm.enabled) {
+        appendField(key, "pm", s.pm.spec());
+        appendField(key, "crashAt", cfg.crashAtCycle);
+        if (cfg.tornFlushDefect)
+            appendField(key, "torn", uint64_t{1});
+    }
     return key;
 }
 
@@ -166,6 +175,20 @@ writeResultJson(const ExperimentResult &res, JsonWriter &w)
     w.field("writeAvg", res.writeAvg);
     w.field("writeMax", res.writeMax);
     w.field("undoRecordsAvg", res.undoRecordsAvg);
+    // Durability results ride along only when the persist model ran,
+    // keeping disabled-run result JSON byte-identical to the seed.
+    if (res.pmEnabled) {
+        w.field("pmEnabled", true);
+        w.field("crashed", res.crashed);
+        w.field("crashCycle", static_cast<uint64_t>(res.crashCycle));
+        w.field("pmRecords", res.pmRecords);
+        w.field("pmFlushes", res.pmFlushes);
+        w.field("pmDurableRecords", res.pmDurableRecords);
+        w.field("recoveryInflightFrames",
+                uint64_t{res.recoveryInflightFrames});
+        w.field("recoveryUndoApplied", res.recoveryUndoApplied);
+        w.field("recoveryMismatches", res.recoveryMismatches);
+    }
     w.endObject();
 }
 
@@ -223,6 +246,18 @@ resultFromJson(const JsonValue &v, ExperimentResult *out,
     r.writeAvg = v.getDouble("writeAvg", 0.0);
     r.writeMax = v.getDouble("writeMax", 0.0);
     r.undoRecordsAvg = v.getDouble("undoRecordsAvg", 0.0);
+    r.pmEnabled = v.getBool("pmEnabled", false);
+    if (r.pmEnabled) {
+        r.crashed = v.getBool("crashed", false);
+        r.crashCycle = v.getU64("crashCycle", 0);
+        r.pmRecords = v.getU64("pmRecords", 0);
+        r.pmFlushes = v.getU64("pmFlushes", 0);
+        r.pmDurableRecords = v.getU64("pmDurableRecords", 0);
+        r.recoveryInflightFrames = static_cast<uint32_t>(
+            v.getU64("recoveryInflightFrames", 0));
+        r.recoveryUndoApplied = v.getU64("recoveryUndoApplied", 0);
+        r.recoveryMismatches = v.getU64("recoveryMismatches", 0);
+    }
     *out = r;
     return true;
 }

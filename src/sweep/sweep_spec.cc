@@ -104,6 +104,30 @@ SweepSpec::fromJson(const JsonValue &doc, SweepSpec *out,
         spec.policies.push_back(p);
     }
 
+    names.clear();
+    if (!parseStringArray(*axes, "flushPolicies", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        PmConfig pm;
+        if (!parsePmSpec(n, &pm))
+            return specError(err, "bad flush policy spec '" + n + "'");
+        spec.flushPolicies.push_back(pm);
+    }
+
+    if (const JsonValue *cc = axes->get("crashCycles")) {
+        if (!cc->isArray())
+            return specError(err, "'crashCycles' must be an array");
+        for (const JsonValue &v : cc->array()) {
+            if (!v.isNumber())
+                return specError(
+                    err, "'crashCycles' entries must be numbers");
+            spec.crashCycles.push_back(v.asU64(0));
+        }
+        if (spec.flushPolicies.empty())
+            return specError(err, "'crashCycles' needs at least one "
+                             "entry in axes.flushPolicies");
+    }
+
     if (const JsonValue *seeds = axes->get("seeds")) {
         if (!seeds->isObject())
             return specError(err, "'seeds' must be an object "
@@ -166,7 +190,8 @@ std::vector<std::string>
 SweepSpec::builtinNames()
 {
     return {"table2", "table3_signatures", "fig4_speedup",
-            "result4_victimization", "scaling", "section7_snooping"};
+            "result4_victimization", "scaling", "section7_snooping",
+            "durability"};
 }
 
 bool
@@ -210,6 +235,21 @@ SweepSpec::builtin(const std::string &name, SweepSpec *out)
                           CoherenceKind::Snooping};
         spec.unitScaleDenom = 2;
         spec.withLockBaseline = true;
+    } else if (name == "durability") {
+        // Crash-consistency campaign (docs/EXPERIMENTS.md): flush
+        // policy x crash cycle x workload, recovery checked by the
+        // oracle on every crashed run. Crash cycles sit mid-run for
+        // both workloads at this unit scale; 0 is the crash-free
+        // control leg.
+        spec.benchmarks = {Benchmark::BerkeleyDB,
+                           Benchmark::Microbench};
+        spec.signatures = {sigBS(256)};
+        spec.flushPolicies.resize(3);
+        parsePmSpec("eager", &spec.flushPolicies[0]);
+        parsePmSpec("epoch:5000", &spec.flushPolicies[1]);
+        parsePmSpec("committime", &spec.flushPolicies[2]);
+        spec.crashCycles = {0, 4000, 9000};
+        spec.unitScaleDenom = 4;
     } else {
         return false;
     }
@@ -235,12 +275,23 @@ expand(const SweepSpec &spec)
         spec.policies.empty()
             ? std::vector<ConflictPolicy>{spec.system.conflictPolicy}
             : spec.policies;
+    // Durability axes. The disabled-PmConfig fallback keeps the
+    // cross-product total and leaves job configs identical to the
+    // pre-durability expansion.
+    const std::vector<PmConfig> pms =
+        spec.flushPolicies.empty() ? std::vector<PmConfig>{PmConfig{}}
+                                   : spec.flushPolicies;
+    const std::vector<Cycle> crashes =
+        spec.crashCycles.empty() ? std::vector<Cycle>{0}
+                                 : spec.crashCycles;
 
     std::vector<SweepJob> jobs;
     for (const Benchmark bench : spec.benchmarks) {
         for (const CoherenceKind coh : coherence) {
             for (const ConflictPolicy policy : policies) {
                 for (const uint32_t t : threads) {
+                  for (const PmConfig &pm : pms) {
+                    for (const Cycle crash : crashes) {
                     // Lock baseline first, then each signature, each
                     // over the seed axis (innermost, so seeds of one
                     // cell are adjacent in the report).
@@ -270,6 +321,8 @@ expand(const SweepSpec &spec)
                                     : sigs[static_cast<size_t>(
                                           variant)];
                             cfg.sys.seed = job.seed;
+                            cfg.sys.pm = pm;
+                            cfg.crashAtCycle = pm.enabled ? crash : 0;
                             cfg.mb = spec.mb;
                             cfg.wl.useTm = !job.lockBaseline;
                             cfg.wl.numThreads =
@@ -284,9 +337,21 @@ expand(const SweepSpec &spec)
                             job.variant = job.lockBaseline
                                 ? "Lock"
                                 : cfg.sys.signature.name();
+                            // Durability legs fold into the variant
+                            // name so each (policy, crash) pair is
+                            // its own report cell.
+                            if (pm.enabled) {
+                                job.variant += "+" + pm.spec();
+                                if (crash) {
+                                    job.variant +=
+                                        "@" + std::to_string(crash);
+                                }
+                            }
                             jobs.push_back(std::move(job));
                         }
                     }
+                    }
+                  }
                 }
             }
         }

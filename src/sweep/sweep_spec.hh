@@ -42,6 +42,14 @@ struct SweepSpec
     std::vector<uint32_t> threads;       ///< 0 = all contexts
     std::vector<CoherenceKind> coherence;
     std::vector<ConflictPolicy> policies;
+    /** Durability axis: each entry is an enabled persist-model config
+     *  ("eager", "epoch:5000", "committime"), crossed with
+     *  crashCycles. Empty = durability off; the pm layer is never
+     *  constructed and job keys match the pre-durability encoding. */
+    std::vector<PmConfig> flushPolicies;
+    /** Crash-injection cycles (0 = run to completion). Only
+     *  meaningful alongside flushPolicies. */
+    std::vector<Cycle> crashCycles;
     SeedAxis seeds;
 
     // Run shaping.
@@ -84,8 +92,9 @@ struct SweepJob
 
 /**
  * Deterministic expansion: benchmark (outer) x coherence x policy x
- * threads x [lock baseline + signatures] x seed (inner). The order
- * is part of the campaign-report contract.
+ * threads x flush policy x crash cycle x [lock baseline +
+ * signatures] x seed (inner). The order is part of the
+ * campaign-report contract.
  */
 std::vector<SweepJob> expand(const SweepSpec &spec);
 

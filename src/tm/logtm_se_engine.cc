@@ -6,6 +6,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "obs/attribution.hh"
+#include "pm/persist_model.hh"
 #include "sig/signature_factory.hh"
 #include "tm/tx_observer.hh"
 
@@ -224,6 +225,8 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
                              .a = 1, .b = open ? 1u : 0u});
         if (observer_)
             observer_->onTxBegin(t, thr.asid, 1, open);
+        if (pm_)
+            pm_->onTxBegin(t, thr.asid, 1, open, sim_.now());
         return;
     }
 
@@ -243,6 +246,11 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
                          .a = thr.log.depth(), .b = open ? 1u : 0u});
     if (observer_)
         observer_->onTxBegin(t, thr.asid, thr.log.depth(), open);
+    if (pm_) {
+        pm_->onTxBegin(t, thr.asid,
+                       static_cast<uint32_t>(thr.log.depth()), open,
+                       sim_.now());
+    }
 }
 
 void
@@ -259,6 +267,8 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
         acct_.txCommitTop(thr.ctx, sim_.now(), t, !open_commit);
         if (observer_)
             observer_->onNestedCommit(t, thr.asid, open_commit);
+        if (pm_)
+            pm_->onNestedCommit(t, open_commit, sim_.now());
         if (open_commit) {
             // Open commit: release isolation on child-only accesses
             // by restoring the parent's signatures; the child's undo
@@ -302,6 +312,8 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
                          .b = ctx.shadowWrite.size()});
     if (observer_)
         observer_->onTxCommit(t, thr.asid);
+    if (pm_)
+        pm_->onTxCommit(t, sim_.now());
 
     ctx.readSig->clear();
     ctx.writeSig->clear();
@@ -360,6 +372,10 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
                          .b = records.size()});
     for (auto it = records.rbegin(); it != records.rend(); ++it) {
         mem_.data().store(translate(thr, it->vaddr), it->oldValue);
+        if (pm_) {
+            pm_->onAbortRestore(t, thr.asid, it->vaddr, it->oldValue,
+                                sim_.now());
+        }
     }
     const Cycle latency = cfg_.abortTrapLatency +
         records.size() * cfg_.abortRestoreLatency;
@@ -385,6 +401,8 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     thr.filter.clear();
     if (observer_)
         observer_->onAbortFrame(t, thr.asid, depth_before);
+    if (pm_)
+        pm_->onAbortFrame(t, sim_.now());
 
     // Partial abort (paper §3.2): if the conflicting address still
     // hits the restored signatures, keep unwinding at the parent.
@@ -932,11 +950,16 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                                          .thread = thr.id,
                                          .addr = block});
                 } else {
-                    thr.log.append(UndoRecord{op->va, pa,
-                                              mem_.data().load(pa)});
+                    const uint64_t old_value = mem_.data().load(pa);
+                    const uint64_t lsn = thr.log.append(
+                        UndoRecord{op->va, pa, old_value});
                     thr.filter.insert(op->va);
                     ++logRecords_;
                     extra = cfg_.logWriteLatency;
+                    if (pm_) {
+                        pm_->onUndoAppend(op->t, thr.asid, op->va,
+                                          old_value, lsn, sim_.now());
+                    }
                     logtm_obs_emit(sim_.events(),
                                    ObsEvent{.cycle = sim_.now(),
                                          .kind = EventKind::LogWrite,
@@ -962,6 +985,10 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                     observer_->onDirectWrite(op->t, thr.asid, op->va,
                                              new_value, true);
                 }
+                if (pm_) {
+                    pm_->onDirectStore(op->t, thr.asid, op->va,
+                                       new_value, sim_.now());
+                }
             } else {
                 if (observer_) {
                     const uint64_t old_value = mem_.data().load(pa);
@@ -976,6 +1003,15 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                     }
                 } else {
                     mem_.data().store(pa, op->storeValue);
+                }
+                if (pm_) {
+                    if (in_tx) {
+                        pm_->onTxStore(op->t, thr.asid, op->va,
+                                       op->storeValue, sim_.now());
+                    } else {
+                        pm_->onDirectStore(op->t, thr.asid, op->va,
+                                           op->storeValue, sim_.now());
+                    }
                 }
             }
         }

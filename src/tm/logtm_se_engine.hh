@@ -36,6 +36,7 @@
 namespace logtm {
 
 class TxObserver;
+class PersistModel;
 
 /** Completion status of a transactional memory operation. */
 enum class OpStatus : uint8_t {
@@ -179,6 +180,13 @@ class LogTmSeEngine : public ConflictChecker
      *  Hooks fire synchronously; see tm/tx_observer.hh. */
     void setObserver(TxObserver *observer) { observer_ = observer; }
 
+    /** Attach the durability model (src/pm; nullptr detaches). Like
+     *  the observer it is strictly passive — hooks fire synchronously
+     *  at begin/log-append/store/commit/abort and never change
+     *  timing, so a run without one is byte-identical. */
+    void setPersistModel(PersistModel *pm) { pm_ = pm; }
+    PersistModel *persistModel() { return pm_; }
+
     /**
      * TEST-ONLY: force the signature path to report "no conflict"
      * for (owner context, block) pairs the hook accepts, creating a
@@ -265,6 +273,7 @@ class LogTmSeEngine : public ConflictChecker
     AddressTranslator *translator_;
     std::function<void(ThreadId)> commitMigrationHook_;
     TxObserver *observer_ = nullptr;
+    PersistModel *pm_ = nullptr;
     SigBypassFn sigBypass_;
     uint32_t opsInFlight_ = 0;
     CycleAccounting acct_;

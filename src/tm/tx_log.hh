@@ -39,6 +39,10 @@ struct UndoRecord
     VirtAddr vaddr = 0;   ///< logged virtual address (paging-safe)
     PhysAddr paddr = 0;   ///< translation at log time (simulator aid)
     uint64_t oldValue = 0;
+    /** Log sequence number, stamped by TxLog::append: monotone over
+     *  the log's lifetime (never reset), so the durability layer can
+     *  assert write-ahead ordering per thread (src/pm). */
+    uint64_t lsn = 0;
 };
 
 /** Logical register checkpoint saved in each frame header. */
@@ -81,8 +85,18 @@ class TxLog
     LogFrame &top();
     const LogFrame &top() const;
 
-    /** Append an undo record to the innermost frame. */
-    void append(const UndoRecord &rec) { arena_.push_back(rec); }
+    /** Append an undo record to the innermost frame, stamping its
+     *  LSN. Returns the stamped LSN. */
+    uint64_t
+    append(UndoRecord rec)
+    {
+        rec.lsn = ++nextLsn_;
+        arena_.push_back(rec);
+        return rec.lsn;
+    }
+
+    /** LSN of the most recently appended record (0 = none ever). */
+    uint64_t lastLsn() const { return nextLsn_; }
 
     /** The innermost frame's undo records, oldest first. Walk this
      *  BEFORE popFrame(); popping truncates the arena. */
@@ -123,6 +137,10 @@ class TxLog
     }
 
   private:
+    /** Next LSN source; survives reset() so LSNs are unique over the
+     *  thread's lifetime. */
+    uint64_t nextLsn_ = 0;
+
     std::vector<LogFrame> frames_;
     /** Shared undo-record storage; frame i's body spans
      *  [frames_[i].recordsBegin, frames_[i+1].recordsBegin) and the

@@ -42,6 +42,12 @@ writeBody(const ReproBundle &b, JsonWriter &w)
     w.field("signature", signatureSpec(p.signature));
     w.field("watchdogThreshold", p.watchdogThreshold);
     w.field("defectVictimBypass", p.defectVictimBypass);
+    // Durability fields ride along only when the model is on, so
+    // pre-durability bundles (and their goldens) are byte-identical.
+    if (p.pm.enabled) {
+        w.field("pm", p.pm.spec());
+        w.field("defectTornFlush", p.defectTornFlush);
+    }
     w.field("scripted", p.script.has_value());
     w.field("script", p.script ? p.script->format() : std::string());
     w.field("fingerprint", b.fingerprint.format());
@@ -70,8 +76,12 @@ ReproBundle::canonicalKey() const
        << "|units=" << p.totalUnits << "|counters=" << p.numCounters
        << "|sig=" << signatureSpec(p.signature)
        << "|watchdog=" << p.watchdogThreshold
-       << "|defectVictimBypass=" << p.defectVictimBypass
-       << "|scripted=" << p.script.has_value()
+       << "|defectVictimBypass=" << p.defectVictimBypass;
+    if (p.pm.enabled) {
+        os << "|pm=" << p.pm.spec()
+           << "|defectTornFlush=" << p.defectTornFlush;
+    }
+    os << "|scripted=" << p.script.has_value()
        << "|script=" << (p.script ? p.script->format() : std::string());
     return os.str();
 }
@@ -114,6 +124,15 @@ ReproBundle::fromJson(const std::string &text, ReproBundle *out,
     p.watchdogThreshold =
         doc.getU64("watchdogThreshold", p.watchdogThreshold);
     p.defectVictimBypass = doc.getBool("defectVictimBypass", false);
+    const std::string pmSpec = doc.getString("pm", "");
+    if (!pmSpec.empty()) {
+        if (!parsePmSpec(pmSpec, &p.pm)) {
+            if (err)
+                *err = "bad pm spec '" + pmSpec + "'";
+            return false;
+        }
+        p.defectTornFlush = doc.getBool("defectTornFlush", false);
+    }
     if (doc.getBool("scripted", false))
         p.script = FaultScript::parse(doc.getString("script", ""));
     b.fingerprint =

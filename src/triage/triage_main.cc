@@ -68,6 +68,12 @@ usage(std::FILE *to)
         "  --defect-victim-bypass\n"
         "                      plant the known signature defect so\n"
         "                      victimize faults become oracle failures\n"
+        "  --pm SPEC           enable the durability model: eager |\n"
+        "                      epoch:N | committime; pair with a\n"
+        "                      crash=P fault for crash-recovery runs\n"
+        "  --defect-torn-flush\n"
+        "                      plant the torn-flush recovery defect so\n"
+        "                      crash faults become oracle:recovery\n"
         "  --note STR          provenance note stored in the bundle\n"
         "\n"
         "minimize options:\n"
@@ -272,6 +278,14 @@ main(int argc, char **argv)
             chaos.snooping = true;
         } else if (arg == "--defect-victim-bypass") {
             chaos.defectVictimBypass = true;
+        } else if (argValue(argc, argv, &i, "--pm", &value)) {
+            if (!parsePmSpec(value, &chaos.pm)) {
+                std::fprintf(stderr, "bad --pm spec '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--defect-torn-flush") {
+            chaos.defectTornFlush = true;
         } else if (argValue(argc, argv, &i, "--note", &note)) {
         } else if (argValue(argc, argv, &i, "--out", &outPath)) {
         } else if (argValue(argc, argv, &i, "--jobs", &value)) {

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Crash-consistent durability and the recovery oracle (src/pm/,
+ * docs/ROBUSTNESS.md "Durability").
+ *
+ * The heart of the file is the crash grid: Table 2 workloads killed
+ * at randomized cycles under every flush policy, each run recovered
+ * with the ARIES-shaped analysis/undo pass and machine-checked
+ * against the committed prefix the oracle recorded. The planted
+ * torn-flush defect proves the oracle can convict, and the triage
+ * pipeline (capture -> replay -> ddmin) reduces that conviction to
+ * the crash event itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "check/chaos.hh"
+#include "common/rng.hh"
+#include "harness/experiment.hh"
+#include "sweep/config_codec.hh"
+#include "sweep/json_value.hh"
+#include "triage/minimizer.hh"
+#include "triage/repro_bundle.hh"
+
+namespace logtm {
+namespace {
+
+using triage::MinimizeOptions;
+using triage::MinimizeResult;
+using triage::ReproBundle;
+
+PmConfig
+pmSpec(const char *spec)
+{
+    PmConfig pm;
+    EXPECT_TRUE(parsePmSpec(spec, &pm)) << spec;
+    return pm;
+}
+
+std::vector<PmConfig>
+allPolicies()
+{
+    return {pmSpec("eager"), pmSpec("epoch:1000"), pmSpec("committime")};
+}
+
+/** Small, deterministic experiment: any Table 2 workload, few units,
+ *  so a whole crash grid stays inside the tier-1 time budget. */
+ExperimentConfig
+smallConfig(Benchmark b, const PmConfig &pm)
+{
+    ExperimentConfig cfg;
+    cfg.bench = b;
+    cfg.sys.pm = pm;
+    cfg.sys.seed = 42;
+    cfg.wl.numThreads = 8;
+    cfg.wl.totalUnits = 64;
+    cfg.wl.seed = 42;
+    return cfg;
+}
+
+// ----- spec parsing ----------------------------------------------
+
+TEST(PmSpec, ParsesEveryPolicyAndRoundTrips)
+{
+    PmConfig pm;
+    ASSERT_TRUE(parsePmSpec("eager", &pm));
+    EXPECT_TRUE(pm.enabled);
+    EXPECT_EQ(pm.policy, FlushPolicy::Eager);
+    EXPECT_EQ(pm.spec(), "eager");
+
+    ASSERT_TRUE(parsePmSpec("epoch:500", &pm));
+    EXPECT_EQ(pm.policy, FlushPolicy::Epoch);
+    EXPECT_EQ(pm.epochCycles, 500u);
+    EXPECT_EQ(pm.spec(), "epoch:500");
+
+    ASSERT_TRUE(parsePmSpec("committime", &pm));
+    EXPECT_EQ(pm.policy, FlushPolicy::CommitTime);
+    EXPECT_EQ(pm.spec(), "committime");
+}
+
+TEST(PmSpec, RejectsMalformedSpecs)
+{
+    PmConfig pm;
+    EXPECT_FALSE(parsePmSpec("", &pm));
+    EXPECT_FALSE(parsePmSpec("bogus", &pm));
+    EXPECT_FALSE(parsePmSpec("epoch:0", &pm));
+    EXPECT_FALSE(parsePmSpec("epoch:abc", &pm));
+    EXPECT_FALSE(parsePmSpec("eager:5", &pm));
+    EXPECT_FALSE(parsePmSpec("committime:100", &pm));
+}
+
+TEST(PmSpec, CrashFaultPlanFormatsOnlyWhenPresent)
+{
+    FaultPlan plan;
+    plan.victimPct = 30;
+    // Pre-durability plans must format exactly as before: "crash="
+    // would invalidate every stored bundle's canonical key.
+    EXPECT_EQ(plan.format().find("crash"), std::string::npos);
+
+    plan.crashPct = 3;
+    const std::string text = plan.format();
+    EXPECT_NE(text.find("crash=3"), std::string::npos);
+    const FaultPlan back = FaultPlan::parse(text);
+    EXPECT_EQ(back.crashPct, 3u);
+    EXPECT_EQ(back.format(), text);
+}
+
+// ----- zero perturbation -----------------------------------------
+
+TEST(Durability, CrashFreeRunsMatchDisabledRunsExactly)
+{
+    for (const Benchmark b :
+         {Benchmark::BerkeleyDB, Benchmark::Microbench}) {
+        const ExperimentResult off =
+            runExperiment(smallConfig(b, PmConfig{}));
+        EXPECT_FALSE(off.pmEnabled);
+        EXPECT_EQ(off.pmRecords, 0u);
+
+        for (const PmConfig &pm : allPolicies()) {
+            const ExperimentResult on =
+                runExperiment(smallConfig(b, pm));
+            // The persist model only records; it must not move a
+            // single cycle of the simulated machine.
+            EXPECT_EQ(on.cycles, off.cycles) << pm.spec();
+            EXPECT_EQ(on.commits, off.commits) << pm.spec();
+            EXPECT_EQ(on.aborts, off.aborts) << pm.spec();
+            EXPECT_TRUE(on.pmEnabled);
+            EXPECT_FALSE(on.crashed);
+            EXPECT_GT(on.pmRecords, 0u) << pm.spec();
+            EXPECT_EQ(on.recoveryMismatches, 0u) << pm.spec();
+        }
+    }
+}
+
+TEST(Durability, DisabledRunsSerializeExactlyAsSeed)
+{
+    const ExperimentConfig off =
+        smallConfig(Benchmark::Microbench, PmConfig{});
+    const std::string offKey = sweep::canonicalConfigKey(off);
+    EXPECT_EQ(offKey.find("pm="), std::string::npos);
+    EXPECT_EQ(offKey.find("crashAt="), std::string::npos);
+
+    ExperimentConfig on = smallConfig(Benchmark::Microbench,
+                                      pmSpec("epoch:1000"));
+    on.crashAtCycle = 4000;
+    const std::string onKey = sweep::canonicalConfigKey(on);
+    EXPECT_NE(onKey.find("pm=epoch:1000;"), std::string::npos);
+    EXPECT_NE(onKey.find("crashAt=4000;"), std::string::npos);
+    // The planted defect changes the simulation, so it must key the
+    // result cache too.
+    on.tornFlushDefect = true;
+    EXPECT_NE(sweep::canonicalConfigKey(on), onKey);
+
+    ExperimentResult plain;
+    plain.bench = "Microbench";
+    EXPECT_EQ(sweep::resultToJson(plain).find("pmEnabled"),
+              std::string::npos);
+}
+
+TEST(Durability, ResultJsonRoundTripsRecoveryFields)
+{
+    ExperimentResult r;
+    r.bench = "BerkeleyDB";
+    r.pmEnabled = true;
+    r.crashed = true;
+    r.crashCycle = 9000;
+    r.pmRecords = 1234;
+    r.pmFlushes = 56;
+    r.pmDurableRecords = 1200;
+    r.recoveryInflightFrames = 3;
+    r.recoveryUndoApplied = 17;
+    r.recoveryMismatches = 0;
+
+    std::string err;
+    const sweep::JsonValue doc =
+        sweep::JsonValue::parse(sweep::resultToJson(r), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ExperimentResult back;
+    ASSERT_TRUE(sweep::resultFromJson(doc, &back, &err)) << err;
+    EXPECT_TRUE(back.pmEnabled);
+    EXPECT_TRUE(back.crashed);
+    EXPECT_EQ(back.crashCycle, 9000u);
+    EXPECT_EQ(back.pmRecords, 1234u);
+    EXPECT_EQ(back.pmFlushes, 56u);
+    EXPECT_EQ(back.pmDurableRecords, 1200u);
+    EXPECT_EQ(back.recoveryInflightFrames, 3u);
+    EXPECT_EQ(back.recoveryUndoApplied, 17u);
+    EXPECT_EQ(back.recoveryMismatches, 0u);
+}
+
+TEST(Durability, CrashedObsRunEmitsWellFormedPartialArtifacts)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "logtm-crash-obs-test";
+    fs::remove_all(dir);
+
+    // Crash-free run bounds the crash cycle; then die mid-run with
+    // observability on.
+    ExperimentConfig cfg =
+        smallConfig(Benchmark::Microbench, pmSpec("eager"));
+    const Cycle full = runExperiment(cfg).cycles;
+    ASSERT_GT(full, 2u);
+    cfg.obs.outDir = dir.string();
+    cfg.obs.intervalCycles = 500;
+    cfg.crashAtCycle = full / 2;
+    const ExperimentResult r = runExperiment(cfg);
+    ASSERT_TRUE(r.crashed);
+
+    // Both artifacts must be well-formed JSON and say so up front.
+    for (const char *name : {"stats.json", "timeseries.json"}) {
+        std::ifstream in(dir / name);
+        ASSERT_TRUE(in.good()) << name;
+        std::stringstream text;
+        text << in.rdbuf();
+        std::string err;
+        const sweep::JsonValue doc =
+            sweep::JsonValue::parse(text.str(), &err);
+        ASSERT_TRUE(err.empty()) << name << ": " << err;
+        EXPECT_TRUE(doc.getBool("crashed", false)) << name;
+        EXPECT_EQ(doc.getU64("crashCycle", 0), cfg.crashAtCycle)
+            << name;
+    }
+    fs::remove_all(dir);
+}
+
+// ----- the crash grid --------------------------------------------
+
+TEST(RecoveryGrid, OracleCleanAcrossCrashCyclesAndPolicies)
+{
+    const std::vector<Benchmark> benches = paperBenchmarks();
+    Rng rng(0xD00D);
+    for (const PmConfig &pm : allPolicies()) {
+        // Crash-free control leg per workload; its cycle count bounds
+        // the randomized crash grid.
+        std::map<Benchmark, Cycle> runCycles;
+        uint32_t crashPoints = 0;
+        for (uint32_t i = 0; i < 32; ++i) {
+            const Benchmark b = benches[i % benches.size()];
+            if (!runCycles.count(b)) {
+                const ExperimentResult r0 =
+                    runExperiment(smallConfig(b, pm));
+                ASSERT_FALSE(r0.crashed);
+                ASSERT_EQ(r0.recoveryMismatches, 0u)
+                    << toString(b) << " " << pm.spec();
+                ASSERT_GT(r0.cycles, 2u);
+                runCycles[b] = r0.cycles;
+            }
+            ExperimentConfig cfg = smallConfig(b, pm);
+            cfg.crashAtCycle = rng.range(1, runCycles[b] - 1);
+            const ExperimentResult r = runExperiment(cfg);
+            ASSERT_TRUE(r.crashed)
+                << toString(b) << " " << pm.spec() << " @ "
+                << cfg.crashAtCycle;
+            EXPECT_EQ(r.crashCycle, cfg.crashAtCycle);
+            EXPECT_EQ(r.recoveryMismatches, 0u)
+                << toString(b) << " " << pm.spec() << " @ "
+                << cfg.crashAtCycle;
+            EXPECT_LE(r.pmDurableRecords, r.pmRecords);
+            ++crashPoints;
+        }
+        EXPECT_GE(crashPoints, 32u) << pm.spec();
+    }
+}
+
+// ----- chaos-side crash faults -----------------------------------
+
+/** Chaos run with a tick-driven power failure in the mix. */
+ChaosParams
+crashChaosParams(uint64_t seed, const char *pm)
+{
+    ChaosParams p;
+    p.seed = seed;
+    p.faults.crashPct = 4;
+    p.faults.victimPct = 20;
+    p.faults.nackPct = 5;
+    p.faults.tickInterval = 200;
+    p.totalUnits = 96;
+    p.pm = pmSpec(pm);
+    return p;
+}
+
+TEST(RecoveryChaos, CrashFaultRunsRecoverCleanUnderEveryPolicy)
+{
+    for (const char *pm : {"eager", "epoch:1000", "committime"}) {
+        uint32_t crashes = 0;
+        for (uint64_t seed = 1; seed <= 6; ++seed) {
+            const ChaosResult r = runChaos(crashChaosParams(seed, pm));
+            EXPECT_TRUE(r.ok()) << pm << " seed " << seed << ": "
+                                << r.describe();
+            EXPECT_EQ(r.recoveryMismatches, 0u);
+            if (r.crashed) {
+                ++crashes;
+                EXPECT_EQ(r.fingerprint().format(), "clean");
+                EXPECT_GT(r.crashCycle, 0u);
+            }
+        }
+        // The crash probability is set so most seeds die mid-run;
+        // a policy where none crashed would be testing nothing.
+        EXPECT_GE(crashes, 3u) << pm;
+    }
+}
+
+// ----- the planted torn-flush defect -----------------------------
+
+/** First seed whose capture run convicts the planted torn-flush
+ *  defect, with its bundle. Shared across tests; searched once. */
+const std::optional<std::pair<ReproBundle, ChaosResult>> &
+tornCapture()
+{
+    static const std::optional<std::pair<ReproBundle, ChaosResult>>
+        found = []() -> std::optional<
+                     std::pair<ReproBundle, ChaosResult>> {
+        for (uint64_t seed = 1; seed <= 40; ++seed) {
+            ChaosParams p = crashChaosParams(seed, "eager");
+            p.defectTornFlush = true;
+            ChaosResult capture;
+            const ReproBundle b = triage::captureBundle(p, &capture);
+            if (b.fingerprint.format() == "oracle:recovery")
+                return std::make_pair(b, capture);
+        }
+        return std::nullopt;
+    }();
+    return found;
+}
+
+TEST(RecoveryDefect, TornFlushConvictsOracleAndOnlyWithDefect)
+{
+    ASSERT_TRUE(tornCapture().has_value())
+        << "no seed in 1..40 tripped the torn-flush defect";
+    const auto &[bundle, capture] = *tornCapture();
+    EXPECT_TRUE(capture.crashed);
+    EXPECT_GT(capture.recoveryMismatches, 0u);
+    EXPECT_EQ(bundle.fingerprint.format(), "oracle:recovery");
+
+    // Same seed, same faults, defect unplanted: recovery is clean,
+    // so the conviction is the defect's and not the oracle's.
+    ChaosParams clean = bundle.params;
+    clean.script.reset();
+    clean.defectTornFlush = false;
+    const ChaosResult r = runChaos(clean);
+    EXPECT_TRUE(r.ok()) << r.describe();
+    EXPECT_EQ(r.recoveryMismatches, 0u);
+}
+
+TEST(RecoveryDefect, CapturedCrashScriptReplaysBitIdentically)
+{
+    ASSERT_TRUE(tornCapture().has_value());
+    const auto &[bundle, capture] = *tornCapture();
+    ASSERT_TRUE(bundle.params.script.has_value());
+
+    const ChaosResult replay = triage::replayBundle(bundle);
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+    EXPECT_TRUE(replay.crashed);
+    EXPECT_EQ(replay.crashCycle, capture.crashCycle);
+    EXPECT_EQ(replay.cycles, capture.cycles);
+    EXPECT_EQ(replay.durableRecords, capture.durableRecords);
+    EXPECT_EQ(replay.recoveryMismatches, capture.recoveryMismatches);
+    EXPECT_EQ(replay.faultsInjected, capture.faultsInjected);
+}
+
+TEST(RecoveryDefect, BundleRoundTripsDurabilityFields)
+{
+    ASSERT_TRUE(tornCapture().has_value());
+    const ReproBundle &bundle = tornCapture()->first;
+
+    ReproBundle back;
+    std::string err;
+    ASSERT_TRUE(ReproBundle::fromJson(bundle.toJson(), &back, &err))
+        << err;
+    EXPECT_EQ(back.toJson(), bundle.toJson());
+    EXPECT_EQ(back.canonicalKey(), bundle.canonicalKey());
+    EXPECT_TRUE(back.params.pm.enabled);
+    EXPECT_EQ(back.params.pm.spec(), "eager");
+    EXPECT_TRUE(back.params.defectTornFlush);
+
+    // Durability-free bundles keep the pre-durability encoding.
+    ReproBundle plain;
+    plain.params.seed = 7;
+    EXPECT_EQ(plain.toJson().find("\"pm\""), std::string::npos);
+    EXPECT_EQ(plain.canonicalKey().find("pm="), std::string::npos);
+}
+
+TEST(RecoveryDefect, MinimizerReducesCrashFailureToTwoEvents)
+{
+    ASSERT_TRUE(tornCapture().has_value());
+    const ReproBundle &bundle = tornCapture()->first;
+    ASSERT_GE(bundle.params.script->size(), 4u)
+        << "capture too small to make minimization meaningful";
+
+    MinimizeOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = "";
+    const MinimizeResult res = triage::minimizeBundle(bundle, opt);
+    EXPECT_EQ(res.originalEvents, bundle.params.script->size());
+    EXPECT_LE(res.finalEvents, 2u);
+    EXPECT_EQ(res.bundle.fingerprint, bundle.fingerprint);
+
+    // The minimized script must still contain the power failure and
+    // stand on its own.
+    bool hasCrash = false;
+    for (const ScriptedFault &e : res.bundle.params.script->events)
+        hasCrash |= e.kind == FaultKind::Crash;
+    EXPECT_TRUE(hasCrash);
+    const ChaosResult replay = triage::replayBundle(res.bundle);
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+}
+
+} // namespace
+} // namespace logtm
