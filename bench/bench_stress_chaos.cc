@@ -12,6 +12,8 @@
  *                                           # exact replay of one run
  *   --snooping                              # snooping coherence
  *   --units=N                               # work units per run
+ *   --hybrid=SPEC                           # hybrid TM (cap[,retry][,fb])
+ *   --defect-skip-subscribe                 # planted fallback defect
  *
  * The sweep runs every (mix, seed) combination -- in parallel when
  * --jobs/$LOGTM_JOBS asks for it -- prints results in sweep order,
@@ -44,7 +46,8 @@ struct ChaosRun
 
 ChaosResult
 runOne(uint64_t seed, const FaultPlan &plan, bool snooping,
-       uint64_t units)
+       uint64_t units, const HybridConfig &hybrid,
+       bool defectSkipSubscribe)
 {
     ChaosParams p;
     p.seed = seed;
@@ -52,6 +55,8 @@ runOne(uint64_t seed, const FaultPlan &plan, bool snooping,
     p.snooping = snooping;
     if (units)
         p.totalUnits = units;
+    p.hybrid = hybrid;
+    p.defectSkipSubscribe = defectSkipSubscribe;
     return runChaos(p);
 }
 
@@ -64,6 +69,8 @@ main(int argc, char **argv)
     uint64_t num_seeds = 32;
     uint64_t units = 0;      // 0: harness default
     bool snooping = false;
+    HybridConfig hybrid;     // disabled unless --hybrid= given
+    bool defect_skip_subscribe = false;
     std::string faults;      // explicit --faults spec wins over mixes
     std::vector<std::string> mixes =
         {"eviction", "scheduling", "timing", "everything"};
@@ -94,6 +101,14 @@ main(int argc, char **argv)
             sched.progress = true;
         else if (arg == "--snooping")
             snooping = true;
+        else if (arg.rfind("--hybrid=", 0) == 0) {
+            if (!parseHybridSpec(arg.substr(9), &hybrid)) {
+                std::fprintf(stderr, "bad --hybrid spec %s\n",
+                             arg.c_str() + 9);
+                return 2;
+            }
+        } else if (arg == "--defect-skip-subscribe")
+            defect_skip_subscribe = true;
         else {
             std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
             return 2;
@@ -103,8 +118,9 @@ main(int argc, char **argv)
     if (!faults.empty()) {
         // Exact replay mode: one plan, one seed (default 1), serial.
         const FaultPlan plan = FaultPlan::parse(faults);
-        const ChaosResult r =
-            runOne(seed ? seed : 1, plan, snooping, units);
+        const ChaosResult r = runOne(seed ? seed : 1, plan, snooping,
+                                     units, hybrid,
+                                     defect_skip_subscribe);
         std::printf("%s%s\n", r.describe().c_str(),
                     snooping ? " (snooping)" : "");
         if (!r.ok()) {
@@ -136,9 +152,11 @@ main(int argc, char **argv)
     std::vector<sweep::JobFn> jobs;
     jobs.reserve(runs.size());
     for (ChaosRun &run : runs) {
-        jobs.push_back([&run, snooping, units](
+        jobs.push_back([&run, snooping, units, &hybrid,
+                        defect_skip_subscribe](
                            const sweep::JobContext &) {
-            run.result = runOne(run.seed, run.plan, snooping, units);
+            run.result = runOne(run.seed, run.plan, snooping, units,
+                                hybrid, defect_skip_subscribe);
         });
     }
     const std::vector<sweep::JobOutcome> outcomes =

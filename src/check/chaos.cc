@@ -96,8 +96,11 @@ runChaos(const ChaosParams &p)
     // Forced deschedules must be cheap enough to fire often.
     cfg.contextSwitchLatency = 200;
     cfg.pm = p.pm;
+    cfg.hybrid = p.hybrid;
 
     TmSystem sys(cfg);
+    if (p.defectSkipSubscribe && sys.hybrid())
+        sys.hybrid()->setSkipSubscribeDefectForTest(true);
     Oracle oracle(sys.sim().queue(), sys.stats(), sys.sim().events(),
                   sys.mem().data(), sys.os());
     sys.engine().setObserver(&oracle);
@@ -121,6 +124,10 @@ runChaos(const ChaosParams &p)
     ChaosResult result;
     result.reproFlags = "--seed=" + std::to_string(p.seed) +
         " --faults=" + p.faults.format();
+    if (p.hybrid.enabled)
+        result.reproFlags += " --hybrid=" + p.hybrid.spec();
+    if (p.defectSkipSubscribe)
+        result.reproFlags += " --defect-skip-subscribe";
 
     std::vector<VirtAddr> hot_vas;
     for (uint32_t i = 0; i < p.numCounters; ++i)
@@ -200,6 +207,16 @@ runChaos(const ChaosParams &p)
     }
     result.commits = sys.stats().counterValue("tm.commits");
     result.aborts = sys.stats().counterValue("tm.aborts");
+    if (sys.hybrid()) {
+        const StatsRegistry &st = sys.stats();
+        result.hyEscalations = st.counterValue("tm.hybrid.escalations");
+        result.hyLockAcquires =
+            st.counterValue("tm.hybrid.lockAcquires");
+        result.hyCapacityAborts =
+            st.counterValue("tm.hybrid.capacityAborts");
+        result.hySwCommits = st.counterValue("tm.hybrid.swCommits");
+        result.hyLockCommits = st.counterValue("tm.hybrid.lockCommits");
+    }
     result.faultsInjected = injector.injected();
     result.cycles = run.cycles;
     return result;

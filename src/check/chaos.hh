@@ -67,6 +67,23 @@ struct ChaosParams
      * flight. The durability analogue of defectVictimBypass.
      */
     bool defectTornFlush = false;
+
+    /**
+     * Hybrid TM (src/hybrid/). When hybrid.enabled the run bounds
+     * speculation with the capacity model, escalates per the retry
+     * policy and exercises the fallback executors; the oracle checks
+     * the fallback-lock elision invariant (violations become
+     * oracle:hybrid). Capacity faults require this.
+     */
+    HybridConfig hybrid;
+
+    /**
+     * Plant the skip-subscribe defect: software-mode fallback
+     * transactions skip the begin gate and every per-access lock
+     * subscription check, so they overlap the global-lock holder.
+     * The hybrid analogue of defectVictimBypass.
+     */
+    bool defectSkipSubscribe = false;
 };
 
 struct ChaosResult
@@ -102,6 +119,13 @@ struct ChaosResult
     /** Words where the recovered image contradicts the committed
      *  prefix (each also flagged as an oracle Recovery violation). */
     uint64_t recoveryMismatches = 0;
+
+    /** Hybrid runs only (tm.hybrid.* counters; all zero otherwise). */
+    uint64_t hyEscalations = 0;
+    uint64_t hyLockAcquires = 0;
+    uint64_t hyCapacityAborts = 0;
+    uint64_t hySwCommits = 0;
+    uint64_t hyLockCommits = 0;
 
     bool
     ok() const

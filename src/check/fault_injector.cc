@@ -22,7 +22,7 @@ bool
 FaultPlan::any() const
 {
     return victimPct || deschedPct || migratePct || relocatePct ||
-        delayPct || nackPct || crashPct;
+        delayPct || nackPct || crashPct || capacityPct;
 }
 
 std::string
@@ -34,6 +34,8 @@ FaultPlan::format() const
        << ",delay=" << delayPct << ",nack=" << nackPct;
     if (crashPct)
         os << ",crash=" << crashPct;
+    if (capacityPct)
+        os << ",capacity=" << capacityPct;
     os << ",tick=" << tickInterval;
     return os.str();
 }
@@ -83,6 +85,8 @@ FaultPlan::parse(const std::string &spec)
             plan.nackPct = pct;
         else if (key == "crash")
             plan.crashPct = pct;
+        else if (key == "capacity")
+            plan.capacityPct = pct;
         else
             logtm_fatal("unknown fault kind '" + key + "'");
     }
@@ -303,6 +307,8 @@ FaultInjector::tick()
         if (plan_.crashPct && !crashFired_ &&
             rng_.percent(plan_.crashPct))
             runTickFault(FaultKind::Crash, rng_.next());
+        if (plan_.capacityPct && rng_.percent(plan_.capacityPct))
+            runTickFault(FaultKind::Capacity, rng_.next());
     }
     sys_.sim().queue().scheduleIn(plan_.tickInterval,
                                   [this]() { tick(); });
@@ -317,6 +323,7 @@ FaultInjector::runTickFault(FaultKind kind, uint64_t seed)
       case FaultKind::Migrate:   preempt(true, seed); break;
       case FaultKind::Relocate:  relocate(seed); break;
       case FaultKind::Crash:     doCrash(seed); break;
+      case FaultKind::Capacity:  capacityFault(seed); break;
       default:
         logtm_fatal("hook-driven fault kind in a tick slot");
     }
@@ -423,6 +430,25 @@ FaultInjector::doCrash(uint64_t seed)
     // The persist domain is frozen; any further fault would be
     // post-mortem noise, so the injector goes quiet with it.
     stop();
+}
+
+void
+FaultInjector::capacityFault(uint64_t seed)
+{
+    Rng ev(seed);
+    // Collect abortable targets deterministically; when nothing is in
+    // flight the fault fizzles without firing, and a replayed script
+    // makes the same choice because the machine state is identical.
+    std::vector<ThreadId> inTx;
+    for (ThreadId t = 0; t < sys_.engine().numThreads(); ++t) {
+        if (sys_.engine().inTx(t) && !sys_.engine().doomed(t))
+            inTx.push_back(t);
+    }
+    if (inTx.empty())
+        return;
+    const ThreadId t = inTx[ev.below(inTx.size())];
+    sys_.engine().injectCapacityAbort(t);
+    fire(FaultKind::Capacity, t, sys_.now(), seed);
 }
 
 void

@@ -70,13 +70,17 @@ struct FaultPlan
     /** Probability per tick of a power failure (src/pm/). Unlike the
      *  other kinds a crash fires at most once per run. */
     uint32_t crashPct = 0;
+    /** Probability per tick of a spurious hybrid capacity abort
+     *  (src/hybrid/): one random in-flight transaction is doomed as
+     *  if the capacity model overflowed. Inert without hybrid TM. */
+    uint32_t capacityPct = 0;
     Cycle tickInterval = 200;
 
     bool any() const;
 
     /** "victim=30,desched=20,...,tick=200" — parse() round-trips.
-     *  "crash=" is emitted only when nonzero, so plans without it
-     *  format exactly as before. */
+     *  "crash=" and "capacity=" are emitted only when nonzero, so
+     *  plans without them format exactly as before. */
     std::string format() const;
 
     /** Parse a --faults= spec; fatal on unknown keys or bad values. */
@@ -143,6 +147,7 @@ class FaultInjector
     void pollReschedule(ThreadId t, bool migrate, Rng rng);
     void relocate(uint64_t seed);
     void doCrash(uint64_t seed);
+    void capacityFault(uint64_t seed);
     Cycle delayHook(uint64_t seed, uint64_t at);
     bool hookWantsDelay() { return delayEvents_.count(delayQueries_); }
     void installDelayHook();

@@ -17,6 +17,7 @@ faultKindName(FaultKind k)
       case FaultKind::MeshDelay:    return "meshDelay";
       case FaultKind::SpuriousNack: return "spuriousNack";
       case FaultKind::Crash:        return "crash";
+      case FaultKind::Capacity:     return "capacity";
       case FaultKind::NumKinds:     break;
     }
     return "unknown";

@@ -39,6 +39,8 @@ enum class FaultKind : uint8_t {
     SpuriousNack,
     Crash,       ///< power-fail the persist domain (src/pm/); fires
                  ///< at most once per run, tick-driven
+    Capacity,    ///< spurious hybrid capacity abort (src/hybrid/);
+                 ///< tick-driven, dooms one in-flight transaction
     NumKinds,
 };
 

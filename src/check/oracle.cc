@@ -18,6 +18,7 @@ violationKindName(ViolationKind k)
       case ViolationKind::WriteOverlap:     return "writeOverlap";
       case ViolationKind::SigFalseNegative: return "sigFalseNegative";
       case ViolationKind::Recovery:         return "recovery";
+      case ViolationKind::Hybrid:           return "hybrid";
       case ViolationKind::NumKinds:         break;
     }
     return "unknown";
@@ -104,6 +105,12 @@ Oracle::report(size_t maxEntries) const
 void
 Oracle::onTxBegin(ThreadId t, Asid asid, size_t depth, bool open)
 {
+    if (fbLockHeld_) {
+        // Lock-elision invariant: the holder runs flat and everyone
+        // else is gated or subscribed, so no begin is legal while the
+        // fallback lock is held (the skip-subscribe defect's tell).
+        flag(ViolationKind::Hybrid, t, asid, 0, fbHolder_, 0);
+    }
     ThreadState &st = state(t, asid);
     logtm_assert(st.frames.size() + 1 == depth,
                  "oracle frame stack out of sync with engine");
@@ -303,6 +310,13 @@ Oracle::onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx, PhysAddr block,
     (void)access;
     flag(ViolationKind::SigFalseNegative, invalidThread, 0, block,
          ownerCtx, 0);
+}
+
+void
+Oracle::onFallbackLock(ThreadId holder, bool acquired)
+{
+    fbLockHeld_ = acquired;
+    fbHolder_ = acquired ? holder : invalidThread;
 }
 
 // --------------------------------------------------------------------

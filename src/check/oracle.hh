@@ -54,6 +54,7 @@ enum class ViolationKind : uint8_t {
     WriteOverlap,     ///< two uncommitted writes to one word
     SigFalseNegative, ///< signature missed a real conflict
     Recovery,         ///< post-crash recovery != a committed prefix
+    Hybrid,           ///< tx began while the fallback lock was held
     NumKinds,
 };
 
@@ -94,6 +95,7 @@ class Oracle : public TxObserver
                       size_t depthBefore) override;
     void onSigFalseNegative(CtxId ownerCtx, CtxId reqCtx,
                             PhysAddr block, AccessType access) override;
+    void onFallbackLock(ThreadId holder, bool acquired) override;
 
     // ----- crash recovery (src/pm) -------------------------------------
 
@@ -204,6 +206,13 @@ class Oracle : public TxObserver
 
     void recordUnit(CommitUnit::Kind kind, ThreadId t,
                     std::vector<std::pair<uint64_t, uint64_t>> writes);
+
+    /** Hybrid-TM lock-elision invariant (docs/HYBRID.md): while the
+     *  global fallback lock is held, the holder runs flat and every
+     *  other thread is fenced by the begin gate or its subscription
+     *  checks — so no transaction may begin at all. */
+    bool fbLockHeld_ = false;
+    ThreadId fbHolder_ = invalidThread;
 
     bool recordHistory_ = false;
     bool historyFrozen_ = false;

@@ -133,6 +133,157 @@ parsePmSpec(const std::string &s, PmConfig *out)
     return true;
 }
 
+namespace {
+
+/** Split @p s on @p sep into non-empty-preserving parts. */
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (const char c : s) {
+        if (c == sep) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+bool
+parseCapacityPart(const std::string &s, HybridConfig *h)
+{
+    const std::vector<std::string> f = splitOn(s, ':');
+    if (lowered(f[0]) == "sa") {
+        if (f.size() != 3)
+            return false;
+        h->capacityKind = CapacityKind::SetAssoc;
+        return parseU32(f[1], &h->assocSets) &&
+            parseU32(f[2], &h->assocWays) && h->assocSets != 0 &&
+            h->assocWays != 0;
+    }
+    // Entry limits: "N" bounds both sets, "R/W" bounds them apart.
+    if (f.size() != 1)
+        return false;
+    h->capacityKind = CapacityKind::EntryLimit;
+    const std::vector<std::string> rw = splitOn(f[0], '/');
+    if (rw.size() == 1) {
+        if (!parseU32(rw[0], &h->maxReadBlocks))
+            return false;
+        h->maxWriteBlocks = h->maxReadBlocks;
+        return true;
+    }
+    if (rw.size() != 2)
+        return false;
+    return parseU32(rw[0], &h->maxReadBlocks) &&
+        parseU32(rw[1], &h->maxWriteBlocks);
+}
+
+bool
+parseRetryPart(const std::string &s, HybridConfig *h)
+{
+    const std::vector<std::string> f = splitOn(s, ':');
+    const std::string kind = lowered(f[0]);
+    if (kind == "immediate") {
+        if (f.size() != 1)
+            return false;
+        h->retry = RetryKind::Immediate;
+        return true;
+    }
+    if (kind == "retry")
+        h->retry = RetryKind::RetryN;
+    else if (kind == "adaptive")
+        h->retry = RetryKind::Adaptive;
+    else
+        return false;
+    if (f.size() != 2 || !parseU32(f[1], &h->maxHwAttempts))
+        return false;
+    return h->maxHwAttempts != 0;
+}
+
+bool
+parseFallbackPart(const std::string &s, HybridConfig *h)
+{
+    const std::string v = lowered(s);
+    if (v == "lock")
+        h->fallback = FallbackMode::GlobalLock;
+    else if (v == "sw")
+        h->fallback = FallbackMode::Software;
+    else if (v == "mixed")
+        h->fallback = FallbackMode::Mixed;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+HybridConfig::spec() const
+{
+    std::string s;
+    if (capacityKind == CapacityKind::SetAssoc) {
+        s = "sa:" + std::to_string(assocSets) + ":" +
+            std::to_string(assocWays);
+    } else if (maxReadBlocks == maxWriteBlocks) {
+        s = std::to_string(maxReadBlocks);
+    } else {
+        s = std::to_string(maxReadBlocks) + "/" +
+            std::to_string(maxWriteBlocks);
+    }
+    switch (retry) {
+      case RetryKind::RetryN:
+        s += ",retry:" + std::to_string(maxHwAttempts);
+        break;
+      case RetryKind::Immediate:
+        s += ",immediate";
+        break;
+      case RetryKind::Adaptive:
+        s += ",adaptive:" + std::to_string(maxHwAttempts);
+        break;
+    }
+    switch (fallback) {
+      case FallbackMode::GlobalLock: s += ",lock"; break;
+      case FallbackMode::Software:   s += ",sw"; break;
+      case FallbackMode::Mixed:      s += ",mixed"; break;
+    }
+    if (instrumentationCycles != HybridConfig{}.instrumentationCycles)
+        s += ",instr:" + std::to_string(instrumentationCycles);
+    return s;
+}
+
+bool
+parseHybridSpec(const std::string &s, HybridConfig *out)
+{
+    HybridConfig h;
+    h.enabled = true;
+    const std::vector<std::string> parts = splitOn(s, ',');
+    if (parts.empty() || !parseCapacityPart(parts[0], &h))
+        return false;
+    size_t i = 1;
+    if (i < parts.size() && parseRetryPart(parts[i], &h))
+        ++i;
+    if (i < parts.size() && parseFallbackPart(parts[i], &h))
+        ++i;
+    if (i < parts.size()) {
+        const std::vector<std::string> f = splitOn(parts[i], ':');
+        uint32_t instr = 0;
+        if (f.size() != 2 || lowered(f[0]) != "instr" ||
+            !parseU32(f[1], &instr)) {
+            return false;
+        }
+        h.instrumentationCycles = instr;
+        ++i;
+    }
+    if (i != parts.size())
+        return false;
+    *out = h;
+    return true;
+}
+
 bool
 parseSignatureKind(const std::string &s, SignatureKind *out)
 {
@@ -285,6 +436,16 @@ SystemConfig::validate() const
     if (pm.enabled && pm.policy == FlushPolicy::Epoch &&
         pm.epochCycles == 0) {
         logtm_fatal("epoch flush policy needs a nonzero epoch length");
+    }
+    if (hybrid.enabled) {
+        if (hybrid.capacityKind == CapacityKind::SetAssoc &&
+            (hybrid.assocSets == 0 || hybrid.assocWays == 0)) {
+            logtm_fatal("set-assoc capacity needs nonzero geometry");
+        }
+        if (hybrid.retry != RetryKind::Immediate &&
+            hybrid.maxHwAttempts == 0) {
+            logtm_fatal("retry policy needs at least one hw attempt");
+        }
     }
 }
 

@@ -105,6 +105,62 @@ struct PmConfig
  *  "committime") into an enabled PmConfig; false if malformed. */
 bool parsePmSpec(const std::string &s, PmConfig *out);
 
+/** How the hybrid capacity model bounds a hardware transaction's
+ *  speculative footprint (docs/HYBRID.md). */
+enum class CapacityKind : uint8_t {
+    EntryLimit, ///< distinct read/write blocks capped separately
+    SetAssoc,   ///< L1-shaped: R+W union overflows a set's ways
+};
+
+/** When a capacity/conflict-aborted transaction gives up on hardware
+ *  and escalates to the fallback executor. */
+enum class RetryKind : uint8_t {
+    RetryN,     ///< up to maxHwAttempts hardware tries, then escalate
+    Immediate,  ///< first abort escalates
+    /** Capacity aborts escalate immediately (retrying cannot help);
+     *  conflict aborts retry up to maxHwAttempts. */
+    Adaptive,
+};
+
+/** Which fallback executor an escalated transaction runs on. */
+enum class FallbackMode : uint8_t {
+    GlobalLock, ///< lemming path: quiesce speculation, run locked
+    Software,   ///< instrumented path: engine tx + per-access hooks
+    Mixed,      ///< thread-id parity picks lock vs software
+};
+
+/** Hybrid-TM model (src/hybrid/): bounded-capacity speculation with a
+ *  retry policy and a software fallback path. Off by default: the
+ *  manager is never constructed and every artifact stays
+ *  byte-identical to the pre-hybrid encoding. */
+struct HybridConfig
+{
+    bool enabled = false;
+    CapacityKind capacityKind = CapacityKind::EntryLimit;
+    /** EntryLimit: distinct blocks per set (0 = unbounded). */
+    uint32_t maxReadBlocks = 0;
+    uint32_t maxWriteBlocks = 0;
+    /** SetAssoc: modeled L1 geometry the speculative footprint must
+     *  fit (R+W block union, indexed by block address). */
+    uint32_t assocSets = 8;
+    uint32_t assocWays = 4;
+    RetryKind retry = RetryKind::RetryN;
+    /** RetryN/Adaptive: hardware attempts before escalation (>= 1). */
+    uint32_t maxHwAttempts = 2;
+    FallbackMode fallback = FallbackMode::GlobalLock;
+    /** Software path: extra cycles per instrumented access. */
+    Cycle instrumentationCycles = 3;
+
+    /** Compact spec "capacity,retry,fallback", e.g. "16,retry:2,lock"
+     *  or "sa:8:4,adaptive:3,sw" (sweep variants, canonical keys). */
+    std::string spec() const;
+};
+
+/** Parse a HybridConfig::spec() string into an enabled HybridConfig.
+ *  Retry and fallback parts are optional ("16" alone works); false if
+ *  malformed. */
+bool parseHybridSpec(const std::string &s, HybridConfig *out);
+
 /** Full system configuration. Defaults mirror paper Table 1. */
 struct SystemConfig
 {
@@ -167,6 +223,9 @@ struct SystemConfig
 
     // --- Durability (src/pm/, disabled by default) -----------------------
     PmConfig pm;
+
+    // --- Hybrid TM (src/hybrid/, disabled by default) --------------------
+    HybridConfig hybrid;
 
     /** Number of hardware thread contexts in the system. */
     uint32_t numContexts() const { return numCores * threadsPerCore; }

@@ -134,16 +134,20 @@ runExperiment(const ExperimentConfig &cfg)
     TmSystem sys(cfg.sys);
 
     // Durability runs carry the full oracle so the recovered image
-    // can be checked against the committed prefix. Never constructed
+    // can be checked against the committed prefix; hybrid runs carry
+    // it for the fallback-lock elision invariant. Never constructed
     // otherwise: the paper-baseline paths are untouched.
     std::unique_ptr<Oracle> oracle;
-    if (cfg.sys.pm.enabled) {
+    if (cfg.sys.pm.enabled || cfg.sys.hybrid.enabled) {
         oracle = std::make_unique<Oracle>(
             sys.sim().queue(), sys.stats(), sys.sim().events(),
             sys.mem().data(), sys.os());
         sys.engine().setObserver(oracle.get());
-        oracle->enableHistory();
+        if (cfg.sys.pm.enabled)
+            oracle->enableHistory();
     }
+    if (cfg.skipSubscribeDefect && sys.hybrid())
+        sys.hybrid()->setSkipSubscribeDefectForTest(true);
 
     std::unique_ptr<ObsSession> obs;
     if (cfg.obs.enabled()) {
@@ -253,9 +257,27 @@ runExperiment(const ExperimentConfig &cfg)
                 ctr.value();
     }
 
+    if (sys.hybrid()) {
+        res.hybridEnabled = true;
+        res.hyHwCommits = st.counterValue("tm.hybrid.hwCommits");
+        res.hySwCommits = st.counterValue("tm.hybrid.swCommits");
+        res.hyLockCommits = st.counterValue("tm.hybrid.lockCommits");
+        res.hyEscalations = st.counterValue("tm.hybrid.escalations");
+        res.hyLockAcquires = st.counterValue("tm.hybrid.lockAcquires");
+        res.hyCapacityAborts =
+            st.counterValue("tm.hybrid.capacityAborts");
+        res.hySubscriptionAborts =
+            st.counterValue("tm.hybrid.subscriptionAborts");
+    }
+
     const CycleAccounting &acct = sys.engine().accounting();
-    for (size_t b = 0; b < numCycleBuckets; ++b)
+    for (size_t b = 0; b < numCycleBuckets; ++b) {
+        // The fallback bucket only exists under hybrid TM; eliding it
+        // when empty keeps hybrid-off results identical to the seed.
+        if (b == bucketFallback && acct.totalBucket(b) == 0)
+            continue;
         res.cycleBuckets[cycleBucketName(b)] = acct.totalBucket(b);
+    }
 
     const auto &rd = st.samplers().find("tm.readSetBlocks");
     if (rd != st.samplers().end()) {

@@ -86,6 +86,10 @@ struct ExperimentConfig
     /** Plant the torn-flush recovery defect (pm/recovery.hh);
      *  durability crash runs only. */
     bool tornFlushDefect = false;
+
+    /** Plant the skip-subscribe hybrid defect (docs/HYBRID.md);
+     *  hybrid runs only. */
+    bool skipSubscribeDefect = false;
 };
 
 struct ExperimentResult
@@ -112,7 +116,8 @@ struct ExperimentResult
     /** Aborts broken down by cause name (sums to aborts). */
     std::map<std::string, uint64_t> abortsByCause;
     /** Aggregate cycle buckets over all contexts, by bucket name;
-     *  the nine values sum to numContexts * cycles. */
+     *  the values sum to numContexts * cycles (the fallback bucket is
+     *  elided when zero, i.e. on every hybrid-off run). */
     std::map<std::string, uint64_t> cycleBuckets;
     double readAvg = 0, readMax = 0;
     double writeAvg = 0, writeMax = 0;
@@ -133,6 +138,20 @@ struct ExperimentResult
     /** Recovery-oracle mismatches; 0 = recovered image consistent
      *  with the durable committed prefix. */
     uint64_t recoveryMismatches = 0;
+
+    /**
+     * Hybrid-TM runs only (sys.hybrid.enabled; all zero otherwise and
+     * excluded from serialized output so existing baselines are
+     * untouched). See src/hybrid/.
+     */
+    bool hybridEnabled = false;
+    uint64_t hyHwCommits = 0;
+    uint64_t hySwCommits = 0;
+    uint64_t hyLockCommits = 0;
+    uint64_t hyEscalations = 0;
+    uint64_t hyLockAcquires = 0;
+    uint64_t hyCapacityAborts = 0;
+    uint64_t hySubscriptionAborts = 0;
 
     /**
      * Host wall-clock seconds of the simulation phase alone (the

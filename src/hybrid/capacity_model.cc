@@ -1,0 +1,51 @@
+#include "hybrid/capacity_model.hh"
+
+namespace logtm {
+
+bool
+CapacityModel::admitsEntry(const ExactShadow &shadow, uint32_t limit,
+                           PhysAddr block) const
+{
+    if (limit == 0 || shadow.contains(block))
+        return true;  // unbounded, or no new entry needed
+    return shadow.size() < limit;
+}
+
+bool
+CapacityModel::admitsSet(const HwContext &ctx, PhysAddr block) const
+{
+    if (ctx.shadowRead.contains(block) ||
+        ctx.shadowWrite.contains(block)) {
+        return true;  // already resident
+    }
+    const uint64_t set = blockNumber(block) % cfg_.assocSets;
+    uint32_t occupancy = 0;
+    for (const uint64_t bn : ctx.shadowRead.blocks()) {
+        if (bn % cfg_.assocSets == set)
+            ++occupancy;
+    }
+    for (const uint64_t bn : ctx.shadowWrite.blocks()) {
+        // Count the R+W union: a block in both sets occupies one way.
+        if (bn % cfg_.assocSets == set &&
+            !ctx.shadowRead.contains(bn << blockBytesLog2)) {
+            ++occupancy;
+        }
+    }
+    return occupancy < cfg_.assocWays;
+}
+
+bool
+CapacityModel::admits(const HwContext &ctx, PhysAddr block,
+                      AccessType type, bool loadForWrite) const
+{
+    if (cfg_.capacityKind == CapacityKind::SetAssoc)
+        return admitsSet(ctx, block);
+    if (type == AccessType::Read)
+        return admitsEntry(ctx.shadowRead, cfg_.maxReadBlocks, block);
+    if (!admitsEntry(ctx.shadowWrite, cfg_.maxWriteBlocks, block))
+        return false;
+    return !loadForWrite ||
+        admitsEntry(ctx.shadowRead, cfg_.maxReadBlocks, block);
+}
+
+} // namespace logtm

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CapacityModel: bounds a hardware transaction's speculative
+ * footprint the way a real (cache-backed) HTM would. Two shapes:
+ *
+ *  - EntryLimit: distinct read and write blocks capped separately
+ *    (signature-register file of finite size; 0 = unbounded);
+ *  - SetAssoc: the R+W block union must fit a modeled set-associative
+ *    L1 — an access whose set already holds `ways` speculative blocks
+ *    overflows, like an L1-backed HTM evicting a transactional line.
+ *
+ * Purely combinational over the engine's exact shadow sets: consulted
+ * before each access is recorded, never mutated here.
+ */
+
+#ifndef LOGTM_HYBRID_CAPACITY_MODEL_HH
+#define LOGTM_HYBRID_CAPACITY_MODEL_HH
+
+#include "common/config.hh"
+#include "tm/tx_thread_state.hh"
+
+namespace logtm {
+
+class CapacityModel
+{
+  public:
+    explicit CapacityModel(const HybridConfig &cfg) : cfg_(cfg) {}
+
+    /** Would recording @p block keep the transaction within capacity?
+     *  @p loadForWrite marks a load-exclusive (enters both sets). */
+    bool admits(const HwContext &ctx, PhysAddr block, AccessType type,
+                bool loadForWrite) const;
+
+  private:
+    bool admitsEntry(const ExactShadow &shadow, uint32_t limit,
+                     PhysAddr block) const;
+    bool admitsSet(const HwContext &ctx, PhysAddr block) const;
+
+    const HybridConfig cfg_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_HYBRID_CAPACITY_MODEL_HH

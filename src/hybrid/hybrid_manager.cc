@@ -1,0 +1,163 @@
+#include "hybrid/hybrid_manager.hh"
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "tm/tx_observer.hh"
+
+namespace logtm {
+
+HybridManager::HybridManager(const HybridConfig &cfg,
+                             LogTmSeEngine &eng, StatsRegistry &stats,
+                             EventBus &events)
+    : cfg_(cfg), eng_(eng), events_(events), capacity_(cfg),
+      retry_(cfg),
+      hwCommits_(stats.counter("tm.hybrid.hwCommits")),
+      swCommits_(stats.counter("tm.hybrid.swCommits")),
+      lockCommits_(stats.counter("tm.hybrid.lockCommits")),
+      escalations_(stats.counter("tm.hybrid.escalations")),
+      lockAcquires_(stats.counter("tm.hybrid.lockAcquires")),
+      gateWaits_(stats.counter("tm.hybrid.gateWaits")),
+      capacityAborts_(stats.counter("tm.hybrid.capacityAborts")),
+      subscriptionAborts_(
+          stats.counter("tm.hybrid.subscriptionAborts")),
+      quiesceDooms_(stats.counter("tm.hybrid.quiesceDooms"))
+{
+}
+
+AbortCause
+HybridManager::onAccess(const HwContext &ctx, const TxThread &thr,
+                        PhysAddr block, AccessType type,
+                        bool loadForWrite, Cycle *extra)
+{
+    if (thr.softwareMode) {
+        // Instrumented software path: unbounded footprint, but every
+        // access pays the per-access hook cost and subscribes to the
+        // fallback lock (Brown & Ravi's instrumentation overhead).
+        *extra += cfg_.instrumentationCycles;
+        if (!skipSubscribeDefect_ && speculationGated()) {
+            ++subscriptionAborts_;
+            return AbortCause::FallbackLockConflict;
+        }
+        return AbortCause::None;
+    }
+    if (!capacity_.admits(ctx, block, type, loadForWrite)) {
+        ++capacityAborts_;
+        return AbortCause::Capacity;
+    }
+    return AbortCause::None;
+}
+
+FallbackMode
+HybridManager::modeFor(ThreadId t) const
+{
+    if (cfg_.fallback != FallbackMode::Mixed)
+        return cfg_.fallback;
+    return (t % 2 == 0) ? FallbackMode::GlobalLock
+                        : FallbackMode::Software;
+}
+
+void
+HybridManager::noteEscalation(ThreadId t, uint32_t attempts,
+                              AbortCause lastCause)
+{
+    ++escalations_;
+    logtm_trace(TraceCat::Tm, eng_.simulator().now(),
+                "t%u escalates to fallback after %u hw attempts", t,
+                attempts);
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = eng_.simulator().now(),
+                         .kind = EventKind::HyEscalation,
+                         .thread = t, .a = attempts,
+                         .b = static_cast<uint64_t>(lastCause)});
+}
+
+bool
+HybridManager::quiesced()
+{
+    for (ThreadId t = 0; t < eng_.numThreads(); ++t) {
+        if (eng_.thread(t).inTx())
+            return false;
+    }
+    return true;
+}
+
+void
+HybridManager::doomSpeculation()
+{
+    // The lemming quiesce: hardware transactions are doomed outright
+    // (the runtime controls them). Software-mode transactions cannot
+    // be shot down from here — they notice through their own
+    // subscription checks, which is exactly what the planted
+    // skip-subscribe defect breaks.
+    for (ThreadId t = 0; t < eng_.numThreads(); ++t) {
+        const TxThread &thr = eng_.thread(t);
+        if (!thr.inTx() || thr.doomed || thr.softwareMode)
+            continue;
+        eng_.quiesceAbort(t);
+        ++quiesceDooms_;
+    }
+}
+
+void
+HybridManager::schedulePoll()
+{
+    if (pollPending_ || lockHeld_ || waiters_.empty())
+        return;
+    pollPending_ = true;
+    eng_.simulator().queue().scheduleIn(kQuiescePollCycles, [this]() {
+        pollPending_ = false;
+        pollQuiesce();
+    }, EventPriority::Cpu);
+}
+
+void
+HybridManager::pollQuiesce()
+{
+    if (lockHeld_ || waiters_.empty())
+        return;
+    if (!quiesced()) {
+        doomSpeculation();
+        schedulePoll();
+        return;
+    }
+    Waiter w = std::move(waiters_.front());
+    waiters_.pop_front();
+    lockHeld_ = true;
+    holder_ = w.t;
+    ++lockAcquires_;
+    logtm_trace(TraceCat::Tm, eng_.simulator().now(),
+                "t%u acquired the fallback lock", holder_);
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = eng_.simulator().now(),
+                         .kind = EventKind::HyFallbackLock,
+                         .thread = holder_, .a = 1});
+    if (eng_.observer())
+        eng_.observer()->onFallbackLock(holder_, true);
+    w.granted();
+}
+
+void
+HybridManager::acquireLock(ThreadId t, std::function<void()> granted)
+{
+    waiters_.push_back(Waiter{t, std::move(granted)});
+    doomSpeculation();
+    schedulePoll();
+}
+
+void
+HybridManager::releaseLock(ThreadId t)
+{
+    logtm_assert(lockHeld_ && holder_ == t,
+                 "fallback lock released by a non-holder");
+    lockHeld_ = false;
+    holder_ = invalidThread;
+    logtm_obs_emit(events_,
+                   ObsEvent{.cycle = eng_.simulator().now(),
+                         .kind = EventKind::HyFallbackLock,
+                         .thread = t, .a = 0});
+    if (eng_.observer())
+        eng_.observer()->onFallbackLock(t, false);
+    schedulePoll();
+}
+
+} // namespace logtm

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * HybridManager: the hybrid-TM subsystem's hub (docs/HYBRID.md). It
+ * implements the engine's HybridModel hook (capacity admission for
+ * hardware transactions; lock subscription + instrumentation latency
+ * for software-mode ones) and owns the global fallback lock:
+ *
+ *  - acquireLock() queues FIFO, dooms every in-flight hardware
+ *    transaction (the "lemming" quiesce) and polls until all
+ *    speculation has unwound before granting;
+ *  - while the lock is held or pending, speculationGated() fences new
+ *    transactions (the executor's begin gate) and software-mode
+ *    transactions abort on their next subscribed access.
+ *
+ * Constructed by TmSystem only when HybridConfig::enabled; the
+ * default machine never sees any of this.
+ */
+
+#ifndef LOGTM_HYBRID_HYBRID_MANAGER_HH
+#define LOGTM_HYBRID_HYBRID_MANAGER_HH
+
+#include <deque>
+#include <functional>
+
+#include "hybrid/capacity_model.hh"
+#include "hybrid/retry_policy.hh"
+#include "tm/hybrid_model.hh"
+#include "tm/logtm_se_engine.hh"
+
+namespace logtm {
+
+class HybridManager : public HybridModel
+{
+  public:
+    HybridManager(const HybridConfig &cfg, LogTmSeEngine &eng,
+                  StatsRegistry &stats, EventBus &events);
+
+    const HybridConfig &config() const { return cfg_; }
+
+    // ----- HybridModel (engine per-access hook) -----------------------
+
+    AbortCause onAccess(const HwContext &ctx, const TxThread &thr,
+                        PhysAddr block, AccessType type,
+                        bool loadForWrite, Cycle *extra) override;
+
+    // ----- executor-facing API (workload/thread_api.cc) ---------------
+
+    /** Escalate after @p hwAttempts tries ending in @p lastCause? */
+    bool shouldEscalate(uint32_t hwAttempts, AbortCause lastCause) const
+    { return retry_.shouldEscalate(hwAttempts, lastCause); }
+
+    /** Fallback executor for @p t (resolves Mixed by thread parity:
+     *  even ids take the lock, odd ids run the software path). */
+    FallbackMode modeFor(ThreadId t) const;
+
+    /** True while new transactions must not begin: the fallback lock
+     *  is held or a waiter is queued. */
+    bool speculationGated() const
+    { return lockHeld_ || !waiters_.empty(); }
+    bool lockHeldBy(ThreadId t) const
+    { return lockHeld_ && holder_ == t; }
+
+    /** Deterministic executor poll period while gated. */
+    Cycle gatePollCycles() const { return kQuiescePollCycles; }
+
+    /**
+     * Request the global fallback lock. Queues FIFO; @p granted runs
+     * from the event queue once every in-flight transaction has
+     * unwound (hardware transactions are doomed with
+     * FallbackLockConflict; software ones self-abort via their
+     * subscription checks, or commit if already past their last
+     * access — either way they drain).
+     */
+    void acquireLock(ThreadId t, std::function<void()> granted);
+    void releaseLock(ThreadId t);
+
+    /** Planted defect (tests/CI only): software-mode transactions
+     *  skip the begin gate and every per-access subscription check,
+     *  so they can run — incorrectly — against the lock holder. */
+    void setSkipSubscribeDefectForTest(bool on)
+    { skipSubscribeDefect_ = on; }
+    bool skipSubscribeDefect() const { return skipSubscribeDefect_; }
+
+    // ----- outcome accounting (executor notes) ------------------------
+
+    void noteHwCommit() { ++hwCommits_; }
+    void noteSwCommit() { ++swCommits_; }
+    void noteLockCommit() { ++lockCommits_; }
+    void noteGateWait() { ++gateWaits_; }
+    void noteEscalation(ThreadId t, uint32_t attempts,
+                        AbortCause lastCause);
+
+  private:
+    static constexpr Cycle kQuiescePollCycles = 16;
+
+    struct Waiter
+    {
+        ThreadId t;
+        std::function<void()> granted;
+    };
+
+    bool quiesced();
+    void doomSpeculation();
+    void schedulePoll();
+    void pollQuiesce();
+
+    const HybridConfig cfg_;
+    LogTmSeEngine &eng_;
+    EventBus &events_;
+    CapacityModel capacity_;
+    RetryPolicy retry_;
+
+    std::deque<Waiter> waiters_;
+    bool lockHeld_ = false;
+    bool pollPending_ = false;
+    bool skipSubscribeDefect_ = false;
+    ThreadId holder_ = invalidThread;
+
+    Counter &hwCommits_;
+    Counter &swCommits_;
+    Counter &lockCommits_;
+    Counter &escalations_;
+    Counter &lockAcquires_;
+    Counter &gateWaits_;
+    Counter &capacityAborts_;
+    Counter &subscriptionAborts_;
+    Counter &quiesceDooms_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_HYBRID_HYBRID_MANAGER_HH

@@ -1,0 +1,22 @@
+#include "hybrid/retry_policy.hh"
+
+namespace logtm {
+
+bool
+RetryPolicy::shouldEscalate(uint32_t hwAttempts,
+                            AbortCause lastCause) const
+{
+    switch (cfg_.retry) {
+      case RetryKind::Immediate:
+        return hwAttempts >= 1;
+      case RetryKind::RetryN:
+        return hwAttempts >= cfg_.maxHwAttempts;
+      case RetryKind::Adaptive:
+        if (lastCause == AbortCause::Capacity)
+            return true;
+        return hwAttempts >= cfg_.maxHwAttempts;
+    }
+    return false;
+}
+
+} // namespace logtm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * RetryPolicy: decides when a transaction stops retrying in hardware
+ * and escalates to the fallback executor. Pluggable via
+ * HybridConfig::retry:
+ *
+ *  - RetryN: up to maxHwAttempts hardware tries (with the engine's
+ *    usual randomized exponential backoff between them);
+ *  - Immediate: the first hardware abort escalates;
+ *  - Adaptive: capacity aborts escalate immediately — retrying cannot
+ *    shrink the footprint — while conflict aborts retry up to
+ *    maxHwAttempts (cf. the TSX-style retry ladders in Brown & Ravi).
+ */
+
+#ifndef LOGTM_HYBRID_RETRY_POLICY_HH
+#define LOGTM_HYBRID_RETRY_POLICY_HH
+
+#include "common/config.hh"
+#include "tm/tx_thread_state.hh"
+
+namespace logtm {
+
+class RetryPolicy
+{
+  public:
+    explicit RetryPolicy(const HybridConfig &cfg) : cfg_(cfg) {}
+
+    /** Escalate after @p hwAttempts hardware tries, the most recent
+     *  of which aborted with @p lastCause? */
+    bool shouldEscalate(uint32_t hwAttempts,
+                        AbortCause lastCause) const;
+
+  private:
+    const HybridConfig cfg_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_HYBRID_RETRY_POLICY_HH

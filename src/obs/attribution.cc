@@ -15,6 +15,8 @@ abortCauseName(uint8_t cause)
       case 2: return "policyAbort";
       case 3: return "summaryConflict";
       case 4: return "explicit";
+      case 5: return "capacity";
+      case 6: return "fallbackLockConflict";
     }
     return "unknown";
 }

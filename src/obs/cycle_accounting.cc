@@ -12,7 +12,7 @@ cycleBucketName(size_t bucket)
     static const char *const names[numCycleBuckets + 1] = {
         "committedWork", "abortedWork", "abortRollback", "stall",
         "backoff",       "commitOverhead", "barrier",    "nonTx",
-        "idle",          "unresolved",
+        "idle",          "fallback",       "unresolved",
     };
     logtm_assert(bucket <= numCycleBuckets, "bucket index out of range");
     return names[bucket];
@@ -29,6 +29,7 @@ CycleAccounting::bucketOf(CyclePhase p)
       case CyclePhase::Rollback: return bucketAbortRollback;
       case CyclePhase::Commit: return bucketCommitOverhead;
       case CyclePhase::Barrier: return bucketBarrier;
+      case CyclePhase::Fallback: return bucketFallback;
       case CyclePhase::TxWork: break;  // accrues to a pending frame
     }
     logtm_panic("TxWork has no direct bucket");
@@ -224,6 +225,10 @@ CycleAccounting::foldInto(StatsRegistry &stats) const
                      "cycle-accounting identity violated");
     }
     for (size_t b = 0; b < numCycleBuckets; ++b) {
+        // The fallback bucket exists only with hybrid TM; eliding it
+        // when empty keeps hybrid-off stats identical to the seed's.
+        if (b == bucketFallback && totalBucket(b) == 0)
+            continue;
         stats.counter(std::string("tm.cycles.") + "total." +
                       cycleBucketName(b))
             .add(totalBucket(b));

@@ -46,6 +46,7 @@ enum class CyclePhase : uint8_t {
     Rollback,  ///< abort trap + undo-log walk
     Commit,    ///< commit latency (+ summary trap after migration)
     Barrier,   ///< waiting at a sync barrier
+    Fallback,  ///< hybrid-TM fallback: gate wait, lock wait, locked run
 };
 
 /** Final buckets (resolved TxWork splits into the first two). */
@@ -59,6 +60,7 @@ enum : size_t {
     bucketBarrier,
     bucketNonTx,
     bucketIdle,
+    bucketFallback,  ///< hybrid-TM only; folded only when nonzero
     numCycleBuckets,
 };
 
@@ -66,7 +68,7 @@ enum : size_t {
  *  or exactly numCycleBuckets for the snapshot-only "unresolved"). */
 const char *cycleBucketName(size_t bucket);
 
-/** Live view of the bucket totals: the nine resolved buckets plus
+/** Live view of the bucket totals: the resolved buckets plus
  *  in-flight transactional work that has no fate yet. At any instant
  *  the entries sum to numContexts * elapsed cycles. */
 using CycleBucketSnapshot = std::array<uint64_t, numCycleBuckets + 1>;
@@ -116,8 +118,9 @@ class CycleAccounting
     bool finalized() const { return finalized_; }
 
     /** Publish "tm.cycles.c<N>.<bucket>" (nonzero only),
-     *  "tm.cycles.total.<bucket>" (all nine) and "tm.cycles.elapsed".
-     *  Requires finalize(); re-checks the identity. */
+     *  "tm.cycles.total.<bucket>" (every bucket, except fallback when
+     *  zero) and "tm.cycles.elapsed". Requires finalize(); re-checks
+     *  the identity. */
     void foldInto(StatsRegistry &stats) const;
 
     /** Non-destructive live totals (time-series sampling). */

@@ -23,6 +23,8 @@ eventKindName(EventKind k)
       case EventKind::ChkFault: return "chkFault";
       case EventKind::ChkViolation: return "chkViolation";
       case EventKind::PmFlush: return "pmFlush";
+      case EventKind::HyEscalation: return "hyEscalation";
+      case EventKind::HyFallbackLock: return "hyFallbackLock";
       case EventKind::NumKinds: break;
     }
     return "?";

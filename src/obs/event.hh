@@ -36,6 +36,9 @@ enum class EventKind : uint8_t {
     ChkFault,       ///< fault injector fired; a=FaultKind, b=detail
     ChkViolation,   ///< correctness oracle violation; a=ViolationKind
     PmFlush,        ///< persist-domain flush; a=records, b=seq/horizon
+    HyEscalation,   ///< hybrid retry policy escalated to fallback;
+                    ///< a=hw attempts, b=last AbortCause
+    HyFallbackLock, ///< global fallback lock; a=1 acquired, 0 released
     NumKinds,
 };
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/config.hh"
+#include "hybrid/hybrid_manager.hh"
 #include "mem/memory_system.hh"
 #include "os/os_kernel.hh"
 #include "pm/persist_model.hh"
@@ -31,6 +32,11 @@ class TmSystem
                                                  sim_.events());
             engine_.setPersistModel(pm_.get());
         }
+        if (cfg_.hybrid.enabled) {
+            hybrid_ = std::make_unique<HybridManager>(
+                cfg_.hybrid, engine_, sim_.stats(), sim_.events());
+            engine_.setHybridModel(hybrid_.get());
+        }
     }
 
     const SystemConfig &config() const { return cfg_; }
@@ -40,6 +46,8 @@ class TmSystem
     OsKernel &os() { return os_; }
     /** Durability model, or null when cfg.pm.enabled is false. */
     PersistModel *pm() { return pm_.get(); }
+    /** Hybrid-TM manager, or null when cfg.hybrid.enabled is false. */
+    HybridManager *hybrid() { return hybrid_.get(); }
     StatsRegistry &stats() { return sim_.stats(); }
     Cycle now() const { return sim_.now(); }
 
@@ -66,6 +74,8 @@ class TmSystem
     /** Constructed only when cfg.pm.enabled; declared last so it is
      *  torn down before the registries it references. */
     std::unique_ptr<PersistModel> pm_;
+    /** Constructed only when cfg.hybrid.enabled; same teardown rule. */
+    std::unique_ptr<HybridManager> hybrid_;
 };
 
 } // namespace logtm

@@ -124,6 +124,12 @@ canonicalConfigKey(const ExperimentConfig &cfg)
         if (cfg.tornFlushDefect)
             appendField(key, "torn", uint64_t{1});
     }
+    // Hybrid-TM axes: same conditional contract.
+    if (s.hybrid.enabled) {
+        appendField(key, "hybrid", s.hybrid.spec());
+        if (cfg.skipSubscribeDefect)
+            appendField(key, "skipSub", uint64_t{1});
+    }
     return key;
 }
 
@@ -188,6 +194,17 @@ writeResultJson(const ExperimentResult &res, JsonWriter &w)
                 uint64_t{res.recoveryInflightFrames});
         w.field("recoveryUndoApplied", res.recoveryUndoApplied);
         w.field("recoveryMismatches", res.recoveryMismatches);
+    }
+    // Hybrid-TM results: same conditional contract.
+    if (res.hybridEnabled) {
+        w.field("hybridEnabled", true);
+        w.field("hyHwCommits", res.hyHwCommits);
+        w.field("hySwCommits", res.hySwCommits);
+        w.field("hyLockCommits", res.hyLockCommits);
+        w.field("hyEscalations", res.hyEscalations);
+        w.field("hyLockAcquires", res.hyLockAcquires);
+        w.field("hyCapacityAborts", res.hyCapacityAborts);
+        w.field("hySubscriptionAborts", res.hySubscriptionAborts);
     }
     w.endObject();
 }
@@ -257,6 +274,16 @@ resultFromJson(const JsonValue &v, ExperimentResult *out,
             v.getU64("recoveryInflightFrames", 0));
         r.recoveryUndoApplied = v.getU64("recoveryUndoApplied", 0);
         r.recoveryMismatches = v.getU64("recoveryMismatches", 0);
+    }
+    r.hybridEnabled = v.getBool("hybridEnabled", false);
+    if (r.hybridEnabled) {
+        r.hyHwCommits = v.getU64("hyHwCommits", 0);
+        r.hySwCommits = v.getU64("hySwCommits", 0);
+        r.hyLockCommits = v.getU64("hyLockCommits", 0);
+        r.hyEscalations = v.getU64("hyEscalations", 0);
+        r.hyLockAcquires = v.getU64("hyLockAcquires", 0);
+        r.hyCapacityAborts = v.getU64("hyCapacityAborts", 0);
+        r.hySubscriptionAborts = v.getU64("hySubscriptionAborts", 0);
     }
     *out = r;
     return true;

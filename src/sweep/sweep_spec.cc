@@ -128,6 +128,39 @@ SweepSpec::fromJson(const JsonValue &doc, SweepSpec *out,
                              "entry in axes.flushPolicies");
     }
 
+    {
+        std::vector<std::string> caps, retries, fallbacks;
+        if (!parseStringArray(*axes, "capacityLimits", &caps, err) ||
+            !parseStringArray(*axes, "retryPolicies", &retries, err) ||
+            !parseStringArray(*axes, "fallbackModes", &fallbacks, err))
+            return false;
+        if (caps.empty() && (!retries.empty() || !fallbacks.empty()))
+            return specError(err,
+                             "'retryPolicies'/'fallbackModes' need at "
+                             "least one entry in axes.capacityLimits");
+        const std::vector<std::string> rs =
+            retries.empty() ? std::vector<std::string>{""} : retries;
+        const std::vector<std::string> fs =
+            fallbacks.empty() ? std::vector<std::string>{""}
+                              : fallbacks;
+        for (const std::string &cap : caps) {
+            for (const std::string &r : rs) {
+                for (const std::string &f : fs) {
+                    std::string hspec = cap;
+                    if (!r.empty())
+                        hspec += "," + r;
+                    if (!f.empty())
+                        hspec += "," + f;
+                    HybridConfig h;
+                    if (!parseHybridSpec(hspec, &h))
+                        return specError(err, "bad hybrid spec '" +
+                                         hspec + "'");
+                    spec.hybrids.push_back(h);
+                }
+            }
+        }
+    }
+
     if (const JsonValue *seeds = axes->get("seeds")) {
         if (!seeds->isObject())
             return specError(err, "'seeds' must be an object "
@@ -191,7 +224,7 @@ SweepSpec::builtinNames()
 {
     return {"table2", "table3_signatures", "fig4_speedup",
             "result4_victimization", "scaling", "section7_snooping",
-            "durability"};
+            "durability", "hybrid"};
 }
 
 bool
@@ -250,6 +283,28 @@ SweepSpec::builtin(const std::string &name, SweepSpec *out)
         parsePmSpec("committime", &spec.flushPolicies[2]);
         spec.crashCycles = {0, 4000, 9000};
         spec.unitScaleDenom = 4;
+    } else if (name == "hybrid") {
+        // Bounded-capacity speculation (docs/HYBRID.md): a footprint-
+        // heavy microbench swept over shrinking capacity limits and
+        // the two retry ladders, against both fallback executors. The
+        // capacity-abort rate rises as the limit shrinks and the
+        // fallback engages under the escalation ladder.
+        spec.benchmarks = {Benchmark::Microbench};
+        spec.signatures = {sigPerfect()};
+        // 8 threads keep conflict escalations from drowning the
+        // capacity axis (32 contexts escalate everything on
+        // conflicts alone, flattening the limit sweep).
+        spec.threads = {8};
+        spec.mb.readsPerTx = 6;
+        spec.mb.writesPerTx = 6;
+        for (const char *cap : {"32", "8", "4"}) {
+            for (const char *rest : {",retry:3,lock", ",immediate,sw"}) {
+                HybridConfig h;
+                parseHybridSpec(std::string(cap) + rest, &h);
+                spec.hybrids.push_back(h);
+            }
+        }
+        spec.unitScaleDenom = 4;
     } else {
         return false;
     }
@@ -284,6 +339,11 @@ expand(const SweepSpec &spec)
     const std::vector<Cycle> crashes =
         spec.crashCycles.empty() ? std::vector<Cycle>{0}
                                  : spec.crashCycles;
+    // Hybrid axis; the disabled fallback likewise keeps pre-hybrid
+    // job configs (and canonical keys) untouched.
+    const std::vector<HybridConfig> hybrids =
+        spec.hybrids.empty() ? std::vector<HybridConfig>{HybridConfig{}}
+                             : spec.hybrids;
 
     std::vector<SweepJob> jobs;
     for (const Benchmark bench : spec.benchmarks) {
@@ -292,6 +352,7 @@ expand(const SweepSpec &spec)
                 for (const uint32_t t : threads) {
                   for (const PmConfig &pm : pms) {
                     for (const Cycle crash : crashes) {
+                    for (const HybridConfig &hy : hybrids) {
                     // Lock baseline first, then each signature, each
                     // over the seed axis (innermost, so seeds of one
                     // cell are adjacent in the report).
@@ -322,6 +383,7 @@ expand(const SweepSpec &spec)
                                           variant)];
                             cfg.sys.seed = job.seed;
                             cfg.sys.pm = pm;
+                            cfg.sys.hybrid = hy;
                             cfg.crashAtCycle = pm.enabled ? crash : 0;
                             cfg.mb = spec.mb;
                             cfg.wl.useTm = !job.lockBaseline;
@@ -347,8 +409,13 @@ expand(const SweepSpec &spec)
                                         "@" + std::to_string(crash);
                                 }
                             }
+                            if (cfg.sys.hybrid.enabled) {
+                                job.variant +=
+                                    "+hy:" + cfg.sys.hybrid.spec();
+                            }
                             jobs.push_back(std::move(job));
                         }
+                    }
                     }
                     }
                   }

@@ -50,6 +50,15 @@ struct SweepSpec
     /** Crash-injection cycles (0 = run to completion). Only
      *  meaningful alongside flushPolicies. */
     std::vector<Cycle> crashCycles;
+    /**
+     * Hybrid-TM axis: each entry is an enabled HybridConfig. Built in
+     * JSON from the cross of axes.capacityLimits x axes.retryPolicies
+     * x axes.fallbackModes (capacity outermost; retry/fallback fall
+     * back to the spec defaults when omitted). Empty = hybrid off;
+     * the subsystem is never constructed and job keys match the
+     * pre-hybrid encoding.
+     */
+    std::vector<HybridConfig> hybrids;
     SeedAxis seeds;
 
     // Run shaping.
@@ -92,8 +101,8 @@ struct SweepJob
 
 /**
  * Deterministic expansion: benchmark (outer) x coherence x policy x
- * threads x flush policy x crash cycle x [lock baseline +
- * signatures] x seed (inner). The order is part of the
+ * threads x flush policy x crash cycle x hybrid config x [lock
+ * baseline + signatures] x seed (inner). The order is part of the
  * campaign-report contract.
  */
 std::vector<SweepJob> expand(const SweepSpec &spec);

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Engine-side interface of the hybrid-TM model (src/hybrid/). Like
+ * TxObserver, the engine holds a raw pointer that is null unless the
+ * model is enabled, so the default configuration pays nothing and
+ * stays byte-identical to the pre-hybrid behavior.
+ */
+
+#ifndef LOGTM_TM_HYBRID_MODEL_HH
+#define LOGTM_TM_HYBRID_MODEL_HH
+
+#include "common/types.hh"
+#include "tm/tx_thread_state.hh"
+
+namespace logtm {
+
+class HybridModel
+{
+  public:
+    virtual ~HybridModel() = default;
+
+    /**
+     * Consulted once per successful transactional access, before the
+     * engine records it in signatures/shadows.
+     *
+     * Hardware-mode transactions: admission control — return
+     * AbortCause::Capacity when recording @p block would overflow the
+     * modeled speculative capacity.
+     *
+     * Software-mode transactions (thr.softwareMode): unbounded, but
+     * each access performs a subscription check against the fallback
+     * lock — return AbortCause::FallbackLockConflict when the lock is
+     * held or pending — and charges instrumentation latency through
+     * @p extra.
+     *
+     * Return AbortCause::None to let the access proceed.
+     * @p loadForWrite marks a load-exclusive, which enters both the
+     * read and the write set at once.
+     */
+    virtual AbortCause onAccess(const HwContext &ctx,
+                                const TxThread &thr, PhysAddr block,
+                                AccessType type, bool loadForWrite,
+                                Cycle *extra) = 0;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_HYBRID_MODEL_HH

@@ -8,6 +8,7 @@
 #include "obs/attribution.hh"
 #include "pm/persist_model.hh"
 #include "sig/signature_factory.hh"
+#include "tm/hybrid_model.hh"
 #include "tm/tx_observer.hh"
 
 namespace logtm {
@@ -18,8 +19,16 @@ static_assert(static_cast<uint8_t>(AbortCause::None) == 0 &&
               static_cast<uint8_t>(AbortCause::DeadlockCycle) == 1 &&
               static_cast<uint8_t>(AbortCause::PolicyAbort) == 2 &&
               static_cast<uint8_t>(AbortCause::SummaryConflict) == 3 &&
-              static_cast<uint8_t>(AbortCause::Explicit) == 4,
+              static_cast<uint8_t>(AbortCause::Explicit) == 4 &&
+              static_cast<uint8_t>(AbortCause::Capacity) == 5 &&
+              static_cast<uint8_t>(AbortCause::FallbackLockConflict)
+                  == 6,
               "AbortCause order must match obs::abortCauseName");
+
+// Hybrid abort causes (>= this value) register their counters lazily
+// on first use, so a run that never sees them serializes exactly the
+// same stats as the pre-hybrid seed.
+static constexpr size_t numEagerAbortCauses = 5;
 
 LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
                              const SystemConfig &cfg)
@@ -39,7 +48,7 @@ LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
       writeSetSize_(sim.stats().sampler("tm.writeSetBlocks")),
       undoRecordsPerTx_(sim.stats().sampler("tm.undoRecordsPerTx"))
 {
-    for (size_t c = 0; c < abortsByCause_.size(); ++c) {
+    for (size_t c = 0; c < numEagerAbortCauses; ++c) {
         abortsByCause_[c] = &sim.stats().counter(
             std::string("tm.abortsByCause.") +
             abortCauseName(static_cast<uint8_t>(c)));
@@ -352,7 +361,8 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
     HwContext &ctx = *contexts_[thr.ctx];
     acct_.txAbortTop(thr.ctx, sim_.now(), t);
     ++aborts_;
-    ++*abortsByCause_[static_cast<uint8_t>(thr.abortCause)];
+    ++causeCounter(thr.abortCause);
+    thr.lastAbortCause = thr.abortCause;
     const uint64_t depth_before = thr.log.depth();
     logtm_trace(TraceCat::Tm, sim_.now(),
                 "t%u abort frame depth=%zu cause=%d", t,
@@ -406,8 +416,15 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
 
     // Partial abort (paper §3.2): if the conflicting address still
     // hits the restored signatures, keep unwinding at the parent.
+    // Hybrid causes (capacity overflow, fallback-lock quiesce) doom
+    // the whole attempt: partial unwinds cannot shrink the footprint
+    // retroactively nor release the attempt from the lock's shadow.
     bool still_doomed = false;
-    if (thr.log.depth() > 0 && thr.doomedAddrValid) {
+    if (thr.log.depth() > 0 &&
+        (thr.abortCause == AbortCause::Capacity ||
+         thr.abortCause == AbortCause::FallbackLockConflict)) {
+        still_doomed = true;
+    } else if (thr.log.depth() > 0 && thr.doomedAddrValid) {
         const PhysAddr block = blockAlign(thr.doomedAddr);
         still_doomed = thr.doomedType == AccessType::Read
             ? ctx.writeFast.mayContain(block)
@@ -452,6 +469,37 @@ LogTmSeEngine::txRequestAbort(ThreadId t)
     TxThread &thr = *threads_[t];
     logtm_assert(thr.inTx(), "explicit abort without transaction");
     doom(thr, AbortCause::Explicit, 0, AccessType::Read, false);
+}
+
+void
+LogTmSeEngine::injectCapacityAbort(ThreadId t)
+{
+    TxThread &thr = *threads_[t];
+    if (!thr.inTx() || thr.doomed)
+        return;  // nothing speculative to overflow
+    doom(thr, AbortCause::Capacity, 0, AccessType::Read, false);
+}
+
+void
+LogTmSeEngine::quiesceAbort(ThreadId t)
+{
+    TxThread &thr = *threads_[t];
+    if (!thr.inTx() || thr.doomed)
+        return;
+    doom(thr, AbortCause::FallbackLockConflict, 0, AccessType::Read,
+         false);
+}
+
+Counter &
+LogTmSeEngine::causeCounter(AbortCause cause)
+{
+    const auto i = static_cast<size_t>(cause);
+    if (!abortsByCause_[i]) {
+        abortsByCause_[i] = &sim_.stats().counter(
+            std::string("tm.abortsByCause.") +
+            abortCauseName(static_cast<uint8_t>(i)));
+    }
+    return *abortsByCause_[i];
 }
 
 Cycle
@@ -918,6 +966,19 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         Cycle extra = 0;
         uint64_t value = 0;
 
+        // Hybrid model (src/hybrid/): capacity admission for hardware
+        // transactions, lock subscription + instrumentation latency
+        // for software-mode ones. Absent by default.
+        if (hybrid_ && in_tx) {
+            const AbortCause cause = hybrid_->onAccess(
+                ctx, thr, block, op->type, op->loadForWrite, &extra);
+            if (cause != AbortCause::None) {
+                doom(thr, cause, 0, AccessType::Read, false);
+                finishOp(op, OpStatus::Aborted, 0);
+                return;
+            }
+        }
+
         if (op->type == AccessType::Read) {
             if (in_tx) {
                 logtm_trace(TraceCat::Sig, sim_.now(),
@@ -955,7 +1016,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
                         UndoRecord{op->va, pa, old_value});
                     thr.filter.insert(op->va);
                     ++logRecords_;
-                    extra = cfg_.logWriteLatency;
+                    extra += cfg_.logWriteLatency;
                     if (pm_) {
                         pm_->onUndoAppend(op->t, thr.asid, op->va,
                                           old_value, lsn, sim_.now());

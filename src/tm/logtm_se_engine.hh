@@ -37,6 +37,7 @@ namespace logtm {
 
 class TxObserver;
 class PersistModel;
+class HybridModel;
 
 /** Completion status of a transactional memory operation. */
 enum class OpStatus : uint8_t {
@@ -130,6 +131,16 @@ class LogTmSeEngine : public ConflictChecker
     /** Request an explicit user abort of the current transaction. */
     void txRequestAbort(ThreadId t);
 
+    /** Chaos hook (src/check): doom @p t's current transaction with a
+     *  spurious capacity abort, as if the capacity model overflowed.
+     *  No-op outside a transaction or when already doomed. */
+    void injectCapacityAbort(ThreadId t);
+
+    /** Fallback-lock quiesce (src/hybrid): doom @p t's current
+     *  transaction with FallbackLockConflict. No-op outside a
+     *  transaction or when already doomed. */
+    void quiesceAbort(ThreadId t);
+
     bool inTx(ThreadId t) const { return threads_[t]->inTx(); }
     bool doomed(ThreadId t) const { return threads_[t]->doomed; }
     size_t nestingDepth(ThreadId t) const
@@ -179,6 +190,14 @@ class LogTmSeEngine : public ConflictChecker
     /** Attach a passive verification observer (nullptr detaches).
      *  Hooks fire synchronously; see tm/tx_observer.hh. */
     void setObserver(TxObserver *observer) { observer_ = observer; }
+    TxObserver *observer() { return observer_; }
+
+    /** Attach the hybrid capacity/fallback model (src/hybrid/;
+     *  nullptr detaches). Consulted synchronously on each successful
+     *  transactional access; never constructed when hybrid TM is off,
+     *  so the default path stays byte-identical. */
+    void setHybridModel(HybridModel *h) { hybrid_ = h; }
+    HybridModel *hybridModel() { return hybrid_; }
 
     /** Attach the durability model (src/pm; nullptr detaches). Like
      *  the observer it is strictly passive — hooks fire synchronously
@@ -253,6 +272,9 @@ class LogTmSeEngine : public ConflictChecker
                         AccessType type, uint32_t retries);
     void doom(TxThread &thr, AbortCause cause, PhysAddr addr,
               AccessType type, bool addr_valid);
+    /** Per-cause abort counter, registered lazily for hybrid causes
+     *  so disabled runs serialize exactly the seed's stats. */
+    Counter &causeCounter(AbortCause cause);
     /** Count a NACK-induced stall and publish the event. */
     void noteStall(const TxThread &thr, PhysAddr block,
                    AccessType type, CtxId nacker);
@@ -274,6 +296,7 @@ class LogTmSeEngine : public ConflictChecker
     std::function<void(ThreadId)> commitMigrationHook_;
     TxObserver *observer_ = nullptr;
     PersistModel *pm_ = nullptr;
+    HybridModel *hybrid_ = nullptr;
     SigBypassFn sigBypass_;
     uint32_t opsInFlight_ = 0;
     CycleAccounting acct_;
@@ -294,8 +317,9 @@ class LogTmSeEngine : public ConflictChecker
     Counter &beginsNested_;
     Counter &openCommits_;
     /** Per-cause abort counters ("tm.abortsByCause.<cause>"),
-     *  indexed by AbortCause; their sum equals tm.aborts. */
-    std::array<Counter *, 5> abortsByCause_{};
+     *  indexed by AbortCause; their sum equals tm.aborts. Hybrid
+     *  causes (Capacity, FallbackLockConflict) register lazily. */
+    std::array<Counter *, 7> abortsByCause_{};
     Sampler &readSetSize_;
     Sampler &writeSetSize_;
     Sampler &undoRecordsPerTx_;

@@ -60,6 +60,12 @@ class TxObserver
     virtual void onAbortFrame(ThreadId, Asid, size_t depthBefore)
     { (void)depthBefore; }
 
+    /** The hybrid fallback lock changed hands: @p holder acquired
+     *  (@p acquired true, after speculation quiesced) or released it.
+     *  While held, no other thread may perform transactional work. */
+    virtual void onFallbackLock(ThreadId holder, bool acquired)
+    { (void)holder; (void)acquired; }
+
     /**
      * Soundness breach: the exact shadow sets say context
      * @p ownerCtx really conflicts with the request on @p block, but

@@ -52,6 +52,8 @@ enum class AbortCause : uint8_t {
     PolicyAbort,     ///< AbortAlways conflict policy
     SummaryConflict, ///< conflicted with a descheduled transaction
     Explicit,        ///< user-requested abort
+    Capacity,        ///< hybrid capacity model overflowed (src/hybrid/)
+    FallbackLockConflict, ///< quiesced by / subscribed to the fallback lock
 };
 
 /**
@@ -82,6 +84,16 @@ struct TxThread
 
     /** Exponential backoff progression for NACK retries. */
     uint32_t backoffLevel = 0;
+
+    /** Cause of the most recently completed (outermost) abort;
+     *  consulted by the hybrid retry policy after the unwind has
+     *  cleared abortCause. */
+    AbortCause lastAbortCause = AbortCause::None;
+
+    /** Hybrid fallback: this thread's current transaction runs on the
+     *  instrumented software path (unbounded capacity, per-access
+     *  lock-subscription checks, instrumentation latency). */
+    bool softwareMode = false;
 
     /** Last address/type this thread NACKed (partial-abort target:
      *  unwinding stops once the restored signature clears it). */

@@ -48,6 +48,11 @@ writeBody(const ReproBundle &b, JsonWriter &w)
         w.field("pm", p.pm.spec());
         w.field("defectTornFlush", p.defectTornFlush);
     }
+    // Hybrid-TM fields follow the same conditional contract.
+    if (p.hybrid.enabled) {
+        w.field("hybrid", p.hybrid.spec());
+        w.field("defectSkipSubscribe", p.defectSkipSubscribe);
+    }
     w.field("scripted", p.script.has_value());
     w.field("script", p.script ? p.script->format() : std::string());
     w.field("fingerprint", b.fingerprint.format());
@@ -80,6 +85,10 @@ ReproBundle::canonicalKey() const
     if (p.pm.enabled) {
         os << "|pm=" << p.pm.spec()
            << "|defectTornFlush=" << p.defectTornFlush;
+    }
+    if (p.hybrid.enabled) {
+        os << "|hybrid=" << p.hybrid.spec()
+           << "|defectSkipSubscribe=" << p.defectSkipSubscribe;
     }
     os << "|scripted=" << p.script.has_value()
        << "|script=" << (p.script ? p.script->format() : std::string());
@@ -132,6 +141,16 @@ ReproBundle::fromJson(const std::string &text, ReproBundle *out,
             return false;
         }
         p.defectTornFlush = doc.getBool("defectTornFlush", false);
+    }
+    const std::string hySpec = doc.getString("hybrid", "");
+    if (!hySpec.empty()) {
+        if (!parseHybridSpec(hySpec, &p.hybrid)) {
+            if (err)
+                *err = "bad hybrid spec '" + hySpec + "'";
+            return false;
+        }
+        p.defectSkipSubscribe =
+            doc.getBool("defectSkipSubscribe", false);
     }
     if (doc.getBool("scripted", false))
         p.script = FaultScript::parse(doc.getString("script", ""));

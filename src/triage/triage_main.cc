@@ -74,6 +74,13 @@ usage(std::FILE *to)
         "  --defect-torn-flush\n"
         "                      plant the torn-flush recovery defect so\n"
         "                      crash faults become oracle:recovery\n"
+        "  --hybrid SPEC       enable hybrid TM: cap[,retry][,fb],\n"
+        "                      e.g. 8,retry:3,lock or sa:8:2,adaptive:2,sw;\n"
+        "                      pair with a capacity=P fault for forced\n"
+        "                      capacity-abort runs\n"
+        "  --defect-skip-subscribe\n"
+        "                      plant the skip-subscribe fallback defect\n"
+        "                      so lock-era overlap becomes oracle:hybrid\n"
         "  --note STR          provenance note stored in the bundle\n"
         "\n"
         "minimize options:\n"
@@ -286,6 +293,14 @@ main(int argc, char **argv)
             }
         } else if (arg == "--defect-torn-flush") {
             chaos.defectTornFlush = true;
+        } else if (argValue(argc, argv, &i, "--hybrid", &value)) {
+            if (!parseHybridSpec(value, &chaos.hybrid)) {
+                std::fprintf(stderr, "bad --hybrid spec '%s'\n",
+                             value.c_str());
+                return 2;
+            }
+        } else if (arg == "--defect-skip-subscribe") {
+            chaos.defectSkipSubscribe = true;
         } else if (argValue(argc, argv, &i, "--note", &note)) {
         } else if (argValue(argc, argv, &i, "--out", &outPath)) {
         } else if (argValue(argc, argv, &i, "--jobs", &value)) {

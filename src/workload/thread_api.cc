@@ -2,11 +2,56 @@
 
 namespace logtm {
 
+namespace {
+
+/** Enter the Fallback accounting phase (no-op while descheduled). */
+void
+beginFallbackWindow(ThreadCtx &tc)
+{
+    const CtxId ctx = tc.engine().thread(tc.id()).ctx;
+    if (ctx != invalidCtx) {
+        tc.engine().accounting().beginWindow(ctx, tc.system().now(),
+                                             CyclePhase::Fallback);
+    }
+}
+
+/** Suspend until the global fallback lock is granted (FIFO). */
+struct FallbackLockAwaiter
+{
+    ThreadCtx &tc;
+    HybridManager &hy;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        tc.whenScheduled([this, h]() {
+            hy.acquireLock(tc.id(), [h]() { h.resume(); });
+        });
+    }
+
+    void await_resume() const {}
+};
+
+} // namespace
+
 Task
 ThreadCtx::transaction(TxBody body, bool open)
 {
     LogTmSeEngine &eng = engine();
     const size_t entry_depth = eng.nestingDepth(id_);
+
+    if (HybridManager *hy = sys_.hybrid(); hy && entry_depth == 0) {
+        if (hy->lockHeldBy(id_)) {
+            // Inside the global-lock fallback the lock already
+            // provides atomicity: nested "transactions" run flat.
+            co_await body(*this);
+            co_return;
+        }
+        co_await hybridTransaction(std::move(body), open);
+        co_return;
+    }
 
     for (;;) {
         co_await scheduled();
@@ -32,6 +77,94 @@ ThreadCtx::transaction(TxBody body, bool open)
             co_return;
         }
         co_await EngineStepAwaiter{*this, &LogTmSeEngine::abortBackoff};
+    }
+}
+
+Task
+ThreadCtx::hybridTransaction(TxBody body, bool open)
+{
+    LogTmSeEngine &eng = engine();
+    HybridManager &hy = *sys_.hybrid();
+    uint32_t attempts = 0;
+    bool escalated = false;
+
+    for (;;) {
+        co_await scheduled();
+
+        if (escalated &&
+            hy.modeFor(id_) == FallbackMode::GlobalLock) {
+            // Lemming path: quiesce all speculation, then run the
+            // body flat (plain accesses) under the global lock.
+            beginFallbackWindow(*this);
+            co_await FallbackLockAwaiter{*this, hy};
+            co_await body(*this);
+            hy.releaseLock(id_);
+            hy.noteLockCommit();
+            eng.resumePhase(id_);
+            co_return;
+        }
+
+        const bool sw = escalated;  // instrumented software mode
+        const bool skip_gate = sw && hy.skipSubscribeDefect();
+
+        // Begin gate: no new transaction may start while the fallback
+        // lock is held or pending. The planted defect skips it (and
+        // every per-access subscription check) for software mode.
+        while (!skip_gate && hy.speculationGated()) {
+            hy.noteGateWait();
+            beginFallbackWindow(*this);
+            co_await think(hy.gatePollCycles());
+            co_await scheduled();
+        }
+        eng.resumePhase(id_);
+
+        // No suspension between the gate check and txBegin, so the
+        // quiesce doom at lock-request time covers every in-flight
+        // hardware transaction.
+        eng.thread(id_).softwareMode = sw;
+        eng.txBegin(id_, open);
+        co_await body(*this);
+
+        if (!eng.doomed(id_)) {
+            co_await EngineStepAwaiter{*this, &LogTmSeEngine::txCommit};
+            eng.thread(id_).softwareMode = false;
+            if (sw)
+                hy.noteSwCommit();
+            else
+                hy.noteHwCommit();
+            co_return;
+        }
+
+        co_await EngineStepAwaiter{*this, &LogTmSeEngine::txAbortFrame};
+        logtm_assert(eng.nestingDepth(id_) == 0,
+                     "abort unwound to unexpected depth");
+        logtm_assert(!eng.doomed(id_),
+                     "outermost abort left the thread doomed");
+        eng.thread(id_).softwareMode = false;
+
+        const AbortCause last = eng.thread(id_).lastAbortCause;
+        if (!sw) {
+            ++attempts;
+            if (!escalated && hy.shouldEscalate(attempts, last)) {
+                escalated = true;
+                hy.noteEscalation(id_, attempts, last);
+            }
+        }
+        // Exponential backoff is a *contention* remedy. Capacity
+        // overflows re-fire deterministically (retry at once, burn
+        // the ladder, escalate), quiesce dooms are already paced by
+        // the begin gate, and a transaction headed for the global
+        // lock is paced by the lock queue itself — backing any of
+        // them off just walks backoffLevel toward watchdog-sized
+        // sleeps without resolving anything. Genuine conflicts
+        // (including software-mode ones) still climb the ladder.
+        const bool to_lock =
+            escalated && hy.modeFor(id_) == FallbackMode::GlobalLock;
+        if (!to_lock && last != AbortCause::Capacity &&
+            last != AbortCause::FallbackLockConflict) {
+            co_await EngineStepAwaiter{*this,
+                                       &LogTmSeEngine::abortBackoff};
+        }
     }
 }
 

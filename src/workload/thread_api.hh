@@ -308,6 +308,16 @@ class ThreadCtx
     Task transaction(TxBody body, bool open = false);
 
   private:
+    /**
+     * Hybrid-TM outer-transaction executor (docs/HYBRID.md): gates
+     * begins while the fallback lock is held or pending, counts
+     * hardware attempts, escalates per the retry policy, and runs the
+     * fallback — the body under the global lock, or an instrumented
+     * software-mode transaction. Only reached when the system was
+     * built with hybrid TM enabled.
+     */
+    Task hybridTransaction(TxBody body, bool open);
+
     TmSystem &sys_;
     ThreadId id_;
     Rng rng_;

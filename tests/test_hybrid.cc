@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Hybrid TM: bounded-capacity speculation, retry escalation, and the
+ * fallback executors (src/hybrid/, docs/HYBRID.md).
+ *
+ * The structure mirrors test_recovery.cc: spec parsing, the
+ * zero-perturbation contract (hybrid off leaves every artifact
+ * byte-identical to the seed encoding), capacity boundary cases
+ * against the model directly, the retry ladder, whole-experiment
+ * escalation behaviour, chaos runs with the fallback lock quiescing
+ * live speculation, and the planted skip-subscribe defect that the
+ * oracle must convict — reduced through the triage pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "check/chaos.hh"
+#include "harness/experiment.hh"
+#include "hybrid/capacity_model.hh"
+#include "hybrid/retry_policy.hh"
+#include "sweep/config_codec.hh"
+#include "sweep/json_value.hh"
+#include "sweep/sweep_spec.hh"
+#include "triage/minimizer.hh"
+#include "triage/repro_bundle.hh"
+
+namespace logtm {
+namespace {
+
+using triage::MinimizeOptions;
+using triage::MinimizeResult;
+using triage::ReproBundle;
+
+HybridConfig
+hySpec(const char *spec)
+{
+    HybridConfig h;
+    EXPECT_TRUE(parseHybridSpec(spec, &h)) << spec;
+    return h;
+}
+
+/** Block address whose block number is @p bn (capacity unit tests). */
+PhysAddr
+blockAddr(uint64_t bn)
+{
+    return bn << blockBytesLog2;
+}
+
+/** Small, deterministic microbench experiment whose transactions
+ *  touch enough distinct blocks to stress tight capacity limits. */
+ExperimentConfig
+smallConfig(const HybridConfig &hy)
+{
+    ExperimentConfig cfg;
+    cfg.bench = Benchmark::Microbench;
+    cfg.sys.hybrid = hy;
+    cfg.sys.seed = 42;
+    cfg.wl.numThreads = 8;
+    cfg.wl.totalUnits = 64;
+    cfg.wl.seed = 42;
+    cfg.mb.readsPerTx = 6;
+    cfg.mb.writesPerTx = 6;
+    return cfg;
+}
+
+uint64_t
+causeSum(const ExperimentResult &r)
+{
+    uint64_t sum = 0;
+    for (const auto &[cause, count] : r.abortsByCause)
+        sum += count;
+    return sum;
+}
+
+// ----- spec parsing ----------------------------------------------
+
+TEST(HybridSpec, ParsesEveryShapeAndRoundTrips)
+{
+    HybridConfig h;
+    ASSERT_TRUE(parseHybridSpec("16,retry:2,lock", &h));
+    EXPECT_TRUE(h.enabled);
+    EXPECT_EQ(h.capacityKind, CapacityKind::EntryLimit);
+    EXPECT_EQ(h.maxReadBlocks, 16u);
+    EXPECT_EQ(h.maxWriteBlocks, 16u);
+    EXPECT_EQ(h.retry, RetryKind::RetryN);
+    EXPECT_EQ(h.maxHwAttempts, 2u);
+    EXPECT_EQ(h.fallback, FallbackMode::GlobalLock);
+    EXPECT_EQ(h.spec(), "16,retry:2,lock");
+
+    ASSERT_TRUE(parseHybridSpec("8/4,immediate,sw", &h));
+    EXPECT_EQ(h.maxReadBlocks, 8u);
+    EXPECT_EQ(h.maxWriteBlocks, 4u);
+    EXPECT_EQ(h.retry, RetryKind::Immediate);
+    EXPECT_EQ(h.fallback, FallbackMode::Software);
+    EXPECT_EQ(h.spec(), "8/4,immediate,sw");
+
+    ASSERT_TRUE(parseHybridSpec("sa:8:2,adaptive:3,mixed", &h));
+    EXPECT_EQ(h.capacityKind, CapacityKind::SetAssoc);
+    EXPECT_EQ(h.assocSets, 8u);
+    EXPECT_EQ(h.assocWays, 2u);
+    EXPECT_EQ(h.retry, RetryKind::Adaptive);
+    EXPECT_EQ(h.maxHwAttempts, 3u);
+    EXPECT_EQ(h.fallback, FallbackMode::Mixed);
+    EXPECT_EQ(h.spec(), "sa:8:2,adaptive:3,mixed");
+
+    // Retry and fallback parts are optional; the defaults fill in and
+    // spec() always emits the full canonical form.
+    ASSERT_TRUE(parseHybridSpec("16", &h));
+    EXPECT_EQ(h.maxReadBlocks, 16u);
+    EXPECT_EQ(h.retry, HybridConfig{}.retry);
+    EXPECT_EQ(h.fallback, HybridConfig{}.fallback);
+    EXPECT_EQ(h.spec(),
+              "16,retry:" + std::to_string(HybridConfig{}.maxHwAttempts) +
+                  ",lock");
+
+    ASSERT_TRUE(parseHybridSpec("16,retry:2,lock,instr:7", &h));
+    EXPECT_EQ(h.instrumentationCycles, 7u);
+    EXPECT_EQ(h.spec(), "16,retry:2,lock,instr:7");
+}
+
+TEST(HybridSpec, RejectsMalformedSpecs)
+{
+    HybridConfig h;
+    EXPECT_FALSE(parseHybridSpec("", &h));
+    EXPECT_FALSE(parseHybridSpec("bogus", &h));
+    EXPECT_FALSE(parseHybridSpec("16,xyzzy", &h));
+    EXPECT_FALSE(parseHybridSpec("16,retry:2,bogus", &h));
+    EXPECT_FALSE(parseHybridSpec("16,retry:2,lock,instr:x", &h));
+    EXPECT_FALSE(parseHybridSpec("16,retry:2,lock,extra", &h));
+    // Fallback must come after retry.
+    EXPECT_FALSE(parseHybridSpec("16,lock,retry:2", &h));
+}
+
+TEST(HybridSpec, CapacityFaultPlanFormatsOnlyWhenPresent)
+{
+    FaultPlan plan;
+    plan.victimPct = 30;
+    // Pre-hybrid plans must format exactly as before: "capacity="
+    // would invalidate every stored bundle's canonical key.
+    EXPECT_EQ(plan.format().find("capacity"), std::string::npos);
+
+    plan.capacityPct = 5;
+    const std::string text = plan.format();
+    EXPECT_NE(text.find("capacity=5"), std::string::npos);
+    const FaultPlan back = FaultPlan::parse(text);
+    EXPECT_EQ(back.capacityPct, 5u);
+    EXPECT_EQ(back.format(), text);
+}
+
+// ----- zero perturbation -----------------------------------------
+
+TEST(Hybrid, DisabledRunsSerializeExactlyAsSeed)
+{
+    const ExperimentConfig off = smallConfig(HybridConfig{});
+    const std::string offKey = sweep::canonicalConfigKey(off);
+    EXPECT_EQ(offKey.find("hybrid="), std::string::npos);
+    EXPECT_EQ(offKey.find("skipSub="), std::string::npos);
+
+    ExperimentConfig on = smallConfig(hySpec("8,retry:2,lock"));
+    const std::string onKey = sweep::canonicalConfigKey(on);
+    EXPECT_NE(onKey.find("hybrid=8,retry:2,lock;"), std::string::npos);
+    // The planted defect changes the simulation, so it must key the
+    // result cache too.
+    on.skipSubscribeDefect = true;
+    EXPECT_NE(sweep::canonicalConfigKey(on), onKey);
+
+    ExperimentResult plain;
+    plain.bench = "Microbench";
+    EXPECT_EQ(sweep::resultToJson(plain).find("hybridEnabled"),
+              std::string::npos);
+}
+
+TEST(Hybrid, DisabledRunsMatchTheSeedMachineExactly)
+{
+    // An explicitly default (disabled) HybridConfig must be
+    // indistinguishable from never having had the field: same key,
+    // same run, no hybrid result block, no fallback cycle bucket.
+    const ExperimentResult off = runExperiment(smallConfig({}));
+    ExperimentConfig dflt = smallConfig({});
+    dflt.sys.hybrid = HybridConfig{};
+    const ExperimentResult off2 = runExperiment(dflt);
+    EXPECT_EQ(off.cycles, off2.cycles);
+    EXPECT_EQ(off.commits, off2.commits);
+    EXPECT_EQ(off.aborts, off2.aborts);
+    EXPECT_FALSE(off.hybridEnabled);
+    EXPECT_EQ(off.cycleBuckets.count("fallback"), 0u);
+    EXPECT_EQ(sweep::resultToJson(off), sweep::resultToJson(off2));
+}
+
+TEST(Hybrid, EnabledRunsAreByteDeterministic)
+{
+    const ExperimentConfig cfg = smallConfig(hySpec("4,retry:2,lock"));
+    const ExperimentResult a = runExperiment(cfg);
+    const ExperimentResult b = runExperiment(cfg);
+    EXPECT_EQ(sweep::resultToJson(a), sweep::resultToJson(b));
+    EXPECT_TRUE(a.hybridEnabled);
+}
+
+TEST(Hybrid, ResultJsonRoundTripsHybridFields)
+{
+    ExperimentResult r;
+    r.bench = "Microbench";
+    r.hybridEnabled = true;
+    r.hyHwCommits = 100;
+    r.hySwCommits = 20;
+    r.hyLockCommits = 7;
+    r.hyEscalations = 27;
+    r.hyLockAcquires = 7;
+    r.hyCapacityAborts = 31;
+    r.hySubscriptionAborts = 4;
+
+    std::string err;
+    const sweep::JsonValue doc =
+        sweep::JsonValue::parse(sweep::resultToJson(r), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    ExperimentResult back;
+    ASSERT_TRUE(sweep::resultFromJson(doc, &back, &err)) << err;
+    EXPECT_TRUE(back.hybridEnabled);
+    EXPECT_EQ(back.hyHwCommits, 100u);
+    EXPECT_EQ(back.hySwCommits, 20u);
+    EXPECT_EQ(back.hyLockCommits, 7u);
+    EXPECT_EQ(back.hyEscalations, 27u);
+    EXPECT_EQ(back.hyLockAcquires, 7u);
+    EXPECT_EQ(back.hyCapacityAborts, 31u);
+    EXPECT_EQ(back.hySubscriptionAborts, 4u);
+}
+
+// ----- capacity boundary cases -----------------------------------
+
+TEST(CapacityModel, EntryLimitBoundsReadAndWriteSetsSeparately)
+{
+    const CapacityModel model(hySpec("2/1,retry:2,lock"));
+    HwContext ctx;
+
+    // Fill the read set to its limit of 2.
+    EXPECT_TRUE(model.admits(ctx, blockAddr(1), AccessType::Read, false));
+    ctx.shadowRead.insert(blockAddr(1));
+    EXPECT_TRUE(model.admits(ctx, blockAddr(2), AccessType::Read, false));
+    ctx.shadowRead.insert(blockAddr(2));
+    // A third distinct read block overflows; a resident one does not.
+    EXPECT_FALSE(model.admits(ctx, blockAddr(3), AccessType::Read, false));
+    EXPECT_TRUE(model.admits(ctx, blockAddr(1), AccessType::Read, false));
+
+    // The write set has its own limit of 1.
+    EXPECT_TRUE(model.admits(ctx, blockAddr(9), AccessType::Write, false));
+    ctx.shadowWrite.insert(blockAddr(9));
+    EXPECT_FALSE(model.admits(ctx, blockAddr(10), AccessType::Write, false));
+    EXPECT_TRUE(model.admits(ctx, blockAddr(9), AccessType::Write, false));
+}
+
+TEST(CapacityModel, LoadExclusiveMustFitBothSets)
+{
+    // Read limit 2 (full below), write limit 2 (one slot free): a
+    // plain write of a new block fits, but a load-exclusive enters
+    // both sets and the full read set rejects it.
+    const CapacityModel model(hySpec("2/2,retry:2,lock"));
+    HwContext ctx;
+    ctx.shadowRead.insert(blockAddr(1));
+    ctx.shadowRead.insert(blockAddr(2));
+    ctx.shadowWrite.insert(blockAddr(9));
+
+    EXPECT_TRUE(model.admits(ctx, blockAddr(10), AccessType::Write, false));
+    EXPECT_FALSE(model.admits(ctx, blockAddr(10), AccessType::Write, true));
+    // A block already resident in the read set is fine either way.
+    EXPECT_TRUE(model.admits(ctx, blockAddr(1), AccessType::Write, true));
+}
+
+TEST(CapacityModel, ZeroEntryLimitMeansUnbounded)
+{
+    const CapacityModel model(hySpec("0,retry:2,lock"));
+    HwContext ctx;
+    for (uint64_t bn = 0; bn < 64; ++bn) {
+        EXPECT_TRUE(
+            model.admits(ctx, blockAddr(bn), AccessType::Read, false));
+        ctx.shadowRead.insert(blockAddr(bn));
+    }
+}
+
+TEST(CapacityModel, SetAssocOverflowsOneSetWhileOthersStayOpen)
+{
+    // 4 sets x 2 ways; block numbers 0, 4, 8 all index set 0.
+    const CapacityModel model(hySpec("sa:4:2,retry:2,lock"));
+    HwContext ctx;
+    ctx.shadowRead.insert(blockAddr(0));
+    ctx.shadowWrite.insert(blockAddr(4));
+
+    // Set 0 is full: a third block for it overflows...
+    EXPECT_FALSE(model.admits(ctx, blockAddr(8), AccessType::Read, false));
+    // ...but resident blocks and other sets are fine.
+    EXPECT_TRUE(model.admits(ctx, blockAddr(0), AccessType::Write, false));
+    EXPECT_TRUE(model.admits(ctx, blockAddr(1), AccessType::Read, false));
+
+    // A block in both shadows occupies one way, not two: promoting
+    // block 0 to the write set must not change set 0's occupancy.
+    ctx.shadowWrite.insert(blockAddr(0));
+    EXPECT_FALSE(model.admits(ctx, blockAddr(8), AccessType::Read, false));
+    EXPECT_TRUE(model.admits(ctx, blockAddr(5), AccessType::Read, false));
+}
+
+// ----- the retry ladder ------------------------------------------
+
+TEST(RetryPolicy, LaddersEscalateWhereTheyShould)
+{
+    const RetryPolicy retryN(hySpec("8,retry:3,lock"));
+    EXPECT_FALSE(retryN.shouldEscalate(1, AbortCause::DeadlockCycle));
+    EXPECT_FALSE(retryN.shouldEscalate(2, AbortCause::Capacity));
+    EXPECT_TRUE(retryN.shouldEscalate(3, AbortCause::DeadlockCycle));
+
+    const RetryPolicy immediate(hySpec("8,immediate,lock"));
+    EXPECT_TRUE(immediate.shouldEscalate(1, AbortCause::DeadlockCycle));
+
+    // Adaptive: capacity aborts escalate at once (retrying cannot
+    // shrink the footprint); conflicts climb the full ladder.
+    const RetryPolicy adaptive(hySpec("8,adaptive:3,lock"));
+    EXPECT_TRUE(adaptive.shouldEscalate(1, AbortCause::Capacity));
+    EXPECT_FALSE(adaptive.shouldEscalate(1, AbortCause::DeadlockCycle));
+    EXPECT_FALSE(adaptive.shouldEscalate(2, AbortCause::SummaryConflict));
+    EXPECT_TRUE(adaptive.shouldEscalate(3, AbortCause::DeadlockCycle));
+}
+
+// ----- whole experiments -----------------------------------------
+
+TEST(Hybrid, CapacityAbortRateRisesAsLimitsShrink)
+{
+    std::vector<uint64_t> capacityAborts;
+    for (const char *spec :
+         {"32,retry:3,lock", "8,retry:3,lock", "4,retry:3,lock"}) {
+        const ExperimentResult r = runExperiment(smallConfig(hySpec(spec)));
+        ASSERT_TRUE(r.hybridEnabled) << spec;
+        // Correctness first: every unit completes and the shared
+        // counters add up even when transactions escalate.
+        EXPECT_EQ(r.microCounterSum, r.microExpected) << spec;
+        // The causes-sum-to-total invariant (docs/HYBRID.md).
+        EXPECT_EQ(causeSum(r), r.aborts) << spec;
+        capacityAborts.push_back(r.hyCapacityAborts);
+    }
+    // 12 distinct blocks per transaction: a 32-entry budget never
+    // overflows, and the rate rises monotonically as limits shrink.
+    EXPECT_EQ(capacityAborts[0], 0u);
+    EXPECT_GT(capacityAborts[2], capacityAborts[1]);
+    EXPECT_GT(capacityAborts[1], 0u);
+}
+
+TEST(Hybrid, EscalationEngagesTheConfiguredFallback)
+{
+    // Global-lock ladder: capacity overflow -> retries -> lock.
+    const ExperimentResult lock =
+        runExperiment(smallConfig(hySpec("4,retry:2,lock")));
+    EXPECT_GT(lock.hyEscalations, 0u);
+    EXPECT_GT(lock.hyLockAcquires, 0u);
+    EXPECT_GT(lock.hyLockCommits, 0u);
+    EXPECT_EQ(lock.hySwCommits, 0u);
+    EXPECT_EQ(lock.microCounterSum, lock.microExpected);
+    // Lock-mode execution shows up in the fallback cycle bucket,
+    // which only exists in hybrid runs that used it.
+    ASSERT_EQ(lock.cycleBuckets.count("fallback"), 1u);
+    EXPECT_GT(lock.cycleBuckets.at("fallback"), 0u);
+    // Aborts by cause must include the new causes and still sum.
+    EXPECT_EQ(causeSum(lock), lock.aborts);
+    EXPECT_GT(lock.abortsByCause.count("capacity"), 0u);
+
+    // Software ladder: subscription-checked engine transactions.
+    const ExperimentResult sw =
+        runExperiment(smallConfig(hySpec("4,immediate,sw")));
+    EXPECT_GT(sw.hyEscalations, 0u);
+    EXPECT_GT(sw.hySwCommits, 0u);
+    EXPECT_EQ(sw.hyLockAcquires, 0u);
+    EXPECT_EQ(sw.microCounterSum, sw.microExpected);
+
+    // Mixed resolves by thread parity, so both paths engage.
+    const ExperimentResult mixed =
+        runExperiment(smallConfig(hySpec("4,immediate,mixed")));
+    EXPECT_GT(mixed.hyLockCommits, 0u);
+    EXPECT_GT(mixed.hySwCommits, 0u);
+    EXPECT_EQ(mixed.microCounterSum, mixed.microExpected);
+}
+
+// ----- sweep axes ------------------------------------------------
+
+TEST(HybridSweep, AxesCrossAndKeyEveryJob)
+{
+    const char *doc = R"({
+        "name": "hy",
+        "axes": {
+            "benchmarks": ["microbench"],
+            "capacityLimits": ["8", "sa:8:2"],
+            "retryPolicies": ["retry:2", "immediate"],
+            "fallbackModes": ["lock"],
+            "seeds": {"base": 1, "count": 1}
+        }
+    })";
+    std::string err;
+    const sweep::JsonValue v = sweep::JsonValue::parse(doc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    sweep::SweepSpec spec;
+    ASSERT_TRUE(sweep::SweepSpec::fromJson(v, &spec, &err)) << err;
+    ASSERT_EQ(spec.hybrids.size(), 4u);
+
+    const std::vector<sweep::SweepJob> jobs = sweep::expand(spec);
+    ASSERT_EQ(jobs.size(), 4u);
+    std::vector<std::string> keys;
+    for (const sweep::SweepJob &job : jobs) {
+        EXPECT_TRUE(job.cfg.sys.hybrid.enabled);
+        EXPECT_NE(job.variant.find("+hy:"), std::string::npos);
+        keys.push_back(sweep::canonicalConfigKey(job.cfg));
+        EXPECT_NE(keys.back().find("hybrid="), std::string::npos);
+    }
+    for (size_t i = 0; i < keys.size(); ++i)
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+}
+
+TEST(HybridSweep, RetryAxisWithoutCapacityAxisIsAnError)
+{
+    const char *doc = R"({
+        "name": "hy",
+        "axes": {"retryPolicies": ["retry:2"]}
+    })";
+    std::string err;
+    const sweep::JsonValue v = sweep::JsonValue::parse(doc, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    sweep::SweepSpec spec;
+    EXPECT_FALSE(sweep::SweepSpec::fromJson(v, &spec, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(HybridSweep, BuiltinCampaignExpandsDeterministically)
+{
+    sweep::SweepSpec spec;
+    ASSERT_TRUE(sweep::SweepSpec::builtin("hybrid", &spec));
+    const std::vector<sweep::SweepJob> a = sweep::expand(spec);
+    const std::vector<sweep::SweepJob> b = sweep::expand(spec);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(sweep::canonicalConfigKey(a[i].cfg),
+                  sweep::canonicalConfigKey(b[i].cfg));
+    }
+}
+
+// ----- chaos: quiescence under fire ------------------------------
+
+ChaosParams
+hybridChaosParams(uint64_t seed, const char *spec)
+{
+    ChaosParams p;
+    p.seed = seed;
+    p.faults = FaultPlan::parse("victim=20,nack=5,tick=200");
+    p.totalUnits = 96;
+    p.hybrid = hySpec(spec);
+    return p;
+}
+
+TEST(HybridChaos, GlobalLockQuiescesCleanlyUnderChaos)
+{
+    uint64_t escalations = 0, lockAcquires = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        const ChaosResult r =
+            runChaos(hybridChaosParams(seed, "2,retry:2,lock"));
+        EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.describe();
+        escalations += r.hyEscalations;
+        lockAcquires += r.hyLockAcquires;
+    }
+    // A 2-entry budget under the 2r+2w chaos microbench must escalate
+    // somewhere across the seeds, or the test is vacuous.
+    EXPECT_GT(escalations, 0u);
+    EXPECT_GT(lockAcquires, 0u);
+}
+
+TEST(HybridChaos, CapacityFaultsForceSpuriousAbortsHarmlessly)
+{
+    uint64_t faults = 0;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        ChaosParams p = hybridChaosParams(seed, "16,retry:3,lock");
+        p.faults = FaultPlan::parse("capacity=30,tick=150");
+        const ChaosResult r = runChaos(p);
+        EXPECT_TRUE(r.ok()) << "seed " << seed << ": " << r.describe();
+        faults += r.faultsInjected;
+    }
+    EXPECT_GT(faults, 0u);
+}
+
+// ----- the planted skip-subscribe defect -------------------------
+
+ChaosParams
+defectChaosParams(uint64_t seed)
+{
+    // Mixed fallback: even threads take the lock while odd threads run
+    // the (defective) software path against it. Immediate escalation
+    // plus a 2-entry budget keeps both sides busy.
+    ChaosParams p = hybridChaosParams(seed, "2,immediate,mixed");
+    p.defectSkipSubscribe = true;
+    return p;
+}
+
+/** First seed whose capture run convicts the planted defect, with its
+ *  bundle. Shared across tests; searched once. */
+const std::optional<std::pair<ReproBundle, ChaosResult>> &
+skipSubCapture()
+{
+    static const std::optional<std::pair<ReproBundle, ChaosResult>>
+        found = []() -> std::optional<
+                     std::pair<ReproBundle, ChaosResult>> {
+        for (uint64_t seed = 1; seed <= 40; ++seed) {
+            ChaosResult capture;
+            const ReproBundle b =
+                triage::captureBundle(defectChaosParams(seed), &capture);
+            if (b.fingerprint.format() == "oracle:hybrid")
+                return std::make_pair(b, capture);
+        }
+        return std::nullopt;
+    }();
+    return found;
+}
+
+TEST(HybridDefect, SkipSubscribeConvictsOracleAndOnlyWithDefect)
+{
+    ASSERT_TRUE(skipSubCapture().has_value())
+        << "no seed in 1..40 tripped the skip-subscribe defect";
+    const auto &[bundle, capture] = *skipSubCapture();
+    EXPECT_EQ(bundle.fingerprint.format(), "oracle:hybrid");
+    EXPECT_EQ(capture.firstViolation, "hybrid");
+    EXPECT_GT(capture.violations, 0u);
+
+    // Same seed, same faults, defect unplanted: the run is clean, so
+    // the conviction is the defect's and not the oracle's.
+    ChaosParams clean = bundle.params;
+    clean.script.reset();
+    clean.defectSkipSubscribe = false;
+    const ChaosResult r = runChaos(clean);
+    EXPECT_TRUE(r.ok()) << r.describe();
+    EXPECT_EQ(r.violations, 0u);
+}
+
+TEST(HybridDefect, CapturedScriptReplaysBitIdentically)
+{
+    ASSERT_TRUE(skipSubCapture().has_value());
+    const auto &[bundle, capture] = *skipSubCapture();
+    ASSERT_TRUE(bundle.params.script.has_value());
+
+    const ChaosResult replay = triage::replayBundle(bundle);
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+    EXPECT_EQ(replay.cycles, capture.cycles);
+    EXPECT_EQ(replay.violations, capture.violations);
+    EXPECT_EQ(replay.hyEscalations, capture.hyEscalations);
+    EXPECT_EQ(replay.hyLockAcquires, capture.hyLockAcquires);
+    EXPECT_EQ(replay.faultsInjected, capture.faultsInjected);
+}
+
+TEST(HybridDefect, BundleRoundTripsHybridFields)
+{
+    ASSERT_TRUE(skipSubCapture().has_value());
+    const ReproBundle &bundle = skipSubCapture()->first;
+
+    ReproBundle back;
+    std::string err;
+    ASSERT_TRUE(ReproBundle::fromJson(bundle.toJson(), &back, &err))
+        << err;
+    EXPECT_EQ(back.toJson(), bundle.toJson());
+    EXPECT_EQ(back.canonicalKey(), bundle.canonicalKey());
+    EXPECT_TRUE(back.params.hybrid.enabled);
+    EXPECT_EQ(back.params.hybrid.spec(), "2,immediate,mixed");
+    EXPECT_TRUE(back.params.defectSkipSubscribe);
+
+    // Hybrid-free bundles keep the pre-hybrid encoding.
+    ReproBundle plain;
+    plain.params.seed = 7;
+    EXPECT_EQ(plain.toJson().find("\"hybrid\""), std::string::npos);
+    EXPECT_EQ(plain.canonicalKey().find("hybrid="), std::string::npos);
+}
+
+TEST(HybridDefect, MinimizerShrinksTheScriptAwayEntirely)
+{
+    ASSERT_TRUE(skipSubCapture().has_value());
+    const ReproBundle &bundle = skipSubCapture()->first;
+
+    // The defect is configuration-driven — no fault event is needed
+    // to reproduce it — so ddmin should strip the script to (almost)
+    // nothing while the fingerprint holds.
+    MinimizeOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = "";
+    const MinimizeResult res = triage::minimizeBundle(bundle, opt);
+    EXPECT_LE(res.finalEvents, 2u);
+    EXPECT_EQ(res.bundle.fingerprint, bundle.fingerprint);
+    const ChaosResult replay = triage::replayBundle(res.bundle);
+    EXPECT_EQ(replay.fingerprint(), bundle.fingerprint);
+}
+
+} // namespace
+} // namespace logtm
