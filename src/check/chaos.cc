@@ -97,6 +97,7 @@ runChaos(const ChaosParams &p)
     cfg.contextSwitchLatency = 200;
     cfg.pm = p.pm;
     cfg.hybrid = p.hybrid;
+    cfg.engine = p.engine;
 
     TmSystem sys(cfg);
     if (p.defectSkipSubscribe && sys.hybrid())
@@ -126,6 +127,8 @@ runChaos(const ChaosParams &p)
         " --faults=" + p.faults.format();
     if (p.hybrid.enabled)
         result.reproFlags += " --hybrid=" + p.hybrid.spec();
+    if (p.engine != TmEngineKind::LogTmSe)
+        result.reproFlags += " --engine=" + toString(p.engine);
     if (p.defectSkipSubscribe)
         result.reproFlags += " --defect-skip-subscribe";
 

@@ -34,6 +34,9 @@ struct ChaosParams
     uint64_t totalUnits = 96;
     uint32_t numCounters = 8;
     SignatureConfig signature = sigBS(256);
+    /** TM engine under test (docs/ENGINES.md); the default keeps
+     *  existing chaos fingerprints and repro flags byte-identical. */
+    TmEngineKind engine = TmEngineKind::LogTmSe;
     Cycle watchdogThreshold = 300'000;
 
     /** Replay exactly these fault events instead of drawing from

@@ -41,7 +41,7 @@
 #include "mem/data_store.hh"
 #include "obs/event_bus.hh"
 #include "sim/event_queue.hh"
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 #include "tm/tx_observer.hh"
 
 namespace logtm {
@@ -136,6 +136,19 @@ class Oracle : public TxObserver
     /** Human-readable dump of the first few violations. */
     std::string report(size_t maxEntries = 8) const;
 
+    /**
+     * Committed value of every word ever touched, keyed by
+     * makeKey(asid, va). The cross-engine differential harness
+     * compares these images — and each against the DataStore — after
+     * quiescence; engines must agree wherever executions commute.
+     */
+    const std::unordered_map<uint64_t, uint64_t> &
+    committedShadow() const { return shadowMem_; }
+
+    static uint64_t makeKey(Asid asid, VirtAddr va);
+    static VirtAddr keyVa(uint64_t key)
+    { return key & ((1ull << 56) - 1); }
+
   private:
     /** One transaction frame, mirroring a TxLog frame. */
     struct Frame
@@ -170,10 +183,6 @@ class Oracle : public TxObserver
             return nullptr;
         }
     };
-
-    static uint64_t makeKey(Asid asid, VirtAddr va);
-    static VirtAddr keyVa(uint64_t key)
-    { return key & ((1ull << 56) - 1); }
 
     ThreadState &state(ThreadId t, Asid asid);
 

@@ -74,7 +74,7 @@ Watchdog::check()
         return;
 
     bool any_in_tx = false;
-    LogTmSeEngine &engine = sys_.engine();
+    TmEngine &engine = sys_.engine();
     for (ThreadId t = 0; t < engine.numThreads(); ++t)
         any_in_tx = any_in_tx || engine.inTx(t);
 
@@ -101,7 +101,7 @@ Watchdog::check()
 std::string
 Watchdog::buildReport() const
 {
-    LogTmSeEngine &engine = sys_.engine();
+    TmEngine &engine = sys_.engine();
     std::ostringstream os;
     if (!params_.context.empty())
         os << params_.context << "\n";

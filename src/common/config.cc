@@ -86,6 +86,32 @@ toString(FlushPolicy p)
     return "?";
 }
 
+std::string
+toString(TmEngineKind e)
+{
+    switch (e) {
+      case TmEngineKind::LogTmSe: return "logtm-se";
+      case TmEngineKind::RequesterWins: return "requester-wins";
+      case TmEngineKind::Lazy: return "lazy";
+    }
+    return "?";
+}
+
+bool
+parseTmEngineKind(const std::string &s, TmEngineKind *out)
+{
+    const std::string v = lowered(s);
+    if (v == "logtm-se" || v == "logtmse" || v == "logtm")
+        *out = TmEngineKind::LogTmSe;
+    else if (v == "requester-wins" || v == "requesterwins" || v == "rw")
+        *out = TmEngineKind::RequesterWins;
+    else if (v == "lazy")
+        *out = TmEngineKind::Lazy;
+    else
+        return false;
+    return true;
+}
+
 bool
 parseFlushPolicy(const std::string &s, FlushPolicy *out)
 {
@@ -436,6 +462,10 @@ SystemConfig::validate() const
     if (pm.enabled && pm.policy == FlushPolicy::Epoch &&
         pm.epochCycles == 0) {
         logtm_fatal("epoch flush policy needs a nonzero epoch length");
+    }
+    if (pm.enabled && engine != TmEngineKind::LogTmSe) {
+        logtm_fatal("the durability model replays the undo log; "
+                    "it requires engine=logtm-se");
     }
     if (hybrid.enabled) {
         if (hybrid.capacityKind == CapacityKind::SetAssoc &&

@@ -47,10 +47,23 @@ enum class FlushPolicy : uint8_t {
     CommitTime, ///< per-thread flush at outermost commit
 };
 
+/**
+ * Which TM engine backend runs the transactions (docs/ENGINES.md).
+ * All engines share the signature, DataStore, observer and cycle
+ * accounting plumbing; they differ in version management and in how a
+ * detected conflict is resolved.
+ */
+enum class TmEngineKind : uint8_t {
+    LogTmSe,        ///< eager versioning + eager detection, NACK/stall
+    RequesterWins,  ///< buffered writes; requester aborts the holder
+    Lazy,           ///< buffered writes; detection deferred to commit
+};
+
 std::string toString(SignatureKind k);
 std::string toString(ConflictPolicy p);
 std::string toString(CoherenceKind c);
 std::string toString(FlushPolicy p);
+std::string toString(TmEngineKind e);
 
 /** Case-insensitive inverses of the toString functions (sweep specs,
  *  CLI flags). Return false on an unrecognized name. */
@@ -58,6 +71,7 @@ bool parseSignatureKind(const std::string &s, SignatureKind *out);
 bool parseConflictPolicy(const std::string &s, ConflictPolicy *out);
 bool parseCoherenceKind(const std::string &s, CoherenceKind *out);
 bool parseFlushPolicy(const std::string &s, FlushPolicy *out);
+bool parseTmEngineKind(const std::string &s, TmEngineKind *out);
 
 /** Signature configuration (one instance each for read and write sets). */
 struct SignatureConfig
@@ -197,6 +211,9 @@ struct SystemConfig
     Cycle interChipLatency = 50;
 
     // --- TM configuration ----------------------------------------------
+    /** Engine backend (docs/ENGINES.md). The default reproduces the
+     *  paper; alternative engines reuse the same substrate. */
+    TmEngineKind engine = TmEngineKind::LogTmSe;
     SignatureConfig signature;          ///< used for both R and W sets
     ConflictPolicy conflictPolicy = ConflictPolicy::StallRetry;
     /** Log-filter ablation switch: false models LogTM-SE without the

@@ -219,6 +219,7 @@ runExperiment(const ExperimentConfig &cfg)
     res.hostSeconds = hostSecs;
     res.bench = run.name;
     res.variant = cfg.wl.useTm ? cfg.sys.signature.name() : "Lock";
+    res.engine = toString(cfg.sys.engine);
     res.cycles = run.cycles;
     res.units = run.units;
     res.commits = st.counterValue("tm.commits");

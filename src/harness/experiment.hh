@@ -96,6 +96,10 @@ struct ExperimentResult
 {
     std::string bench;
     std::string variant;        ///< "Lock" or signature name
+    /** TM engine the run used ("logtm-se" | "requester-wins" |
+     *  "lazy"); serialized only when non-default, so pre-engine
+     *  result JSON and baselines stay byte-identical. */
+    std::string engine = "logtm-se";
     Cycle cycles = 0;
     uint64_t units = 0;
     uint64_t commits = 0;

@@ -11,6 +11,7 @@ captureRunEvents(const TraceCaptureOptions &opt)
 {
     SystemConfig scfg;
     scfg.signature = sigBS(opt.sigBits);
+    scfg.engine = opt.engine;
     TmSystem sys(scfg);
     RecordingSink ring;
     sys.sim().events().attach(&ring);

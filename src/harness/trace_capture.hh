@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/config.hh"
 #include "obs/event.hh"
 
 namespace logtm {
@@ -31,6 +32,10 @@ struct TraceCaptureOptions
     uint64_t totalUnits = 64;
     /** Signature size for the run (bit-select). */
     uint32_t sigBits = 2048;
+    /** TM engine for the run; the default reproduces the golden run
+     *  byte-for-byte. Non-default engines pin their own baselines
+     *  (baselines/golden_trace_<engine>.json). */
+    TmEngineKind engine = TmEngineKind::LogTmSe;
 };
 
 /** Run the capture configuration and return its full event stream in

@@ -7,7 +7,7 @@
 namespace logtm {
 
 HybridManager::HybridManager(const HybridConfig &cfg,
-                             LogTmSeEngine &eng, StatsRegistry &stats,
+                             TmEngine &eng, StatsRegistry &stats,
                              EventBus &events)
     : cfg_(cfg), eng_(eng), events_(events), capacity_(cfg),
       retry_(cfg),

@@ -25,14 +25,14 @@
 #include "hybrid/capacity_model.hh"
 #include "hybrid/retry_policy.hh"
 #include "tm/hybrid_model.hh"
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 
 namespace logtm {
 
 class HybridManager : public HybridModel
 {
   public:
-    HybridManager(const HybridConfig &cfg, LogTmSeEngine &eng,
+    HybridManager(const HybridConfig &cfg, TmEngine &eng,
                   StatsRegistry &stats, EventBus &events);
 
     const HybridConfig &config() const { return cfg_; }
@@ -105,7 +105,7 @@ class HybridManager : public HybridModel
     void pollQuiesce();
 
     const HybridConfig cfg_;
-    LogTmSeEngine &eng_;
+    TmEngine &eng_;
     EventBus &events_;
     CapacityModel capacity_;
     RetryPolicy retry_;

@@ -29,7 +29,7 @@ struct ConflictVerdict
 };
 
 /**
- * Implemented by the TM engine (LogTmSeEngine); consulted by L1
+ * Implemented by the TM engine (TmEngine); consulted by L1
  * controllers when coherence requests arrive, per paper §2 "Eager
  * Conflict Detection". A no-TM NullConflictChecker lets the memory
  * system run standalone.

@@ -17,6 +17,8 @@ abortCauseName(uint8_t cause)
       case 4: return "explicit";
       case 5: return "capacity";
       case 6: return "fallbackLockConflict";
+      case 7: return "remoteAbort";
+      case 8: return "commitInvalidate";
     }
     return "unknown";
 }

@@ -21,7 +21,7 @@ namespace logtm {
 class JsonWriter;
 
 /** Name for a TxAbort ObsEvent::cause value; mirrors the order of tm's
- *  AbortCause enum (static_asserted in logtm_se_engine.cc). */
+ *  AbortCause enum (static_asserted in tm_engine.cc). */
 const char *abortCauseName(uint8_t cause);
 
 class AttributionSink : public EventSink

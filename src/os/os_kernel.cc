@@ -7,7 +7,7 @@
 
 namespace logtm {
 
-OsKernel::OsKernel(Simulator &sim, LogTmSeEngine &engine,
+OsKernel::OsKernel(Simulator &sim, TmEngine &engine,
                    const SystemConfig &cfg)
     : sim_(sim), engine_(engine), cfg_(cfg),
       contextSwitches_(sim.stats().counter("os.contextSwitches")),

@@ -26,14 +26,14 @@
 #include "common/config.hh"
 #include "os/process.hh"
 #include "sim/simulator.hh"
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 
 namespace logtm {
 
 class OsKernel : public AddressTranslator
 {
   public:
-    OsKernel(Simulator &sim, LogTmSeEngine &engine,
+    OsKernel(Simulator &sim, TmEngine &engine,
              const SystemConfig &cfg);
 
     // ----- processes and threads -------------------------------------
@@ -129,7 +129,7 @@ class OsKernel : public AddressTranslator
     uint64_t allocFrame() { return nextFrame_++; }
 
     Simulator &sim_;
-    LogTmSeEngine &engine_;
+    TmEngine &engine_;
     const SystemConfig cfg_;
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<Asid> threadProcess_;   ///< ThreadId -> Asid

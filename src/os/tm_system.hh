@@ -1,7 +1,8 @@
 /**
  * @file
  * TmSystem: one fully assembled simulated machine — event kernel,
- * memory hierarchy, LogTM-SE engine and OS — constructed from a
+ * memory hierarchy, TM engine (tm/engine_factory.hh) and OS —
+ * constructed from a
  * SystemConfig. This is the library's main entry point.
  */
 
@@ -16,7 +17,7 @@
 #include "os/os_kernel.hh"
 #include "pm/persist_model.hh"
 #include "sim/simulator.hh"
-#include "tm/logtm_se_engine.hh"
+#include "tm/engine_factory.hh"
 
 namespace logtm {
 
@@ -25,24 +26,25 @@ class TmSystem
   public:
     explicit TmSystem(const SystemConfig &cfg)
         : cfg_(cfg), sim_(cfg.seed), mem_(sim_, cfg_),
-          engine_(sim_, mem_, cfg_), os_(sim_, engine_, cfg_)
+          engine_(makeTmEngine(sim_, mem_, cfg_)),
+          os_(sim_, *engine_, cfg_)
     {
         if (cfg_.pm.enabled) {
             pm_ = std::make_unique<PersistModel>(cfg_.pm, sim_.stats(),
                                                  sim_.events());
-            engine_.setPersistModel(pm_.get());
+            engine_->setPersistModel(pm_.get());
         }
         if (cfg_.hybrid.enabled) {
             hybrid_ = std::make_unique<HybridManager>(
-                cfg_.hybrid, engine_, sim_.stats(), sim_.events());
-            engine_.setHybridModel(hybrid_.get());
+                cfg_.hybrid, *engine_, sim_.stats(), sim_.events());
+            engine_->setHybridModel(hybrid_.get());
         }
     }
 
     const SystemConfig &config() const { return cfg_; }
     Simulator &sim() { return sim_; }
     MemorySystem &mem() { return mem_; }
-    LogTmSeEngine &engine() { return engine_; }
+    TmEngine &engine() { return *engine_; }
     OsKernel &os() { return os_; }
     /** Durability model, or null when cfg.pm.enabled is false. */
     PersistModel *pm() { return pm_.get(); }
@@ -61,15 +63,17 @@ class TmSystem
     void
     finalizeCycleAccounting()
     {
-        engine_.accounting().finalize(sim_.now());
-        engine_.accounting().foldInto(stats());
+        engine_->accounting().finalize(sim_.now());
+        engine_->accounting().foldInto(stats());
     }
 
   private:
     const SystemConfig cfg_;
     Simulator sim_;
     MemorySystem mem_;
-    LogTmSeEngine engine_;
+    /** Polymorphic: the concrete backend is SystemConfig::engine's
+     *  choice (tm/engine_factory.hh). */
+    std::unique_ptr<TmEngine> engine_;
     OsKernel os_;
     /** Constructed only when cfg.pm.enabled; declared last so it is
      *  torn down before the registries it references. */

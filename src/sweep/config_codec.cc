@@ -130,6 +130,10 @@ canonicalConfigKey(const ExperimentConfig &cfg)
         if (cfg.skipSubscribeDefect)
             appendField(key, "skipSub", uint64_t{1});
     }
+    // Engine axis: same conditional contract (default LogTM-SE runs
+    // keep their pre-engine keys, so cached results stay valid).
+    if (s.engine != TmEngineKind::LogTmSe)
+        appendField(key, "engine", toString(s.engine));
     return key;
 }
 
@@ -153,6 +157,10 @@ writeResultJson(const ExperimentResult &res, JsonWriter &w)
     w.beginObject();
     w.field("bench", res.bench);
     w.field("variant", res.variant);
+    // Non-default engines only: default-engine result JSON stays
+    // byte-identical to the pre-engine encoding.
+    if (!res.engine.empty() && res.engine != "logtm-se")
+        w.field("engine", res.engine);
     w.field("cycles", static_cast<uint64_t>(res.cycles));
     w.field("units", res.units);
     w.field("commits", res.commits);
@@ -235,6 +243,7 @@ resultFromJson(const JsonValue &v, ExperimentResult *out,
             *err = "result missing 'bench'";
         return false;
     }
+    r.engine = v.getString("engine", "logtm-se");
     r.cycles = v.getU64("cycles", 0);
     r.units = v.getU64("units", 0);
     r.commits = v.getU64("commits", 0);

@@ -161,6 +161,16 @@ SweepSpec::fromJson(const JsonValue &doc, SweepSpec *out,
         }
     }
 
+    names.clear();
+    if (!parseStringArray(*axes, "engines", &names, err))
+        return false;
+    for (const std::string &n : names) {
+        TmEngineKind e;
+        if (!parseTmEngineKind(n, &e))
+            return specError(err, "unknown TM engine '" + n + "'");
+        spec.engines.push_back(e);
+    }
+
     if (const JsonValue *seeds = axes->get("seeds")) {
         if (!seeds->isObject())
             return specError(err, "'seeds' must be an object "
@@ -224,7 +234,7 @@ SweepSpec::builtinNames()
 {
     return {"table2", "table3_signatures", "fig4_speedup",
             "result4_victimization", "scaling", "section7_snooping",
-            "durability", "hybrid"};
+            "durability", "hybrid", "engines"};
 }
 
 bool
@@ -305,6 +315,18 @@ SweepSpec::builtin(const std::string &name, SweepSpec *out)
             }
         }
         spec.unitScaleDenom = 4;
+    } else if (name == "engines") {
+        // Cross-engine characterization (docs/ENGINES.md): the Table 2
+        // workloads under all three conflict/version-management
+        // policies. The differential harness pins the invariants; this
+        // campaign pins the performance envelope
+        // (baselines/BENCH_engines.json).
+        spec.benchmarks = paperBenchmarks();
+        spec.signatures = {sigPerfect()};
+        spec.engines = {TmEngineKind::LogTmSe,
+                        TmEngineKind::RequesterWins,
+                        TmEngineKind::Lazy};
+        spec.unitScaleDenom = 4;
     } else {
         return false;
     }
@@ -344,6 +366,12 @@ expand(const SweepSpec &spec)
     const std::vector<HybridConfig> hybrids =
         spec.hybrids.empty() ? std::vector<HybridConfig>{HybridConfig{}}
                              : spec.hybrids;
+    // Engine axis; the base-system fallback keeps pre-engine job
+    // configs (and canonical keys) untouched.
+    const std::vector<TmEngineKind> engines =
+        spec.engines.empty()
+            ? std::vector<TmEngineKind>{spec.system.engine}
+            : spec.engines;
 
     std::vector<SweepJob> jobs;
     for (const Benchmark bench : spec.benchmarks) {
@@ -353,6 +381,7 @@ expand(const SweepSpec &spec)
                   for (const PmConfig &pm : pms) {
                     for (const Cycle crash : crashes) {
                     for (const HybridConfig &hy : hybrids) {
+                    for (const TmEngineKind eng : engines) {
                     // Lock baseline first, then each signature, each
                     // over the seed axis (innermost, so seeds of one
                     // cell are adjacent in the report).
@@ -384,6 +413,13 @@ expand(const SweepSpec &spec)
                             cfg.sys.seed = job.seed;
                             cfg.sys.pm = pm;
                             cfg.sys.hybrid = hy;
+                            // Lock runs pin the engine axis like the
+                            // signature axis: no transactions run, so
+                            // a fixed value keeps the cache slot
+                            // unique instead of re-running identical
+                            // baselines per engine leg.
+                            cfg.sys.engine = job.lockBaseline
+                                ? spec.system.engine : eng;
                             cfg.crashAtCycle = pm.enabled ? crash : 0;
                             cfg.mb = spec.mb;
                             cfg.wl.useTm = !job.lockBaseline;
@@ -413,8 +449,17 @@ expand(const SweepSpec &spec)
                                 job.variant +=
                                     "+hy:" + cfg.sys.hybrid.spec();
                             }
+                            // Engine legs likewise get their own
+                            // report cell (lock runs never use TM, so
+                            // the engine axis is moot there).
+                            if (!job.lockBaseline &&
+                                eng != TmEngineKind::LogTmSe) {
+                                job.variant +=
+                                    "+eng:" + toString(eng);
+                            }
                             jobs.push_back(std::move(job));
                         }
+                    }
                     }
                     }
                     }

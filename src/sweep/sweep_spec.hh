@@ -59,6 +59,12 @@ struct SweepSpec
      * pre-hybrid encoding.
      */
     std::vector<HybridConfig> hybrids;
+    /**
+     * TM-engine axis ("logtm-se", "requester-wins", "lazy"; see
+     * docs/ENGINES.md). Empty = the base system's engine (LogTM-SE by
+     * default), and job keys match the pre-engine encoding.
+     */
+    std::vector<TmEngineKind> engines;
     SeedAxis seeds;
 
     // Run shaping.

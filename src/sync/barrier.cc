@@ -4,7 +4,7 @@
 
 namespace logtm {
 
-Barrier::Barrier(LogTmSeEngine &engine, uint32_t participants)
+Barrier::Barrier(TmEngine &engine, uint32_t participants)
     : engine_(engine), participants_(participants),
       episodes_(engine.simulator().stats().counter(
           "sync.barrierEpisodes")),

@@ -15,14 +15,14 @@
 #include <utility>
 #include <vector>
 
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 
 namespace logtm {
 
 class Barrier
 {
   public:
-    Barrier(LogTmSeEngine &engine, uint32_t participants);
+    Barrier(TmEngine &engine, uint32_t participants);
 
     /** Thread @p t arrives; @p done runs (via the event queue) once
      *  all participants have arrived. Reusable across episodes. */
@@ -31,7 +31,7 @@ class Barrier
     uint32_t participants() const { return participants_; }
 
   private:
-    LogTmSeEngine &engine_;
+    TmEngine &engine_;
     uint32_t participants_;
     std::vector<std::pair<ThreadId, std::function<void()>>> waiting_;
     Counter &episodes_;

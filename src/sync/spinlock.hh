@@ -13,7 +13,7 @@
 
 #include <functional>
 
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 
 namespace logtm {
 
@@ -24,7 +24,7 @@ namespace logtm {
 class Spinlock
 {
   public:
-    Spinlock(LogTmSeEngine &engine, VirtAddr lock_addr)
+    Spinlock(TmEngine &engine, VirtAddr lock_addr)
         : engine_(engine), addr_(lock_addr)
     {
     }
@@ -40,7 +40,7 @@ class Spinlock
   private:
     void spin(ThreadId t, std::function<void()> done, uint32_t attempt);
 
-    LogTmSeEngine &engine_;
+    TmEngine &engine_;
     VirtAddr addr_;
 };
 
@@ -51,7 +51,7 @@ class Spinlock
 class TicketLock
 {
   public:
-    TicketLock(LogTmSeEngine &engine, VirtAddr base_addr)
+    TicketLock(TmEngine &engine, VirtAddr base_addr)
         : engine_(engine), nextAddr_(base_addr),
           servingAddr_(base_addr + blockBytes)
     {
@@ -64,7 +64,7 @@ class TicketLock
     void spinUntil(ThreadId t, uint64_t ticket,
                    std::function<void()> done, uint32_t attempt);
 
-    LogTmSeEngine &engine_;
+    TmEngine &engine_;
     VirtAddr nextAddr_;     ///< next ticket counter
     VirtAddr servingAddr_;  ///< now-serving counter (separate block)
 };

@@ -1,0 +1,160 @@
+#include "tm/buffered_engine.hh"
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "pm/persist_model.hh"
+#include "tm/tx_observer.hh"
+
+namespace logtm {
+
+BufferedEngine::BufferedEngine(Simulator &sim, MemorySystem &mem,
+                               const SystemConfig &cfg)
+    : TmEngine(sim, mem, cfg),
+      publishedWords_(sim.stats().counter("tm.engine.publishedWords")),
+      bufferedWrites_(sim.stats().counter("tm.engine.bufferedWrites")),
+      bufferHits_(sim.stats().counter("tm.engine.bufferHits"))
+{
+}
+
+void
+BufferedEngine::txBegin(ThreadId t, bool open)
+{
+    TmEngine::txBegin(t, open);
+    threads_[t]->redoFrames.emplace_back();
+}
+
+void
+BufferedEngine::txCommit(ThreadId t, DoneFn done)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.redoFrames.size() == thr.log.depth(),
+                 "redo frames out of sync with log frames");
+    RedoFrame frame = std::move(thr.redoFrames.back());
+    thr.redoFrames.pop_back();
+
+    if (thr.log.depth() > 1 && !thr.log.top().open) {
+        // Closed-nested commit: the child's buffered stores become the
+        // parent's pending stores (child wins on overlap).
+        RedoFrame &parent = thr.redoFrames.back();
+        for (const auto &kv : frame)
+            parent[kv.first] = kv.second;
+    } else {
+        // Outermost or open-nested commit: the buffered values become
+        // globally visible now. Publishing before the base commit
+        // keeps the observer's view consistent — write hooks fire
+        // while the committing frame still exists.
+        publishFrame(thr, frame);
+        onPublish(thr, frame);
+    }
+    TmEngine::txCommit(t, std::move(done));
+}
+
+void
+BufferedEngine::txAbortFrame(ThreadId t, DoneFn done)
+{
+    TxThread &thr = *threads_[t];
+    logtm_assert(thr.redoFrames.size() == thr.log.depth(),
+                 "redo frames out of sync with log frames");
+    // Discard, don't restore: the DataStore was never written, so the
+    // base's undo walk sees an empty record list (abort latency is the
+    // trap alone — a key redo-store property the tests pin down).
+    thr.redoFrames.pop_back();
+    TmEngine::txAbortFrame(t, std::move(done));
+}
+
+void
+BufferedEngine::applyAccess(const std::shared_ptr<OpRequest> &op,
+                            TxThread &thr, HwContext &ctx, PhysAddr pa,
+                            PhysAddr block, bool in_tx, Cycle extra)
+{
+    // Plain, escape and atomic-RMW accesses keep eager semantics.
+    if (!in_tx) {
+        TmEngine::applyAccess(op, thr, ctx, pa, block, in_tx, extra);
+        return;
+    }
+
+    uint64_t value = 0;
+    if (op->type == AccessType::Read || op->loadForWrite) {
+        logtm_trace(TraceCat::Sig, sim_.now(),
+                    "ctx%u readSig insert 0x%llx", thr.ctx,
+                    static_cast<unsigned long long>(block));
+        ctx.readFast.insert(block);
+        ctx.shadowRead.insert(block);
+        if (op->loadForWrite) {
+            // Write ownership up front, but no buffered value yet:
+            // the follow-up store supplies it.
+            ctx.writeFast.insert(block);
+            ctx.shadowWrite.insert(block);
+        }
+        if (redoLookup(thr, op->va, &value)) {
+            // Read-your-own-write from the buffer; invisible to the
+            // observer (nothing has reached the DataStore).
+            ++bufferHits_;
+        } else {
+            value = mem_.data().load(pa);
+            if (observer_)
+                observer_->onTxRead(op->t, thr.asid, op->va, value);
+        }
+    } else {
+        logtm_trace(TraceCat::Sig, sim_.now(),
+                    "ctx%u writeSig insert 0x%llx", thr.ctx,
+                    static_cast<unsigned long long>(block));
+        ctx.writeFast.insert(block);
+        ctx.shadowWrite.insert(block);
+        // Redo versioning: buffer the store; no undo record, no
+        // log-write latency, no DataStore update until commit.
+        thr.redoFrames.back()[op->va] = op->storeValue;
+        ++bufferedWrites_;
+    }
+
+    if (extra == 0) {
+        finishOp(op, OpStatus::Ok, value);
+        return;
+    }
+    sim_.queue().scheduleIn(extra, [this, op, value]() {
+        finishOp(op, OpStatus::Ok, value);
+    }, EventPriority::Cpu);
+}
+
+void
+BufferedEngine::onPublish(TxThread &, const RedoFrame &)
+{
+}
+
+void
+BufferedEngine::publishFrame(TxThread &thr, const RedoFrame &frame)
+{
+    for (const auto &kv : frame) {
+        const PhysAddr pa = translate(thr, kv.first);
+        const uint64_t old_value = mem_.data().load(pa);
+        mem_.data().store(pa, kv.second);
+        ++publishedWords_;
+        logtm_trace(TraceCat::Tm, sim_.now(),
+                    "t%u publish 0x%llx", thr.id,
+                    static_cast<unsigned long long>(kv.first));
+        if (observer_) {
+            observer_->onTxWrite(thr.id, thr.asid, kv.first,
+                                 old_value, kv.second);
+        }
+        if (pm_)
+            pm_->onTxStore(thr.id, thr.asid, kv.first, kv.second,
+                           sim_.now());
+    }
+}
+
+bool
+BufferedEngine::redoLookup(const TxThread &thr, VirtAddr va,
+                           uint64_t *value) const
+{
+    for (auto it = thr.redoFrames.rbegin();
+         it != thr.redoFrames.rend(); ++it) {
+        const auto entry = it->find(va);
+        if (entry != it->end()) {
+            *value = entry->second;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace logtm

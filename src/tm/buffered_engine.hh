@@ -1,0 +1,85 @@
+/**
+ * @file
+ * BufferedEngine: shared base for the redo-store (lazy-versioning)
+ * engine backends. Transactional stores are buffered in per-frame
+ * write buffers (TxThread::redoFrames) instead of writing the
+ * DataStore in place; commit publishes the buffer, abort discards it
+ * — so there is no undo log, no log-write latency and no abort-time
+ * value restore. Conflict detection still rides the base class's
+ * signature machinery; what a conflict MEANS is decided by the
+ * concrete subclasses (tm/requester_wins_engine.hh,
+ * tm/lazy_engine.hh) via the onRelevantConflict / onPublish seams.
+ */
+
+#ifndef LOGTM_TM_BUFFERED_ENGINE_HH
+#define LOGTM_TM_BUFFERED_ENGINE_HH
+
+#include "tm/tm_engine.hh"
+
+namespace logtm {
+
+class BufferedEngine : public TmEngine
+{
+  public:
+    BufferedEngine(Simulator &sim, MemorySystem &mem,
+                   const SystemConfig &cfg);
+
+    /** Pushes one redo frame per log frame (nesting-aware). */
+    void txBegin(ThreadId t, bool open = false) override;
+
+    /**
+     * Outermost commit publishes the buffer to the DataStore
+     * synchronously (word by word, ascending virtual address) before
+     * delegating to the base commit. Closed-nested commits merge the
+     * child's buffer into the parent; open-nested commits publish the
+     * child's buffer immediately (its effects are permanent).
+     */
+    void txCommit(ThreadId t, DoneFn done) override;
+
+    /** Discards the top redo frame; no undo walk (the DataStore was
+     *  never touched), so the latency is the abort trap alone. */
+    void txAbortFrame(ThreadId t, DoneFn done) override;
+
+  protected:
+    /**
+     * Version-management seam: transactional reads consult the write
+     * buffer back-to-front (read-your-own-writes across nesting
+     * levels), transactional stores land in the top redo frame and
+     * never touch the DataStore or the undo log. Non-transactional,
+     * escape and RMW accesses delegate to the eager base path.
+     */
+    void applyAccess(const std::shared_ptr<OpRequest> &op,
+                     TxThread &thr, HwContext &ctx, PhysAddr pa,
+                     PhysAddr block, bool in_tx, Cycle extra) override;
+
+    /**
+     * Publish seam: called synchronously right after @p frame's
+     * values hit the DataStore (outermost and open-nested commits).
+     * The lazy engine overrides this to run commit-time conflict
+     * detection against every other in-flight transaction.
+     */
+    virtual void onPublish(TxThread &thr, const RedoFrame &frame);
+
+    /** Escape accesses write the DataStore immediately under redo
+     *  versioning too, so they advertise as non-transactional. */
+    uint64_t requestTimestamp(const TxThread &thr,
+                              bool in_tx) const override
+    { return in_tx ? thr.timestamp : ~0ull; }
+
+    /** Write @p frame to the DataStore in ascending-VA order,
+     *  firing observer/durability write hooks per word. */
+    void publishFrame(TxThread &thr, const RedoFrame &frame);
+
+    /** Innermost buffered value for @p va, searching enclosing
+     *  frames outside-in; true if found. */
+    bool redoLookup(const TxThread &thr, VirtAddr va,
+                    uint64_t *value) const;
+
+    Counter &publishedWords_;  ///< tm.engine.publishedWords
+    Counter &bufferedWrites_;  ///< tm.engine.bufferedWrites
+    Counter &bufferHits_;      ///< tm.engine.bufferHits
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_BUFFERED_ENGINE_HH

@@ -1,0 +1,23 @@
+#include "tm/engine_factory.hh"
+
+#include "common/log.hh"
+#include "tm/lazy_engine.hh"
+#include "tm/requester_wins_engine.hh"
+
+namespace logtm {
+
+std::unique_ptr<TmEngine>
+makeTmEngine(Simulator &sim, MemorySystem &mem, const SystemConfig &cfg)
+{
+    switch (cfg.engine) {
+      case TmEngineKind::LogTmSe:
+        return std::make_unique<TmEngine>(sim, mem, cfg);
+      case TmEngineKind::RequesterWins:
+        return std::make_unique<RequesterWinsEngine>(sim, mem, cfg);
+      case TmEngineKind::Lazy:
+        return std::make_unique<LazyEngine>(sim, mem, cfg);
+    }
+    logtm_fatal("unknown TM engine kind");
+}
+
+} // namespace logtm

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Factory for the TM engine family. The rest of the system (OS,
+ * sync, workloads, harness) programs against TmEngine; the single
+ * switch over SystemConfig::engine lives here. See docs/ENGINES.md
+ * for the policy matrix and how to add a backend.
+ */
+
+#ifndef LOGTM_TM_ENGINE_FACTORY_HH
+#define LOGTM_TM_ENGINE_FACTORY_HH
+
+#include <memory>
+
+#include "tm/tm_engine.hh"
+
+namespace logtm {
+
+/** Construct the engine selected by @p cfg.engine. */
+std::unique_ptr<TmEngine> makeTmEngine(Simulator &sim,
+                                       MemorySystem &mem,
+                                       const SystemConfig &cfg);
+
+} // namespace logtm
+
+#endif // LOGTM_TM_ENGINE_FACTORY_HH

@@ -1,0 +1,92 @@
+#include "tm/lazy_engine.hh"
+
+#include <set>
+
+namespace logtm {
+
+LazyEngine::LazyEngine(Simulator &sim, MemorySystem &mem,
+                       const SystemConfig &cfg)
+    : BufferedEngine(sim, mem, cfg),
+      commitInvalidates_(
+          sim.stats().counter("tm.engine.commitInvalidates"))
+{
+}
+
+void
+LazyEngine::onRelevantConflict(ConflictVerdict &verdict, HwContext &ctx,
+                               TxThread &holder, PhysAddr block,
+                               AccessType remote_type, CtxId req_ctx,
+                               uint64_t req_ts, bool hit_r, bool hit_w)
+{
+    (void)verdict;
+    (void)hit_w;
+    // Transaction-vs-transaction probes resolve nothing before commit
+    // under lazy detection: no NACK, no doom. But a non-transactional
+    // store (plain or escape; requestTimestamp() reports ~0 for both)
+    // updates the DataStore immediately, so transactional READERS of
+    // the block hold a value that is stale the instant it lands.
+    // Write-write overlap stays inert: the holder's buffered store
+    // publishes later and simply wins (a serializable blind write).
+    if (req_ts == ~0ull && remote_type == AccessType::Write && hit_r &&
+        !holder.doomed) {
+        classifyConflict(ctx, block, remote_type, req_ctx);
+        ++commitInvalidates_;
+        doom(holder, AbortCause::CommitInvalidate, 0, AccessType::Read,
+             false);
+    }
+}
+
+void
+LazyEngine::onPublish(TxThread &thr, const RedoFrame &frame)
+{
+    if (frame.empty())
+        return;
+    // The committer wins: its write set becomes globally visible, so
+    // any other in-flight transaction that read or wrote one of the
+    // published blocks is invalidated. std::set keeps the probe order
+    // deterministic; signatures make the check conservative (false
+    // positives doom, exactly like the paper's eager detection).
+    std::set<PhysAddr> blocks;
+    for (const auto &kv : frame)
+        blocks.insert(blockAlign(translate(thr, kv.first)));
+
+    for (auto &victim_ptr : threads_) {
+        TxThread &victim = *victim_ptr;
+        if (victim.id == thr.id || victim.asid != thr.asid ||
+            !victim.inTx() || victim.doomed) {
+            continue;
+        }
+        bool hit = false;
+        if (victim.ctx != invalidCtx) {
+            HwContext &ctx = *contexts_[victim.ctx];
+            for (const PhysAddr b : blocks) {
+                if (ctx.readFast.mayContain(b) ||
+                    ctx.writeFast.mayContain(b)) {
+                    classifyConflict(ctx, b, AccessType::Write,
+                                     thr.ctx);
+                    hit = true;
+                    break;
+                }
+            }
+        } else {
+            // Descheduled mid-transaction: its footprint lives in the
+            // saved signatures (the summary-signature source set).
+            for (const PhysAddr b : blocks) {
+                if ((victim.savedRead &&
+                     victim.savedRead->mayContain(b)) ||
+                    (victim.savedWrite &&
+                     victim.savedWrite->mayContain(b))) {
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        if (hit) {
+            ++commitInvalidates_;
+            doom(victim, AbortCause::CommitInvalidate, 0,
+                 AccessType::Read, false);
+        }
+    }
+}
+
+} // namespace logtm

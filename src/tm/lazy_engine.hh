@@ -1,0 +1,48 @@
+/**
+ * @file
+ * LazyEngine: lazy versioning AND lazy conflict detection (the
+ * TCC-flavoured quadrant of the classic eager/lazy design space).
+ * Stores are buffered (tm/buffered_engine.hh) and conflicts are
+ * detected when a transaction COMMITS: the publishing transaction
+ * wins, and every other in-flight transaction whose read or write
+ * signature intersects the published block set is doomed
+ * (AbortCause::CommitInvalidate) — including descheduled
+ * transactions, via their saved signatures. Coherence-time probes
+ * between two transactions are inert (no NACKs, so tm.stalls stays
+ * zero), with one exception: a non-transactional (plain or escape)
+ * store changes the DataStore immediately, so it dooms transactional
+ * readers of the block on the spot.
+ */
+
+#ifndef LOGTM_TM_LAZY_ENGINE_HH
+#define LOGTM_TM_LAZY_ENGINE_HH
+
+#include "tm/buffered_engine.hh"
+
+namespace logtm {
+
+class LazyEngine : public BufferedEngine
+{
+  public:
+    LazyEngine(Simulator &sim, MemorySystem &mem,
+               const SystemConfig &cfg);
+
+  protected:
+    /** Inert between transactions; dooms readers on plain stores. */
+    void onRelevantConflict(ConflictVerdict &verdict, HwContext &ctx,
+                            TxThread &holder, PhysAddr block,
+                            AccessType remote_type, CtxId req_ctx,
+                            uint64_t req_ts, bool hit_r,
+                            bool hit_w) override;
+
+    /** Commit-time detection: doom every other in-flight same-ASID
+     *  transaction whose signatures intersect the published blocks. */
+    void onPublish(TxThread &thr, const RedoFrame &frame) override;
+
+  private:
+    Counter &commitInvalidates_;  ///< tm.engine.commitInvalidates
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_LAZY_ENGINE_HH

@@ -1,0 +1,35 @@
+#include "tm/requester_wins_engine.hh"
+
+namespace logtm {
+
+RequesterWinsEngine::RequesterWinsEngine(Simulator &sim,
+                                         MemorySystem &mem,
+                                         const SystemConfig &cfg)
+    : BufferedEngine(sim, mem, cfg),
+      remoteAborts_(sim.stats().counter("tm.engine.remoteAborts"))
+{
+}
+
+void
+RequesterWinsEngine::onRelevantConflict(ConflictVerdict &verdict,
+                                        HwContext &ctx, TxThread &holder,
+                                        PhysAddr block,
+                                        AccessType remote_type,
+                                        CtxId req_ctx, uint64_t req_ts,
+                                        bool hit_r, bool hit_w)
+{
+    (void)verdict;
+    (void)req_ts;
+    (void)hit_r;
+    (void)hit_w;
+    // Requester wins: never NACK (verdict.conflict stays false, so no
+    // stall windows open anywhere), doom the holder instead. Plain
+    // requesters invalidate transactions too — the TSX behaviour.
+    if (holder.doomed)
+        return;
+    classifyConflict(ctx, block, remote_type, req_ctx);
+    ++remoteAborts_;
+    doom(holder, AbortCause::RemoteAbort, 0, AccessType::Read, false);
+}
+
+} // namespace logtm

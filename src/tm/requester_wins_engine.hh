@@ -1,0 +1,46 @@
+/**
+ * @file
+ * RequesterWinsEngine: a TSX-flavoured best-effort HTM model. Version
+ * management is redo-store (tm/buffered_engine.hh) and conflict
+ * resolution inverts LogTM's: the coherence REQUESTER always wins —
+ * the transactional holder whose signature the request hits is doomed
+ * on the spot (AbortCause::RemoteAbort) and the request proceeds
+ * without a NACK. Consequences the differential tests pin down:
+ * tm.stalls stays zero, aborts are cheap (no undo walk), and plain
+ * (non-transactional) accesses invalidate transactions instead of
+ * being stalled by them.
+ *
+ * Deliberate deviation from real requester-wins hardware: the summary
+ * signature machinery for descheduled transactions is retained from
+ * the base class (self-dooming SummaryConflict), because a doomed
+ * descheduled holder could not service its abort; see docs/ENGINES.md.
+ */
+
+#ifndef LOGTM_TM_REQUESTER_WINS_ENGINE_HH
+#define LOGTM_TM_REQUESTER_WINS_ENGINE_HH
+
+#include "tm/buffered_engine.hh"
+
+namespace logtm {
+
+class RequesterWinsEngine : public BufferedEngine
+{
+  public:
+    RequesterWinsEngine(Simulator &sim, MemorySystem &mem,
+                        const SystemConfig &cfg);
+
+  protected:
+    /** Doom the holder, let the requester through (no NACK). */
+    void onRelevantConflict(ConflictVerdict &verdict, HwContext &ctx,
+                            TxThread &holder, PhysAddr block,
+                            AccessType remote_type, CtxId req_ctx,
+                            uint64_t req_ts, bool hit_r,
+                            bool hit_w) override;
+
+  private:
+    Counter &remoteAborts_;  ///< tm.engine.remoteAborts
+};
+
+} // namespace logtm
+
+#endif // LOGTM_TM_REQUESTER_WINS_ENGINE_HH

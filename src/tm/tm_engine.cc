@@ -1,4 +1,4 @@
-#include "tm/logtm_se_engine.hh"
+#include "tm/tm_engine.hh"
 
 #include <algorithm>
 #include <string>
@@ -22,7 +22,9 @@ static_assert(static_cast<uint8_t>(AbortCause::None) == 0 &&
               static_cast<uint8_t>(AbortCause::Explicit) == 4 &&
               static_cast<uint8_t>(AbortCause::Capacity) == 5 &&
               static_cast<uint8_t>(AbortCause::FallbackLockConflict)
-                  == 6,
+                  == 6 &&
+              static_cast<uint8_t>(AbortCause::RemoteAbort) == 7 &&
+              static_cast<uint8_t>(AbortCause::CommitInvalidate) == 8,
               "AbortCause order must match obs::abortCauseName");
 
 // Hybrid abort causes (>= this value) register their counters lazily
@@ -30,7 +32,7 @@ static_assert(static_cast<uint8_t>(AbortCause::None) == 0 &&
 // same stats as the pre-hybrid seed.
 static constexpr size_t numEagerAbortCauses = 5;
 
-LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
+TmEngine::TmEngine(Simulator &sim, MemorySystem &mem,
                              const SystemConfig &cfg)
     : sim_(sim), mem_(mem), cfg_(cfg), translator_(&identity_),
       commits_(sim.stats().counter("tm.commits")),
@@ -73,7 +75,7 @@ LogTmSeEngine::LogTmSeEngine(Simulator &sim, MemorySystem &mem,
 // --------------------------------------------------------------------
 
 ThreadId
-LogTmSeEngine::createThread(Asid asid)
+TmEngine::createThread(Asid asid)
 {
     auto thr = std::make_unique<TxThread>();
     thr->id = static_cast<ThreadId>(threads_.size());
@@ -85,7 +87,7 @@ LogTmSeEngine::createThread(Asid asid)
 }
 
 void
-LogTmSeEngine::bindThread(ThreadId t, CtxId ctx_id)
+TmEngine::bindThread(ThreadId t, CtxId ctx_id)
 {
     TxThread &thr = *threads_[t];
     HwContext &ctx = *contexts_[ctx_id];
@@ -113,7 +115,7 @@ LogTmSeEngine::bindThread(ThreadId t, CtxId ctx_id)
 }
 
 void
-LogTmSeEngine::unbindThread(ThreadId t)
+TmEngine::unbindThread(ThreadId t)
 {
     TxThread &thr = *threads_[t];
     logtm_assert(thr.ctx != invalidCtx, "unbinding descheduled thread");
@@ -139,26 +141,26 @@ LogTmSeEngine::unbindThread(ThreadId t)
 }
 
 void
-LogTmSeEngine::setSummary(CtxId ctx, std::unique_ptr<Signature> summary)
+TmEngine::setSummary(CtxId ctx, std::unique_ptr<Signature> summary)
 {
     contexts_[ctx]->summary = std::move(summary);
     contexts_[ctx]->summaryFast.bind(contexts_[ctx]->summary.get());
 }
 
 const Signature *
-LogTmSeEngine::savedReadSig(ThreadId t) const
+TmEngine::savedReadSig(ThreadId t) const
 {
     return threads_[t]->savedRead.get();
 }
 
 const Signature *
-LogTmSeEngine::savedWriteSig(ThreadId t) const
+TmEngine::savedWriteSig(ThreadId t) const
 {
     return threads_[t]->savedWrite.get();
 }
 
 void
-LogTmSeEngine::rewritePageInSignatures(Asid asid, uint64_t old_ppage,
+TmEngine::rewritePageInSignatures(Asid asid, uint64_t old_ppage,
                                        uint64_t new_ppage)
 {
     const PhysAddr old_base = old_ppage << pageBytesLog2;
@@ -207,7 +209,7 @@ LogTmSeEngine::rewritePageInSignatures(Asid asid, uint64_t old_ppage,
 // --------------------------------------------------------------------
 
 void
-LogTmSeEngine::txBegin(ThreadId t, bool open)
+TmEngine::txBegin(ThreadId t, bool open)
 {
     TxThread &thr = *threads_[t];
     logtm_assert(thr.ctx != invalidCtx, "txBegin on descheduled thread");
@@ -263,7 +265,7 @@ LogTmSeEngine::txBegin(ThreadId t, bool open)
 }
 
 void
-LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
+TmEngine::txCommit(ThreadId t, DoneFn done)
 {
     TxThread &thr = *threads_[t];
     logtm_assert(thr.inTx(), "commit without transaction");
@@ -353,7 +355,7 @@ LogTmSeEngine::txCommit(ThreadId t, DoneFn done)
 }
 
 void
-LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
+TmEngine::txAbortFrame(ThreadId t, DoneFn done)
 {
     TxThread &thr = *threads_[t];
     logtm_assert(thr.inTx(), "abort without transaction");
@@ -416,13 +418,13 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
 
     // Partial abort (paper §3.2): if the conflicting address still
     // hits the restored signatures, keep unwinding at the parent.
-    // Hybrid causes (capacity overflow, fallback-lock quiesce) doom
-    // the whole attempt: partial unwinds cannot shrink the footprint
-    // retroactively nor release the attempt from the lock's shadow.
+    // Some causes doom the whole attempt (capacity overflow,
+    // fallback-lock quiesce, remote abort, commit invalidation):
+    // partial unwinds cannot shrink the footprint retroactively,
+    // release the attempt from the lock's shadow, or revalidate a
+    // read set another engine's publish already invalidated.
     bool still_doomed = false;
-    if (thr.log.depth() > 0 &&
-        (thr.abortCause == AbortCause::Capacity ||
-         thr.abortCause == AbortCause::FallbackLockConflict)) {
+    if (thr.log.depth() > 0 && forcesFullUnwind(thr.abortCause)) {
         still_doomed = true;
     } else if (thr.log.depth() > 0 && thr.doomedAddrValid) {
         const PhysAddr block = blockAlign(thr.doomedAddr);
@@ -451,7 +453,7 @@ LogTmSeEngine::txAbortFrame(ThreadId t, DoneFn done)
 }
 
 void
-LogTmSeEngine::abortBackoff(ThreadId t, DoneFn done)
+TmEngine::abortBackoff(ThreadId t, DoneFn done)
 {
     TxThread &thr = *threads_[t];
     if (thr.ctx != invalidCtx)
@@ -464,7 +466,7 @@ LogTmSeEngine::abortBackoff(ThreadId t, DoneFn done)
 }
 
 void
-LogTmSeEngine::txRequestAbort(ThreadId t)
+TmEngine::txRequestAbort(ThreadId t)
 {
     TxThread &thr = *threads_[t];
     logtm_assert(thr.inTx(), "explicit abort without transaction");
@@ -472,7 +474,7 @@ LogTmSeEngine::txRequestAbort(ThreadId t)
 }
 
 void
-LogTmSeEngine::injectCapacityAbort(ThreadId t)
+TmEngine::injectCapacityAbort(ThreadId t)
 {
     TxThread &thr = *threads_[t];
     if (!thr.inTx() || thr.doomed)
@@ -481,7 +483,7 @@ LogTmSeEngine::injectCapacityAbort(ThreadId t)
 }
 
 void
-LogTmSeEngine::quiesceAbort(ThreadId t)
+TmEngine::quiesceAbort(ThreadId t)
 {
     TxThread &thr = *threads_[t];
     if (!thr.inTx() || thr.doomed)
@@ -491,7 +493,7 @@ LogTmSeEngine::quiesceAbort(ThreadId t)
 }
 
 Counter &
-LogTmSeEngine::causeCounter(AbortCause cause)
+TmEngine::causeCounter(AbortCause cause)
 {
     const auto i = static_cast<size_t>(cause);
     if (!abortsByCause_[i]) {
@@ -503,7 +505,7 @@ LogTmSeEngine::causeCounter(AbortCause cause)
 }
 
 Cycle
-LogTmSeEngine::backoffDelay(TxThread &thr)
+TmEngine::backoffDelay(TxThread &thr)
 {
     // Randomized exponential backoff: uniform within a window that
     // doubles per consecutive abort (reset at commit).
@@ -518,7 +520,7 @@ LogTmSeEngine::backoffDelay(TxThread &thr)
 // --------------------------------------------------------------------
 
 void
-LogTmSeEngine::resumePhase(ThreadId t)
+TmEngine::resumePhase(ThreadId t)
 {
     TxThread &thr = *threads_[t];
     if (thr.ctx != invalidCtx)
@@ -526,7 +528,7 @@ LogTmSeEngine::resumePhase(ThreadId t)
 }
 
 void
-LogTmSeEngine::noteStall(const TxThread &thr, PhysAddr block,
+TmEngine::noteStall(const TxThread &thr, PhysAddr block,
                          AccessType type, CtxId nacker)
 {
     ++stalls_;
@@ -540,7 +542,7 @@ LogTmSeEngine::noteStall(const TxThread &thr, PhysAddr block,
 }
 
 void
-LogTmSeEngine::noteSummaryTrap(const TxThread &thr, PhysAddr block)
+TmEngine::noteSummaryTrap(const TxThread &thr, PhysAddr block)
 {
     ++summaryTraps_;
     logtm_obs_emit(sim_.events(),
@@ -551,7 +553,7 @@ LogTmSeEngine::noteSummaryTrap(const TxThread &thr, PhysAddr block)
 }
 
 void
-LogTmSeEngine::doom(TxThread &thr, AbortCause cause, PhysAddr addr,
+TmEngine::doom(TxThread &thr, AbortCause cause, PhysAddr addr,
                     AccessType type, bool addr_valid)
 {
     if (thr.doomed)
@@ -566,7 +568,7 @@ LogTmSeEngine::doom(TxThread &thr, AbortCause cause, PhysAddr addr,
 }
 
 bool
-LogTmSeEngine::onConflictNack(TxThread &thr, uint64_t nacker_ts,
+TmEngine::onConflictNack(TxThread &thr, uint64_t nacker_ts,
                               CtxId nacker_ctx, PhysAddr block,
                               AccessType type, uint32_t retries)
 {
@@ -600,7 +602,7 @@ LogTmSeEngine::onConflictNack(TxThread &thr, uint64_t nacker_ts,
 }
 
 void
-LogTmSeEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
+TmEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
                                 AccessType remote_type, CtxId req_ctx)
 {
     const bool actual = remote_type == AccessType::Read
@@ -628,7 +630,7 @@ LogTmSeEngine::classifyConflict(const HwContext &ctx, PhysAddr block,
 }
 
 ConflictVerdict
-LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
+TmEngine::checkRemote(CoreId core, PhysAddr block,
                            AccessType remote_type, Asid req_asid,
                            CtxId req_ctx, uint64_t req_ts)
 {
@@ -667,25 +669,37 @@ LogTmSeEngine::checkRemote(CoreId core, PhysAddr block,
         if (!relevant)
             continue;
 
-        verdict.conflict = true;
-        classifyConflict(ctx, block, remote_type, req_ctx);
-        if (thr.timestamp < verdict.nackerTs) {
-            verdict.nackerTs = thr.timestamp;
-            verdict.nackerCtx = c;
-        }
-        // Deadlock-avoidance bookkeeping: we are NACKing req_ts; if
-        // the requester is older, a cycle is possible.
-        if (req_ts < thr.timestamp)
-            thr.possibleCycle = true;
-        thr.lastNackedAddr = block;
-        thr.lastNackedType = remote_type;
-        thr.lastNackedValid = true;
+        onRelevantConflict(verdict, ctx, thr, block, remote_type,
+                           req_ctx, req_ts, hit_r, hit_w);
     }
     return verdict;
 }
 
+void
+TmEngine::onRelevantConflict(ConflictVerdict &verdict, HwContext &ctx,
+                             TxThread &holder, PhysAddr block,
+                             AccessType remote_type, CtxId req_ctx,
+                             uint64_t req_ts, bool hit_r, bool hit_w)
+{
+    (void)hit_r;
+    (void)hit_w;
+    verdict.conflict = true;
+    classifyConflict(ctx, block, remote_type, req_ctx);
+    if (holder.timestamp < verdict.nackerTs) {
+        verdict.nackerTs = holder.timestamp;
+        verdict.nackerCtx = ctx.id;
+    }
+    // Deadlock-avoidance bookkeeping: we are NACKing req_ts; if
+    // the requester is older, a cycle is possible.
+    if (req_ts < holder.timestamp)
+        holder.possibleCycle = true;
+    holder.lastNackedAddr = block;
+    holder.lastNackedType = remote_type;
+    holder.lastNackedValid = true;
+}
+
 bool
-LogTmSeEngine::inAnyLocalSig(CoreId core, PhysAddr block) const
+TmEngine::inAnyLocalSig(CoreId core, PhysAddr block) const
 {
     const CtxId first = core * cfg_.threadsPerCore;
     for (CtxId c = first; c < first + cfg_.threadsPerCore; ++c) {
@@ -703,7 +717,7 @@ LogTmSeEngine::inAnyLocalSig(CoreId core, PhysAddr block) const
 // --------------------------------------------------------------------
 
 void
-LogTmSeEngine::load(ThreadId t, VirtAddr va, LoadDoneFn done)
+TmEngine::load(ThreadId t, VirtAddr va, LoadDoneFn done)
 {
     auto op = std::make_shared<OpRequest>();
     op->t = t;
@@ -715,7 +729,7 @@ LogTmSeEngine::load(ThreadId t, VirtAddr va, LoadDoneFn done)
 }
 
 void
-LogTmSeEngine::store(ThreadId t, VirtAddr va, uint64_t value,
+TmEngine::store(ThreadId t, VirtAddr va, uint64_t value,
                      StoreDoneFn done)
 {
     auto op = std::make_shared<OpRequest>();
@@ -729,7 +743,7 @@ LogTmSeEngine::store(ThreadId t, VirtAddr va, uint64_t value,
 }
 
 void
-LogTmSeEngine::loadExclusive(ThreadId t, VirtAddr va, LoadDoneFn done)
+TmEngine::loadExclusive(ThreadId t, VirtAddr va, LoadDoneFn done)
 {
     auto op = std::make_shared<OpRequest>();
     op->t = t;
@@ -742,7 +756,7 @@ LogTmSeEngine::loadExclusive(ThreadId t, VirtAddr va, LoadDoneFn done)
 }
 
 void
-LogTmSeEngine::escapeLoad(ThreadId t, VirtAddr va, LoadDoneFn done)
+TmEngine::escapeLoad(ThreadId t, VirtAddr va, LoadDoneFn done)
 {
     auto op = std::make_shared<OpRequest>();
     op->t = t;
@@ -755,7 +769,7 @@ LogTmSeEngine::escapeLoad(ThreadId t, VirtAddr va, LoadDoneFn done)
 }
 
 void
-LogTmSeEngine::escapeStore(ThreadId t, VirtAddr va, uint64_t value,
+TmEngine::escapeStore(ThreadId t, VirtAddr va, uint64_t value,
                            StoreDoneFn done)
 {
     auto op = std::make_shared<OpRequest>();
@@ -770,7 +784,7 @@ LogTmSeEngine::escapeStore(ThreadId t, VirtAddr va, uint64_t value,
 }
 
 void
-LogTmSeEngine::atomicRmw(ThreadId t, VirtAddr va,
+TmEngine::atomicRmw(ThreadId t, VirtAddr va,
                          std::function<uint64_t(uint64_t)> rmw_op,
                          LoadDoneFn done)
 {
@@ -786,7 +800,7 @@ LogTmSeEngine::atomicRmw(ThreadId t, VirtAddr va,
 }
 
 void
-LogTmSeEngine::finishOp(const std::shared_ptr<OpRequest> &op,
+TmEngine::finishOp(const std::shared_ptr<OpRequest> &op,
                         OpStatus status, uint64_t value)
 {
     logtm_assert(opsInFlight_ > 0, "finishOp without issued op");
@@ -798,7 +812,7 @@ LogTmSeEngine::finishOp(const std::shared_ptr<OpRequest> &op,
 }
 
 void
-LogTmSeEngine::retryOp(std::shared_ptr<OpRequest> op,
+TmEngine::retryOp(std::shared_ptr<OpRequest> op,
                        bool conflict_backoff)
 {
     ++op->retries;
@@ -816,7 +830,7 @@ LogTmSeEngine::retryOp(std::shared_ptr<OpRequest> op,
 }
 
 ConflictVerdict
-LogTmSeEngine::checkSiblings(const TxThread &thr, PhysAddr block,
+TmEngine::checkSiblings(const TxThread &thr, PhysAddr block,
                              AccessType type)
 {
     // SMT siblings share the L1, so loads/stores that hit locally
@@ -829,7 +843,7 @@ LogTmSeEngine::checkSiblings(const TxThread &thr, PhysAddr block,
 }
 
 void
-LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
+TmEngine::issueOp(std::shared_ptr<OpRequest> op)
 {
     TxThread &thr = *threads_[op->t];
     logtm_assert(thr.ctx != invalidCtx,
@@ -896,7 +910,7 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
     req.ctx = thr.ctx;
     req.type = op->type;
     req.transactional = in_tx;
-    req.txTs = thr.inTx() ? thr.timestamp : ~0ull;
+    req.txTs = requestTimestamp(thr, in_tx);
     req.asid = thr.asid;
     req.done = [this, op](const MemAccessResult &res) mutable {
         TxThread &thr = *threads_[op->t];
@@ -962,9 +976,9 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
         }
 
         // Success: commit the access. Values move now; signatures
-        // record the access; stores are undo-logged first.
+        // record the access; version management is the engine
+        // policy seam.
         Cycle extra = 0;
-        uint64_t value = 0;
 
         // Hybrid model (src/hybrid/): capacity admission for hardware
         // transactions, lock subscription + instrumentation latency
@@ -979,113 +993,123 @@ LogTmSeEngine::issueOp(std::shared_ptr<OpRequest> op)
             }
         }
 
-        if (op->type == AccessType::Read) {
-            if (in_tx) {
-                logtm_trace(TraceCat::Sig, sim_.now(),
-                            "ctx%u readSig insert 0x%llx", thr.ctx,
-                            static_cast<unsigned long long>(block));
+        applyAccess(op, thr, ctx, pa, block, in_tx, extra);
+    };
+    mem_.access(ctx.core, pa, std::move(req));
+}
+
+void
+TmEngine::applyAccess(const std::shared_ptr<OpRequest> &op,
+                      TxThread &thr, HwContext &ctx, PhysAddr pa,
+                      PhysAddr block, bool in_tx, Cycle extra)
+{
+    uint64_t value = 0;
+
+    if (op->type == AccessType::Read) {
+        if (in_tx) {
+            logtm_trace(TraceCat::Sig, sim_.now(),
+                        "ctx%u readSig insert 0x%llx", thr.ctx,
+                        static_cast<unsigned long long>(block));
+            ctx.readFast.insert(block);
+            ctx.shadowRead.insert(block);
+        }
+        value = mem_.data().load(pa);
+        if (observer_ && in_tx)
+            observer_->onTxRead(op->t, thr.asid, op->va, value);
+    } else {
+        if (in_tx) {
+            logtm_trace(TraceCat::Sig, sim_.now(),
+                        "ctx%u writeSig insert 0x%llx", thr.ctx,
+                        static_cast<unsigned long long>(block));
+            ctx.writeFast.insert(block);
+            ctx.shadowWrite.insert(block);
+            if (op->loadForWrite) {
                 ctx.readFast.insert(block);
                 ctx.shadowRead.insert(block);
             }
-            value = mem_.data().load(pa);
-            if (observer_ && in_tx)
-                observer_->onTxRead(op->t, thr.asid, op->va, value);
-        } else {
-            if (in_tx) {
-                logtm_trace(TraceCat::Sig, sim_.now(),
-                            "ctx%u writeSig insert 0x%llx", thr.ctx,
-                            static_cast<unsigned long long>(block));
-                ctx.writeFast.insert(block);
-                ctx.shadowWrite.insert(block);
-                if (op->loadForWrite) {
-                    ctx.readFast.insert(block);
-                    ctx.shadowRead.insert(block);
-                }
-                if (thr.filter.contains(op->va)) {
-                    ++logFilterHits_;
-                    logtm_obs_emit(sim_.events(),
-                                   ObsEvent{.cycle = sim_.now(),
-                                         .kind =
-                                             EventKind::LogFilterHit,
-                                         .ctx = thr.ctx,
-                                         .thread = thr.id,
-                                         .addr = block});
-                } else {
-                    const uint64_t old_value = mem_.data().load(pa);
-                    const uint64_t lsn = thr.log.append(
-                        UndoRecord{op->va, pa, old_value});
-                    thr.filter.insert(op->va);
-                    ++logRecords_;
-                    extra += cfg_.logWriteLatency;
-                    if (pm_) {
-                        pm_->onUndoAppend(op->t, thr.asid, op->va,
-                                          old_value, lsn, sim_.now());
-                    }
-                    logtm_obs_emit(sim_.events(),
-                                   ObsEvent{.cycle = sim_.now(),
-                                         .kind = EventKind::LogWrite,
-                                         .ctx = thr.ctx,
-                                         .thread = thr.id,
-                                         .addr = block,
-                                         .a = thr.log.depth()});
-                }
-            }
-            if (op->loadForWrite) {
-                value = mem_.data().load(pa);
-                if (observer_ && in_tx) {
-                    // Ownership + undo log acquired; data unchanged.
-                    observer_->onTxRead(op->t, thr.asid, op->va, value);
-                    observer_->onTxWrite(op->t, thr.asid, op->va,
-                                         value, value);
-                }
-            } else if (op->rmwOp) {
-                value = mem_.data().load(pa);
-                const uint64_t new_value = op->rmwOp(value);
-                mem_.data().store(pa, new_value);
-                if (observer_) {
-                    observer_->onDirectWrite(op->t, thr.asid, op->va,
-                                             new_value, true);
-                }
+            if (thr.filter.contains(op->va)) {
+                ++logFilterHits_;
+                logtm_obs_emit(sim_.events(),
+                               ObsEvent{.cycle = sim_.now(),
+                                     .kind =
+                                         EventKind::LogFilterHit,
+                                     .ctx = thr.ctx,
+                                     .thread = thr.id,
+                                     .addr = block});
+            } else {
+                const uint64_t old_value = mem_.data().load(pa);
+                const uint64_t lsn = thr.log.append(
+                    UndoRecord{op->va, pa, old_value});
+                thr.filter.insert(op->va);
+                ++logRecords_;
+                extra += cfg_.logWriteLatency;
                 if (pm_) {
-                    pm_->onDirectStore(op->t, thr.asid, op->va,
-                                       new_value, sim_.now());
+                    pm_->onUndoAppend(op->t, thr.asid, op->va,
+                                      old_value, lsn, sim_.now());
+                }
+                logtm_obs_emit(sim_.events(),
+                               ObsEvent{.cycle = sim_.now(),
+                                     .kind = EventKind::LogWrite,
+                                     .ctx = thr.ctx,
+                                     .thread = thr.id,
+                                     .addr = block,
+                                     .a = thr.log.depth()});
+            }
+        }
+        if (op->loadForWrite) {
+            value = mem_.data().load(pa);
+            if (observer_ && in_tx) {
+                // Ownership + undo log acquired; data unchanged.
+                observer_->onTxRead(op->t, thr.asid, op->va, value);
+                observer_->onTxWrite(op->t, thr.asid, op->va,
+                                     value, value);
+            }
+        } else if (op->rmwOp) {
+            value = mem_.data().load(pa);
+            const uint64_t new_value = op->rmwOp(value);
+            mem_.data().store(pa, new_value);
+            if (observer_) {
+                observer_->onDirectWrite(op->t, thr.asid, op->va,
+                                         new_value, true);
+            }
+            if (pm_) {
+                pm_->onDirectStore(op->t, thr.asid, op->va,
+                                   new_value, sim_.now());
+            }
+        } else {
+            if (observer_) {
+                const uint64_t old_value = mem_.data().load(pa);
+                mem_.data().store(pa, op->storeValue);
+                if (in_tx) {
+                    observer_->onTxWrite(op->t, thr.asid, op->va,
+                                         old_value, op->storeValue);
+                } else {
+                    observer_->onDirectWrite(op->t, thr.asid,
+                                             op->va, op->storeValue,
+                                             op->escape);
                 }
             } else {
-                if (observer_) {
-                    const uint64_t old_value = mem_.data().load(pa);
-                    mem_.data().store(pa, op->storeValue);
-                    if (in_tx) {
-                        observer_->onTxWrite(op->t, thr.asid, op->va,
-                                             old_value, op->storeValue);
-                    } else {
-                        observer_->onDirectWrite(op->t, thr.asid,
-                                                 op->va, op->storeValue,
-                                                 op->escape);
-                    }
+                mem_.data().store(pa, op->storeValue);
+            }
+            if (pm_) {
+                if (in_tx) {
+                    pm_->onTxStore(op->t, thr.asid, op->va,
+                                   op->storeValue, sim_.now());
                 } else {
-                    mem_.data().store(pa, op->storeValue);
-                }
-                if (pm_) {
-                    if (in_tx) {
-                        pm_->onTxStore(op->t, thr.asid, op->va,
+                    pm_->onDirectStore(op->t, thr.asid, op->va,
                                        op->storeValue, sim_.now());
-                    } else {
-                        pm_->onDirectStore(op->t, thr.asid, op->va,
-                                           op->storeValue, sim_.now());
-                    }
                 }
             }
         }
+    }
 
-        if (extra == 0) {
-            finishOp(op, OpStatus::Ok, value);
-            return;
-        }
-        sim_.queue().scheduleIn(extra, [this, op, value]() {
-            finishOp(op, OpStatus::Ok, value);
-        }, EventPriority::Cpu);
-    };
-    mem_.access(ctx.core, pa, std::move(req));
+    if (extra == 0) {
+        finishOp(op, OpStatus::Ok, value);
+        return;
+    }
+    sim_.queue().scheduleIn(extra, [this, op, value]() {
+        finishOp(op, OpStatus::Ok, value);
+    }, EventPriority::Cpu);
 }
 
 } // namespace logtm

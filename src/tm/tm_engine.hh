@@ -1,10 +1,15 @@
 /**
  * @file
- * The LogTM-SE engine: ties signatures, the per-thread log/filter,
- * eager conflict detection and eager version management together on
- * top of the simulated memory system.
+ * TmEngine: the transactional-memory engine base class. The base
+ * class IS the LogTM-SE engine — eager version management (in-place
+ * stores + per-thread undo log) and eager conflict detection
+ * (signatures checked at coherence time, NACK/stall resolution) — and
+ * exposes virtual policy seams over begin/read/write/commit/abort and
+ * conflict resolution that the alternative backends override
+ * (tm/buffered_engine.hh, tm/requester_wins_engine.hh,
+ * tm/lazy_engine.hh; constructed via tm/engine_factory.hh).
  *
- * Responsibilities (paper §2-§4):
+ * Base-class responsibilities (paper §2-§4):
  *  - transactional begin/commit/abort with open and closed nesting;
  *  - memory operations that check the summary signature on every
  *    reference, check SMT-sibling signatures locally, insert into the
@@ -19,8 +24,8 @@
  *    rewriting for page relocation.
  */
 
-#ifndef LOGTM_TM_LOGTM_SE_ENGINE_HH
-#define LOGTM_TM_LOGTM_SE_ENGINE_HH
+#ifndef LOGTM_TM_TM_ENGINE_HH
+#define LOGTM_TM_TM_ENGINE_HH
 
 #include <array>
 #include <functional>
@@ -62,15 +67,16 @@ class IdentityTranslator : public AddressTranslator
     PhysAddr translate(Asid, VirtAddr va) override { return va; }
 };
 
-class LogTmSeEngine : public ConflictChecker
+class TmEngine : public ConflictChecker
 {
   public:
     using LoadDoneFn = std::function<void(OpStatus, uint64_t)>;
     using StoreDoneFn = std::function<void(OpStatus)>;
     using DoneFn = std::function<void()>;
 
-    LogTmSeEngine(Simulator &sim, MemorySystem &mem,
-                  const SystemConfig &cfg);
+    TmEngine(Simulator &sim, MemorySystem &mem,
+             const SystemConfig &cfg);
+    ~TmEngine() override = default;
 
     // ----- thread & context management (OS-facing) -------------------
 
@@ -110,11 +116,12 @@ class LogTmSeEngine : public ConflictChecker
     // ----- transactional API (workload-facing) -----------------------
 
     /** Begin a (possibly nested) transaction. Synchronous. */
-    void txBegin(ThreadId t, bool open = false);
+    virtual void txBegin(ThreadId t, bool open = false);
 
     /** Commit the innermost transaction; @p done runs after the
-     *  commit latency (plus any OS summary trap). */
-    void txCommit(ThreadId t, DoneFn done);
+     *  commit latency (plus any OS summary trap). Redo-store engines
+     *  publish their write buffer synchronously before this returns. */
+    virtual void txCommit(ThreadId t, DoneFn done);
 
     /**
      * Abort exactly one frame of a doomed transaction: walk the top
@@ -122,8 +129,10 @@ class LogTmSeEngine : public ConflictChecker
      * signature, pop the frame. After the walk, if the conflicting
      * address still hits the restored signatures, the thread stays
      * doomed (the caller propagates the abort to the parent level).
+     * Redo-store engines discard the frame's buffer instead of walking
+     * undo records.
      */
-    void txAbortFrame(ThreadId t, DoneFn done);
+    virtual void txAbortFrame(ThreadId t, DoneFn done);
 
     /** Randomized exponential backoff after an abort. */
     void abortBackoff(ThreadId t, DoneFn done);
@@ -242,7 +251,7 @@ class LogTmSeEngine : public ConflictChecker
     { return static_cast<uint32_t>(contexts_.size()); }
     const SystemConfig &config() const { return cfg_; }
 
-  private:
+  protected:
     struct OpRequest
     {
         ThreadId t;
@@ -256,6 +265,62 @@ class LogTmSeEngine : public ConflictChecker
         std::function<uint64_t(uint64_t)> rmwOp;
         uint32_t retries = 0;
     };
+
+    // ----- policy seams (overridden by alternative engines) -----------
+
+    /**
+     * Conflict-resolution seam. Called from checkRemote for every
+     * bound, in-transaction, same-ASID holder whose signatures the
+     * request hits ("relevant" conflict), with doomed holders
+     * included. The default implements LogTM-SE: record the conflict
+     * in @p verdict so the coherence layer NACKs the requester, and
+     * run the timestamp deadlock-avoidance bookkeeping.
+     * @p req_ts is ~0ull when the requester is not transactional;
+     * @p hit_r / @p hit_w say which of the holder's signatures hit.
+     */
+    virtual void onRelevantConflict(ConflictVerdict &verdict,
+                                    HwContext &ctx, TxThread &holder,
+                                    PhysAddr block,
+                                    AccessType remote_type,
+                                    CtxId req_ctx, uint64_t req_ts,
+                                    bool hit_r, bool hit_w);
+
+    /**
+     * Version-management seam: commit one memory access that passed
+     * every conflict check. The default implements eager versioning —
+     * stores go to the DataStore in place after an undo-log append;
+     * loads read the DataStore. @p extra carries latency already owed
+     * (hybrid instrumentation); implementations add their own and
+     * must finish with finishOp (possibly after a delay).
+     */
+    virtual void applyAccess(const std::shared_ptr<OpRequest> &op,
+                             TxThread &thr, HwContext &ctx, PhysAddr pa,
+                             PhysAddr block, bool in_tx, Cycle extra);
+
+    /**
+     * Timestamp a memory request advertises to remote conflict
+     * checks (L1Cache::Request::txTs; ~0 = non-transactional). The
+     * default reports the thread's LogTM timestamp whenever it is
+     * inside a transaction — escape accesses included, because an
+     * eager NACK against them still participates in deadlock
+     * avoidance. Redo-store engines report ~0 for escape accesses:
+     * they hit the DataStore immediately, and the lazy engine must
+     * treat them like plain stores (see LazyEngine).
+     */
+    virtual uint64_t requestTimestamp(const TxThread &thr,
+                                      bool in_tx) const
+    { (void)in_tx; return thr.inTx() ? thr.timestamp : ~0ull; }
+
+    /** Causes whose partial abort can never resolve the conflict:
+     *  the whole nest unwinds. */
+    static bool
+    forcesFullUnwind(AbortCause cause)
+    {
+        return cause == AbortCause::Capacity ||
+            cause == AbortCause::FallbackLockConflict ||
+            cause == AbortCause::RemoteAbort ||
+            cause == AbortCause::CommitInvalidate;
+    }
 
     void issueOp(std::shared_ptr<OpRequest> op);
     void finishOp(const std::shared_ptr<OpRequest> &op, OpStatus status,
@@ -317,9 +382,10 @@ class LogTmSeEngine : public ConflictChecker
     Counter &beginsNested_;
     Counter &openCommits_;
     /** Per-cause abort counters ("tm.abortsByCause.<cause>"),
-     *  indexed by AbortCause; their sum equals tm.aborts. Hybrid
-     *  causes (Capacity, FallbackLockConflict) register lazily. */
-    std::array<Counter *, 7> abortsByCause_{};
+     *  indexed by AbortCause; their sum equals tm.aborts. Hybrid and
+     *  engine-specific causes (Capacity and later) register lazily so
+     *  runs that never see them serialize the seed's exact stats. */
+    std::array<Counter *, 9> abortsByCause_{};
     Sampler &readSetSize_;
     Sampler &writeSetSize_;
     Sampler &undoRecordsPerTx_;
@@ -327,4 +393,4 @@ class LogTmSeEngine : public ConflictChecker
 
 } // namespace logtm
 
-#endif // LOGTM_TM_LOGTM_SE_ENGINE_HH
+#endif // LOGTM_TM_TM_ENGINE_HH

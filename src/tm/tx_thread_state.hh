@@ -9,7 +9,9 @@
 #ifndef LOGTM_TM_TX_THREAD_STATE_HH
 #define LOGTM_TM_TX_THREAD_STATE_HH
 
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "common/types.hh"
 #include "sig/sig_fast_path.hh"
@@ -54,7 +56,14 @@ enum class AbortCause : uint8_t {
     Explicit,        ///< user-requested abort
     Capacity,        ///< hybrid capacity model overflowed (src/hybrid/)
     FallbackLockConflict, ///< quiesced by / subscribed to the fallback lock
+    RemoteAbort,     ///< requester-wins engine: a conflicting access won
+    CommitInvalidate, ///< lazy engine: a committer published our footprint
 };
+
+/** One buffered-write frame of a redo-store engine: the innermost
+ *  enclosing transaction's pending (va -> value) writes. std::map
+ *  keeps publish order deterministic (ascending virtual address). */
+using RedoFrame = std::map<VirtAddr, uint64_t>;
 
 /**
  * Per-software-thread TM state. The OS moves this between hardware
@@ -112,6 +121,12 @@ struct TxThread
     /** Set when rescheduled mid-transaction: commit must trap to the
      *  OS to recompute the summary signature (paper §4.1). */
     bool rescheduledDuringTx = false;
+
+    /** Redo-store engines only (tm/buffered_engine.hh): one buffered
+     *  write frame per open log frame. Lives on the software thread so
+     *  it migrates across deschedule/reschedule with the log. Always
+     *  empty under the eager (LogTM-SE) engine. */
+    std::vector<RedoFrame> redoFrames;
 
     bool inTx() const { return log.active(); }
 };

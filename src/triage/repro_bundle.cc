@@ -53,6 +53,9 @@ writeBody(const ReproBundle &b, JsonWriter &w)
         w.field("hybrid", p.hybrid.spec());
         w.field("defectSkipSubscribe", p.defectSkipSubscribe);
     }
+    // Engine field: same conditional contract.
+    if (p.engine != TmEngineKind::LogTmSe)
+        w.field("engine", toString(p.engine));
     w.field("scripted", p.script.has_value());
     w.field("script", p.script ? p.script->format() : std::string());
     w.field("fingerprint", b.fingerprint.format());
@@ -90,6 +93,8 @@ ReproBundle::canonicalKey() const
         os << "|hybrid=" << p.hybrid.spec()
            << "|defectSkipSubscribe=" << p.defectSkipSubscribe;
     }
+    if (p.engine != TmEngineKind::LogTmSe)
+        os << "|engine=" << toString(p.engine);
     os << "|scripted=" << p.script.has_value()
        << "|script=" << (p.script ? p.script->format() : std::string());
     return os.str();
@@ -151,6 +156,12 @@ ReproBundle::fromJson(const std::string &text, ReproBundle *out,
         }
         p.defectSkipSubscribe =
             doc.getBool("defectSkipSubscribe", false);
+    }
+    const std::string engSpec = doc.getString("engine", "");
+    if (!engSpec.empty() && !parseTmEngineKind(engSpec, &p.engine)) {
+        if (err)
+            *err = "bad engine '" + engSpec + "'";
+        return false;
     }
     if (doc.getBool("scripted", false))
         p.script = FaultScript::parse(doc.getString("script", ""));

@@ -81,6 +81,8 @@ usage(std::FILE *to)
         "  --defect-skip-subscribe\n"
         "                      plant the skip-subscribe fallback defect\n"
         "                      so lock-era overlap becomes oracle:hybrid\n"
+        "  --engine NAME       TM engine under test: logtm-se |\n"
+        "                      requester-wins | lazy (docs/ENGINES.md)\n"
         "  --note STR          provenance note stored in the bundle\n"
         "\n"
         "minimize options:\n"
@@ -301,6 +303,12 @@ main(int argc, char **argv)
             }
         } else if (arg == "--defect-skip-subscribe") {
             chaos.defectSkipSubscribe = true;
+        } else if (argValue(argc, argv, &i, "--engine", &value)) {
+            if (!parseTmEngineKind(value, &chaos.engine)) {
+                std::fprintf(stderr, "bad --engine '%s'\n",
+                             value.c_str());
+                return 2;
+            }
         } else if (argValue(argc, argv, &i, "--note", &note)) {
         } else if (argValue(argc, argv, &i, "--out", &outPath)) {
         } else if (argValue(argc, argv, &i, "--jobs", &value)) {

@@ -39,7 +39,7 @@ struct FallbackLockAwaiter
 Task
 ThreadCtx::transaction(TxBody body, bool open)
 {
-    LogTmSeEngine &eng = engine();
+    TmEngine &eng = engine();
     const size_t entry_depth = eng.nestingDepth(id_);
 
     if (HybridManager *hy = sys_.hybrid(); hy && entry_depth == 0) {
@@ -59,12 +59,12 @@ ThreadCtx::transaction(TxBody body, bool open)
         co_await body(*this);
 
         if (!eng.doomed(id_)) {
-            co_await EngineStepAwaiter{*this, &LogTmSeEngine::txCommit};
+            co_await EngineStepAwaiter{*this, &TmEngine::txCommit};
             co_return;
         }
 
         // Abort handler: unwind exactly this level's frame.
-        co_await EngineStepAwaiter{*this, &LogTmSeEngine::txAbortFrame};
+        co_await EngineStepAwaiter{*this, &TmEngine::txAbortFrame};
         logtm_assert(eng.nestingDepth(id_) == entry_depth,
                      "abort unwound to unexpected depth");
 
@@ -76,14 +76,14 @@ ThreadCtx::transaction(TxBody body, bool open)
                          "outermost abort left the thread doomed");
             co_return;
         }
-        co_await EngineStepAwaiter{*this, &LogTmSeEngine::abortBackoff};
+        co_await EngineStepAwaiter{*this, &TmEngine::abortBackoff};
     }
 }
 
 Task
 ThreadCtx::hybridTransaction(TxBody body, bool open)
 {
-    LogTmSeEngine &eng = engine();
+    TmEngine &eng = engine();
     HybridManager &hy = *sys_.hybrid();
     uint32_t attempts = 0;
     bool escalated = false;
@@ -126,7 +126,7 @@ ThreadCtx::hybridTransaction(TxBody body, bool open)
         co_await body(*this);
 
         if (!eng.doomed(id_)) {
-            co_await EngineStepAwaiter{*this, &LogTmSeEngine::txCommit};
+            co_await EngineStepAwaiter{*this, &TmEngine::txCommit};
             eng.thread(id_).softwareMode = false;
             if (sw)
                 hy.noteSwCommit();
@@ -135,7 +135,7 @@ ThreadCtx::hybridTransaction(TxBody body, bool open)
             co_return;
         }
 
-        co_await EngineStepAwaiter{*this, &LogTmSeEngine::txAbortFrame};
+        co_await EngineStepAwaiter{*this, &TmEngine::txAbortFrame};
         logtm_assert(eng.nestingDepth(id_) == 0,
                      "abort unwound to unexpected depth");
         logtm_assert(!eng.doomed(id_),
@@ -163,7 +163,7 @@ ThreadCtx::hybridTransaction(TxBody body, bool open)
         if (!to_lock && last != AbortCause::Capacity &&
             last != AbortCause::FallbackLockConflict) {
             co_await EngineStepAwaiter{*this,
-                                       &LogTmSeEngine::abortBackoff};
+                                       &TmEngine::abortBackoff};
         }
     }
 }

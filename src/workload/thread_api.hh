@@ -45,7 +45,7 @@ class ThreadCtx
 
     ThreadId id() const { return id_; }
     TmSystem &system() { return sys_; }
-    LogTmSeEngine &engine() { return sys_.engine(); }
+    TmEngine &engine() { return sys_.engine(); }
     Rng &rng() { return rng_; }
 
     /** True while the current transaction is doomed (bodies bail). */
@@ -242,7 +242,7 @@ class ThreadCtx
     struct EngineStepAwaiter
     {
         ThreadCtx &tc;
-        void (LogTmSeEngine::*step)(ThreadId, LogTmSeEngine::DoneFn);
+        void (TmEngine::*step)(ThreadId, TmEngine::DoneFn);
 
         bool await_ready() const noexcept { return false; }
 

@@ -35,7 +35,7 @@ class SnoopingTest : public testing::Test
             threads_.push_back(sys_.os().spawnThread(asid_));
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     uint64_t
     load(ThreadId t, VirtAddr va)

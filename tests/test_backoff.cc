@@ -37,14 +37,15 @@ backoffConfig()
 class BackoffTest : public testing::Test
 {
   protected:
-    BackoffTest() : sys_(backoffConfig())
+    explicit BackoffTest(const SystemConfig &cfg = backoffConfig())
+        : sys_(cfg)
     {
         asid_ = sys_.os().createProcess();
         t0_ = sys_.os().spawnThread(asid_);
         t1_ = sys_.os().spawnThread(asid_);
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     /** Run one abortBackoff to completion and return its delay. */
     Cycle
@@ -167,6 +168,73 @@ TEST_F(BackoffTest, StallsNeverBackoff)
     commit(t0_);
     sys_.sim().runUntil([&]() { return read_done; });
     EXPECT_EQ(value, 7u);
+    commit(t1_);
+}
+
+// ---------------------------------------------------------------------
+// Engine axis (docs/ENGINES.md): the backoff contract is engine-
+// independent — aborted transactions still pay the doubling window
+// under the buffered engines, even though their aborts come from
+// remote dooming rather than NACK-driven self-aborts.
+// ---------------------------------------------------------------------
+
+class RequesterWinsBackoffTest : public BackoffTest
+{
+  protected:
+    RequesterWinsBackoffTest() : BackoffTest(rwConfig()) {}
+
+    static SystemConfig
+    rwConfig()
+    {
+        SystemConfig cfg = backoffConfig();
+        cfg.engine = TmEngineKind::RequesterWins;
+        return cfg;
+    }
+};
+
+TEST_F(RequesterWinsBackoffTest, WindowDoublesAndOutermostCommitResets)
+{
+    for (uint32_t i = 0; i < 3; ++i) {
+        const uint32_t level = std::min(i, kMaxShift);
+        const Cycle d = backoff(t0_);
+        EXPECT_GE(d, kBase) << "call " << i;
+        EXPECT_LT(d, kBase + (kBase << level)) << "call " << i;
+    }
+    EXPECT_EQ(eng().thread(t0_).backoffLevel, 3u);
+    eng().txBegin(t0_);
+    ASSERT_EQ(store(t0_, 0x10000, 1), OpStatus::Ok);
+    commit(t0_);
+    EXPECT_EQ(eng().thread(t0_).backoffLevel, 0u);
+}
+
+TEST_F(RequesterWinsBackoffTest, RemoteDoomedVictimBacksOffOnRetry)
+{
+    constexpr VirtAddr X = 0x20000;
+
+    eng().txBegin(t0_);
+    ASSERT_EQ(store(t0_, X, 7), OpStatus::Ok);
+
+    // t1's read dooms t0 on the spot — no NACKs, no stalls.
+    eng().txBegin(t1_);
+    uint64_t value = 0;
+    bool read_done = false;
+    eng().load(t1_, X, [&](OpStatus, uint64_t v) {
+        value = v;
+        read_done = true;
+    });
+    sys_.sim().runUntil([&]() { return read_done; });
+    EXPECT_EQ(value, 0u);  // buffered write was never visible
+    EXPECT_TRUE(eng().doomed(t0_));
+    EXPECT_EQ(sys_.stats().counterValue("tm.stalls"), 0u);
+
+    // The victim unwinds and pays the level-1 backoff window, same
+    // contract as an eager self-abort.
+    bool aborted = false;
+    eng().txAbortFrame(t0_, [&]() { aborted = true; });
+    sys_.sim().runUntil([&]() { return aborted; });
+    const Cycle d = backoff(t0_);
+    EXPECT_GE(d, kBase);
+    EXPECT_LT(d, kBase + (kBase << 1));
     commit(t1_);
 }
 

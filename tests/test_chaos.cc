@@ -200,7 +200,7 @@ class OracleSelfTest : public testing::Test
         t1_ = sys_.os().spawnThread(asid_);
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     uint64_t
     load(ThreadId t, VirtAddr va)
@@ -312,7 +312,7 @@ TEST(WatchdogTest, FiresOnStalledSystemAndAttributesTheWait)
     const Asid asid = sys.os().createProcess();
     const ThreadId t0 = sys.os().spawnThread(asid);
     const ThreadId t1 = sys.os().spawnThread(asid);
-    LogTmSeEngine &eng = sys.engine();
+    TmEngine &eng = sys.engine();
 
     Watchdog wd(sys, Watchdog::Params{4000, 500, "--seed=99"});
     bool fired = false;

@@ -13,6 +13,7 @@
 #include <set>
 
 #include "mem/memory_system.hh"
+#include "os/tm_system.hh"
 
 namespace logtm {
 namespace {
@@ -390,6 +391,88 @@ TEST_F(TinyL2CoherenceTest, LostDirReadRebuildsStickySharers)
     EXPECT_TRUE(mem2_.l2(0).isSharer(a, 3));
     EXPECT_TRUE(mem2_.l2(0).isSharer(a, 2));
 }
+
+// ---------------------------------------------------------------------
+// Engine axis at the protocol level (docs/ENGINES.md): the same
+// conflicting access pattern resolves through NACKs under eager
+// LogTM-SE, and without a single NACK under the requester-wins and
+// lazy policies — the coherence substrate carries whatever verdict
+// the engine's conflict-resolution seam returns.
+// ---------------------------------------------------------------------
+
+class EngineAxisCoherenceTest
+    : public testing::TestWithParam<TmEngineKind>
+{
+  protected:
+    static SystemConfig
+    sysConfig(TmEngineKind kind)
+    {
+        SystemConfig cfg;
+        cfg.numCores = 4;
+        cfg.threadsPerCore = 1;
+        cfg.l2Banks = 4;
+        cfg.meshCols = 2;
+        cfg.meshRows = 2;
+        cfg.engine = kind;
+        return cfg;
+    }
+};
+
+TEST_P(EngineAxisCoherenceTest, ConflictResolutionStyleMatchesPolicy)
+{
+    TmSystem sys(sysConfig(GetParam()));
+    const Asid asid = sys.os().createProcess();
+    const ThreadId writer = sys.os().spawnThread(asid);
+    const ThreadId reader = sys.os().spawnThread(asid);
+    TmEngine &eng = sys.engine();
+
+    auto store = [&](ThreadId t, VirtAddr va, uint64_t v) {
+        bool done = false;
+        eng.store(t, va, v, [&](OpStatus) { done = true; });
+        sys.sim().runUntil([&]() { return done; });
+    };
+
+    eng.txBegin(writer);
+    store(writer, 0x1000, 1);
+    eng.txBegin(reader);
+    bool read_done = false;
+    eng.load(reader, 0x1000,
+             [&](OpStatus, uint64_t) { read_done = true; });
+
+    if (GetParam() == TmEngineKind::LogTmSe) {
+        // Eager: the reader is NACKed and retries until the writer
+        // commits and isolation drops.
+        bool fired = false;
+        sys.sim().queue().scheduleIn(3000, [&]() { fired = true; });
+        sys.sim().runUntil([&]() { return fired; });
+        EXPECT_FALSE(read_done);
+        EXPECT_GT(sys.stats().counterValue("l1.nacksSent") +
+                      sys.stats().counterValue("l2.nacksSent"),
+                  0u);
+        bool committed = false;
+        eng.txCommit(writer, [&]() { committed = true; });
+        sys.sim().runUntil([&]() { return committed && read_done; });
+    } else {
+        // Requester-wins and lazy both answer the probe without a
+        // NACK: the request is served on its first trip.
+        sys.sim().runUntil([&]() { return read_done; });
+        EXPECT_EQ(sys.stats().counterValue("l1.nacksSent"), 0u);
+        EXPECT_EQ(sys.stats().counterValue("l2.nacksSent"), 0u);
+        EXPECT_EQ(sys.stats().counterValue("tm.stalls"), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineAxisCoherenceTest,
+    testing::Values(TmEngineKind::LogTmSe,
+                    TmEngineKind::RequesterWins, TmEngineKind::Lazy),
+    [](const testing::TestParamInfo<TmEngineKind> &info) {
+        std::string s = toString(info.param);
+        for (char &c : s)
+            if (c == '-')
+                c = '_';
+        return s;
+    });
 
 } // namespace
 } // namespace logtm

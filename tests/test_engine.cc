@@ -53,7 +53,7 @@ class EngineTest : public testing::Test
             threads_.push_back(sys_.os().spawnThread(asid_));
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     std::shared_ptr<PendingLoad>
     asyncLoad(ThreadId t, VirtAddr va, bool exclusive = false)
@@ -499,6 +499,172 @@ TEST_F(AbortPolicyTest, RequesterAbortsImmediatelyOnConflict)
     EXPECT_EQ(eng().thread(reader).abortCause, AbortCause::PolicyAbort);
     abortFrame(reader);
     commit(writer);
+}
+
+// ---------------------------------------------------------------------
+// Pluggable engine family (docs/ENGINES.md): the factory-selected
+// requester-wins and lazy backends behind the same TmEngine interface.
+// ---------------------------------------------------------------------
+
+SystemConfig
+engineConfig(TmEngineKind kind)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.engine = kind;
+    return cfg;
+}
+
+class RequesterWinsTest : public EngineTest
+{
+  protected:
+    RequesterWinsTest()
+        : EngineTest(engineConfig(TmEngineKind::RequesterWins))
+    {}
+};
+
+class LazyTest : public EngineTest
+{
+  protected:
+    LazyTest() : EngineTest(engineConfig(TmEngineKind::Lazy)) {}
+};
+
+TEST_F(RequesterWinsTest, BufferedStoreIsInvisibleUntilCommit)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x1000, 5);
+    eng().txBegin(t);
+    store(t, 0x1000, 7);
+    // The write lives in the redo buffer, not in simulated memory,
+    // and never grows the undo log.
+    EXPECT_EQ(sys_.mem().data().load(phys(0x1000)), 5u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 0u);
+    EXPECT_GE(sys_.stats().counterValue("tm.engine.bufferedWrites"),
+              1u);
+    // ...but the writer reads its own buffered value.
+    EXPECT_EQ(load(t, 0x1000), 7u);
+    EXPECT_GE(sys_.stats().counterValue("tm.engine.bufferHits"), 1u);
+    commit(t);
+    EXPECT_EQ(sys_.mem().data().load(phys(0x1000)), 7u);
+    EXPECT_GE(sys_.stats().counterValue("tm.engine.publishedWords"),
+              1u);
+}
+
+TEST_F(RequesterWinsTest, AbortDiscardsBufferWithoutLogWalk)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x2000, 5);
+    eng().txBegin(t);
+    store(t, 0x2000, 9);
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_FALSE(eng().inTx(t));
+    EXPECT_TRUE(eng().thread(t).redoFrames.empty());
+    // Nothing to restore: memory never saw the speculative value.
+    EXPECT_EQ(sys_.mem().data().load(phys(0x2000)), 5u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 0u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.aborts"), 1u);
+}
+
+TEST_F(RequesterWinsTest, ConflictingReaderDoomsWriterWithoutNack)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+    store(writer, 0x3000, 5);
+    eng().txBegin(writer);
+    store(writer, 0x3000, 6);
+    eng().txBegin(reader);
+    auto p = asyncLoad(reader, 0x3000);
+    sys_.sim().runUntil([&]() { return p->done; });
+    // Requester wins: the reader proceeds at once with the committed
+    // value; the conflicting holder is doomed instead of NACKing.
+    EXPECT_EQ(p->status, OpStatus::Ok);
+    EXPECT_EQ(p->value, 5u);
+    EXPECT_TRUE(eng().doomed(writer));
+    EXPECT_EQ(eng().thread(writer).abortCause,
+              AbortCause::RemoteAbort);
+    EXPECT_FALSE(eng().doomed(reader));
+    EXPECT_EQ(sys_.stats().counterValue("tm.stalls"), 0u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.engine.remoteAborts"), 1u);
+    abortFrame(writer);
+    commit(reader);
+    EXPECT_EQ(sys_.mem().data().load(phys(0x3000)), 5u);
+}
+
+TEST_F(RequesterWinsTest, PlainAccessAlsoDoomsHolder)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId plain = threads_[2];
+    eng().txBegin(writer);
+    store(writer, 0x4000, 1);
+    // A non-transactional conflicting access wins too (TSX-style).
+    EXPECT_EQ(store(plain, 0x4000, 42), OpStatus::Ok);
+    EXPECT_TRUE(eng().doomed(writer));
+    abortFrame(writer);
+    EXPECT_EQ(load(plain, 0x4000), 42u);
+}
+
+TEST_F(LazyTest, TransactionalConflictIsInertUntilCommit)
+{
+    const ThreadId writer = threads_[0];
+    const ThreadId reader = threads_[2];
+    store(writer, 0x5000, 5);
+    eng().txBegin(writer);
+    store(writer, 0x5000, 6);
+    eng().txBegin(reader);
+    // Lazy detection: the overlapping read neither stalls nor dooms
+    // anyone at access time; it just sees the committed value.
+    EXPECT_EQ(load(reader, 0x5000), 5u);
+    EXPECT_FALSE(eng().doomed(writer));
+    EXPECT_FALSE(eng().doomed(reader));
+    EXPECT_EQ(sys_.stats().counterValue("tm.stalls"), 0u);
+
+    // The conflict resolves when the writer commits: committer wins,
+    // overlapping in-flight readers are invalidated.
+    commit(writer);
+    EXPECT_EQ(sys_.mem().data().load(phys(0x5000)), 6u);
+    EXPECT_TRUE(eng().doomed(reader));
+    EXPECT_EQ(eng().thread(reader).abortCause,
+              AbortCause::CommitInvalidate);
+    EXPECT_GE(sys_.stats().counterValue("tm.engine.commitInvalidates"),
+              1u);
+    abortFrame(reader);
+    EXPECT_EQ(load(reader, 0x5000), 6u);
+}
+
+TEST_F(LazyTest, PlainStoreDoomsTransactionalReaderImmediately)
+{
+    const ThreadId reader = threads_[0];
+    const ThreadId plain = threads_[2];
+    store(plain, 0x6000, 5);
+    eng().txBegin(reader);
+    EXPECT_EQ(load(reader, 0x6000), 5u);
+    // Non-transactional stores cannot be deferred to a commit point:
+    // they hit memory now, so the overlapping reader dies now.
+    EXPECT_EQ(store(plain, 0x6000, 9), OpStatus::Ok);
+    EXPECT_TRUE(eng().doomed(reader));
+    EXPECT_EQ(eng().thread(reader).abortCause,
+              AbortCause::CommitInvalidate);
+    abortFrame(reader);
+    EXPECT_EQ(load(reader, 0x6000), 9u);
+}
+
+TEST_F(LazyTest, DoomedWriterNeverPublishes)
+{
+    const ThreadId a = threads_[0];
+    const ThreadId b = threads_[2];
+    store(a, 0x7000, 5);
+    eng().txBegin(a);
+    store(a, 0x7000, 6);
+    eng().txBegin(b);
+    store(b, 0x7000, 7);
+    // First committer wins the write-write race...
+    commit(a);
+    EXPECT_EQ(sys_.mem().data().load(phys(0x7000)), 6u);
+    EXPECT_TRUE(eng().doomed(b));
+    // ...and the loser's buffer is discarded, never published.
+    abortFrame(b);
+    EXPECT_EQ(sys_.mem().data().load(phys(0x7000)), 6u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.aborts"), 1u);
 }
 
 } // namespace

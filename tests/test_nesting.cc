@@ -16,7 +16,8 @@ namespace {
 class NestingTest : public testing::Test
 {
   protected:
-    NestingTest() : sys_(config())
+    explicit NestingTest(const SystemConfig &cfg = config())
+        : sys_(cfg)
     {
         asid_ = sys_.os().createProcess();
         for (int i = 0; i < 4; ++i)
@@ -35,7 +36,7 @@ class NestingTest : public testing::Test
         return cfg;
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     uint64_t
     load(ThreadId t, VirtAddr va)
@@ -279,6 +280,98 @@ TEST_F(NestingTest, DeepNestingIsUnbounded)
         EXPECT_EQ(load(t, 0xA000 + static_cast<VirtAddr>(i) * blockBytes),
                   static_cast<uint64_t>(i));
     }
+}
+
+// ---------------------------------------------------------------------
+// Nesting under the buffered engines (docs/ENGINES.md): redo frames
+// mirror the log-frame structure — closed children merge into the
+// parent's buffer, open children publish immediately, child aborts
+// discard only the child frame.
+// ---------------------------------------------------------------------
+
+class LazyNestingTest : public NestingTest
+{
+  protected:
+    LazyNestingTest() : NestingTest(lazyConfig()) {}
+
+    static SystemConfig
+    lazyConfig()
+    {
+        SystemConfig cfg = config();
+        cfg.engine = TmEngineKind::Lazy;
+        return cfg;
+    }
+
+    uint64_t
+    memOf(VirtAddr va)
+    { return sys_.mem().data().load(sys_.os().translate(asid_, va)); }
+};
+
+TEST_F(LazyNestingTest, ClosedChildMergesIntoParentBuffer)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x1000, 1);
+    store(t, 0x2000, 2);
+    eng().txBegin(t);
+    store(t, 0x1000, 10);
+    eng().txBegin(t);
+    store(t, 0x2000, 20);
+    store(t, 0x1000, 11);  // child overwrites the parent's word
+    commit(t);  // closed inner commit: merge, publish nothing
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    EXPECT_EQ(eng().thread(t).redoFrames.size(), 1u);
+    EXPECT_EQ(memOf(0x1000), 1u);
+    EXPECT_EQ(memOf(0x2000), 2u);
+    // The merged buffer serves the thread's own reads (child wins).
+    EXPECT_EQ(load(t, 0x1000), 11u);
+    EXPECT_EQ(load(t, 0x2000), 20u);
+    commit(t);  // outer commit publishes the merged frame
+    EXPECT_EQ(memOf(0x1000), 11u);
+    EXPECT_EQ(memOf(0x2000), 20u);
+    EXPECT_EQ(sys_.stats().counterValue("tm.logRecords"), 0u);
+}
+
+TEST_F(LazyNestingTest, OpenChildCommitPublishesImmediately)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x3000, 3);
+    store(t, 0x4000, 4);
+    eng().txBegin(t);
+    store(t, 0x3000, 30);
+    eng().txBegin(t, /*open=*/true);
+    store(t, 0x4000, 40);
+    commit(t);  // open inner commit: publish the child frame now
+    EXPECT_EQ(sys_.stats().counterValue("tm.openCommits"), 1u);
+    EXPECT_EQ(memOf(0x4000), 40u);
+    EXPECT_EQ(memOf(0x3000), 3u);  // parent write still buffered
+
+    // The open child's effect survives a parent abort; the parent's
+    // buffered write simply evaporates (nothing to restore).
+    eng().txRequestAbort(t);
+    abortFrame(t);
+    EXPECT_EQ(memOf(0x3000), 3u);
+    EXPECT_EQ(memOf(0x4000), 40u);
+}
+
+TEST_F(LazyNestingTest, ChildAbortDiscardsChildFrameOnly)
+{
+    const ThreadId t = threads_[0];
+    store(t, 0x5000, 5);
+    store(t, 0x6000, 6);
+    eng().txBegin(t);
+    store(t, 0x5000, 50);
+    eng().txBegin(t);
+    store(t, 0x6000, 60);
+
+    eng().txRequestAbort(t);
+    abortFrame(t);  // aborts the CHILD frame only
+    EXPECT_EQ(eng().nestingDepth(t), 1u);
+    EXPECT_EQ(eng().thread(t).redoFrames.size(), 1u);
+    EXPECT_FALSE(eng().doomed(t));
+
+    commit(t);
+    EXPECT_EQ(memOf(0x5000), 50u);  // parent write published
+    EXPECT_EQ(memOf(0x6000), 6u);   // child write discarded
 }
 
 } // namespace

@@ -35,7 +35,7 @@ class OsTest : public testing::Test
         return cfg;
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
     OsKernel &os() { return sys_.os(); }
 
     uint64_t

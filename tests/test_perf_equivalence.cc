@@ -154,5 +154,52 @@ TEST_F(Differential, GoldenTraceMatchesCommittedBaseline)
            "intentional, regenerate with LOGTM_UPDATE_GOLDEN=1";
 }
 
+// --------------------------------------------------------------------
+// Per-engine golden pins (docs/ENGINES.md). The same reference run
+// under each non-default engine pins its own event-order baseline;
+// the default engine's baseline above must stay byte-identical — the
+// factory refactor is a zero-perturbation change for LogTM-SE.
+// --------------------------------------------------------------------
+
+void
+checkEngineGoldenTrace(TmEngineKind engine)
+{
+    TraceCaptureOptions opt;
+    opt.engine = engine;
+    const std::vector<ObsEvent> events = captureRunEvents(opt);
+    ASSERT_GE(events.size(), goldenTracePinnedEvents)
+        << "run too short to pin a meaningful prefix";
+
+    const std::string got =
+        renderTraceJson(events, goldenTracePinnedEvents);
+    const fs::path golden = fs::path(LOGTM_BASELINES_DIR) /
+        ("golden_trace_" + toString(engine) + ".json");
+
+    if (std::getenv("LOGTM_UPDATE_GOLDEN")) {
+        std::ofstream out(golden, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << golden;
+        out << got;
+        GTEST_SKIP() << "golden trace regenerated at " << golden;
+    }
+
+    ASSERT_TRUE(fs::exists(golden))
+        << golden
+        << " missing -- regenerate with LOGTM_UPDATE_GOLDEN=1";
+    EXPECT_EQ(readFile(golden), got)
+        << toString(engine)
+        << " event stream reordered vs committed baseline; if "
+           "intentional, regenerate with LOGTM_UPDATE_GOLDEN=1";
+}
+
+TEST_F(Differential, RequesterWinsGoldenTraceMatchesBaseline)
+{
+    checkEngineGoldenTrace(TmEngineKind::RequesterWins);
+}
+
+TEST_F(Differential, LazyGoldenTraceMatchesBaseline)
+{
+    checkEngineGoldenTrace(TmEngineKind::Lazy);
+}
+
 } // namespace
 } // namespace logtm

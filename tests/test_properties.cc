@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/oracle.hh"
 #include "common/trace.hh"
 #include "workload/microbench.hh"
 
@@ -24,14 +25,21 @@ struct StressParam
     SignatureConfig sig;
     CoherenceKind coherence;
     ConflictPolicy policy;
+    TmEngineKind engine = TmEngineKind::LogTmSe;
 };
 
 std::string
 stressName(const testing::TestParamInfo<StressParam> &info)
 {
-    return info.param.sig.name() + "_" +
+    std::string name = info.param.sig.name() + "_" +
         toString(info.param.coherence) + "_" +
         toString(info.param.policy);
+    if (info.param.engine != TmEngineKind::LogTmSe) {
+        name += "_";
+        for (const char c : toString(info.param.engine))
+            name += c == '-' ? '_' : c;
+    }
+    return name;
 }
 
 class TmStress : public testing::TestWithParam<StressParam>
@@ -49,6 +57,7 @@ TEST_P(TmStress, IncrementAtomicityHolds)
     cfg.signature = GetParam().sig;
     cfg.coherence = GetParam().coherence;
     cfg.conflictPolicy = GetParam().policy;
+    cfg.engine = GetParam().engine;
     TmSystem sys(cfg);
 
     WorkloadParams p;
@@ -86,7 +95,19 @@ INSTANTIATE_TEST_SUITE_P(
         StressParam{sigBS(64), CoherenceKind::Snooping,
                     ConflictPolicy::StallRetry},
         StressParam{sigBS(64), CoherenceKind::Snooping,
-                    ConflictPolicy::StallThenAbort}),
+                    ConflictPolicy::StallThenAbort},
+        // The pluggable engine family rides the same invariants
+        // (docs/ENGINES.md): atomicity is engine-independent.
+        StressParam{sigBS(256), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry,
+                    TmEngineKind::RequesterWins},
+        StressParam{sigBS(256), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry, TmEngineKind::Lazy},
+        StressParam{sigPerfect(), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry,
+                    TmEngineKind::RequesterWins},
+        StressParam{sigPerfect(), CoherenceKind::Directory,
+                    ConflictPolicy::StallRetry, TmEngineKind::Lazy}),
     stressName);
 
 // ---------------------------------------------------------------------
@@ -179,6 +200,90 @@ TEST(TmStressScenario, TransfersConserveTotalsUnderVirtualization)
     EXPECT_EQ(total, uint64_t{kCells} * 50);
     EXPECT_GT(sys.stats().counterValue("os.contextSwitches"), 6u);
     EXPECT_EQ(sys.stats().counterValue("os.pageRelocations"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded random-transaction sweep per engine: every run is
+// oracle-checked for serializability, and the globally ordered
+// commit-unit history must linearize — replaying it over the adopted
+// baseline reproduces final memory word-for-word.
+// ---------------------------------------------------------------------
+
+void
+runSeededOracleSweep(TmEngineKind engine, uint64_t num_seeds)
+{
+    for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
+        SystemConfig cfg;
+        cfg.numCores = 2;
+        cfg.threadsPerCore = 2;
+        cfg.l2Banks = 2;
+        cfg.meshCols = 2;
+        cfg.meshRows = 1;
+        cfg.l1Bytes = 1024;
+        cfg.l2Bytes = 16 * 1024;
+        cfg.signature = sigBS(256);
+        cfg.engine = engine;
+        cfg.seed = seed;
+        TmSystem sys(cfg);
+        Oracle oracle(sys.sim().queue(), sys.stats(),
+                      sys.sim().events(), sys.mem().data(), sys.os());
+        oracle.enableHistory();
+        sys.engine().setObserver(&oracle);
+
+        WorkloadParams p;
+        p.numThreads = 4;
+        p.useTm = true;
+        p.totalUnits = 12;
+        p.seed = seed;
+        MicrobenchConfig mb;
+        mb.numCounters = 4;  // hot: real conflicts on most seeds
+        mb.readsPerTx = 0;   // every touched word is also written
+        mb.writesPerTx = 2;
+        mb.thinkCycles = 10;
+        MicrobenchWorkload wl(sys, p, mb);
+        wl.run();
+
+        ASSERT_EQ(oracle.violationCount(), 0u)
+            << toString(engine) << " seed " << seed << "\n"
+            << oracle.report();
+        ASSERT_EQ(wl.counterSum(), wl.expectedIncrements())
+            << toString(engine) << " seed " << seed;
+
+        // Final memory image, restricted to the words the run
+        // touched; with readsPerTx=0 every one of them was written,
+        // so the history fold must cover each exactly.
+        std::unordered_map<uint64_t, uint64_t> image;
+        for (const auto &[key, value] : oracle.committedShadow()) {
+            const Asid asid = static_cast<Asid>(key >> 56);
+            const VirtAddr va = Oracle::keyVa(key);
+            image[key] =
+                sys.mem().data().load(sys.os().translate(asid, va));
+            ASSERT_EQ(image[key], value)
+                << toString(engine) << " seed " << seed
+                << ": committed shadow diverged from memory";
+        }
+        ASSERT_EQ(oracle.checkRecovery(
+                      image, [](Cycle, ThreadId) { return true; }),
+                  0u)
+            << toString(engine) << " seed " << seed
+            << ": commit history does not linearize\n"
+            << oracle.report();
+    }
+}
+
+TEST(TmSeededSweep, LogTmSe200SeedsOracleCleanAndLinearizable)
+{
+    runSeededOracleSweep(TmEngineKind::LogTmSe, 200);
+}
+
+TEST(TmSeededSweep, RequesterWins200SeedsOracleCleanAndLinearizable)
+{
+    runSeededOracleSweep(TmEngineKind::RequesterWins, 200);
+}
+
+TEST(TmSeededSweep, Lazy200SeedsOracleCleanAndLinearizable)
+{
+    runSeededOracleSweep(TmEngineKind::Lazy, 200);
 }
 
 // ---------------------------------------------------------------------

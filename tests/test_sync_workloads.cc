@@ -36,7 +36,7 @@ runMutualExclusionTest(int num_threads, int iterations)
 {
     TmSystem sys(smallConfig());
     const Asid asid = sys.os().createProcess();
-    LogTmSeEngine &eng = sys.engine();
+    TmEngine &eng = sys.engine();
     const VirtAddr lock_base = 0x1000;
     const VirtAddr counter = 0x8000;
     sys.mem().data().store(sys.os().translate(asid, counter), 0);

@@ -38,7 +38,7 @@ class VictimizationTest : public testing::Test
         t1_ = sys_.os().spawnThread(asid_);
     }
 
-    LogTmSeEngine &eng() { return sys_.engine(); }
+    TmEngine &eng() { return sys_.engine(); }
 
     uint64_t
     load(ThreadId t, VirtAddr va)
