@@ -451,6 +451,15 @@ SystemConfig::validate() const
         l2Banks % numChips != 0) {
         logtm_fatal("cores and banks must partition evenly over chips");
     }
+    if (numCores > 32) {
+        // DirEntry::sharers is a 32-bit core bit-vector; a 33rd core
+        // would alias bit 0 and desynchronize invalidation acks (the
+        // failure surfaces as "unexpected InvAck" deep in the L2).
+        // Scale contexts with threadsPerCore instead.
+        logtm_fatal("the directory tracks at most 32 cores "
+                    "(sharer bit-vector); use threadsPerCore to "
+                    "scale contexts");
+    }
     if (logFilterEntries == 0) {
         logtm_fatal("log filter needs at least one entry "
                     "(set logFilterEnabled=false to ablate it)");

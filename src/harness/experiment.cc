@@ -5,6 +5,7 @@
 
 #include "check/oracle.hh"
 #include "common/log.hh"
+#include "harness/parallel.hh"
 #include "pm/recovery.hh"
 #include "workload/berkeleydb.hh"
 #include "workload/cholesky.hh"
@@ -133,6 +134,14 @@ runExperiment(const ExperimentConfig &cfg)
 {
     TmSystem sys(cfg.sys);
 
+    // Opt-in parallel simulator core (--sim-jobs). Wired before any
+    // event is scheduled; ineligible configurations silently keep the
+    // classic serial loop, so a jobs sweep over a mixed campaign is
+    // always safe (every config either parallelizes deterministically
+    // or runs exactly the seed's path).
+    if (cfg.simJobs > 0 && simParallelEligible(cfg))
+        enableSimParallel(sys, cfg.simJobs);
+
     // Durability runs carry the full oracle so the recovered image
     // can be checked against the committed prefix; hybrid runs carry
     // it for the fallback-lock elision invariant. Never constructed
@@ -179,6 +188,13 @@ runExperiment(const ExperimentConfig &cfg)
         });
     }
 
+    // hostSeconds brackets the simulation phase ALONE — the clock
+    // starts after system construction / obs setup and stops before
+    // cycle accounting, recovery and stat snapshotting, on every
+    // path out of run(): normal completion, cooperative cancel, and
+    // crash-triggered early exit all return through this call, so
+    // the measurement never silently includes teardown work
+    // (tests/test_host_seconds.cc locks this in).
     const auto t0 = std::chrono::steady_clock::now();
     const WorkloadResult run = wl->run([&cfg, &crashed]() {
         return crashed || (cfg.cancel && cfg.cancel());

@@ -1,0 +1,86 @@
+#include "harness/parallel.hh"
+
+#include <memory>
+
+#include "harness/experiment.hh"
+#include "os/tm_system.hh"
+#include "sim/pdes.hh"
+
+namespace logtm {
+
+namespace {
+
+/** Lane-count cap (see enableSimParallel). */
+constexpr uint32_t kMaxLanes = 16;
+
+} // namespace
+
+bool
+simParallelEligible(const ExperimentConfig &cfg)
+{
+    const SystemConfig &s = cfg.sys;
+    return cfg.wl.useTm &&
+        !s.pm.enabled && !s.hybrid.enabled &&
+        s.coherence == CoherenceKind::Directory &&
+        s.engine != TmEngineKind::Lazy &&
+        cfg.crashAtCycle == 0 && !cfg.tornFlushDefect &&
+        !cfg.skipSubscribeDefect &&
+        s.meshCols * s.meshRows >= 2 && s.numCores >= 2;
+}
+
+bool
+enableSimParallel(TmSystem &sys, uint32_t jobs)
+{
+    Mesh &mesh = sys.mem().mesh();
+    const Cycle lookahead = mesh.minCrossTileLatency();
+    if (lookahead == 0)
+        return false;  // every endpoint on one tile: nothing to split
+
+    const SystemConfig &scfg = sys.config();
+    PdesExec::Config pcfg;
+    pcfg.tiles = scfg.meshCols * scfg.meshRows;
+    // Fewer lanes than tiles: adjacent tiles share a lane, which
+    // keeps their traffic on the fast lane-local path and bounds the
+    // per-window machinery (queues, drains, scans) on big meshes.
+    // The count is a function of the mesh ALONE — never of jobs — so
+    // the schedule stays byte-identical across every --sim-jobs
+    // value; kMaxLanes still leaves headroom over any realistic host.
+    pcfg.lanes = std::min(pcfg.tiles, kMaxLanes);
+    pcfg.jobs = jobs == 0 ? 1 : jobs;
+    pcfg.lookahead = lookahead;
+    pcfg.seed = scfg.seed;
+
+    auto px = std::make_unique<PdesExec>(sys.sim().queue(), pcfg);
+    PdesExec *pxp = px.get();
+
+    // Software thread -> home lane: thread -> bound context -> core
+    // -> mesh tile -> lane. Eligible runs never migrate threads, so
+    // the binding made at spawn time is the home for the whole run.
+    px->setThreadLaneFn([&sys, pxp](ThreadId t) {
+        const CtxId ctx = sys.engine().thread(t).ctx;
+        return pxp->laneOfTile(sys.mem().mesh().tileOf(
+            ctx / sys.config().threadsPerCore));
+    });
+
+    // Observability: lane-side publishes buffer into the executor and
+    // re-deliver at the barrier in canonical order; serial-phase
+    // publishes (bufferObsEvent returns false) go straight through.
+    sys.sim().events().setInterceptor(
+        [pxp](const ObsEvent &ev) { return pxp->bufferObsEvent(ev); });
+    px->setObsDeliver([bus = &sys.sim().events()](const ObsEvent &ev) {
+        bus->publishDirect(ev);
+    });
+
+    // Counters become relaxed atomics, samplers shard per lane and
+    // merge deterministically, registry lookups lock.
+    sys.stats().setParallel(pcfg.lanes);
+
+    // Mesh outboxes + barrier drain; lock-free functional memory.
+    mesh.enablePdes(pxp);
+    sys.mem().data().setParSafe();
+
+    sys.sim().adoptPdes(std::move(px));
+    return true;
+}
+
+} // namespace logtm

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PDES wiring: decide whether a configuration is eligible for the
+ * conservative time-window parallel executor (sim/pdes.hh) and, if
+ * so, assemble the whole thing — lane partition from the mesh tiles,
+ * lookahead from the minimum cross-tile latency, per-lane RNG
+ * streams, parallel-mode statistics, the observability interceptor
+ * and the parallel-safe DataStore.
+ *
+ * --sim-jobs is a host-execution knob, never a configuration axis:
+ * an eligible run produces byte-identical stats.json, timeseries and
+ * golden traces at every jobs value (including 1, which runs the
+ * same windowed schedule inline), and ineligible configurations fall
+ * back to the classic serial loop, which is bit-identical to the
+ * seed. See docs/PERFORMANCE.md.
+ */
+
+#ifndef LOGTM_HARNESS_PARALLEL_HH
+#define LOGTM_HARNESS_PARALLEL_HH
+
+#include <cstdint>
+
+namespace logtm {
+
+class TmSystem;
+struct ExperimentConfig;
+
+/**
+ * True when @p cfg can run under the windowed parallel executor.
+ * The gate is conservative — everything outside it takes the classic
+ * loop:
+ *  - transactional directory-protocol runs only (the snooping bus is
+ *    a single shared resource; lock-mode spinlocks serialize through
+ *    shared lines anyway);
+ *  - the lazy engine resolves conflicts by iterating every context
+ *    at commit (inherently cross-lane); LogTM-SE and requester-wins
+ *    resolve at the holder's own core and are lane-local;
+ *  - durability, hybrid and fault/crash features run serially (the
+ *    oracle and persist models are deliberately unsynchronized);
+ *  - at least two mesh tiles and two cores, else there is no
+ *    partition to exploit.
+ */
+bool simParallelEligible(const ExperimentConfig &cfg);
+
+/**
+ * Wire the parallel executor into @p sys with @p jobs host workers.
+ * Call once, after construction and before the workload runs; the
+ * caller must have checked simParallelEligible(). Returns false (and
+ * leaves the system untouched) only when the mesh reports no
+ * cross-tile latency to use as lookahead.
+ */
+bool enableSimParallel(TmSystem &sys, uint32_t jobs);
+
+} // namespace logtm
+
+#endif // LOGTM_HARNESS_PARALLEL_HH

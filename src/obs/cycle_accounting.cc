@@ -41,7 +41,13 @@ CycleAccounting::init(uint32_t num_contexts, Cycle now)
     ctxs_.assign(num_contexts, CtxState{});
     for (CtxState &cs : ctxs_)
         cs.phaseStart = now;
-    threadFrames_.clear();
+    // Pre-size the per-thread frame stacks: workloads assert
+    // numThreads <= numContexts and ThreadIds are dense from 0, so
+    // framesFor() never grows the outer vector mid-run. That matters
+    // under the parallel executor, where lanes touch their own
+    // threads' stacks concurrently and an outer reallocation would
+    // move every stack out from under them.
+    threadFrames_.assign(num_contexts, {});
     epoch_ = now;
     elapsed_ = 0;
     finalized_ = false;

@@ -12,6 +12,8 @@ constexpr size_t slabNodes = 256;
 
 } // namespace
 
+thread_local EventQueue *EventQueue::tlsActive_ = nullptr;
+
 EventQueue::EventQueue()
 {
     buckets_.resize(calendarHorizon);
@@ -76,6 +78,15 @@ EventQueue::linkNode(Node *n)
     // bucket may hold only one tick).
     if (nearCount_ == 0)
         windowStart_ = now_;
+    // Horizon-seam contract (audited; locked down by the boundary
+    // sweep in tests/test_event_queue.cc): a tick of exactly
+    // windowStart_ + calendarHorizon would alias bucket
+    // windowStart_'s slot, so the near test is strict (< horizon)
+    // here and in migrateFromFar(), and popEarliest() prefers the
+    // heap on earlier-or-tied keys. An event at exactly the seam
+    // therefore always takes the heap path — there is no tick at
+    // which an event can be filed near and popped late, or vice
+    // versa.
     if (n->when >= windowStart_ &&
         n->when - windowStart_ < calendarHorizon)
         insertNear(n);
@@ -84,7 +95,7 @@ EventQueue::linkNode(Node *n)
 }
 
 bool
-EventQueue::cancel(EventId id)
+EventQueue::cancelHere(EventId id)
 {
     logtm_assert(id < nextSeq_, "cancel of an unknown event id");
     return cancelled_.insert(id).second;
@@ -227,6 +238,21 @@ bool
 EventQueue::step()
 {
     return stepBounded(~0ull);
+}
+
+Cycle
+EventQueue::nextEventTick()
+{
+    if (live_ == 0)
+        return kNeverTick;
+    // nextNearTick() migrates from the heap when the ring is empty,
+    // but the heap can still hold an earlier tick (behind-anchor
+    // schedules and deadline-parked nodes), so take the min of both.
+    const Cycle near = nextNearTick();
+    if (far_.empty())
+        return near;
+    const Cycle far = far_.top()->when;
+    return far < near ? far : near;
 }
 
 uint64_t

@@ -1,0 +1,288 @@
+#include "sim/pdes.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace logtm {
+
+namespace {
+
+thread_local uint32_t tlsLane = PdesExec::kNoLane;
+thread_local Rng *tlsLaneRng = nullptr;
+
+} // namespace
+
+PdesExec::PdesExec(EventQueue &global, const Config &cfg)
+    : global_(global),
+      numLanes_(cfg.lanes),
+      numTiles_(cfg.tiles > 0 ? cfg.tiles : cfg.lanes),
+      jobs_(cfg.jobs > 0 ? cfg.jobs : 1),
+      lookahead_(cfg.lookahead > 0 ? cfg.lookahead : 1)
+{
+    logtm_assert(numLanes_ <= numTiles_,
+                 "lane partition cannot outnumber mesh tiles");
+    logtm_assert(numLanes_ > 0, "PDES needs at least one lane");
+    laneQs_.reserve(numLanes_);
+    laneRngs_.reserve(numLanes_);
+    for (uint32_t l = 0; l < numLanes_; ++l) {
+        laneQs_.push_back(std::make_unique<EventQueue>());
+        // Disjoint per-lane streams: golden-ratio stride through the
+        // seed space, then splitmix inside Rng's constructor.
+        laneRngs_.emplace_back(cfg.seed +
+                               0x9e3779b97f4a7c15ull * (l + 1));
+    }
+    laneNext_.assign(numLanes_, EventQueue::kNeverTick);
+    laneBufs_ = std::vector<LaneBuf>(numLanes_);
+}
+
+PdesExec::~PdesExec()
+{
+    if (!workers_.empty()) {
+        stop_ = true;
+        startGate_->arrive_and_wait();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+}
+
+uint32_t
+PdesExec::currentLane()
+{
+    return tlsLane;
+}
+
+Rng *
+PdesExec::currentLaneRng()
+{
+    return tlsLaneRng;
+}
+
+void
+PdesExec::setObsDeliver(std::function<void(const ObsEvent &)> fn)
+{
+    obsDeliver_ = std::move(fn);
+}
+
+void
+PdesExec::postGlobal(Cycle when, EventPriority prio,
+                     std::function<void()> fn)
+{
+    const uint32_t lane = tlsLane;
+    if (inParallel_ && lane != kNoLane) {
+        laneBufs_[lane].globals.push_back({when, prio, std::move(fn)});
+        return;
+    }
+    global_.schedule(std::max(when, global_.now()), std::move(fn),
+                     prio);
+}
+
+bool
+PdesExec::bufferObsEvent(const ObsEvent &ev)
+{
+    const uint32_t lane = tlsLane;
+    if (!inParallel_ || lane == kNoLane)
+        return false;
+    laneBufs_[lane].obs.push_back(ev);
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Window machinery
+// --------------------------------------------------------------------
+
+void
+PdesExec::startWorkers()
+{
+    const uint32_t n = std::min(jobs_, numLanes_);
+    if (n <= 1 || !workers_.empty())
+        return;
+    startGate_ = std::make_unique<std::barrier<>>(n + 1);
+    endGate_ = std::make_unique<std::barrier<>>(n + 1);
+    laneLo_.resize(n);
+    laneHi_.resize(n);
+    for (uint32_t w = 0; w < n; ++w) {
+        laneLo_[w] = numLanes_ * w / n;
+        laneHi_[w] = numLanes_ * (w + 1) / n;
+    }
+    workers_.reserve(n);
+    for (uint32_t w = 0; w < n; ++w)
+        workers_.emplace_back([this, w]() { workerLoop(w); });
+}
+
+void
+PdesExec::workerLoop(uint32_t worker)
+{
+    for (;;) {
+        startGate_->arrive_and_wait();
+        if (stop_)
+            return;
+        for (uint32_t l = laneLo_[worker]; l < laneHi_[worker]; ++l)
+            runLane(l);
+        endGate_->arrive_and_wait();
+    }
+}
+
+void
+PdesExec::runLane(uint32_t lane)
+{
+    if (laneNext_[lane] >= windowEnd_)
+        return;
+    EventQueue &q = *laneQs_[lane];
+    EventQueue::setActiveQueue(&q);
+    tlsLane = lane;
+    tlsLaneRng = &laneRngs_[lane];
+    statsSetThreadShard(lane);
+    const Cycle deadline = windowEnd_ - 1;
+    while (q.stepBounded(deadline)) {
+    }
+    laneNext_[lane] = q.nextEventTick();
+    EventQueue::setActiveQueue(nullptr);
+    tlsLane = kNoLane;
+    tlsLaneRng = nullptr;
+    statsSetThreadShard(statsSerialShard);
+}
+
+void
+PdesExec::runParallelPhase()
+{
+    inParallel_ = true;
+    if (workers_.empty()) {
+        // Single-job PDES: same windows, same drains, same schedule
+        // — lanes just step sequentially on the coordinator.
+        for (uint32_t l = 0; l < numLanes_; ++l)
+            runLane(l);
+    } else {
+        startGate_->arrive_and_wait();
+        endGate_->arrive_and_wait();
+    }
+    inParallel_ = false;
+}
+
+void
+PdesExec::drainObs()
+{
+    obsScratch_.clear();
+    uint32_t seq = 0;
+    for (uint32_t l = 0; l < numLanes_; ++l) {
+        for (const ObsEvent &ev : laneBufs_[l].obs)
+            obsScratch_.emplace_back(seq++, &ev);
+    }
+    if (obsScratch_.empty())
+        return;
+    // Canonical order: tick, then lane, then per-lane emission order.
+    // The concatenation above is already (lane, order), so a plain
+    // sort keyed (tick, concatenation order) reproduces the stable
+    // sort without its per-call merge-buffer allocation.
+    std::sort(obsScratch_.begin(), obsScratch_.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second->cycle != b.second->cycle
+                      ? a.second->cycle < b.second->cycle
+                      : a.first < b.first;
+              });
+    for (const auto &[n, ev] : obsScratch_)
+        obsDeliver_(*ev);
+    for (uint32_t l = 0; l < numLanes_; ++l)
+        laneBufs_[l].obs.clear();
+}
+
+void
+PdesExec::drainGlobals()
+{
+    globalScratch_.clear();
+    for (uint32_t l = 0; l < numLanes_; ++l) {
+        auto &src = laneBufs_[l].globals;
+        for (auto &post : src)
+            globalScratch_.push_back(std::move(post));
+        src.clear();
+    }
+    if (globalScratch_.empty())
+        return;
+    std::stable_sort(globalScratch_.begin(), globalScratch_.end(),
+                     [](const GlobalPost &a, const GlobalPost &b) {
+                         return a.when != b.when
+                             ? a.when < b.when
+                             : a.prio < b.prio;
+                     });
+    // Facade seq numbers are assigned in this (deterministic) order,
+    // so same-(tick, priority) posts execute in canonical sequence.
+    for (GlobalPost &post : globalScratch_) {
+        global_.schedule(std::max(post.when, global_.now()),
+                         std::move(post.fn), post.prio);
+    }
+}
+
+void
+PdesExec::runGlobalPhase()
+{
+    // Bind the coordinator to the facade so now()/schedule calls made
+    // by global-lane events resolve against it (and not a stale lane
+    // binding). Global events may freely touch lane-owned state —
+    // every lane is parked until the next window.
+    EventQueue::setActiveQueue(&global_);
+    const Cycle deadline = windowEnd_ - 1;
+    while (global_.stepBounded(deadline)) {
+    }
+    EventQueue::setActiveQueue(nullptr);
+}
+
+Cycle
+PdesExec::nextWindowStart()
+{
+    Cycle t = global_.nextEventTick();
+    for (uint32_t l = 0; l < numLanes_; ++l)
+        t = std::min(t, laneNext_[l]);
+    return t;
+}
+
+Cycle
+PdesExec::maxNow() const
+{
+    Cycle m = global_.now();
+    for (const auto &q : laneQs_)
+        m = std::max(m, q->now());
+    return m;
+}
+
+uint64_t
+PdesExec::eventsExecuted() const
+{
+    uint64_t n = global_.executed();
+    for (const auto &q : laneQs_)
+        n += q->executed();
+    return n;
+}
+
+Cycle
+PdesExec::run(const std::function<bool()> &done, Cycle watchdog)
+{
+    logtm_assert(!active_, "nested PDES run");
+    active_ = true;
+    const Cycle start = global_.now();
+    for (uint32_t l = 0; l < numLanes_; ++l)
+        laneNext_[l] = laneQs_[l]->nextEventTick();
+    startWorkers();
+    while (!done()) {
+        const Cycle t = nextWindowStart();
+        if (t == EventQueue::kNeverTick)
+            break;  // drained; the caller judges completion
+        windowEnd_ = t + lookahead_;
+        ++windows_;
+        runParallelPhase();
+        drainObs();
+        for (const auto &hook : barrierHooks_)
+            hook();
+        drainGlobals();
+        runGlobalPhase();
+        if (maxNow() - start > watchdog)
+            logtm_panic("simulation watchdog expired (livelock?)");
+    }
+    // Land the facade clock on the run's frontier so callers see one
+    // coherent "now" (a deterministic function of the schedule).
+    global_.forceNow(maxNow());
+    active_ = false;
+    return global_.now() - start;
+}
+
+} // namespace logtm

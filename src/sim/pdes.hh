@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Conservative time-window parallel discrete-event execution (PDES).
+ *
+ * The simulated machine is partitioned into **lanes** — one per mesh
+ * tile, so a core, its SMT contexts, its L1, and the same-numbered L2
+ * bank(s) share a lane — plus the **global lane** (the Simulator's
+ * own EventQueue), which keeps everything that is inherently
+ * cross-partition: DRAM-controller arbitration, host-side barrier
+ * bookkeeping, first-touch page allocation, the sampler pump, and
+ * crash events.
+ *
+ * Execution advances in windows [T, T+W), where T is the earliest
+ * pending tick across every queue and W (the **lookahead**) is the
+ * minimum cross-lane mesh latency. Within a window every lane steps
+ * its own calendar queue concurrently; cross-lane effects cannot land
+ * inside the window because any cross-tile message takes >= W cycles.
+ * At the window barrier the coordinator drains, in a canonical order
+ * that is independent of the host thread interleaving:
+ *
+ *   1. buffered observability events (sorted by (tick, lane), with
+ *      per-lane emission order preserved),
+ *   2. registered barrier hooks (the mesh outbox drain: candidate
+ *      arrivals sorted by (tick, lane, send order), then per-endpoint
+ *      serialization applied in that order),
+ *   3. deferred global closures (same canonical (tick, lane, order)
+ *      key), scheduled onto the global lane,
+ *
+ * and then runs the global lane up to the window end. Every RNG draw
+ * made on a lane comes from that lane's own xoshiro stream
+ * (Simulator::rng() routes), so draws are partition-owned. The net
+ * effect: the executed schedule is a pure function of the
+ * configuration, never of --sim-jobs, so stats.json, timeseries.json
+ * and the golden trace are byte-identical at any worker count. The
+ * classic single-queue loop remains the default executor and is
+ * untouched.
+ */
+
+#ifndef LOGTM_SIM_PDES_HH
+#define LOGTM_SIM_PDES_HH
+
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "obs/event.hh"
+#include "sim/event_queue.hh"
+
+namespace logtm {
+
+class PdesExec
+{
+  public:
+    struct Config
+    {
+        uint32_t lanes = 1;    ///< partition count (<= mesh tiles)
+        /** Mesh tiles being grouped onto the lanes (0 = one lane per
+         *  tile). Tiles map to lanes contiguously, a pure function
+         *  of (tiles, lanes) — never of jobs — so the schedule stays
+         *  jobs-invariant. */
+        uint32_t tiles = 0;
+        uint32_t jobs = 1;     ///< host worker threads (--sim-jobs)
+        Cycle lookahead = 1;   ///< window width W (min cross-lane latency)
+        uint64_t seed = 1;     ///< base seed for the per-lane RNG streams
+    };
+
+    static constexpr uint32_t kNoLane = ~0u;
+
+    /** @p global is the Simulator's facade queue (the global lane). */
+    PdesExec(EventQueue &global, const Config &cfg);
+    ~PdesExec();
+
+    PdesExec(const PdesExec &) = delete;
+    PdesExec &operator=(const PdesExec &) = delete;
+
+    uint32_t lanes() const { return numLanes_; }
+    uint32_t jobs() const { return jobs_; }
+
+    /** Home lane of a mesh tile (contiguous grouping; identity when
+     *  lanes == tiles). Deterministic: depends only on the Config. */
+    uint32_t
+    laneOfTile(uint32_t tile) const
+    {
+        return static_cast<uint32_t>(
+            static_cast<uint64_t>(tile) * numLanes_ / numTiles_);
+    }
+    Cycle lookahead() const { return lookahead_; }
+    Cycle windowEnd() const { return windowEnd_; }
+
+    /** True between the window-start and window-end barriers, i.e.
+     *  while lanes may be stepping concurrently. Per-component
+     *  hazard deferrals (DRAM, mesh outboxes, page faults) key off
+     *  this; it is only ever flipped by the coordinator while the
+     *  workers are parked, so a plain load suffices. */
+    bool inParallelPhase() const { return inParallel_; }
+
+    /** Lane the calling thread is executing, or kNoLane from any
+     *  serial context (coordinator, classic runs, tests). */
+    static uint32_t currentLane();
+
+    EventQueue &laneQueue(uint32_t lane) { return *laneQs_[lane]; }
+
+    /** The calling lane's RNG stream, or null from serial contexts
+     *  (Simulator::rng() then falls back to the run-wide stream). */
+    static Rng *currentLaneRng();
+
+    /** Map a software thread to its home lane (wired by the harness
+     *  to ctx -> core -> tile). */
+    void setThreadLaneFn(std::function<uint32_t(ThreadId)> fn)
+    { threadLane_ = std::move(fn); }
+    uint32_t laneOfThread(ThreadId t) const { return threadLane_(t); }
+
+    /**
+     * Schedule directly into @p lane's queue. Serial contexts only
+     * (pre-run setup, barrier drains, the global phase); during the
+     * parallel phase only the owning lane may touch its queue, which
+     * the tlsActive routing already provides. Callers that defer work
+     * across a window boundary clamp @p when to >= windowEnd()
+     * themselves; this helper just keeps the lane's next-tick cache
+     * coherent.
+     */
+    template <typename F>
+    void
+    scheduleLane(uint32_t lane, Cycle when, EventPriority prio, F &&fn)
+    {
+        logtm_assert(!inParallel_, "scheduleLane during parallel phase");
+        laneQs_[lane]->schedule(when, std::forward<F>(fn), prio);
+        if (when < laneNext_[lane])
+            laneNext_[lane] = when;
+    }
+
+    /**
+     * Run @p fn on the global lane at tick @p when. Callable from any
+     * phase: lane contexts buffer (drained at the next barrier in
+     * canonical (tick, lane, order) sequence); serial contexts
+     * schedule directly.
+     */
+    void postGlobal(Cycle when, EventPriority prio,
+                    std::function<void()> fn);
+
+    /** Buffer an obs event emitted on a lane; false from serial
+     *  contexts (the bus then publishes inline). */
+    bool bufferObsEvent(const ObsEvent &ev);
+
+    /** Sink for the canonical obs drain (wired to
+     *  EventBus::publishDirect by the harness). */
+    void setObsDeliver(std::function<void(const ObsEvent &)> fn);
+
+    /** Register a drain to run at every window barrier before the
+     *  deferred globals (the mesh registers its outbox flush). */
+    void addBarrierHook(std::function<void()> hook)
+    { barrierHooks_.push_back(std::move(hook)); }
+
+    /**
+     * Windowed-run control: the PDES replacement for
+     * Simulator::runUntil. @p done is checked at window boundaries
+     * only — within a window both orders are indistinguishable to the
+     * caller, and checking at the barrier keeps the executed-event
+     * set independent of --sim-jobs.
+     */
+    Cycle run(const std::function<bool()> &done, Cycle watchdog);
+
+    /** Events executed across the global lane and every lane queue. */
+    uint64_t eventsExecuted() const;
+
+    /** Windows completed (scaling diagnostics for bench_perf). */
+    uint64_t windowsRun() const { return windows_; }
+
+  private:
+    struct GlobalPost
+    {
+        Cycle when;
+        EventPriority prio;
+        std::function<void()> fn;
+    };
+
+    /** Per-lane deferral buffers, cacheline-separated so concurrent
+     *  lane appends never share a line. */
+    struct alignas(64) LaneBuf
+    {
+        std::vector<GlobalPost> globals;
+        std::vector<ObsEvent> obs;
+    };
+
+    void startWorkers();
+    void workerLoop(uint32_t worker);
+    void runLane(uint32_t lane);
+    void runParallelPhase();
+    void drainObs();
+    void drainGlobals();
+    void runGlobalPhase();
+    Cycle nextWindowStart();
+    Cycle maxNow() const;
+
+    EventQueue &global_;
+    const uint32_t numLanes_;
+    const uint32_t numTiles_;
+    const uint32_t jobs_;
+    const Cycle lookahead_;
+
+    std::vector<std::unique_ptr<EventQueue>> laneQs_;
+    std::vector<Rng> laneRngs_;
+    /** Cached earliest pending tick per lane (kNeverTick when
+     *  drained); owned by the lane inside a window, by the
+     *  coordinator outside. */
+    std::vector<Cycle> laneNext_;
+    std::vector<LaneBuf> laneBufs_;
+    std::function<uint32_t(ThreadId)> threadLane_;
+    std::vector<std::function<void()>> barrierHooks_;
+    std::function<void(const ObsEvent &)> obsDeliver_;
+
+    /** Flipped only while every worker is parked at a gate, so the
+     *  gates' synchronization covers it — a plain bool is enough. */
+    bool inParallel_ = false;
+    Cycle windowEnd_ = 0;
+    bool active_ = false;
+    uint64_t windows_ = 0;
+
+    // Worker pool (only when jobs_ > 1): the coordinator participates
+    // in both barriers, so a window is exactly one round trip.
+    std::vector<std::thread> workers_;
+    std::unique_ptr<std::barrier<>> startGate_;
+    std::unique_ptr<std::barrier<>> endGate_;
+    bool stop_ = false;
+    /** Static lane partition: worker w owns [laneLo_[w], laneHi_[w]). */
+    std::vector<uint32_t> laneLo_, laneHi_;
+
+    /** Scratch for canonical drains (reused across windows). */
+    std::vector<GlobalPost> globalScratch_;
+    /** (concatenation order, event) — seq is the sort tiebreak. */
+    std::vector<std::pair<uint32_t, const ObsEvent *>> obsScratch_;
+};
+
+} // namespace logtm
+
+#endif // LOGTM_SIM_PDES_HH

@@ -149,6 +149,12 @@ JobScheduler::run(const std::vector<JobFn> &jobs, size_t alreadyDone)
                     .count();
             if (out.ok)
                 break;
+            // The attempt is abandoned (a retry may follow): doom its
+            // publish gate so any straggling work it left behind —
+            // a detached helper, a publish racing the deadline — can
+            // never make the abandoned result durable after a later
+            // attempt succeeds.
+            ctx.gate()->doom();
         }
         progress.jobFinished(out.ok);
     };

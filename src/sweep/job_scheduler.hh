@@ -13,11 +13,13 @@
 #ifndef LOGTM_SWEEP_JOB_SCHEDULER_HH
 #define LOGTM_SWEEP_JOB_SCHEDULER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -104,16 +106,65 @@ struct SchedulerConfig
     std::string progressLabel = "sweep";
 };
 
+/**
+ * Publish gate shared by one attempt's JobContext and the scheduler.
+ * Exactly one side wins: the attempt claims the gate before making
+ * its side effects durable (caching into a ResultStore), and the
+ * scheduler dooms the gate the moment it abandons the attempt
+ * (timeout or failure with a retry pending). A doomed attempt can
+ * therefore never publish — even if its worker is still unwinding
+ * while a fast retry has already succeeded, which is exactly the
+ * last-writer-wins cache poisoning this closes.
+ */
+class AttemptGate
+{
+  public:
+    /** Attempt side: claim the right to publish. False once doomed;
+     *  idempotent while live/claimed. */
+    bool
+    claim()
+    {
+        int expected = kLive;
+        if (state_.compare_exchange_strong(expected, kClaimed,
+                                           std::memory_order_acq_rel))
+            return true;
+        return expected == kClaimed;
+    }
+
+    /** Scheduler side: abandon the attempt. A claim that already won
+     *  stays won (the publish preceded the abandonment decision). */
+    void
+    doom()
+    {
+        int expected = kLive;
+        state_.compare_exchange_strong(expected, kDoomed,
+                                       std::memory_order_acq_rel);
+    }
+
+    bool
+    doomed() const
+    {
+        return state_.load(std::memory_order_acquire) == kDoomed;
+    }
+
+  private:
+    static constexpr int kLive = 0, kClaimed = 1, kDoomed = 2;
+    std::atomic<int> state_{kLive};
+};
+
 /** Per-attempt context handed to the job function. */
 class JobContext
 {
   public:
     JobContext(unsigned attempt,
                std::chrono::steady_clock::time_point deadline,
-               bool hasDeadline)
+               bool hasDeadline,
+               std::shared_ptr<AttemptGate> gate = nullptr)
         : attempt_(attempt), deadline_(deadline),
-          hasDeadline_(hasDeadline)
+          hasDeadline_(hasDeadline), gate_(std::move(gate))
     {
+        if (!gate_)
+            gate_ = std::make_shared<AttemptGate>();
     }
 
     /** 1-based attempt number. */
@@ -129,10 +180,34 @@ class JobContext
             std::chrono::steady_clock::now() >= deadline_;
     }
 
+    /**
+     * Claim the right to make this attempt's result durable (write
+     * it into a ResultStore, record it as the job's outcome). Call
+     * immediately before publishing and skip the publish on false.
+     * A fired deadline dooms the attempt right here — the run looped
+     * to completion anyway, but its stats are truncated — and an
+     * attempt the scheduler has already abandoned (a later retry may
+     * be running or even finished) can never claim, so a stale
+     * worker cannot overwrite the retry's cached result.
+     */
+    bool
+    claimPublish() const
+    {
+        if (cancelled()) {
+            gate_->doom();
+            return false;
+        }
+        return gate_->claim();
+    }
+
+    /** This attempt's gate (shared with the scheduler). */
+    const std::shared_ptr<AttemptGate> &gate() const { return gate_; }
+
   private:
     unsigned attempt_;
     std::chrono::steady_clock::time_point deadline_;
     bool hasDeadline_;
+    std::shared_ptr<AttemptGate> gate_;
 };
 
 struct JobOutcome

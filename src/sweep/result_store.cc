@@ -1,10 +1,12 @@
 #include "sweep/result_store.hh"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
-#include <thread>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "sweep/config_codec.hh"
@@ -18,6 +20,25 @@ namespace {
 
 constexpr const char *schemaTag = "logtm-sweep-result-v1";
 constexpr const char *rawSchemaTag = "logtm-sweep-raw-v1";
+
+/**
+ * Tmp-file name for an atomic write of @p path, unique across
+ * processes AND across writers within a process: campaigns routinely
+ * share one --cache-dir, and a deterministic (or merely per-thread)
+ * tmp name lets one campaign truncate another's in-flight write just
+ * before the rename, publishing a torn entry. std::thread::id is not
+ * enough — it is process-local, so two processes' workers can carry
+ * identical ids. pid + a per-process counter never collides.
+ */
+std::string
+uniqueTmpPath(const std::string &path)
+{
+    static std::atomic<uint64_t> counter{0};
+    const uint64_t n =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(n);
+}
 
 std::string
 fnvHex(const std::string &s)
@@ -86,9 +107,7 @@ ResultStore::store(const ExperimentConfig &cfg,
     w.endObject();
 
     const std::string path = entryPath(cfg);
-    std::ostringstream tid;
-    tid << std::this_thread::get_id();
-    const std::string tmp = path + ".tmp." + tid.str();
+    const std::string tmp = uniqueTmpPath(path);
 
     std::lock_guard<std::mutex> lock(mu_);
     {
@@ -154,9 +173,7 @@ ResultStore::storeRaw(const std::string &key, const std::string &value)
     w.endObject();
 
     const std::string path = rawEntryPath(key);
-    std::ostringstream tid;
-    tid << std::this_thread::get_id();
-    const std::string tmp = path + ".tmp." + tid.str();
+    const std::string tmp = uniqueTmpPath(path);
 
     std::lock_guard<std::mutex> lock(mu_);
     {

@@ -112,13 +112,18 @@ runExperiments(std::vector<ExperimentConfig> cfgs, const RunOptions &opt)
     for (const size_t index : pending) {
         jobFns.push_back([&, index](const JobContext &ctx) {
             ExperimentConfig cfg = cfgs[index];
+            if (opt.simJobs > 0)
+                cfg.simJobs = opt.simJobs;
             if (ctx.cancelled())
                 throw JobTimeout();
             cfg.cancel = [&ctx]() { return ctx.cancelled(); };
             const ExperimentResult res = runExperiment(cfg);
-            // A fired deadline means the run loop exited early with
-            // truncated stats: report the timeout, don't cache it.
-            if (ctx.cancelled())
+            // Publish only through the attempt's gate: a fired
+            // deadline means the run loop exited early with truncated
+            // stats (report the timeout, don't cache it), and an
+            // attempt the scheduler already abandoned must never
+            // overwrite a later retry's outcome or cache entry.
+            if (!ctx.claimPublish())
                 throw JobTimeout();
             outcomes[index].result = res;
             if (store)

@@ -78,7 +78,8 @@ MicrobenchWorkload::threadMain(ThreadCtx &tc, uint32_t idx)
             co_await body(tc);
             co_await tc.release(*lock_);
         }
-        committedIncrements_ += writes.size();
+        committedIncrements_.fetch_add(writes.size(),
+                                       std::memory_order_relaxed);
         bumpUnits();
 
         if (mb_.thinkCycles)

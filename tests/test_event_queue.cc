@@ -283,6 +283,129 @@ TEST(EventQueueProperties, CancelledFarEventsDoNotResurface)
     EXPECT_TRUE(q.empty());
 }
 
+/**
+ * Horizon-seam boundary sweep (see the contract comment in
+ * EventQueue::linkNode): ticks at exactly windowStart + horizon sit
+ * on the ring/overflow seam — horizon−1 is the last near tick,
+ * horizon aliases the anchor's bucket and must take the heap,
+ * horizon+1 is plainly far. The sweep schedules priority-tied pairs
+ * at all three offsets from several window anchors (including
+ * re-anchored rings deep into wrapped ticks) and drains with both
+ * execution engines — the classic unbounded step() and the windowed
+ * stepBounded() the parallel executor uses — against the stable-sort
+ * reference. Any off-by-one in linkNode/migrateFromFar would misfile
+ * the seam tick and break the order or trip the foreign-tick assert.
+ */
+TEST(EventQueueProperties, HorizonSeamBoundarySweepOnBothEngines)
+{
+    constexpr uint32_t horizon = EventQueue::calendarHorizon;
+    for (const bool windowed : {false, true}) {
+        for (const Cycle base :
+             {Cycle{0}, Cycle{1000}, Cycle{3} * horizon + 5}) {
+            EventQueue q;
+            if (base > 0) {
+                q.schedule(base, []() {});
+                while (q.step()) {
+                }
+                ASSERT_EQ(q.now(), base);
+            }
+
+            struct Ref
+            {
+                Cycle when;
+                uint8_t prio;
+                int label;
+            };
+            std::vector<Ref> refs;
+            std::vector<int> fired;
+            int label = 0;
+            auto put = [&](Cycle delta, EventPriority prio) {
+                const Cycle when = base + delta;
+                const int l = label++;
+                q.schedule(when, [&fired, l]() { fired.push_back(l); },
+                           prio);
+                refs.push_back(
+                    {when, static_cast<uint8_t>(prio), l});
+            };
+            // Tied (tick, priority) pairs at every seam offset, in
+            // deliberately scrambled priority order, plus anchor-tick
+            // companions that share the aliased bucket.
+            for (const Cycle delta :
+                 {Cycle{0}, Cycle{horizon} - 1, Cycle{horizon},
+                  Cycle{horizon} + 1}) {
+                put(delta, EventPriority::Cpu);
+                put(delta, EventPriority::Protocol);
+                put(delta, EventPriority::Cpu);
+                put(delta, EventPriority::Default);
+            }
+
+            std::stable_sort(refs.begin(), refs.end(),
+                             [](const Ref &a, const Ref &b) {
+                                 if (a.when != b.when)
+                                     return a.when < b.when;
+                                 return a.prio < b.prio;
+                             });
+            std::vector<int> expected;
+            for (const Ref &r : refs)
+                expected.push_back(r.label);
+
+            if (windowed) {
+                // Drain in lookahead-sized windows like the parallel
+                // executor: every deadline lands on or next to the
+                // seam at some point in the sweep.
+                Cycle deadline = base;
+                while (!q.empty()) {
+                    while (q.stepBounded(deadline)) {
+                    }
+                    deadline += 3;
+                }
+            } else {
+                while (q.step()) {
+                }
+            }
+            ASSERT_EQ(fired, expected)
+                << "windowed=" << windowed << " base=" << base;
+            EXPECT_EQ(q.now(), base + horizon + 1);
+        }
+    }
+}
+
+/** stepBounded() with the deadline exactly on the seam: the peeked
+ *  over-deadline node parks in the overflow heap and must resurface
+ *  in exact (tick, priority, seq) order on the next window. */
+TEST(EventQueueProperties, DeadlineParkAtSeamResurfacesInOrder)
+{
+    constexpr uint32_t horizon = EventQueue::calendarHorizon;
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(horizon - 1, [&]() { order.push_back(0); });
+    q.schedule(horizon, [&]() { order.push_back(2); },
+               EventPriority::Cpu);
+    q.schedule(horizon, [&]() { order.push_back(1); },
+               EventPriority::Protocol);
+    q.schedule(horizon + 1, [&]() { order.push_back(3); });
+
+    // Window ending one tick before the seam: only horizon−1 fires;
+    // the first seam event is peeked and parked.
+    while (q.stepBounded(horizon - 1)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0}));
+    EXPECT_EQ(q.nextEventTick(), Cycle{horizon});
+
+    // Window ending exactly on the seam: both horizon events fire in
+    // priority order, the parked one included.
+    while (q.stepBounded(horizon)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.nextEventTick(), Cycle{horizon} + 1);
+
+    while (q.stepBounded(horizon + 1)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), EventQueue::kNeverTick);
+}
+
 /** Scheduling in the past is a hard error: it would corrupt the
  *  tick->bucket map, so it panics instead of misfiling the event. */
 TEST(EventQueueDeath, PastScheduleIsFatal)

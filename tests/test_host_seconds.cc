@@ -1,0 +1,104 @@
+/**
+ * @file
+ * hostSeconds bracketing lockdown (harness/experiment.cc): the
+ * steady_clock window must cover the simulation phase alone — it
+ * starts after system construction and obs setup, stops before cycle
+ * accounting / recovery / stat snapshotting, and every path out of
+ * the run (normal completion, cooperative cancel, crash-triggered
+ * early exit) passes through the same bracket. bench_perf speedups
+ * divide by these numbers, so silently including teardown (or
+ * missing sim time on an early-exit path) would dilute them exactly
+ * on the short runs where it matters most.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "harness/experiment.hh"
+
+namespace logtm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+ExperimentConfig
+smallConfig()
+{
+    ExperimentConfig cfg;
+    cfg.bench = Benchmark::Microbench;
+    cfg.sys.numCores = 4;
+    cfg.sys.threadsPerCore = 2;
+    cfg.sys.l2Banks = 4;
+    cfg.sys.meshCols = 2;
+    cfg.sys.meshRows = 2;
+    cfg.wl.numThreads = cfg.sys.numContexts();
+    cfg.wl.useTm = true;
+    cfg.wl.totalUnits = 128;
+    return cfg;
+}
+
+/** Normal completion: hostSeconds is a positive sub-interval of the
+ *  whole runExperiment call. */
+TEST(HostSeconds, NormalRunBracketsSimPhaseOnly)
+{
+    const auto t0 = Clock::now();
+    const ExperimentResult res = runExperiment(smallConfig());
+    const double outer = secondsSince(t0);
+    EXPECT_GT(res.commits, 0u);
+    EXPECT_GT(res.hostSeconds, 0.0);
+    EXPECT_LE(res.hostSeconds, outer);
+}
+
+/** Cooperative cancel: the poll happens inside the sim phase, so
+ *  host time spent in the cancel predicate must be visible in
+ *  hostSeconds — if an early-exit path skipped the bracket (or
+ *  stopped the clock elsewhere), the measurement would miss it. */
+TEST(HostSeconds, CancelledRunStillMeasuresSimPhase)
+{
+    ExperimentConfig cfg = smallConfig();
+    bool slept = false;
+    cfg.cancel = [&slept]() {
+        if (!slept) {
+            slept = true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+        return true;  // cancel at the first poll
+    };
+    const auto t0 = Clock::now();
+    const ExperimentResult res = runExperiment(cfg);
+    const double outer = secondsSince(t0);
+    EXPECT_TRUE(slept);
+    // The 25ms spent inside the predicate is sim-phase time.
+    EXPECT_GE(res.hostSeconds, 0.025);
+    EXPECT_LE(res.hostSeconds, outer);
+}
+
+/** Crash-triggered early exit (durability run): the run winds down
+ *  through the same bracket, and recovery + the recovery oracle run
+ *  strictly after the clock stops. */
+TEST(HostSeconds, CrashedRunExcludesRecoveryFromBracket)
+{
+    ExperimentConfig cfg = smallConfig();
+    cfg.sys.pm.enabled = true;
+    cfg.wl.totalUnits = 512;
+    cfg.crashAtCycle = 2000;
+    const auto t0 = Clock::now();
+    const ExperimentResult res = runExperiment(cfg);
+    const double outer = secondsSince(t0);
+    EXPECT_TRUE(res.crashed);
+    EXPECT_GT(res.hostSeconds, 0.0);
+    // The bracket is a sub-interval of the call even though recovery
+    // and the oracle check ran after it.
+    EXPECT_LE(res.hostSeconds, outer);
+}
+
+} // namespace
+} // namespace logtm

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Determinism lockdown for the windowed parallel simulator core
+ * (sim/pdes.hh, harness/parallel.hh): an eligible configuration must
+ * produce byte-identical stats.json, timeseries.json and golden-trace
+ * bytes at every --sim-jobs value — 1 (the windowed schedule run
+ * inline), 2 and 4 — on all Table 2 workloads and all three engines,
+ * and an ineligible configuration must fall back to the classic
+ * serial loop at any jobs value. docs/PERFORMANCE.md documents the
+ * model; CI runs this suite at host-thread counts 1/2/4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "harness/trace_capture.hh"
+#include "obs/trace_pin.hh"
+#include "os/tm_system.hh"
+
+namespace logtm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing " << p;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct Artifacts
+{
+    ExperimentResult res;
+    std::string stats;
+    std::string timeseries;
+};
+
+/** Run @p cfg at a given jobs value with observability on, returning
+ *  the result plus the raw bytes of the emitted artifacts. */
+Artifacts
+runWithJobs(ExperimentConfig cfg, uint32_t jobs, const std::string &tag)
+{
+    const fs::path dir = fs::temp_directory_path() /
+        ("logtm_simpar_" + tag + "_j" + std::to_string(jobs));
+    fs::remove_all(dir);
+    cfg.obs.outDir = dir.string();
+    if (cfg.obs.intervalCycles == 0)
+        cfg.obs.intervalCycles = 2000;
+    cfg.simJobs = jobs;
+    Artifacts a;
+    a.res = runExperiment(cfg);
+    a.stats = readFile(dir / "stats.json");
+    a.timeseries = readFile(dir / "timeseries.json");
+    fs::remove_all(dir);
+    return a;
+}
+
+/** The default (Table 2) system with a chosen engine. */
+ExperimentConfig
+table2Config(Benchmark b, TmEngineKind engine)
+{
+    ExperimentConfig cfg;
+    cfg.bench = b;
+    cfg.sys.engine = engine;
+    cfg.wl.numThreads = cfg.sys.numContexts();
+    cfg.wl.useTm = true;
+    // 1/32 of the paper's transaction counts: enough contention to
+    // exercise conflicts, stalls and aborts on every benchmark while
+    // the full 5x3 matrix stays test-suite-fast.
+    cfg.wl.totalUnits = std::max<uint64_t>(64, defaultUnits(b) / 32);
+    return cfg;
+}
+
+void
+expectIdenticalAcrossJobs(const ExperimentConfig &cfg,
+                          const std::string &tag,
+                          std::initializer_list<uint32_t> jobsAxis)
+{
+    ASSERT_GE(jobsAxis.size(), 2u);
+    const uint32_t first = *jobsAxis.begin();
+    const Artifacts base = runWithJobs(cfg, first, tag);
+    if (cfg.wl.useTm)
+        EXPECT_GT(base.res.commits, 0u) << tag;
+    for (uint32_t jobs : jobsAxis) {
+        if (jobs == first)
+            continue;
+        const Artifacts got = runWithJobs(cfg, jobs, tag);
+        EXPECT_EQ(base.stats, got.stats)
+            << tag << ": stats.json diverges at jobs=" << jobs;
+        EXPECT_EQ(base.timeseries, got.timeseries)
+            << tag << ": timeseries.json diverges at jobs=" << jobs;
+        EXPECT_EQ(base.res.cycles, got.res.cycles) << tag;
+        EXPECT_EQ(base.res.commits, got.res.commits) << tag;
+        EXPECT_EQ(base.res.aborts, got.res.aborts) << tag;
+    }
+}
+
+// ----- eligibility gate ------------------------------------------------
+
+TEST(SimParallelGate, DefaultTransactionalConfigIsEligible)
+{
+    const ExperimentConfig cfg =
+        table2Config(Benchmark::Microbench, TmEngineKind::LogTmSe);
+    EXPECT_TRUE(simParallelEligible(cfg));
+}
+
+TEST(SimParallelGate, IneligibleConfigsFallBack)
+{
+    const auto base =
+        table2Config(Benchmark::Microbench, TmEngineKind::LogTmSe);
+
+    ExperimentConfig lock = base;
+    lock.wl.useTm = false;
+    EXPECT_FALSE(simParallelEligible(lock));
+
+    ExperimentConfig lazy = base;
+    lazy.sys.engine = TmEngineKind::Lazy;
+    EXPECT_FALSE(simParallelEligible(lazy));
+
+    ExperimentConfig snoop = base;
+    snoop.sys.coherence = CoherenceKind::Snooping;
+    EXPECT_FALSE(simParallelEligible(snoop));
+
+    ExperimentConfig pm = base;
+    pm.sys.pm.enabled = true;
+    EXPECT_FALSE(simParallelEligible(pm));
+
+    ExperimentConfig hybrid = base;
+    hybrid.sys.hybrid.enabled = true;
+    EXPECT_FALSE(simParallelEligible(hybrid));
+
+    ExperimentConfig crash = base;
+    crash.sys.pm.enabled = true;
+    crash.crashAtCycle = 1000;
+    EXPECT_FALSE(simParallelEligible(crash));
+
+    // A single-tile mesh has no partition to exploit.
+    ExperimentConfig tiny = base;
+    tiny.sys.numCores = 1;
+    tiny.sys.threadsPerCore = 2;
+    tiny.sys.meshCols = 1;
+    tiny.sys.meshRows = 1;
+    tiny.sys.l2Banks = 1;
+    EXPECT_FALSE(simParallelEligible(tiny));
+}
+
+// ----- quick smoke: the contended microbench ---------------------------
+
+TEST(SimParallel, MicrobenchArtifactsIdenticalAcrossJobs)
+{
+    ExperimentConfig cfg =
+        table2Config(Benchmark::Microbench, TmEngineKind::LogTmSe);
+    cfg.wl.totalUnits = 512;
+    cfg.mb.numCounters = 8;  // heavy contention
+    cfg.mb.readsPerTx = 2;
+    cfg.mb.writesPerTx = 2;
+    ASSERT_TRUE(simParallelEligible(cfg));
+    expectIdenticalAcrossJobs(cfg, "micro", {1, 2, 4});
+}
+
+/** The microbench atomicity invariant must hold under the parallel
+ *  executor: the shared counters sum to exactly the committed
+ *  increments at every jobs value. */
+TEST(SimParallel, MicrobenchAtomicityHoldsUnderParallelExecutor)
+{
+    ExperimentConfig cfg =
+        table2Config(Benchmark::Microbench, TmEngineKind::LogTmSe);
+    cfg.wl.totalUnits = 512;
+    cfg.mb.numCounters = 8;
+    for (uint32_t jobs : {1u, 2u, 4u}) {
+        const Artifacts a =
+            runWithJobs(cfg, jobs, "micro_atomic");
+        EXPECT_EQ(a.res.microCounterSum, a.res.microExpected)
+            << "jobs=" << jobs;
+        EXPECT_GT(a.res.microCounterSum, 0u);
+    }
+}
+
+// ----- the full Table 2 x engine matrix --------------------------------
+
+struct MatrixCase
+{
+    Benchmark bench;
+    TmEngineKind engine;
+};
+
+class SimParallelMatrix : public testing::TestWithParam<MatrixCase>
+{};
+
+std::string
+matrixName(const testing::TestParamInfo<MatrixCase> &info)
+{
+    // Engine names carry dashes ("logtm-se"); gtest parameter names
+    // must be alphanumeric.
+    std::string name =
+        toString(info.param.bench) + "_" + toString(info.param.engine);
+    std::erase_if(name, [](char c) {
+        return !std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '_';
+    });
+    return name;
+}
+
+TEST_P(SimParallelMatrix, ArtifactsIdenticalAcrossJobs)
+{
+    const MatrixCase &mc = GetParam();
+    const ExperimentConfig cfg = table2Config(mc.bench, mc.engine);
+    // The lazy engine is gated out (commit-time conflict resolution
+    // iterates every context — inherently cross-lane); it must still
+    // agree across jobs values because every value takes the same
+    // classic loop. The other engines run the windowed executor.
+    EXPECT_EQ(simParallelEligible(cfg),
+              mc.engine != TmEngineKind::Lazy);
+    expectIdenticalAcrossJobs(
+        cfg, toString(mc.bench) + "_" + toString(mc.engine),
+        {1, 2, 4});
+}
+
+std::vector<MatrixCase>
+allMatrixCases()
+{
+    std::vector<MatrixCase> cases;
+    for (const Benchmark b : paperBenchmarks()) {
+        for (const TmEngineKind e :
+             {TmEngineKind::LogTmSe, TmEngineKind::RequesterWins,
+              TmEngineKind::Lazy})
+            cases.push_back({b, e});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, SimParallelMatrix,
+                         testing::ValuesIn(allMatrixCases()),
+                         matrixName);
+
+// ----- golden-trace lockdown -------------------------------------------
+
+/** The canonical event stream (the golden-trace format) must be
+ *  byte-identical at jobs 1/2/4: same events, same canonical order,
+ *  same rendered bytes. */
+TEST(SimParallel, GoldenTraceBytesIdenticalAcrossJobs)
+{
+    for (const TmEngineKind engine :
+         {TmEngineKind::LogTmSe, TmEngineKind::RequesterWins}) {
+        TraceCaptureOptions opt;
+        opt.engine = engine;
+        opt.simJobs = 1;
+        const std::vector<ObsEvent> base = captureRunEvents(opt);
+        ASSERT_FALSE(base.empty());
+        const std::string baseJson =
+            renderTraceJson(base, base.size());
+        for (uint32_t jobs : {2u, 4u}) {
+            opt.simJobs = jobs;
+            const std::vector<ObsEvent> got = captureRunEvents(opt);
+            ASSERT_EQ(base.size(), got.size()) << "jobs=" << jobs;
+            EXPECT_EQ(baseJson, renderTraceJson(got, got.size()))
+                << "engine=" << toString(engine)
+                << " jobs=" << jobs;
+        }
+    }
+}
+
+// ----- chaos mix: eligible and ineligible configs together -------------
+
+/** A mixed bag of configurations — eligible ones beside every class
+ *  of fallback — must agree across the whole jobs axis {0, 1, 2, 4}:
+ *  ineligible configs take the classic loop at every value (so all
+ *  four agree trivially), and for eligible configs the windowed
+ *  executor agrees with itself at every worker count. */
+TEST(SimParallel, ChaosMixAgreesAcrossJobsAxis)
+{
+    struct Mix
+    {
+        const char *tag;
+        ExperimentConfig cfg;
+        bool eligible;
+    };
+    std::vector<Mix> mixes;
+
+    ExperimentConfig eligible =
+        table2Config(Benchmark::Microbench, TmEngineKind::LogTmSe);
+    eligible.wl.totalUnits = 256;
+    eligible.mb.numCounters = 8;
+    mixes.push_back({"eligible", eligible, true});
+
+    ExperimentConfig lazy = eligible;
+    lazy.sys.engine = TmEngineKind::Lazy;
+    mixes.push_back({"lazy", lazy, false});
+
+    ExperimentConfig snoop = eligible;
+    snoop.sys.coherence = CoherenceKind::Snooping;
+    snoop.sys.numCores = 4;
+    snoop.sys.threadsPerCore = 2;
+    snoop.sys.l2Banks = 4;
+    snoop.sys.meshCols = 2;
+    snoop.sys.meshRows = 2;
+    snoop.wl.numThreads = snoop.sys.numContexts();
+    mixes.push_back({"snooping", snoop, false});
+
+    ExperimentConfig lock = eligible;
+    lock.wl.useTm = false;
+    mixes.push_back({"lock", lock, false});
+
+    for (const Mix &m : mixes) {
+        ASSERT_EQ(simParallelEligible(m.cfg), m.eligible) << m.tag;
+        // Ineligible configs must also match the jobs=0 classic run
+        // byte-for-byte; eligible ones are only required to agree
+        // among jobs >= 1 (the windowed schedule is deterministic
+        // but distinct from the classic serial interleaving).
+        if (m.eligible)
+            expectIdenticalAcrossJobs(m.cfg, m.tag, {1, 2, 4});
+        else
+            expectIdenticalAcrossJobs(m.cfg, m.tag, {0, 1, 2, 4});
+    }
+}
+
+} // namespace
+} // namespace logtm

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -367,6 +368,170 @@ TEST(SweepScheduler, CooperativeTimeoutCancels)
         JobScheduler(cfg).run(jobs);
     EXPECT_FALSE(outcomes[0].ok);
     EXPECT_NE(outcomes[0].error.find("timeout"), std::string::npos);
+}
+
+/**
+ * The cooperative-timeout leak (regression): an abandoned attempt's
+ * worker can still be unwinding — or have handed work to a helper —
+ * when a fast retry has already succeeded; last-writer-wins on the
+ * store would then cache the abandoned attempt's (stale, truncated)
+ * result. The scheduler dooms the abandoned attempt's publish gate
+ * before starting the retry, so the straggler's claim must lose no
+ * matter how late it fires.
+ */
+TEST(SweepScheduler, AbandonedAttemptCannotPublishAfterFastRetry)
+{
+    const std::string dir = tempDir("abandoned_publish");
+    ResultStore store(dir);
+    SchedulerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxAttempts = 2;
+
+    std::atomic<bool> retryPublished{false};
+    std::atomic<bool> stragglerWon{false};
+    std::thread straggler;
+
+    std::vector<JobFn> jobs;
+    jobs.push_back([&](const JobContext &ctx) {
+        if (ctx.attempt() == 1) {
+            // The slow attempt: leave a straggler behind that tries
+            // to publish only after the retry has already done so.
+            straggler = std::thread([&, gate = ctx.gate()]() {
+                while (!retryPublished.load())
+                    std::this_thread::yield();
+                if (gate->claim()) {
+                    store.storeRaw("job", "slow-attempt-1");
+                    stragglerWon = true;
+                }
+            });
+            throw std::runtime_error("attempt 1 abandoned");
+        }
+        if (ctx.claimPublish())
+            store.storeRaw("job", "fast-attempt-2");
+        retryPublished = true;
+    });
+    const std::vector<JobOutcome> outcomes =
+        JobScheduler(cfg).run(jobs);
+    straggler.join();
+
+    EXPECT_TRUE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_FALSE(stragglerWon.load());
+    const auto cached = store.lookupRaw("job");
+    ASSERT_TRUE(cached.has_value());
+    EXPECT_EQ(*cached, "fast-attempt-2");
+}
+
+/** Gate tie-break is one-sided: a publish that already claimed stays
+ *  won (the result was durable before the abandonment decision), and
+ *  a doomed gate can never be claimed afterwards. */
+TEST(SweepScheduler, AttemptGateTieBreaks)
+{
+    AttemptGate wonFirst;
+    EXPECT_TRUE(wonFirst.claim());
+    wonFirst.doom();                  // too late: claim already won
+    EXPECT_FALSE(wonFirst.doomed());
+    EXPECT_TRUE(wonFirst.claim());    // idempotent
+
+    AttemptGate doomedFirst;
+    doomedFirst.doom();
+    EXPECT_TRUE(doomedFirst.doomed());
+    EXPECT_FALSE(doomedFirst.claim());
+}
+
+/** A fired deadline dooms the attempt's own publish right at the
+ *  claim, so a run that limped past its deadline cannot cache its
+ *  truncated stats. */
+TEST(SweepScheduler, ExpiredDeadlineRefusesPublishClaim)
+{
+    const auto past =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const JobContext expired(1, past, true);
+    EXPECT_FALSE(expired.claimPublish());
+    EXPECT_TRUE(expired.gate()->doomed());
+
+    const JobContext noDeadline(1, past, false);
+    EXPECT_TRUE(noDeadline.claimPublish());
+}
+
+/**
+ * The tmp-file collision (regression): two campaigns sharing one
+ * --cache-dir write through independent ResultStore instances (their
+ * writer mutexes do not serialize each other), so in-flight tmp
+ * writes interleave freely at the filesystem. Unique per-process/
+ * per-write tmp names + atomic rename mean every observable entry is
+ * always one writer's complete document — never torn, never a
+ * half-truncated hybrid — and no tmp litter survives.
+ */
+TEST(SweepStore, TwoWritersSharingCacheDirNeverTearEntries)
+{
+    const std::string dir = tempDir("two_writer_store");
+    ResultStore a(dir);
+    ResultStore b(dir);
+
+    // Large bodies make torn writes (the old failure mode: writer 2
+    // truncating writer 1's in-flight tmp file just before writer 1
+    // renames it into place) detectable as parse failures or
+    // mismatched values.
+    const std::string filler(8192, 'x');
+    auto valueOf = [&filler](int writer, int i) {
+        return std::to_string(writer) + ":" + std::to_string(i) +
+            ":" + filler;
+    };
+    a.storeRaw("contended", valueOf(1, -1));
+
+    std::atomic<bool> start{false};
+    std::atomic<bool> stop{false};
+    auto writer = [&](ResultStore *s, int id) {
+        while (!start.load())
+            std::this_thread::yield();
+        for (int i = 0; i < 100; ++i)
+            s->storeRaw("contended", valueOf(id, i));
+    };
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> badReads{0};
+    auto reader = [&]() {
+        while (!stop.load()) {
+            const auto v = a.lookupRaw("contended");
+            ++reads;
+            // Every successful read must be a complete document: a
+            // well-formed "<writer>:<i>:<filler>" value.
+            if (!v.has_value() ||
+                v->size() < filler.size() + 4 ||
+                (v->compare(0, 2, "1:") != 0 &&
+                 v->compare(0, 2, "2:") != 0) ||
+                v->compare(v->size() - filler.size(),
+                           filler.size(), filler) != 0)
+                ++badReads;
+        }
+    };
+
+    std::thread t1(writer, &a, 1);
+    std::thread t2(writer, &b, 2);
+    std::thread r(reader);
+    start = true;
+    t1.join();
+    t2.join();
+    stop = true;
+    r.join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(badReads.load(), 0u);
+
+    const auto last = a.lookupRaw("contended");
+    ASSERT_TRUE(last.has_value());
+    EXPECT_TRUE(last->compare(0, 2, "1:") == 0 ||
+                last->compare(0, 2, "2:") == 0);
+
+    // No tmp litter: every write renamed its own unique tmp away.
+    size_t tmpFiles = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        if (e.path().filename().string().find(".tmp.") !=
+            std::string::npos)
+            ++tmpFiles;
+    }
+    EXPECT_EQ(tmpFiles, 0u);
 }
 
 // --------------------------------------------------------- determinism
